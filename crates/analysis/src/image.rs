@@ -1,0 +1,258 @@
+//! Grayscale heatmap images of sensor and signature matrices.
+//!
+//! The paper's Figs. 2, 6 and 7 render sorted sensor data and signature
+//! heatmaps as images (darker = higher). [`GrayImage`] provides exactly
+//! that: build from a matrix with min-max normalization, rescale with
+//! nearest-neighbor or bilinear interpolation (the paper's "signatures can
+//! be scaled at will using traditional image processing algorithms"), and
+//! write to binary PGM files or ASCII for terminals.
+
+use cwsmooth_linalg::Matrix;
+use std::io::Write;
+use std::path::Path;
+
+/// A grayscale image with `f64` intensities in `[0, 1]`.
+///
+/// ```
+/// use cwsmooth_analysis::GrayImage;
+/// use cwsmooth_linalg::Matrix;
+///
+/// let m = Matrix::from_fn(4, 8, |r, c| (r + c) as f64);
+/// let img = GrayImage::from_matrix(&m);       // min-max normalized
+/// let big = img.resize_bilinear(16, 32);      // signatures scale like images
+/// assert_eq!((big.height(), big.width()), (16, 32));
+/// let ascii = img.to_ascii();                 // terminal heatmap
+/// assert_eq!(ascii.lines().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    /// Row-major intensities.
+    data: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Builds an image from a matrix, min-max normalizing all values into
+    /// `[0, 1]` (constant matrices render mid-gray).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in m.as_slice() {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        let range = hi - lo;
+        let data = if range > 0.0 && range.is_finite() {
+            m.as_slice().iter().map(|&v| (v - lo) / range).collect()
+        } else {
+            vec![0.5; m.len()]
+        };
+        Self {
+            width: m.cols(),
+            height: m.rows(),
+            data,
+        }
+    }
+
+    /// Builds directly from intensities (clamped into `[0, 1]`).
+    pub fn from_intensities(height: usize, width: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), width * height);
+        let data = data.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width (pixels).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height (pixels).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel intensity at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.width + col]
+    }
+
+    /// Nearest-neighbor rescale to `new_height x new_width`.
+    pub fn resize_nearest(&self, new_height: usize, new_width: usize) -> GrayImage {
+        assert!(new_height >= 1 && new_width >= 1);
+        let mut data = Vec::with_capacity(new_height * new_width);
+        for r in 0..new_height {
+            let sr = (((r as f64 + 0.5) * self.height as f64 / new_height as f64).floor()
+                as usize)
+                .min(self.height - 1);
+            for c in 0..new_width {
+                let sc = (((c as f64 + 0.5) * self.width as f64 / new_width as f64).floor()
+                    as usize)
+                    .min(self.width - 1);
+                data.push(self.get(sr, sc));
+            }
+        }
+        GrayImage {
+            width: new_width,
+            height: new_height,
+            data,
+        }
+    }
+
+    /// Bilinear rescale to `new_height x new_width`.
+    pub fn resize_bilinear(&self, new_height: usize, new_width: usize) -> GrayImage {
+        assert!(new_height >= 1 && new_width >= 1);
+        let mut data = Vec::with_capacity(new_height * new_width);
+        for r in 0..new_height {
+            // map to continuous source coordinates (center-aligned)
+            let fy = ((r as f64 + 0.5) * self.height as f64 / new_height as f64 - 0.5)
+                .clamp(0.0, (self.height - 1) as f64);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(self.height - 1);
+            let wy = fy - y0 as f64;
+            for c in 0..new_width {
+                let fx = ((c as f64 + 0.5) * self.width as f64 / new_width as f64 - 0.5)
+                    .clamp(0.0, (self.width - 1) as f64);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let wx = fx - x0 as f64;
+                let top = self.get(y0, x0) * (1.0 - wx) + self.get(y0, x1) * wx;
+                let bot = self.get(y1, x0) * (1.0 - wx) + self.get(y1, x1) * wx;
+                data.push(top * (1.0 - wy) + bot * wy);
+            }
+        }
+        GrayImage {
+            width: new_width,
+            height: new_height,
+            data,
+        }
+    }
+
+    /// Writes a binary PGM (P5). Darker pixels correspond to *higher*
+    /// values, matching the paper's colormap.
+    pub fn write_pgm<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "P5")?;
+        writeln!(w, "{} {}", self.width, self.height)?;
+        writeln!(w, "255")?;
+        let bytes: Vec<u8> = self
+            .data
+            .iter()
+            .map(|&v| (255.0 * (1.0 - v.clamp(0.0, 1.0))) as u8)
+            .collect();
+        w.write_all(&bytes)
+    }
+
+    /// Writes a PGM file.
+    pub fn save_pgm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_pgm(std::io::BufWriter::new(f))
+    }
+
+    /// Renders the image as ASCII art (one char per pixel, denser = higher).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity(self.height * (self.width + 1));
+        for r in 0..self.height {
+            for c in 0..self.width {
+                let v = self.get(r, c).clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(h: usize, w: usize) -> GrayImage {
+        let m = Matrix::from_fn(h, w, |r, c| (r + c) as f64);
+        GrayImage::from_matrix(&m)
+    }
+
+    #[test]
+    fn from_matrix_normalizes() {
+        let m = Matrix::from_rows([[10.0, 20.0], [30.0, 50.0]]).unwrap();
+        let img = GrayImage::from_matrix(&m);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 1), 1.0);
+        assert!((img.get(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_matrix_is_mid_gray() {
+        let img = GrayImage::from_matrix(&Matrix::filled(3, 3, 7.0));
+        assert!(img.to_ascii().lines().all(|l| l.chars().all(|c| c == '+')));
+    }
+
+    #[test]
+    fn nearest_resize_shapes_and_identity() {
+        let img = gradient(4, 6);
+        let up = img.resize_nearest(8, 12);
+        assert_eq!((up.height(), up.width()), (8, 12));
+        assert_eq!(img.resize_nearest(4, 6), img);
+        // corners preserved
+        assert_eq!(up.get(0, 0), img.get(0, 0));
+        assert_eq!(up.get(7, 11), img.get(3, 5));
+    }
+
+    #[test]
+    fn bilinear_resize_is_smooth_and_bounded() {
+        let img = gradient(4, 4);
+        let up = img.resize_bilinear(9, 9);
+        for r in 0..9 {
+            for c in 0..8 {
+                // gradient image stays monotone along rows
+                assert!(up.get(r, c) <= up.get(r, c + 1) + 1e-12);
+                assert!((0.0..=1.0).contains(&up.get(r, c)));
+            }
+        }
+        assert_eq!(img.resize_bilinear(4, 4), img);
+    }
+
+    #[test]
+    fn downscale_averages_structure() {
+        let img = gradient(8, 8);
+        let down = img.resize_bilinear(2, 2);
+        assert!(down.get(0, 0) < down.get(1, 1));
+    }
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let img = gradient(3, 5);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..12]);
+        assert!(text.starts_with("P5\n5 3\n255"));
+        // header + 15 pixel bytes
+        assert_eq!(buf.len(), buf.len() - 15 + 15);
+        // darker = higher: last pixel (max value) must be byte 0
+        assert_eq!(*buf.last().unwrap(), 0u8);
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let img = gradient(3, 7);
+        let text = img.to_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 7));
+    }
+
+    #[test]
+    fn intensities_constructor_clamps() {
+        let img = GrayImage::from_intensities(1, 3, vec![-1.0, 0.5, 2.0]);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(0, 2), 1.0);
+    }
+}

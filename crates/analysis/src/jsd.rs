@@ -1,0 +1,289 @@
+//! Jensen-Shannon divergence between dimension-wise value distributions
+//! (paper Sec. IV-A2, Eq. 4).
+//!
+//! Classic KL/JS divergences over joint distributions collapse under the
+//! curse of dimensionality. The paper instead exploits that CS-sorted data
+//! is image-like: dimensions of the original data map directly onto
+//! signature blocks, so one can compare 2-D distributions `P(v, y)` — the
+//! marginal probability of value `v` on dimension `y`, divided by `n` so the
+//! whole surface is a probability density. The CS signature matrix is
+//! nearest-neighbor-interpolated along the dimension axis to match `n`
+//! before comparison. With base-2 entropy the divergence lies in `[0, 1]`.
+
+use cwsmooth_core::cs::CsMethod;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+
+/// A 2-D histogram `P(v, y)`: per-dimension value distributions, jointly
+/// normalized so all mass sums to 1.
+#[derive(Debug, Clone)]
+pub struct DimensionHistogram {
+    /// `dims x bins`, rows sum to `1/dims` (so the total is 1).
+    probs: Matrix,
+}
+
+impl DimensionHistogram {
+    /// Builds the histogram of a data matrix (rows = dimensions) with
+    /// `bins` value bins over `[lo, hi]`. Values outside the range fall
+    /// into the edge bins.
+    pub fn new(data: &Matrix, bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(hi > lo, "empty value range");
+        let n = data.rows();
+        let mut probs = Matrix::zeros(n, bins);
+        let width = (hi - lo) / bins as f64;
+        for y in 0..n {
+            let row = data.row(y);
+            if row.is_empty() {
+                continue;
+            }
+            let prow = probs.row_mut(y);
+            for &v in row {
+                let b = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+                prow[b] += 1.0;
+            }
+            let mass = row.len() as f64 * n as f64;
+            for p in prow.iter_mut() {
+                *p /= mass;
+            }
+        }
+        Self { probs }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.probs.rows()
+    }
+
+    /// Number of value bins.
+    pub fn bins(&self) -> usize {
+        self.probs.cols()
+    }
+
+    /// Raw probability surface.
+    pub fn probs(&self) -> &Matrix {
+        &self.probs
+    }
+
+    /// Base-2 Shannon entropy of the whole 2-D distribution.
+    pub fn entropy(&self) -> f64 {
+        shannon(self.probs.as_slice())
+    }
+}
+
+fn shannon(p: &[f64]) -> f64 {
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.log2())
+        .sum::<f64>()
+}
+
+/// Jensen-Shannon divergence between two equally shaped 2-D distributions
+/// (Eq. 4): `JS(P‖Q) = H((P+Q)/2) − (H(P)+H(Q))/2`, in `[0, 1]` bits.
+pub fn js_divergence_2d(p: &DimensionHistogram, q: &DimensionHistogram) -> f64 {
+    assert_eq!(
+        (p.dims(), p.bins()),
+        (q.dims(), q.bins()),
+        "histogram shapes must match"
+    );
+    let mid: Vec<f64> = p
+        .probs
+        .as_slice()
+        .iter()
+        .zip(q.probs.as_slice())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
+    let js = shannon(&mid) - 0.5 * (p.entropy() + q.entropy());
+    js.clamp(0.0, 1.0)
+}
+
+/// Nearest-neighbor upsampling of a matrix along the row (dimension) axis
+/// to `target_rows` rows.
+pub fn upsample_rows_nearest(m: &Matrix, target_rows: usize) -> Matrix {
+    assert!(m.rows() >= 1 && target_rows >= 1);
+    let mut out = Matrix::zeros(target_rows, m.cols());
+    for r in 0..target_rows {
+        // center-aligned nearest source row
+        let src = ((r as f64 + 0.5) * m.rows() as f64 / target_rows as f64).floor() as usize;
+        let src = src.min(m.rows() - 1);
+        out.row_mut(r).copy_from_slice(m.row(src));
+    }
+    out
+}
+
+/// Value range covering both matrices (for shared histogram bins).
+fn joint_range(a: &Matrix, b: &Matrix) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in a.as_slice().iter().chain(b.as_slice()) {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    if hi <= lo {
+        // degenerate (constant) data: widen artificially
+        return (lo - 0.5, lo + 0.5);
+    }
+    (lo, hi)
+}
+
+/// The paper's compression-fidelity measurement (used in Fig. 4a): average
+/// JS divergence between the CS signatures of `s` and the uncompressed
+/// (sorted, normalized) data.
+///
+/// Two comparisons are averaged:
+/// * real components vs. the sorted normalized data, and
+/// * imaginary components vs. its first-order derivatives,
+///
+/// each after nearest-neighbor upsampling of the signature heatmap to `n`
+/// dimensions. Returns a value in `[0, 1]`; lower is more faithful.
+pub fn cs_fidelity(cs: &CsMethod, s: &Matrix, spec: WindowSpec, bins: usize) -> f64 {
+    let sorted = cs.sort_window(s).expect("matrix matches model");
+    let derivs = sorted.backward_diff(None);
+    let (re, im) = cs
+        .signature_heatmaps(s, spec)
+        .expect("matrix long enough for windows");
+    let n = s.rows();
+
+    let re_up = upsample_rows_nearest(&re, n);
+    let (lo, hi) = joint_range(&sorted, &re_up);
+    let p_data = DimensionHistogram::new(&sorted, bins, lo, hi);
+    let p_sig = DimensionHistogram::new(&re_up, bins, lo, hi);
+    let js_re = js_divergence_2d(&p_data, &p_sig);
+
+    let im_up = upsample_rows_nearest(&im, n);
+    let (lo, hi) = joint_range(&derivs, &im_up);
+    let d_data = DimensionHistogram::new(&derivs, bins, lo, hi);
+    let d_sig = DimensionHistogram::new(&im_up, bins, lo, hi);
+    let js_im = js_divergence_2d(&d_data, &d_sig);
+
+    0.5 * (js_re + js_im)
+}
+
+/// Fidelity of the real components only (the paper's `-R` ablation in
+/// Fig. 4a): the imaginary comparison is scored as maximally divergent
+/// because the derivative information is simply absent.
+pub fn cs_fidelity_real_only(cs: &CsMethod, s: &Matrix, spec: WindowSpec, bins: usize) -> f64 {
+    let sorted = cs.sort_window(s).expect("matrix matches model");
+    let (re, _) = cs
+        .signature_heatmaps(s, spec)
+        .expect("matrix long enough for windows");
+    let n = s.rows();
+    let re_up = upsample_rows_nearest(&re, n);
+    let (lo, hi) = joint_range(&sorted, &re_up);
+    let p_data = DimensionHistogram::new(&sorted, bins, lo, hi);
+    let p_sig = DimensionHistogram::new(&re_up, bins, lo, hi);
+    let js_re = js_divergence_2d(&p_data, &p_sig);
+    0.5 * (js_re + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsmooth_core::cs::CsTrainer;
+
+    fn hist(data: &Matrix, bins: usize) -> DimensionHistogram {
+        DimensionHistogram::new(data, bins, 0.0, 1.0)
+    }
+
+    #[test]
+    fn histogram_mass_sums_to_one() {
+        let m = Matrix::from_rows([[0.1, 0.6, 0.9], [0.2, 0.2, 0.7]]).unwrap();
+        let h = hist(&m, 4);
+        let total: f64 = h.probs().as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let m = Matrix::from_rows([[-5.0, 5.0]]).unwrap();
+        let h = hist(&m, 4);
+        assert!(h.probs().get(0, 0) > 0.0);
+        assert!(h.probs().get(0, 3) > 0.0);
+    }
+
+    #[test]
+    fn jsd_identity_is_zero() {
+        let m = Matrix::from_rows([[0.1, 0.5, 0.9], [0.3, 0.3, 0.8]]).unwrap();
+        let h = hist(&m, 8);
+        assert!(js_divergence_2d(&h, &h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_is_symmetric_and_bounded() {
+        let a = hist(&Matrix::from_rows([[0.1, 0.2, 0.3]]).unwrap(), 8);
+        let b = hist(&Matrix::from_rows([[0.7, 0.8, 0.9]]).unwrap(), 8);
+        let ab = js_divergence_2d(&a, &b);
+        let ba = js_divergence_2d(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+        // disjoint supports -> maximal divergence (1 bit)
+        assert!((ab - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn jsd_rejects_shape_mismatch() {
+        let a = hist(&Matrix::zeros(2, 3), 4);
+        let b = hist(&Matrix::zeros(3, 3), 4);
+        js_divergence_2d(&a, &b);
+    }
+
+    #[test]
+    fn upsample_replicates_rows() {
+        let m = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0]]).unwrap();
+        let up = upsample_rows_nearest(&m, 4);
+        assert_eq!(up.shape(), (4, 2));
+        assert_eq!(up.row(0), &[1.0, 2.0]);
+        assert_eq!(up.row(1), &[1.0, 2.0]);
+        assert_eq!(up.row(2), &[3.0, 4.0]);
+        assert_eq!(up.row(3), &[3.0, 4.0]);
+        // upsampling to the same count is the identity
+        assert_eq!(upsample_rows_nearest(&m, 2), m);
+    }
+
+    /// Correlated waves + noise: the structure CS is designed for.
+    fn structured(n: usize, t: usize) -> Matrix {
+        Matrix::from_fn(n, t, |r, c| {
+            let latent = (c as f64 / 11.0).sin() * 0.5 + 0.5;
+            match r % 4 {
+                0 => latent,
+                1 => 0.8 * latent + 0.1,
+                2 => 1.0 - latent,
+                _ => ((r * 31 + c * 17) % 97) as f64 / 97.0,
+            }
+        })
+    }
+
+    #[test]
+    fn fidelity_improves_with_block_count() {
+        let s = structured(24, 400);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(20, 10).unwrap();
+        let mut last = f64::INFINITY;
+        for l in [2usize, 6, 12, 24] {
+            let cs = CsMethod::new(model.clone(), l).unwrap();
+            let js = cs_fidelity(&cs, &s, spec, 32);
+            assert!((0.0..=1.0).contains(&js));
+            assert!(
+                js <= last + 0.03,
+                "fidelity regressed at l={l}: {js} after {last}"
+            );
+            last = js;
+        }
+    }
+
+    #[test]
+    fn real_only_fidelity_is_worse() {
+        let s = structured(16, 300);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(20, 10).unwrap();
+        let cs = CsMethod::new(model, 8).unwrap();
+        let full = cs_fidelity(&cs, &s, spec, 32);
+        let real = cs_fidelity_real_only(&cs, &s, spec, 32);
+        assert!(real > full, "real-only {real} vs full {full}");
+    }
+}

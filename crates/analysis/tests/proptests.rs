@@ -1,0 +1,81 @@
+//! Property-based tests for the analysis crate.
+
+use cwsmooth_analysis::jsd::{js_divergence_2d, upsample_rows_nearest, DimensionHistogram};
+use cwsmooth_analysis::GrayImage;
+use cwsmooth_linalg::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..24).prop_flat_map(|(r, c)| {
+        prop::collection::vec(0.0f64..1.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn histogram_is_a_probability_surface(m in small_matrix(), bins in 1usize..32) {
+        let h = DimensionHistogram::new(&m, bins, 0.0, 1.0);
+        let total: f64 = h.probs().as_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(h.probs().as_slice().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn entropy_is_bounded(m in small_matrix(), bins in 1usize..32) {
+        let h = DimensionHistogram::new(&m, bins, 0.0, 1.0);
+        let max_bits = ((h.dims() * h.bins()) as f64).log2();
+        prop_assert!(h.entropy() >= -1e-12);
+        prop_assert!(h.entropy() <= max_bits + 1e-9);
+    }
+
+    #[test]
+    fn jsd_laws(a in small_matrix(), b in small_matrix(), bins in 2usize..16) {
+        // reshape b to match a's dimensions via upsampling
+        let b = upsample_rows_nearest(&b, a.rows());
+        let ha = DimensionHistogram::new(&a, bins, 0.0, 1.0);
+        let hb = DimensionHistogram::new(&b, bins, 0.0, 1.0);
+        let ab = js_divergence_2d(&ha, &hb);
+        let ba = js_divergence_2d(&hb, &ha);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&ab), "bounded");
+        prop_assert!(js_divergence_2d(&ha, &ha).abs() < 1e-12, "identity");
+    }
+
+    #[test]
+    fn upsample_preserves_values_and_shape(m in small_matrix(), target in 1usize..24) {
+        let up = upsample_rows_nearest(&m, target);
+        prop_assert_eq!(up.shape(), (target, m.cols()));
+        // every output row is literally one of the input rows
+        for r in 0..target {
+            let found = (0..m.rows()).any(|s| up.row(r) == m.row(s));
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn image_resize_laws(m in small_matrix(), h in 1usize..20, w in 1usize..20) {
+        let img = GrayImage::from_matrix(&m);
+        for resized in [img.resize_nearest(h, w), img.resize_bilinear(h, w)] {
+            prop_assert_eq!((resized.height(), resized.width()), (h, w));
+            for r in 0..h {
+                for c in 0..w {
+                    let v = resized.get(r, c);
+                    prop_assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+        // identity resize
+        let same = img.resize_nearest(img.height(), img.width());
+        prop_assert_eq!(same, img);
+    }
+
+    #[test]
+    fn ascii_render_shape(m in small_matrix()) {
+        let img = GrayImage::from_matrix(&m);
+        let text = img.to_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), img.height());
+        prop_assert!(lines.iter().all(|l| l.chars().count() == img.width()));
+    }
+}

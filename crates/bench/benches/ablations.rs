@@ -1,0 +1,57 @@
+//! Criterion benchmarks of design-choice costs called out in DESIGN.md:
+//! ordering strategies at training time and history handling at
+//! signature time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_core::cs::{CsMethod, CsTrainer, OrderingStrategy};
+use cwsmooth_linalg::Matrix;
+use std::hint::black_box;
+
+fn structured(n: usize, t: usize) -> Matrix {
+    Matrix::from_fn(n, t, |r, c| {
+        ((c as f64 / (7.0 + r as f64 % 5.0)).sin() + (r as f64 * 0.01)) * 0.5
+    })
+}
+
+fn bench_ordering_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_ordering_strategy");
+    group.sample_size(10);
+    let s = structured(128, 1024);
+    for (name, strat) in [
+        ("correlation_wise", OrderingStrategy::CorrelationWise),
+        ("identity", OrderingStrategy::Identity),
+        ("global_only", OrderingStrategy::GlobalOnly),
+        ("shuffled", OrderingStrategy::Shuffled(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, m| {
+            b.iter(|| {
+                black_box(
+                    CsTrainer::default()
+                        .with_ordering(strat)
+                        .train(m)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_history");
+    let s = structured(256, 512);
+    let model = CsTrainer::default().train(&s).unwrap();
+    let cs = CsMethod::new(model, 20).unwrap();
+    let window = s.col_window(60, 120).unwrap();
+    let hist = s.col(59);
+    group.bench_function("without_history", |b| {
+        b.iter(|| black_box(cs.signature(&window, None).unwrap()))
+    });
+    group.bench_function("with_history", |b| {
+        b.iter(|| black_box(cs.signature(&window, Some(&hist)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering_strategies, bench_history_handling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the three CS stages in isolation: training
+//! (O(n²t)), sorting (O(wl·n)) and smoothing (O(wl·n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_linalg::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn structured_matrix(n: usize, t: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let phases: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 10.0).collect();
+    let noise: Vec<f64> = (0..n * t).map(|_| rng.gen::<f64>() * 0.05).collect();
+    Matrix::from_fn(n, t, |r, c| {
+        let latent = (c as f64 / 13.0 + phases[r]).sin();
+        latent * (1.0 + r as f64 * 0.01) + noise[r * t + c]
+    })
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cs_training_stage");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let s = structured_matrix(n, 1024, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, m| {
+            b.iter(|| black_box(CsTrainer::default().train(m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_and_smooth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cs_online_stages");
+    for n in [64usize, 256, 1024] {
+        let s = structured_matrix(n, 256, 8);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 20).unwrap();
+        let window = s.col_window(0, 60).unwrap();
+        group.bench_with_input(BenchmarkId::new("sort", n), &window, |b, w| {
+            b.iter(|| black_box(cs.sort_window(w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sort+smooth", n), &window, |b, w| {
+            b.iter(|| black_box(cs.signature(w, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_sort_and_smooth);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the ML substrate: random-forest fit/predict at
+//! the dataset shapes the Fig. 3 cross-validation actually produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn classification_data(n: usize, d: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>() * 0.8).collect();
+    let x = Matrix::from_fn(n, d, |r, c| (r % classes) as f64 + noise[r * d + c]);
+    let y: Vec<usize> = (0..n).map(|r| r % classes).collect();
+    (x, y)
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_classifier_fit");
+    group.sample_size(10);
+    for (n, d) in [(400usize, 40usize), (400, 400)] {
+        let (x, y) = classification_data(n, d, 7, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{d}")),
+            &(x, y),
+            |b, (x, y)| {
+                b.iter(|| {
+                    let mut rf =
+                        RandomForestClassifier::with_config(ForestConfig::classification(1));
+                    rf.fit(x, y).unwrap();
+                    black_box(rf)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_regressor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_regressor");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let noise: Vec<f64> = (0..600 * 40).map(|_| rng.gen::<f64>()).collect();
+    let x = Matrix::from_fn(600, 40, |r, c| noise[r * 40 + c]);
+    let y: Vec<f64> = (0..600).map(|r| x.row(r).iter().sum::<f64>()).collect();
+    let mut fitted = RandomForestRegressor::with_config(ForestConfig::regression(2));
+    fitted.fit(&x, &y).unwrap();
+    group.bench_function("fit_600x40", |b| {
+        b.iter(|| {
+            let mut rf = RandomForestRegressor::with_config(ForestConfig::regression(2));
+            rf.fit(&x, &y).unwrap();
+            black_box(rf)
+        })
+    });
+    group.bench_function("predict_600x40", |b| {
+        b.iter(|| black_box(fitted.predict(&x).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier, bench_regressor);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the similarity metric (Fig. 4a's measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_analysis::jsd::{cs_fidelity, DimensionHistogram};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use std::hint::black_box;
+
+fn structured(n: usize, t: usize) -> Matrix {
+    Matrix::from_fn(n, t, |r, c| {
+        let latent = (c as f64 / 11.0).sin() * 0.5 + 0.5;
+        match r % 3 {
+            0 => latent,
+            1 => 1.0 - latent,
+            _ => ((r * 31 + c * 17) % 97) as f64 / 97.0,
+        }
+    })
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dimension_histogram");
+    for n in [64usize, 256] {
+        let m = structured(n, 2000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(DimensionHistogram::new(m, 64, 0.0, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cs_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cs_fidelity");
+    group.sample_size(10);
+    let s = structured(64, 2000);
+    let model = CsTrainer::default().train(&s).unwrap();
+    let cs = CsMethod::new(model, 20).unwrap();
+    let spec = WindowSpec::new(30, 10).unwrap();
+    group.bench_function("64x2000_cs20", |b| {
+        b.iter(|| black_box(cs_fidelity(&cs, &s, spec, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_cs_fidelity);
+criterion_main!(benches);

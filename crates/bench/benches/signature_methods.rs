@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks behind Fig. 5: per-method signature
+//! computation time over the window length `wl` and dimension count `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_core::baselines::{BodikMethod, LanMethod, TuncerMethod};
+use cwsmooth_core::cs::{CsMethod, CsTrainer, OrderingStrategy};
+use cwsmooth_core::method::SignatureMethod;
+use cwsmooth_linalg::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_matrix(n: usize, t: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::from_vec(n, t, (0..n * t).map(|_| rng.gen::<f64>()).collect()).unwrap()
+}
+
+fn cs_for(sw: &Matrix, l: usize) -> CsMethod {
+    let model = CsTrainer::default()
+        .with_ordering(OrderingStrategy::Identity)
+        .train(sw)
+        .unwrap();
+    CsMethod::new(model, l).unwrap()
+}
+
+fn bench_over_wl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_over_wl_n100");
+    for wl in [100usize, 1000, 4000] {
+        let sw = random_matrix(100, wl, 1);
+        let cs20 = cs_for(&sw, 20);
+        let lan = LanMethod::new(6).unwrap();
+        group.bench_with_input(BenchmarkId::new("Tuncer", wl), &sw, |b, m| {
+            b.iter(|| black_box(TuncerMethod.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Bodik", wl), &sw, |b, m| {
+            b.iter(|| black_box(BodikMethod.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Lan", wl), &sw, |b, m| {
+            b.iter(|| black_box(lan.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("CS-20", wl), &sw, |b, m| {
+            b.iter(|| black_box(cs20.compute(m, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_over_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_over_n_wl100");
+    group.sample_size(20);
+    for n in [100usize, 1000, 4000] {
+        let sw = random_matrix(n, 100, 2);
+        let cs20 = cs_for(&sw, 20);
+        let cs_all = CsMethod::all_blocks(
+            CsTrainer::default()
+                .with_ordering(OrderingStrategy::Identity)
+                .train(&sw)
+                .unwrap(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("Tuncer", n), &sw, |b, m| {
+            b.iter(|| black_box(TuncerMethod.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Bodik", n), &sw, |b, m| {
+            b.iter(|| black_box(BodikMethod.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("CS-20", n), &sw, |b, m| {
+            b.iter(|| black_box(cs20.compute(m, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("CS-All", n), &sw, |b, m| {
+            b.iter(|| black_box(cs_all.compute(m, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_over_wl, bench_over_n);
+criterion_main!(benches);

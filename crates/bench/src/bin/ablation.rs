@@ -1,0 +1,90 @@
+//! Ablation study (beyond the paper): how much does the Algorithm 1
+//! ordering actually contribute?
+//!
+//! Compares four row orderings — the paper's correlation-wise greedy
+//! chain, identity (no sorting), global-coefficient-only sorting, and a
+//! random shuffle — on two axes:
+//! * compression fidelity (JS divergence, lower = better), and
+//! * downstream ML score with CS-20 signatures.
+//!
+//! The expectation motivating the CS design: grouping correlated sensors
+//! makes block averages meaningful, so the correlation-wise ordering
+//! should dominate the shuffle/identity orderings at low block counts.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin ablation
+//!   [--seed S] [--scale F] [--blocks L]`
+
+use cwsmooth_analysis::jsd::cs_fidelity;
+use cwsmooth_bench::{cross_validate, f3, results_dir, Args};
+use cwsmooth_core::cs::{CsMethod, CsTrainer, OrderingStrategy};
+use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth_data::csv::TableWriter;
+use cwsmooth_sim::segments::{
+    application_info, application_segment, power_info, power_segment, SegmentInfo, SimConfig,
+};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let scale: f64 = args.get("scale", 1.0);
+    let blocks: usize = args.get("blocks", 20);
+
+    let segments: Vec<(SegmentInfo, cwsmooth_data::Segment)> = vec![
+        {
+            let info = application_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), application_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = power_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), power_segment(SimConfig::new(seed, s)))
+        },
+    ];
+
+    let strategies: [(&str, OrderingStrategy); 4] = [
+        ("correlation-wise", OrderingStrategy::CorrelationWise),
+        ("identity", OrderingStrategy::Identity),
+        ("global-only", OrderingStrategy::GlobalOnly),
+        ("shuffled", OrderingStrategy::Shuffled(seed)),
+    ];
+
+    let path = results_dir().join("ablation_ordering.csv");
+    let file = std::fs::File::create(&path).expect("create csv");
+    let mut table =
+        TableWriter::new(file, &["segment", "ordering", "js_divergence", "ml_score"]).unwrap();
+
+    for (info, seg) in &segments {
+        println!("\n=== {} (CS-{blocks}) ===", seg.name);
+        println!("{:<18} {:>12} {:>12}", "Ordering", "JSD", "Score");
+        for (name, strat) in strategies {
+            let model = CsTrainer::default()
+                .with_ordering(strat)
+                .train(&seg.matrix)
+                .expect("training");
+            let cs = CsMethod::new(model, blocks).expect("CS");
+            let spec = info.window_spec();
+            let jsd = cs_fidelity(&cs, &seg.matrix, spec, 64);
+            let ds = build_dataset(
+                seg,
+                &cs,
+                DatasetOptions {
+                    spec,
+                    horizon: info.horizon,
+                },
+            )
+            .expect("dataset");
+            let score = cross_validate(&ds, seed).mean_score();
+            println!("{:<18} {:>12} {:>12}", name, f3(jsd), f3(score));
+            table
+                .row(&[
+                    seg.name.clone(),
+                    name.to_string(),
+                    format!("{jsd:.6}"),
+                    format!("{score:.6}"),
+                ])
+                .unwrap();
+        }
+    }
+    println!("\nwrote {}", path.display());
+}

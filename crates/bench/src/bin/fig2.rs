@@ -1,0 +1,79 @@
+//! Regenerates **Figure 2**: the three stages of the CS algorithm on AMG
+//! data from the Application segment.
+//!
+//! Emits four heatmaps (raw data, sorted data, real signature parts,
+//! imaginary signature parts) as PGM files under `results/`, plus ASCII
+//! previews. The paper uses 16 nodes (~800 sensors) and 160 blocks.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin fig2 [--seed S] [--blocks L]`
+
+use cwsmooth_analysis::GrayImage;
+use cwsmooth_bench::{results_dir, Args};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_data::{LabelTrack, WindowSpec};
+use cwsmooth_sim::apps::AppKind;
+use cwsmooth_sim::segments::{application_info, application_segment, SimConfig};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let blocks: usize = args.get("blocks", 160);
+    let samples: usize = args.get("samples", 3000);
+
+    let info = application_info();
+    println!("generating Application segment ({samples} samples, 16 Skylake nodes)...");
+    let seg = application_segment(SimConfig::new(seed, samples));
+
+    // Locate one AMG run via the labels.
+    let LabelTrack::Classes(labels) = &seg.labels else {
+        unreachable!("application segment is classification")
+    };
+    let amg = AppKind::Amg.class_id();
+    let start = labels
+        .iter()
+        .position(|&c| c == amg)
+        .expect("an AMG run is scheduled");
+    let end = start + labels[start..].iter().take_while(|&&c| c == amg).count();
+    println!(
+        "AMG run at samples {start}..{end} ({} sensors total)",
+        seg.sensors()
+    );
+
+    let amg_matrix = seg.matrix.col_window(start, end).expect("run window");
+    let model = CsTrainer::default().train(&amg_matrix).expect("training");
+    let cs = CsMethod::new(model, blocks).expect("CS method");
+
+    // Stage outputs.
+    let sorted = cs.sort_window(&amg_matrix).expect("sorting stage");
+    let spec = WindowSpec::new(info.wl, info.ws).unwrap();
+    let (re, im) = cs
+        .signature_heatmaps(&amg_matrix, spec)
+        .expect("smoothing stage");
+
+    let dir = results_dir();
+    let save = |name: &str, img: &GrayImage| {
+        let path = dir.join(name);
+        img.save_pgm(&path).expect("write PGM");
+        println!("wrote {}", path.display());
+    };
+    save("fig2_raw.pgm", &GrayImage::from_matrix(&amg_matrix));
+    save("fig2_sorted.pgm", &GrayImage::from_matrix(&sorted));
+    save("fig2_signature_re.pgm", &GrayImage::from_matrix(&re));
+    save("fig2_signature_im.pgm", &GrayImage::from_matrix(&im));
+
+    println!("\nsorted data (downscaled ASCII preview, darker = higher):");
+    println!(
+        "{}",
+        GrayImage::from_matrix(&sorted).resize_bilinear(24, 72).to_ascii()
+    );
+    println!("signature real parts ({} blocks x {} windows):", re.rows(), re.cols());
+    println!(
+        "{}",
+        GrayImage::from_matrix(&re).resize_bilinear(24, 72).to_ascii()
+    );
+    println!("signature imaginary parts:");
+    println!(
+        "{}",
+        GrayImage::from_matrix(&im).resize_bilinear(24, 72).to_ascii()
+    );
+}

@@ -1,0 +1,130 @@
+//! Regenerates **Figure 3**: testing times (a), signature sizes (b) and
+//! machine-learning scores (c) for every method on the first four HPC-ODA
+//! segments.
+//!
+//! For each segment × {Tuncer, Bodik, Lan, CS-5/10/20/40/All}: extract the
+//! windowed feature dataset (timed — Fig. 3a bottom bars), run 5-fold
+//! cross-validation with a 50-tree random forest (timed — Fig. 3a top
+//! bars), and report the signature size (Fig. 3b) and the weighted F1 /
+//! `1 − NRMSE` score (Fig. 3c). Results also land in
+//! `results/fig3.csv`.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin fig3
+//!   [--seed S] [--reps R] [--scale F]`
+//! `--scale` multiplies the default per-segment sample counts (use < 1 for
+//! a quick smoke run).
+
+use cwsmooth_bench::{f3, method_roster, results_dir, run_experiment, Args, ExperimentRow};
+use cwsmooth_data::csv::TableWriter;
+use cwsmooth_sim::segments::{
+    application_info, application_segment, fault_info, fault_segment, infrastructure_info,
+    infrastructure_segment, power_info, power_segment, SegmentInfo, SimConfig,
+};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let reps: usize = args.get("reps", 1);
+    let scale: f64 = args.get("scale", 1.0);
+
+    let segments: Vec<(SegmentInfo, cwsmooth_data::Segment)> = vec![
+        {
+            let info = fault_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), fault_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = application_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), application_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = power_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), power_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = infrastructure_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), infrastructure_segment(SimConfig::new(seed, s)))
+        },
+    ];
+
+    let mut rows: Vec<ExperimentRow> = Vec::new();
+    for (info, seg) in &segments {
+        println!(
+            "\n=== {} ({} sensors, {} samples, {:?}) ===",
+            seg.name,
+            seg.sensors(),
+            seg.samples(),
+            seg.task()
+        );
+        println!(
+            "{:<8} {:>9} {:>9} {:>10} {:>9} {:>9}",
+            "Method", "SigSize", "Sets", "Gen[s]", "CV[s]", "Score"
+        );
+        let roster = method_roster(seg);
+        for named in &roster {
+            let row = run_experiment(seg, info, named, seed, reps);
+            println!(
+                "{:<8} {:>9} {:>9} {:>10} {:>9} {:>9}",
+                row.method,
+                row.signature_size,
+                row.feature_sets,
+                f3(row.generation_seconds),
+                f3(row.cv_seconds),
+                f3(row.ml_score)
+            );
+            rows.push(row);
+        }
+    }
+
+    // Shape checks mirroring the paper's claims.
+    println!("\n--- shape summary (paper expectations) ---");
+    for (info, _) in &segments {
+        let seg_rows: Vec<&ExperimentRow> =
+            rows.iter().filter(|r| r.segment == info.name).collect();
+        let get = |m: &str| seg_rows.iter().find(|r| r.method == m).unwrap();
+        let tuncer = get("Tuncer");
+        let cs20 = get("CS-20");
+        let cs_all = get("CS-All");
+        println!(
+            "{:<15} size CS-20/Tuncer = {:>5.2}x smaller | time CS-20/Tuncer = {:>5.2}x faster | score CS-All−Tuncer = {:+.3}",
+            info.name,
+            tuncer.signature_size as f64 / cs20.signature_size as f64,
+            (tuncer.generation_seconds + tuncer.cv_seconds)
+                / (cs20.generation_seconds + cs20.cv_seconds).max(1e-9),
+            cs_all.ml_score - tuncer.ml_score,
+        );
+    }
+
+    let path = results_dir().join("fig3.csv");
+    let file = std::fs::File::create(&path).expect("create fig3.csv");
+    let mut table = TableWriter::new(
+        file,
+        &[
+            "segment",
+            "method",
+            "signature_size",
+            "feature_sets",
+            "generation_seconds",
+            "cv_seconds",
+            "ml_score",
+        ],
+    )
+    .unwrap();
+    for r in &rows {
+        table
+            .row(&[
+                r.segment.clone(),
+                r.method.clone(),
+                r.signature_size.to_string(),
+                r.feature_sets.to_string(),
+                format!("{:.6}", r.generation_seconds),
+                format!("{:.6}", r.cv_seconds),
+                format!("{:.6}", r.ml_score),
+            ])
+            .unwrap();
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,113 @@
+//! Regenerates **Figure 4**: Jensen-Shannon divergence (a) and ML score
+//! (b) as functions of the CS signature length `l`, including the
+//! real-components-only (`-R`) variants.
+//!
+//! For each of the first four segments and each `l ∈ {5, 10, 20, 40, All}`:
+//! compute the JS divergence between the CS signature set and the original
+//! (sorted) data per Sec. IV-A2, and the 5-fold random-forest score. The
+//! paper's expectations: JSD decreases monotonically in `l`, ML score
+//! increases; dropping the imaginary parts adds ~0.2 JSD and hurts
+//! Power/Fault most and Infrastructure least.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin fig4
+//!   [--seed S] [--scale F] [--bins B]`
+
+use cwsmooth_analysis::jsd::{cs_fidelity, cs_fidelity_real_only};
+use cwsmooth_bench::{cross_validate, f3, results_dir, train_cs_model, Args, CS_BLOCK_SWEEP};
+use cwsmooth_core::cs::CsMethod;
+use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth_data::csv::TableWriter;
+use cwsmooth_sim::segments::{
+    application_info, application_segment, fault_info, fault_segment, infrastructure_info,
+    infrastructure_segment, power_info, power_segment, SegmentInfo, SimConfig,
+};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let scale: f64 = args.get("scale", 1.0);
+    let bins: usize = args.get("bins", 64);
+
+    let segments: Vec<(SegmentInfo, cwsmooth_data::Segment)> = vec![
+        {
+            let info = fault_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), fault_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = application_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), application_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = power_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), power_segment(SimConfig::new(seed, s)))
+        },
+        {
+            let info = infrastructure_info();
+            let s = (info.default_samples as f64 * scale) as usize;
+            (info.clone(), infrastructure_segment(SimConfig::new(seed, s)))
+        },
+    ];
+
+    let path = results_dir().join("fig4.csv");
+    let file = std::fs::File::create(&path).expect("create fig4.csv");
+    let mut table = TableWriter::new(
+        file,
+        &["segment", "l", "variant", "js_divergence", "ml_score"],
+    )
+    .unwrap();
+
+    for (info, seg) in &segments {
+        let model = train_cs_model(seg);
+        let spec = info.window_spec();
+        println!("\n=== {} ===", seg.name);
+        println!(
+            "{:>7} {:>10} {:>10} {:>12} {:>12}",
+            "l", "JSD", "JSD-R", "Score", "Score-R"
+        );
+        for blocks in CS_BLOCK_SWEEP {
+            let l = blocks.unwrap_or(seg.sensors());
+            let cs = CsMethod::new(model.clone(), l).unwrap();
+            let jsd = cs_fidelity(&cs, &seg.matrix, spec, bins);
+            let jsd_r = cs_fidelity_real_only(&cs, &seg.matrix, spec, bins);
+
+            let opts = DatasetOptions {
+                spec,
+                horizon: info.horizon,
+            };
+            let ds = build_dataset(seg, &cs, opts).expect("dataset");
+            let score = cross_validate(&ds, seed).mean_score();
+            let cs_r = CsMethod::new(model.clone(), l).unwrap().real_only(true);
+            let ds_r = build_dataset(seg, &cs_r, opts).expect("dataset -R");
+            let score_r = cross_validate(&ds_r, seed).mean_score();
+
+            let l_label = if blocks.is_none() {
+                "All".to_string()
+            } else {
+                l.to_string()
+            };
+            println!(
+                "{:>7} {:>10} {:>10} {:>12} {:>12}",
+                l_label,
+                f3(jsd),
+                f3(jsd_r),
+                f3(score),
+                f3(score_r)
+            );
+            for (variant, j, s) in [("full", jsd, score), ("real-only", jsd_r, score_r)] {
+                table
+                    .row(&[
+                        seg.name.clone(),
+                        l_label.clone(),
+                        variant.to_string(),
+                        format!("{j:.6}"),
+                        format!("{s:.6}"),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    println!("\nwrote {}", path.display());
+}

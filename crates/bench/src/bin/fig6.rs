@@ -1,0 +1,72 @@
+//! Regenerates **Figure 6**: signature heatmaps (real and imaginary
+//! components, 160 blocks) for Kripke, Linpack and Quicksilver runs from
+//! the Application segment.
+//!
+//! The paper's qualitative expectations, visible in the outputs:
+//! * Kripke — clear iterative behaviour in both components;
+//! * Linpack — constant load with a pronounced initialization phase;
+//! * Quicksilver — light load but a periodic pattern at the bottom of the
+//!   imaginary components (oscillating CPU frequency).
+//!
+//! Writes `results/fig6_<app>_{re,im}.pgm` plus ASCII previews.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin fig6 [--seed S] [--blocks L]`
+
+use cwsmooth_analysis::GrayImage;
+use cwsmooth_bench::{results_dir, Args};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_data::{LabelTrack, WindowSpec};
+use cwsmooth_sim::apps::AppKind;
+use cwsmooth_sim::segments::{application_info, application_segment, SimConfig};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let blocks: usize = args.get("blocks", 160);
+    let samples: usize = args.get("samples", 4000);
+
+    let info = application_info();
+    println!("generating Application segment ({samples} samples)...");
+    let seg = application_segment(SimConfig::new(seed, samples));
+    let LabelTrack::Classes(labels) = &seg.labels else {
+        unreachable!()
+    };
+
+    // One model trained on the whole segment, reused for every app
+    // (the CS workflow: train once, apply to all new data).
+    let model = CsTrainer::default().train(&seg.matrix).expect("training");
+    let cs = CsMethod::new(model, blocks).expect("CS method");
+    let spec = WindowSpec::new(info.wl, info.ws).unwrap();
+    let dir = results_dir();
+
+    for app in [AppKind::Kripke, AppKind::Linpack, AppKind::Quicksilver] {
+        let class = app.class_id();
+        let Some(start) = labels.iter().position(|&c| c == class) else {
+            println!("warning: no {} run scheduled at this seed", app.name());
+            continue;
+        };
+        let end = start + labels[start..].iter().take_while(|&&c| c == class).count();
+        if end - start < info.wl + info.ws {
+            println!("warning: {} run too short ({} samples)", app.name(), end - start);
+            continue;
+        }
+        let run = seg.matrix.col_window(start, end).expect("run window");
+        let (re, im) = cs.signature_heatmaps(&run, spec).expect("heatmaps");
+
+        let stem = app.name().to_lowercase();
+        let re_path = dir.join(format!("fig6_{stem}_re.pgm"));
+        let im_path = dir.join(format!("fig6_{stem}_im.pgm"));
+        GrayImage::from_matrix(&re).save_pgm(&re_path).unwrap();
+        GrayImage::from_matrix(&im).save_pgm(&im_path).unwrap();
+        println!(
+            "\n=== {} (samples {start}..{end}, {} windows) ===",
+            app.name(),
+            re.cols()
+        );
+        println!("real components ({} blocks):", re.rows());
+        println!("{}", GrayImage::from_matrix(&re).resize_bilinear(20, 64).to_ascii());
+        println!("imaginary components:");
+        println!("{}", GrayImage::from_matrix(&im).resize_bilinear(20, 64).to_ascii());
+        println!("wrote {} and {}", re_path.display(), im_path.display());
+    }
+}

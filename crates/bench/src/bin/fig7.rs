@@ -1,0 +1,151 @@
+//! Regenerates **Figure 7 and the Sec. IV-F portability experiment**:
+//! application classification across three architectures with a single
+//! model, plus LAMMPS signature heatmaps per architecture.
+//!
+//! Protocol (Sec. IV-F):
+//! 1. apply CS independently to each node's data (Skylake: 52 sensors,
+//!    Knights Landing: 46, Rome: 39), producing 20-block signatures;
+//! 2. merge the three datasets into one;
+//! 3. 5-fold cross-validate, classifying applications with no knowledge of
+//!    the architecture.
+//!
+//! The paper reports F1 = 0.995 with a random forest and 0.992 with an
+//! MLP, and stresses that the baselines *cannot run this experiment at
+//! all* (their signature widths depend on the sensor count) — which this
+//! binary demonstrates.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin fig7
+//!   [--seed S] [--samples N] [--blocks L]`
+
+use cwsmooth_analysis::GrayImage;
+use cwsmooth_bench::{f3, results_dir, Args, K_FOLDS};
+use cwsmooth_core::baselines::TuncerMethod;
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::dataset::{build_dataset, merge_datasets, DatasetOptions};
+use cwsmooth_data::LabelTrack;
+use cwsmooth_ml::cv::{gather_rows, stratified_kfold};
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier};
+use cwsmooth_ml::metrics::f1_score;
+use cwsmooth_ml::mlp::{MlpClassifier, MlpConfig};
+use cwsmooth_sim::apps::AppKind;
+use cwsmooth_sim::segments::{cross_arch_info, cross_arch_segments, SimConfig};
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let samples: usize = args.get("samples", cross_arch_info().default_samples);
+    let blocks: usize = args.get("blocks", 20);
+
+    let info = cross_arch_info();
+    let spec = info.window_spec();
+    println!("generating Cross-Architecture segments ({samples} samples per node)...");
+    let segs = cross_arch_segments(SimConfig::new(seed, samples));
+
+    // Step 1: per-architecture CS datasets (independent models).
+    let mut parts = Vec::new();
+    let dir = results_dir();
+    for (arch, seg) in &segs {
+        let model = CsTrainer::default().train(&seg.matrix).expect("training");
+        let cs = CsMethod::new(model, blocks).expect("CS");
+        let ds = build_dataset(
+            seg,
+            &cs,
+            DatasetOptions {
+                spec,
+                horizon: 0,
+            },
+        )
+        .expect("dataset");
+        println!(
+            "{:<35} {} sensors -> {} windows x {} features",
+            arch.name(),
+            seg.sensors(),
+            ds.len(),
+            ds.features.cols()
+        );
+
+        // LAMMPS heatmaps per architecture (Fig. 7 panels).
+        let LabelTrack::Classes(labels) = &seg.labels else {
+            unreachable!()
+        };
+        let class = AppKind::Lammps.class_id();
+        if let Some(start) = labels.iter().position(|&c| c == class) {
+            let end = start + labels[start..].iter().take_while(|&&c| c == class).count();
+            if end - start >= spec.wl + spec.ws {
+                let run = seg.matrix.col_window(start, end).unwrap();
+                let model = CsTrainer::default().train(&seg.matrix).unwrap();
+                let cs20 = CsMethod::new(model, blocks).unwrap();
+                let (re, im) = cs20.signature_heatmaps(&run, spec).unwrap();
+                let stem = format!(
+                    "fig7_lammps_{}",
+                    match arch {
+                        cwsmooth_sim::ArchKind::Skylake => "skylake",
+                        cwsmooth_sim::ArchKind::KnightsLanding => "knl",
+                        _ => "rome",
+                    }
+                );
+                GrayImage::from_matrix(&re)
+                    .save_pgm(dir.join(format!("{stem}_re.pgm")))
+                    .unwrap();
+                GrayImage::from_matrix(&im)
+                    .save_pgm(dir.join(format!("{stem}_im.pgm")))
+                    .unwrap();
+                println!("  LAMMPS heatmaps -> results/{stem}_{{re,im}}.pgm");
+            }
+        }
+        parts.push(ds);
+    }
+
+    // Baselines cannot merge across architectures — show it.
+    let tuncer_parts: Vec<_> = segs
+        .iter()
+        .map(|(_, seg)| {
+            build_dataset(seg, &TuncerMethod, DatasetOptions { spec, horizon: 0 }).unwrap()
+        })
+        .collect();
+    match merge_datasets(&tuncer_parts) {
+        Err(e) => println!("\nTuncer baseline cannot merge across architectures: {e}"),
+        Ok(_) => println!("\nunexpected: baseline merged?!"),
+    }
+
+    // Step 2: merge CS datasets.
+    let merged = merge_datasets(&parts).expect("CS datasets are width-compatible");
+    let labels = merged.classes.as_ref().unwrap();
+    println!(
+        "\nmerged dataset: {} windows x {} features, {} classes",
+        merged.len(),
+        merged.features.cols(),
+        labels.iter().max().unwrap() + 1
+    );
+
+    // Step 3: 5-fold CV with RF and MLP.
+    let folds = stratified_kfold(labels, K_FOLDS, seed).expect("folds");
+    let mut rf_scores = Vec::new();
+    let mut mlp_scores = Vec::new();
+    for (i, fold) in folds.iter().enumerate() {
+        let xt = gather_rows(&merged.features, &fold.train);
+        let yt: Vec<usize> = fold.train.iter().map(|&s| labels[s]).collect();
+        let xs = gather_rows(&merged.features, &fold.test);
+        let ys: Vec<usize> = fold.test.iter().map(|&s| labels[s]).collect();
+
+        let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(
+            seed.wrapping_add(i as u64),
+        ));
+        rf.fit(&xt, &yt).expect("rf fit");
+        rf_scores.push(f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap());
+
+        let mut mlp = MlpClassifier::with_config(MlpConfig {
+            seed: seed.wrapping_add(i as u64),
+            max_epochs: 150,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&xt, &yt).expect("mlp fit");
+        mlp_scores.push(f1_score(&ys, &mlp.predict(&xs).unwrap()).unwrap());
+    }
+    let rf_f1 = rf_scores.iter().sum::<f64>() / rf_scores.len() as f64;
+    let mlp_f1 = mlp_scores.iter().sum::<f64>() / mlp_scores.len() as f64;
+
+    println!("\n=== Sec. IV-F results ===");
+    println!("random forest F1 (paper: 0.995): {}", f3(rf_f1));
+    println!("MLP F1           (paper: 0.992): {}", f3(mlp_f1));
+}

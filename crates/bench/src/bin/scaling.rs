@@ -1,0 +1,130 @@
+//! Signature-rescaling portability experiment (the paper's Sec. IV-B
+//! remark): train an ODA model at one signature resolution and feed it
+//! signatures computed at another, rescaled like images — "compute a
+//! single CS signature per HPC component that can then be scaled and fed
+//! into different ODA models according to their needs."
+//!
+//! Protocol, on the Application segment:
+//! 1. native: train and test on CS-`train_l` signatures (reference);
+//! 2. down-scaled: train on CS-`train_l`, test on CS-`test_l` signatures
+//!    resampled down to `train_l` (and the opposite direction);
+//! 3. pruned: test signatures with the middle blocks removed
+//!    (Sec. III-C3's aggressive compression), padded back by resampling.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin scaling
+//!   [--seed S] [--samples N]`
+
+use cwsmooth_bench::{f3, results_dir, train_cs_model, Args};
+use cwsmooth_core::cs::CsMethod;
+use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth_core::scale::{prune_middle, resample_signature};
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_data::csv::TableWriter;
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::cv::{gather_rows, stratified_kfold};
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier};
+use cwsmooth_ml::metrics::f1_score;
+use cwsmooth_sim::segments::{application_info, application_segment, SimConfig};
+
+/// Rebuilds a feature matrix by mapping each row (a `[re..., im...]`
+/// vector) through `f`.
+fn map_rows(features: &Matrix, f: impl Fn(&CsSignature) -> CsSignature) -> Matrix {
+    let l = features.cols() / 2;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(features.rows());
+    for r in 0..features.rows() {
+        let row = features.row(r);
+        let sig = CsSignature {
+            re: row[..l].to_vec(),
+            im: row[l..].to_vec(),
+        };
+        rows.push(f(&sig).to_features());
+    }
+    Matrix::from_rows(rows).expect("uniform widths")
+}
+
+/// One train/test evaluation: fit on `train` features, score on `test`.
+fn evaluate(
+    train_x: &Matrix,
+    test_x: &Matrix,
+    labels: &[usize],
+    seed: u64,
+) -> f64 {
+    let folds = stratified_kfold(labels, 5, seed).expect("folds");
+    let fold = &folds[0];
+    let xt = gather_rows(train_x, &fold.train);
+    let yt: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+    let xs = gather_rows(test_x, &fold.test);
+    let ys: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
+    let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(seed));
+    rf.fit(&xt, &yt).expect("fit");
+    f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap()
+}
+
+fn main() {
+    let args = Args::capture();
+    let seed: u64 = args.get("seed", 42);
+    let samples: usize = args.get("samples", application_info().default_samples);
+
+    let info = application_info();
+    println!("generating Application segment ({samples} samples)...");
+    let seg = application_segment(SimConfig::new(seed, samples));
+    let model = train_cs_model(&seg);
+    let spec = info.window_spec();
+    let opts = DatasetOptions { spec, horizon: 0 };
+
+    let (low_l, high_l) = (10usize, 40usize);
+    let ds_low = build_dataset(&seg, &CsMethod::new(model.clone(), low_l).unwrap(), opts).unwrap();
+    let ds_high =
+        build_dataset(&seg, &CsMethod::new(model.clone(), high_l).unwrap(), opts).unwrap();
+    let labels = ds_low.classes.as_ref().unwrap().clone();
+    assert_eq!(&labels, ds_high.classes.as_ref().unwrap());
+
+    // Rescaled variants.
+    let high_to_low = map_rows(&ds_high.features, |s| {
+        resample_signature(s, low_l).unwrap()
+    });
+    let low_to_high = map_rows(&ds_low.features, |s| {
+        resample_signature(s, high_l).unwrap()
+    });
+    // Pruned: drop the middle half of the CS-40 blocks. Train *and* test
+    // on the pruned layout — the paper's claim is that the central
+    // coefficients carry little information, not that a model trained on
+    // full signatures survives their removal unannounced.
+    let pruned = map_rows(&ds_high.features, |s| prune_middle(s, high_l / 2).unwrap());
+
+    let rows: Vec<(&str, f64)> = vec![
+        (
+            "native CS-10 (reference)",
+            evaluate(&ds_low.features, &ds_low.features, &labels, seed),
+        ),
+        (
+            "native CS-40 (reference)",
+            evaluate(&ds_high.features, &ds_high.features, &labels, seed),
+        ),
+        (
+            "train CS-10 / test CS-40 downscaled to 10",
+            evaluate(&ds_low.features, &high_to_low, &labels, seed),
+        ),
+        (
+            "train CS-40 / test CS-10 upscaled to 40",
+            evaluate(&ds_high.features, &low_to_high, &labels, seed),
+        ),
+        (
+            "CS-40 middle-pruned to 20 blocks (train & test)",
+            evaluate(&pruned, &pruned, &labels, seed),
+        ),
+    ];
+
+    println!("\n{:<48} {:>8}", "configuration", "F1");
+    let path = results_dir().join("scaling.csv");
+    let file = std::fs::File::create(&path).unwrap();
+    let mut table = TableWriter::new(file, &["configuration", "f1"]).unwrap();
+    for (name, f1) in &rows {
+        println!("{:<48} {:>8}", name, f3(*f1));
+        table
+            .row(&[name.to_string(), format!("{f1:.6}")])
+            .unwrap();
+    }
+    println!("\nwrote {}", path.display());
+    println!("expectation: rescaled/pruned rows within a few F1 points of native.");
+}

@@ -1,0 +1,231 @@
+//! Baseline signature methods from the literature (paper Sec. III-B).
+//!
+//! * **Tuncer** — eleven statistical indicators per sensor row (mean,
+//!   standard deviation, min, max, 5/25/50/75/95th percentiles, sum of
+//!   changes, absolute sum of changes). `l = 11·n`.
+//! * **Bodik** — nine order statistics per row (min, max and the
+//!   5/25/35/50/65/75/95th percentiles). `l = 9·n`.
+//! * **Lan** — each row mean-filter sub-sampled to a fixed length `wr`
+//!   and concatenated, preserving coarse time information. `l = wr·n`.
+//!
+//! Unlike CS, none of these aggregate *across* sensors, so their signature
+//! sizes scale with `n` and their outputs are incompatible across nodes
+//! with different sensor sets (the Sec. IV-F portability experiment).
+
+use crate::error::{CoreError, Result};
+use crate::method::SignatureMethod;
+use cwsmooth_linalg::{stats, Matrix};
+
+/// Tuncer et al. statistical-indicator signatures (11 features per sensor).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TuncerMethod;
+
+/// Number of indicators Tuncer emits per sensor.
+pub const TUNCER_FEATURES_PER_SENSOR: usize = 11;
+
+impl SignatureMethod for TuncerMethod {
+    fn name(&self) -> String {
+        "Tuncer".into()
+    }
+
+    fn signature_len(&self, n: usize) -> usize {
+        n * TUNCER_FEATURES_PER_SENSOR
+    }
+
+    fn compute(&self, sw: &Matrix, _history: Option<&[f64]>) -> Result<Vec<f64>> {
+        ensure_window(sw)?;
+        let mut out = Vec::with_capacity(self.signature_len(sw.rows()));
+        let mut pcts = Vec::with_capacity(5);
+        for r in 0..sw.rows() {
+            let row = sw.row(r);
+            out.push(stats::mean(row));
+            out.push(stats::std_dev(row));
+            let (lo, hi) = stats::min_max(row);
+            out.push(lo);
+            out.push(hi);
+            stats::percentiles(row, &[5.0, 25.0, 50.0, 75.0, 95.0], &mut pcts);
+            out.extend_from_slice(&pcts);
+            out.push(stats::sum_of_changes(row));
+            out.push(stats::abs_sum_of_changes(row));
+        }
+        Ok(out)
+    }
+}
+
+/// Bodik et al. percentile fingerprints (9 features per sensor).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BodikMethod;
+
+/// Number of indicators Bodik emits per sensor.
+pub const BODIK_FEATURES_PER_SENSOR: usize = 9;
+
+impl SignatureMethod for BodikMethod {
+    fn name(&self) -> String {
+        "Bodik".into()
+    }
+
+    fn signature_len(&self, n: usize) -> usize {
+        n * BODIK_FEATURES_PER_SENSOR
+    }
+
+    fn compute(&self, sw: &Matrix, _history: Option<&[f64]>) -> Result<Vec<f64>> {
+        ensure_window(sw)?;
+        let mut out = Vec::with_capacity(self.signature_len(sw.rows()));
+        let mut pcts = Vec::with_capacity(7);
+        for r in 0..sw.rows() {
+            let row = sw.row(r);
+            let (lo, hi) = stats::min_max(row);
+            out.push(lo);
+            out.push(hi);
+            stats::percentiles(
+                row,
+                &[5.0, 25.0, 35.0, 50.0, 65.0, 75.0, 95.0],
+                &mut pcts,
+            );
+            out.extend_from_slice(&pcts);
+        }
+        Ok(out)
+    }
+}
+
+/// Lan et al. sub-sampled raw time series (`wr` features per sensor).
+#[derive(Debug, Clone, Copy)]
+pub struct LanMethod {
+    wr: usize,
+}
+
+impl LanMethod {
+    /// Creates the method; `wr` is the per-sensor sub-sampled length.
+    pub fn new(wr: usize) -> Result<Self> {
+        if wr == 0 {
+            return Err(CoreError::Config("Lan wr must be >= 1".into()));
+        }
+        Ok(Self { wr })
+    }
+
+    /// Per-sensor sub-sample length.
+    pub fn wr(&self) -> usize {
+        self.wr
+    }
+}
+
+impl Default for LanMethod {
+    fn default() -> Self {
+        Self { wr: 6 }
+    }
+}
+
+impl SignatureMethod for LanMethod {
+    fn name(&self) -> String {
+        "Lan".into()
+    }
+
+    fn signature_len(&self, n: usize) -> usize {
+        n * self.wr
+    }
+
+    fn compute(&self, sw: &Matrix, _history: Option<&[f64]>) -> Result<Vec<f64>> {
+        ensure_window(sw)?;
+        let mut out = Vec::with_capacity(self.signature_len(sw.rows()));
+        for r in 0..sw.rows() {
+            out.extend(stats::mean_filter_subsample(sw.row(r), self.wr));
+        }
+        Ok(out)
+    }
+}
+
+fn ensure_window(sw: &Matrix) -> Result<()> {
+    if sw.rows() == 0 || sw.cols() == 0 {
+        return Err(CoreError::Shape(format!(
+            "window must be non-empty, got {}x{}",
+            sw.rows(),
+            sw.cols()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Matrix {
+        Matrix::from_rows([[1.0, 2.0, 3.0, 4.0], [10.0, 10.0, 10.0, 10.0]]).unwrap()
+    }
+
+    #[test]
+    fn tuncer_layout_and_values() {
+        let sig = TuncerMethod.compute(&window(), None).unwrap();
+        assert_eq!(sig.len(), 22);
+        // row 0: mean, std, min, max
+        assert!((sig[0] - 2.5).abs() < 1e-12);
+        assert!((sig[1] - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(sig[2], 1.0);
+        assert_eq!(sig[3], 4.0);
+        // p50 of 1..4 = 2.5
+        assert!((sig[6] - 2.5).abs() < 1e-12);
+        // sum of changes = 3, abs sum = 3
+        assert_eq!(sig[9], 3.0);
+        assert_eq!(sig[10], 3.0);
+        // constant row: std 0, changes 0
+        assert_eq!(sig[12], 0.0);
+        assert_eq!(sig[20], 0.0);
+    }
+
+    #[test]
+    fn bodik_layout() {
+        let sig = BodikMethod.compute(&window(), None).unwrap();
+        assert_eq!(sig.len(), 18);
+        assert_eq!(sig[0], 1.0); // min row0
+        assert_eq!(sig[1], 4.0); // max row0
+        // median at index 5 (min,max,p5,p25,p35,p50)
+        assert!((sig[5] - 2.5).abs() < 1e-12);
+        // constant row block is all 10s
+        for &v in &sig[9..] {
+            assert_eq!(v, 10.0);
+        }
+    }
+
+    #[test]
+    fn lan_subsamples_and_concatenates() {
+        let lan = LanMethod::new(2).unwrap();
+        let sig = lan.compute(&window(), None).unwrap();
+        assert_eq!(sig, vec![1.5, 3.5, 10.0, 10.0]);
+        assert_eq!(lan.signature_len(2), 4);
+    }
+
+    #[test]
+    fn lan_rejects_zero_wr() {
+        assert!(LanMethod::new(0).is_err());
+    }
+
+    #[test]
+    fn size_laws_match_paper() {
+        let n = 47;
+        assert_eq!(TuncerMethod.signature_len(n), 11 * n);
+        assert_eq!(BodikMethod.signature_len(n), 9 * n);
+        assert_eq!(LanMethod::new(6).unwrap().signature_len(n), 6 * n);
+    }
+
+    #[test]
+    fn empty_windows_rejected() {
+        let empty = Matrix::zeros(0, 4);
+        assert!(TuncerMethod.compute(&empty, None).is_err());
+        assert!(BodikMethod.compute(&empty, None).is_err());
+        assert!(LanMethod::default().compute(&empty, None).is_err());
+        let no_cols = Matrix::zeros(3, 0);
+        assert!(TuncerMethod.compute(&no_cols, None).is_err());
+    }
+
+    #[test]
+    fn single_sample_window_is_defined() {
+        let w = Matrix::from_rows([[5.0]]).unwrap();
+        let t = TuncerMethod.compute(&w, None).unwrap();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t[0], 5.0); // mean
+        assert_eq!(t[1], 0.0); // std
+        assert_eq!(t[9], 0.0); // sum of changes
+        let b = BodikMethod.compute(&w, None).unwrap();
+        assert!(b.iter().all(|&v| v == 5.0));
+    }
+}

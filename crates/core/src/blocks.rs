@@ -1,0 +1,140 @@
+//! The CS blocking scheme (paper Eq. 2).
+//!
+//! A signature has `l` blocks over `n` sorted sensors. Using the paper's
+//! 1-indexed formulation, block `i` spans sensors `b_i ..= e_i` with
+//! `b_i = 1 + ⌊(i−1)·n/l⌋` and `e_i = ⌈i·n/l⌉`. Consecutive blocks overlap
+//! by at most one sensor, and when `n % l != 0` the oversized blocks are
+//! spread uniformly over the signature by the periodicity of the modulo.
+//! Here blocks are exposed 0-indexed as half-open ranges `[start, end)`.
+
+/// Half-open sensor range `[start, end)` covered by one signature block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// First sorted-sensor index (inclusive).
+    pub start: usize,
+    /// Last sorted-sensor index (exclusive); always `> start`.
+    pub end: usize,
+}
+
+impl Block {
+    /// Number of sensors aggregated by this block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Blocks always aggregate at least one sensor.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Computes the `l` block bounds for `n` sensors (Eq. 2), 0-indexed.
+///
+/// Requires `n >= 1` and `l >= 1`; `l > n` is allowed (blocks repeat).
+pub fn block_bounds(n: usize, l: usize) -> Vec<Block> {
+    assert!(n >= 1 && l >= 1, "block_bounds requires n >= 1 and l >= 1");
+    (1..=l)
+        .map(|i| {
+            // 1-indexed bounds per the paper...
+            let b = 1 + ((i - 1) * n) / l;
+            let e = (i * n).div_ceil(l);
+            // ...mapped to a 0-indexed half-open range.
+            Block {
+                start: b - 1,
+                end: e,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition_when_divisible() {
+        let blocks = block_bounds(8, 4);
+        assert_eq!(
+            blocks,
+            vec![
+                Block { start: 0, end: 2 },
+                Block { start: 2, end: 4 },
+                Block { start: 4, end: 6 },
+                Block { start: 6, end: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlap_when_not_divisible() {
+        // n=5, l=2: paper bounds b=(1,3), e=(3,5) -> rows {0,1,2} and {2,3,4}
+        let blocks = block_bounds(5, 2);
+        assert_eq!(blocks[0], Block { start: 0, end: 3 });
+        assert_eq!(blocks[1], Block { start: 2, end: 5 });
+    }
+
+    #[test]
+    fn single_block_covers_everything() {
+        let blocks = block_bounds(7, 1);
+        assert_eq!(blocks, vec![Block { start: 0, end: 7 }]);
+    }
+
+    #[test]
+    fn l_equals_n_gives_singletons() {
+        let blocks = block_bounds(4, 4);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!((b.start, b.end), (i, i + 1));
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_sensors_repeats() {
+        let blocks = block_bounds(2, 4);
+        assert_eq!(blocks.len(), 4);
+        for b in &blocks {
+            assert!(!b.is_empty());
+            assert!(b.end <= 2);
+        }
+        // first and last sensors are both covered
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks[3].end, 2);
+    }
+
+    #[test]
+    fn invariants_over_a_grid() {
+        for n in 1..40 {
+            for l in 1..40 {
+                let blocks = block_bounds(n, l);
+                assert_eq!(blocks.len(), l);
+                // coverage: every sensor appears in at least one block
+                let mut covered = vec![false; n];
+                for b in &blocks {
+                    assert!(b.start < b.end, "n={n} l={l}");
+                    assert!(b.end <= n, "n={n} l={l}");
+                    for c in &mut covered[b.start..b.end] {
+                        *c = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} l={l} gap in coverage");
+                // monotone starts and ends
+                for w in blocks.windows(2) {
+                    assert!(w[0].start <= w[1].start);
+                    assert!(w[0].end <= w[1].end);
+                    // overlap of consecutive blocks is at most 1 sensor when l <= n
+                    if l <= n {
+                        let overlap = w[0].end.saturating_sub(w[1].start);
+                        assert!(overlap <= 1, "n={n} l={l} overlap={overlap}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_blocks_panics() {
+        block_bounds(4, 0);
+    }
+}

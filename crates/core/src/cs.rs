@@ -1,0 +1,638 @@
+//! The Correlation-wise Smoothing method (paper Sec. III-C).
+//!
+//! Three stages:
+//!
+//! 1. **Training** ([`CsTrainer`]): from a historical sensor matrix `S`,
+//!    compute the shifted correlation matrix (Eq. 1), the Algorithm 1 row
+//!    permutation and per-row min-max bounds — together a [`CsModel`].
+//!    Complexity `O(n²t)`.
+//! 2. **Sorting** ([`CsMethod::sort_window`]): min-max normalize a window
+//!    `S_w` and permute its rows, surfacing the image-like structure.
+//!    Complexity `O(wl·n)`.
+//! 3. **Smoothing** ([`CsMethod::signature`]): aggregate sorted rows into
+//!    `l` complex blocks (Eq. 2–3): real parts hold block-mean values,
+//!    imaginary parts block-mean backward differences. `O(wl·n)`.
+
+use crate::blocks::{block_bounds, Block};
+use crate::error::{CoreError, Result};
+use crate::method::SignatureMethod;
+use crate::model::CsModel;
+use crate::ordering;
+use cwsmooth_linalg::corr::{global_coefficients, shifted_correlation_matrix};
+use cwsmooth_linalg::{Complex64, Matrix, MinMax};
+
+/// Configuration for the CS training stage.
+#[derive(Debug, Clone, Default)]
+pub struct CsTrainer {
+    ordering: OrderingStrategy,
+}
+
+/// Which row-ordering strategy training uses (Algorithm 1 by default;
+/// alternatives exist for the ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingStrategy {
+    /// The paper's Algorithm 1 (greedy correlation chaining).
+    #[default]
+    CorrelationWise,
+    /// Keep raw sensor order (ablation).
+    Identity,
+    /// Sort by global coefficient only (ablation).
+    GlobalOnly,
+    /// Deterministic shuffle with the given seed (ablation).
+    Shuffled(u64),
+}
+
+impl CsTrainer {
+    /// Uses an alternative ordering strategy (ablation experiments).
+    pub fn with_ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.ordering = strategy;
+        self
+    }
+
+    /// Runs the training stage on historical data `S` (n sensors × t samples).
+    ///
+    /// Requires at least one row and at least two columns (correlation over
+    /// a single sample is meaningless).
+    pub fn train(&self, s: &Matrix) -> Result<CsModel> {
+        if s.rows() == 0 {
+            return Err(CoreError::Shape("training matrix has no rows".into()));
+        }
+        if s.cols() < 2 {
+            return Err(CoreError::Shape(format!(
+                "training matrix needs >= 2 samples, got {}",
+                s.cols()
+            )));
+        }
+        if s.has_non_finite() {
+            return Err(CoreError::Shape(
+                "training matrix contains NaN/inf; clean it first".into(),
+            ));
+        }
+        let perm = match self.ordering {
+            OrderingStrategy::CorrelationWise => {
+                let corr = shifted_correlation_matrix(s);
+                let global = global_coefficients(&corr);
+                ordering::correlation_wise(&corr, &global)
+            }
+            OrderingStrategy::Identity => ordering::identity(s.rows()),
+            OrderingStrategy::GlobalOnly => {
+                let corr = shifted_correlation_matrix(s);
+                let global = global_coefficients(&corr);
+                ordering::by_global_coefficient(&global)
+            }
+            OrderingStrategy::Shuffled(seed) => ordering::shuffled(s.rows(), seed),
+        };
+        Ok(CsModel {
+            perm,
+            bounds: MinMax::fit(s),
+        })
+    }
+}
+
+/// Which component of a complex signature block a feature came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignaturePart {
+    /// Real component (block-average value).
+    Real,
+    /// Imaginary component (block-average derivative).
+    Imaginary,
+}
+
+/// A complex-valued CS signature: `l` blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsSignature {
+    /// Real parts: block-average normalized values (static behaviour).
+    pub re: Vec<f64>,
+    /// Imaginary parts: block-average first derivatives (dynamic behaviour).
+    pub im: Vec<f64>,
+}
+
+impl CsSignature {
+    /// Number of blocks `l`.
+    pub fn blocks(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Blocks as complex numbers.
+    pub fn as_complex(&self) -> Vec<Complex64> {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(&r, &i)| Complex64::new(r, i))
+            .collect()
+    }
+
+    /// Flattens to a feature vector `[re..., im...]`.
+    pub fn to_features(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.re.len() * 2);
+        out.extend_from_slice(&self.re);
+        out.extend_from_slice(&self.im);
+        out
+    }
+
+    /// Flattens to the real components only (the paper's `-R` variants).
+    pub fn to_real_features(&self) -> Vec<f64> {
+        self.re.clone()
+    }
+}
+
+/// The CS signature method: a trained model plus a block count.
+#[derive(Debug, Clone)]
+pub struct CsMethod {
+    model: CsModel,
+    blocks: Vec<Block>,
+    /// For each *sorted* row, the block ids it contributes to (rows sit in
+    /// one block, or several when blocks overlap or `l > n`).
+    row_blocks: Vec<Vec<u32>>,
+    /// `1 / (wl-independent part of the Eq. 3 denominator)` per block:
+    /// `1 / (e_i - b_i + 1)`.
+    inv_block_len: Vec<f64>,
+    l: usize,
+    real_only: bool,
+}
+
+impl CsMethod {
+    /// Creates a CS method with `l` blocks from a trained model.
+    pub fn new(model: CsModel, l: usize) -> Result<Self> {
+        if l == 0 {
+            return Err(CoreError::Config("block count l must be >= 1".into()));
+        }
+        model.validate()?;
+        if model.n_sensors() == 0 {
+            return Err(CoreError::Shape("model covers zero sensors".into()));
+        }
+        let blocks = block_bounds(model.n_sensors(), l);
+        let mut row_blocks = vec![Vec::new(); model.n_sensors()];
+        let mut inv_block_len = Vec::with_capacity(l);
+        for (bi, b) in blocks.iter().enumerate() {
+            inv_block_len.push(1.0 / b.len() as f64);
+            for rb in &mut row_blocks[b.start..b.end] {
+                rb.push(bi as u32);
+            }
+        }
+        Ok(Self {
+            model,
+            blocks,
+            row_blocks,
+            inv_block_len,
+            l,
+            real_only: false,
+        })
+    }
+
+    /// CS with `l = n` ("CS-All" in the paper).
+    pub fn all_blocks(model: CsModel) -> Result<Self> {
+        let n = model.n_sensors();
+        Self::new(model, n.max(1))
+    }
+
+    /// Drops imaginary components from emitted features (`-R` variants).
+    pub fn real_only(mut self, yes: bool) -> Self {
+        self.real_only = yes;
+        self
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &CsModel {
+        &self.model
+    }
+
+    /// Block count `l`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Block sensor ranges (over *sorted* row indexes).
+    pub fn block_ranges(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The **raw** sensor indexes aggregated by block `block` — the paper's
+    /// root-cause-analysis hook (Sec. III-C3): "as the set of raw sensors
+    /// belonging to a block is clearly defined, root cause analysis is
+    /// simplified." Returns `None` for an out-of-range block id.
+    pub fn block_sensors(&self, block: usize) -> Option<Vec<usize>> {
+        let b = self.blocks.get(block)?;
+        Some((b.start..b.end).map(|sorted| self.model.perm[sorted]).collect())
+    }
+
+    /// Maps a flat feature index (layout `[re..., im...]`) back to its
+    /// block id and component. Returns `None` when out of range.
+    pub fn feature_origin(&self, feature: usize) -> Option<(usize, SignaturePart)> {
+        if feature < self.l {
+            Some((feature, SignaturePart::Real))
+        } else if feature < 2 * self.l && !self.real_only {
+            Some((feature - self.l, SignaturePart::Imaginary))
+        } else {
+            None
+        }
+    }
+
+    /// **Sorting stage**: normalizes `sw` with the model bounds and permutes
+    /// its rows by the learned ordering. The result can be rendered as an
+    /// image (Fig. 2 center).
+    pub fn sort_window(&self, sw: &Matrix) -> Result<Matrix> {
+        if sw.rows() != self.model.n_sensors() {
+            return Err(CoreError::Shape(format!(
+                "window has {} rows, model expects {}",
+                sw.rows(),
+                self.model.n_sensors()
+            )));
+        }
+        let normalized = self.model.bounds.apply(sw)?;
+        Ok(normalized.permute_rows(&self.model.perm)?)
+    }
+
+    /// **Smoothing stage**: computes the complex signature of a window.
+    ///
+    /// `history` is the raw (unnormalized) sensor column immediately before
+    /// the window; when absent, the first column's derivative is 0.
+    ///
+    /// Runs in a single streaming pass over `sw` (no intermediate sorted or
+    /// derivative matrices): normalization is affine so values accumulate
+    /// directly, and the backward-difference sum over a row telescopes to
+    /// `last − seed`, where the seed is the normalized history value (or
+    /// the row's own first value when no history is available).
+    pub fn signature(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<CsSignature> {
+        if sw.rows() != self.model.n_sensors() {
+            return Err(CoreError::Shape(format!(
+                "window has {} rows, model expects {}",
+                sw.rows(),
+                self.model.n_sensors()
+            )));
+        }
+        if sw.cols() == 0 {
+            return Err(CoreError::Shape("window has zero samples".into()));
+        }
+        if let Some(h) = history {
+            if h.len() != self.model.n_sensors() {
+                return Err(CoreError::Shape(format!(
+                    "history has {} entries, model expects {}",
+                    h.len(),
+                    self.model.n_sensors()
+                )));
+            }
+        }
+        let wl = sw.cols() as f64;
+        let inv_wl = 1.0 / wl;
+        let lo_bounds = self.model.bounds.lower();
+        let hi_bounds = self.model.bounds.upper();
+
+        let mut re = vec![0.0; self.l];
+        let mut im = vec![0.0; self.l];
+        for (sorted_idx, &raw) in self.model.perm.iter().enumerate() {
+            let row = sw.row(raw);
+            let lo = lo_bounds[raw];
+            let range = hi_bounds[raw] - lo;
+            let (sum, dsum) = if range <= 0.0 || !range.is_finite() {
+                // Constant sensor: normalizes to 0.5, zero derivative.
+                (0.5 * wl, 0.0)
+            } else {
+                let inv = 1.0 / range;
+                let mut sum = 0.0;
+                let mut first = 0.0;
+                let mut last = 0.0;
+                for (k, &x) in row.iter().enumerate() {
+                    let v = ((x - lo) * inv).clamp(0.0, 1.0);
+                    sum += v;
+                    if k == 0 {
+                        first = v;
+                    }
+                    last = v;
+                }
+                let seed = match history {
+                    Some(h) => ((h[raw] - lo) * inv).clamp(0.0, 1.0),
+                    None => first,
+                };
+                (sum, last - seed)
+            };
+            for &b in &self.row_blocks[sorted_idx] {
+                let w = self.inv_block_len[b as usize] * inv_wl;
+                re[b as usize] += sum * w;
+                im[b as usize] += dsum * w;
+            }
+        }
+        Ok(CsSignature { re, im })
+    }
+
+    /// Computes signatures for every window of a full matrix, returning two
+    /// heatmaps (`l` rows × one column per window): real and imaginary parts.
+    /// This is exactly the right-hand side of the paper's Fig. 2.
+    pub fn signature_heatmaps(
+        &self,
+        s: &Matrix,
+        spec: cwsmooth_data::WindowSpec,
+    ) -> Result<(Matrix, Matrix)> {
+        let windows: Vec<cwsmooth_data::Window> =
+            cwsmooth_data::WindowIter::new(spec, s.cols()).collect();
+        if windows.is_empty() {
+            return Err(CoreError::Shape(format!(
+                "matrix with {} samples yields no {}-sample windows",
+                s.cols(),
+                spec.wl
+            )));
+        }
+        let mut re = Matrix::zeros(self.l, windows.len());
+        let mut im = Matrix::zeros(self.l, windows.len());
+        for (c, w) in windows.iter().enumerate() {
+            let sub = w.extract(s)?;
+            let hist = w.history(s);
+            let sig = self.signature(&sub, hist.as_deref())?;
+            for (r, (&vr, &vi)) in sig.re.iter().zip(&sig.im).enumerate() {
+                re.set(r, c, vr);
+                im.set(r, c, vi);
+            }
+        }
+        Ok((re, im))
+    }
+}
+
+impl SignatureMethod for CsMethod {
+    fn name(&self) -> String {
+        let suffix = if self.real_only { "-R" } else { "" };
+        if self.l == self.model.n_sensors() {
+            format!("CS-All{suffix}")
+        } else {
+            format!("CS-{}{suffix}", self.l)
+        }
+    }
+
+    fn signature_len(&self, _n: usize) -> usize {
+        if self.real_only {
+            self.l
+        } else {
+            self.l * 2
+        }
+    }
+
+    fn compute(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<Vec<f64>> {
+        let sig = self.signature(sw, history)?;
+        Ok(if self.real_only {
+            sig.to_real_features()
+        } else {
+            sig.to_features()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsmooth_data::WindowSpec;
+
+    /// Correlated pair + anti-correlated row + constant row over a ramp.
+    fn train_matrix() -> Matrix {
+        Matrix::from_fn(4, 64, |r, c| {
+            let x = c as f64 / 63.0; // ramp 0..1
+            match r {
+                0 => x,
+                1 => 10.0 * x + 5.0,
+                2 => 1.0 - x,
+                _ => 7.0,
+            }
+        })
+    }
+
+    #[test]
+    fn train_produces_valid_model() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        model.validate().unwrap();
+        assert_eq!(model.n_sensors(), 4);
+    }
+
+    #[test]
+    fn train_rejects_degenerate_input() {
+        assert!(CsTrainer::default().train(&Matrix::zeros(0, 10)).is_err());
+        assert!(CsTrainer::default().train(&Matrix::zeros(3, 1)).is_err());
+        let mut bad = train_matrix();
+        bad.set(0, 0, f64::NAN);
+        assert!(CsTrainer::default().train(&bad).is_err());
+    }
+
+    #[test]
+    fn sorted_window_is_normalized_and_permuted() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model.clone(), 2).unwrap();
+        let sorted = cs.sort_window(&s).unwrap();
+        assert_eq!(sorted.shape(), s.shape());
+        for &v in sorted.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // row order follows the permutation
+        for (i, &raw) in model.perm.iter().enumerate() {
+            let expect = model.bounds.apply(&s).unwrap();
+            assert_eq!(sorted.row(i), expect.row(raw));
+        }
+    }
+
+    #[test]
+    fn signature_static_and_dynamic_parts() {
+        // Single rising sensor: re ≈ mean of normalized ramp, im > 0.
+        let s = Matrix::from_fn(1, 32, |_, c| c as f64);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 1).unwrap();
+        let sig = cs.signature(&s, None).unwrap();
+        assert_eq!(sig.blocks(), 1);
+        assert!((sig.re[0] - 0.5).abs() < 0.02, "re={}", sig.re[0]);
+        assert!(sig.im[0] > 0.0);
+    }
+
+    #[test]
+    fn constant_window_has_zero_derivative() {
+        let train = train_matrix();
+        let model = CsTrainer::default().train(&train).unwrap();
+        let cs = CsMethod::new(model, 4).unwrap();
+        let flat = Matrix::from_fn(4, 8, |r, _| train.get(r, 10));
+        let sig = cs.signature(&flat, None).unwrap();
+        for &d in &sig.im {
+            assert!(d.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn history_seeds_first_derivative() {
+        let s = Matrix::from_fn(1, 16, |_, c| c as f64);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 1).unwrap();
+        let w = s.col_window(4, 8).unwrap();
+        let no_hist = cs.signature(&w, None).unwrap();
+        let hist = s.col(3);
+        let with_hist = cs.signature(&w, Some(&hist)).unwrap();
+        // with history every step contributes 1/15 normalized; without, the
+        // first column contributes 0.
+        assert!(with_hist.im[0] > no_hist.im[0]);
+    }
+
+    #[test]
+    fn signature_len_law() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        for l in [1usize, 2, 3, 4, 9] {
+            let cs = CsMethod::new(model.clone(), l).unwrap();
+            assert_eq!(cs.signature_len(4), 2 * l);
+            let feats = cs.compute(&s, None).unwrap();
+            assert_eq!(feats.len(), 2 * l);
+            let csr = CsMethod::new(model.clone(), l).unwrap().real_only(true);
+            assert_eq!(csr.compute(&s, None).unwrap().len(), l);
+        }
+    }
+
+    #[test]
+    fn cs_all_uses_n_blocks() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::all_blocks(model).unwrap();
+        assert_eq!(cs.l(), 4);
+        assert_eq!(cs.name(), "CS-All");
+        let named = CsMethod::new(CsTrainer::default().train(&s).unwrap(), 2).unwrap();
+        assert_eq!(named.name(), "CS-2");
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 2).unwrap();
+        let wrong = Matrix::zeros(3, 10);
+        assert!(cs.signature(&wrong, None).is_err());
+        assert!(cs.sort_window(&wrong).is_err());
+        assert!(cs.signature(&s, Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn heatmaps_shape_matches_window_count() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 3).unwrap();
+        let spec = WindowSpec::new(16, 8).unwrap();
+        let (re, im) = cs.signature_heatmaps(&s, spec).unwrap();
+        let expect_windows = spec.count(64);
+        assert_eq!(re.shape(), (3, expect_windows));
+        assert_eq!(im.shape(), (3, expect_windows));
+        // real parts are means of normalized data -> within [0,1]
+        for &v in re.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn heatmaps_reject_too_short_input() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 2).unwrap();
+        let spec = WindowSpec::new(1000, 10).unwrap();
+        assert!(cs.signature_heatmaps(&s, spec).is_err());
+    }
+
+    #[test]
+    fn block_sensors_and_feature_origin() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let perm = model.perm.clone();
+        let cs = CsMethod::new(model, 2).unwrap();
+        // blocks of 2 over 4 sorted sensors
+        assert_eq!(cs.block_sensors(0).unwrap(), vec![perm[0], perm[1]]);
+        assert_eq!(cs.block_sensors(1).unwrap(), vec![perm[2], perm[3]]);
+        assert!(cs.block_sensors(2).is_none());
+        // union of all blocks covers every raw sensor
+        let mut all: Vec<usize> = (0..2).flat_map(|b| cs.block_sensors(b).unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        // feature layout: [re0, re1, im0, im1]
+        assert_eq!(cs.feature_origin(0), Some((0, SignaturePart::Real)));
+        assert_eq!(cs.feature_origin(1), Some((1, SignaturePart::Real)));
+        assert_eq!(cs.feature_origin(2), Some((0, SignaturePart::Imaginary)));
+        assert_eq!(cs.feature_origin(3), Some((1, SignaturePart::Imaginary)));
+        assert_eq!(cs.feature_origin(4), None);
+    }
+
+    /// Reference (materializing) implementation of Eq. 3, used to pin the
+    /// streaming fast path.
+    fn reference_signature(cs: &CsMethod, sw: &Matrix, history: Option<&[f64]>) -> CsSignature {
+        let sorted = cs.sort_window(sw).unwrap();
+        let sorted_hist = history.map(|h| {
+            cs.model()
+                .perm
+                .iter()
+                .map(|&raw| cs.model().bounds.scale(raw, h[raw]))
+                .collect::<Vec<f64>>()
+        });
+        let deriv = sorted.backward_diff(sorted_hist.as_deref());
+        let wl = sorted.cols() as f64;
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        for b in cs.block_ranges() {
+            let denom = wl * b.len() as f64;
+            let sum_v: f64 = (b.start..b.end).map(|r| sorted.row(r).iter().sum::<f64>()).sum();
+            let sum_d: f64 = (b.start..b.end).map(|r| deriv.row(r).iter().sum::<f64>()).sum();
+            re.push(sum_v / denom);
+            im.push(sum_d / denom);
+        }
+        CsSignature { re, im }
+    }
+
+    #[test]
+    fn streaming_signature_matches_reference() {
+        let s = Matrix::from_fn(7, 48, |r, c| {
+            ((c as f64 / (3.0 + r as f64)).sin() * (r + 1) as f64) + (r as f64 * 0.3)
+        });
+        let model = CsTrainer::default().train(&s).unwrap();
+        for l in [1usize, 3, 7, 11] {
+            let cs = CsMethod::new(model.clone(), l).unwrap();
+            let w = s.col_window(8, 24).unwrap();
+            let hist = s.col(7);
+            for history in [None, Some(hist.as_slice())] {
+                let fast = cs.signature(&w, history).unwrap();
+                let slow = reference_signature(&cs, &w, history);
+                for (a, b) in fast.re.iter().zip(&slow.re) {
+                    assert!((a - b).abs() < 1e-10, "re mismatch l={l}: {a} vs {b}");
+                }
+                for (a, b) in fast.im.iter().zip(&slow.im) {
+                    assert!((a - b).abs() < 1e-10, "im mismatch l={l}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_orderings_train() {
+        let s = train_matrix();
+        for strat in [
+            OrderingStrategy::Identity,
+            OrderingStrategy::GlobalOnly,
+            OrderingStrategy::Shuffled(7),
+        ] {
+            let model = CsTrainer::default().with_ordering(strat).train(&s).unwrap();
+            model.validate().unwrap();
+        }
+        let id = CsTrainer::default()
+            .with_ordering(OrderingStrategy::Identity)
+            .train(&s)
+            .unwrap();
+        assert_eq!(id.perm, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn correlated_rows_group_in_sorted_output() {
+        // Rows 0..=2 follow one dominant latent signal, row 3 its negation,
+        // row 4 is noise. The dominant group leads, noise sits mid-ordering,
+        // the anti-correlated sensor trails (paper Sec. III-C1).
+        let s = Matrix::from_fn(5, 128, |r, c| {
+            let latent = (c as f64 / 9.0).sin();
+            match r {
+                0 => latent,
+                1 => 3.0 * latent + 1.0,
+                2 => 0.5 * latent - 2.0,
+                3 => -2.0 * latent + 0.3,
+                _ => ((c * 48271) % 101) as f64 / 101.0,
+            }
+        });
+        let model = CsTrainer::default().train(&s).unwrap();
+        let pos = |row: usize| model.perm.iter().position(|&x| x == row).unwrap();
+        assert!(pos(0) < 3 && pos(1) < 3 && pos(2) < 3, "perm={:?}", model.perm);
+        assert_eq!(pos(4), 3, "noise should sit mid-ordering: {:?}", model.perm);
+        assert_eq!(pos(3), 4, "anti-correlated row should trail: {:?}", model.perm);
+    }
+}

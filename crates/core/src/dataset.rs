@@ -1,0 +1,327 @@
+//! Windowed feature-set extraction: from a labelled [`Segment`] to a
+//! machine-learning dataset via any [`SignatureMethod`].
+//!
+//! This mirrors the paper's experiment setup (Sec. IV-A1): each segment is
+//! processed with segment-specific `wl`/`ws`, one signature per window, and
+//! a per-window label — the majority class inside the window for
+//! classification, or the mean of the next `horizon` samples for the
+//! regression use cases (Power: next 3 samples, Infrastructure: next 30).
+
+use crate::error::{CoreError, Result};
+use crate::method::SignatureMethod;
+use cwsmooth_data::{Segment, TaskKind, Window, WindowIter, WindowSpec};
+use cwsmooth_linalg::Matrix;
+use rayon::prelude::*;
+
+/// A ready-to-train dataset: one feature row per window plus labels.
+#[derive(Debug, Clone)]
+pub struct FeatureDataset {
+    /// Features: one row per window, `signature_len(n)` columns.
+    pub features: Matrix,
+    /// Class per window (classification segments).
+    pub classes: Option<Vec<usize>>,
+    /// Continuous target per window (regression segments).
+    pub targets: Option<Vec<f64>>,
+    /// Name of the signature method that produced the features.
+    pub method: String,
+}
+
+impl FeatureDataset {
+    /// Number of samples (windows).
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Task kind inferred from which label track is present.
+    pub fn task(&self) -> TaskKind {
+        if self.classes.is_some() {
+            TaskKind::Classification
+        } else {
+            TaskKind::Regression
+        }
+    }
+}
+
+/// Options controlling dataset extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetOptions {
+    /// Window geometry (`wl`, `ws`).
+    pub spec: WindowSpec,
+    /// Regression prediction horizon in samples (ignored for
+    /// classification). The target is the mean label over the `horizon`
+    /// samples *after* the window. Windows whose horizon would run past the
+    /// end of the segment are dropped, matching the paper's dataset sizes.
+    pub horizon: usize,
+}
+
+/// Builds a [`FeatureDataset`] from a segment with any signature method.
+pub fn build_dataset(
+    segment: &Segment,
+    method: &dyn SignatureMethod,
+    options: DatasetOptions,
+) -> Result<FeatureDataset> {
+    let t = segment.samples();
+    let windows: Vec<Window> = WindowIter::new(options.spec, t).collect();
+    if windows.is_empty() {
+        return Err(CoreError::Shape(format!(
+            "segment `{}` ({} samples) yields no windows of wl={}",
+            segment.name, t, options.spec.wl
+        )));
+    }
+    let n = segment.sensors();
+    let width = method.signature_len(n);
+    let is_classification = segment.task() == TaskKind::Classification;
+
+    if !is_classification && options.horizon == 0 {
+        return Err(CoreError::Config(
+            "regression extraction needs horizon >= 1".into(),
+        ));
+    }
+    // Drop windows whose prediction horizon runs past the data.
+    let kept: Vec<Window> = windows
+        .into_iter()
+        .filter(|w| is_classification || w.end + options.horizon <= t)
+        .collect();
+    if kept.is_empty() {
+        return Err(CoreError::Shape(format!(
+            "segment `{}`: all windows dropped (horizon too long?)",
+            segment.name
+        )));
+    }
+
+    // Windows are independent: extract signatures in parallel.
+    let per_window: Vec<(Vec<f64>, usize, f64)> = kept
+        .par_iter()
+        .map(|w| -> Result<(Vec<f64>, usize, f64)> {
+            let sub = w.extract(&segment.matrix)?;
+            let hist = w.history(&segment.matrix);
+            let sig = method.compute(&sub, hist.as_deref())?;
+            if sig.len() != width {
+                return Err(CoreError::Shape(format!(
+                    "method `{}` emitted {} features, expected {width}",
+                    method.name(),
+                    sig.len()
+                )));
+            }
+            if is_classification {
+                Ok((sig, segment.window_class(w.start, w.end)?, 0.0))
+            } else {
+                let target = segment.window_target(w.end, w.end + options.horizon)?;
+                Ok((sig, 0, target))
+            }
+        })
+        .collect::<Result<_>>()?;
+
+    let mut rows: Vec<f64> = Vec::with_capacity(per_window.len() * width);
+    let mut classes = Vec::new();
+    let mut targets = Vec::new();
+    for (sig, class, target) in per_window {
+        rows.extend_from_slice(&sig);
+        if is_classification {
+            classes.push(class);
+        } else {
+            targets.push(target);
+        }
+    }
+    let features = Matrix::from_vec(kept.len(), width, rows)?;
+    Ok(FeatureDataset {
+        features,
+        classes: if is_classification {
+            Some(classes)
+        } else {
+            None
+        },
+        targets: if is_classification {
+            None
+        } else {
+            Some(targets)
+        },
+        method: method.name(),
+    })
+}
+
+/// Merges datasets produced by *compatible* methods (same feature width),
+/// e.g. per-architecture CS datasets in the Sec. IV-F portability
+/// experiment. Baseline methods with different sensor counts fail here —
+/// which is precisely the paper's point.
+pub fn merge_datasets(parts: &[FeatureDataset]) -> Result<FeatureDataset> {
+    let first = parts
+        .first()
+        .ok_or_else(|| CoreError::Shape("merge of zero datasets".into()))?;
+    let width = first.features.cols();
+    let task = first.task();
+    for p in parts {
+        if p.features.cols() != width {
+            return Err(CoreError::Shape(format!(
+                "incompatible signature widths: {} vs {width} — methods without \
+                 cross-sensor aggregation cannot be merged across architectures",
+                p.features.cols()
+            )));
+        }
+        if p.task() != task {
+            return Err(CoreError::Shape("mixed task kinds in merge".into()));
+        }
+    }
+    let mats: Vec<&Matrix> = parts.iter().map(|p| &p.features).collect();
+    let features = Matrix::vstack(&mats)?;
+    let classes = if task == TaskKind::Classification {
+        Some(
+            parts
+                .iter()
+                .flat_map(|p| p.classes.as_ref().unwrap().iter().copied())
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let targets = if task == TaskKind::Regression {
+        Some(
+            parts
+                .iter()
+                .flat_map(|p| p.targets.as_ref().unwrap().iter().copied())
+                .collect(),
+        )
+    } else {
+        None
+    };
+    Ok(FeatureDataset {
+        features,
+        classes,
+        targets,
+        method: first.method.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::TuncerMethod;
+    use crate::cs::{CsMethod, CsTrainer};
+    use cwsmooth_data::LabelTrack;
+
+    fn class_segment() -> Segment {
+        let t = 40;
+        let m = Matrix::from_fn(3, t, |r, c| {
+            let phase = if c < 20 { 1.0 } else { 5.0 };
+            phase * (r + 1) as f64 + (c % 3) as f64 * 0.1
+        });
+        let labels: Vec<usize> = (0..t).map(|c| usize::from(c >= 20)).collect();
+        Segment::new(
+            "cls",
+            m,
+            vec!["s0".into(), "s1".into(), "s2".into()],
+            (0..t as u64).collect(),
+            LabelTrack::Classes(labels),
+        )
+        .unwrap()
+    }
+
+    fn reg_segment() -> Segment {
+        let t = 30;
+        let m = Matrix::from_fn(2, t, |r, c| (c as f64) * (r + 1) as f64);
+        let values: Vec<f64> = (0..t).map(|c| c as f64).collect();
+        Segment::new(
+            "reg",
+            m,
+            vec!["s0".into(), "s1".into()],
+            (0..t as u64).collect(),
+            LabelTrack::Values(values),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification_dataset_shape_and_labels() {
+        let seg = class_segment();
+        let spec = WindowSpec::new(10, 5).unwrap();
+        let ds = build_dataset(
+            &seg,
+            &TuncerMethod,
+            DatasetOptions { spec, horizon: 0 },
+        )
+        .unwrap();
+        assert_eq!(ds.len(), spec.count(40));
+        assert_eq!(ds.features.cols(), 33);
+        let classes = ds.classes.as_ref().unwrap();
+        assert_eq!(classes[0], 0);
+        assert_eq!(*classes.last().unwrap(), 1);
+        assert!(ds.targets.is_none());
+    }
+
+    #[test]
+    fn regression_dataset_horizon_targets() {
+        let seg = reg_segment();
+        let spec = WindowSpec::new(5, 5).unwrap();
+        let ds = build_dataset(
+            &seg,
+            &TuncerMethod,
+            DatasetOptions { spec, horizon: 3 },
+        )
+        .unwrap();
+        // windows at 0..5,5..10,...; last window 25..30 dropped (horizon).
+        assert_eq!(ds.len(), 5);
+        let targets = ds.targets.as_ref().unwrap();
+        // first window ends at 5 -> mean of labels 5,6,7 = 6
+        assert!((targets[0] - 6.0).abs() < 1e-12);
+        assert!(ds.classes.is_none());
+    }
+
+    #[test]
+    fn regression_requires_horizon() {
+        let seg = reg_segment();
+        let spec = WindowSpec::new(5, 5).unwrap();
+        assert!(build_dataset(
+            &seg,
+            &TuncerMethod,
+            DatasetOptions { spec, horizon: 0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn too_long_window_errors() {
+        let seg = class_segment();
+        let spec = WindowSpec::new(100, 1).unwrap();
+        assert!(build_dataset(
+            &seg,
+            &TuncerMethod,
+            DatasetOptions { spec, horizon: 0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cs_datasets_merge_across_architectures() {
+        // Two "architectures" with different sensor counts but equal l.
+        let seg_a = class_segment(); // 3 sensors
+        let m_b = Matrix::from_fn(5, 40, |r, c| ((c / 10) * (r + 1)) as f64 + 0.01 * c as f64);
+        let seg_b = Segment::new(
+            "arch-b",
+            m_b,
+            (0..5).map(|i| format!("s{i}")).collect(),
+            (0..40).collect(),
+            LabelTrack::Classes((0..40).map(|c| usize::from(c >= 20)).collect()),
+        )
+        .unwrap();
+        let spec = WindowSpec::new(10, 5).unwrap();
+        let opts = DatasetOptions { spec, horizon: 0 };
+
+        let cs_a = CsMethod::new(CsTrainer::default().train(&seg_a.matrix).unwrap(), 2).unwrap();
+        let cs_b = CsMethod::new(CsTrainer::default().train(&seg_b.matrix).unwrap(), 2).unwrap();
+        let ds_a = build_dataset(&seg_a, &cs_a, opts).unwrap();
+        let ds_b = build_dataset(&seg_b, &cs_b, opts).unwrap();
+        let merged = merge_datasets(&[ds_a.clone(), ds_b]).unwrap();
+        assert_eq!(merged.features.cols(), 4); // 2 blocks x (re+im)
+        assert_eq!(merged.len(), 14);
+
+        // Baselines cannot merge: widths differ (33 vs 55).
+        let t_a = build_dataset(&seg_a, &TuncerMethod, opts).unwrap();
+        let t_b = build_dataset(&seg_b, &TuncerMethod, opts).unwrap();
+        assert!(merge_datasets(&[t_a, t_b]).is_err());
+    }
+}

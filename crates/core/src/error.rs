@@ -1,0 +1,65 @@
+//! Error type for the signature layer.
+
+use std::fmt;
+
+/// Errors produced while training CS models or computing signatures.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The input matrix shape is unusable (empty, wrong row count, ...).
+    Shape(String),
+    /// Bad configuration (zero blocks, zero-length window, ...).
+    Config(String),
+    /// Model persistence failed.
+    Persist(String),
+    /// Propagated matrix error.
+    Linalg(cwsmooth_linalg::Error),
+    /// Propagated data-layer error.
+    Data(cwsmooth_data::DataError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Shape(m) => write!(f, "shape error: {m}"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+            CoreError::Persist(m) => write!(f, "model persistence error: {m}"),
+            CoreError::Linalg(e) => write!(f, "matrix error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cwsmooth_linalg::Error> for CoreError {
+    fn from(e: cwsmooth_linalg::Error) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<cwsmooth_data::DataError> for CoreError {
+    fn from(e: cwsmooth_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Convenience alias for the signature layer.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,47 @@
+//! The common interface implemented by every signature method.
+
+use crate::error::Result;
+use cwsmooth_linalg::Matrix;
+
+/// A signature method `Sig()` (paper Sec. III-A): maps a window `S_w`
+/// (`n` sensors × `wl` samples) to a flat feature vector of length
+/// `signature_len(n)`, with `signature_len(n) << n * wl`.
+///
+/// `history` optionally carries the column of sensor readings immediately
+/// preceding the window, allowing methods that use derivatives (CS) to seed
+/// their backward differences without looking into the future. Methods that
+/// do not need history ignore it.
+pub trait SignatureMethod: Send + Sync {
+    /// Human-readable method name (e.g. `"Tuncer"`, `"CS-20"`).
+    fn name(&self) -> String;
+
+    /// Output feature-vector length for `n` input sensors.
+    fn signature_len(&self, n: usize) -> usize;
+
+    /// Computes the signature of one window.
+    fn compute(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<Vec<f64>>;
+}
+
+impl<T: SignatureMethod + ?Sized> SignatureMethod for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn signature_len(&self, n: usize) -> usize {
+        (**self).signature_len(n)
+    }
+    fn compute(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<Vec<f64>> {
+        (**self).compute(sw, history)
+    }
+}
+
+impl SignatureMethod for Box<dyn SignatureMethod> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn signature_len(&self, n: usize) -> usize {
+        (**self).signature_len(n)
+    }
+    fn compute(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<Vec<f64>> {
+        (**self).compute(sw, history)
+    }
+}

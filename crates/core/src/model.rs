@@ -1,0 +1,221 @@
+//! The persistable CS model: permutation vector + normalization bounds.
+//!
+//! The training stage is performed once (potentially offline) and its
+//! output — a [`CsModel`] — is reused by every subsequent sorting/smoothing
+//! invocation (paper Sec. III-C1–2). Models can be stored to a simple
+//! line-oriented text format and reloaded, enabling the "train once, share
+//! across ODA consumers" workflow the paper advocates.
+
+use crate::error::{CoreError, Result};
+use cwsmooth_linalg::MinMax;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A trained CS model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsModel {
+    /// Row permutation: sorted row `i` is raw row `perm[i]` (Algorithm 1).
+    pub perm: Vec<usize>,
+    /// Per-raw-row min/max bounds for normalization.
+    pub bounds: MinMax,
+}
+
+const MAGIC: &str = "cwsmooth-cs-model v1";
+
+impl CsModel {
+    /// Number of sensors this model was trained for.
+    pub fn n_sensors(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Validates internal consistency (permutation bijective, bounds match).
+    pub fn validate(&self) -> Result<()> {
+        let n = self.perm.len();
+        if self.bounds.len() != n {
+            return Err(CoreError::Shape(format!(
+                "model has {n} permutation entries but {} bounds",
+                self.bounds.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &p in &self.perm {
+            if p >= n || seen[p] {
+                return Err(CoreError::Shape(
+                    "permutation is not a bijection over 0..n".into(),
+                ));
+            }
+            seen[p] = true;
+        }
+        Ok(())
+    }
+
+    /// Serializes the model to a writer in the v1 text format.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<()> {
+        self.validate()?;
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "n {}", self.perm.len())?;
+        writeln!(
+            w,
+            "perm {}",
+            self.perm
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )?;
+        writeln!(w, "lo {}", join_floats(self.bounds.lower()))?;
+        writeln!(w, "hi {}", join_floats(self.bounds.upper()))?;
+        Ok(())
+    }
+
+    /// Saves the model to a file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.save(std::io::BufWriter::new(file))
+    }
+
+    /// Deserializes a model from the v1 text format.
+    pub fn load<R: Read>(r: R) -> Result<Self> {
+        let mut lines = BufReader::new(r).lines();
+        let mut next = |what: &str| -> Result<String> {
+            lines
+                .next()
+                .transpose()?
+                .ok_or_else(|| CoreError::Persist(format!("missing {what} line")))
+        };
+        let magic = next("magic")?;
+        if magic.trim() != MAGIC {
+            return Err(CoreError::Persist(format!(
+                "bad magic line: `{}`",
+                magic.trim()
+            )));
+        }
+        let n: usize = field(&next("n")?, "n")?
+            .parse()
+            .map_err(|e| CoreError::Persist(format!("bad n: {e}")))?;
+        let perm: Vec<usize> = parse_list(&field(&next("perm")?, "perm")?)?;
+        let lo: Vec<f64> = parse_list(&field(&next("lo")?, "lo")?)?;
+        let hi: Vec<f64> = parse_list(&field(&next("hi")?, "hi")?)?;
+        if perm.len() != n || lo.len() != n || hi.len() != n {
+            return Err(CoreError::Persist(format!(
+                "inconsistent lengths: n={n} perm={} lo={} hi={}",
+                perm.len(),
+                lo.len(),
+                hi.len()
+            )));
+        }
+        let model = CsModel {
+            perm,
+            bounds: MinMax::from_bounds(lo, hi)?,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Loads a model from a file.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::load(file)
+    }
+}
+
+fn join_floats(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| format!("{x:?}")) // {:?} preserves full f64 precision
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn field(line: &str, key: &str) -> Result<String> {
+    let line = line.trim();
+    line.strip_prefix(key)
+        .map(|rest| rest.trim().to_string())
+        .ok_or_else(|| CoreError::Persist(format!("expected `{key} ...`, got `{line}`")))
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>>
+where
+    T::Err: std::fmt::Display,
+{
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split_whitespace()
+        .map(|tok| {
+            tok.parse::<T>()
+                .map_err(|e| CoreError::Persist(format!("bad token `{tok}`: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> CsModel {
+        CsModel {
+            perm: vec![2, 0, 1],
+            bounds: MinMax::from_bounds(vec![0.0, -1.5, 3.25], vec![1.0, 2.5, 10.0]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let back = CsModel::load(buf.as_slice()).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cwsmooth-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let model = sample_model();
+        model.save_file(&path).unwrap();
+        assert_eq!(CsModel::load_file(&path).unwrap(), model);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn precision_survives_roundtrip() {
+        let model = CsModel {
+            perm: vec![0],
+            bounds: MinMax::from_bounds(vec![0.1 + 0.2], vec![1.0 / 3.0]).unwrap(),
+        };
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let back = CsModel::load(buf.as_slice()).unwrap();
+        assert_eq!(back.bounds.lower()[0], 0.1 + 0.2);
+        assert_eq!(back.bounds.upper()[0], 1.0 / 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_corruption() {
+        assert!(CsModel::load("nonsense\n".as_bytes()).is_err());
+        let mut buf = Vec::new();
+        sample_model().save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let corrupted = text.replace("perm 2 0 1", "perm 2 0 9");
+        assert!(CsModel::load(corrupted.as_bytes()).is_err());
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(CsModel::load(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn validate_catches_broken_models() {
+        let broken = CsModel {
+            perm: vec![0, 0],
+            bounds: MinMax::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap(),
+        };
+        assert!(broken.validate().is_err());
+        let mismatched = CsModel {
+            perm: vec![0, 1],
+            bounds: MinMax::from_bounds(vec![0.0], vec![1.0]).unwrap(),
+        };
+        assert!(mismatched.validate().is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Streaming (online) CS signature extraction.
+//!
+//! The paper designs CS "around online operation" and lists a dedicated
+//! online implementation as future work (Sec. V). This module provides it:
+//! an [`OnlineCs`] processor ingests one sensor *column* at a time — the
+//! shape in which a monitoring agent actually delivers readings — keeps a
+//! ring buffer of the last `wl` samples plus one sample of history, and
+//! emits a signature every `ws` samples. Emissions are bit-identical to
+//! the batch pipeline (`WindowIter` + [`CsMethod::signature`]), which the
+//! tests pin down.
+
+use crate::cs::{CsMethod, CsSignature};
+use crate::error::{CoreError, Result};
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// Streaming CS processor: push columns, receive signatures.
+///
+/// ```
+/// use cwsmooth_core::cs::{CsMethod, CsTrainer};
+/// use cwsmooth_core::online::OnlineCs;
+/// use cwsmooth_data::WindowSpec;
+/// use cwsmooth_linalg::Matrix;
+///
+/// // Train offline on historical data (2 sensors, 50 samples).
+/// let history = Matrix::from_fn(2, 50, |r, c| (c as f64) * (r + 1) as f64);
+/// let model = CsTrainer::default().train(&history).unwrap();
+/// let cs = CsMethod::new(model, 2).unwrap();
+///
+/// // Stream live columns; a signature arrives every `ws` samples.
+/// let mut online = OnlineCs::new(cs, WindowSpec::new(10, 5).unwrap());
+/// let mut emitted = 0;
+/// for c in 0..50 {
+///     let column = [c as f64, 2.0 * c as f64];
+///     if online.push(&column).unwrap().is_some() {
+///         emitted += 1;
+///     }
+/// }
+/// assert_eq!(emitted, 9); // (50 - 10) / 5 + 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineCs {
+    cs: CsMethod,
+    spec: WindowSpec,
+    /// Last `wl` columns (each `n` readings), oldest first.
+    buffer: VecDeque<Vec<f64>>,
+    /// The column that immediately preceded the current buffer head.
+    history: Option<Vec<f64>>,
+    /// Total columns ingested so far.
+    ingested: usize,
+    /// Scratch matrix reused across emissions.
+    scratch: Matrix,
+}
+
+impl OnlineCs {
+    /// Creates a processor; `spec` is the window geometry (`wl`, `ws`).
+    pub fn new(cs: CsMethod, spec: WindowSpec) -> Self {
+        let n = cs.model().n_sensors();
+        let scratch = Matrix::zeros(n, spec.wl);
+        Self {
+            cs,
+            spec,
+            buffer: VecDeque::with_capacity(spec.wl + 1),
+            history: None,
+            ingested: 0,
+            scratch,
+        }
+    }
+
+    /// Number of sensors expected per column.
+    pub fn n_sensors(&self) -> usize {
+        self.cs.model().n_sensors()
+    }
+
+    /// Columns ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// The wrapped method (e.g. to inspect the block layout).
+    pub fn method(&self) -> &CsMethod {
+        &self.cs
+    }
+
+    /// Ingests one column of sensor readings (length `n_sensors`).
+    ///
+    /// Returns `Some(signature)` whenever a window completes: the first
+    /// after `wl` samples, then one every `ws` samples, matching the batch
+    /// windowing exactly.
+    pub fn push(&mut self, column: &[f64]) -> Result<Option<CsSignature>> {
+        if column.len() != self.n_sensors() {
+            return Err(CoreError::Shape(format!(
+                "column has {} readings, model expects {}",
+                column.len(),
+                self.n_sensors()
+            )));
+        }
+        if self.buffer.len() == self.spec.wl {
+            // Oldest buffered column becomes the history sample.
+            let old = self.buffer.pop_front().expect("buffer non-empty");
+            self.history = Some(old);
+        }
+        self.buffer.push_back(column.to_vec());
+        self.ingested += 1;
+
+        // Window [ingested - wl, ingested) completes at this sample when
+        // the buffer is full and the start is a multiple of ws.
+        if self.buffer.len() == self.spec.wl && (self.ingested - self.spec.wl).is_multiple_of(self.spec.ws)
+        {
+            // Materialize the window into the scratch matrix (columns of
+            // the ring become columns of S_w).
+            for (c, col) in self.buffer.iter().enumerate() {
+                for (r, &v) in col.iter().enumerate() {
+                    self.scratch.set(r, c, v);
+                }
+            }
+            let sig = self.cs.signature(&self.scratch, self.history.as_deref())?;
+            return Ok(Some(sig));
+        }
+        Ok(None)
+    }
+
+    /// Drops all buffered state (e.g. after a monitoring gap, when
+    /// windows must not straddle the discontinuity).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.history = None;
+        self.ingested = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::CsTrainer;
+    use cwsmooth_data::WindowIter;
+
+    fn training_matrix(n: usize, t: usize) -> Matrix {
+        Matrix::from_fn(n, t, |r, c| {
+            ((c as f64 / (4.0 + r as f64)).sin() * (r + 1) as f64) + 0.1 * r as f64
+        })
+    }
+
+    fn batch_signatures(cs: &CsMethod, s: &Matrix, spec: WindowSpec) -> Vec<CsSignature> {
+        WindowIter::new(spec, s.cols())
+            .map(|w| {
+                let sub = w.extract(s).unwrap();
+                let hist = w.history(s);
+                cs.signature(&sub, hist.as_deref()).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_exactly() {
+        let s = training_matrix(6, 100);
+        let model = CsTrainer::default().train(&s).unwrap();
+        for (wl, ws) in [(10usize, 5usize), (8, 8), (7, 3), (1, 1)] {
+            let spec = WindowSpec::new(wl, ws).unwrap();
+            let cs = CsMethod::new(model.clone(), 3).unwrap();
+            let batch = batch_signatures(&cs, &s, spec);
+
+            let mut online = OnlineCs::new(cs, spec);
+            let mut streamed = Vec::new();
+            for c in 0..s.cols() {
+                if let Some(sig) = online.push(&s.col(c)).unwrap() {
+                    streamed.push(sig);
+                }
+            }
+            assert_eq!(streamed.len(), batch.len(), "wl={wl} ws={ws}");
+            for (a, b) in streamed.iter().zip(&batch) {
+                for (x, y) in a.re.iter().zip(&b.re) {
+                    assert!((x - y).abs() < 1e-12, "re wl={wl} ws={ws}");
+                }
+                for (x, y) in a.im.iter().zip(&b.im) {
+                    assert!((x - y).abs() < 1e-12, "im wl={wl} ws={ws}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emission_cadence() {
+        let s = training_matrix(4, 60);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(10, 4).unwrap();
+        let mut online = OnlineCs::new(CsMethod::new(model, 2).unwrap(), spec);
+        let mut emit_at = Vec::new();
+        for c in 0..60 {
+            if online.push(&s.col(c)).unwrap().is_some() {
+                emit_at.push(c);
+            }
+        }
+        // first emission after wl samples (index wl-1), then every ws
+        assert_eq!(emit_at[0], 9);
+        for pair in emit_at.windows(2) {
+            assert_eq!(pair[1] - pair[0], 4);
+        }
+        assert_eq!(emit_at.len(), spec.count(60));
+    }
+
+    #[test]
+    fn rejects_wrong_column_width() {
+        let s = training_matrix(4, 40);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(5, 5).unwrap();
+        let mut online = OnlineCs::new(CsMethod::new(model, 2).unwrap(), spec);
+        assert!(online.push(&[0.0; 3]).is_err());
+        assert!(online.push(&[0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let s = training_matrix(4, 40);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(5, 5).unwrap();
+        let mut online = OnlineCs::new(CsMethod::new(model, 2).unwrap(), spec);
+        for c in 0..4 {
+            assert!(online.push(&s.col(c)).unwrap().is_none());
+        }
+        online.reset();
+        assert_eq!(online.ingested(), 0);
+        // needs a full wl again before emitting
+        for c in 0..4 {
+            assert!(online.push(&s.col(c)).unwrap().is_none());
+        }
+        assert!(online.push(&s.col(4)).unwrap().is_some());
+    }
+}

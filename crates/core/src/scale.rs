@@ -1,0 +1,252 @@
+//! Signature rescaling: CS signatures behave like 1-D images.
+//!
+//! Because every block covers a well-defined range of sorted sensors, a
+//! signature of `l` blocks can be resampled to any other block count —
+//! the paper's portability trick (Sec. IV-B): "train models using
+//! low-resolution signatures and then feed down-scaled high-resolution
+//! signatures to them (or do the opposite), allowing to compute a single
+//! CS signature per HPC component that can then be scaled and fed into
+//! different ODA models according to their needs."
+
+use crate::cs::CsSignature;
+use crate::error::{CoreError, Result};
+
+/// Resamples one channel (re or im) to `new_l` points.
+///
+/// Downscaling uses **area averaging** (each coarse block is the weighted
+/// mean of the fine blocks it covers) — this is the operation that makes a
+/// down-scaled CS-40 signature approximate a natively computed CS-10 one,
+/// since CS blocks are themselves means over sensor ranges. Upscaling uses
+/// linear interpolation over block centers.
+fn resample_channel(xs: &[f64], new_l: usize) -> Vec<f64> {
+    let l = xs.len();
+    debug_assert!(l >= 1 && new_l >= 1);
+    if l == new_l {
+        return xs.to_vec();
+    }
+    if new_l < l {
+        // Area average: target block i covers source span
+        // [i*l/new_l, (i+1)*l/new_l), with fractional edge weights.
+        let ratio = l as f64 / new_l as f64;
+        return (0..new_l)
+            .map(|i| {
+                let lo = i as f64 * ratio;
+                let hi = (i + 1) as f64 * ratio;
+                let mut sum = 0.0;
+                let mut weight = 0.0;
+                let mut j = lo.floor() as usize;
+                while (j as f64) < hi && j < l {
+                    let cover = (hi.min((j + 1) as f64) - lo.max(j as f64)).max(0.0);
+                    sum += xs[j] * cover;
+                    weight += cover;
+                    j += 1;
+                }
+                sum / weight
+            })
+            .collect();
+    }
+    // Upscale: linear interpolation over block centers.
+    (0..new_l)
+        .map(|i| {
+            let pos = (i as f64 + 0.5) * l as f64 / new_l as f64 - 0.5;
+            let pos = pos.clamp(0.0, (l - 1) as f64);
+            let i0 = pos.floor() as usize;
+            let i1 = (i0 + 1).min(l - 1);
+            let frac = pos - i0 as f64;
+            xs[i0] * (1.0 - frac) + xs[i1] * frac
+        })
+        .collect()
+}
+
+/// Rescales a signature to `new_l` blocks (both channels, linear
+/// interpolation). Both up- and down-scaling are supported.
+pub fn resample_signature(sig: &CsSignature, new_l: usize) -> Result<CsSignature> {
+    if new_l == 0 {
+        return Err(CoreError::Config("target block count must be >= 1".into()));
+    }
+    if sig.blocks() == 0 {
+        return Err(CoreError::Shape("cannot resample an empty signature".into()));
+    }
+    Ok(CsSignature {
+        re: resample_channel(&sig.re, new_l),
+        im: resample_channel(&sig.im, new_l),
+    })
+}
+
+/// Rescales a flat feature vector produced by
+/// [`crate::cs::CsMethod`]'s `compute` (layout `[re..., im...]`, length
+/// `2·l`) to the layout of a model trained at `new_l` blocks.
+pub fn resample_features(features: &[f64], new_l: usize) -> Result<Vec<f64>> {
+    if !features.len().is_multiple_of(2) || features.is_empty() {
+        return Err(CoreError::Shape(format!(
+            "feature vector of length {} is not a [re..., im...] CS layout",
+            features.len()
+        )));
+    }
+    let l = features.len() / 2;
+    let sig = CsSignature {
+        re: features[..l].to_vec(),
+        im: features[l..].to_vec(),
+    };
+    Ok(resample_signature(&sig, new_l)?.to_features())
+}
+
+/// Prunes the central blocks of a signature, keeping the `keep` most
+/// informative blocks — `keep/2` from the top of the ordering (positively
+/// correlated, descriptive sensors) and `keep/2` from the bottom
+/// (anti-correlated descriptive sensors).
+///
+/// This is the paper's "more aggressive compression" (Sec. III-C3): "as
+/// the central signature coefficients represent the least insightful
+/// sensors in the system, they can be potentially eliminated with minimal
+/// loss of information."
+pub fn prune_middle(sig: &CsSignature, keep: usize) -> Result<CsSignature> {
+    let l = sig.blocks();
+    if keep == 0 {
+        return Err(CoreError::Config("must keep at least one block".into()));
+    }
+    if keep >= l {
+        return Ok(sig.clone());
+    }
+    let head = keep.div_ceil(2);
+    let tail = keep - head;
+    let mut re = Vec::with_capacity(keep);
+    let mut im = Vec::with_capacity(keep);
+    re.extend_from_slice(&sig.re[..head]);
+    im.extend_from_slice(&sig.im[..head]);
+    re.extend_from_slice(&sig.re[l - tail..]);
+    im.extend_from_slice(&sig.im[l - tail..]);
+    Ok(CsSignature { re, im })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(re: Vec<f64>, im: Vec<f64>) -> CsSignature {
+        CsSignature { re, im }
+    }
+
+    #[test]
+    fn identity_resample() {
+        let s = sig(vec![0.1, 0.5, 0.9], vec![0.0, -0.1, 0.2]);
+        let r = resample_signature(&s, 3).unwrap();
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    fn upscale_preserves_endpoints_and_monotonicity() {
+        let s = sig(vec![0.0, 0.5, 1.0], vec![0.0; 3]);
+        let up = resample_signature(&s, 9).unwrap();
+        assert_eq!(up.blocks(), 9);
+        assert_eq!(up.re[0], 0.0);
+        assert_eq!(up.re[8], 1.0);
+        for w in up.re.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn downscale_averages_locally() {
+        let s = sig(vec![0.0, 0.0, 1.0, 1.0], vec![0.0; 4]);
+        let down = resample_signature(&s, 2).unwrap();
+        // block centers land on the plateaus
+        assert!(down.re[0] < 0.3);
+        assert!(down.re[1] > 0.7);
+    }
+
+    #[test]
+    fn round_trip_is_lossless_for_smooth_signatures() {
+        // Linear ramp: up- then down-scaling must reproduce it closely.
+        let re: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+        let s = sig(re.clone(), vec![0.0; 10]);
+        let up = resample_signature(&s, 40).unwrap();
+        let back = resample_signature(&up, 10).unwrap();
+        for (a, b) in back.re.iter().zip(&re) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn values_stay_in_hull() {
+        let s = sig(vec![0.2, 0.9, 0.1, 0.7], vec![-0.3, 0.4, 0.0, -0.1]);
+        for new_l in [1usize, 2, 3, 7, 16] {
+            let r = resample_signature(&s, new_l).unwrap();
+            for &v in &r.re {
+                assert!((0.1..=0.9).contains(&v));
+            }
+            for &v in &r.im {
+                assert!((-0.3..=0.4).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn downscaled_high_res_equals_native_low_res_when_aligned() {
+        // n = 80 sensors: CS-40 blocks of 2 and CS-10 blocks of 8 share
+        // boundaries, so area-averaging CS-40 down to 10 must reproduce the
+        // native CS-10 signature exactly (means of means, equal weights).
+        use crate::cs::{CsMethod, CsTrainer};
+        use cwsmooth_linalg::Matrix;
+        let s = Matrix::from_fn(80, 64, |r, c| {
+            ((c as f64 / (3.0 + (r % 7) as f64)).sin() * (r + 1) as f64) + r as f64 * 0.1
+        });
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs40 = CsMethod::new(model.clone(), 40).unwrap();
+        let cs10 = CsMethod::new(model, 10).unwrap();
+        let w = s.col_window(8, 40).unwrap();
+        let hist = s.col(7);
+        let hi = cs40.signature(&w, Some(&hist)).unwrap();
+        let native = cs10.signature(&w, Some(&hist)).unwrap();
+        let down = resample_signature(&hi, 10).unwrap();
+        for (a, b) in down.re.iter().zip(&native.re) {
+            assert!((a - b).abs() < 1e-10, "re {a} vs {b}");
+        }
+        for (a, b) in down.im.iter().zip(&native.im) {
+            assert!((a - b).abs() < 1e-10, "im {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn feature_vector_resampling() {
+        let feats = vec![0.0, 1.0, /* im: */ 0.5, -0.5];
+        let out = resample_features(&feats, 4).unwrap();
+        assert_eq!(out.len(), 8);
+        // layout preserved: first half re, second half im
+        assert!(out[..4].iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out[4..].iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        assert!(resample_features(&[1.0, 2.0, 3.0], 2).is_err());
+        assert!(resample_features(&[], 2).is_err());
+    }
+
+    #[test]
+    fn prune_middle_keeps_extremes() {
+        let s = sig(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        );
+        let p = prune_middle(&s, 4).unwrap();
+        assert_eq!(p.re, vec![1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(p.im, vec![10.0, 20.0, 50.0, 60.0]);
+        let odd = prune_middle(&s, 3).unwrap();
+        assert_eq!(odd.re, vec![1.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn prune_edge_cases() {
+        let s = sig(vec![1.0, 2.0], vec![0.0, 0.0]);
+        assert_eq!(prune_middle(&s, 5).unwrap(), s);
+        assert_eq!(prune_middle(&s, 2).unwrap(), s);
+        assert!(prune_middle(&s, 0).is_err());
+        let one = prune_middle(&s, 1).unwrap();
+        assert_eq!(one.re, vec![1.0]);
+    }
+
+    #[test]
+    fn resample_rejects_bad_targets() {
+        let s = sig(vec![1.0], vec![0.0]);
+        assert!(resample_signature(&s, 0).is_err());
+        let ok = resample_signature(&s, 5).unwrap();
+        assert_eq!(ok.re, vec![1.0; 5]);
+    }
+}

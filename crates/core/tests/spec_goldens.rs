@@ -1,0 +1,154 @@
+//! Golden-value specification tests: the CS algorithm evaluated on inputs
+//! small enough to compute by hand, pinning every equation of Sec. III.
+//!
+//! These tests are the executable form of the paper's math. If any of
+//! them breaks, the implementation no longer computes the published
+//! algorithm — regardless of what the ML metrics say.
+
+use cwsmooth_core::blocks::block_bounds;
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::ordering::correlation_wise;
+use cwsmooth_linalg::corr::{global_coefficients, shifted_correlation_matrix};
+use cwsmooth_linalg::Matrix;
+
+const EPS: f64 = 1e-12;
+
+/// Eq. 1 on a 3x4 matrix, every coefficient hand-computed.
+///
+/// S = [ 1 2 3 4 ]   (rising)
+///     [ 2 4 6 8 ]   (rising, exactly 2x row 0)
+///     [ 4 3 2 1 ]   (falling, exact negation pattern)
+#[test]
+fn equation_1_shifted_correlations() {
+    let s = Matrix::from_rows([
+        [1.0, 2.0, 3.0, 4.0],
+        [2.0, 4.0, 6.0, 8.0],
+        [4.0, 3.0, 2.0, 1.0],
+    ])
+    .unwrap();
+    let c = shifted_correlation_matrix(&s);
+    // ρ(0,1) = +1 -> shifted 2; ρ(0,2) = −1 -> shifted 0.
+    assert!((c.get(0, 1) - 2.0).abs() < EPS);
+    assert!((c.get(0, 2) - 0.0).abs() < EPS);
+    assert!((c.get(1, 2) - 0.0).abs() < EPS);
+    // Global coefficients: mean of the off-diagonal shifted values.
+    // ρ_S0 = (2 + 0) / 2 = 1;  ρ_S1 = (2 + 0) / 2 = 1;  ρ_S2 = (0 + 0)/2 = 0.
+    let g = global_coefficients(&c);
+    assert!((g[0] - 1.0).abs() < EPS);
+    assert!((g[1] - 1.0).abs() < EPS);
+    assert!((g[2] - 0.0).abs() < EPS);
+}
+
+/// Algorithm 1 on the same matrix, traced step by step:
+/// seed = argmax ρ_Si = row 0 (tie with row 1, lowest index wins);
+/// next = argmax ρ_{Sk,S0}·ρ_Sk over {1,2} = row 1 (2·1=2 vs 0·0=0);
+/// last = row 2.
+#[test]
+fn algorithm_1_trace() {
+    let s = Matrix::from_rows([
+        [1.0, 2.0, 3.0, 4.0],
+        [2.0, 4.0, 6.0, 8.0],
+        [4.0, 3.0, 2.0, 1.0],
+    ])
+    .unwrap();
+    let c = shifted_correlation_matrix(&s);
+    let g = global_coefficients(&c);
+    assert_eq!(correlation_wise(&c, &g), vec![0, 1, 2]);
+}
+
+/// Eq. 2 for n=10, l=3 (1-indexed bounds from the paper):
+/// b = (1, 4, 7), e = (4, 7, 10) -> 0-indexed [0,4), [3,7), [6,10).
+#[test]
+fn equation_2_block_bounds() {
+    let blocks = block_bounds(10, 3);
+    assert_eq!(
+        blocks
+            .iter()
+            .map(|b| (b.start, b.end))
+            .collect::<Vec<_>>(),
+        vec![(0, 4), (3, 7), (6, 10)]
+    );
+}
+
+/// Eq. 3 on a 2-sensor, 2-sample window with a fully hand-computed model.
+///
+/// Training matrix (also the window source):
+///   row a: [0, 10]  -> bounds (0, 10)
+///   row b: [10, 0]  -> bounds (0, 10)
+/// Correlations: ρ(a,b) = −1 (shifted 0), globals both 0 -> Algorithm 1
+/// seeds at the lowest index: perm = [0, 1].
+/// Window = the whole matrix; normalized rows: a' = [0, 1], b' = [1, 0].
+/// One block over both sensors, wl = 2:
+///   Re = (0 + 1 + 1 + 0) / (2·2) = 0.5
+///   Im: derivatives with no history: a' -> [0, 1], b' -> [0, −1]
+///      = (0 + 1 + 0 − 1) / 4 = 0.
+#[test]
+fn equation_3_hand_computed_signature() {
+    let s = Matrix::from_rows([[0.0, 10.0], [10.0, 0.0]]).unwrap();
+    let model = CsTrainer::default().train(&s).unwrap();
+    assert_eq!(model.perm, vec![0, 1]);
+    let cs = CsMethod::new(model, 1).unwrap();
+    let sig = cs.signature(&s, None).unwrap();
+    assert!((sig.re[0] - 0.5).abs() < EPS);
+    assert!(sig.im[0].abs() < EPS);
+}
+
+/// Eq. 3 with history: same setup, but the window is the second column
+/// only, with the first column as history.
+/// Normalized window: a' = [1], b' = [0]; history normalized: a=0, b=1.
+/// Derivatives: a: 1−0 = 1; b: 0−1 = −1. Two singleton blocks (l = 2):
+///   block 1 = sorted row 0 = raw a: Re = 1, Im = 1
+///   block 2 = raw b: Re = 0, Im = −1.
+#[test]
+fn equation_3_with_history() {
+    let s = Matrix::from_rows([[0.0, 10.0], [10.0, 0.0]]).unwrap();
+    let model = CsTrainer::default().train(&s).unwrap();
+    let cs = CsMethod::new(model, 2).unwrap();
+    let window = s.col_window(1, 2).unwrap();
+    let history = s.col(0);
+    let sig = cs.signature(&window, Some(&history)).unwrap();
+    assert!((sig.re[0] - 1.0).abs() < EPS);
+    assert!((sig.im[0] - 1.0).abs() < EPS);
+    assert!((sig.re[1] - 0.0).abs() < EPS);
+    assert!((sig.im[1] + 1.0).abs() < EPS);
+}
+
+/// The paper's size laws, as stated in Sec. III-B/C.
+#[test]
+fn signature_size_laws() {
+    use cwsmooth_core::baselines::{BodikMethod, LanMethod, TuncerMethod};
+    use cwsmooth_core::method::SignatureMethod;
+    for n in [1usize, 31, 47, 52, 128, 832] {
+        assert_eq!(TuncerMethod.signature_len(n), 11 * n);
+        assert_eq!(BodikMethod.signature_len(n), 9 * n);
+        assert_eq!(LanMethod::new(6).unwrap().signature_len(n), 6 * n);
+    }
+    let s = Matrix::from_fn(16, 8, |r, c| (r * 8 + c) as f64);
+    let model = CsTrainer::default().train(&s).unwrap();
+    for l in [1usize, 5, 16] {
+        let cs = CsMethod::new(model.clone(), l).unwrap();
+        assert_eq!(cs.signature_len(16), 2 * l, "complex blocks -> 2l features");
+    }
+}
+
+/// Sorting-stage spec (Sec. III-C2): normalized + permuted, nothing else.
+#[test]
+fn sorting_stage_is_pure_normalize_permute() {
+    let s = Matrix::from_rows([
+        [0.0, 5.0, 10.0],
+        [30.0, 20.0, 10.0],
+        [7.0, 7.0, 7.0], // constant -> 0.5
+    ])
+    .unwrap();
+    let model = CsTrainer::default().train(&s).unwrap();
+    let cs = CsMethod::new(model.clone(), 3).unwrap();
+    let sorted = cs.sort_window(&s).unwrap();
+    for (i, &raw) in model.perm.iter().enumerate() {
+        let expect: Vec<f64> = match raw {
+            0 => vec![0.0, 0.5, 1.0],
+            1 => vec![1.0, 0.5, 0.0],
+            _ => vec![0.5, 0.5, 0.5],
+        };
+        assert_eq!(sorted.row(i), expect.as_slice(), "sorted row {i}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Dependency-free CSV handling for sensor series and result tables.
+//!
+//! HPC-ODA's on-disk layout is one CSV file per sensor, each record a
+//! `timestamp,value` pair (Sec. II-A of the paper). The parser here accepts
+//! that shape plus the usual frictions of real monitoring exports: optional
+//! header line, blank lines, comments (`#`), and whitespace around fields.
+
+use crate::error::{DataError, Result};
+use crate::series::TimeSeries;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses `timestamp,value` records from a reader into a [`TimeSeries`].
+///
+/// * Lines starting with `#` and blank lines are skipped.
+/// * A first line whose fields do not both parse as numbers is treated as a
+///   header and skipped.
+/// * Records must be two comma-separated fields; timestamps must be
+///   non-negative integers (nanoseconds, milliseconds or seconds — the unit
+///   is the caller's concern), values are `f64`.
+pub fn read_series<R: Read>(reader: R) -> Result<TimeSeries> {
+    let buf = BufReader::new(reader);
+    let mut ts = Vec::new();
+    let mut vs = Vec::new();
+    let mut first_data_line = true;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let a = parts.next().unwrap_or("").trim();
+        let b = parts.next().unwrap_or("").trim();
+        if b.is_empty() {
+            return Err(DataError::Parse {
+                line: idx + 1,
+                message: format!("expected `timestamp,value`, got `{line}`"),
+            });
+        }
+        match (a.parse::<u64>(), b.parse::<f64>()) {
+            (Ok(t), Ok(v)) => {
+                ts.push(t);
+                vs.push(v);
+                first_data_line = false;
+            }
+            _ if first_data_line => {
+                // Tolerate one header line.
+                first_data_line = false;
+            }
+            _ => {
+                return Err(DataError::Parse {
+                    line: idx + 1,
+                    message: format!("could not parse `{line}` as timestamp,value"),
+                })
+            }
+        }
+    }
+    TimeSeries::new(ts, vs)
+}
+
+/// Reads a sensor CSV file from disk.
+pub fn read_series_file(path: impl AsRef<Path>) -> Result<TimeSeries> {
+    let file = std::fs::File::open(path)?;
+    read_series(file)
+}
+
+/// Writes a [`TimeSeries`] as `timestamp,value` records with a header.
+pub fn write_series<W: Write>(mut w: W, series: &TimeSeries) -> Result<()> {
+    writeln!(w, "timestamp,value")?;
+    for (t, v) in series.iter() {
+        writeln!(w, "{t},{v}")?;
+    }
+    Ok(())
+}
+
+/// Writes a [`TimeSeries`] to a file.
+pub fn write_series_file(path: impl AsRef<Path>, series: &TimeSeries) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_series(std::io::BufWriter::new(file), series)
+}
+
+/// A minimal result-table writer (used by the benchmark harness to emit the
+/// rows behind each figure/table as machine-readable CSV).
+pub struct TableWriter<W: Write> {
+    out: W,
+    cols: usize,
+}
+
+impl<W: Write> TableWriter<W> {
+    /// Starts a table by writing the header row.
+    pub fn new(mut out: W, header: &[&str]) -> Result<Self> {
+        writeln!(out, "{}", header.join(","))?;
+        Ok(Self {
+            out,
+            cols: header.len(),
+        })
+    }
+
+    /// Writes one row; field count must match the header.
+    pub fn row(&mut self, fields: &[String]) -> Result<()> {
+        if fields.len() != self.cols {
+            return Err(DataError::Invalid(format!(
+                "table row has {} fields, header has {}",
+                fields.len(),
+                self.cols
+            )));
+        }
+        writeln!(self.out, "{}", fields.join(","))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_records() {
+        let input = "0,1.5\n10,2.5\n20,3.5\n";
+        let s = read_series(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.timestamps(), &[0, 10, 20]);
+        assert_eq!(s.values(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn skips_header_comments_blanks() {
+        let input = "timestamp,value\n# comment\n\n0,1.0\n 10 , 2.0 \n";
+        let s = read_series(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_garbage_after_first_line() {
+        let input = "0,1.0\nnot,anumber\n";
+        assert!(read_series(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_single_field() {
+        let input = "0\n";
+        assert!(read_series(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let s = TimeSeries::new(vec![0, 5, 10], vec![1.0, -2.0, 3.25]).unwrap();
+        let mut buf = Vec::new();
+        write_series(&mut buf, &s).unwrap();
+        let back = read_series(buf.as_slice()).unwrap();
+        assert_eq!(back.timestamps(), s.timestamps());
+        assert_eq!(back.values(), s.values());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cwsmooth-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sensor.csv");
+        let s = TimeSeries::new(vec![1, 2], vec![0.5, 0.75]).unwrap();
+        write_series_file(&path, &s).unwrap();
+        let back = read_series_file(&path).unwrap();
+        assert_eq!(back.values(), s.values());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_writer_enforces_width() {
+        let mut buf = Vec::new();
+        let mut t = TableWriter::new(&mut buf, &["a", "b"]).unwrap();
+        assert!(t.row(&["1".into(), "2".into()]).is_ok());
+        assert!(t.row(&["1".into()]).is_err());
+        let _ = t;
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("1,2\n"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors produced while reading, aligning or windowing monitoring data.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A CSV record could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A shape/consistency violation (mismatched lengths, empty input, ...).
+    Invalid(String),
+    /// Propagated matrix error.
+    Linalg(cwsmooth_linalg::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Invalid(m) => write!(f, "invalid data: {m}"),
+            DataError::Linalg(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<cwsmooth_linalg::Error> for DataError {
+    fn from(e: cwsmooth_linalg::Error) -> Self {
+        DataError::Linalg(e)
+    }
+}
+
+/// Convenience alias for the data layer.
+pub type Result<T> = std::result::Result<T, DataError>;

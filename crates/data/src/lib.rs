@@ -1,0 +1,36 @@
+//! Monitoring-data plumbing for the `cwsmooth` workspace.
+//!
+//! HPC-ODA stores each sensor as a CSV file of time-stamp/value pairs; real
+//! deployments produce the same shape through frameworks like DCDB or LDMS.
+//! This crate provides everything between those raw per-sensor series and
+//! the dense sensor matrix the signature methods consume:
+//!
+//! * [`csv`] — a dependency-free CSV reader/writer for time-stamp/value
+//!   pairs (and simple tables for the benchmark harness).
+//! * [`series`] — [`series::TimeSeries`] plus resampling/alignment onto a
+//!   common sampling grid (the interpolation pre-processing step the paper
+//!   mentions in Sec. III-A).
+//! * [`segment`] — [`segment::Segment`]: a named sensor matrix with sensor
+//!   names, a time axis and classification/regression label tracks; the
+//!   in-memory equivalent of one HPC-ODA segment.
+//! * [`window`] — sliding aggregation windows (`wl`, `ws`) over a sensor
+//!   matrix, carrying one sample of history for derivative computation.
+//! * [`store`] — whole-segment persistence in the HPC-ODA directory
+//!   layout (one CSV per sensor + label/meta sidecars).
+//! * [`transform`] — monotonic-counter detection and differencing (energy
+//!   counters must be differenced before CS, Sec. III-C3).
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod segment;
+pub mod series;
+pub mod store;
+pub mod transform;
+pub mod window;
+
+pub use error::{DataError, Result};
+pub use segment::{LabelTrack, Segment, TaskKind};
+pub use series::TimeSeries;
+pub use window::{Window, WindowIter, WindowSpec};

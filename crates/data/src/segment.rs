@@ -1,0 +1,265 @@
+//! In-memory representation of one HPC-ODA segment.
+//!
+//! A segment couples a sensor matrix with its metadata: sensor names, the
+//! time axis, the ODA task (classification or regression) and a label per
+//! time-stamp. Windowed feature extraction turns these per-sample labels
+//! into per-window labels (majority vote for classes, forward average for
+//! regression targets — matching the paper's "predict the average over the
+//! next k samples" formulation for Power and Infrastructure).
+
+use crate::error::{DataError, Result};
+use cwsmooth_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The kind of ODA task a segment's labels encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Discrete classes (fault kinds, application ids).
+    Classification,
+    /// Continuous target (power draw, removed heat).
+    Regression,
+}
+
+/// Per-time-stamp ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LabelTrack {
+    /// One class id per time-stamp.
+    Classes(Vec<usize>),
+    /// One continuous value per time-stamp.
+    Values(Vec<f64>),
+}
+
+impl LabelTrack {
+    /// Number of labelled time-stamps.
+    pub fn len(&self) -> usize {
+        match self {
+            LabelTrack::Classes(v) => v.len(),
+            LabelTrack::Values(v) => v.len(),
+        }
+    }
+
+    /// `true` when no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Task kind this track supports.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            LabelTrack::Classes(_) => TaskKind::Classification,
+            LabelTrack::Values(_) => TaskKind::Regression,
+        }
+    }
+}
+
+/// One self-contained dataset: sensor matrix + names + time axis + labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segment {
+    /// Human-readable segment name (e.g. `"Fault"`).
+    pub name: String,
+    /// Sensor matrix: rows = sensors, columns = time-stamps.
+    pub matrix: Matrix,
+    /// One name per sensor row.
+    pub sensor_names: Vec<String>,
+    /// Uniform time axis (same length as matrix columns).
+    pub timestamps: Vec<u64>,
+    /// Ground-truth labels, one per time-stamp.
+    pub labels: LabelTrack,
+}
+
+impl Segment {
+    /// Validated constructor.
+    pub fn new(
+        name: impl Into<String>,
+        matrix: Matrix,
+        sensor_names: Vec<String>,
+        timestamps: Vec<u64>,
+        labels: LabelTrack,
+    ) -> Result<Self> {
+        if sensor_names.len() != matrix.rows() {
+            return Err(DataError::Invalid(format!(
+                "{} sensor names for {} matrix rows",
+                sensor_names.len(),
+                matrix.rows()
+            )));
+        }
+        if timestamps.len() != matrix.cols() {
+            return Err(DataError::Invalid(format!(
+                "{} timestamps for {} matrix columns",
+                timestamps.len(),
+                matrix.cols()
+            )));
+        }
+        if labels.len() != matrix.cols() {
+            return Err(DataError::Invalid(format!(
+                "{} labels for {} matrix columns",
+                labels.len(),
+                matrix.cols()
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            matrix,
+            sensor_names,
+            timestamps,
+            labels,
+        })
+    }
+
+    /// Number of sensors (matrix rows).
+    pub fn sensors(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of time-stamps (matrix columns).
+    pub fn samples(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Total data points (readings) in the segment.
+    pub fn data_points(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Task kind of this segment.
+    pub fn task(&self) -> TaskKind {
+        self.labels.kind()
+    }
+
+    /// Majority-vote class label for the window `[start, end)`.
+    ///
+    /// Errors if the segment carries regression labels.
+    pub fn window_class(&self, start: usize, end: usize) -> Result<usize> {
+        match &self.labels {
+            LabelTrack::Classes(classes) => {
+                if end > classes.len() || start >= end {
+                    return Err(DataError::Invalid("window out of range".into()));
+                }
+                let slice = &classes[start..end];
+                let max_class = slice.iter().copied().max().unwrap();
+                let mut counts = vec![0usize; max_class + 1];
+                for &c in slice {
+                    counts[c] += 1;
+                }
+                Ok(counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap())
+            }
+            LabelTrack::Values(_) => Err(DataError::Invalid(
+                "window_class on a regression segment".into(),
+            )),
+        }
+    }
+
+    /// Mean regression target over `[start, end)` — used as "the average of
+    /// the next k samples" by pointing this at the horizon window.
+    pub fn window_target(&self, start: usize, end: usize) -> Result<f64> {
+        match &self.labels {
+            LabelTrack::Values(values) => {
+                if start >= end {
+                    return Err(DataError::Invalid("window out of range".into()));
+                }
+                let end = end.min(values.len());
+                if start >= end {
+                    return Err(DataError::Invalid("window out of range".into()));
+                }
+                let slice = &values[start..end];
+                Ok(slice.iter().sum::<f64>() / slice.len() as f64)
+            }
+            LabelTrack::Classes(_) => Err(DataError::Invalid(
+                "window_target on a classification segment".into(),
+            )),
+        }
+    }
+
+    /// Distinct class count (0 for regression segments).
+    pub fn n_classes(&self) -> usize {
+        match &self.labels {
+            LabelTrack::Classes(classes) => classes.iter().copied().max().map_or(0, |m| m + 1),
+            LabelTrack::Values(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(labels: LabelTrack) -> Segment {
+        let m = Matrix::from_rows([[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]]).unwrap();
+        Segment::new(
+            "test",
+            m,
+            vec!["a".into(), "b".into()],
+            vec![0, 1, 2, 3],
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let m = Matrix::zeros(2, 3);
+        assert!(Segment::new(
+            "x",
+            m.clone(),
+            vec!["a".into()],
+            vec![0, 1, 2],
+            LabelTrack::Classes(vec![0, 0, 0])
+        )
+        .is_err());
+        assert!(Segment::new(
+            "x",
+            m.clone(),
+            vec!["a".into(), "b".into()],
+            vec![0, 1],
+            LabelTrack::Classes(vec![0, 0, 0])
+        )
+        .is_err());
+        assert!(Segment::new(
+            "x",
+            m,
+            vec!["a".into(), "b".into()],
+            vec![0, 1, 2],
+            LabelTrack::Classes(vec![0, 0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn majority_vote() {
+        let s = seg(LabelTrack::Classes(vec![1, 1, 2, 2]));
+        assert_eq!(s.window_class(0, 3).unwrap(), 1);
+        assert_eq!(s.window_class(1, 4).unwrap(), 2);
+        assert!(s.window_class(2, 2).is_err());
+        assert!(s.window_class(0, 9).is_err());
+    }
+
+    #[test]
+    fn regression_target_average() {
+        let s = seg(LabelTrack::Values(vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(s.window_target(0, 2).unwrap(), 1.5);
+        // horizon clipped at the end
+        assert_eq!(s.window_target(2, 10).unwrap(), 3.5);
+        assert!(s.window_target(5, 10).is_err());
+    }
+
+    #[test]
+    fn task_kind_mismatch_errors() {
+        let c = seg(LabelTrack::Classes(vec![0, 0, 1, 1]));
+        assert!(c.window_target(0, 2).is_err());
+        let r = seg(LabelTrack::Values(vec![0.0; 4]));
+        assert!(r.window_class(0, 2).is_err());
+    }
+
+    #[test]
+    fn class_count() {
+        let s = seg(LabelTrack::Classes(vec![0, 3, 1, 1]));
+        assert_eq!(s.n_classes(), 4);
+        let r = seg(LabelTrack::Values(vec![0.0; 4]));
+        assert_eq!(r.n_classes(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Time-stamped sensor series and grid alignment.
+//!
+//! Sensors on a real system are sampled at slightly different instants and
+//! rates; the paper assumes the sensor matrix is time-aligned and notes an
+//! interpolation pre-processing step may be required (Sec. III-A). That
+//! step lives here: [`TimeSeries::resample`] interpolates a series onto a
+//! uniform grid, and [`align_to_matrix`] assembles many series into one
+//! dense [`Matrix`].
+
+use crate::error::{DataError, Result};
+use cwsmooth_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One sensor's time series: strictly increasing timestamps plus values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    timestamps: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Builds a series; timestamps must be strictly increasing and lengths
+    /// must match.
+    pub fn new(timestamps: Vec<u64>, values: Vec<f64>) -> Result<Self> {
+        if timestamps.len() != values.len() {
+            return Err(DataError::Invalid(format!(
+                "timestamps ({}) and values ({}) differ in length",
+                timestamps.len(),
+                values.len()
+            )));
+        }
+        if timestamps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DataError::Invalid(
+                "timestamps must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self { timestamps, values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// `true` if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Timestamp axis.
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// Value axis.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.timestamps
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// First timestamp, if any.
+    pub fn start(&self) -> Option<u64> {
+        self.timestamps.first().copied()
+    }
+
+    /// Last timestamp, if any.
+    pub fn end(&self) -> Option<u64> {
+        self.timestamps.last().copied()
+    }
+
+    /// Linearly interpolates the value at time `t`.
+    ///
+    /// Outside the covered range the nearest edge value is held
+    /// (monitoring convention: a sensor keeps its last reading).
+    pub fn value_at(&self, t: u64) -> Result<f64> {
+        if self.is_empty() {
+            return Err(DataError::Invalid("value_at on empty series".into()));
+        }
+        let ts = &self.timestamps;
+        if t <= ts[0] {
+            return Ok(self.values[0]);
+        }
+        if t >= ts[ts.len() - 1] {
+            return Ok(self.values[ts.len() - 1]);
+        }
+        // partition_point: first index with ts[i] > t
+        let hi = ts.partition_point(|&x| x <= t);
+        let lo = hi - 1;
+        if ts[lo] == t {
+            return Ok(self.values[lo]);
+        }
+        let span = (ts[hi] - ts[lo]) as f64;
+        let frac = (t - ts[lo]) as f64 / span;
+        Ok(self.values[lo] + (self.values[hi] - self.values[lo]) * frac)
+    }
+
+    /// Resamples onto the uniform grid `start, start+step, ...` with `count`
+    /// points, linearly interpolating and holding edges.
+    pub fn resample(&self, start: u64, step: u64, count: usize) -> Result<Vec<f64>> {
+        if step == 0 {
+            return Err(DataError::Invalid("resample step must be > 0".into()));
+        }
+        (0..count)
+            .map(|i| self.value_at(start + step * i as u64))
+            .collect()
+    }
+}
+
+/// Aligns several sensor series onto a common uniform grid and stacks them
+/// into a sensor matrix (rows = sensors, in input order).
+///
+/// The grid spans the *intersection* of all series' ranges so no sensor is
+/// pure extrapolation; `step` is the target sampling interval.
+pub fn align_to_matrix(series: &[TimeSeries], step: u64) -> Result<(Matrix, Vec<u64>)> {
+    if series.is_empty() {
+        return Err(DataError::Invalid("align_to_matrix: no series".into()));
+    }
+    if step == 0 {
+        return Err(DataError::Invalid("align step must be > 0".into()));
+    }
+    let mut start = 0u64;
+    let mut end = u64::MAX;
+    for s in series {
+        let (a, b) = match (s.start(), s.end()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(DataError::Invalid("align_to_matrix: empty series".into())),
+        };
+        start = start.max(a);
+        end = end.min(b);
+    }
+    if end < start {
+        return Err(DataError::Invalid(
+            "align_to_matrix: series ranges do not overlap".into(),
+        ));
+    }
+    let count = ((end - start) / step) as usize + 1;
+    let grid: Vec<u64> = (0..count).map(|i| start + step * i as u64).collect();
+    let mut data = Vec::with_capacity(series.len() * count);
+    for s in series {
+        for &t in &grid {
+            data.push(s.value_at(t)?);
+        }
+    }
+    let m = Matrix::from_vec(series.len(), count, data)?;
+    Ok((m, grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_increasing_timestamps() {
+        assert!(TimeSeries::new(vec![0, 0], vec![1.0, 2.0]).is_err());
+        assert!(TimeSeries::new(vec![5, 3], vec![1.0, 2.0]).is_err());
+        assert!(TimeSeries::new(vec![0, 1], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let s = TimeSeries::new(vec![0, 10], vec![0.0, 10.0]).unwrap();
+        assert_eq!(s.value_at(5).unwrap(), 5.0);
+        assert_eq!(s.value_at(0).unwrap(), 0.0);
+        assert_eq!(s.value_at(10).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn holds_edges_outside_range() {
+        let s = TimeSeries::new(vec![10, 20], vec![1.0, 2.0]).unwrap();
+        assert_eq!(s.value_at(0).unwrap(), 1.0);
+        assert_eq!(s.value_at(100).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn exact_timestamp_hits() {
+        let s = TimeSeries::new(vec![0, 10, 20], vec![1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(s.value_at(10).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn resample_produces_grid() {
+        let s = TimeSeries::new(vec![0, 4], vec![0.0, 4.0]).unwrap();
+        let v = s.resample(0, 2, 3).unwrap();
+        assert_eq!(v, vec![0.0, 2.0, 4.0]);
+        assert!(s.resample(0, 0, 3).is_err());
+    }
+
+    #[test]
+    fn align_intersects_ranges() {
+        let a = TimeSeries::new(vec![0, 10, 20], vec![0.0, 10.0, 20.0]).unwrap();
+        let b = TimeSeries::new(vec![5, 15, 25], vec![5.0, 15.0, 25.0]).unwrap();
+        let (m, grid) = align_to_matrix(&[a, b], 5).unwrap();
+        // overlap [5, 20] at step 5 -> 4 samples
+        assert_eq!(grid, vec![5, 10, 15, 20]);
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m.row(0), &[5.0, 10.0, 15.0, 20.0]);
+        assert_eq!(m.row(1), &[5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn align_rejects_disjoint() {
+        let a = TimeSeries::new(vec![0, 1], vec![0.0, 1.0]).unwrap();
+        let b = TimeSeries::new(vec![10, 11], vec![0.0, 1.0]).unwrap();
+        assert!(align_to_matrix(&[a, b], 1).is_err());
+    }
+}

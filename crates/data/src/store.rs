@@ -1,0 +1,255 @@
+//! Segment persistence in the HPC-ODA on-disk layout.
+//!
+//! HPC-ODA ships each segment as a directory of per-sensor CSV files
+//! (`<sensor>.csv`, `timestamp,value` records). This module writes and
+//! reads whole [`Segment`]s in that layout, adding two sidecar files:
+//!
+//! * `_labels.csv` — `timestamp,label` records (class ids or regression
+//!   targets), and
+//! * `_meta.csv` — segment name, task kind and the sensor order (CSV file
+//!   names are sanitized, so the original names and their row order are
+//!   recorded explicitly).
+
+use crate::csv::{read_series, write_series};
+use crate::error::{DataError, Result};
+use crate::segment::{LabelTrack, Segment};
+use crate::series::TimeSeries;
+use cwsmooth_linalg::Matrix;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Turns a sensor name into a safe file stem (alphanumerics, `-`, `_`,
+/// `.`; everything else becomes `_`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes a segment as a directory of per-sensor CSVs plus sidecars.
+///
+/// Fails if two sensor names collide after sanitization.
+pub fn save_segment(dir: impl AsRef<Path>, segment: &Segment) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let mut stems = std::collections::HashSet::new();
+    for (i, name) in segment.sensor_names.iter().enumerate() {
+        let stem = sanitize(name);
+        if !stems.insert(stem.clone()) {
+            return Err(DataError::Invalid(format!(
+                "sensor name collision after sanitization: `{name}` -> `{stem}`"
+            )));
+        }
+        let series = TimeSeries::new(segment.timestamps.clone(), segment.matrix.row(i).to_vec())?;
+        let file = std::fs::File::create(dir.join(format!("{stem}.csv")))?;
+        write_series(std::io::BufWriter::new(file), &series)?;
+    }
+
+    // Labels sidecar.
+    let mut labels_file =
+        std::io::BufWriter::new(std::fs::File::create(dir.join("_labels.csv"))?);
+    writeln!(labels_file, "timestamp,label")?;
+    match &segment.labels {
+        LabelTrack::Classes(cs) => {
+            for (t, c) in segment.timestamps.iter().zip(cs) {
+                writeln!(labels_file, "{t},{c}")?;
+            }
+        }
+        LabelTrack::Values(vs) => {
+            for (t, v) in segment.timestamps.iter().zip(vs) {
+                writeln!(labels_file, "{t},{v:?}")?;
+            }
+        }
+    }
+
+    // Meta sidecar: name, task, sensor order.
+    let mut meta = std::io::BufWriter::new(std::fs::File::create(dir.join("_meta.csv"))?);
+    writeln!(meta, "name,{}", segment.name)?;
+    let task = match &segment.labels {
+        LabelTrack::Classes(_) => "classification",
+        LabelTrack::Values(_) => "regression",
+    };
+    writeln!(meta, "task,{task}")?;
+    for name in &segment.sensor_names {
+        writeln!(meta, "sensor,{name}")?;
+    }
+    Ok(())
+}
+
+/// Reads a segment previously written by [`save_segment`].
+pub fn load_segment(dir: impl AsRef<Path>) -> Result<Segment> {
+    let dir = dir.as_ref();
+
+    // Meta first: recovers name, task and sensor order.
+    let meta_file = std::fs::File::open(dir.join("_meta.csv"))?;
+    let mut name = String::new();
+    let mut task = String::new();
+    let mut sensor_names: Vec<String> = Vec::new();
+    for line in BufReader::new(meta_file).lines() {
+        let line = line?;
+        let Some((key, value)) = line.split_once(',') else {
+            continue;
+        };
+        match key {
+            "name" => name = value.to_string(),
+            "task" => task = value.to_string(),
+            "sensor" => sensor_names.push(value.to_string()),
+            _ => {}
+        }
+    }
+    if sensor_names.is_empty() {
+        return Err(DataError::Invalid("_meta.csv lists no sensors".into()));
+    }
+
+    // Per-sensor series, in recorded order.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(sensor_names.len());
+    let mut timestamps: Option<Vec<u64>> = None;
+    for sensor in &sensor_names {
+        let path = dir.join(format!("{}.csv", sanitize(sensor)));
+        let file = std::fs::File::open(&path).map_err(|e| {
+            DataError::Invalid(format!("missing sensor file {}: {e}", path.display()))
+        })?;
+        let series = read_series(file)?;
+        match &timestamps {
+            None => timestamps = Some(series.timestamps().to_vec()),
+            Some(ts) if ts.as_slice() != series.timestamps() => {
+                return Err(DataError::Invalid(format!(
+                    "sensor `{sensor}` has a different time axis"
+                )))
+            }
+            _ => {}
+        }
+        rows.push(series.values().to_vec());
+    }
+    let timestamps = timestamps.unwrap();
+    let matrix = Matrix::from_rows(rows)?;
+
+    // Labels.
+    let labels_file = std::fs::File::open(dir.join("_labels.csv"))?;
+    let mut class_labels = Vec::new();
+    let mut value_labels = Vec::new();
+    let classification = task == "classification";
+    for (i, line) in BufReader::new(labels_file).lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            continue; // header
+        }
+        let Some((_, label)) = line.split_once(',') else {
+            return Err(DataError::Parse {
+                line: i + 1,
+                message: format!("bad label record `{line}`"),
+            });
+        };
+        if classification {
+            class_labels.push(label.trim().parse::<usize>().map_err(|e| DataError::Parse {
+                line: i + 1,
+                message: format!("bad class id `{label}`: {e}"),
+            })?);
+        } else {
+            value_labels.push(label.trim().parse::<f64>().map_err(|e| DataError::Parse {
+                line: i + 1,
+                message: format!("bad target `{label}`: {e}"),
+            })?);
+        }
+    }
+    let labels = if classification {
+        LabelTrack::Classes(class_labels)
+    } else {
+        LabelTrack::Values(value_labels)
+    };
+    Segment::new(name, matrix, sensor_names, timestamps, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_segment(labels: LabelTrack) -> Segment {
+        let m = Matrix::from_rows([[1.0, 2.5, -3.0], [0.25, 0.5, 0.75]]).unwrap();
+        Segment::new(
+            "roundtrip",
+            m,
+            vec!["cpu/user%".into(), "mem.used_gb".into()],
+            vec![0, 100, 200],
+            labels,
+        )
+        .unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cwsmooth-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn classification_roundtrip() {
+        let dir = tmpdir("cls");
+        let seg = sample_segment(LabelTrack::Classes(vec![0, 2, 1]));
+        save_segment(&dir, &seg).unwrap();
+        let back = load_segment(&dir).unwrap();
+        assert_eq!(back.name, seg.name);
+        assert_eq!(back.sensor_names, seg.sensor_names);
+        assert_eq!(back.timestamps, seg.timestamps);
+        assert_eq!(back.matrix, seg.matrix);
+        assert_eq!(back.labels, seg.labels);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn regression_roundtrip_preserves_precision() {
+        let dir = tmpdir("reg");
+        let seg = sample_segment(LabelTrack::Values(vec![0.1 + 0.2, 1.0 / 3.0, -7.25]));
+        save_segment(&dir, &seg).unwrap();
+        let back = load_segment(&dir).unwrap();
+        assert_eq!(back.labels, seg.labels);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sanitization_keeps_names_via_meta() {
+        let dir = tmpdir("names");
+        let seg = sample_segment(LabelTrack::Classes(vec![0, 0, 0]));
+        save_segment(&dir, &seg).unwrap();
+        // file uses the sanitized stem...
+        assert!(dir.join("cpu_user_.csv").exists());
+        // ...but the loaded segment restores the original name.
+        let back = load_segment(&dir).unwrap();
+        assert_eq!(back.sensor_names[0], "cpu/user%");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn name_collisions_are_rejected() {
+        let m = Matrix::zeros(2, 2);
+        let seg = Segment::new(
+            "collide",
+            m,
+            vec!["a/b".into(), "a?b".into()], // both sanitize to a_b
+            vec![0, 1],
+            LabelTrack::Classes(vec![0, 0]),
+        )
+        .unwrap();
+        let dir = tmpdir("collide");
+        assert!(save_segment(&dir, &seg).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_segment(&dir).is_err());
+        // partial dir: meta but no sensor files
+        std::fs::write(dir.join("_meta.csv"), "name,x\ntask,classification\nsensor,s0\n").unwrap();
+        assert!(load_segment(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

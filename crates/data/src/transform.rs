@@ -1,0 +1,99 @@
+//! Pre-processing transforms for raw sensor rows.
+//!
+//! The CS method's min-max normalization cannot handle monotonic series
+//! such as energy counters (Sec. III-C3): the training range is immediately
+//! exceeded in production. The paper's remedy — difference such series
+//! first — is implemented here, together with the detection heuristic used
+//! by the data generators.
+
+use cwsmooth_linalg::Matrix;
+
+/// Fraction of non-decreasing steps above which a row is considered a
+/// monotonic counter.
+const MONOTONIC_FRACTION: f64 = 0.99;
+
+/// Returns `true` if `xs` looks like a monotonic counter: at least 99% of
+/// its steps are non-decreasing and it strictly grows overall.
+pub fn is_monotonic_counter(xs: &[f64]) -> bool {
+    if xs.len() < 2 {
+        return false;
+    }
+    let nondecreasing = xs.windows(2).filter(|w| w[1] >= w[0]).count();
+    let frac = nondecreasing as f64 / (xs.len() - 1) as f64;
+    frac >= MONOTONIC_FRACTION && xs[xs.len() - 1] > xs[0]
+}
+
+/// Differences row `r` in place: `x[k] <- x[k] - x[k-1]`, first element 0.
+pub fn difference_row(m: &mut Matrix, r: usize) {
+    let row = m.row_mut(r);
+    let mut prev = row.first().copied().unwrap_or(0.0);
+    if let Some(first) = row.first_mut() {
+        *first = 0.0;
+    }
+    for v in row.iter_mut().skip(1) {
+        let cur = *v;
+        *v = cur - prev;
+        prev = cur;
+    }
+}
+
+/// Differences every row detected as a monotonic counter; returns the list
+/// of transformed row indexes so callers can record the decision (and apply
+/// the same transform at inference time).
+pub fn difference_monotonic_rows(m: &mut Matrix) -> Vec<usize> {
+    let mut transformed = Vec::new();
+    for r in 0..m.rows() {
+        if is_monotonic_counter(m.row(r)) {
+            difference_row(m, r);
+            transformed.push(r);
+        }
+    }
+    transformed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_strict_counters() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 2.5).collect();
+        assert!(is_monotonic_counter(&xs));
+    }
+
+    #[test]
+    fn tolerates_one_percent_dips() {
+        // 199 steps, one dip -> 99.5% non-decreasing
+        let mut xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        xs[100] = 50.0;
+        assert!(is_monotonic_counter(&xs));
+    }
+
+    #[test]
+    fn rejects_oscillating_and_constant() {
+        let osc: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        assert!(!is_monotonic_counter(&osc));
+        let flat = vec![5.0; 100];
+        // non-decreasing but not growing overall
+        assert!(!is_monotonic_counter(&flat));
+        assert!(!is_monotonic_counter(&[1.0]));
+    }
+
+    #[test]
+    fn difference_row_in_place() {
+        let mut m = Matrix::from_rows([[1.0, 3.0, 6.0, 10.0]]).unwrap();
+        difference_row(&mut m, 0);
+        assert_eq!(m.row(0), &[0.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn differences_only_counters() {
+        let counter: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let gauge: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let mut m = Matrix::from_rows([counter, gauge.clone()]).unwrap();
+        let changed = difference_monotonic_rows(&mut m);
+        assert_eq!(changed, vec![0]);
+        assert_eq!(m.row(0)[1], 1.0);
+        assert_eq!(m.row(1), gauge.as_slice());
+    }
+}

@@ -1,0 +1,172 @@
+//! Sliding aggregation windows over a sensor matrix.
+//!
+//! A signature method consumes sub-matrices `S_w` with `wl` columns, taken
+//! every `ws` columns (paper Sec. III-A). Windows here also carry one
+//! column of *history* (the sample preceding the window) so the smoothing
+//! stage can compute the backward finite difference of the window's first
+//! column without leaking future data.
+
+use crate::error::{DataError, Result};
+use cwsmooth_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Window geometry: aggregation length and step, in samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Aggregation window length `wl` (columns per window).
+    pub wl: usize,
+    /// Step `ws` between successive window starts.
+    pub ws: usize,
+}
+
+impl WindowSpec {
+    /// Creates a spec; both fields must be positive.
+    pub fn new(wl: usize, ws: usize) -> Result<Self> {
+        if wl == 0 || ws == 0 {
+            return Err(DataError::Invalid("wl and ws must be positive".into()));
+        }
+        Ok(Self { wl, ws })
+    }
+
+    /// Number of complete windows over `t` samples.
+    pub fn count(&self, t: usize) -> usize {
+        if t < self.wl {
+            0
+        } else {
+            (t - self.wl) / self.ws + 1
+        }
+    }
+}
+
+/// One window: column range `[start, end)` plus optional history column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First column (inclusive).
+    pub start: usize,
+    /// Last column (exclusive); `end - start == wl`.
+    pub end: usize,
+}
+
+impl Window {
+    /// Extracts this window's sub-matrix from `m`.
+    pub fn extract(&self, m: &Matrix) -> Result<Matrix> {
+        Ok(m.col_window(self.start, self.end)?)
+    }
+
+    /// The column of values immediately preceding the window (history for
+    /// backward differences), if the window does not start at column 0.
+    pub fn history(&self, m: &Matrix) -> Option<Vec<f64>> {
+        if self.start == 0 {
+            None
+        } else {
+            Some(m.col(self.start - 1))
+        }
+    }
+}
+
+/// Iterator over complete windows of a matrix with `t` columns.
+#[derive(Debug, Clone)]
+pub struct WindowIter {
+    spec: WindowSpec,
+    t: usize,
+    next_start: usize,
+}
+
+impl WindowIter {
+    /// Creates an iterator over all complete windows in `t` samples.
+    pub fn new(spec: WindowSpec, t: usize) -> Self {
+        Self {
+            spec,
+            t,
+            next_start: 0,
+        }
+    }
+}
+
+impl Iterator for WindowIter {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        let end = self.next_start + self.spec.wl;
+        if end > self.t {
+            return None;
+        }
+        let w = Window {
+            start: self.next_start,
+            end,
+        };
+        self.next_start += self.spec.ws;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.next_start + self.spec.wl > self.t {
+            0
+        } else {
+            (self.t - self.next_start - self.spec.wl) / self.spec.ws + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WindowIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_rejects_zero() {
+        assert!(WindowSpec::new(0, 1).is_err());
+        assert!(WindowSpec::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn count_matches_iteration() {
+        for (wl, ws, t) in [(4, 2, 10), (3, 3, 9), (5, 1, 5), (6, 2, 5), (1, 1, 1)] {
+            let spec = WindowSpec::new(wl, ws).unwrap();
+            let n = WindowIter::new(spec, t).count();
+            assert_eq!(n, spec.count(t), "wl={wl} ws={ws} t={t}");
+        }
+    }
+
+    #[test]
+    fn windows_are_in_bounds_and_strided() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let ws: Vec<Window> = WindowIter::new(spec, 10).collect();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0], Window { start: 0, end: 4 });
+        assert_eq!(ws[1], Window { start: 2, end: 6 });
+        assert_eq!(ws[3], Window { start: 6, end: 10 });
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let spec = WindowSpec::new(10, 1).unwrap();
+        assert_eq!(WindowIter::new(spec, 5).count(), 0);
+        assert_eq!(spec.count(5), 0);
+    }
+
+    #[test]
+    fn extract_and_history() {
+        let m = Matrix::from_rows([[0.0, 1.0, 2.0, 3.0], [10.0, 11.0, 12.0, 13.0]]).unwrap();
+        let w = Window { start: 1, end: 3 };
+        let sub = w.extract(&m).unwrap();
+        assert_eq!(sub.row(0), &[1.0, 2.0]);
+        assert_eq!(w.history(&m), Some(vec![0.0, 10.0]));
+        let w0 = Window { start: 0, end: 2 };
+        assert_eq!(w0.history(&m), None);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let spec = WindowSpec::new(3, 2).unwrap();
+        let mut it = WindowIter::new(spec, 11);
+        let mut n = it.len();
+        while let Some(_) = it.next() {
+            n -= 1;
+            assert_eq!(it.len(), n);
+        }
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal complex number used for CS signature blocks.
+//!
+//! Each CS block is complex-valued (paper Eq. 3): the real part carries the
+//! block's average normalized value, the imaginary part the average
+//! first-order derivative. Only the small set of operations the workspace
+//! needs is implemented.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real component (static behaviour: average value).
+    pub re: f64,
+    /// Imaginary component (dynamic behaviour: average derivative).
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from components.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+
+    /// Magnitude `sqrt(re^2 + im^2)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scales both components.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, k: f64) -> Self {
+        self.scale(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Complex64::new(2.0, 4.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn magnitude() {
+        assert_eq!(Complex64::new(3.0, 4.0).abs(), 5.0);
+        assert_eq!(Complex64::ZERO.abs(), 0.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+    }
+}

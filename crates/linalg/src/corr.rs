@@ -1,0 +1,233 @@
+//! Covariance and Pearson correlation, including the parallel full
+//! correlation matrix that dominates the CS training stage.
+//!
+//! The paper (Eq. 1) uses a *shifted* Pearson coefficient
+//! `ρ' = ρ + 1 ∈ [0, 2]` so that coefficients are non-negative and the
+//! greedy ordering of Algorithm 1 can multiply them. Rows with zero
+//! variance have an undefined Pearson coefficient; we define it as 0
+//! (shifted: 1.0), which classifies constant sensors as "noise-like" —
+//! they end up in the middle of the CS ordering, matching the paper's
+//! interpretation.
+
+use crate::matrix::Matrix;
+use crate::stats::mean;
+use rayon::prelude::*;
+
+/// Population covariance of two equally long slices.
+pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Plain Pearson correlation in `[-1, 1]`; 0.0 when either side has zero
+/// variance (or when inputs are empty).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let cov = covariance(a, b);
+    let sa = crate::stats::std_dev(a);
+    let sb = crate::stats::std_dev(b);
+    if sa == 0.0 || sb == 0.0 {
+        return 0.0;
+    }
+    (cov / (sa * sb)).clamp(-1.0, 1.0)
+}
+
+/// Shifted Pearson correlation `ρ + 1 ∈ [0, 2]` (paper Eq. 1).
+#[inline]
+pub fn shifted_pearson(a: &[f64], b: &[f64]) -> f64 {
+    pearson(a, b) + 1.0
+}
+
+/// Per-row summary statistics reused across the correlation matrix.
+struct RowStats {
+    mean: f64,
+    /// Standard deviation (population).
+    std: f64,
+}
+
+fn row_stats(m: &Matrix) -> Vec<RowStats> {
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            RowStats {
+                mean: mean(row),
+                std: crate::stats::std_dev(row),
+            }
+        })
+        .collect()
+}
+
+/// Full shifted-correlation matrix of the rows of `m`.
+///
+/// Output is symmetric, `n x n`, with `out[i][j] = ρ_{Si,Sj} + 1` and the
+/// diagonal fixed at 2.0 (self-correlation). Cost is `O(n^2 t)` — this is
+/// the dominant term of the CS training stage; rows are processed in
+/// parallel with rayon.
+pub fn shifted_correlation_matrix(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let stats = row_stats(m);
+    let t = m.cols() as f64;
+
+    // Upper triangle per row, computed in parallel, then mirrored.
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let ri = m.row(i);
+            let si = &stats[i];
+            let mut out = vec![0.0; n - i];
+            out[0] = 2.0; // diagonal: ρ=1 shifted
+            for j in (i + 1)..n {
+                let rj = m.row(j);
+                let sj = &stats[j];
+                let v = if si.std == 0.0 || sj.std == 0.0 || t == 0.0 {
+                    1.0 // undefined correlation -> shifted 0
+                } else {
+                    let mut cov = 0.0;
+                    for (x, y) in ri.iter().zip(rj) {
+                        cov += (x - si.mean) * (y - sj.mean);
+                    }
+                    cov /= t;
+                    ((cov / (si.std * sj.std)).clamp(-1.0, 1.0)) + 1.0
+                };
+                out[j - i] = v;
+            }
+            out
+        })
+        .collect();
+
+    let mut out = Matrix::zeros(n, n);
+    for (i, tri) in rows.iter().enumerate() {
+        for (off, &v) in tri.iter().enumerate() {
+            let j = i + off;
+            out.set(i, j, v);
+            out.set(j, i, v);
+        }
+    }
+    out
+}
+
+/// Global correlation coefficients `ρ_Si` (paper Eq. 1, right):
+/// the mean of row `i`'s shifted correlations with every other row.
+///
+/// For `n == 1` the result is `[0.0]` (no other rows to correlate with).
+pub fn global_coefficients(corr: &Matrix) -> Vec<f64> {
+    let n = corr.rows();
+    debug_assert_eq!(n, corr.cols());
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let row = corr.row(i);
+            let sum: f64 = row.iter().sum::<f64>() - row[i];
+            sum / (n - 1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn covariance_hand_checked() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        // population covariance = mean(ab) - mean(a)mean(b) = 28/3 - 8 = 4/3
+        assert!((covariance(&a, &b) - 4.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < EPS);
+        assert!((pearson(&a, &c) + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(shifted_pearson(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn correlation_matrix_symmetric_with_unit_diagonal() {
+        let m = Matrix::from_rows([
+            [1.0, 2.0, 3.0, 4.0],
+            [2.0, 4.0, 6.0, 8.0],
+            [4.0, 3.0, 2.0, 1.0],
+            [5.0, 5.0, 5.0, 5.0],
+        ])
+        .unwrap();
+        let c = shifted_correlation_matrix(&m);
+        assert_eq!(c.shape(), (4, 4));
+        for i in 0..4 {
+            assert!((c.get(i, i) - 2.0).abs() < EPS);
+            for j in 0..4 {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < EPS);
+                assert!(c.get(i, j) >= 0.0 && c.get(i, j) <= 2.0);
+            }
+        }
+        // rows 0,1 perfectly correlated; row 2 anti-correlated with 0.
+        assert!((c.get(0, 1) - 2.0).abs() < EPS);
+        assert!(c.get(0, 2).abs() < EPS);
+        // constant row: shifted 1.0 against everything.
+        assert!((c.get(0, 3) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn matrix_entries_match_pairwise_kernel() {
+        let m = Matrix::from_rows([
+            [0.3, 1.7, 0.4, 2.2, 0.9],
+            [1.1, 0.2, 2.3, 0.4, 1.5],
+            [0.0, 0.5, 1.0, 1.5, 2.0],
+        ])
+        .unwrap();
+        let c = shifted_correlation_matrix(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j {
+                    2.0
+                } else {
+                    shifted_pearson(m.row(i), m.row(j))
+                };
+                assert!((c.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn global_coefficients_average_off_diagonal() {
+        let m = Matrix::from_rows([
+            [1.0, 2.0, 3.0, 4.0],
+            [2.0, 4.0, 6.0, 8.0],
+            [4.0, 3.0, 2.0, 1.0],
+        ])
+        .unwrap();
+        let c = shifted_correlation_matrix(&m);
+        let g = global_coefficients(&c);
+        // row 0: corr with row1 = 2.0, with row2 = 0.0 -> mean 1.0
+        assert!((g[0] - 1.0).abs() < EPS);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn global_coefficients_single_row() {
+        let c = Matrix::from_rows([[2.0]]).unwrap();
+        assert_eq!(global_coefficients(&c), vec![0.0]);
+    }
+}

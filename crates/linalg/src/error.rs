@@ -1,0 +1,61 @@
+//! Error type shared by the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The provided buffer length does not match `rows * cols`.
+    ShapeMismatch {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the buffer that was provided.
+        len: usize,
+    },
+    /// Two operands were expected to share a dimension but do not.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+        /// Human-readable description of the operation.
+        what: &'static str,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    Empty(&'static str),
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+        /// Which axis or object was indexed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { rows, cols, len } => write!(
+                f,
+                "shape mismatch: {rows}x{cols} matrix needs {} elements, got {len}",
+                rows * cols
+            ),
+            Error::DimensionMismatch { left, right, what } => {
+                write!(f, "dimension mismatch in {what}: {left} vs {right}")
+            }
+            Error::Empty(what) => write!(f, "{what} must not be empty"),
+            Error::OutOfBounds { index, bound, what } => {
+                write!(f, "{what} index {index} out of bounds (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, Error>;

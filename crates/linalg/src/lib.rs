@@ -1,0 +1,32 @@
+//! Dense matrix and statistics substrate for the `cwsmooth` workspace.
+//!
+//! The paper's reference implementation leans on numpy; this crate provides
+//! the equivalent primitives used by every other crate in the workspace:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix where **rows are sensors**
+//!   and **columns are time-stamps** (the paper's sensor matrix `S`).
+//! * [`stats`] — streaming descriptive statistics over slices (mean,
+//!   standard deviation, percentiles, sums of changes, mean-filter
+//!   sub-sampling) used by both the baselines and the CS method.
+//! * [`corr`] — covariance and (shifted) Pearson correlation, including the
+//!   rayon-parallel full correlation matrix that dominates the CS training
+//!   stage (`O(n^2 t)`).
+//! * [`norm`] — min-max normalization with persistable bounds.
+//! * [`complex`] — a minimal `Complex64` used for CS signature blocks.
+//!
+//! Everything is deterministic and allocation-conscious: hot paths take
+//! `&[f64]` slices and write into caller-provided buffers where it matters.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod corr;
+pub mod error;
+pub mod matrix;
+pub mod norm;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use error::{Error, Result};
+pub use matrix::Matrix;
+pub use norm::MinMax;

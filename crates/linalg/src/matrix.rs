@@ -1,0 +1,464 @@
+//! Dense row-major matrix with rows-as-sensors semantics.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f64` matrix.
+///
+/// In the `cwsmooth` workspace a matrix almost always represents the paper's
+/// sensor matrix `S`: each **row** holds the time series of one sensor and
+/// each **column** is one time-stamp. Row access is therefore contiguous and
+/// cheap; column access strides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::ShapeMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Builds a matrix from an iterator of equally long rows.
+    ///
+    /// Returns [`Error::Empty`] for zero rows and
+    /// [`Error::DimensionMismatch`] if row lengths disagree.
+    pub fn from_rows<I, R>(rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut data = Vec::new();
+        let mut cols = None;
+        let mut nrows = 0usize;
+        for row in rows {
+            let row = row.as_ref();
+            match cols {
+                None => cols = Some(row.len()),
+                Some(c) if c != row.len() => {
+                    return Err(Error::DimensionMismatch {
+                        left: c,
+                        right: row.len(),
+                        what: "Matrix::from_rows",
+                    })
+                }
+                _ => {}
+            }
+            data.extend_from_slice(row);
+            nrows += 1;
+        }
+        let cols = cols.ok_or(Error::Empty("Matrix::from_rows input"))?;
+        Ok(Self {
+            rows: nrows,
+            cols,
+            data,
+        })
+    }
+
+    /// Generates a matrix by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows (sensors).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (time-stamps).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor; panics on out-of-bounds (hot path, checked by debug asserts).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Contiguous slice of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable contiguous slice of one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Checked row access.
+    pub fn try_row(&self, row: usize) -> Result<&[f64]> {
+        if row >= self.rows {
+            return Err(Error::OutOfBounds {
+                index: row,
+                bound: self.rows,
+                what: "row",
+            });
+        }
+        Ok(self.row(row))
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `col` into a fresh vector.
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        debug_assert!(col < self.cols);
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Copies column `col` into `out` (must be `rows` long).
+    pub fn col_into(&self, col: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.get(r, col);
+        }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Returns a sub-matrix covering columns `[start, end)` of all rows.
+    ///
+    /// This is the paper's `S_w` extraction: a time window over the full
+    /// sensor matrix.
+    pub fn col_window(&self, start: usize, end: usize) -> Result<Matrix> {
+        if end > self.cols || start > end {
+            return Err(Error::OutOfBounds {
+                index: end,
+                bound: self.cols + 1,
+                what: "column window",
+            });
+        }
+        let w = end - start;
+        let mut data = Vec::with_capacity(self.rows * w);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            data.extend_from_slice(&row[start..end]);
+        }
+        Matrix::from_vec(self.rows, w, data)
+    }
+
+    /// Returns a new matrix with rows permuted: output row `i` is input row
+    /// `perm[i]`.
+    ///
+    /// Returns an error if `perm` is not a permutation of `0..rows`.
+    pub fn permute_rows(&self, perm: &[usize]) -> Result<Matrix> {
+        if perm.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                left: perm.len(),
+                right: self.rows,
+                what: "permute_rows",
+            });
+        }
+        let mut seen = vec![false; self.rows];
+        for &p in perm {
+            if p >= self.rows {
+                return Err(Error::OutOfBounds {
+                    index: p,
+                    bound: self.rows,
+                    what: "permutation entry",
+                });
+            }
+            if seen[p] {
+                return Err(Error::DimensionMismatch {
+                    left: p,
+                    right: p,
+                    what: "permute_rows (duplicate entry)",
+                });
+            }
+            seen[p] = true;
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for &p in perm {
+            data.extend_from_slice(self.row(p));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Stacks matrices vertically (all must share the column count).
+    pub fn vstack(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts.first().ok_or(Error::Empty("vstack input"))?;
+        let cols = first.cols;
+        let mut data = Vec::new();
+        let mut rows = 0usize;
+        for m in parts {
+            if m.cols != cols {
+                return Err(Error::DimensionMismatch {
+                    left: cols,
+                    right: m.cols,
+                    what: "vstack",
+                });
+            }
+            data.extend_from_slice(&m.data);
+            rows += m.rows;
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Stacks matrices horizontally (all must share the row count).
+    pub fn hstack(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts.first().ok_or(Error::Empty("hstack input"))?;
+        let rows = first.rows;
+        for m in parts {
+            if m.rows != rows {
+                return Err(Error::DimensionMismatch {
+                    left: rows,
+                    right: m.rows,
+                    what: "hstack",
+                });
+            }
+        }
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for m in parts {
+                data.extend_from_slice(m.row(r));
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Row-wise backward finite differences: `out[r][c] = x[r][c] - x[r][c-1]`,
+    /// with the first column seeded from `prev` (one sample of history per
+    /// row) or 0.0 when no history is available.
+    ///
+    /// This produces the paper's derivative matrix `S'` used for the
+    /// imaginary signature components (Eq. 3).
+    pub fn backward_diff(&self, prev: Option<&[f64]>) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.cols == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let first = match prev {
+                Some(p) => row[0] - p[r],
+                None => 0.0,
+            };
+            let orow = out.row_mut(r);
+            orow[0] = first;
+            for c in 1..row.len() {
+                orow[c] = row[c] - row[c - 1];
+            }
+        }
+        out
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Replaces non-finite elements with `value` (failure-injection hygiene).
+    pub fn replace_non_finite(&mut self, value: f64) {
+        for v in &mut self.data {
+            if !v.is_finite() {
+                *v = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = sample();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Matrix::from_rows(rows).is_err());
+    }
+
+    #[test]
+    fn from_rows_builds() {
+        let m = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn col_window_extracts() {
+        let m = sample();
+        let w = m.col_window(1, 3).unwrap();
+        assert_eq!(w.shape(), (2, 2));
+        assert_eq!(w.row(0), &[2.0, 3.0]);
+        assert!(m.col_window(1, 4).is_err());
+        assert!(m.col_window(2, 1).is_err());
+    }
+
+    #[test]
+    fn permute_rows_applies() {
+        let m = sample();
+        let p = m.permute_rows(&[1, 0]).unwrap();
+        assert_eq!(p.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(p.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn permute_rows_rejects_invalid() {
+        let m = sample();
+        assert!(m.permute_rows(&[0]).is_err());
+        assert!(m.permute_rows(&[0, 2]).is_err());
+        assert!(m.permute_rows(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = sample();
+        let b = sample();
+        let v = Matrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(2), a.row(0));
+        let h = Matrix::hstack(&[&a, &b]).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(&h.row(0)[3..], a.row(0));
+    }
+
+    #[test]
+    fn backward_diff_no_history() {
+        let m = Matrix::from_rows([[1.0, 3.0, 6.0]]).unwrap();
+        let d = m.backward_diff(None);
+        assert_eq!(d.row(0), &[0.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_diff_with_history() {
+        let m = Matrix::from_rows([[1.0, 3.0, 6.0]]).unwrap();
+        let d = m.backward_diff(Some(&[0.5]));
+        assert_eq!(d.row(0), &[0.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_finite_hygiene() {
+        let mut m = Matrix::from_rows([[1.0, f64::NAN, f64::INFINITY]]).unwrap();
+        assert!(m.has_non_finite());
+        m.replace_non_finite(0.0);
+        assert!(!m.has_non_finite());
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Min-max normalization with persistable per-row bounds.
+//!
+//! The CS training stage records each sensor's lower and upper bound; the
+//! sorting stage then maps readings into `[0, 1]`. Values outside the
+//! training range (drift, new workloads) are clamped so a single outlier
+//! cannot blow up a signature. Constant rows map to 0.5 — "no information".
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::stats::min_max;
+
+/// Per-row min/max bounds learned from a training matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMax {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMax {
+    /// Learns bounds from every row of `m`.
+    pub fn fit(m: &Matrix) -> Self {
+        let mut lo = Vec::with_capacity(m.rows());
+        let mut hi = Vec::with_capacity(m.rows());
+        for r in 0..m.rows() {
+            let (l, h) = min_max(m.row(r));
+            lo.push(l);
+            hi.push(h);
+        }
+        Self { lo, hi }
+    }
+
+    /// Builds bounds directly from vectors (must be equal length).
+    pub fn from_bounds(lo: Vec<f64>, hi: Vec<f64>) -> crate::Result<Self> {
+        if lo.len() != hi.len() {
+            return Err(crate::Error::DimensionMismatch {
+                left: lo.len(),
+                right: hi.len(),
+                what: "MinMax::from_bounds",
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Number of rows covered by these bounds.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` if the bounds cover zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Lower bounds per row.
+    pub fn lower(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds per row.
+    pub fn upper(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Normalizes one value from row `r` into `[0, 1]` (clamped).
+    #[inline]
+    pub fn scale(&self, r: usize, v: f64) -> f64 {
+        let lo = self.lo[r];
+        let hi = self.hi[r];
+        let range = hi - lo;
+        if range <= 0.0 || !range.is_finite() {
+            return 0.5;
+        }
+        ((v - lo) / range).clamp(0.0, 1.0)
+    }
+
+    /// Normalizes a whole matrix row-wise into a new matrix.
+    ///
+    /// Returns an error when the matrix row count does not match.
+    pub fn apply(&self, m: &Matrix) -> crate::Result<Matrix> {
+        if m.rows() != self.len() {
+            return Err(crate::Error::DimensionMismatch {
+                left: m.rows(),
+                right: self.len(),
+                what: "MinMax::apply",
+            });
+        }
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let lo = self.lo[r];
+            let hi = self.hi[r];
+            let range = hi - lo;
+            let row = out.row_mut(r);
+            if range <= 0.0 || !range.is_finite() {
+                for v in row.iter_mut() {
+                    *v = 0.5;
+                }
+            } else {
+                for v in row.iter_mut() {
+                    *v = ((*v - lo) / range).clamp(0.0, 1.0);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Widens these bounds to also cover every row of `m` (online refresh).
+    pub fn update(&mut self, m: &Matrix) -> crate::Result<()> {
+        if m.rows() != self.len() {
+            return Err(crate::Error::DimensionMismatch {
+                left: m.rows(),
+                right: self.len(),
+                what: "MinMax::update",
+            });
+        }
+        for r in 0..m.rows() {
+            let (l, h) = min_max(m.row(r));
+            if l < self.lo[r] {
+                self.lo[r] = l;
+            }
+            if h > self.hi[r] {
+                self.hi[r] = h;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_apply_bounds() {
+        let m = Matrix::from_rows([[0.0, 5.0, 10.0], [3.0, 3.0, 3.0]]).unwrap();
+        let mm = MinMax::fit(&m);
+        assert_eq!(mm.lower(), &[0.0, 3.0]);
+        assert_eq!(mm.upper(), &[10.0, 3.0]);
+        let n = mm.apply(&m).unwrap();
+        assert_eq!(n.row(0), &[0.0, 0.5, 1.0]);
+        // constant row -> 0.5 everywhere
+        assert_eq!(n.row(1), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let train = Matrix::from_rows([[0.0, 10.0]]).unwrap();
+        let mm = MinMax::fit(&train);
+        let test = Matrix::from_rows([[-5.0, 15.0]]).unwrap();
+        let n = mm.apply(&test).unwrap();
+        assert_eq!(n.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_single_values() {
+        let mm = MinMax::from_bounds(vec![0.0], vec![4.0]).unwrap();
+        assert_eq!(mm.scale(0, 1.0), 0.25);
+        assert_eq!(mm.scale(0, -1.0), 0.0);
+        assert_eq!(mm.scale(0, 9.0), 1.0);
+    }
+
+    #[test]
+    fn mismatched_rows_error() {
+        let m = Matrix::zeros(3, 2);
+        let mm = MinMax::from_bounds(vec![0.0], vec![1.0]).unwrap();
+        assert!(mm.apply(&m).is_err());
+    }
+
+    #[test]
+    fn update_widens() {
+        let m1 = Matrix::from_rows([[1.0, 2.0]]).unwrap();
+        let mut mm = MinMax::fit(&m1);
+        let m2 = Matrix::from_rows([[0.0, 5.0]]).unwrap();
+        mm.update(&m2).unwrap();
+        assert_eq!(mm.lower(), &[0.0]);
+        assert_eq!(mm.upper(), &[5.0]);
+    }
+
+    #[test]
+    fn from_bounds_rejects_ragged() {
+        assert!(MinMax::from_bounds(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+}

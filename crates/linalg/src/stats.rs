@@ -1,0 +1,246 @@
+//! Descriptive statistics over slices.
+//!
+//! These kernels back both the baseline signature methods (Tuncer computes
+//! eleven indicators per sensor, Bodik nine percentiles) and parts of the CS
+//! method. Percentiles follow numpy's default *linear interpolation*
+//! convention so results line up with the paper's Python reference.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (denominator `n`); 0.0 for fewer than one element.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[inline]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum; +inf for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; -inf for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum and maximum in a single pass; `(inf, -inf)` for an empty slice.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    (lo, hi)
+}
+
+/// Percentile with numpy-style linear interpolation, `q` in `[0, 100]`.
+///
+/// Sorts a scratch copy: `O(w log w)` — this is exactly the super-linear
+/// term the paper attributes to the Tuncer and Bodik baselines (Sec. IV-D).
+/// Returns 0.0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut buf = xs.to_vec();
+    buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_of_sorted(&buf, q)
+}
+
+/// Several percentiles sharing one sort of the input.
+pub fn percentiles(xs: &[f64], qs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if xs.is_empty() {
+        out.extend(qs.iter().map(|_| 0.0));
+        return;
+    }
+    let mut buf = xs.to_vec();
+    buf.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out.extend(qs.iter().map(|&q| percentile_of_sorted(&buf, q)));
+}
+
+/// Percentile of an already ascending-sorted slice.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Sum of successive changes: `Σ (x[k] - x[k-1])`, i.e. `last - first`.
+///
+/// One of Tuncer's indicators (used in place of skewness in the paper).
+pub fn sum_of_changes(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    xs[xs.len() - 1] - xs[0]
+}
+
+/// Absolute sum of successive changes: `Σ |x[k] - x[k-1]|`.
+pub fn abs_sum_of_changes(xs: &[f64]) -> f64 {
+    xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// Mean-filter sub-sampling of `xs` to exactly `target` points (Lan method).
+///
+/// Splits `xs` into `target` near-equal chunks and emits each chunk's mean.
+/// If `target >= xs.len()` the input is copied and padded by repeating the
+/// last value, so the output length is always exactly `target`.
+pub fn mean_filter_subsample(xs: &[f64], target: usize) -> Vec<f64> {
+    if target == 0 {
+        return Vec::new();
+    }
+    if xs.is_empty() {
+        return vec![0.0; target];
+    }
+    if target >= xs.len() {
+        let mut out = xs.to_vec();
+        out.resize(target, *xs.last().unwrap());
+        return out;
+    }
+    let mut out = Vec::with_capacity(target);
+    for i in 0..target {
+        let b = i * xs.len() / target;
+        let e = ((i + 1) * xs.len() / target).max(b + 1);
+        out.push(mean(&xs[b..e]));
+    }
+    out
+}
+
+/// Dot product of two equally long slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < EPS);
+        assert!((variance(&xs) - 4.0).abs() < EPS);
+        assert!((std_dev(&xs) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_inputs_are_defined() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(sum_of_changes(&[]), 0.0);
+        assert_eq!(abs_sum_of_changes(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn min_max_single_pass_matches() {
+        let xs = [3.0, -1.0, 7.5, 0.0];
+        assert_eq!(min_max(&xs), (min(&xs), max(&xs)));
+    }
+
+    #[test]
+    fn percentile_matches_numpy_convention() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // numpy.percentile([1,2,3,4], 50) == 2.5
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < EPS);
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < EPS);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < EPS);
+    }
+
+    #[test]
+    fn percentiles_batch_matches_individual() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let qs = [5.0, 25.0, 50.0, 75.0, 95.0];
+        let mut out = Vec::new();
+        percentiles(&xs, &qs, &mut out);
+        for (i, &q) in qs.iter().enumerate() {
+            assert!((out[i] - percentile(&xs, q)).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn changes_metrics() {
+        let xs = [1.0, 3.0, 2.0, 5.0];
+        assert!((sum_of_changes(&xs) - 4.0).abs() < EPS);
+        assert!((abs_sum_of_changes(&xs) - 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn subsample_shrinks_with_means() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let out = mean_filter_subsample(&xs, 3);
+        assert_eq!(out, vec![1.5, 3.5, 5.5]);
+    }
+
+    #[test]
+    fn subsample_pads_when_growing() {
+        let xs = [1.0, 2.0];
+        let out = mean_filter_subsample(&xs, 4);
+        assert_eq!(out, vec![1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn subsample_target_zero_and_empty() {
+        assert!(mean_filter_subsample(&[1.0], 0).is_empty());
+        assert_eq!(mean_filter_subsample(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn subsample_uneven_chunks_cover_input() {
+        let xs: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let out = mean_filter_subsample(&xs, 3);
+        assert_eq!(out.len(), 3);
+        // chunk bounds: [0,2), [2,4), [4,7)
+        assert!((out[0] - 0.5).abs() < EPS);
+        assert!((out[1] - 2.5).abs() < EPS);
+        assert!((out[2] - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cwsmooth_linalg::{corr, stats, Matrix, MinMax};
+use proptest::prelude::*;
+
+/// Strategy: a non-empty vector of finite, reasonably sized floats.
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
+}
+
+/// Strategy: a small matrix with finite entries.
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..8, 1usize..16).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-1e4f64..1e4f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn percentile_between_min_and_max(xs in finite_vec(64), q in 0.0f64..100.0) {
+        let p = stats::percentile(&xs, q);
+        let (lo, hi) = stats::min_max(&xs);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone_in_q(xs in finite_vec(64), q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        let (a, b) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::percentile(&xs, a) <= stats::percentile(&xs, b) + 1e-9);
+    }
+
+    #[test]
+    fn percentile_matches_sort_oracle_at_median(mut xs in finite_vec(64)) {
+        let p = stats::percentile(&xs, 50.0);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len();
+        let oracle = if n % 2 == 1 { xs[n / 2] } else { (xs[n / 2 - 1] + xs[n / 2]) / 2.0 };
+        prop_assert!((p - oracle).abs() <= 1e-9 * (1.0 + oracle.abs()));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(xs in finite_vec(64)) {
+        let m = stats::mean(&xs);
+        let (lo, hi) = stats::min_max(&xs);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_non_negative(xs in finite_vec(64)) {
+        prop_assert!(stats::variance(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn subsample_length_is_exact(xs in finite_vec(128), target in 0usize..64) {
+        prop_assert_eq!(stats::mean_filter_subsample(&xs, target).len(), target);
+    }
+
+    #[test]
+    fn subsample_values_bounded(xs in finite_vec(128), target in 1usize..64) {
+        let out = stats::mean_filter_subsample(&xs, target);
+        let (lo, hi) = stats::min_max(&xs);
+        for v in out {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_in_range_and_symmetric(a in finite_vec(32), b in finite_vec(32)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let p = corr::pearson(a, b);
+        prop_assert!((-1.0..=1.0).contains(&p));
+        prop_assert!((p - corr::pearson(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_self_is_one_unless_constant(a in finite_vec(32)) {
+        let p = corr::pearson(&a, &a);
+        if stats::variance(&a) > 0.0 {
+            prop_assert!((p - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(p, 0.0);
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_in_range(m in small_matrix()) {
+        let c = corr::shifted_correlation_matrix(&m);
+        let n = m.rows();
+        prop_assert_eq!(c.shape(), (n, n));
+        for i in 0..n {
+            prop_assert!((c.get(i, i) - 2.0).abs() < 1e-12);
+            for j in 0..n {
+                prop_assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-9);
+                prop_assert!(c.get(i, j) >= -1e-9 && c.get(i, j) <= 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn global_coefficients_in_range(m in small_matrix()) {
+        let c = corr::shifted_correlation_matrix(&m);
+        for g in corr::global_coefficients(&c) {
+            prop_assert!((-1e-9..=2.0 + 1e-9).contains(&g));
+        }
+    }
+
+    #[test]
+    fn minmax_apply_lands_in_unit_interval(m in small_matrix()) {
+        let mm = MinMax::fit(&m);
+        let n = mm.apply(&m).unwrap();
+        for &v in n.as_slice() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn minmax_preserves_row_extremes(m in small_matrix()) {
+        let mm = MinMax::fit(&m);
+        let n = mm.apply(&m).unwrap();
+        for r in 0..m.rows() {
+            let (lo, hi) = stats::min_max(m.row(r));
+            if hi > lo {
+                let (nlo, nhi) = stats::min_max(n.row(r));
+                prop_assert!(nlo.abs() < 1e-12);
+                prop_assert!((nhi - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rows_with_identity_is_noop(m in small_matrix()) {
+        let id: Vec<usize> = (0..m.rows()).collect();
+        prop_assert_eq!(m.permute_rows(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn col_window_shape_law(m in small_matrix(), a in 0usize..16, b in 0usize..16) {
+        let (start, end) = if a <= b { (a, b) } else { (b, a) };
+        let end = end.min(m.cols());
+        let start = start.min(end);
+        let w = m.col_window(start, end).unwrap();
+        prop_assert_eq!(w.shape(), (m.rows(), end - start));
+    }
+
+    #[test]
+    fn backward_diff_undoes_cumsum(xs in finite_vec(32)) {
+        // cumulative sums, then backward differences with history 0 recovers xs[1..]
+        let mut cum = Vec::with_capacity(xs.len());
+        let mut acc = 0.0;
+        for &x in &xs {
+            acc += x;
+            cum.push(acc);
+        }
+        let m = Matrix::from_rows([cum.clone()]).unwrap();
+        let d = m.backward_diff(Some(&[0.0]));
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert!((d.row(0)[i] - x).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Cross-validation: shuffling, K-fold and stratified K-fold splits.
+//!
+//! The paper shuffles each feature-set dataset and applies 5-fold
+//! cross-validation with a *stratified* K-fold strategy (Sec. IV-A1):
+//! folds preserve per-class proportions, four folds train and one tests,
+//! rotating through all combinations.
+
+use crate::error::{MlError, Result};
+use crate::forest::{RandomForestClassifier, RandomForestRegressor};
+use crate::metrics;
+use cwsmooth_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One train/test split: indices into the original dataset.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training sample indices.
+    pub train: Vec<usize>,
+    /// Test sample indices.
+    pub test: Vec<usize>,
+}
+
+/// Fisher-Yates shuffle of `0..n` with a seeded RNG.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Plain K-fold: splits `0..n` (shuffled) into `k` near-equal test folds.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 {
+        return Err(MlError::Config("k must be >= 2".into()));
+    }
+    if n < k {
+        return Err(MlError::Shape(format!("cannot make {k} folds from {n} samples")));
+    }
+    let order = shuffled_indices(n, seed);
+    fold_from_buckets(&order, k, n)
+}
+
+/// Stratified K-fold: per-class round-robin assignment so every fold keeps
+/// (approximately) the global class proportions.
+pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 {
+        return Err(MlError::Config("k must be >= 2".into()));
+    }
+    let n = labels.len();
+    if n < k {
+        return Err(MlError::Shape(format!("cannot make {k} folds from {n} samples")));
+    }
+    let order = shuffled_indices(n, seed);
+    // Group shuffled indices by class, preserving shuffled order.
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for &i in &order {
+        per_class[labels[i]].push(i);
+    }
+    // Round-robin each class's samples across folds.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next_bucket = 0usize;
+    for class_samples in per_class {
+        for i in class_samples {
+            buckets[next_bucket].push(i);
+            next_bucket = (next_bucket + 1) % k;
+        }
+    }
+    buckets_to_folds(buckets, n)
+}
+
+fn fold_from_buckets(order: &[usize], k: usize, n: usize) -> Result<Vec<Fold>> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &i) in order.iter().enumerate() {
+        buckets[pos % k].push(i);
+    }
+    buckets_to_folds(buckets, n)
+}
+
+fn buckets_to_folds(buckets: Vec<Vec<usize>>, n: usize) -> Result<Vec<Fold>> {
+    let k = buckets.len();
+    let mut folds = Vec::with_capacity(k);
+    for test_idx in 0..k {
+        let test = buckets[test_idx].clone();
+        if test.is_empty() {
+            return Err(MlError::Shape("a fold came out empty".into()));
+        }
+        let mut train = Vec::with_capacity(n - test.len());
+        for (b, bucket) in buckets.iter().enumerate() {
+            if b != test_idx {
+                train.extend_from_slice(bucket);
+            }
+        }
+        folds.push(Fold { train, test });
+    }
+    Ok(folds)
+}
+
+/// Gathers the rows of `x` selected by `idx` into a new matrix.
+pub fn gather_rows(x: &Matrix, idx: &[usize]) -> Matrix {
+    let mut data = Vec::with_capacity(idx.len() * x.cols());
+    for &i in idx {
+        data.extend_from_slice(x.row(i));
+    }
+    Matrix::from_vec(idx.len(), x.cols(), data).expect("gather shape")
+}
+
+fn gather<T: Copy>(y: &[T], idx: &[usize]) -> Vec<T> {
+    idx.iter().map(|&i| y[i]).collect()
+}
+
+/// Summary of one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvReport {
+    /// Score per fold (weighted F1 or `1 − NRMSE`).
+    pub fold_scores: Vec<f64>,
+    /// Wall-clock seconds spent fitting + predicting, summed over folds.
+    pub elapsed_seconds: f64,
+}
+
+impl CvReport {
+    /// Mean score across folds.
+    pub fn mean_score(&self) -> f64 {
+        self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+    }
+}
+
+/// Runs stratified K-fold cross-validation of a random-forest classifier,
+/// scoring each fold with the weighted F1 (the paper's protocol).
+pub fn cross_validate_forest_classifier(
+    x: &Matrix,
+    y: &[usize],
+    k: usize,
+    seed: u64,
+    make_model: impl Fn(u64) -> RandomForestClassifier,
+) -> Result<CvReport> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape("features/labels length mismatch".into()));
+    }
+    let folds = stratified_kfold(y, k, seed)?;
+    let start = std::time::Instant::now();
+    let mut scores = Vec::with_capacity(k);
+    for (f, fold) in folds.iter().enumerate() {
+        let xt = gather_rows(x, &fold.train);
+        let yt = gather(y, &fold.train);
+        let xs = gather_rows(x, &fold.test);
+        let ys = gather(y, &fold.test);
+        let mut model = make_model(seed.wrapping_add(f as u64));
+        model.fit(&xt, &yt)?;
+        let pred = model.predict(&xs)?;
+        scores.push(metrics::f1_score(&ys, &pred)?);
+    }
+    Ok(CvReport {
+        fold_scores: scores,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs K-fold cross-validation of a random-forest regressor, scoring each
+/// fold with `1 − NRMSE`.
+pub fn cross_validate_forest_regressor(
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+    make_model: impl Fn(u64) -> RandomForestRegressor,
+) -> Result<CvReport> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape("features/targets length mismatch".into()));
+    }
+    let folds = kfold(y.len(), k, seed)?;
+    let start = std::time::Instant::now();
+    let mut scores = Vec::with_capacity(k);
+    for (f, fold) in folds.iter().enumerate() {
+        let xt = gather_rows(x, &fold.train);
+        let yt = gather(y, &fold.train);
+        let xs = gather_rows(x, &fold.test);
+        let ys = gather(y, &fold.test);
+        let mut model = make_model(seed.wrapping_add(f as u64));
+        model.fit(&xt, &yt)?;
+        let pred = model.predict(&xs)?;
+        scores.push(metrics::ml_score_regression(&ys, &pred)?);
+    }
+    Ok(CvReport {
+        fold_scores: scores,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs stratified K-fold cross-validation of an MLP classifier (the
+/// paper's secondary model), scoring each fold with the weighted F1.
+pub fn cross_validate_mlp_classifier(
+    x: &Matrix,
+    y: &[usize],
+    k: usize,
+    seed: u64,
+    make_model: impl Fn(u64) -> crate::mlp::MlpClassifier,
+) -> Result<CvReport> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape("features/labels length mismatch".into()));
+    }
+    let folds = stratified_kfold(y, k, seed)?;
+    let start = std::time::Instant::now();
+    let mut scores = Vec::with_capacity(k);
+    for (f, fold) in folds.iter().enumerate() {
+        let xt = gather_rows(x, &fold.train);
+        let yt = gather(y, &fold.train);
+        let xs = gather_rows(x, &fold.test);
+        let ys = gather(y, &fold.test);
+        let mut model = make_model(seed.wrapping_add(f as u64));
+        model.fit(&xt, &yt)?;
+        let pred = model.predict(&xs)?;
+        scores.push(metrics::f1_score(&ys, &pred)?);
+    }
+    Ok(CvReport {
+        fold_scores: scores,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::small_forest_config;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let a = shuffled_indices(100, 5);
+        let b = shuffled_indices(100, 5);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, shuffled_indices(100, 6));
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let folds = kfold(23, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = [0usize; 23];
+        for fold in &folds {
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+            // train/test are disjoint and cover all samples
+            let mut all: Vec<usize> = fold.train.iter().chain(&fold.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..23).collect::<Vec<_>>());
+        }
+        // each sample is in exactly one test fold
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn stratified_preserves_proportions() {
+        // 40 of class 0, 10 of class 1.
+        let labels: Vec<usize> = (0..50).map(|i| usize::from(i >= 40)).collect();
+        let folds = stratified_kfold(&labels, 5, 3).unwrap();
+        for fold in &folds {
+            let c1 = fold.test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(fold.test.len(), 10);
+            assert_eq!(c1, 2, "fold should hold 2 of the 10 class-1 samples");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(kfold(10, 1, 0).is_err());
+        assert!(kfold(3, 5, 0).is_err());
+        assert!(stratified_kfold(&[0, 1], 5, 0).is_err());
+    }
+
+    #[test]
+    fn forest_cv_on_separable_data() {
+        let x = Matrix::from_fn(100, 2, |r, c| ((r / 50) as f64) * 4.0 + (c as f64) * 0.1 + ((r % 50) as f64) * 0.001);
+        let y: Vec<usize> = (0..100).map(|r| r / 50).collect();
+        let report = cross_validate_forest_classifier(&x, &y, 5, 42, |s| {
+            RandomForestClassifier::with_config(small_forest_config(s, true))
+        })
+        .unwrap();
+        assert_eq!(report.fold_scores.len(), 5);
+        assert!(report.mean_score() > 0.99, "score {}", report.mean_score());
+        assert!(report.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn regressor_cv_on_linear_data() {
+        let x = Matrix::from_fn(80, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..80).map(|r| 2.0 * r as f64 + 5.0).collect();
+        let report = cross_validate_forest_regressor(&x, &y, 5, 42, |s| {
+            RandomForestRegressor::with_config(small_forest_config(s, false))
+        })
+        .unwrap();
+        assert!(report.mean_score() > 0.9, "score {}", report.mean_score());
+    }
+
+    #[test]
+    fn mlp_cv_on_separable_data() {
+        use crate::mlp::{MlpClassifier, MlpConfig};
+        let x = Matrix::from_fn(100, 2, |r, c| {
+            ((r / 50) as f64) * 4.0 + (c as f64) * 0.1 + ((r % 50) as f64) * 0.001
+        });
+        let y: Vec<usize> = (0..100).map(|r| r / 50).collect();
+        let report = cross_validate_mlp_classifier(&x, &y, 5, 11, |s| {
+            MlpClassifier::with_config(MlpConfig {
+                hidden: vec![16, 16],
+                max_epochs: 120,
+                seed: s,
+                ..MlpConfig::default()
+            })
+        })
+        .unwrap();
+        assert!(report.mean_score() > 0.95, "score {}", report.mean_score());
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let x = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]).unwrap();
+        let g = gather_rows(&x, &[2, 0]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced while fitting or applying models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Features/labels disagree in length, or the input is empty.
+    Shape(String),
+    /// Bad hyper-parameters.
+    Config(String),
+    /// The model was used before fitting.
+    NotFitted,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(m) => write!(f, "shape error: {m}"),
+            MlError::Config(m) => write!(f, "configuration error: {m}"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Convenience alias for the ML substrate.
+pub type Result<T> = std::result::Result<T, MlError>;

@@ -1,0 +1,407 @@
+//! Bagged random forests (classifier and regressor).
+//!
+//! Matches the paper's model: 50 estimators, Gini impurity for splits
+//! (Sec. IV-A1). Each tree is fitted on a bootstrap resample with
+//! per-split feature subsampling; trees train in parallel with rayon.
+//! Prediction is majority vote (classification) or the tree mean
+//! (regression).
+
+use crate::error::{MlError, Result};
+use crate::tree::{Criterion, DecisionTree, MaxFeatures, TreeConfig};
+use cwsmooth_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Shared forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees (paper: 50).
+    pub n_estimators: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Bootstrap resampling (true = classic bagging).
+    pub bootstrap: bool,
+    /// Master seed; tree `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// The paper's classifier setup: 50 trees, Gini, √d features per split.
+    pub fn classification(seed: u64) -> Self {
+        Self {
+            n_estimators: 50,
+            tree: TreeConfig::classification(),
+            bootstrap: true,
+            seed,
+        }
+    }
+
+    /// The paper's regressor setup: 50 trees, variance reduction.
+    pub fn regression(seed: u64) -> Self {
+        Self {
+            n_estimators: 50,
+            tree: TreeConfig::regression(),
+            bootstrap: true,
+            seed,
+        }
+    }
+}
+
+fn bootstrap_indices(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+}
+
+fn resample(x: &Matrix, y: &[f64], idx: &[u32]) -> (Matrix, Vec<f64>) {
+    let mut data = Vec::with_capacity(idx.len() * x.cols());
+    let mut ry = Vec::with_capacity(idx.len());
+    for &i in idx {
+        data.extend_from_slice(x.row(i as usize));
+        ry.push(y[i as usize]);
+    }
+    (
+        Matrix::from_vec(idx.len(), x.cols(), data).expect("resample shape"),
+        ry,
+    )
+}
+
+fn fit_trees(
+    x: &Matrix,
+    y: &[f64],
+    n_classes: usize,
+    config: &ForestConfig,
+) -> Result<Vec<DecisionTree>> {
+    if config.n_estimators == 0 {
+        return Err(MlError::Config("n_estimators must be >= 1".into()));
+    }
+    if x.rows() == 0 {
+        return Err(MlError::Shape("empty training set".into()));
+    }
+    if x.rows() != y.len() {
+        return Err(MlError::Shape(format!(
+            "{} samples but {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    (0..config.n_estimators)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+            if config.bootstrap {
+                let idx = bootstrap_indices(x.rows(), &mut rng);
+                let (bx, by) = resample(x, y, &idx);
+                DecisionTree::fit(&bx, &by, n_classes, &config.tree, &mut rng)
+            } else {
+                DecisionTree::fit(x, y, n_classes, &config.tree, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// A random-forest classifier.
+///
+/// ```
+/// use cwsmooth_linalg::Matrix;
+/// use cwsmooth_ml::RandomForestClassifier;
+///
+/// // Two separable blobs.
+/// let x = Matrix::from_fn(40, 2, |r, c| (r % 2) as f64 * 5.0 + (r + c) as f64 * 0.01);
+/// let y: Vec<usize> = (0..40).map(|r| r % 2).collect();
+/// let mut rf = RandomForestClassifier::new(42);
+/// rf.fit(&x, &y).unwrap();
+/// assert_eq!(rf.predict(&x).unwrap(), y);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    config: ForestConfig,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Creates an unfitted forest with the paper's defaults.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(ForestConfig::classification(seed))
+    }
+
+    /// Creates an unfitted forest from an explicit configuration.
+    pub fn with_config(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Fits on features (rows = samples) and class ids.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<()> {
+        if self.config.tree.criterion != Criterion::Gini {
+            return Err(MlError::Config("classifier requires Gini criterion".into()));
+        }
+        let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+        if n_classes == 0 {
+            return Err(MlError::Shape("no class labels".into()));
+        }
+        let yf: Vec<f64> = y.iter().map(|&c| c as f64).collect();
+        self.trees = fit_trees(x, &yf, n_classes, &self.config)?;
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    /// Majority-vote predictions for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let votes: Vec<Vec<f64>> = self
+            .trees
+            .par_iter()
+            .map(|t| t.predict(x))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::with_capacity(x.rows());
+        let mut counts = vec![0usize; self.n_classes];
+        for r in 0..x.rows() {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for tree_votes in &votes {
+                counts[tree_votes[r] as usize] += 1;
+            }
+            out.push(
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(cls, _)| cls)
+                    .unwrap(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Number of classes seen at fit time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Fitted trees (for inspection).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Mean impurity-based feature importances across trees (sums to ~1).
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        mean_importances(&self.trees)
+    }
+}
+
+/// Averages per-tree importances; errors when the forest is unfitted.
+fn mean_importances(trees: &[DecisionTree]) -> Result<Vec<f64>> {
+    let first = trees.first().ok_or(MlError::NotFitted)?;
+    let d = first.feature_importances().len();
+    let mut out = vec![0.0; d];
+    for t in trees {
+        for (o, &v) in out.iter_mut().zip(t.feature_importances()) {
+            *o += v;
+        }
+    }
+    let k = trees.len() as f64;
+    out.iter_mut().for_each(|v| *v /= k);
+    Ok(out)
+}
+
+/// A random-forest regressor.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    config: ForestConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForestRegressor {
+    /// Creates an unfitted forest with the paper's defaults.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(ForestConfig::regression(seed))
+    }
+
+    /// Creates an unfitted forest from an explicit configuration.
+    pub fn with_config(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Fits on features (rows = samples) and continuous targets.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if self.config.tree.criterion != Criterion::Mse {
+            return Err(MlError::Config("regressor requires MSE criterion".into()));
+        }
+        self.trees = fit_trees(x, y, 0, &self.config)?;
+        Ok(())
+    }
+
+    /// Tree-mean predictions for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let preds: Vec<Vec<f64>> = self
+            .trees
+            .par_iter()
+            .map(|t| t.predict(x))
+            .collect::<Result<_>>()?;
+        let k = self.trees.len() as f64;
+        Ok((0..x.rows())
+            .map(|r| preds.iter().map(|p| p[r]).sum::<f64>() / k)
+            .collect())
+    }
+
+    /// Fitted trees (for inspection).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Mean impurity-based feature importances across trees (sums to ~1).
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        mean_importances(&self.trees)
+    }
+}
+
+/// Convenience: a smaller/faster forest for tests and examples.
+pub fn small_forest_config(seed: u64, classification: bool) -> ForestConfig {
+    let mut cfg = if classification {
+        ForestConfig::classification(seed)
+    } else {
+        ForestConfig::regression(seed)
+    };
+    cfg.n_estimators = 15;
+    cfg.tree.max_depth = Some(12);
+    cfg.tree.max_features = if classification {
+        MaxFeatures::Sqrt
+    } else {
+        MaxFeatures::All
+    };
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize) -> (Matrix, Vec<usize>) {
+        // XOR with noise: not linearly separable, easy for forests.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jitter = ((i * 2654435761) % 100) as f64 / 1000.0;
+            rows.push([a + jitter, b - jitter]);
+            y.push((a as usize) ^ (b as usize));
+        }
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let (x, y) = xor_data(200);
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(1, true));
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(rf.n_classes(), 2);
+    }
+
+    #[test]
+    fn regressor_learns_linear_trend() {
+        let x = Matrix::from_fn(100, 1, |r, _| r as f64 / 10.0);
+        let y: Vec<f64> = (0..100).map(|r| 3.0 * (r as f64 / 10.0) + 1.0).collect();
+        let mut rf = RandomForestRegressor::with_config(small_forest_config(2, false));
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let mse: f64 =
+            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        assert!(mse < 0.5, "mse {mse}");
+    }
+
+    #[test]
+    fn unfitted_models_refuse_to_predict() {
+        let rf = RandomForestClassifier::new(0);
+        assert!(rf.predict(&Matrix::zeros(1, 2)).is_err());
+        let rr = RandomForestRegressor::new(0);
+        assert!(rr.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (x, y) = xor_data(100);
+        let mut a = RandomForestClassifier::with_config(small_forest_config(7, true));
+        let mut b = RandomForestClassifier::with_config(small_forest_config(7, true));
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_build_different_forests() {
+        let (x, y) = xor_data(100);
+        let mut a = RandomForestClassifier::with_config(small_forest_config(1, true));
+        let mut b = RandomForestClassifier::with_config(small_forest_config(2, true));
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        let na: Vec<usize> = a.trees().iter().map(|t| t.node_count()).collect();
+        let nb: Vec<usize> = b.trees().iter().map(|t| t.node_count()).collect();
+        assert_ne!(na, nb);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut rf = RandomForestClassifier::new(0);
+        assert!(rf.fit(&Matrix::zeros(3, 2), &[0, 1]).is_err());
+        assert!(rf.fit(&Matrix::zeros(0, 2), &[]).is_err());
+        let mut rr = RandomForestRegressor::new(0);
+        assert!(rr.fit(&Matrix::zeros(3, 2), &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn config_criterion_mismatch_rejected() {
+        let mut bad = RandomForestClassifier::with_config(ForestConfig::regression(0));
+        assert!(bad.fit(&Matrix::zeros(4, 2), &[0, 1, 0, 1]).is_err());
+        let mut bad_r = RandomForestRegressor::with_config(ForestConfig::classification(0));
+        assert!(bad_r.fit(&Matrix::zeros(4, 2), &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn feature_importances_find_the_signal() {
+        // Feature 0 carries the class; features 1-2 are noise.
+        let x = Matrix::from_fn(120, 3, |r, c| match c {
+            0 => (r % 2) as f64 * 5.0 + ((r * 13) % 7) as f64 * 0.01,
+            _ => ((r * 2654435761 + c * 97) % 100) as f64 / 100.0,
+        });
+        let y: Vec<usize> = (0..120).map(|r| r % 2).collect();
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(4, true));
+        rf.fit(&x, &y).unwrap();
+        let imp = rf.feature_importances().unwrap();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            imp[0] > imp[1] + 0.3 && imp[0] > imp[2] + 0.3,
+            "importances {imp:?}"
+        );
+        // unfitted forest refuses
+        let empty = RandomForestClassifier::new(0);
+        assert!(empty.feature_importances().is_err());
+    }
+
+    #[test]
+    fn multiclass_vote() {
+        // Three separable clusters on a line.
+        let x = Matrix::from_fn(90, 1, |r, _| (r / 30) as f64 * 10.0 + (r % 30) as f64 * 0.01);
+        let y: Vec<usize> = (0..90).map(|r| r / 30).collect();
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(3, true));
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        assert_eq!(pred, y);
+        assert_eq!(rf.n_classes(), 3);
+    }
+}

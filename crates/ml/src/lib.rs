@@ -1,0 +1,36 @@
+//! From-scratch machine-learning substrate for the `cwsmooth` workspace.
+//!
+//! The paper evaluates signature methods through scikit-learn models
+//! (Sec. IV-A1): a random forest with 50 estimators using Gini impurity,
+//! and — for the cross-architecture experiment — a multi-layer perceptron
+//! with two hidden layers of 100 ReLU neurons. No ML crates are in the
+//! approved dependency set, so the full stack is implemented here:
+//!
+//! * [`tree`] — CART decision trees (Gini impurity for classification,
+//!   variance reduction for regression) with per-split random feature
+//!   subsampling.
+//! * [`forest`] — bagged random forests (classifier and regressor), trees
+//!   trained in parallel with rayon.
+//! * [`mlp`] — a multi-layer perceptron with ReLU activations, softmax or
+//!   linear heads, Adam optimization and built-in feature standardization.
+//! * [`cv`] — shuffling, K-fold and stratified K-fold cross-validation.
+//! * [`metrics`] — confusion matrices, precision/recall/F1 (macro and
+//!   weighted), accuracy, RMSE and the paper's `1 − NRMSE` "ML score".
+//!
+//! Conventions: feature matrices are [`cwsmooth_linalg::Matrix`] values
+//! with **rows = samples**, **columns = features** (note: transposed with
+//! respect to the sensor-matrix convention). All randomness flows through
+//! explicit seeds for reproducibility.
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod error;
+pub mod forest;
+pub mod metrics;
+pub mod mlp;
+pub mod tree;
+
+pub use error::{MlError, Result};
+pub use forest::{RandomForestClassifier, RandomForestRegressor};
+pub use mlp::{MlpClassifier, MlpRegressor};

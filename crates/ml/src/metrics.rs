@@ -1,0 +1,251 @@
+//! Evaluation metrics: confusion matrices, precision/recall/F1, RMSE and
+//! the paper's complemented NRMSE "ML score".
+//!
+//! Classification performance is reported as the F1-score (harmonic mean
+//! of precision and recall); regression as `NRMSE_c = 1 − NRMSE`, where the
+//! RMSE is normalized by the observed target range (Sec. IV-A1). Both are
+//! higher-is-better and comparable on a common axis.
+
+use crate::error::{MlError, Result};
+
+/// A `k x k` confusion matrix: `m[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    k: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel true/predicted label slices.
+    pub fn from_pairs(y_true: &[usize], y_pred: &[usize]) -> Result<Self> {
+        if y_true.len() != y_pred.len() {
+            return Err(MlError::Shape(format!(
+                "{} true labels vs {} predictions",
+                y_true.len(),
+                y_pred.len()
+            )));
+        }
+        if y_true.is_empty() {
+            return Err(MlError::Shape("empty evaluation set".into()));
+        }
+        let k = y_true
+            .iter()
+            .chain(y_pred)
+            .copied()
+            .max()
+            .unwrap()
+            + 1;
+        let mut counts = vec![0usize; k * k];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            counts[t * k + p] += 1;
+        }
+        Ok(Self { counts, k })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.k + p]
+    }
+
+    /// Per-class support (true-label counts).
+    pub fn support(&self, class: usize) -> usize {
+        (0..self.k).map(|p| self.get(class, p)).sum()
+    }
+
+    /// Per-class precision; 0 when the class is never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.get(class, class) as f64;
+        let predicted: usize = (0..self.k).map(|t| self.get(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Per-class recall; 0 when the class has no support.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.get(class, class) as f64;
+        let support = self.support(class);
+        if support == 0 {
+            0.0
+        } else {
+            tp / support as f64
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.k).map(|c| self.get(c, c)).sum();
+        let total: usize = self.counts.iter().sum();
+        correct as f64 / total as f64
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn f1_macro(&self) -> f64 {
+        (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Support-weighted mean of per-class F1 scores (scikit-learn's
+    /// `average="weighted"`; robust to class imbalance, used for the
+    /// paper-facing numbers).
+    pub fn f1_weighted(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        (0..self.k)
+            .map(|c| self.f1(c) * self.support(c) as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Convenience: weighted F1 straight from label slices.
+pub fn f1_score(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_pairs(y_true, y_pred)?.f1_weighted())
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    if y_true.len() != y_pred.len() || y_true.is_empty() {
+        return Err(MlError::Shape("rmse needs equal non-empty slices".into()));
+    }
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// NRMSE: RMSE normalized by the observed range of `y_true`.
+///
+/// A constant target (zero range) yields NRMSE 0 when predictions are
+/// perfect and 1 otherwise.
+pub fn nrmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    let e = rmse(y_true, y_pred)?;
+    let lo = y_true.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = y_true.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = hi - lo;
+    if range <= 0.0 {
+        return Ok(if e == 0.0 { 0.0 } else { 1.0 });
+    }
+    Ok(e / range)
+}
+
+/// The paper's regression "ML score": `1 − NRMSE`, clamped at 0.
+pub fn ml_score_regression(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    Ok((1.0 - nrmse(y_true, y_pred)?).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn confusion_counts() {
+        let t = [0, 0, 1, 1, 2];
+        let p = [0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_pairs(&t, &p).unwrap();
+        assert_eq!(cm.n_classes(), 3);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(2, 0), 1);
+        assert_eq!(cm.support(1), 2);
+        assert!((cm.accuracy() - 0.6).abs() < EPS);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let y = [0, 1, 2, 1, 0];
+        let cm = ConfusionMatrix::from_pairs(&y, &y).unwrap();
+        assert!((cm.f1_macro() - 1.0).abs() < EPS);
+        assert!((cm.f1_weighted() - 1.0).abs() < EPS);
+        assert!((cm.accuracy() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hand_computed_binary_f1() {
+        // tp=2 fp=1 fn=1 for class 1 -> p=2/3, r=2/3, f1=2/3
+        let t = [1, 1, 1, 0, 0, 0];
+        let p = [1, 1, 0, 1, 0, 0];
+        let cm = ConfusionMatrix::from_pairs(&t, &p).unwrap();
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < EPS);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < EPS);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < EPS);
+        // symmetric here, so both averages agree
+        assert!((cm.f1_macro() - 2.0 / 3.0).abs() < EPS);
+        assert!((cm.f1_weighted() - 2.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn never_predicted_class_gets_zero() {
+        let t = [0, 1];
+        let p = [0, 0];
+        let cm = ConfusionMatrix::from_pairs(&t, &p).unwrap();
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn weighted_differs_from_macro_under_imbalance() {
+        // class 0: 8 samples all correct; class 1: 2 samples all wrong.
+        let t = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let p = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let cm = ConfusionMatrix::from_pairs(&t, &p).unwrap();
+        let f1_0 = cm.f1(0); // p=0.8, r=1.0 -> 8/9
+        assert!((cm.f1_macro() - f1_0 / 2.0).abs() < EPS);
+        assert!((cm.f1_weighted() - 0.8 * f1_0).abs() < EPS);
+        assert!(cm.f1_weighted() > cm.f1_macro());
+    }
+
+    #[test]
+    fn rmse_and_nrmse() {
+        let t = [0.0, 2.0, 4.0];
+        let p = [1.0, 1.0, 5.0];
+        // errors 1,1,1 -> rmse 1; range 4 -> nrmse 0.25; score 0.75
+        assert!((rmse(&t, &p).unwrap() - 1.0).abs() < EPS);
+        assert!((nrmse(&t, &p).unwrap() - 0.25).abs() < EPS);
+        assert!((ml_score_regression(&t, &p).unwrap() - 0.75).abs() < EPS);
+    }
+
+    #[test]
+    fn constant_target_edge_case() {
+        let t = [3.0, 3.0];
+        assert_eq!(nrmse(&t, &[3.0, 3.0]).unwrap(), 0.0);
+        assert_eq!(nrmse(&t, &[4.0, 4.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn score_clamps_at_zero() {
+        let t = [0.0, 1.0];
+        let p = [10.0, -10.0];
+        assert_eq!(ml_score_regression(&t, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(ConfusionMatrix::from_pairs(&[0], &[]).is_err());
+        assert!(ConfusionMatrix::from_pairs(&[], &[]).is_err());
+        assert!(rmse(&[0.0], &[]).is_err());
+    }
+}

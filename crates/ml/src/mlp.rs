@@ -1,0 +1,670 @@
+//! Multi-layer perceptron with ReLU activations and Adam optimization.
+//!
+//! Mirrors the paper's secondary model (Sec. IV-A1): two hidden layers of
+//! 100 neurons with rectified linear units. The classifier uses a softmax
+//! head with cross-entropy loss; the regressor a linear head with MSE.
+//! Features (and regression targets) are standardized internally, as one
+//! would do before scikit-learn's `MLPClassifier`.
+
+use crate::error::{MlError, Result};
+use cwsmooth_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer sizes (paper: `[100, 100]`).
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size (clamped to the sample count).
+    pub batch_size: usize,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Minimum loss improvement counted as progress.
+    pub tol: f64,
+    /// Epochs without progress before early stopping.
+    pub patience: usize,
+    /// Seed for initialization and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![100, 100],
+            learning_rate: 1e-3,
+            batch_size: 32,
+            max_epochs: 200,
+            tol: 1e-5,
+            patience: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-feature standardizer (zero mean, unit variance).
+#[derive(Debug, Clone)]
+struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    fn fit(x: &Matrix) -> Self {
+        let d = x.cols();
+        let n = x.rows() as f64;
+        let mut mean = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (j, &v) in x.row(r).iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut std = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (j, &v) in x.row(r).iter().enumerate() {
+                std[j] += (v - mean[j]) * (v - mean[j]);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered at zero
+            }
+        }
+        Self { mean, std }
+    }
+
+    fn apply(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[j]) / self.std[j];
+            }
+        }
+        out
+    }
+}
+
+/// One dense layer with Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // in x out, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut impl Rng) -> Self {
+        // Glorot-uniform initialization.
+        let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    /// `out[b] = in[b] * W + bias` for a batch laid out row-major.
+    fn forward(&self, input: &[f64], batch: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(batch * self.n_out, 0.0);
+        for s in 0..batch {
+            let xin = &input[s * self.n_in..(s + 1) * self.n_in];
+            let xout = &mut out[s * self.n_out..(s + 1) * self.n_out];
+            xout.copy_from_slice(&self.b);
+            for (i, &xi) in xin.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let wrow = &self.w[i * self.n_out..(i + 1) * self.n_out];
+                for (o, &w) in wrow.iter().enumerate() {
+                    xout[o] += xi * w;
+                }
+            }
+        }
+    }
+
+    /// Accumulates gradients and back-propagates `delta` to `delta_prev`.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        input: &[f64],
+        delta: &[f64],
+        batch: usize,
+        gw: &mut [f64],
+        gb: &mut [f64],
+        delta_prev: Option<&mut Vec<f64>>,
+    ) {
+        for s in 0..batch {
+            let xin = &input[s * self.n_in..(s + 1) * self.n_in];
+            let d = &delta[s * self.n_out..(s + 1) * self.n_out];
+            for (o, &dv) in d.iter().enumerate() {
+                gb[o] += dv;
+            }
+            for (i, &xi) in xin.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let grow = &mut gw[i * self.n_out..(i + 1) * self.n_out];
+                for (o, &dv) in d.iter().enumerate() {
+                    grow[o] += xi * dv;
+                }
+            }
+        }
+        if let Some(dp) = delta_prev {
+            dp.clear();
+            dp.resize(batch * self.n_in, 0.0);
+            for s in 0..batch {
+                let d = &delta[s * self.n_out..(s + 1) * self.n_out];
+                let dprev = &mut dp[s * self.n_in..(s + 1) * self.n_in];
+                for (i, dpi) in dprev.iter_mut().enumerate() {
+                    let wrow = &self.w[i * self.n_out..(i + 1) * self.n_out];
+                    let mut acc = 0.0;
+                    for (o, &dv) in d.iter().enumerate() {
+                        acc += wrow[o] * dv;
+                    }
+                    *dpi = acc;
+                }
+            }
+        }
+    }
+
+    fn adam_step(&mut self, gw: &[f64], gb: &[f64], lr: f64, t: i32) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t);
+        let bc2 = 1.0 - B2.powi(t);
+        for (i, &g) in gw.iter().enumerate() {
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
+        }
+        for (o, &g) in gb.iter().enumerate() {
+            self.mb[o] = B1 * self.mb[o] + (1.0 - B1) * g;
+            self.vb[o] = B2 * self.vb[o] + (1.0 - B2) * g * g;
+            self.b[o] -= lr * (self.mb[o] / bc1) / ((self.vb[o] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// Output head / loss kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Head {
+    Softmax,
+    Linear,
+}
+
+/// Shared network implementation.
+#[derive(Debug, Clone)]
+struct Network {
+    layers: Vec<Layer>,
+    head: Head,
+    scaler: Standardizer,
+}
+
+impl Network {
+    /// Full-batch forward pass; returns the output activations.
+    fn forward_all(&self, x: &Matrix) -> Vec<f64> {
+        let batch = x.rows();
+        let mut cur: Vec<f64> = x.as_slice().to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, batch, &mut next);
+            if li < last {
+                next.iter_mut().for_each(|v| {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                });
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        if self.head == Head::Softmax {
+            let k = self.layers[last].n_out;
+            for s in 0..batch {
+                softmax_inplace(&mut cur[s * k..(s + 1) * k]);
+            }
+        }
+        cur
+    }
+}
+
+fn softmax_inplace(z: &mut [f64]) {
+    let max = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Trains a network; `targets` is row-major `n x k` (one-hot or scalar).
+fn train(
+    x: &Matrix,
+    targets: &[f64],
+    k: usize,
+    head: Head,
+    config: &MlpConfig,
+) -> Result<Network> {
+    let n = x.rows();
+    let d = x.cols();
+    if n == 0 || d == 0 {
+        return Err(MlError::Shape("empty training set".into()));
+    }
+    if config.hidden.is_empty() || config.hidden.contains(&0) {
+        return Err(MlError::Config("hidden layers must be non-empty".into()));
+    }
+    if config.batch_size == 0 || config.max_epochs == 0 {
+        return Err(MlError::Config("batch_size and max_epochs must be >= 1".into()));
+    }
+
+    let scaler = Standardizer::fit(x);
+    let xs = scaler.apply(x);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dims = vec![d];
+    dims.extend_from_slice(&config.hidden);
+    dims.push(k);
+    let layers: Vec<Layer> = dims
+        .windows(2)
+        .map(|w| Layer::new(w[0], w[1], &mut rng))
+        .collect();
+    let mut net = Network {
+        layers,
+        head,
+        scaler,
+    };
+
+    let batch = config.batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best_loss = f64::INFINITY;
+    let mut stall = 0usize;
+    let mut t_step = 0i32;
+
+    // Pre-allocated batch buffers.
+    let n_layers = net.layers.len();
+    let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+    let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+    let mut grads_w: Vec<Vec<f64>> = net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+    let mut grads_b: Vec<Vec<f64>> = net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+    for _epoch in 0..config.max_epochs {
+        // Fisher-Yates shuffle of the sample order.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0;
+        let mut processed = 0usize;
+        for chunk in order.chunks(batch) {
+            let b = chunk.len();
+            // Gather the batch.
+            acts[0].clear();
+            let mut ybatch = Vec::with_capacity(b * k);
+            for &s in chunk {
+                acts[0].extend_from_slice(xs.row(s));
+                ybatch.extend_from_slice(&targets[s * k..(s + 1) * k]);
+            }
+            // Forward.
+            for li in 0..n_layers {
+                let (head_acts, tail_acts) = acts.split_at_mut(li + 1);
+                net.layers[li].forward(&head_acts[li], b, &mut tail_acts[0]);
+                if li < n_layers - 1 {
+                    tail_acts[0].iter_mut().for_each(|v| {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    });
+                }
+            }
+            // Output delta and loss.
+            let out = &mut acts[n_layers];
+            let inv_b = 1.0 / b as f64;
+            match head {
+                Head::Softmax => {
+                    for s in 0..b {
+                        let z = &mut out[s * k..(s + 1) * k];
+                        softmax_inplace(z);
+                        for (j, zv) in z.iter().enumerate() {
+                            let t = ybatch[s * k + j];
+                            if t > 0.0 {
+                                epoch_loss -= t * zv.max(1e-12).ln();
+                            }
+                        }
+                    }
+                    deltas[n_layers - 1].clear();
+                    deltas[n_layers - 1].extend(
+                        out.iter()
+                            .zip(&ybatch)
+                            .map(|(&p, &t)| (p - t) * inv_b),
+                    );
+                }
+                Head::Linear => {
+                    for (o, t) in out.iter().zip(&ybatch) {
+                        epoch_loss += 0.5 * (o - t) * (o - t);
+                    }
+                    deltas[n_layers - 1].clear();
+                    deltas[n_layers - 1].extend(
+                        out.iter()
+                            .zip(&ybatch)
+                            .map(|(&p, &t)| (p - t) * inv_b),
+                    );
+                }
+            }
+            processed += b;
+
+            // Backward.
+            for li in (0..n_layers).rev() {
+                grads_w[li].iter_mut().for_each(|g| *g = 0.0);
+                grads_b[li].iter_mut().for_each(|g| *g = 0.0);
+                let (d_head, d_tail) = deltas.split_at_mut(li);
+                let delta_prev = if li > 0 { Some(&mut d_head[li - 1]) } else { None };
+                net.layers[li].backward(
+                    &acts[li],
+                    &d_tail[0],
+                    b,
+                    &mut grads_w[li],
+                    &mut grads_b[li],
+                    delta_prev,
+                );
+                // ReLU gate for the propagated delta.
+                if li > 0 {
+                    let act = &acts[li];
+                    let dp = &mut d_head[li - 1];
+                    for (dv, &a) in dp.iter_mut().zip(act.iter()) {
+                        if a <= 0.0 {
+                            *dv = 0.0;
+                        }
+                    }
+                }
+            }
+            t_step += 1;
+            for li in 0..n_layers {
+                net.layers[li].adam_step(&grads_w[li], &grads_b[li], config.learning_rate, t_step);
+            }
+        }
+        let avg_loss = epoch_loss / processed as f64;
+        if avg_loss + config.tol < best_loss {
+            best_loss = avg_loss;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= config.patience {
+                break;
+            }
+        }
+    }
+    Ok(net)
+}
+
+/// MLP classifier (softmax head, cross-entropy loss).
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    config: MlpConfig,
+    net: Option<Network>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// Creates an unfitted classifier with the paper's architecture.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(MlpConfig {
+            seed,
+            ..MlpConfig::default()
+        })
+    }
+
+    /// Creates an unfitted classifier from an explicit configuration.
+    pub fn with_config(config: MlpConfig) -> Self {
+        Self {
+            config,
+            net: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Fits on features (rows = samples) and class ids.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!(
+                "{} samples but {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k == 0 {
+            return Err(MlError::Shape("no class labels".into()));
+        }
+        let mut onehot = vec![0.0; y.len() * k];
+        for (s, &c) in y.iter().enumerate() {
+            onehot[s * k + c] = 1.0;
+        }
+        self.net = Some(train(x, &onehot, k, Head::Softmax, &self.config)?);
+        self.n_classes = k;
+        Ok(())
+    }
+
+    /// Argmax class predictions.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        let xs = net.scaler.apply(x);
+        let out = net.forward_all(&xs);
+        let k = self.n_classes;
+        Ok((0..x.rows())
+            .map(|s| {
+                let row = &out[s * k..(s + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(c, _)| c)
+                    .unwrap()
+            })
+            .collect())
+    }
+
+    /// Number of classes seen at fit time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// MLP regressor (linear head, MSE loss, standardized targets).
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    config: MlpConfig,
+    net: Option<Network>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpRegressor {
+    /// Creates an unfitted regressor with the paper's architecture.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(MlpConfig {
+            seed,
+            ..MlpConfig::default()
+        })
+    }
+
+    /// Creates an unfitted regressor from an explicit configuration.
+    pub fn with_config(config: MlpConfig) -> Self {
+        Self {
+            config,
+            net: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Fits on features (rows = samples) and continuous targets.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!(
+                "{} samples but {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if y.is_empty() {
+            return Err(MlError::Shape("no targets".into()));
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64;
+        let std = var.sqrt().max(1e-12);
+        let ys: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
+        self.net = Some(train(x, &ys, 1, Head::Linear, &self.config)?);
+        self.y_mean = mean;
+        self.y_std = std;
+        Ok(())
+    }
+
+    /// Predicted targets (de-standardized).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let net = self.net.as_ref().ok_or(MlError::NotFitted)?;
+        let xs = net.scaler.apply(x);
+        let out = net.forward_all(&xs);
+        Ok(out.iter().map(|v| v * self.y_std + self.y_mean).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> MlpConfig {
+        MlpConfig {
+            hidden: vec![32, 32],
+            max_epochs: 300,
+            batch_size: 16,
+            seed,
+            ..MlpConfig::default()
+        }
+    }
+
+    fn two_moons(n: usize) -> (Matrix, Vec<usize>) {
+        // Two offset half-circles: non-linear but learnable.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = (i as f64 / n as f64) * std::f64::consts::PI;
+            if i % 2 == 0 {
+                rows.push([t.cos(), t.sin()]);
+                y.push(0);
+            } else {
+                rows.push([1.0 - t.cos(), 0.5 - t.sin()]);
+                y.push(1);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifier_learns_two_moons() {
+        let (x, y) = two_moons(200);
+        let mut mlp = MlpClassifier::with_config(quick_config(1));
+        mlp.fit(&x, &y).unwrap();
+        let pred = mlp.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regressor_learns_quadratic() {
+        let x = Matrix::from_fn(128, 1, |r, _| r as f64 / 64.0 - 1.0);
+        let y: Vec<f64> = (0..128)
+            .map(|r| {
+                let v = r as f64 / 64.0 - 1.0;
+                v * v
+            })
+            .collect();
+        let mut mlp = MlpRegressor::with_config(quick_config(2));
+        mlp.fit(&x, &y).unwrap();
+        let pred = mlp.predict(&x).unwrap();
+        let mse =
+            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn multiclass_separable() {
+        let x = Matrix::from_fn(150, 2, |r, c| {
+            let cls = (r / 50) as f64;
+            cls * 3.0 + (c as f64) + ((r % 50) as f64) * 0.002
+        });
+        let y: Vec<usize> = (0..150).map(|r| r / 50).collect();
+        let mut mlp = MlpClassifier::with_config(quick_config(3));
+        mlp.fit(&x, &y).unwrap();
+        let pred = mlp.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(mlp.n_classes(), 3);
+    }
+
+    #[test]
+    fn unfitted_refuses() {
+        let mlp = MlpClassifier::new(0);
+        assert!(mlp.predict(&Matrix::zeros(1, 2)).is_err());
+        let reg = MlpRegressor::new(0);
+        assert!(reg.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = two_moons(100);
+        let mut a = MlpClassifier::with_config(quick_config(9));
+        let mut b = MlpClassifier::with_config(quick_config(9));
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn shape_and_config_validation() {
+        let mut mlp = MlpClassifier::new(0);
+        assert!(mlp.fit(&Matrix::zeros(3, 2), &[0, 1]).is_err());
+        let mut bad = MlpClassifier::with_config(MlpConfig {
+            hidden: vec![],
+            ..MlpConfig::default()
+        });
+        assert!(bad.fit(&Matrix::zeros(4, 2), &[0, 1, 0, 1]).is_err());
+        let mut bad2 = MlpClassifier::with_config(MlpConfig {
+            batch_size: 0,
+            ..MlpConfig::default()
+        });
+        assert!(bad2.fit(&Matrix::zeros(4, 2), &[0, 1, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn constant_features_do_not_nan() {
+        let x = Matrix::filled(20, 3, 2.0);
+        let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let mut mlp = MlpClassifier::with_config(quick_config(4));
+        mlp.fit(&x, &y).unwrap();
+        let pred = mlp.predict(&x).unwrap();
+        assert_eq!(pred.len(), 20);
+    }
+}

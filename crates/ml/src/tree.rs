@@ -1,0 +1,613 @@
+//! CART decision trees: the building block of the random forests.
+//!
+//! Splits minimize Gini impurity (classification) or within-node variance
+//! (regression), evaluated by a single sorted scan per candidate feature.
+//! Feature subsampling happens *per split* (like scikit-learn), which is
+//! what decorrelates forest members beyond bagging.
+
+use crate::error::{MlError, Result};
+use cwsmooth_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Split quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Gini impurity (classification).
+    Gini,
+    /// Variance reduction / mean squared error (regression).
+    Mse,
+}
+
+/// How many features are examined at each split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// All features (scikit-learn's regression default).
+    All,
+    /// `ceil(sqrt(d))` features (scikit-learn's classification default).
+    Sqrt,
+    /// A fixed count (clamped to `d`).
+    Exact(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, d: usize) -> usize {
+        match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Exact(k) => k.clamp(1, d),
+        }
+        .max(1)
+    }
+}
+
+/// Decision-tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (`None` = grow until pure).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Per-split feature subsampling.
+    pub max_features: MaxFeatures,
+    /// Split quality criterion.
+    pub criterion: Criterion,
+}
+
+impl TreeConfig {
+    /// scikit-learn-like defaults for classification.
+    pub fn classification() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+            criterion: Criterion::Gini,
+        }
+    }
+
+    /// scikit-learn-like defaults for regression.
+    pub fn regression() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            criterion: Criterion::Mse,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class id for classification trees, mean target for regression.
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A fitted CART tree.
+///
+/// For classification the leaf value is the majority class id (as `f64`);
+/// for regression it is the mean target of the leaf's samples.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    criterion: Criterion,
+    /// Impurity-based feature importances (mean decrease in impurity),
+    /// normalized to sum to 1 (all zeros for a single-leaf tree).
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x` (rows = samples) and targets `y`.
+    ///
+    /// For classification pass class ids as `f64` (`0.0, 1.0, ...`) and
+    /// `Criterion::Gini`; `n_classes` must cover every id. For regression
+    /// pass `Criterion::Mse` and any targets (`n_classes` is ignored).
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        n_classes: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if x.rows() == 0 {
+            return Err(MlError::Shape("empty training set".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!(
+                "{} samples but {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if config.criterion == Criterion::Gini {
+            if n_classes == 0 {
+                return Err(MlError::Config("n_classes must be >= 1 for Gini".into()));
+            }
+            for &v in y {
+                if v < 0.0 || v.fract() != 0.0 || v as usize >= n_classes {
+                    return Err(MlError::Shape(format!(
+                        "class label {v} outside 0..{n_classes}"
+                    )));
+                }
+            }
+        }
+        if config.min_samples_split < 2 || config.min_samples_leaf < 1 {
+            return Err(MlError::Config(
+                "min_samples_split >= 2 and min_samples_leaf >= 1 required".into(),
+            ));
+        }
+
+        let mut builder = Builder {
+            x,
+            y,
+            n_classes,
+            config: *config,
+            nodes: Vec::new(),
+            feat_buf: (0..x.cols()).collect(),
+            pair_buf: Vec::new(),
+            importances: vec![0.0; x.cols()],
+            n_total: x.rows() as f64,
+        };
+        let mut indices: Vec<u32> = (0..x.rows() as u32).collect();
+        builder.build(&mut indices, 0, rng);
+        let mut importances = builder.importances;
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            importances.iter_mut().for_each(|v| *v /= total);
+        }
+        Ok(DecisionTree {
+            nodes: builder.nodes,
+            n_features: x.cols(),
+            criterion: config.criterion,
+            importances,
+        })
+    }
+
+    /// Impurity-based feature importances (mean decrease in impurity,
+    /// weighted by node size), normalized to sum to 1. All zeros when the
+    /// tree is a single leaf.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Predicts the raw leaf value for one sample.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.n_features);
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts raw leaf values for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "tree expects {} features, got {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        Ok((0..x.rows()).map(|r| self.predict_one(x.row(r))).collect())
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth of the fitted tree (0 = a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_at(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_at(nodes, *left as usize).max(depth_at(nodes, *right as usize))
+                }
+            }
+        }
+        depth_at(&self.nodes, 0)
+    }
+
+    /// Criterion the tree was trained with.
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    n_classes: usize,
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    feat_buf: Vec<usize>,
+    pair_buf: Vec<(f64, f64)>,
+    importances: Vec<f64>,
+    n_total: f64,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl<'a> Builder<'a> {
+    /// Builds the subtree over `indices`, returning its node id.
+    fn build(&mut self, indices: &mut [u32], depth: usize, rng: &mut impl Rng) -> u32 {
+        let node_id = self.nodes.len() as u32;
+        // Reserve the slot; will be overwritten below.
+        self.nodes.push(Node::Leaf { value: 0.0 });
+
+        let leaf_value = self.leaf_value(indices);
+        let stop = indices.len() < self.config.min_samples_split
+            || self.config.max_depth.is_some_and(|d| depth >= d)
+            || self.is_pure(indices);
+        if stop {
+            self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+            return node_id;
+        }
+
+        let best = self.find_best_split(indices, rng);
+        let Some(best) = best else {
+            self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+            return node_id;
+        };
+
+        // Partition in place: left = x[f] <= threshold.
+        let mut lt = 0usize;
+        for i in 0..indices.len() {
+            if self.x.get(indices[i] as usize, best.feature) <= best.threshold {
+                indices.swap(i, lt);
+                lt += 1;
+            }
+        }
+        if lt == 0 || lt == indices.len() {
+            // Numerical degeneracy; fall back to a leaf.
+            self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+            return node_id;
+        }
+        self.importances[best.feature] += (indices.len() as f64 / self.n_total) * best.gain;
+        let (left_idx, right_idx) = indices.split_at_mut(lt);
+        let left = self.build(left_idx, depth + 1, rng);
+        let right = self.build(right_idx, depth + 1, rng);
+        self.nodes[node_id as usize] = Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    fn is_pure(&self, indices: &[u32]) -> bool {
+        let first = self.y[indices[0] as usize];
+        indices.iter().all(|&i| self.y[i as usize] == first)
+    }
+
+    fn leaf_value(&self, indices: &[u32]) -> f64 {
+        match self.config.criterion {
+            Criterion::Gini => {
+                let mut counts = vec![0usize; self.n_classes];
+                for &i in indices {
+                    counts[self.y[i as usize] as usize] += 1;
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(cls, _)| cls as f64)
+                    .unwrap_or(0.0)
+            }
+            Criterion::Mse => {
+                indices.iter().map(|&i| self.y[i as usize]).sum::<f64>() / indices.len() as f64
+            }
+        }
+    }
+
+    fn find_best_split(&mut self, indices: &[u32], rng: &mut impl Rng) -> Option<BestSplit> {
+        let d = self.x.cols();
+        let k = self.config.max_features.resolve(d);
+        // Random feature subset without replacement (partial shuffle).
+        let mut feats = std::mem::take(&mut self.feat_buf);
+        let (sampled, _) = feats.partial_shuffle(rng, k);
+        let mut best: Option<BestSplit> = None;
+        let mut pairs = std::mem::take(&mut self.pair_buf);
+        for &f in sampled.iter() {
+            if let Some(cand) = self.scan_feature(indices, f, &mut pairs) {
+                if best.as_ref().is_none_or(|b| cand.gain > b.gain) {
+                    best = Some(cand);
+                }
+            }
+        }
+        self.pair_buf = pairs;
+        self.feat_buf = feats;
+        best
+    }
+
+    /// Scans one feature: sorts (value, target) pairs and evaluates every
+    /// boundary between distinct values.
+    fn scan_feature(
+        &self,
+        indices: &[u32],
+        feature: usize,
+        pairs: &mut Vec<(f64, f64)>,
+    ) -> Option<BestSplit> {
+        let n = indices.len();
+        pairs.clear();
+        pairs.extend(
+            indices
+                .iter()
+                .map(|&i| (self.x.get(i as usize, feature), self.y[i as usize])),
+        );
+        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        if pairs[0].0 == pairs[n - 1].0 {
+            return None; // constant feature
+        }
+        let min_leaf = self.config.min_samples_leaf;
+
+        match self.config.criterion {
+            Criterion::Gini => {
+                let mut left = vec![0usize; self.n_classes];
+                let mut right = vec![0usize; self.n_classes];
+                for &(_, y) in pairs.iter() {
+                    right[y as usize] += 1;
+                }
+                let parent_gini = gini_of(&right, n);
+                let mut best_gain = 0.0;
+                let mut best_threshold = None;
+                let mut sum_sq_left = 0.0f64;
+                let mut sum_sq_right: f64 = right.iter().map(|&c| (c * c) as f64).sum();
+                for split in 1..n {
+                    let y = pairs[split - 1].1 as usize;
+                    // Incremental update of Σc² on both sides.
+                    sum_sq_left += (2 * left[y] + 1) as f64;
+                    sum_sq_right -= (2 * right[y] - 1) as f64;
+                    left[y] += 1;
+                    right[y] -= 1;
+                    if pairs[split].0 == pairs[split - 1].0 {
+                        continue; // not a value boundary
+                    }
+                    if split < min_leaf || n - split < min_leaf {
+                        continue;
+                    }
+                    let nl = split as f64;
+                    let nr = (n - split) as f64;
+                    let gini_l = 1.0 - sum_sq_left / (nl * nl);
+                    let gini_r = 1.0 - sum_sq_right / (nr * nr);
+                    let weighted = (nl * gini_l + nr * gini_r) / n as f64;
+                    let gain = parent_gini - weighted;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_threshold = Some(midpoint(pairs[split - 1].0, pairs[split].0));
+                    }
+                }
+                best_threshold.map(|threshold| BestSplit {
+                    feature,
+                    threshold,
+                    gain: best_gain,
+                })
+            }
+            Criterion::Mse => {
+                let total_sum: f64 = pairs.iter().map(|&(_, y)| y).sum();
+                let total_sq: f64 = pairs.iter().map(|&(_, y)| y * y).sum();
+                let parent_var = total_sq / n as f64 - (total_sum / n as f64).powi(2);
+                let mut best_gain = 0.0;
+                let mut best_threshold = None;
+                let mut sum_l = 0.0;
+                let mut sq_l = 0.0;
+                for split in 1..n {
+                    let y = pairs[split - 1].1;
+                    sum_l += y;
+                    sq_l += y * y;
+                    if pairs[split].0 == pairs[split - 1].0 {
+                        continue;
+                    }
+                    if split < min_leaf || n - split < min_leaf {
+                        continue;
+                    }
+                    let nl = split as f64;
+                    let nr = (n - split) as f64;
+                    let sum_r = total_sum - sum_l;
+                    let sq_r = total_sq - sq_l;
+                    let var_l = (sq_l / nl - (sum_l / nl).powi(2)).max(0.0);
+                    let var_r = (sq_r / nr - (sum_r / nr).powi(2)).max(0.0);
+                    let weighted = (nl * var_l + nr * var_r) / n as f64;
+                    let gain = parent_var - weighted;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_threshold = Some(midpoint(pairs[split - 1].0, pairs[split].0));
+                    }
+                }
+                best_threshold.map(|threshold| BestSplit {
+                    feature,
+                    threshold,
+                    gain: best_gain,
+                })
+            }
+        }
+    }
+}
+
+fn gini_of(counts: &[usize], n: usize) -> f64 {
+    let n = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+/// Midpoint threshold between two adjacent sorted values, guarded against
+/// infinities from extreme inputs.
+fn midpoint(a: f64, b: f64) -> f64 {
+    let m = a + (b - a) / 2.0;
+    if m.is_finite() {
+        m
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Two well-separated blobs in 2-D.
+    fn blobs() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = (i % 10) as f64 * 0.01;
+            if i % 2 == 0 {
+                rows.push([0.0 + j, 1.0 - j]);
+                y.push(0.0);
+            } else {
+                rows.push([5.0 + j, -4.0 + j]);
+                y.push(1.0);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifies_separable_data_perfectly() {
+        let (x, y) = blobs();
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::All,
+            ..TreeConfig::classification()
+        };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        let pred = tree.predict(&x).unwrap();
+        assert_eq!(pred, y);
+        // A single split suffices.
+        assert!(tree.depth() <= 2, "depth={}", tree.depth());
+    }
+
+    #[test]
+    fn regression_fits_step_function() {
+        let x = Matrix::from_fn(50, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..50).map(|r| if r < 25 { 1.0 } else { 9.0 }).collect();
+        let tree = DecisionTree::fit(&x, &y, 0, &TreeConfig::regression(), &mut rng()).unwrap();
+        let pred = tree.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let x = Matrix::from_fn(64, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..64).map(|r| (r % 2) as f64).collect();
+        let cfg = TreeConfig {
+            max_depth: Some(3),
+            max_features: MaxFeatures::All,
+            ..TreeConfig::classification()
+        };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x = Matrix::from_fn(20, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..20).map(|r| if r < 1 { 1.0 } else { 0.0 }).collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 5,
+            max_features: MaxFeatures::All,
+            ..TreeConfig::classification()
+        };
+        // The only useful split (x <= 0.5) violates min_samples_leaf, so the
+        // tree may instead split at >= 5 samples per side or stay a leaf; in
+        // all cases every leaf must hold >= 5 training samples, which we can
+        // check indirectly: no split threshold below 4.5 or above 14.5.
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        for idx in 0..tree.node_count() {
+            if let Node::Split { threshold, .. } = &tree.nodes[idx] {
+                assert!(*threshold >= 4.0 && *threshold <= 15.0);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::filled(10, 3, 1.0);
+        let y: Vec<f64> = (0..10).map(|r| (r % 2) as f64).collect();
+        let cfg = TreeConfig {
+            max_features: MaxFeatures::All,
+            ..TreeConfig::classification()
+        };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = Matrix::zeros(4, 2);
+        let cfg = TreeConfig::classification();
+        assert!(DecisionTree::fit(&x, &[0.0; 3], 2, &cfg, &mut rng()).is_err());
+        assert!(DecisionTree::fit(&Matrix::zeros(0, 2), &[], 2, &cfg, &mut rng()).is_err());
+        // label out of range
+        assert!(DecisionTree::fit(&x, &[0.0, 1.0, 2.0, 0.0], 2, &cfg, &mut rng()).is_err());
+        // fractional class label
+        assert!(DecisionTree::fit(&x, &[0.5; 4], 2, &cfg, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let (x, y) = blobs();
+        let tree =
+            DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
+        assert!(tree.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn sqrt_feature_sampling_still_learns() {
+        let (x, y) = blobs();
+        let tree =
+            DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
+        let pred = tree.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs();
+        let cfg = TreeConfig::classification();
+        let t1 = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        let t2 = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng()).unwrap();
+        assert_eq!(t1.predict(&x).unwrap(), t2.predict(&x).unwrap());
+        assert_eq!(t1.node_count(), t2.node_count());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the ML substrate.
+
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::cv::{kfold, shuffled_indices, stratified_kfold};
+use cwsmooth_ml::forest::{small_forest_config, RandomForestClassifier, RandomForestRegressor};
+use cwsmooth_ml::metrics::{self, ConfusionMatrix};
+use proptest::prelude::*;
+
+fn labels_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..4, 10..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shuffle_permutation_law(n in 1usize..200, seed in any::<u64>()) {
+        let idx = shuffled_indices(n, seed);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_partition_laws(n in 10usize..100, k in 2usize..6, seed in any::<u64>()) {
+        let folds = kfold(n, k, seed).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut test_seen = vec![0usize; n];
+        for fold in &folds {
+            prop_assert_eq!(fold.train.len() + fold.test.len(), n);
+            for &i in &fold.test {
+                test_seen[i] += 1;
+            }
+            // disjointness
+            let mut train_set = vec![false; n];
+            for &i in &fold.train { train_set[i] = true; }
+            for &i in &fold.test {
+                prop_assert!(!train_set[i]);
+            }
+        }
+        prop_assert!(test_seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn stratified_fold_class_balance(labels in labels_strategy(), seed in any::<u64>()) {
+        let k = 3;
+        if labels.len() < k { return Ok(()); }
+        let folds = stratified_kfold(&labels, k, seed).unwrap();
+        let n_classes = labels.iter().max().unwrap() + 1;
+        for class in 0..n_classes {
+            let total = labels.iter().filter(|&&c| c == class).count();
+            for fold in &folds {
+                let in_fold = fold.test.iter().filter(|&&i| labels[i] == class).count();
+                // each fold holds between floor and ceil of total/k
+                prop_assert!(in_fold >= total / k);
+                prop_assert!(in_fold <= total.div_ceil(k));
+            }
+        }
+    }
+
+    #[test]
+    fn f1_is_bounded_and_perfect_on_identity(labels in labels_strategy()) {
+        let cm = ConfusionMatrix::from_pairs(&labels, &labels).unwrap();
+        prop_assert!((cm.f1_weighted() - 1.0).abs() < 1e-12);
+        // macro-F1 is 1 only when every class id up to the max actually occurs
+        let all_present = (0..cm.n_classes()).all(|c| cm.support(c) > 0);
+        if all_present {
+            prop_assert!((cm.f1_macro() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f1_in_unit_interval(a in labels_strategy(), b in labels_strategy()) {
+        let n = a.len().min(b.len());
+        let f1 = metrics::f1_score(&a[..n], &b[..n]).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn nrmse_zero_iff_perfect(y in prop::collection::vec(-1e3f64..1e3, 2..40)) {
+        let score = metrics::nrmse(&y, &y).unwrap();
+        prop_assert!(score.abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifier_predictions_stay_in_label_set(
+        seed in any::<u64>(),
+        n in 20usize..60,
+    ) {
+        let x = Matrix::from_fn(n, 3, |r, c| ((r * 7 + c * 13) % 29) as f64);
+        let y: Vec<usize> = (0..n).map(|r| r % 3).collect();
+        let mut rf = RandomForestClassifier::with_config({
+            let mut c = small_forest_config(seed, true);
+            c.n_estimators = 5;
+            c
+        });
+        rf.fit(&x, &y).unwrap();
+        for p in rf.predict(&x).unwrap() {
+            prop_assert!(p < 3);
+        }
+    }
+
+    #[test]
+    fn regressor_predictions_within_target_hull(
+        seed in any::<u64>(),
+        targets in prop::collection::vec(-100.0f64..100.0, 20..50),
+    ) {
+        let n = targets.len();
+        let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f64);
+        let mut rf = RandomForestRegressor::with_config({
+            let mut c = small_forest_config(seed, false);
+            c.n_estimators = 5;
+            c
+        });
+        rf.fit(&x, &targets).unwrap();
+        let lo = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for p in rf.predict(&x).unwrap() {
+            // tree means of leaf means can never leave the target hull
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Application workload models.
+//!
+//! Six applications (the ones HPC-ODA runs from the CORAL-2 suite and
+//! classic benchmarks) plus idle. Each model maps the position inside a run
+//! to latent activity, reproducing the qualitative behaviours the paper
+//! describes in Sec. IV-E:
+//!
+//! * **AMG** — clear iterative behaviour plus a memory-usage gradient that
+//!   grows over the run (visible in Fig. 2).
+//! * **Kripke** — pronounced iterative sweeps in both values and
+//!   derivatives (Fig. 6a).
+//! * **Linpack** — constant heavy load with a distinct initialization
+//!   phase (Fig. 6b).
+//! * **Quicksilver** — light computational load but oscillating CPU
+//!   frequency induced by its code mix (Fig. 6c).
+//! * **LAMMPS** — moderate periodic load with network activity (Fig. 7).
+//! * **Nekbone** — memory-bandwidth-bound iterative kernel.
+//!
+//! Each application runs under one of three input configurations that
+//! scale its period and intensity, mirroring HPC-ODA's setup.
+
+use crate::channels::{Channel, Latent};
+use std::f64::consts::TAU;
+
+/// Application identity (class 0 is idle, matching the paper's
+/// "six applications, or idle operation" labeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// No job scheduled on the node.
+    Idle,
+    /// Algebraic multigrid solver (CORAL-2).
+    Amg,
+    /// Deterministic neutron transport (CORAL-2).
+    Kripke,
+    /// Dense linear algebra (HPL).
+    Linpack,
+    /// Monte-Carlo particle transport (CORAL-2).
+    Quicksilver,
+    /// Molecular dynamics.
+    Lammps,
+    /// Spectral-element proxy (CORAL-2).
+    Nekbone,
+}
+
+impl AppKind {
+    /// All six real applications (excluding idle).
+    pub const APPLICATIONS: [AppKind; 6] = [
+        AppKind::Amg,
+        AppKind::Kripke,
+        AppKind::Linpack,
+        AppKind::Quicksilver,
+        AppKind::Lammps,
+        AppKind::Nekbone,
+    ];
+
+    /// Class label: 0 = idle, 1..=6 applications.
+    pub fn class_id(self) -> usize {
+        match self {
+            AppKind::Idle => 0,
+            AppKind::Amg => 1,
+            AppKind::Kripke => 2,
+            AppKind::Linpack => 3,
+            AppKind::Quicksilver => 4,
+            AppKind::Lammps => 5,
+            AppKind::Nekbone => 6,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Idle => "Idle",
+            AppKind::Amg => "AMG",
+            AppKind::Kripke => "Kripke",
+            AppKind::Linpack => "Linpack",
+            AppKind::Quicksilver => "Quicksilver",
+            AppKind::Lammps => "LAMMPS",
+            AppKind::Nekbone => "Nekbone",
+        }
+    }
+}
+
+/// One of the three input configurations per application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputConfig(pub u8);
+
+impl InputConfig {
+    /// The three configurations used across HPC-ODA.
+    pub const ALL: [InputConfig; 3] = [InputConfig(0), InputConfig(1), InputConfig(2)];
+
+    /// Iteration-period multiplier.
+    fn period_factor(self) -> f64 {
+        1.0 + 0.45 * self.0 as f64
+    }
+
+    /// Load-intensity multiplier.
+    fn intensity_factor(self) -> f64 {
+        0.8 + 0.12 * self.0 as f64
+    }
+}
+
+/// Computes the latent activity of `app` at position `t` (samples since run
+/// start) out of `run_len` samples, under configuration `config`.
+///
+/// `phase_jitter` decorrelates nodes of the same MPI job slightly
+/// (per-node pipeline skew); pass 0.0 for single-node runs.
+pub fn latent_at(
+    app: AppKind,
+    config: InputConfig,
+    t: usize,
+    run_len: usize,
+    phase_jitter: f64,
+) -> Latent {
+    let mut l = Latent::idle();
+    let run_len = run_len.max(1);
+    let progress = t as f64 / run_len as f64;
+    let intensity = config.intensity_factor();
+    let tf = t as f64 + phase_jitter;
+
+    match app {
+        AppKind::Idle => {
+            // Occasional OS housekeeping blips.
+            let blip = 0.02 * (1.0 + (tf / 37.0).sin());
+            l.set(Channel::Cpu, blip);
+            l.set(Channel::Sched, 0.05);
+        }
+        AppKind::Amg => {
+            // V-cycle iterations: medium period; memory grows as the
+            // hierarchy is built (the Fig. 2 gradient).
+            let period = 24.0 * config.period_factor();
+            let wave = 0.5 + 0.5 * (TAU * tf / period).sin();
+            l.set(Channel::Cpu, intensity * (0.55 + 0.3 * wave));
+            l.set(Channel::MemBw, intensity * (0.45 + 0.35 * wave));
+            l.set(Channel::Mem, (0.25 + 0.55 * progress) * intensity);
+            l.set(Channel::Cache, 0.35 * intensity * wave);
+            l.set(Channel::Sched, 0.2);
+        }
+        AppKind::Kripke => {
+            // Sweep iterations: sharp square-ish waves on CPU and bandwidth.
+            let period = 16.0 * config.period_factor();
+            let saw = (TAU * tf / period).sin();
+            let square = if saw > 0.0 { 1.0 } else { 0.25 };
+            l.set(Channel::Cpu, intensity * (0.35 + 0.55 * square));
+            l.set(Channel::MemBw, intensity * (0.3 + 0.5 * square));
+            l.set(Channel::Mem, 0.45 * intensity);
+            l.set(Channel::Cache, 0.25 * intensity * square);
+            l.set(Channel::Net, 0.25 * intensity * (1.0 - square).max(0.0));
+            l.set(Channel::Sched, 0.25);
+        }
+        AppKind::Linpack => {
+            // Init phase (panel setup) then sustained near-peak load.
+            let init = progress < 0.12;
+            if init {
+                l.set(Channel::Cpu, 0.25 * intensity);
+                l.set(Channel::Mem, 0.75 * intensity * (progress / 0.12));
+                l.set(Channel::MemBw, 0.6 * intensity);
+                l.set(Channel::Io, 0.3 * intensity);
+            } else {
+                l.set(Channel::Cpu, 0.97 * intensity);
+                l.set(Channel::Mem, 0.8 * intensity);
+                l.set(Channel::MemBw, 0.7 * intensity);
+                l.set(Channel::Cache, 0.15 * intensity);
+            }
+            l.set(Channel::Sched, 0.15);
+        }
+        AppKind::Quicksilver => {
+            // Light load, but the code mix makes the clock oscillate —
+            // the periodic pattern the paper spots in the imaginary parts.
+            let period = 20.0 * config.period_factor();
+            let osc = (TAU * tf / period).sin();
+            l.set(Channel::Cpu, intensity * 0.3);
+            l.set(Channel::Mem, 0.3 * intensity);
+            l.set(Channel::MemBw, 0.15 * intensity);
+            l.set(Channel::Freq, 1.0 + 0.25 * osc);
+            l.set(Channel::Sched, 0.3 + 0.1 * osc);
+        }
+        AppKind::Lammps => {
+            // Neighbor-list rebuild cadence + halo exchanges.
+            let period = 30.0 * config.period_factor();
+            let wave = 0.5 + 0.5 * (TAU * tf / period).sin();
+            let rebuild = ((tf / period).fract() < 0.15) as u8 as f64;
+            l.set(Channel::Cpu, intensity * (0.6 + 0.2 * wave));
+            l.set(Channel::Mem, 0.5 * intensity);
+            l.set(Channel::MemBw, intensity * (0.35 + 0.15 * wave));
+            l.set(Channel::Net, intensity * (0.2 + 0.4 * rebuild));
+            l.set(Channel::Cache, 0.2 * intensity * wave);
+            l.set(Channel::Sched, 0.2);
+        }
+        AppKind::Nekbone => {
+            // Bandwidth-bound spectral kernels, fast iterations.
+            let period = 10.0 * config.period_factor();
+            let wave = 0.5 + 0.5 * (TAU * tf / period).sin();
+            l.set(Channel::Cpu, intensity * (0.45 + 0.15 * wave));
+            l.set(Channel::MemBw, intensity * (0.7 + 0.25 * wave));
+            l.set(Channel::Mem, 0.55 * intensity);
+            l.set(Channel::Cache, 0.45 * intensity * wave);
+            l.set(Channel::Sched, 0.2);
+        }
+    }
+    l.clamp();
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ids_are_unique_and_dense() {
+        let mut ids: Vec<usize> = AppKind::APPLICATIONS.iter().map(|a| a.class_id()).collect();
+        ids.push(AppKind::Idle.class_id());
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn idle_is_quiet_linpack_is_loud() {
+        let idle = latent_at(AppKind::Idle, InputConfig(0), 50, 100, 0.0);
+        let hpl = latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
+        assert!(idle.get(Channel::Cpu) < 0.1);
+        assert!(hpl.get(Channel::Cpu) > 0.7);
+    }
+
+    #[test]
+    fn amg_memory_gradient_grows() {
+        let early = latent_at(AppKind::Amg, InputConfig(0), 5, 100, 0.0);
+        let late = latent_at(AppKind::Amg, InputConfig(0), 95, 100, 0.0);
+        assert!(late.get(Channel::Mem) > early.get(Channel::Mem) + 0.2);
+    }
+
+    #[test]
+    fn linpack_init_phase_differs_from_steady() {
+        let init = latent_at(AppKind::Linpack, InputConfig(0), 2, 100, 0.0);
+        let steady = latent_at(AppKind::Linpack, InputConfig(0), 60, 100, 0.0);
+        assert!(init.get(Channel::Cpu) < 0.4);
+        assert!(steady.get(Channel::Cpu) > 0.7);
+        assert!(init.get(Channel::Io) > steady.get(Channel::Io));
+    }
+
+    #[test]
+    fn quicksilver_frequency_oscillates() {
+        let samples: Vec<f64> = (0..60)
+            .map(|t| latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq))
+            .collect();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.3, "freq swing {}", max - min);
+        // Other apps keep the nominal clock.
+        let hpl = latent_at(AppKind::Linpack, InputConfig(0), 30, 100, 0.0);
+        assert!((hpl.get(Channel::Freq) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn configs_change_period() {
+        // With different period factors the waves decorrelate over time.
+        let a: Vec<f64> = (0..64)
+            .map(|t| latent_at(AppKind::Kripke, InputConfig(0), t, 200, 0.0).get(Channel::Cpu))
+            .collect();
+        let b: Vec<f64> = (0..64)
+            .map(|t| latent_at(AppKind::Kripke, InputConfig(2), t, 200, 0.0).get(Channel::Cpu))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_channels_stay_physical() {
+        for app in AppKind::APPLICATIONS {
+            for cfg in InputConfig::ALL {
+                for t in [0usize, 13, 77, 199] {
+                    let l = latent_at(app, cfg, t, 200, 0.5);
+                    for (i, &v) in l.as_array().iter().enumerate() {
+                        assert!(v.is_finite());
+                        if i == Channel::Freq as usize {
+                            assert!((0.3..=1.5).contains(&v));
+                        } else {
+                            assert!((0.0..=1.0).contains(&v), "{app:?} ch{i} = {v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_jitter_shifts_waves() {
+        let a = latent_at(AppKind::Kripke, InputConfig(0), 10, 100, 0.0);
+        let b = latent_at(AppKind::Kripke, InputConfig(0), 10, 100, 7.0);
+        assert_ne!(a.get(Channel::Cpu), b.get(Channel::Cpu));
+    }
+}

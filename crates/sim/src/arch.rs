@@ -1,0 +1,531 @@
+//! Per-architecture sensor sets.
+//!
+//! HPC-ODA's nodes expose different sensor counts per architecture
+//! (Table I / Sec. IV-F): the SuperMUC-NG Intel Skylake node has 52
+//! compute-node-level sensors, the CooLMUC-3 Knights Landing node 46, and
+//! the BEAST AMD Rome node 39. The ETH testbed node behind the Fault
+//! segment exposes 128 sensors (node-level plus per-core counters), the
+//! Power segment node 47 (node + CPU-core level), and the Infrastructure
+//! rack 31 (cooling and power distribution). The builders here reproduce
+//! those counts exactly, with physically motivated response functions.
+
+use crate::channels::Channel;
+use crate::sensors::{NodeModel, SensorSpec, Term};
+
+/// The simulated system/architecture variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Intel Skylake (SuperMUC-NG): 52 node-level sensors.
+    Skylake,
+    /// Intel Knights Landing (CooLMUC-3): 46 node-level sensors.
+    KnightsLanding,
+    /// AMD Rome (BEAST testbed): 39 node-level sensors.
+    Rome,
+    /// ETH testbed Xeon node (Fault segment): 128 sensors incl. per-core.
+    EthTestbed,
+    /// CooLMUC-3 node with node- and core-level data (Power segment): 47.
+    CoolmucPowerNode,
+    /// CooLMUC-3 rack infrastructure (cooling + power): 31 sensors.
+    InfraRack,
+}
+
+impl ArchKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Skylake => "Intel Skylake (SuperMUC-NG)",
+            ArchKind::KnightsLanding => "Intel Knights Landing (CooLMUC-3)",
+            ArchKind::Rome => "AMD Rome (BEAST)",
+            ArchKind::EthTestbed => "ETH Testbed Xeon",
+            ArchKind::CoolmucPowerNode => "CooLMUC-3 power node",
+            ArchKind::InfraRack => "CooLMUC-3 rack infrastructure",
+        }
+    }
+
+    /// Expected sensor count (Table I).
+    pub fn sensor_count(self) -> usize {
+        match self {
+            ArchKind::Skylake => 52,
+            ArchKind::KnightsLanding => 46,
+            ArchKind::Rome => 39,
+            ArchKind::EthTestbed => 128,
+            ArchKind::CoolmucPowerNode => 47,
+            ArchKind::InfraRack => 31,
+        }
+    }
+
+    /// Builds the node model for this architecture.
+    pub fn node_model(self) -> NodeModel {
+        let specs = match self {
+            ArchKind::Skylake => skylake_sensors(),
+            ArchKind::KnightsLanding => knl_sensors(),
+            ArchKind::Rome => rome_sensors(),
+            ArchKind::EthTestbed => testbed_sensors(),
+            ArchKind::CoolmucPowerNode => power_node_sensors(),
+            ArchKind::InfraRack => infra_rack_sensors(),
+        };
+        debug_assert_eq!(specs.len(), self.sensor_count());
+        NodeModel::new(specs)
+    }
+}
+
+use Channel::*;
+
+/// The ~32 node-level sensors every compute architecture shares: OS and
+/// `proc`-style metrics, perfevent-style counters, power and thermals.
+fn common_node_sensors(tdp_w: f64, mem_gb: f64, nominal_mhz: f64) -> Vec<SensorSpec> {
+    vec![
+        SensorSpec::gauge("cpu_user_pct", 0.0, vec![Term::lin(92.0, Cpu)], 1.2, Some((0.0, 100.0))),
+        SensorSpec::gauge(
+            "cpu_sys_pct",
+            0.5,
+            vec![Term::lin(6.0, Cpu), Term::lin(18.0, Sched), Term::lin(12.0, Io)],
+            0.8,
+            Some((0.0, 100.0)),
+        ),
+        SensorSpec::gauge("cpu_idle_pct", 100.0, vec![Term::lin(-95.0, Cpu)], 1.2, Some((0.0, 100.0))),
+        SensorSpec::gauge("cpu_iowait_pct", 0.2, vec![Term::lin(35.0, Io)], 0.5, Some((0.0, 100.0))),
+        SensorSpec::gauge("load_1", 0.1, vec![Term::lin(60.0, Cpu), Term::lin(8.0, Io)], 1.0, Some((0.0, 128.0))),
+        SensorSpec::gauge("load_5", 0.1, vec![Term::lin(55.0, Cpu), Term::lin(6.0, Io)], 0.6, Some((0.0, 128.0))),
+        SensorSpec::gauge("load_15", 0.1, vec![Term::lin(50.0, Cpu), Term::lin(4.0, Io)], 0.4, Some((0.0, 128.0))),
+        SensorSpec::gauge("instructions_g", 0.0, vec![Term::prod(45.0, Cpu, Freq)], 0.8, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("cycles_g", 0.0, vec![Term::prod(38.0, Cpu, Freq)], 0.6, Some((0.0, f64::MAX))),
+        SensorSpec::gauge(
+            "cache_misses_m",
+            0.3,
+            vec![Term::lin(60.0, Cache), Term::lin(25.0, MemBw)],
+            1.0,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "cache_refs_m",
+            1.0,
+            vec![Term::lin(80.0, MemBw), Term::lin(40.0, Cpu)],
+            1.5,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge("branch_misses_m", 0.1, vec![Term::lin(12.0, Cpu), Term::lin(6.0, Sched)], 0.3, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("mem_used_gb", 2.0, vec![Term::lin(mem_gb * 0.9, Mem)], 0.3, Some((0.0, mem_gb))),
+        SensorSpec::gauge("mem_free_gb", mem_gb - 2.0, vec![Term::lin(-mem_gb * 0.9, Mem)], 0.3, Some((0.0, mem_gb))),
+        SensorSpec::gauge("mem_cached_gb", 1.0, vec![Term::lin(mem_gb * 0.15, Mem), Term::lin(mem_gb * 0.1, Io)], 0.2, Some((0.0, mem_gb))),
+        SensorSpec::gauge("page_faults_k", 0.2, vec![Term::lin(90.0, PageFault), Term::lin(4.0, Mem)], 0.5, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("swap_used_gb", 0.0, vec![Term::lin(3.0, PageFault)], 0.05, Some((0.0, 16.0))),
+        SensorSpec::gauge("membw_read_gbs", 0.2, vec![Term::lin(70.0, MemBw)], 1.0, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("membw_write_gbs", 0.1, vec![Term::lin(42.0, MemBw)], 0.7, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("io_read_mbs", 0.1, vec![Term::lin(300.0, Io)], 2.0, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("io_write_mbs", 0.1, vec![Term::lin(220.0, Io)], 1.5, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("net_rx_mbs", 0.2, vec![Term::lin(900.0, Net)], 4.0, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("net_tx_mbs", 0.2, vec![Term::lin(750.0, Net)], 3.5, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("net_retrans_k", 0.05, vec![Term::prod(20.0, Sched, Net), Term::lin(1.5, Sched)], 0.2, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("ctx_switches_k", 1.0, vec![Term::lin(55.0, Sched), Term::lin(10.0, Cpu)], 1.0, Some((0.0, f64::MAX))),
+        SensorSpec::gauge("interrupts_k", 1.5, vec![Term::lin(25.0, Cpu), Term::lin(20.0, Sched), Term::lin(15.0, Io)], 0.8, Some((0.0, f64::MAX))),
+        SensorSpec::gauge(
+            "power_pkg_w",
+            tdp_w * 0.25,
+            vec![Term::prod(tdp_w * 0.65, Cpu, Freq), Term::lin(tdp_w * 0.15, MemBw)],
+            tdp_w * 0.01,
+            Some((0.0, tdp_w * 1.3)),
+        ),
+        SensorSpec::gauge("power_dram_w", 6.0, vec![Term::lin(28.0, MemBw), Term::lin(8.0, Mem)], 0.4, Some((0.0, 60.0))),
+        SensorSpec::gauge(
+            "temp_cpu_c",
+            34.0,
+            vec![Term::prod(42.0, Cpu, Freq), Term::lin(6.0, Ambient)],
+            0.5,
+            Some((15.0, 105.0)),
+        ),
+        SensorSpec::gauge("temp_board_c", 26.0, vec![Term::lin(9.0, Cpu), Term::lin(8.0, Ambient)], 0.3, Some((10.0, 85.0))),
+        SensorSpec::gauge("freq_avg_mhz", 0.0, vec![Term::lin(nominal_mhz, Freq)], nominal_mhz * 0.005, Some((0.0, nominal_mhz * 1.6))),
+        SensorSpec::counter(
+            "energy_consumed_j",
+            tdp_w * 0.25,
+            vec![Term::prod(tdp_w * 0.65, Cpu, Freq), Term::lin(tdp_w * 0.15, MemBw)],
+            tdp_w * 0.005,
+        ),
+    ]
+}
+
+/// Intel Skylake (2-socket): 32 common + 20 socket/uncore extras = 52.
+fn skylake_sensors() -> Vec<SensorSpec> {
+    let mut s = common_node_sensors(205.0, 96.0, 2700.0);
+    for socket in 0..2 {
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_pkg_power_w"),
+            50.0,
+            vec![Term::prod(130.0, Cpu, Freq)],
+            1.5,
+            Some((0.0, 260.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_temp_c"),
+            33.0,
+            vec![Term::prod(40.0, Cpu, Freq), Term::lin(5.0, Ambient)],
+            0.5,
+            Some((15.0, 100.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_uncore_mhz"),
+            1200.0,
+            vec![Term::lin(1200.0, MemBw)],
+            15.0,
+            Some((800.0, 2600.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_upi_gbs"),
+            0.3,
+            vec![Term::lin(22.0, Net), Term::lin(14.0, MemBw)],
+            0.4,
+            Some((0.0, 42.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_llc_occ_mb"),
+            2.0,
+            vec![Term::lin(24.0, Cache), Term::lin(8.0, Mem)],
+            0.5,
+            Some((0.0, 39.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("skx_s{socket}_turbo_pct"),
+            2.0,
+            vec![Term::prod(70.0, Cpu, Freq)],
+            1.5,
+            Some((0.0, 100.0)),
+        ));
+    }
+    // 12 socket extras so far; 8 more node-level Skylake-specific sensors.
+    s.push(SensorSpec::gauge("skx_avx_ratio", 0.02, vec![Term::lin(0.7, Cpu)], 0.01, Some((0.0, 1.0))));
+    s.push(SensorSpec::gauge("skx_c6_residency_pct", 70.0, vec![Term::lin(-68.0, Cpu)], 1.0, Some((0.0, 100.0))));
+    s.push(SensorSpec::gauge("skx_dram_rd_gbs", 0.2, vec![Term::lin(55.0, MemBw)], 0.8, Some((0.0, 128.0))));
+    s.push(SensorSpec::gauge("skx_dram_wr_gbs", 0.1, vec![Term::lin(33.0, MemBw)], 0.6, Some((0.0, 128.0))));
+    s.push(SensorSpec::gauge("skx_itlb_misses_m", 0.05, vec![Term::lin(4.0, Cpu), Term::lin(3.0, PageFault)], 0.1, Some((0.0, f64::MAX))));
+    s.push(SensorSpec::gauge("skx_dtlb_misses_m", 0.1, vec![Term::lin(6.0, Mem), Term::lin(5.0, PageFault)], 0.15, Some((0.0, f64::MAX))));
+    s.push(SensorSpec::gauge("skx_psu_in_w", 120.0, vec![Term::prod(300.0, Cpu, Freq), Term::lin(60.0, MemBw)], 3.0, Some((0.0, 700.0))));
+    s.push(SensorSpec::gauge("skx_vr_temp_c", 30.0, vec![Term::prod(30.0, Cpu, Freq)], 0.5, Some((15.0, 95.0))));
+    s
+}
+
+/// Intel Knights Landing: 32 common + 14 many-core/MCDRAM extras = 46.
+fn knl_sensors() -> Vec<SensorSpec> {
+    let mut s = common_node_sensors(215.0, 96.0, 1300.0);
+    s.push(SensorSpec::gauge("knl_mcdram_rd_gbs", 0.3, vec![Term::lin(300.0, MemBw)], 4.0, Some((0.0, 450.0))));
+    s.push(SensorSpec::gauge("knl_mcdram_wr_gbs", 0.2, vec![Term::lin(180.0, MemBw)], 3.0, Some((0.0, 450.0))));
+    s.push(SensorSpec::gauge("knl_mcdram_occ_gb", 0.5, vec![Term::lin(14.0, Mem)], 0.2, Some((0.0, 16.0))));
+    s.push(SensorSpec::gauge("knl_mesh_gbs", 0.5, vec![Term::lin(60.0, MemBw), Term::lin(25.0, Cpu)], 1.0, Some((0.0, 120.0))));
+    s.push(SensorSpec::gauge("knl_edc_power_w", 8.0, vec![Term::lin(30.0, MemBw)], 0.5, Some((0.0, 50.0))));
+    for tile in 0..4 {
+        s.push(SensorSpec::gauge(
+            format!("knl_tile{tile}_temp_c"),
+            32.0,
+            vec![Term::prod(38.0, Cpu, Freq), Term::lin(4.0, Ambient)],
+            0.6,
+            Some((15.0, 100.0)),
+        ));
+    }
+    s.push(SensorSpec::gauge("knl_vpu_ratio", 0.05, vec![Term::lin(0.8, Cpu)], 0.02, Some((0.0, 1.0))));
+    s.push(SensorSpec::gauge("knl_pcu_power_w", 20.0, vec![Term::prod(160.0, Cpu, Freq)], 1.5, Some((0.0, 260.0))));
+    s.push(SensorSpec::gauge("knl_ddr_rd_gbs", 0.2, vec![Term::lin(45.0, MemBw)], 0.8, Some((0.0, 90.0))));
+    s.push(SensorSpec::gauge("knl_ddr_wr_gbs", 0.1, vec![Term::lin(27.0, MemBw)], 0.5, Some((0.0, 90.0))));
+    s.push(SensorSpec::gauge("knl_snc_imbalance", 0.02, vec![Term::lin(0.3, Sched)], 0.01, Some((0.0, 1.0))));
+    s
+}
+
+/// AMD Rome: 32 common + 7 CCD/fabric extras = 39.
+fn rome_sensors() -> Vec<SensorSpec> {
+    let mut s = common_node_sensors(225.0, 256.0, 2250.0);
+    for ccd in 0..4 {
+        s.push(SensorSpec::gauge(
+            format!("rome_ccd{ccd}_temp_c"),
+            31.0,
+            vec![Term::prod(41.0, Cpu, Freq), Term::lin(4.0, Ambient)],
+            0.6,
+            Some((15.0, 100.0)),
+        ));
+    }
+    s.push(SensorSpec::gauge("rome_fabric_gbs", 0.4, vec![Term::lin(48.0, MemBw), Term::lin(20.0, Net)], 0.9, Some((0.0, 100.0))));
+    s.push(SensorSpec::gauge("rome_smu_power_w", 15.0, vec![Term::prod(180.0, Cpu, Freq), Term::lin(35.0, MemBw)], 1.8, Some((0.0, 280.0))));
+    s.push(SensorSpec::gauge("rome_boost_mhz", 0.0, vec![Term::lin(3400.0, Freq)], 20.0, Some((0.0, 3600.0))));
+    s
+}
+
+/// ETH testbed node: 32 common + 8 cores x 12 per-core counters = 128.
+fn testbed_sensors() -> Vec<SensorSpec> {
+    let mut s = common_node_sensors(145.0, 32.0, 2100.0);
+    for core in 0..8 {
+        // Slight per-core asymmetry so cores are not clones of each other.
+        let k = 1.0 - 0.03 * core as f64;
+        s.push(SensorSpec::gauge(
+            format!("core{core}_util_pct"),
+            0.0,
+            vec![Term::lin(95.0 * k, Cpu)],
+            1.5,
+            Some((0.0, 100.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_instr_g"),
+            0.0,
+            vec![Term::prod(6.0 * k, Cpu, Freq)],
+            0.15,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_cycles_g"),
+            0.0,
+            vec![Term::prod(5.0 * k, Cpu, Freq)],
+            0.1,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_l1_miss_m"),
+            0.05,
+            vec![Term::lin(9.0 * k, Cache), Term::lin(3.0, MemBw)],
+            0.2,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_l2_miss_m"),
+            0.03,
+            vec![Term::lin(7.0 * k, Cache), Term::lin(2.5, MemBw)],
+            0.15,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_llc_miss_m"),
+            0.02,
+            vec![Term::lin(6.0 * k, Cache), Term::lin(3.5, MemBw)],
+            0.12,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_branch_miss_m"),
+            0.01,
+            vec![Term::lin(1.5 * k, Cpu), Term::lin(0.8, Sched)],
+            0.05,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_freq_mhz"),
+            0.0,
+            vec![Term::lin(2100.0 * k, Freq)],
+            12.0,
+            Some((0.0, 3400.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_temp_c"),
+            33.0,
+            vec![Term::prod(39.0 * k, Cpu, Freq), Term::lin(4.0, Ambient)],
+            0.6,
+            Some((15.0, 100.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_ctx_k"),
+            0.1,
+            vec![Term::lin(8.0 * k, Sched)],
+            0.2,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_pfault_k"),
+            0.02,
+            vec![Term::lin(12.0 * k, PageFault), Term::lin(0.5, Mem)],
+            0.1,
+            Some((0.0, f64::MAX)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_tlb_miss_m"),
+            0.02,
+            vec![Term::lin(2.0 * k, PageFault), Term::lin(1.0, Mem)],
+            0.08,
+            Some((0.0, f64::MAX)),
+        ));
+    }
+    s
+}
+
+/// CooLMUC-3 power node: 32 common + 5 cores x 3 core-level = 47.
+fn power_node_sensors() -> Vec<SensorSpec> {
+    let mut s = common_node_sensors(215.0, 96.0, 1300.0);
+    for core in 0..5 {
+        let k = 1.0 - 0.02 * core as f64;
+        s.push(SensorSpec::gauge(
+            format!("core{core}_util_pct"),
+            0.0,
+            vec![Term::lin(94.0 * k, Cpu)],
+            1.4,
+            Some((0.0, 100.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_freq_mhz"),
+            0.0,
+            vec![Term::lin(1300.0 * k, Freq)],
+            8.0,
+            Some((0.0, 1600.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("core{core}_temp_c"),
+            32.0,
+            vec![Term::prod(36.0 * k, Cpu, Freq), Term::lin(4.0, Ambient)],
+            0.5,
+            Some((15.0, 100.0)),
+        ));
+    }
+    s
+}
+
+/// CooLMUC-3 rack: 7 rack-level + 6 chassis x 4 = 31 cooling/power sensors.
+///
+/// For the rack, [`Channel::Cpu`] carries the *aggregate* rack utilization
+/// and [`Channel::Ambient`] the facility condition; heat transport responds
+/// with first-order physics: outlet temperature and flow track rack power.
+fn infra_rack_sensors() -> Vec<SensorSpec> {
+    let mut s = vec![
+        SensorSpec::gauge("rack_power_kw", 8.0, vec![Term::prod(38.0, Cpu, Freq), Term::lin(6.0, MemBw)], 0.3, Some((0.0, 60.0))),
+        SensorSpec::gauge("water_inlet_c", 38.0, vec![Term::lin(4.0, Ambient)], 0.15, Some((20.0, 55.0))),
+        SensorSpec::gauge(
+            "water_outlet_c",
+            40.0,
+            vec![Term::prod(9.0, Cpu, Freq), Term::lin(4.0, Ambient), Term::lin(1.5, MemBw)],
+            0.2,
+            Some((20.0, 65.0)),
+        ),
+        SensorSpec::gauge("water_flow_lpm", 110.0, vec![Term::lin(35.0, Cpu)], 1.0, Some((40.0, 220.0))),
+        SensorSpec::gauge("pump_power_kw", 0.8, vec![Term::lin(0.9, Cpu)], 0.03, Some((0.0, 4.0))),
+        SensorSpec::gauge("pdu_current_a", 18.0, vec![Term::prod(85.0, Cpu, Freq)], 0.8, Some((0.0, 160.0))),
+        SensorSpec::gauge("ambient_temp_c", 22.0, vec![Term::lin(8.0, Ambient)], 0.2, Some((10.0, 45.0))),
+    ];
+    for ch in 0..6 {
+        let k = 1.0 - 0.04 * ch as f64;
+        s.push(SensorSpec::gauge(
+            format!("chassis{ch}_power_kw"),
+            1.2,
+            vec![Term::prod(6.2 * k, Cpu, Freq), Term::lin(1.0, MemBw)],
+            0.08,
+            Some((0.0, 12.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("chassis{ch}_inlet_c"),
+            38.0,
+            vec![Term::lin(3.8 * k, Ambient)],
+            0.15,
+            Some((20.0, 55.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("chassis{ch}_outlet_c"),
+            40.0,
+            vec![Term::prod(8.5 * k, Cpu, Freq), Term::lin(3.8, Ambient)],
+            0.2,
+            Some((20.0, 65.0)),
+        ));
+        s.push(SensorSpec::gauge(
+            format!("chassis{ch}_temp_c"),
+            30.0,
+            vec![Term::prod(12.0 * k, Cpu, Freq), Term::lin(3.0, Ambient)],
+            0.3,
+            Some((15.0, 80.0)),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::Latent;
+    use crate::rng::stream;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sensor_counts_match_table_one() {
+        for (arch, expect) in [
+            (ArchKind::Skylake, 52),
+            (ArchKind::KnightsLanding, 46),
+            (ArchKind::Rome, 39),
+            (ArchKind::EthTestbed, 128),
+            (ArchKind::CoolmucPowerNode, 47),
+            (ArchKind::InfraRack, 31),
+        ] {
+            let model = arch.node_model();
+            assert_eq!(model.n_sensors(), expect, "{arch:?}");
+            assert_eq!(arch.sensor_count(), expect);
+        }
+    }
+
+    #[test]
+    fn sensor_names_are_unique() {
+        for arch in [
+            ArchKind::Skylake,
+            ArchKind::KnightsLanding,
+            ArchKind::Rome,
+            ArchKind::EthTestbed,
+            ArchKind::CoolmucPowerNode,
+            ArchKind::InfraRack,
+        ] {
+            let names = arch.node_model().sensor_names();
+            let set: HashSet<&String> = names.iter().collect();
+            assert_eq!(set.len(), names.len(), "{arch:?} has duplicate names");
+        }
+    }
+
+    #[test]
+    fn all_architectures_sample_finite_values() {
+        let mut l = Latent::idle();
+        l.set(Channel::Cpu, 0.7);
+        l.set(Channel::MemBw, 0.5);
+        l.set(Channel::Mem, 0.6);
+        for arch in [
+            ArchKind::Skylake,
+            ArchKind::KnightsLanding,
+            ArchKind::Rome,
+            ArchKind::EthTestbed,
+            ArchKind::CoolmucPowerNode,
+            ArchKind::InfraRack,
+        ] {
+            let mut model = arch.node_model();
+            let mut rng = stream(11, 0);
+            let mut out = vec![0.0; model.n_sensors()];
+            for _ in 0..5 {
+                model.sample_into(&l, &mut rng, &mut out);
+                assert!(out.iter().all(|v| v.is_finite()), "{arch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_vs_busy_separate_in_util_and_power() {
+        let mut model = ArchKind::Skylake.node_model();
+        let names = model.sensor_names();
+        let util = names.iter().position(|n| n == "cpu_user_pct").unwrap();
+        let idle_ix = names.iter().position(|n| n == "cpu_idle_pct").unwrap();
+        let power = names.iter().position(|n| n == "power_pkg_w").unwrap();
+        let mut rng = stream(2, 0);
+        let mut out = vec![0.0; model.n_sensors()];
+
+        let idle = Latent::idle();
+        model.sample_into(&idle, &mut rng, &mut out);
+        let (u0, i0, p0) = (out[util], out[idle_ix], out[power]);
+
+        let mut busy = Latent::idle();
+        busy.set(Channel::Cpu, 0.95);
+        busy.set(Channel::MemBw, 0.7);
+        model.sample_into(&busy, &mut rng, &mut out);
+        assert!(out[util] > u0 + 50.0);
+        assert!(out[idle_ix] < i0 - 50.0); // anti-correlated sensor
+        assert!(out[power] > p0 + 60.0);
+    }
+
+    #[test]
+    fn energy_counter_is_monotonic() {
+        let mut model = ArchKind::Rome.node_model();
+        let names = model.sensor_names();
+        let e = names.iter().position(|n| n == "energy_consumed_j").unwrap();
+        let mut rng = stream(5, 0);
+        let mut out = vec![0.0; model.n_sensors()];
+        let mut busy = Latent::idle();
+        busy.set(Channel::Cpu, 0.5);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            model.sample_into(&busy, &mut rng, &mut out);
+            assert!(out[e] >= last);
+            last = out[e];
+        }
+    }
+}

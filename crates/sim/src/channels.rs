@@ -1,0 +1,142 @@
+//! The latent activity state driving every simulated sensor.
+//!
+//! Real monitoring metrics are correlated because they respond to the same
+//! underlying activity: a compute-bound phase moves utilization counters,
+//! instruction rates, power and temperature together. The simulator makes
+//! that sharing explicit: applications (and faults) set a small vector of
+//! latent *channels*, and each sensor is a noisy affine function of a few
+//! channels.
+
+/// Latent activity channels, all nominally in `[0, 1]` except [`Channel::Freq`]
+/// (a relative clock multiplier around 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Channel {
+    /// CPU utilization.
+    Cpu = 0,
+    /// Memory occupancy.
+    Mem = 1,
+    /// Memory bandwidth.
+    MemBw = 2,
+    /// Disk / filesystem I/O activity.
+    Io = 3,
+    /// Network activity.
+    Net = 4,
+    /// Relative CPU clock (1.0 = nominal).
+    Freq = 5,
+    /// Cache-miss intensity.
+    Cache = 6,
+    /// Page-fault intensity.
+    PageFault = 7,
+    /// Context-switch / scheduler churn.
+    Sched = 8,
+    /// Ambient/facility condition (drives cooling sensors).
+    Ambient = 9,
+    /// GPU compute (SM) activity — used by accelerator nodes.
+    GpuCompute = 10,
+    /// GPU memory occupancy/bandwidth.
+    GpuMem = 11,
+}
+
+/// Number of latent channels.
+pub const N_CHANNELS: usize = 12;
+
+/// One time-step of latent activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latent {
+    values: [f64; N_CHANNELS],
+}
+
+impl Default for Latent {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+impl Latent {
+    /// The idle state: everything quiet, nominal clock, mild base memory.
+    pub fn idle() -> Self {
+        let mut values = [0.0; N_CHANNELS];
+        values[Channel::Mem as usize] = 0.05;
+        values[Channel::Freq as usize] = 1.0;
+        values[Channel::Ambient as usize] = 0.5;
+        Self { values }
+    }
+
+    /// Reads one channel.
+    #[inline]
+    pub fn get(&self, c: Channel) -> f64 {
+        self.values[c as usize]
+    }
+
+    /// Sets one channel.
+    #[inline]
+    pub fn set(&mut self, c: Channel, v: f64) {
+        self.values[c as usize] = v;
+    }
+
+    /// Adds to one channel.
+    #[inline]
+    pub fn add(&mut self, c: Channel, v: f64) {
+        self.values[c as usize] += v;
+    }
+
+    /// Multiplies one channel.
+    #[inline]
+    pub fn scale(&mut self, c: Channel, k: f64) {
+        self.values[c as usize] *= k;
+    }
+
+    /// Clamps the utilization-like channels into `[0, 1]` and the clock
+    /// into `[0.3, 1.5]` (hardware limits).
+    pub fn clamp(&mut self) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            if i == Channel::Freq as usize {
+                *v = v.clamp(0.3, 1.5);
+            } else {
+                *v = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Raw channel array.
+    pub fn as_array(&self) -> &[f64; N_CHANNELS] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_state_is_quiet() {
+        let l = Latent::idle();
+        assert_eq!(l.get(Channel::Cpu), 0.0);
+        assert_eq!(l.get(Channel::Freq), 1.0);
+        assert!(l.get(Channel::Mem) > 0.0);
+    }
+
+    #[test]
+    fn set_get_add_scale() {
+        let mut l = Latent::idle();
+        l.set(Channel::Cpu, 0.8);
+        assert_eq!(l.get(Channel::Cpu), 0.8);
+        l.add(Channel::Cpu, 0.1);
+        assert!((l.get(Channel::Cpu) - 0.9).abs() < 1e-12);
+        l.scale(Channel::Cpu, 0.5);
+        assert!((l.get(Channel::Cpu) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_restores_physical_ranges() {
+        let mut l = Latent::idle();
+        l.set(Channel::Cpu, 3.0);
+        l.set(Channel::Mem, -1.0);
+        l.set(Channel::Freq, 9.0);
+        l.clamp();
+        assert_eq!(l.get(Channel::Cpu), 1.0);
+        assert_eq!(l.get(Channel::Mem), 0.0);
+        assert_eq!(l.get(Channel::Freq), 1.5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Fault injection models.
+//!
+//! HPC-ODA's Fault segment comes from the Antarex dataset: a node running
+//! applications while eight fault programs reproduce software/hardware
+//! issues, each with two settings (paper Sec. II-B1). The models here
+//! perturb the latent activity the same way the original injectors perturb
+//! the machine: a CPU hog steals cycles, a leak ramps memory, a cache
+//! interference program inflates miss rates, and so on.
+
+use crate::channels::{Channel, Latent};
+
+/// The eight injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Busy-loop CPU hog stealing cycles from the application.
+    CpuOccupy,
+    /// Cache interference (cache-unfriendly strided copies).
+    CacheInterference,
+    /// Gradual memory leak.
+    MemLeak,
+    /// Sudden large allocation ("memeater").
+    MemEater,
+    /// I/O stress (continuous writes), inflating iowait.
+    IoStress,
+    /// Network degradation: lost packets and retransmissions.
+    NetDegrade,
+    /// Forced CPU frequency reduction (thermal capping).
+    FreqCap,
+    /// Page-fault storm from pathological allocation patterns.
+    PageFaultStorm,
+}
+
+impl FaultKind {
+    /// All faults, in class-label order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::CpuOccupy,
+        FaultKind::CacheInterference,
+        FaultKind::MemLeak,
+        FaultKind::MemEater,
+        FaultKind::IoStress,
+        FaultKind::NetDegrade,
+        FaultKind::FreqCap,
+        FaultKind::PageFaultStorm,
+    ];
+
+    /// Class label: 0 is healthy, faults are 1..=8.
+    pub fn class_id(self) -> usize {
+        match self {
+            FaultKind::CpuOccupy => 1,
+            FaultKind::CacheInterference => 2,
+            FaultKind::MemLeak => 3,
+            FaultKind::MemEater => 4,
+            FaultKind::IoStress => 5,
+            FaultKind::NetDegrade => 6,
+            FaultKind::FreqCap => 7,
+            FaultKind::PageFaultStorm => 8,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CpuOccupy => "cpuoccupy",
+            FaultKind::CacheInterference => "cacheinterf",
+            FaultKind::MemLeak => "memleak",
+            FaultKind::MemEater => "memeater",
+            FaultKind::IoStress => "iostress",
+            FaultKind::NetDegrade => "netdegrade",
+            FaultKind::FreqCap => "freqcap",
+            FaultKind::PageFaultStorm => "pagefaultstorm",
+        }
+    }
+}
+
+/// Fault intensity setting (each fault program has two, paper Sec. II-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSetting {
+    /// Low-intensity variant.
+    Low,
+    /// High-intensity variant.
+    High,
+}
+
+impl FaultSetting {
+    /// Both settings.
+    pub const ALL: [FaultSetting; 2] = [FaultSetting::Low, FaultSetting::High];
+
+    fn magnitude(self) -> f64 {
+        match self {
+            FaultSetting::Low => 0.55,
+            FaultSetting::High => 1.0,
+        }
+    }
+}
+
+/// Applies `fault` to the latent state at position `t` of `fault_len`
+/// samples since injection (some faults, like leaks, are progressive).
+pub fn apply_fault(
+    latent: &mut Latent,
+    fault: FaultKind,
+    setting: FaultSetting,
+    t: usize,
+    fault_len: usize,
+) {
+    let m = setting.magnitude();
+    let progress = t as f64 / fault_len.max(1) as f64;
+    match fault {
+        FaultKind::CpuOccupy => {
+            latent.add(Channel::Cpu, 0.5 * m);
+            latent.add(Channel::Sched, 0.4 * m);
+            // The victim application slows down: its bandwidth drops.
+            latent.scale(Channel::MemBw, 1.0 - 0.3 * m);
+        }
+        FaultKind::CacheInterference => {
+            latent.add(Channel::Cache, 0.6 * m);
+            latent.add(Channel::MemBw, 0.25 * m);
+            latent.scale(Channel::Cpu, 1.0 - 0.15 * m);
+        }
+        FaultKind::MemLeak => {
+            latent.add(Channel::Mem, (0.2 + 0.6 * progress) * m);
+            latent.add(Channel::PageFault, 0.1 * m * progress);
+        }
+        FaultKind::MemEater => {
+            latent.add(Channel::Mem, 0.65 * m);
+            latent.add(Channel::MemBw, 0.1 * m);
+        }
+        FaultKind::IoStress => {
+            latent.add(Channel::Io, 0.7 * m);
+            latent.add(Channel::Sched, 0.2 * m);
+            latent.scale(Channel::Cpu, 1.0 - 0.1 * m);
+        }
+        FaultKind::NetDegrade => {
+            latent.scale(Channel::Net, 1.0 - 0.6 * m);
+            latent.add(Channel::Sched, 0.3 * m);
+        }
+        FaultKind::FreqCap => {
+            latent.scale(Channel::Freq, 1.0 - 0.4 * m);
+            latent.scale(Channel::MemBw, 1.0 - 0.2 * m);
+        }
+        FaultKind::PageFaultStorm => {
+            latent.add(Channel::PageFault, 0.75 * m);
+            latent.add(Channel::Sched, 0.3 * m);
+            latent.scale(Channel::Cpu, 1.0 - 0.2 * m);
+        }
+    }
+    latent.clamp();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{latent_at, AppKind, InputConfig};
+
+    #[test]
+    fn class_ids_dense_from_one() {
+        let mut ids: Vec<usize> = FaultKind::ALL.iter().map(|f| f.class_id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn each_fault_changes_the_latent_state() {
+        for fault in FaultKind::ALL {
+            for setting in FaultSetting::ALL {
+                let base = latent_at(AppKind::Lammps, InputConfig(0), 40, 100, 0.0);
+                let mut perturbed = base;
+                apply_fault(&mut perturbed, fault, setting, 50, 100);
+                assert_ne!(base, perturbed, "{fault:?} {setting:?} had no effect");
+            }
+        }
+    }
+
+    #[test]
+    fn high_setting_is_stronger_than_low() {
+        let base = latent_at(AppKind::Amg, InputConfig(0), 40, 100, 0.0);
+        let mut low = base;
+        let mut high = base;
+        apply_fault(&mut low, FaultKind::CpuOccupy, FaultSetting::Low, 10, 100);
+        apply_fault(&mut high, FaultKind::CpuOccupy, FaultSetting::High, 10, 100);
+        assert!(high.get(Channel::Cpu) >= low.get(Channel::Cpu));
+    }
+
+    #[test]
+    fn memleak_is_progressive() {
+        let base = Latent::idle();
+        let mut early = base;
+        let mut late = base;
+        apply_fault(&mut early, FaultKind::MemLeak, FaultSetting::High, 5, 100);
+        apply_fault(&mut late, FaultKind::MemLeak, FaultSetting::High, 95, 100);
+        assert!(late.get(Channel::Mem) > early.get(Channel::Mem));
+    }
+
+    #[test]
+    fn freqcap_reduces_clock() {
+        let mut l = latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
+        let before = l.get(Channel::Freq);
+        apply_fault(&mut l, FaultKind::FreqCap, FaultSetting::High, 0, 10);
+        assert!(l.get(Channel::Freq) < before);
+    }
+
+    #[test]
+    fn faulted_state_remains_physical() {
+        for fault in FaultKind::ALL {
+            let mut l = latent_at(AppKind::Linpack, InputConfig(2), 80, 100, 0.0);
+            apply_fault(&mut l, fault, FaultSetting::High, 99, 100);
+            for (i, &v) in l.as_array().iter().enumerate() {
+                assert!(v.is_finite());
+                if i == Channel::Freq as usize {
+                    assert!((0.3..=1.5).contains(&v));
+                } else {
+                    assert!((0.0..=1.0).contains(&v), "{fault:?} ch{i}={v}");
+                }
+            }
+        }
+    }
+}

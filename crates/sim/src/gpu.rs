@@ -1,0 +1,210 @@
+//! GPU-accelerated workload and node models.
+//!
+//! The paper lists "testing the CS method's effectiveness when applied to
+//! accelerator sensor data (e.g., GPUs)" as future work (Sec. V). This
+//! module provides the substrate for that experiment: GPU builds of the
+//! six applications (each offloading an app-specific fraction of its
+//! compute onto the accelerator) and a GPU-node sensor set.
+
+use crate::apps::{latent_at, AppKind, InputConfig};
+use crate::channels::{Channel, Latent};
+use crate::sensors::{NodeModel, SensorSpec, Term};
+
+/// Fraction of an application's compute that its GPU build offloads, and
+/// how memory-bandwidth-hungry the device kernels are.
+fn offload_profile(app: AppKind) -> (f64, f64) {
+    match app {
+        AppKind::Idle => (0.0, 0.0),
+        // (compute offload, device-memory pressure)
+        AppKind::Amg => (0.55, 0.75),         // SpMV-heavy: bandwidth-bound
+        AppKind::Kripke => (0.7, 0.5),        // sweep kernels port well
+        AppKind::Linpack => (0.9, 0.6),       // DGEMM lives on the device
+        AppKind::Quicksilver => (0.35, 0.3),  // branchy MC: poor offload
+        AppKind::Lammps => (0.65, 0.55),      // pair kernels on device
+        AppKind::Nekbone => (0.6, 0.8),       // spectral ops: bandwidth
+    }
+}
+
+/// Latent state of the *GPU build* of `app`: the host-side latent state
+/// with part of the CPU activity moved onto the GPU channels. Temporal
+/// structure (iterations, init phases, frequency oscillation) carries
+/// over to the device — the property that makes signatures comparable.
+pub fn gpu_latent_at(
+    app: AppKind,
+    config: InputConfig,
+    t: usize,
+    run_len: usize,
+    phase_jitter: f64,
+) -> Latent {
+    let mut l = latent_at(app, config, t, run_len, phase_jitter);
+    let (offload, mem_pressure) = offload_profile(app);
+    let cpu = l.get(Channel::Cpu);
+    let membw = l.get(Channel::MemBw);
+    // The host keeps orchestration load; the device inherits the kernels.
+    l.set(Channel::Cpu, cpu * (1.0 - 0.75 * offload) + 0.05);
+    l.set(Channel::GpuCompute, cpu * offload);
+    l.set(Channel::GpuMem, membw * mem_pressure + 0.1 * offload);
+    // Device transfers ride the host bandwidth channel a little.
+    l.set(Channel::MemBw, membw * (1.0 - 0.4 * offload) + 0.1 * offload);
+    l.clamp();
+    l
+}
+
+/// Number of GPUs on the accelerator node.
+pub const GPUS_PER_NODE: usize = 4;
+
+/// Sensors exposed by each GPU (DCGM/NVML-style).
+pub const SENSORS_PER_GPU: usize = 11;
+
+/// Builds the GPU node model: the common 32 node-level sensors plus
+/// `GPUS_PER_NODE x SENSORS_PER_GPU` device sensors (76 total).
+pub fn gpu_node_model() -> NodeModel {
+    use Channel::*;
+    // Host side: reuse the Rome host sensor set's common core.
+    let mut specs = crate::arch::ArchKind::Rome.node_model().specs().to_vec();
+    specs.truncate(32); // keep only the common node-level sensors
+    for g in 0..GPUS_PER_NODE {
+        let k = 1.0 - 0.03 * g as f64; // per-device asymmetry
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_sm_util_pct"),
+            0.0,
+            vec![Term::lin(96.0 * k, GpuCompute)],
+            1.5,
+            Some((0.0, 100.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_mem_util_pct"),
+            0.0,
+            vec![Term::lin(90.0 * k, GpuMem)],
+            1.5,
+            Some((0.0, 100.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_fb_used_gb"),
+            1.0,
+            vec![Term::lin(36.0 * k, GpuMem)],
+            0.3,
+            Some((0.0, 40.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_power_w"),
+            45.0,
+            vec![Term::lin(240.0 * k, GpuCompute), Term::lin(60.0, GpuMem)],
+            3.0,
+            Some((0.0, 420.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_temp_c"),
+            30.0,
+            vec![Term::lin(42.0 * k, GpuCompute), Term::lin(6.0, Ambient)],
+            0.6,
+            Some((15.0, 95.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_sm_clock_mhz"),
+            600.0,
+            vec![Term::lin(800.0 * k, GpuCompute), Term::lin(150.0, Freq)],
+            10.0,
+            Some((300.0, 1900.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_mem_clock_mhz"),
+            800.0,
+            vec![Term::lin(400.0 * k, GpuMem)],
+            8.0,
+            Some((400.0, 1600.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_pcie_tx_gbs"),
+            0.1,
+            vec![Term::lin(12.0 * k, GpuMem), Term::lin(6.0, MemBw)],
+            0.3,
+            Some((0.0, 32.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_pcie_rx_gbs"),
+            0.1,
+            vec![Term::lin(10.0 * k, GpuMem), Term::lin(5.0, MemBw)],
+            0.3,
+            Some((0.0, 32.0)),
+        ));
+        specs.push(SensorSpec::gauge(
+            format!("gpu{g}_nvlink_gbs"),
+            0.2,
+            vec![Term::prod(40.0 * k, GpuCompute, GpuMem)],
+            0.5,
+            Some((0.0, 100.0)),
+        ));
+        specs.push(SensorSpec::counter(
+            format!("gpu{g}_energy_j"),
+            45.0,
+            vec![Term::lin(240.0 * k, GpuCompute), Term::lin(60.0, GpuMem)],
+            1.0,
+        ));
+    }
+    NodeModel::new(specs)
+}
+
+/// Total sensors on the GPU node.
+pub const GPU_NODE_SENSORS: usize = 32 + GPUS_PER_NODE * SENSORS_PER_GPU;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn node_model_has_expected_sensor_count() {
+        let model = gpu_node_model();
+        assert_eq!(model.n_sensors(), GPU_NODE_SENSORS);
+        assert_eq!(GPU_NODE_SENSORS, 76);
+    }
+
+    #[test]
+    fn offload_moves_load_to_device() {
+        let host = latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
+        let gpu = gpu_latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
+        assert!(gpu.get(Channel::GpuCompute) > 0.5, "Linpack offloads heavily");
+        assert!(gpu.get(Channel::Cpu) < host.get(Channel::Cpu));
+        // Quicksilver barely offloads.
+        let qs = gpu_latent_at(AppKind::Quicksilver, InputConfig(0), 50, 200, 0.0);
+        assert!(qs.get(Channel::GpuCompute) < 0.2);
+    }
+
+    #[test]
+    fn idle_gpu_is_quiet() {
+        let idle = gpu_latent_at(AppKind::Idle, InputConfig(0), 10, 100, 0.0);
+        assert!(idle.get(Channel::GpuCompute) < 0.05);
+        assert!(idle.get(Channel::GpuMem) < 0.05);
+    }
+
+    #[test]
+    fn gpu_sensors_respond_to_device_channels() {
+        let mut model = gpu_node_model();
+        let names = model.sensor_names();
+        let sm = names.iter().position(|n| n == "gpu0_sm_util_pct").unwrap();
+        let pw = names.iter().position(|n| n == "gpu0_power_w").unwrap();
+        let mut rng = stream(1, 0);
+        let mut out = vec![0.0; model.n_sensors()];
+
+        let idle = gpu_latent_at(AppKind::Idle, InputConfig(0), 0, 100, 0.0);
+        model.sample_into(&idle, &mut rng, &mut out);
+        let (sm0, pw0) = (out[sm], out[pw]);
+
+        let busy = gpu_latent_at(AppKind::Linpack, InputConfig(0), 60, 100, 0.0);
+        model.sample_into(&busy, &mut rng, &mut out);
+        assert!(out[sm] > sm0 + 40.0, "sm util {} -> {}", sm0, out[sm]);
+        assert!(out[pw] > pw0 + 80.0, "power {} -> {}", pw0, out[pw]);
+    }
+
+    #[test]
+    fn temporal_structure_survives_offload() {
+        // Quicksilver's frequency oscillation must still be visible.
+        let freqs: Vec<f64> = (0..60)
+            .map(|t| gpu_latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq))
+            .collect();
+        let min = freqs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = freqs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.3);
+    }
+}

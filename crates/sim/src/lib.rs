@@ -1,0 +1,46 @@
+//! HPC monitoring-data simulator: the workspace's stand-in for HPC-ODA.
+//!
+//! The paper evaluates on HPC-ODA, a collection of five monitoring datasets
+//! captured on real HPC systems (Sec. II). Those traces are not
+//! redistributable here, so this crate implements a physically motivated
+//! generator reproducing the *structural* properties the CS method relies
+//! on: groups of sensors strongly correlated through shared workload
+//! activity, near-constant or noisy sensors, anti-correlated counterparts
+//! (idle vs. utilization), per-application temporal patterns (iterative
+//! kernels, init phases, memory ramps, frequency oscillation), fault
+//! perturbations, and physical models for node power and rack-level heat
+//! removal.
+//!
+//! Module map:
+//!
+//! * [`channels`] — the latent activity state (CPU, memory, bandwidth, I/O,
+//!   network, frequency, ...) that drives every sensor.
+//! * [`apps`] — six application models (AMG, Kripke, Linpack, Quicksilver,
+//!   LAMMPS, Nekbone) with three input configurations each, plus idle.
+//! * [`faults`] — eight injectable fault models with two settings each,
+//!   mirroring the Antarex fault dataset behind HPC-ODA's Fault segment.
+//! * [`sensors`] — sensor response functions mapping latent state to
+//!   readings (with noise, saturation, and monotonic energy counters).
+//! * [`arch`] — per-architecture sensor sets: Intel Skylake (52), Knights
+//!   Landing (46), AMD Rome (39), the ETH testbed node (128) and the
+//!   infrastructure rack (31), matching Table I.
+//! * [`schedule`] — run scheduling (application/fault sequences).
+//! * [`segments`] — builders for the five HPC-ODA-like segments plus their
+//!   Table I metadata.
+//!
+//! All generation is deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod arch;
+pub mod channels;
+pub mod faults;
+pub mod gpu;
+pub mod rng;
+pub mod schedule;
+pub mod segments;
+pub mod sensors;
+
+pub use arch::ArchKind;
+pub use segments::{SegmentInfo, SimConfig};

@@ -1,0 +1,258 @@
+//! Run scheduling: sequences of application runs, idle gaps and fault
+//! injection intervals over a sampling timeline.
+
+use crate::apps::{AppKind, InputConfig};
+use crate::faults::{FaultKind, FaultSetting};
+use crate::rng::SimRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What occupies the node during one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunPayload {
+    /// Nothing scheduled.
+    Idle,
+    /// A healthy application run.
+    App {
+        /// Application being executed.
+        app: AppKind,
+        /// Input configuration.
+        config: InputConfig,
+    },
+    /// An application run with a fault program active alongside it.
+    Faulted {
+        /// Victim application.
+        app: AppKind,
+        /// Input configuration.
+        config: InputConfig,
+        /// Injected fault.
+        fault: FaultKind,
+        /// Fault intensity setting.
+        setting: FaultSetting,
+    },
+}
+
+/// One run on the timeline: `[start, start + len)` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Run {
+    /// First sample of the run.
+    pub start: usize,
+    /// Length in samples.
+    pub len: usize,
+    /// What executes during the run.
+    pub payload: RunPayload,
+}
+
+impl Run {
+    /// Sample-level class label for this run's payload.
+    ///
+    /// Application scheduling labels by application (0 = idle); fault
+    /// scheduling labels by fault (0 = healthy).
+    pub fn app_class(&self) -> usize {
+        match self.payload {
+            RunPayload::Idle => AppKind::Idle.class_id(),
+            RunPayload::App { app, .. } | RunPayload::Faulted { app, .. } => app.class_id(),
+        }
+    }
+
+    /// Fault class label (0 = healthy/idle).
+    pub fn fault_class(&self) -> usize {
+        match self.payload {
+            RunPayload::Faulted { fault, .. } => fault.class_id(),
+            _ => 0,
+        }
+    }
+}
+
+/// Parameters for schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleConfig {
+    /// Total timeline length in samples.
+    pub total: usize,
+    /// Shortest run length.
+    pub min_run: usize,
+    /// Longest run length.
+    pub max_run: usize,
+    /// Idle gap inserted between runs (0 = back-to-back).
+    pub idle_gap: usize,
+    /// Input configurations to cycle through.
+    pub configs: &'static [InputConfig],
+}
+
+impl ScheduleConfig {
+    /// A reasonable default for `total` samples.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            min_run: 120,
+            max_run: 260,
+            idle_gap: 20,
+            configs: &InputConfig::ALL,
+        }
+    }
+}
+
+/// Generates an application schedule: shuffled (app × config) runs
+/// separated by idle gaps, repeated until the timeline is full.
+pub fn app_schedule(cfg: &ScheduleConfig, rng: &mut SimRng) -> Vec<Run> {
+    let mut combos: Vec<(AppKind, InputConfig)> = Vec::new();
+    for &app in &AppKind::APPLICATIONS {
+        for &c in cfg.configs {
+            combos.push((app, c));
+        }
+    }
+    let mut runs = Vec::new();
+    let mut t = 0usize;
+    'outer: loop {
+        combos.shuffle(rng);
+        for &(app, config) in &combos {
+            if t >= cfg.total {
+                break 'outer;
+            }
+            let len = rng.gen_range(cfg.min_run..=cfg.max_run).min(cfg.total - t);
+            runs.push(Run {
+                start: t,
+                len,
+                payload: RunPayload::App { app, config },
+            });
+            t += len;
+            if cfg.idle_gap > 0 && t < cfg.total {
+                let gap = cfg.idle_gap.min(cfg.total - t);
+                runs.push(Run {
+                    start: t,
+                    len: gap,
+                    payload: RunPayload::Idle,
+                });
+                t += gap;
+            }
+        }
+    }
+    runs
+}
+
+/// Generates a fault-injection schedule: application runs where roughly
+/// half carry an active fault, cycling through all 8 faults × 2 settings so
+/// classes stay balanced (the Antarex campaign behind HPC-ODA's Fault
+/// segment alternates healthy and faulted intervals the same way).
+pub fn fault_schedule(cfg: &ScheduleConfig, rng: &mut SimRng) -> Vec<Run> {
+    let mut fault_cycle: Vec<(FaultKind, FaultSetting)> = Vec::new();
+    for &f in &FaultKind::ALL {
+        for &s in &FaultSetting::ALL {
+            fault_cycle.push((f, s));
+        }
+    }
+    let mut runs = Vec::new();
+    let mut t = 0usize;
+    let mut cycle_pos = fault_cycle.len(); // force reshuffle on first use
+    let mut healthy_next = true;
+    while t < cfg.total {
+        let app = *AppKind::APPLICATIONS.choose(rng).unwrap();
+        let config = *cfg.configs.choose(rng).unwrap();
+        let len = rng.gen_range(cfg.min_run..=cfg.max_run).min(cfg.total - t);
+        let payload = if healthy_next {
+            RunPayload::App { app, config }
+        } else {
+            if cycle_pos >= fault_cycle.len() {
+                fault_cycle.shuffle(rng);
+                cycle_pos = 0;
+            }
+            let (fault, setting) = fault_cycle[cycle_pos];
+            cycle_pos += 1;
+            RunPayload::Faulted {
+                app,
+                config,
+                fault,
+                setting,
+            }
+        };
+        runs.push(Run {
+            start: t,
+            len,
+            payload,
+        });
+        t += len;
+        healthy_next = !healthy_next;
+    }
+    runs
+}
+
+/// Expands a schedule into per-sample `(run_index, offset_in_run)` lookups.
+pub fn sample_index(runs: &[Run], total: usize) -> Vec<(usize, usize)> {
+    let mut out = vec![(0usize, 0usize); total];
+    for (ri, run) in runs.iter().enumerate() {
+        for off in 0..run.len {
+            let t = run.start + off;
+            if t < total {
+                out[t] = (ri, off);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn app_schedule_covers_timeline_contiguously() {
+        let cfg = ScheduleConfig::new(5000);
+        let runs = app_schedule(&cfg, &mut stream(1, 0));
+        let mut t = 0;
+        for run in &runs {
+            assert_eq!(run.start, t, "gap or overlap at {t}");
+            assert!(run.len > 0);
+            t += run.len;
+        }
+        assert_eq!(t, 5000);
+    }
+
+    #[test]
+    fn app_schedule_uses_all_applications() {
+        let cfg = ScheduleConfig::new(40_000);
+        let runs = app_schedule(&cfg, &mut stream(2, 0));
+        for app in AppKind::APPLICATIONS {
+            assert!(
+                runs.iter().any(|r| r.app_class() == app.class_id()),
+                "{app:?} never scheduled"
+            );
+        }
+        assert!(runs.iter().any(|r| r.payload == RunPayload::Idle));
+    }
+
+    #[test]
+    fn fault_schedule_alternates_and_covers_all_faults() {
+        let cfg = ScheduleConfig::new(60_000);
+        let runs = fault_schedule(&cfg, &mut stream(3, 0));
+        let mut seen = [false; 9];
+        for run in &runs {
+            seen[run.fault_class()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "classes seen: {seen:?}");
+        // roughly half the runs are healthy
+        let healthy = runs.iter().filter(|r| r.fault_class() == 0).count();
+        let ratio = healthy as f64 / runs.len() as f64;
+        assert!((0.4..=0.6).contains(&ratio), "healthy ratio {ratio}");
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let cfg = ScheduleConfig::new(3000);
+        let a = app_schedule(&cfg, &mut stream(9, 0));
+        let b = app_schedule(&cfg, &mut stream(9, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_index_maps_back() {
+        let cfg = ScheduleConfig::new(1000);
+        let runs = app_schedule(&cfg, &mut stream(4, 0));
+        let idx = sample_index(&runs, 1000);
+        for t in [0usize, 1, 500, 999] {
+            let (ri, off) = idx[t];
+            assert_eq!(runs[ri].start + off, t);
+            assert!(off < runs[ri].len);
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! Builders for the five HPC-ODA-like segments (paper Table I).
+//!
+//! Each builder produces a labelled [`Segment`] with the same structure as
+//! the corresponding HPC-ODA segment: same sensor counts, same window
+//! geometry (`wl`/`ws` expressed in samples), same task. Durations are
+//! scaled down from the paper's multi-day traces to keep experiments
+//! laptop-sized; the scaling is recorded in `EXPERIMENTS.md`.
+//!
+//! | Segment        | System          | Nodes | Sensors | Task           | wl | ws | horizon |
+//! |----------------|-----------------|-------|---------|----------------|----|----|---------|
+//! | Fault          | ETH testbed     | 1     | 128     | classification | 60 | 10 | –       |
+//! | Application    | SuperMUC-NG     | 16    | 52/node | classification | 30 | 5  | –       |
+//! | Power          | CooLMUC-3       | 1     | 47      | regression     | 10 | 5  | 3       |
+//! | Infrastructure | CooLMUC-3 rack  | 148*  | 31      | regression     | 30 | 6  | 30      |
+//! | Cross-Arch     | 3 architectures | 3     | 52/46/39| classification | 30 | 2  | –       |
+//!
+//! *the rack aggregates 148 nodes' load into rack-level sensors.
+
+use crate::apps::{latent_at, AppKind};
+use crate::arch::ArchKind;
+use crate::channels::{Channel, Latent};
+use crate::faults::apply_fault;
+use crate::rng::{normal, stream, SimRng};
+use crate::schedule::{app_schedule, fault_schedule, Run, RunPayload, ScheduleConfig};
+use cwsmooth_data::transform::difference_monotonic_rows;
+use cwsmooth_data::{LabelTrack, Segment, TaskKind, WindowSpec};
+use cwsmooth_linalg::Matrix;
+use rand::Rng;
+
+/// Simulation parameters shared by all segment builders.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Master seed; every node/sensor derives a decorrelated stream.
+    pub seed: u64,
+    /// Number of samples (time-stamps) to generate.
+    pub samples: usize,
+}
+
+impl SimConfig {
+    /// Creates a config.
+    pub fn new(seed: u64, samples: usize) -> Self {
+        Self { seed, samples }
+    }
+}
+
+/// Table I-style metadata describing one segment and its experiment setup.
+#[derive(Debug, Clone)]
+pub struct SegmentInfo {
+    /// Segment name.
+    pub name: &'static str,
+    /// HPC system the original segment was captured on.
+    pub system: &'static str,
+    /// Number of nodes contributing data.
+    pub nodes: usize,
+    /// Sensors per node (total rows = nodes × sensors for multi-node).
+    pub sensors_per_node: usize,
+    /// Sampling interval in milliseconds (paper's granularity).
+    pub sampling_interval_ms: u64,
+    /// Aggregation window length in samples.
+    pub wl: usize,
+    /// Window step in samples.
+    pub ws: usize,
+    /// Regression horizon in samples (0 for classification).
+    pub horizon: usize,
+    /// Task kind.
+    pub task: TaskKind,
+    /// Default sample count for a laptop-scale reproduction.
+    pub default_samples: usize,
+}
+
+impl SegmentInfo {
+    /// The window spec for this segment's experiments.
+    pub fn window_spec(&self) -> WindowSpec {
+        WindowSpec::new(self.wl, self.ws).expect("static specs are valid")
+    }
+
+    /// Expected number of feature sets for `samples` time-stamps.
+    pub fn feature_sets(&self, samples: usize) -> usize {
+        let w = self.window_spec().count(samples);
+        if self.task == TaskKind::Regression {
+            // horizon-truncated windows are dropped
+            w.saturating_sub(self.horizon.div_ceil(self.ws))
+        } else {
+            w
+        }
+    }
+}
+
+/// Metadata for the Fault segment.
+pub fn fault_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "Fault",
+        system: "ETH Testbed",
+        nodes: 1,
+        sensors_per_node: 128,
+        sampling_interval_ms: 1000,
+        wl: 60,
+        ws: 10,
+        horizon: 0,
+        task: TaskKind::Classification,
+        default_samples: 6000,
+    }
+}
+
+/// Metadata for the Application segment.
+pub fn application_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "Application",
+        system: "SuperMUC-NG",
+        nodes: 16,
+        sensors_per_node: 52,
+        sampling_interval_ms: 1000,
+        wl: 30,
+        ws: 5,
+        horizon: 0,
+        task: TaskKind::Classification,
+        default_samples: 3500,
+    }
+}
+
+/// Metadata for the Power segment.
+pub fn power_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "Power",
+        system: "CooLMUC-3",
+        nodes: 1,
+        sensors_per_node: 47,
+        sampling_interval_ms: 100,
+        wl: 10,
+        ws: 5,
+        horizon: 3,
+        task: TaskKind::Regression,
+        default_samples: 6000,
+    }
+}
+
+/// Metadata for the Infrastructure segment.
+pub fn infrastructure_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "Infrastructure",
+        system: "CooLMUC-3",
+        nodes: 148,
+        sensors_per_node: 31,
+        sampling_interval_ms: 10_000,
+        wl: 30,
+        ws: 6,
+        horizon: 30,
+        task: TaskKind::Regression,
+        default_samples: 6000,
+    }
+}
+
+/// Metadata for the Cross-Architecture segment.
+pub fn cross_arch_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "Cross-Arch",
+        system: "Multiple",
+        nodes: 3,
+        sensors_per_node: 52, // per-node counts differ: 52 / 46 / 39
+        sampling_interval_ms: 1000,
+        wl: 30,
+        ws: 2,
+        horizon: 0,
+        task: TaskKind::Classification,
+        default_samples: 3000,
+    }
+}
+
+/// All five segment infos, in Table I order.
+pub fn all_infos() -> Vec<SegmentInfo> {
+    vec![
+        fault_info(),
+        application_info(),
+        power_info(),
+        infrastructure_info(),
+        cross_arch_info(),
+    ]
+}
+
+/// Latent state for a run payload at offset `off`, before noise.
+fn payload_latent(payload: RunPayload, off: usize, run_len: usize, jitter: f64) -> Latent {
+    match payload {
+        RunPayload::Idle => latent_at(AppKind::Idle, crate::apps::InputConfig(0), off, run_len, jitter),
+        RunPayload::App { app, config } => latent_at(app, config, off, run_len, jitter),
+        RunPayload::Faulted {
+            app,
+            config,
+            fault,
+            setting,
+        } => {
+            let mut l = latent_at(app, config, off, run_len, jitter);
+            apply_fault(&mut l, fault, setting, off, run_len);
+            l
+        }
+    }
+}
+
+/// Adds small latent-level jitter so correlated sensors are not *exactly*
+/// collinear (realistic measurement spread).
+fn jitter_latent(l: &mut Latent, rng: &mut SimRng) {
+    for c in [Channel::Cpu, Channel::Mem, Channel::MemBw, Channel::Net] {
+        let v = l.get(c) + 0.01 * normal(rng);
+        l.set(c, v);
+    }
+    l.clamp();
+}
+
+/// Simulates one node over a schedule, writing sensor rows into `matrix`
+/// starting at `row_offset`.
+#[allow(clippy::too_many_arguments)]
+fn simulate_node(
+    arch: ArchKind,
+    runs: &[Run],
+    samples: usize,
+    node_id: u64,
+    seed: u64,
+    jitter: f64,
+    matrix: &mut Matrix,
+    row_offset: usize,
+) {
+    let mut model = arch.node_model();
+    let mut rng = stream(seed, 1 + node_id);
+    let n = model.n_sensors();
+    let mut buf = vec![0.0; n];
+    let mut t = 0usize;
+    for run in runs {
+        for off in 0..run.len {
+            if t >= samples {
+                break;
+            }
+            let mut l = payload_latent(run.payload, off, run.len, jitter);
+            jitter_latent(&mut l, &mut rng);
+            model.sample_into(&l, &mut rng, &mut buf);
+            for (s, &v) in buf.iter().enumerate() {
+                matrix.set(row_offset + s, t, v);
+            }
+            t += 1;
+        }
+    }
+}
+
+fn timestamps(samples: usize, interval_ms: u64) -> Vec<u64> {
+    (0..samples as u64).map(|i| i * interval_ms).collect()
+}
+
+fn per_sample_labels(runs: &[Run], samples: usize, f: impl Fn(&Run) -> usize) -> Vec<usize> {
+    let mut labels = vec![0usize; samples];
+    for run in runs {
+        for off in 0..run.len {
+            let t = run.start + off;
+            if t < samples {
+                labels[t] = f(run);
+            }
+        }
+    }
+    labels
+}
+
+/// Builds the **Fault** segment: one 128-sensor testbed node running
+/// applications under fault injection; labels are 0 (healthy) or the fault
+/// class 1..=8.
+pub fn fault_segment(cfg: SimConfig) -> Segment {
+    let info = fault_info();
+    let mut rng = stream(cfg.seed, 0);
+    let sched = ScheduleConfig {
+        min_run: 90,
+        max_run: 200,
+        idle_gap: 0,
+        ..ScheduleConfig::new(cfg.samples)
+    };
+    let runs = fault_schedule(&sched, &mut rng);
+    let arch = ArchKind::EthTestbed;
+    let mut matrix = Matrix::zeros(arch.sensor_count(), cfg.samples);
+    simulate_node(arch, &runs, cfg.samples, 0, cfg.seed, 0.0, &mut matrix, 0);
+    difference_monotonic_rows(&mut matrix);
+    let labels = per_sample_labels(&runs, cfg.samples, Run::fault_class);
+    Segment::new(
+        info.name,
+        matrix,
+        arch.node_model().sensor_names(),
+        timestamps(cfg.samples, info.sampling_interval_ms),
+        LabelTrack::Classes(labels),
+    )
+    .expect("fault segment construction")
+}
+
+/// Builds the **Application** segment: 16 Skylake nodes running the same
+/// multi-node MPI job (with per-node phase skew); labels are the running
+/// application (0 = idle).
+pub fn application_segment(cfg: SimConfig) -> Segment {
+    let info = application_info();
+    let mut rng = stream(cfg.seed, 0);
+    let runs = app_schedule(&ScheduleConfig::new(cfg.samples), &mut rng);
+    let arch = ArchKind::Skylake;
+    let nodes = info.nodes;
+    let per = arch.sensor_count();
+    let mut matrix = Matrix::zeros(nodes * per, cfg.samples);
+    for node in 0..nodes {
+        let jitter = node as f64 * 1.7;
+        simulate_node(
+            arch,
+            &runs,
+            cfg.samples,
+            node as u64,
+            cfg.seed,
+            jitter,
+            &mut matrix,
+            node * per,
+        );
+    }
+    difference_monotonic_rows(&mut matrix);
+    let names: Vec<String> = (0..nodes)
+        .flat_map(|n| {
+            arch.node_model()
+                .sensor_names()
+                .into_iter()
+                .map(move |s| format!("node{n:02}.{s}"))
+        })
+        .collect();
+    let labels = per_sample_labels(&runs, cfg.samples, Run::app_class);
+    Segment::new(
+        info.name,
+        matrix,
+        names,
+        timestamps(cfg.samples, info.sampling_interval_ms),
+        LabelTrack::Classes(labels),
+    )
+    .expect("application segment construction")
+}
+
+/// Builds the **Power** segment: one CooLMUC-3 node with node- and
+/// core-level sensors; the regression target is the node's outlet power
+/// reading (the experiment predicts its average over the next 3 samples).
+pub fn power_segment(cfg: SimConfig) -> Segment {
+    let info = power_info();
+    let mut rng = stream(cfg.seed, 0);
+    // Paper: each application under *two* input configurations.
+    const TWO: [crate::apps::InputConfig; 2] =
+        [crate::apps::InputConfig(0), crate::apps::InputConfig(2)];
+    let sched = ScheduleConfig {
+        min_run: 150,
+        max_run: 350,
+        idle_gap: 30,
+        configs: &TWO,
+        ..ScheduleConfig::new(cfg.samples)
+    };
+    let runs = app_schedule(&sched, &mut rng);
+    let arch = ArchKind::CoolmucPowerNode;
+    let mut matrix = Matrix::zeros(arch.sensor_count(), cfg.samples);
+    simulate_node(arch, &runs, cfg.samples, 0, cfg.seed, 0.0, &mut matrix, 0);
+    difference_monotonic_rows(&mut matrix);
+    let names = arch.node_model().sensor_names();
+    let power_row = names
+        .iter()
+        .position(|n| n == "power_pkg_w")
+        .expect("power sensor present");
+    let targets: Vec<f64> = matrix.row(power_row).to_vec();
+    Segment::new(
+        info.name,
+        matrix,
+        names,
+        timestamps(cfg.samples, info.sampling_interval_ms),
+        LabelTrack::Values(targets),
+    )
+    .expect("power segment construction")
+}
+
+/// Builds the **Infrastructure** segment: rack-level cooling and power
+/// sensors driven by a slowly varying aggregate load (148 nodes' worth of
+/// jobs) and a diurnal ambient condition. The regression target is the heat
+/// removed by the cooling loop, `Q[kW] = ṁ · c_p · ΔT`, derived from the
+/// flow and temperature sensors exactly as facility engineers compute it.
+pub fn infrastructure_segment(cfg: SimConfig) -> Segment {
+    let info = infrastructure_info();
+    let arch = ArchKind::InfraRack;
+    let mut model = arch.node_model();
+    let mut rng = stream(cfg.seed, 0);
+    let n = model.n_sensors();
+    let mut matrix = Matrix::zeros(n, cfg.samples);
+    let mut buf = vec![0.0; n];
+
+    // Aggregate utilization: mean-reverting around a setpoint that jumps
+    // every few hundred samples (job mix changes on the rack).
+    let mut util = 0.6f64;
+    let mut setpoint = 0.6f64;
+    for t in 0..cfg.samples {
+        if t % 400 == 0 {
+            setpoint = rng.gen_range(0.25..0.95);
+        }
+        util += 0.05 * (setpoint - util) + 0.02 * normal(&mut rng);
+        util = util.clamp(0.0, 1.0);
+        // Diurnal ambient swing (period ~ 8640 samples = 1 day at 10s).
+        let diurnal = 0.5 + 0.3 * (t as f64 * std::f64::consts::TAU / 8640.0).sin();
+        let mut l = Latent::idle();
+        l.set(Channel::Cpu, util);
+        l.set(Channel::MemBw, 0.6 * util);
+        l.set(Channel::Ambient, diurnal + 0.02 * normal(&mut rng));
+        l.clamp();
+        model.sample_into(&l, &mut rng, &mut buf);
+        for (s, &v) in buf.iter().enumerate() {
+            matrix.set(s, t, v);
+        }
+    }
+    difference_monotonic_rows(&mut matrix);
+    let names = model.sensor_names();
+    let flow = names.iter().position(|s| s == "water_flow_lpm").unwrap();
+    let t_in = names.iter().position(|s| s == "water_inlet_c").unwrap();
+    let t_out = names.iter().position(|s| s == "water_outlet_c").unwrap();
+    // Q[kW] = (lpm / 60)[kg/s] * 4.186[kJ/kgK] * ΔT[K]
+    let targets: Vec<f64> = (0..cfg.samples)
+        .map(|t| {
+            let dt = (matrix.get(t_out, t) - matrix.get(t_in, t)).max(0.0);
+            matrix.get(flow, t) / 60.0 * 4.186 * dt
+        })
+        .collect();
+    Segment::new(
+        info.name,
+        matrix,
+        names,
+        timestamps(cfg.samples, info.sampling_interval_ms),
+        LabelTrack::Values(targets),
+    )
+    .expect("infrastructure segment construction")
+}
+
+/// Builds the **Cross-Architecture** segments: one per architecture
+/// (Skylake 52 sensors, Knights Landing 46, Rome 39), each running the six
+/// applications in single-node OpenMP mode with the *same* label space.
+pub fn cross_arch_segments(cfg: SimConfig) -> Vec<(ArchKind, Segment)> {
+    let info = cross_arch_info();
+    let archs = [ArchKind::Skylake, ArchKind::KnightsLanding, ArchKind::Rome];
+    archs
+        .iter()
+        .enumerate()
+        .map(|(i, &arch)| {
+            // Independent schedules per node: runs are not synchronized
+            // across architectures (separate OpenMP jobs).
+            let mut rng = stream(cfg.seed, 100 + i as u64);
+            let runs = app_schedule(&ScheduleConfig::new(cfg.samples), &mut rng);
+            let mut matrix = Matrix::zeros(arch.sensor_count(), cfg.samples);
+            simulate_node(
+                arch,
+                &runs,
+                cfg.samples,
+                i as u64,
+                cfg.seed.wrapping_add(7 * i as u64),
+                0.0,
+                &mut matrix,
+                0,
+            );
+            difference_monotonic_rows(&mut matrix);
+            let labels = per_sample_labels(&runs, cfg.samples, Run::app_class);
+            let seg = Segment::new(
+                format!("{} ({})", info.name, arch.name()),
+                matrix,
+                arch.node_model().sensor_names(),
+                timestamps(cfg.samples, info.sampling_interval_ms),
+                LabelTrack::Classes(labels),
+            )
+            .expect("cross-arch segment construction");
+            (arch, seg)
+        })
+        .collect()
+}
+
+/// Metadata for the GPU segment (an extension beyond the paper's Table I,
+/// covering its "accelerator sensor data" future-work item).
+pub fn gpu_info() -> SegmentInfo {
+    SegmentInfo {
+        name: "GPU",
+        system: "Accelerator testbed",
+        nodes: 1,
+        sensors_per_node: crate::gpu::GPU_NODE_SENSORS,
+        sampling_interval_ms: 1000,
+        wl: 30,
+        ws: 5,
+        horizon: 0,
+        task: TaskKind::Classification,
+        default_samples: 3000,
+    }
+}
+
+/// Builds the **GPU** segment: one accelerator node (4 GPUs, 76 sensors)
+/// running GPU builds of the six applications; labels are the running
+/// application (0 = idle). Extends the paper per its Sec. V future work.
+pub fn gpu_segment(cfg: SimConfig) -> Segment {
+    let info = gpu_info();
+    let mut sched_rng = stream(cfg.seed, 0);
+    let runs = app_schedule(&ScheduleConfig::new(cfg.samples), &mut sched_rng);
+    let mut model = crate::gpu::gpu_node_model();
+    let n = model.n_sensors();
+    let mut matrix = Matrix::zeros(n, cfg.samples);
+    let mut rng = stream(cfg.seed, 1);
+    let mut buf = vec![0.0; n];
+    let mut t = 0usize;
+    for run in &runs {
+        for off in 0..run.len {
+            if t >= cfg.samples {
+                break;
+            }
+            let mut l = match run.payload {
+                RunPayload::Idle => crate::gpu::gpu_latent_at(
+                    AppKind::Idle,
+                    crate::apps::InputConfig(0),
+                    off,
+                    run.len,
+                    0.0,
+                ),
+                RunPayload::App { app, config } => {
+                    crate::gpu::gpu_latent_at(app, config, off, run.len, 0.0)
+                }
+                RunPayload::Faulted { .. } => unreachable!("no faults in app schedules"),
+            };
+            jitter_latent(&mut l, &mut rng);
+            model.sample_into(&l, &mut rng, &mut buf);
+            for (s, &v) in buf.iter().enumerate() {
+                matrix.set(s, t, v);
+            }
+            t += 1;
+        }
+    }
+    difference_monotonic_rows(&mut matrix);
+    let labels = per_sample_labels(&runs, cfg.samples, Run::app_class);
+    Segment::new(
+        info.name,
+        matrix,
+        model.sensor_names(),
+        timestamps(cfg.samples, info.sampling_interval_ms),
+        LabelTrack::Classes(labels),
+    )
+    .expect("gpu segment construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: usize = 900;
+
+    #[test]
+    fn fault_segment_shape_and_classes() {
+        let seg = fault_segment(SimConfig::new(1, SMALL));
+        assert_eq!(seg.sensors(), 128);
+        assert_eq!(seg.samples(), SMALL);
+        assert_eq!(seg.task(), TaskKind::Classification);
+        assert!(seg.n_classes() >= 2);
+        assert!(!seg.matrix.has_non_finite());
+    }
+
+    #[test]
+    fn application_segment_is_multi_node() {
+        let seg = application_segment(SimConfig::new(2, SMALL));
+        assert_eq!(seg.sensors(), 16 * 52);
+        assert_eq!(seg.sensor_names.len(), 832);
+        assert!(seg.sensor_names[0].starts_with("node00."));
+        assert!(seg.sensor_names[831].starts_with("node15."));
+        assert!(!seg.matrix.has_non_finite());
+    }
+
+    #[test]
+    fn power_segment_targets_track_power_sensor() {
+        let seg = power_segment(SimConfig::new(3, SMALL));
+        assert_eq!(seg.sensors(), 47);
+        assert_eq!(seg.task(), TaskKind::Regression);
+        let LabelTrack::Values(targets) = &seg.labels else {
+            panic!("regression labels expected")
+        };
+        // busy and idle phases must produce a visible power range
+        let lo = targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 50.0, "power range too small: {lo}..{hi}");
+    }
+
+    #[test]
+    fn infrastructure_heat_is_physical() {
+        let seg = infrastructure_segment(SimConfig::new(4, SMALL));
+        assert_eq!(seg.sensors(), 31);
+        let LabelTrack::Values(targets) = &seg.labels else {
+            panic!("regression labels expected")
+        };
+        assert!(targets.iter().all(|&q| (0.0..500.0).contains(&q)));
+        let hi = targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi > 5.0, "no heat ever removed? max={hi}");
+    }
+
+    #[test]
+    fn cross_arch_sensor_counts_differ() {
+        let segs = cross_arch_segments(SimConfig::new(5, SMALL));
+        let counts: Vec<usize> = segs.iter().map(|(_, s)| s.sensors()).collect();
+        assert_eq!(counts, vec![52, 46, 39]);
+        for (_, seg) in &segs {
+            assert_eq!(seg.task(), TaskKind::Classification);
+            assert!(!seg.matrix.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn gpu_segment_shape_and_device_correlations() {
+        use cwsmooth_linalg::corr::pearson;
+        let seg = gpu_segment(SimConfig::new(8, SMALL));
+        assert_eq!(seg.sensors(), crate::gpu::GPU_NODE_SENSORS);
+        assert_eq!(seg.task(), TaskKind::Classification);
+        assert!(!seg.matrix.has_non_finite());
+        // GPU sensors of different devices correlate (same workload)...
+        let names = &seg.sensor_names;
+        let g0 = names.iter().position(|s| s == "gpu0_sm_util_pct").unwrap();
+        let g3 = names.iter().position(|s| s == "gpu3_sm_util_pct").unwrap();
+        assert!(pearson(seg.matrix.row(g0), seg.matrix.row(g3)) > 0.9);
+        // ...and GPU power tracks GPU utilization.
+        let p0 = names.iter().position(|s| s == "gpu0_power_w").unwrap();
+        assert!(pearson(seg.matrix.row(g0), seg.matrix.row(p0)) > 0.8);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = fault_segment(SimConfig::new(9, 400));
+        let b = fault_segment(SimConfig::new(9, 400));
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.labels, b.labels);
+        let c = fault_segment(SimConfig::new(10, 400));
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn correlated_sensor_structure_exists() {
+        // CS's premise: utilization-family sensors correlate strongly and
+        // idle% anti-correlates.
+        use cwsmooth_linalg::corr::pearson;
+        let seg = power_segment(SimConfig::new(6, SMALL));
+        let names = &seg.sensor_names;
+        let user = names.iter().position(|n| n == "cpu_user_pct").unwrap();
+        let load = names.iter().position(|n| n == "load_1").unwrap();
+        let idle = names.iter().position(|n| n == "cpu_idle_pct").unwrap();
+        let power = names.iter().position(|n| n == "power_pkg_w").unwrap();
+        let c_user_load = pearson(seg.matrix.row(user), seg.matrix.row(load));
+        let c_user_idle = pearson(seg.matrix.row(user), seg.matrix.row(idle));
+        let c_user_power = pearson(seg.matrix.row(user), seg.matrix.row(power));
+        assert!(c_user_load > 0.9, "user/load corr {c_user_load}");
+        assert!(c_user_idle < -0.9, "user/idle corr {c_user_idle}");
+        assert!(c_user_power > 0.7, "user/power corr {c_user_power}");
+    }
+
+    #[test]
+    fn info_feature_set_counts() {
+        let info = application_info();
+        assert_eq!(info.window_spec().count(3500), info.feature_sets(3500));
+        let p = power_info();
+        // regression drops the horizon tail
+        assert!(p.feature_sets(6000) < p.window_spec().count(6000));
+        assert_eq!(all_infos().len(), 5);
+    }
+
+    #[test]
+    fn monotonic_counters_are_differenced() {
+        use cwsmooth_data::transform::is_monotonic_counter;
+        let seg = application_segment(SimConfig::new(7, 600));
+        for (i, name) in seg.sensor_names.iter().enumerate() {
+            if name.ends_with("energy_consumed_j") {
+                assert!(
+                    !is_monotonic_counter(seg.matrix.row(i)),
+                    "{name} still monotonic"
+                );
+            }
+        }
+    }
+}

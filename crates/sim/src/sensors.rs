@@ -1,0 +1,265 @@
+//! Sensor response functions: from latent activity to noisy readings.
+//!
+//! Each sensor is an affine function of a few latent channels plus Gaussian
+//! noise, optionally saturating (utilizations) or accumulating (energy
+//! counters). Products of channels express physically coupled effects —
+//! e.g. `cycles ∝ CPU · FREQ` and `power ∝ base + CPU·FREQ + MEMBW`.
+
+use crate::channels::{Channel, Latent};
+use crate::rng::normal;
+use rand::Rng;
+
+/// One multiplicative term: a weight times the product of 1–2 channels.
+#[derive(Debug, Clone, Copy)]
+pub struct Term {
+    /// Weight of the term.
+    pub weight: f64,
+    /// First factor channel.
+    pub a: Channel,
+    /// Optional second factor channel (product term).
+    pub b: Option<Channel>,
+}
+
+impl Term {
+    /// Linear term `weight * latent[a]`.
+    pub fn lin(weight: f64, a: Channel) -> Self {
+        Self { weight, a, b: None }
+    }
+
+    /// Product term `weight * latent[a] * latent[b]`.
+    pub fn prod(weight: f64, a: Channel, b: Channel) -> Self {
+        Self {
+            weight,
+            a,
+            b: Some(b),
+        }
+    }
+
+    fn eval(&self, l: &Latent) -> f64 {
+        let mut v = self.weight * l.get(self.a);
+        if let Some(b) = self.b {
+            v *= l.get(b);
+        }
+        v
+    }
+}
+
+/// Specification of one sensor.
+#[derive(Debug, Clone)]
+pub struct SensorSpec {
+    /// Sensor name (unique within a node).
+    pub name: String,
+    /// Constant offset in output units.
+    pub base: f64,
+    /// Response terms over latent channels.
+    pub terms: Vec<Term>,
+    /// Gaussian noise standard deviation, in output units.
+    pub noise: f64,
+    /// Clamp range of the instantaneous response, when physical
+    /// (e.g. utilizations live in `[0, 100]`).
+    pub clamp: Option<(f64, f64)>,
+    /// Monotonic counter: emits the running sum of responses (energy-like).
+    pub monotonic: bool,
+}
+
+impl SensorSpec {
+    /// Gauge sensor shorthand.
+    pub fn gauge(
+        name: impl Into<String>,
+        base: f64,
+        terms: Vec<Term>,
+        noise: f64,
+        clamp: Option<(f64, f64)>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            terms,
+            noise,
+            clamp,
+            monotonic: false,
+        }
+    }
+
+    /// Monotonic counter shorthand (e.g. consumed energy).
+    pub fn counter(name: impl Into<String>, base: f64, terms: Vec<Term>, noise: f64) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            terms,
+            noise,
+            clamp: None,
+            monotonic: true,
+        }
+    }
+
+    /// Instantaneous response before accumulation.
+    fn response(&self, l: &Latent, rng: &mut impl Rng) -> f64 {
+        let mut v = self.base;
+        for t in &self.terms {
+            v += t.eval(l);
+        }
+        if self.noise > 0.0 {
+            v += self.noise * normal(rng);
+        }
+        if let Some((lo, hi)) = self.clamp {
+            v = v.clamp(lo, hi);
+        }
+        v
+    }
+}
+
+/// A node model: a set of sensors plus per-counter accumulator state.
+#[derive(Debug, Clone)]
+pub struct NodeModel {
+    specs: Vec<SensorSpec>,
+    accumulators: Vec<f64>,
+}
+
+impl NodeModel {
+    /// Builds a node model from sensor specs.
+    pub fn new(specs: Vec<SensorSpec>) -> Self {
+        let accumulators = vec![0.0; specs.len()];
+        Self {
+            specs,
+            accumulators,
+        }
+    }
+
+    /// Number of sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Sensor names in row order.
+    pub fn sensor_names(&self) -> Vec<String> {
+        self.specs.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Sensor specs (for inspection).
+    pub fn specs(&self) -> &[SensorSpec] {
+        &self.specs
+    }
+
+    /// Samples every sensor at the given latent state, writing readings
+    /// into `out` (must be `n_sensors` long). Monotonic counters advance
+    /// their accumulator.
+    pub fn sample_into(&mut self, l: &Latent, rng: &mut impl Rng, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            let r = spec.response(l, rng);
+            out[i] = if spec.monotonic {
+                // Energy-like counters integrate a non-negative response.
+                self.accumulators[i] += r.max(0.0);
+                self.accumulators[i]
+            } else {
+                r
+            };
+        }
+    }
+
+    /// Resets counter accumulators (new trace).
+    pub fn reset(&mut self) {
+        self.accumulators.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Indexes of monotonic-counter sensors.
+    pub fn monotonic_rows(&self) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.monotonic)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    fn latent_with(cpu: f64, freq: f64) -> Latent {
+        let mut l = Latent::idle();
+        l.set(Channel::Cpu, cpu);
+        l.set(Channel::Freq, freq);
+        l
+    }
+
+    #[test]
+    fn linear_and_product_terms() {
+        let spec = SensorSpec::gauge(
+            "cycles",
+            0.0,
+            vec![Term::prod(100.0, Channel::Cpu, Channel::Freq)],
+            0.0,
+            None,
+        );
+        let mut node = NodeModel::new(vec![spec]);
+        let mut rng = stream(0, 0);
+        let mut out = [0.0];
+        node.sample_into(&latent_with(0.5, 1.2), &mut rng, &mut out);
+        assert!((out[0] - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_applies() {
+        let spec = SensorSpec::gauge(
+            "util",
+            0.0,
+            vec![Term::lin(200.0, Channel::Cpu)],
+            0.0,
+            Some((0.0, 100.0)),
+        );
+        let mut node = NodeModel::new(vec![spec]);
+        let mut rng = stream(0, 0);
+        let mut out = [0.0];
+        node.sample_into(&latent_with(0.9, 1.0), &mut rng, &mut out);
+        assert_eq!(out[0], 100.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let spec = SensorSpec::counter(
+            "energy",
+            10.0,
+            vec![Term::lin(5.0, Channel::Cpu)],
+            0.0,
+        );
+        let mut node = NodeModel::new(vec![spec]);
+        let mut rng = stream(0, 0);
+        let mut out = [0.0];
+        let l = latent_with(1.0, 1.0);
+        node.sample_into(&l, &mut rng, &mut out);
+        assert!((out[0] - 15.0).abs() < 1e-12);
+        node.sample_into(&l, &mut rng, &mut out);
+        assert!((out[0] - 30.0).abs() < 1e-12);
+        node.reset();
+        node.sample_into(&l, &mut rng, &mut out);
+        assert!((out[0] - 15.0).abs() < 1e-12);
+        assert_eq!(node.monotonic_rows(), vec![0]);
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let make = || {
+            NodeModel::new(vec![SensorSpec::gauge(
+                "noisy",
+                0.0,
+                vec![Term::lin(1.0, Channel::Cpu)],
+                0.5,
+                None,
+            )])
+        };
+        let mut a = make();
+        let mut b = make();
+        let l = latent_with(0.5, 1.0);
+        let mut ra = stream(3, 0);
+        let mut rb = stream(3, 0);
+        let mut oa = [0.0];
+        let mut ob = [0.0];
+        a.sample_into(&l, &mut ra, &mut oa);
+        b.sample_into(&l, &mut rb, &mut ob);
+        assert_eq!(oa, ob);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the simulator.
+
+use cwsmooth_sim::apps::{latent_at, AppKind, InputConfig};
+use cwsmooth_sim::channels::Channel;
+use cwsmooth_sim::faults::{apply_fault, FaultKind, FaultSetting};
+use cwsmooth_sim::gpu::gpu_latent_at;
+use cwsmooth_sim::rng::stream;
+use cwsmooth_sim::schedule::{app_schedule, fault_schedule, ScheduleConfig};
+use cwsmooth_sim::segments::{fault_segment, power_segment, SimConfig};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = AppKind> {
+    prop::sample::select(vec![
+        AppKind::Idle,
+        AppKind::Amg,
+        AppKind::Kripke,
+        AppKind::Linpack,
+        AppKind::Quicksilver,
+        AppKind::Lammps,
+        AppKind::Nekbone,
+    ])
+}
+
+fn any_fault() -> impl Strategy<Value = FaultKind> {
+    prop::sample::select(FaultKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latent_state_is_always_physical(
+        app in any_app(),
+        cfg in 0u8..3,
+        t in 0usize..500,
+        run_len in 1usize..500,
+        jitter in 0.0f64..20.0,
+    ) {
+        let l = latent_at(app, InputConfig(cfg), t, run_len, jitter);
+        for (i, &v) in l.as_array().iter().enumerate() {
+            prop_assert!(v.is_finite());
+            if i == Channel::Freq as usize {
+                prop_assert!((0.3..=1.5).contains(&v));
+            } else {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "ch{i}={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_latent_state_is_always_physical(
+        app in any_app(),
+        cfg in 0u8..3,
+        t in 0usize..300,
+        run_len in 1usize..300,
+    ) {
+        let l = gpu_latent_at(app, InputConfig(cfg), t, run_len, 0.0);
+        for (i, &v) in l.as_array().iter().enumerate() {
+            prop_assert!(v.is_finite());
+            if i == Channel::Freq as usize {
+                prop_assert!((0.3..=1.5).contains(&v));
+            } else {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn faults_keep_state_physical(
+        app in any_app(),
+        fault in any_fault(),
+        t in 0usize..200,
+        run_len in 1usize..200,
+    ) {
+        for setting in FaultSetting::ALL {
+            let mut l = latent_at(app, InputConfig(1), t, run_len, 0.0);
+            apply_fault(&mut l, fault, setting, t, run_len);
+            for (i, &v) in l.as_array().iter().enumerate() {
+                prop_assert!(v.is_finite());
+                if i != Channel::Freq as usize {
+                    prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_tile_the_timeline(total in 200usize..4000, seed in any::<u64>()) {
+        let cfg = ScheduleConfig::new(total);
+        for runs in [
+            app_schedule(&cfg, &mut stream(seed, 0)),
+            fault_schedule(&cfg, &mut stream(seed, 1)),
+        ] {
+            let mut t = 0usize;
+            for run in &runs {
+                prop_assert_eq!(run.start, t);
+                prop_assert!(run.len > 0);
+                t += run.len;
+            }
+            prop_assert_eq!(t, total);
+        }
+    }
+
+    #[test]
+    fn segments_are_finite_and_labelled(seed in any::<u64>()) {
+        let seg = power_segment(SimConfig::new(seed, 300));
+        prop_assert!(!seg.matrix.has_non_finite());
+        prop_assert_eq!(seg.labels.len(), 300);
+        let f = fault_segment(SimConfig::new(seed, 300));
+        prop_assert!(!f.matrix.has_non_finite());
+        prop_assert_eq!(f.sensors(), 128);
+    }
+}

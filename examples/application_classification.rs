@@ -1,0 +1,87 @@
+//! Application classification (the paper's Application use case,
+//! Sec. IV-B): recognize which application is running on a 16-node
+//! cluster from CS signatures of its monitoring data.
+//!
+//! ```sh
+//! cargo run --release --example application_classification
+//! ```
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::data::WindowSpec;
+use cwsmooth::ml::cv::{gather_rows, stratified_kfold};
+use cwsmooth::ml::forest::{ForestConfig, RandomForestClassifier};
+use cwsmooth::ml::metrics::ConfusionMatrix;
+use cwsmooth::sim::apps::AppKind;
+use cwsmooth::sim::segments::{application_segment, SimConfig};
+
+fn main() {
+    // 16 Skylake nodes x 52 sensors, six MPI applications plus idle.
+    let segment = application_segment(SimConfig::new(7, 2500));
+    println!(
+        "segment: {} sensors over {} nodes, {} samples",
+        segment.sensors(),
+        16,
+        segment.samples()
+    );
+
+    // CS-20 signatures over 30-sample windows, stepping by 5 (Table I).
+    let model = CsTrainer::default().train(&segment.matrix).unwrap();
+    let cs = CsMethod::new(model, 20).unwrap();
+    let ds = build_dataset(
+        &segment,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(30, 5).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    let labels = ds.classes.as_ref().unwrap();
+    println!(
+        "feature sets: {} windows x {} features (vs {} raw values per window)",
+        ds.len(),
+        ds.features.cols(),
+        segment.sensors() * 30
+    );
+
+    // One train/test split from the stratified 5-fold protocol.
+    let folds = stratified_kfold(labels, 5, 1).unwrap();
+    let fold = &folds[0];
+    let xt = gather_rows(&ds.features, &fold.train);
+    let yt: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+    let xs = gather_rows(&ds.features, &fold.test);
+    let ys: Vec<usize> = fold.test.iter().map(|&i| labels[i]).collect();
+
+    let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(1));
+    rf.fit(&xt, &yt).unwrap();
+    let pred = rf.predict(&xs).unwrap();
+
+    let cm = ConfusionMatrix::from_pairs(&ys, &pred).unwrap();
+    println!("\nweighted F1: {:.3}   accuracy: {:.3}", cm.f1_weighted(), cm.accuracy());
+    println!("\nper-class results:");
+    let names = [
+        AppKind::Idle,
+        AppKind::Amg,
+        AppKind::Kripke,
+        AppKind::Linpack,
+        AppKind::Quicksilver,
+        AppKind::Lammps,
+        AppKind::Nekbone,
+    ];
+    println!("{:<14} {:>9} {:>10} {:>8} {:>8}", "application", "support", "precision", "recall", "F1");
+    for app in names {
+        let c = app.class_id();
+        if c >= cm.n_classes() {
+            continue;
+        }
+        println!(
+            "{:<14} {:>9} {:>10.3} {:>8.3} {:>8.3}",
+            app.name(),
+            cm.support(c),
+            cm.precision(c),
+            cm.recall(c),
+            cm.f1(c)
+        );
+    }
+}

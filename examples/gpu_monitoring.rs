@@ -1,0 +1,77 @@
+//! Accelerator monitoring (the paper's Sec. V future work): apply CS to
+//! GPU sensor data and classify the applications driving the devices.
+//!
+//! ```sh
+//! cargo run --release --example gpu_monitoring
+//! ```
+//!
+//! A 4-GPU node exposes 76 sensors (host + DCGM-style device metrics).
+//! CS handles them exactly like CPU data: device sensors of the four GPUs
+//! form a strongly correlated group, so the ordering clusters them and a
+//! handful of blocks suffice.
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::data::WindowSpec;
+use cwsmooth::ml::cv::{gather_rows, stratified_kfold};
+use cwsmooth::ml::forest::{ForestConfig, RandomForestClassifier};
+use cwsmooth::ml::metrics::f1_score;
+use cwsmooth::sim::segments::{gpu_segment, SimConfig};
+
+fn main() {
+    let segment = gpu_segment(SimConfig::new(17, 3000));
+    println!(
+        "GPU node: {} sensors ({} host + 4 GPUs x 11), {} samples",
+        segment.sensors(),
+        segment.sensors() - 44,
+        segment.samples()
+    );
+
+    let model = CsTrainer::default().train(&segment.matrix).unwrap();
+
+    // Where did the GPU sensors land in the CS ordering? Correlated
+    // device metrics should cluster.
+    let gpu_positions: Vec<usize> = model
+        .perm
+        .iter()
+        .enumerate()
+        .filter(|(_, &raw)| segment.sensor_names[raw].starts_with("gpu"))
+        .map(|(pos, _)| pos)
+        .collect();
+    let span = gpu_positions.iter().max().unwrap() - gpu_positions.iter().min().unwrap();
+    println!(
+        "GPU sensors occupy sorted positions {:?}.. (span {span} for {} sensors)",
+        gpu_positions.iter().min().unwrap(),
+        gpu_positions.len()
+    );
+
+    let cs = CsMethod::new(model, 20).unwrap();
+    let ds = build_dataset(
+        &segment,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(30, 5).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    let labels = ds.classes.as_ref().unwrap();
+
+    let folds = stratified_kfold(labels, 5, 3).unwrap();
+    let mut scores = Vec::new();
+    for (i, fold) in folds.iter().enumerate() {
+        let xt = gather_rows(&ds.features, &fold.train);
+        let yt: Vec<usize> = fold.train.iter().map(|&s| labels[s]).collect();
+        let xs = gather_rows(&ds.features, &fold.test);
+        let ys: Vec<usize> = fold.test.iter().map(|&s| labels[s]).collect();
+        let mut rf =
+            RandomForestClassifier::with_config(ForestConfig::classification(i as u64));
+        rf.fit(&xt, &yt).unwrap();
+        scores.push(f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap());
+    }
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    println!(
+        "\nGPU-workload classification with CS-20 signatures, 5-fold F1: {mean:.3}"
+    );
+    println!("per-fold: {:?}", scores.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+}

@@ -1,0 +1,107 @@
+//! A complete in-band ODA control loop (the paper's Fig. 1, and its
+//! "deploying a CS-based ODA control loop" future-work item):
+//!
+//! ```text
+//! monitoring -> CS signature -> power model -> frequency knob -> node
+//! ```
+//!
+//! A node streams sensor readings into an [`OnlineCs`] processor; each
+//! emitted signature feeds a random-forest power predictor; when the
+//! predicted power exceeds a budget, the loop lowers the CPU frequency
+//! knob (and raises it again when there is headroom) — a miniature
+//! power-capping governor.
+//!
+//! ```sh
+//! cargo run --release --example oda_control_loop
+//! ```
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::core::online::OnlineCs;
+use cwsmooth::data::WindowSpec;
+use cwsmooth::linalg::Matrix;
+use cwsmooth::ml::forest::{ForestConfig, RandomForestRegressor};
+use cwsmooth::sim::apps::{latent_at, AppKind, InputConfig};
+use cwsmooth::sim::arch::ArchKind;
+use cwsmooth::sim::channels::Channel;
+use cwsmooth::sim::rng::stream;
+use cwsmooth::sim::segments::{power_segment, SimConfig};
+
+const POWER_BUDGET_W: f64 = 160.0;
+const KNOB_STEP: f64 = 0.08;
+
+fn main() {
+    // ---- Offline: train CS model + power predictor on historical data.
+    let history = power_segment(SimConfig::new(42, 4000));
+    let cs_model = CsTrainer::default().train(&history.matrix).unwrap();
+    let spec = WindowSpec::new(10, 5).unwrap();
+    let cs = CsMethod::new(cs_model, 10).unwrap();
+    let ds = build_dataset(
+        &history,
+        &cs,
+        DatasetOptions { spec, horizon: 3 },
+    )
+    .unwrap();
+    let mut predictor = RandomForestRegressor::with_config(ForestConfig::regression(1));
+    predictor
+        .fit(&ds.features, ds.targets.as_ref().unwrap())
+        .unwrap();
+    println!(
+        "offline: trained CS-10 model + power predictor on {} windows",
+        ds.len()
+    );
+
+    // ---- Online: run the node live, with the governor in the loop.
+    let mut node = ArchKind::CoolmucPowerNode.node_model();
+    let names = node.sensor_names();
+    let power_row = names.iter().position(|n| n == "power_pkg_w").unwrap();
+    let mut online = OnlineCs::new(cs, spec);
+    let mut rng = stream(7, 99);
+    let mut knob = 1.0f64; // frequency multiplier the governor controls
+    let mut readings = vec![0.0; node.n_sensors()];
+    let mut capped_steps = 0usize;
+    let mut over_budget = 0usize;
+    let total = 1500usize;
+    let run_len = 300usize;
+
+    println!("\nlive loop: {total} ticks, budget {POWER_BUDGET_W} W");
+    println!("{:>6} {:>12} {:>12} {:>8}", "tick", "power[W]", "predicted", "knob");
+    for t in 0..total {
+        // The workload alternates between heavy and light applications.
+        let app = if (t / run_len) % 2 == 0 {
+            AppKind::Linpack
+        } else {
+            AppKind::Quicksilver
+        };
+        let mut latent = latent_at(app, InputConfig(0), t % run_len, run_len, 0.0);
+        // The knob caps the clock; the node's physics respond to it.
+        latent.scale(Channel::Freq, knob);
+        latent.clamp();
+        node.sample_into(&latent, &mut rng, &mut readings);
+        let actual_power = readings[power_row];
+        if actual_power > POWER_BUDGET_W {
+            over_budget += 1;
+        }
+
+        if let Some(sig) = online.push(&readings).unwrap() {
+            let features = Matrix::from_rows([sig.to_features()]).unwrap();
+            let predicted = predictor.predict(&features).unwrap()[0];
+            // Governor: steer the knob against the prediction.
+            if predicted > POWER_BUDGET_W && knob > 0.5 {
+                knob = (knob - KNOB_STEP).max(0.5);
+                capped_steps += 1;
+            } else if predicted < POWER_BUDGET_W * 0.85 && knob < 1.0 {
+                knob = (knob + KNOB_STEP).min(1.0);
+            }
+            if t % 150 == 0 || (predicted - POWER_BUDGET_W).abs() < 5.0 {
+                println!("{t:>6} {actual_power:>12.1} {predicted:>12.1} {knob:>8.2}");
+            }
+        }
+    }
+    println!(
+        "\ngovernor lowered the clock {capped_steps} times; \
+         {over_budget}/{total} ticks exceeded the budget ({:.1}%)",
+        100.0 * over_budget as f64 / total as f64
+    );
+    println!("(re-run with KNOB_STEP = 0.0 in the source to see the uncapped baseline)");
+}

@@ -1,0 +1,67 @@
+//! Power prediction (the paper's Power use case, Sec. IV-B): predict a
+//! compute node's average power draw over the next 3 samples (~300 ms)
+//! from CS signatures — the input an energy-tuning ODA control loop needs.
+//!
+//! ```sh
+//! cargo run --release --example power_prediction
+//! ```
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::data::WindowSpec;
+use cwsmooth::ml::cv::{gather_rows, kfold};
+use cwsmooth::ml::forest::{ForestConfig, RandomForestRegressor};
+use cwsmooth::ml::metrics::{ml_score_regression, nrmse, rmse};
+use cwsmooth::sim::segments::{power_segment, SimConfig};
+
+fn main() {
+    // One CooLMUC-3 node: 47 node- and core-level sensors at 100 ms.
+    let segment = power_segment(SimConfig::new(11, 4000));
+    println!(
+        "segment: {} sensors, {} samples at 100ms",
+        segment.sensors(),
+        segment.samples()
+    );
+
+    // CS-10 signatures over 10-sample (1 s) windows, stepping 5; target is
+    // the average power over the 3 samples after each window.
+    let model = CsTrainer::default().train(&segment.matrix).unwrap();
+    let cs = CsMethod::new(model, 10).unwrap();
+    let ds = build_dataset(
+        &segment,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(10, 5).unwrap(),
+            horizon: 3,
+        },
+    )
+    .unwrap();
+    let targets = ds.targets.as_ref().unwrap();
+    println!("feature sets: {} windows x {} features", ds.len(), ds.features.cols());
+
+    let folds = kfold(targets.len(), 5, 3).unwrap();
+    let fold = &folds[0];
+    let xt = gather_rows(&ds.features, &fold.train);
+    let yt: Vec<f64> = fold.train.iter().map(|&i| targets[i]).collect();
+    let xs = gather_rows(&ds.features, &fold.test);
+    let ys: Vec<f64> = fold.test.iter().map(|&i| targets[i]).collect();
+
+    let mut rf = RandomForestRegressor::with_config(ForestConfig::regression(1));
+    rf.fit(&xt, &yt).unwrap();
+    let pred = rf.predict(&xs).unwrap();
+
+    println!("\nRMSE:        {:>8.2} W", rmse(&ys, &pred).unwrap());
+    println!("NRMSE:       {:>8.3}", nrmse(&ys, &pred).unwrap());
+    println!("ML score:    {:>8.3}  (1 - NRMSE, the paper's metric)", ml_score_regression(&ys, &pred).unwrap());
+
+    println!("\nsample predictions (watts):");
+    println!("{:>12} {:>12} {:>10}", "actual", "predicted", "error");
+    for i in (0..ys.len().min(40)).step_by(5) {
+        println!(
+            "{:>12.1} {:>12.1} {:>10.1}",
+            ys[i],
+            pred[i],
+            pred[i] - ys[i]
+        );
+    }
+}

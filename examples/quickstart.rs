@@ -1,0 +1,72 @@
+//! Quickstart: train a CS model, compute signatures, inspect them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full CS pipeline on a simulated compute-node trace:
+//! training stage (learn ordering + bounds), sorting stage (visualizable
+//! normalized data) and smoothing stage (complex block signatures).
+
+use cwsmooth::analysis::GrayImage;
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::model::CsModel;
+use cwsmooth::data::{WindowIter, WindowSpec};
+use cwsmooth::sim::segments::{power_segment, SimConfig};
+
+fn main() {
+    // 1. Get monitoring data. Here: a simulated CooLMUC-3 node with 47
+    //    sensors sampled at 100 ms (HPC-ODA's Power segment shape). In a
+    //    real deployment this would come from per-sensor CSVs via
+    //    `cwsmooth::data::csv::read_series_file` + `align_to_matrix`.
+    let segment = power_segment(SimConfig::new(42, 2000));
+    println!(
+        "segment `{}`: {} sensors x {} samples",
+        segment.name,
+        segment.sensors(),
+        segment.samples()
+    );
+
+    // 2. Training stage (once, offline): learn the correlation-wise row
+    //    ordering (Algorithm 1) and per-sensor min-max bounds.
+    let model = CsTrainer::default()
+        .train(&segment.matrix)
+        .expect("training");
+    println!(
+        "trained CS model: {} sensors, first 8 of permutation = {:?}",
+        model.n_sensors(),
+        &model.perm[..8]
+    );
+
+    // Models persist to a simple text format.
+    let model_path = std::env::temp_dir().join("cwsmooth-quickstart-model.txt");
+    model.save_file(&model_path).expect("save model");
+    let model = CsModel::load_file(&model_path).expect("load model");
+    println!("model round-tripped through {}", model_path.display());
+
+    // 3. Sorting + smoothing stages (online): one signature per window.
+    let cs = CsMethod::new(model, 10).expect("CS-10");
+    let spec = WindowSpec::new(10, 5).expect("window spec");
+    let mut count = 0;
+    let mut last = None;
+    for w in WindowIter::new(spec, segment.samples()) {
+        let sub = w.extract(&segment.matrix).unwrap();
+        let hist = w.history(&segment.matrix);
+        let sig = cs.signature(&sub, hist.as_deref()).expect("signature");
+        count += 1;
+        last = Some(sig);
+    }
+    let last = last.unwrap();
+    println!("\ncomputed {count} signatures of {} blocks each", last.blocks());
+    println!("last signature real parts (block averages):      {:?}",
+        last.re.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("last signature imaginary parts (block derivs):   {:?}",
+        last.im.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+
+    // 4. Visualize: signature heatmaps are images.
+    let (re, _im) = cs
+        .signature_heatmaps(&segment.matrix, spec)
+        .expect("heatmaps");
+    println!("\nsignature heatmap (10 blocks x {} windows, darker = higher):", re.cols());
+    println!("{}", GrayImage::from_matrix(&re).resize_nearest(10, 76).to_ascii());
+}

@@ -1,0 +1,52 @@
+//! Visualization (the paper's Sec. IV-E): CS signatures are image-like —
+//! render them, rescale them, and read system behaviour off the heatmap.
+//!
+//! ```sh
+//! cargo run --release --example visualize_signatures
+//! ```
+
+use cwsmooth::analysis::GrayImage;
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::data::{LabelTrack, WindowSpec};
+use cwsmooth::sim::apps::AppKind;
+use cwsmooth::sim::segments::{application_segment, SimConfig};
+
+fn main() {
+    let segment = application_segment(SimConfig::new(13, 2200));
+    let LabelTrack::Classes(labels) = &segment.labels else {
+        unreachable!()
+    };
+    let model = CsTrainer::default().train(&segment.matrix).unwrap();
+    let cs = CsMethod::new(model, 40).unwrap();
+    let spec = WindowSpec::new(30, 5).unwrap();
+
+    for app in [AppKind::Kripke, AppKind::Quicksilver] {
+        let class = app.class_id();
+        let Some(start) = labels.iter().position(|&c| c == class) else {
+            continue;
+        };
+        let end = start + labels[start..].iter().take_while(|&&c| c == class).count();
+        let run = segment.matrix.col_window(start, end).unwrap();
+        let (re, im) = cs.signature_heatmaps(&run, spec).unwrap();
+
+        println!("=== {} ({} windows) ===", app.name(), re.cols());
+        println!("real components (40 blocks, darker = higher):");
+        println!("{}", GrayImage::from_matrix(&re).resize_bilinear(16, 64).to_ascii());
+        println!("imaginary components (trend information):");
+        println!("{}", GrayImage::from_matrix(&im).resize_bilinear(16, 64).to_ascii());
+    }
+
+    // Signatures scale like images: downscale a 40-block signature heatmap
+    // to 10 blocks for a model that was trained on low resolution, or
+    // upscale the other way (the paper's model-portability trick).
+    let some_run = segment.matrix.col_window(0, 400).unwrap();
+    let (re, _) = cs.signature_heatmaps(&some_run, spec).unwrap();
+    let img = GrayImage::from_matrix(&re);
+    let down = img.resize_bilinear(10, img.width());
+    let up = down.resize_bilinear(40, img.width());
+    println!("=== rescaling: 40 blocks -> 10 -> 40 (information survives) ===");
+    println!("original (40 rows -> shown 12x60):");
+    println!("{}", img.resize_bilinear(12, 60).to_ascii());
+    println!("after down+up scaling (shown 12x60):");
+    println!("{}", up.resize_bilinear(12, 60).to_ascii());
+}

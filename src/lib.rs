@@ -1,0 +1,43 @@
+//! # cwsmooth — Correlation-wise Smoothing for HPC monitoring data
+//!
+//! A Rust reproduction of *"Correlation-wise Smoothing: Lightweight
+//! Knowledge Extraction for HPC Monitoring Data"* (Netti, Tafani, Ott,
+//! Schulz — IPDPS 2021). The CS method turns high-dimensional time-series
+//! monitoring data into compact, image-like signatures that are cheap to
+//! compute, easy to visualize, and portable across systems.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`linalg`] — dense sensor matrices, statistics, correlation.
+//! * [`data`] — CSV I/O, time alignment, segments and windowing.
+//! * [`sim`] — the HPC-ODA-like monitoring-data simulator.
+//! * [`ml`] — random forests, MLPs, cross-validation, metrics.
+//! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines.
+//! * [`analysis`] — Jensen-Shannon fidelity metrics and heatmap imaging.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cwsmooth::core::cs::{CsMethod, CsTrainer};
+//! use cwsmooth::core::method::SignatureMethod;
+//! use cwsmooth::sim::segments::{power_segment, SimConfig};
+//!
+//! // Simulate a CooLMUC-3-style node trace (47 sensors).
+//! let segment = power_segment(SimConfig::new(42, 600));
+//!
+//! // Train a CS model once, offline.
+//! let model = CsTrainer::default().train(&segment.matrix).unwrap();
+//!
+//! // Compute a 10-block signature for a 10-sample window.
+//! let cs = CsMethod::new(model, 10).unwrap();
+//! let window = segment.matrix.col_window(100, 110).unwrap();
+//! let sig = cs.compute(&window, None).unwrap();
+//! assert_eq!(sig.len(), 20); // 10 complex blocks -> 20 features
+//! ```
+
+pub use cwsmooth_analysis as analysis;
+pub use cwsmooth_core as core;
+pub use cwsmooth_data as data;
+pub use cwsmooth_linalg as linalg;
+pub use cwsmooth_ml as ml;
+pub use cwsmooth_sim as sim;

@@ -1,0 +1,167 @@
+//! Integration tests for the extension features: streaming extraction,
+//! signature rescaling, segment persistence, GPU monitoring and
+//! root-cause hooks — all exercised across crate boundaries.
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::core::online::OnlineCs;
+use cwsmooth::core::scale::{prune_middle, resample_signature};
+use cwsmooth::data::store::{load_segment, save_segment};
+use cwsmooth::data::{WindowIter, WindowSpec};
+use cwsmooth::ml::forest::{small_forest_config, RandomForestClassifier};
+use cwsmooth::sim::segments::{gpu_segment, power_segment, SimConfig};
+
+/// Streaming a simulated segment column by column produces exactly the
+/// batch pipeline's signatures — on real multi-segment data, not toys.
+#[test]
+fn online_matches_batch_on_simulated_data() {
+    let seg = power_segment(SimConfig::new(3, 700));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let spec = WindowSpec::new(10, 5).unwrap();
+    let cs = CsMethod::new(model, 10).unwrap();
+
+    let batch: Vec<_> = WindowIter::new(spec, seg.samples())
+        .map(|w| {
+            let sub = w.extract(&seg.matrix).unwrap();
+            let hist = w.history(&seg.matrix);
+            cs.signature(&sub, hist.as_deref()).unwrap()
+        })
+        .collect();
+
+    let mut online = OnlineCs::new(cs, spec);
+    let mut streamed = Vec::new();
+    for c in 0..seg.samples() {
+        if let Some(sig) = online.push(&seg.matrix.col(c)).unwrap() {
+            streamed.push(sig);
+        }
+    }
+    assert_eq!(streamed.len(), batch.len());
+    for (a, b) in streamed.iter().zip(&batch) {
+        for (x, y) in a.re.iter().zip(&b.re) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        for (x, y) in a.im.iter().zip(&b.im) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}
+
+/// A segment survives the HPC-ODA directory layout and still drives the
+/// whole CS + ML pipeline after reloading.
+#[test]
+fn persisted_segment_still_trains() {
+    let seg = gpu_segment(SimConfig::new(4, 500));
+    let dir = std::env::temp_dir().join(format!("cwsmooth-ext-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    save_segment(&dir, &seg).unwrap();
+    let back = load_segment(&dir).unwrap();
+    assert_eq!(back.matrix, seg.matrix);
+    assert_eq!(back.labels, seg.labels);
+
+    let model = CsTrainer::default().train(&back.matrix).unwrap();
+    let cs = CsMethod::new(model, 10).unwrap();
+    let ds = build_dataset(
+        &back,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(30, 5).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    let mut rf = RandomForestClassifier::with_config(small_forest_config(1, true));
+    rf.fit(&ds.features, ds.classes.as_ref().unwrap()).unwrap();
+    let acc_pred = rf.predict(&ds.features).unwrap();
+    let correct = acc_pred
+        .iter()
+        .zip(ds.classes.as_ref().unwrap())
+        .filter(|(p, t)| p == t)
+        .count();
+    assert!(correct as f64 / acc_pred.len() as f64 > 0.8);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Downscaled high-resolution signatures of live data approximate native
+/// low-resolution ones (the rescaling deployment path).
+#[test]
+fn rescaling_approximates_native_resolution() {
+    let seg = power_segment(SimConfig::new(5, 600));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    // 47 sensors: block boundaries of CS-40 and CS-10 do NOT align, so we
+    // assert closeness rather than equality.
+    let cs40 = CsMethod::new(model.clone(), 40).unwrap();
+    let cs10 = CsMethod::new(model, 10).unwrap();
+    let w = seg.matrix.col_window(100, 110).unwrap();
+    let hist = seg.matrix.col(99);
+    let hi = cs40.signature(&w, Some(&hist)).unwrap();
+    let native = cs10.signature(&w, Some(&hist)).unwrap();
+    let down = resample_signature(&hi, 10).unwrap();
+    for (a, b) in down.re.iter().zip(&native.re) {
+        assert!((a - b).abs() < 0.12, "re {a} vs {b}");
+    }
+}
+
+/// Pruning middle blocks of GPU-node signatures keeps the descriptive
+/// extremes (device + host activity) and stays classifiable.
+#[test]
+fn pruned_gpu_signatures_remain_useful() {
+    let seg = gpu_segment(SimConfig::new(6, 900));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 20).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(30, 5).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    // prune every window's signature to 10 blocks
+    let l = 20;
+    let mut rows = Vec::new();
+    for r in 0..ds.features.rows() {
+        let row = ds.features.row(r);
+        let sig = cwsmooth::core::cs::CsSignature {
+            re: row[..l].to_vec(),
+            im: row[l..].to_vec(),
+        };
+        rows.push(prune_middle(&sig, 10).unwrap().to_features());
+    }
+    let pruned = cwsmooth::linalg::Matrix::from_rows(rows).unwrap();
+    let labels = ds.classes.as_ref().unwrap();
+    let mut rf = RandomForestClassifier::with_config(small_forest_config(2, true));
+    rf.fit(&pruned, labels).unwrap();
+    let pred = rf.predict(&pruned).unwrap();
+    let correct = pred.iter().zip(labels).filter(|(p, t)| p == t).count();
+    assert!(
+        correct as f64 / pred.len() as f64 > 0.85,
+        "pruned accuracy too low"
+    );
+}
+
+/// Root-cause hooks: every block maps to raw sensors, jointly covering
+/// the whole sensor set, and feature origins are consistent.
+#[test]
+fn block_sensor_maps_cover_the_node() {
+    use cwsmooth::core::cs::SignaturePart;
+    let seg = gpu_segment(SimConfig::new(7, 400));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 20).unwrap();
+    let mut seen = vec![false; seg.sensors()];
+    for b in 0..20 {
+        for s in cs.block_sensors(b).unwrap() {
+            seen[s] = true;
+        }
+    }
+    assert!(seen.iter().all(|&x| x), "blocks must cover every sensor");
+    for f in 0..40 {
+        let (block, part) = cs.feature_origin(f).unwrap();
+        assert!(block < 20);
+        if f < 20 {
+            assert_eq!(part, SignaturePart::Real);
+        } else {
+            assert_eq!(part, SignaturePart::Imaginary);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Failure-injection integration tests: hostile inputs must produce
+//! errors or defined behaviour, never panics or NaN propagation.
+
+use cwsmooth::core::baselines::TuncerMethod;
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::core::method::SignatureMethod;
+use cwsmooth::data::{LabelTrack, Segment, WindowSpec};
+use cwsmooth::linalg::Matrix;
+
+fn tiny_segment(rows: usize, cols: usize) -> Segment {
+    let m = Matrix::from_fn(rows, cols, |r, c| (r * 7 + c) as f64);
+    Segment::new(
+        "tiny",
+        m,
+        (0..rows).map(|i| format!("s{i}")).collect(),
+        (0..cols as u64).collect(),
+        LabelTrack::Classes(vec![0; cols]),
+    )
+    .unwrap()
+}
+
+#[test]
+fn nan_training_data_is_rejected_cleanly() {
+    let mut m = Matrix::from_fn(4, 32, |r, c| (r + c) as f64);
+    m.set(2, 5, f64::NAN);
+    assert!(CsTrainer::default().train(&m).is_err());
+    // ... and is recoverable after hygiene:
+    m.replace_non_finite(0.0);
+    assert!(CsTrainer::default().train(&m).is_ok());
+}
+
+#[test]
+fn nan_inference_data_stays_contained() {
+    let seg = tiny_segment(4, 64);
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 2).unwrap();
+    let mut w = seg.matrix.col_window(0, 8).unwrap();
+    w.set(1, 3, f64::INFINITY);
+    // clamped normalization absorbs the infinity
+    let sig = cs.signature(&w, None).unwrap();
+    assert!(sig.re.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn more_blocks_than_sensors_is_defined() {
+    let seg = tiny_segment(3, 64);
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 12).unwrap();
+    let w = seg.matrix.col_window(0, 8).unwrap();
+    let sig = cs.signature(&w, None).unwrap();
+    assert_eq!(sig.blocks(), 12);
+    assert!(sig.re.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn single_sample_window_is_defined() {
+    let seg = tiny_segment(4, 64);
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 4).unwrap();
+    let w = seg.matrix.col_window(10, 11).unwrap();
+    let no_hist = cs.signature(&w, None).unwrap();
+    // one sample, no history: zero derivative everywhere
+    assert!(no_hist.im.iter().all(|&d| d.abs() < 1e-12));
+    let hist = seg.matrix.col(9);
+    let with_hist = cs.signature(&w, Some(&hist)).unwrap();
+    assert!(with_hist.im.iter().all(|d| d.is_finite()));
+}
+
+#[test]
+fn window_longer_than_data_errors() {
+    let seg = tiny_segment(4, 16);
+    let spec = WindowSpec::new(64, 4).unwrap();
+    assert!(build_dataset(
+        &seg,
+        &TuncerMethod,
+        DatasetOptions { spec, horizon: 0 }
+    )
+    .is_err());
+}
+
+#[test]
+fn sensor_count_mismatch_errors_not_panics() {
+    let seg = tiny_segment(4, 64);
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 2).unwrap();
+    let wrong = Matrix::zeros(5, 8);
+    assert!(cs.signature(&wrong, None).is_err());
+    assert!(cs.compute(&wrong, None).is_err());
+    let short_hist = vec![0.0; 2];
+    let w = seg.matrix.col_window(0, 8).unwrap();
+    assert!(cs.signature(&w, Some(&short_hist)).is_err());
+}
+
+#[test]
+fn constant_segment_trains_and_scores_degenerately() {
+    // A completely dead node: constant sensors. Everything stays defined.
+    let m = Matrix::filled(6, 128, 3.0);
+    let seg = Segment::new(
+        "dead",
+        m,
+        (0..6).map(|i| format!("s{i}")).collect(),
+        (0..128).collect(),
+        LabelTrack::Classes(vec![0; 128]),
+    )
+    .unwrap();
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 3).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(16, 8).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    // "no information" signature: re = 0.5, im = 0
+    for r in 0..ds.features.rows() {
+        let row = ds.features.row(r);
+        assert!(row[..3].iter().all(|&v| (v - 0.5).abs() < 1e-12));
+        assert!(row[3..].iter().all(|&v| v.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration tests: simulator → windowing → signatures →
+//! models → scores, across crate boundaries.
+
+use cwsmooth::core::baselines::{BodikMethod, LanMethod, TuncerMethod};
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, merge_datasets, DatasetOptions};
+use cwsmooth::core::method::SignatureMethod;
+use cwsmooth::core::model::CsModel;
+use cwsmooth::data::{TaskKind, WindowSpec};
+use cwsmooth::ml::cv::{cross_validate_forest_classifier, cross_validate_forest_regressor};
+use cwsmooth::ml::forest::{small_forest_config, RandomForestClassifier, RandomForestRegressor};
+use cwsmooth::sim::segments::{
+    application_segment, cross_arch_segments, fault_segment, infrastructure_segment,
+    power_segment, SimConfig,
+};
+
+/// Classification pipeline on the Fault segment reaches a useful F1 with
+/// CS signatures at laptop scale.
+#[test]
+fn fault_classification_end_to_end() {
+    let seg = fault_segment(SimConfig::new(1, 2500));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 40).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(60, 10).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(ds.task(), TaskKind::Classification);
+    let report = cross_validate_forest_classifier(
+        &ds.features,
+        ds.classes.as_ref().unwrap(),
+        5,
+        7,
+        |s| RandomForestClassifier::with_config(small_forest_config(s, true)),
+    )
+    .unwrap();
+    assert!(
+        report.mean_score() > 0.8,
+        "fault F1 too low: {}",
+        report.mean_score()
+    );
+}
+
+/// Regression pipeline on the Power segment: CS features predict power.
+#[test]
+fn power_regression_end_to_end() {
+    let seg = power_segment(SimConfig::new(2, 3000));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 10).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(10, 5).unwrap(),
+            horizon: 3,
+        },
+    )
+    .unwrap();
+    assert_eq!(ds.task(), TaskKind::Regression);
+    let report = cross_validate_forest_regressor(
+        &ds.features,
+        ds.targets.as_ref().unwrap(),
+        5,
+        7,
+        |s| RandomForestRegressor::with_config(small_forest_config(s, false)),
+    )
+    .unwrap();
+    assert!(
+        report.mean_score() > 0.8,
+        "power score too low: {}",
+        report.mean_score()
+    );
+}
+
+/// Infrastructure regression end-to-end, including the long horizon.
+#[test]
+fn infrastructure_regression_end_to_end() {
+    let seg = infrastructure_segment(SimConfig::new(3, 2500));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 5).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(30, 6).unwrap(),
+            horizon: 30,
+        },
+    )
+    .unwrap();
+    let report = cross_validate_forest_regressor(
+        &ds.features,
+        ds.targets.as_ref().unwrap(),
+        5,
+        11,
+        |s| RandomForestRegressor::with_config(small_forest_config(s, false)),
+    )
+    .unwrap();
+    // The paper's point: Infrastructure is accurate even at 5 blocks.
+    assert!(
+        report.mean_score() > 0.8,
+        "infrastructure score too low: {}",
+        report.mean_score()
+    );
+}
+
+/// All four signature methods produce consistent datasets on one segment.
+#[test]
+fn all_methods_run_on_application_segment() {
+    let seg = application_segment(SimConfig::new(4, 800));
+    let spec = WindowSpec::new(30, 5).unwrap();
+    let opts = DatasetOptions { spec, horizon: 0 };
+    let n = seg.sensors();
+
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let methods: Vec<(Box<dyn SignatureMethod>, usize)> = vec![
+        (Box::new(TuncerMethod), 11 * n),
+        (Box::new(BodikMethod), 9 * n),
+        (Box::new(LanMethod::new(6).unwrap()), 6 * n),
+        (Box::new(CsMethod::new(model, 20).unwrap()), 40),
+    ];
+    let expected_sets = spec.count(800);
+    for (method, width) in methods {
+        let ds = build_dataset(&seg, method.as_ref(), opts).unwrap();
+        assert_eq!(ds.features.cols(), width, "{}", method.name());
+        assert_eq!(ds.len(), expected_sets, "{}", method.name());
+        assert!(!ds.features.has_non_finite(), "{}", method.name());
+    }
+}
+
+/// The portability experiment's structural claim: CS merges across
+/// architectures, baselines cannot.
+#[test]
+fn cross_architecture_merge() {
+    let segs = cross_arch_segments(SimConfig::new(5, 700));
+    let spec = WindowSpec::new(30, 2).unwrap();
+    let opts = DatasetOptions { spec, horizon: 0 };
+
+    let cs_parts: Vec<_> = segs
+        .iter()
+        .map(|(_, seg)| {
+            let model = CsTrainer::default().train(&seg.matrix).unwrap();
+            let cs = CsMethod::new(model, 20).unwrap();
+            build_dataset(seg, &cs, opts).unwrap()
+        })
+        .collect();
+    let merged = merge_datasets(&cs_parts).unwrap();
+    assert_eq!(merged.features.cols(), 40);
+    assert_eq!(
+        merged.len(),
+        cs_parts.iter().map(|d| d.len()).sum::<usize>()
+    );
+
+    let baseline_parts: Vec<_> = segs
+        .iter()
+        .map(|(_, seg)| build_dataset(seg, &TuncerMethod, opts).unwrap())
+        .collect();
+    assert!(merge_datasets(&baseline_parts).is_err());
+}
+
+/// A CS model survives persistence and produces identical signatures.
+#[test]
+fn model_persistence_is_transparent() {
+    let seg = power_segment(SimConfig::new(6, 600));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+    let reloaded = CsModel::load(buf.as_slice()).unwrap();
+
+    let cs_a = CsMethod::new(model, 10).unwrap();
+    let cs_b = CsMethod::new(reloaded, 10).unwrap();
+    let w = seg.matrix.col_window(50, 60).unwrap();
+    assert_eq!(
+        cs_a.signature(&w, None).unwrap(),
+        cs_b.signature(&w, None).unwrap()
+    );
+}
+
+/// Everything is deterministic under a fixed seed, end to end.
+#[test]
+fn full_pipeline_determinism() {
+    let run = || {
+        let seg = application_segment(SimConfig::new(9, 700));
+        let model = CsTrainer::default().train(&seg.matrix).unwrap();
+        let cs = CsMethod::new(model, 20).unwrap();
+        let ds = build_dataset(
+            &seg,
+            &cs,
+            DatasetOptions {
+                spec: WindowSpec::new(30, 5).unwrap(),
+                horizon: 0,
+            },
+        )
+        .unwrap();
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(3, true));
+        rf.fit(&ds.features, ds.classes.as_ref().unwrap()).unwrap();
+        rf.predict(&ds.features).unwrap()
+    };
+    assert_eq!(run(), run());
+}
