@@ -89,8 +89,7 @@ impl GrayImage {
         assert!(new_height >= 1 && new_width >= 1);
         let mut data = Vec::with_capacity(new_height * new_width);
         for r in 0..new_height {
-            let sr = (((r as f64 + 0.5) * self.height as f64 / new_height as f64).floor()
-                as usize)
+            let sr = (((r as f64 + 0.5) * self.height as f64 / new_height as f64).floor() as usize)
                 .min(self.height - 1);
             for c in 0..new_width {
                 let sc = (((c as f64 + 0.5) * self.width as f64 / new_width as f64).floor()

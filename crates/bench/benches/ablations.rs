@@ -24,14 +24,7 @@ fn bench_ordering_strategies(c: &mut Criterion) {
         ("shuffled", OrderingStrategy::Shuffled(1)),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, m| {
-            b.iter(|| {
-                black_box(
-                    CsTrainer::default()
-                        .with_ordering(strat)
-                        .train(m)
-                        .unwrap(),
-                )
-            })
+            b.iter(|| black_box(CsTrainer::default().with_ordering(strat).train(m).unwrap()))
         });
     }
     group.finish();

@@ -64,16 +64,26 @@ fn main() {
     println!("\nsorted data (downscaled ASCII preview, darker = higher):");
     println!(
         "{}",
-        GrayImage::from_matrix(&sorted).resize_bilinear(24, 72).to_ascii()
+        GrayImage::from_matrix(&sorted)
+            .resize_bilinear(24, 72)
+            .to_ascii()
     );
-    println!("signature real parts ({} blocks x {} windows):", re.rows(), re.cols());
+    println!(
+        "signature real parts ({} blocks x {} windows):",
+        re.rows(),
+        re.cols()
+    );
     println!(
         "{}",
-        GrayImage::from_matrix(&re).resize_bilinear(24, 72).to_ascii()
+        GrayImage::from_matrix(&re)
+            .resize_bilinear(24, 72)
+            .to_ascii()
     );
     println!("signature imaginary parts:");
     println!(
         "{}",
-        GrayImage::from_matrix(&im).resize_bilinear(24, 72).to_ascii()
+        GrayImage::from_matrix(&im)
+            .resize_bilinear(24, 72)
+            .to_ascii()
     );
 }

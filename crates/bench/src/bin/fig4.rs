@@ -47,7 +47,10 @@ fn main() {
         {
             let info = infrastructure_info();
             let s = (info.default_samples as f64 * scale) as usize;
-            (info.clone(), infrastructure_segment(SimConfig::new(seed, s)))
+            (
+                info.clone(),
+                infrastructure_segment(SimConfig::new(seed, s)),
+            )
         },
     ];
 

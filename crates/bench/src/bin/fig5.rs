@@ -57,7 +57,10 @@ fn timing_roster(sw: &Matrix) -> Vec<NamedMethod> {
         // as "CS-All" whenever l happens to equal n.
         let (name, cs) = match blocks {
             Some(l) => (format!("CS-{l}"), CsMethod::new(model.clone(), l).unwrap()),
-            None => ("CS-All".to_string(), CsMethod::all_blocks(model.clone()).unwrap()),
+            None => (
+                "CS-All".to_string(),
+                CsMethod::all_blocks(model.clone()).unwrap(),
+            ),
         };
         out.push(NamedMethod {
             name,
@@ -88,13 +91,19 @@ fn sweep(
     seed: u64,
     table: &mut TableWriter<std::fs::File>,
 ) {
-    println!("\n=== Fig 5{}: sweep over {axis} (other dim fixed at {fixed}) ===",
-        if axis == "wl" { 'a' } else { 'b' });
+    println!(
+        "\n=== Fig 5{}: sweep over {axis} (other dim fixed at {fixed}) ===",
+        if axis == "wl" { 'a' } else { 'b' }
+    );
     print!("{:>8}", axis);
     let mut header_done = false;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for &size in sizes {
-        let (n, wl) = if axis == "wl" { (fixed, size) } else { (size, fixed) };
+        let (n, wl) = if axis == "wl" {
+            (fixed, size)
+        } else {
+            (size, fixed)
+        };
         let sw = random_matrix(n, wl, &mut rng);
         let roster: Vec<NamedMethod> = timing_roster(&sw);
         if !header_done {

@@ -47,7 +47,11 @@ fn main() {
         };
         let end = start + labels[start..].iter().take_while(|&&c| c == class).count();
         if end - start < info.wl + info.ws {
-            println!("warning: {} run too short ({} samples)", app.name(), end - start);
+            println!(
+                "warning: {} run too short ({} samples)",
+                app.name(),
+                end - start
+            );
             continue;
         }
         let run = seg.matrix.col_window(start, end).expect("run window");
@@ -64,9 +68,19 @@ fn main() {
             re.cols()
         );
         println!("real components ({} blocks):", re.rows());
-        println!("{}", GrayImage::from_matrix(&re).resize_bilinear(20, 64).to_ascii());
+        println!(
+            "{}",
+            GrayImage::from_matrix(&re)
+                .resize_bilinear(20, 64)
+                .to_ascii()
+        );
         println!("imaginary components:");
-        println!("{}", GrayImage::from_matrix(&im).resize_bilinear(20, 64).to_ascii());
+        println!(
+            "{}",
+            GrayImage::from_matrix(&im)
+                .resize_bilinear(20, 64)
+                .to_ascii()
+        );
         println!("wrote {} and {}", re_path.display(), im_path.display());
     }
 }

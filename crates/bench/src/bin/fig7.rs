@@ -47,15 +47,7 @@ fn main() {
     for (arch, seg) in &segs {
         let model = CsTrainer::default().train(&seg.matrix).expect("training");
         let cs = CsMethod::new(model, blocks).expect("CS");
-        let ds = build_dataset(
-            seg,
-            &cs,
-            DatasetOptions {
-                spec,
-                horizon: 0,
-            },
-        )
-        .expect("dataset");
+        let ds = build_dataset(seg, &cs, DatasetOptions { spec, horizon: 0 }).expect("dataset");
         println!(
             "{:<35} {} sensors -> {} windows x {} features",
             arch.name(),

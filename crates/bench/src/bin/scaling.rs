@@ -16,9 +16,9 @@
 
 use cwsmooth_bench::{f3, results_dir, train_cs_model, Args};
 use cwsmooth_core::cs::CsMethod;
+use cwsmooth_core::cs::CsSignature;
 use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
 use cwsmooth_core::scale::{prune_middle, resample_signature};
-use cwsmooth_core::cs::CsSignature;
 use cwsmooth_data::csv::TableWriter;
 use cwsmooth_linalg::Matrix;
 use cwsmooth_ml::cv::{gather_rows, stratified_kfold};
@@ -43,12 +43,7 @@ fn map_rows(features: &Matrix, f: impl Fn(&CsSignature) -> CsSignature) -> Matri
 }
 
 /// One train/test evaluation: fit on `train` features, score on `test`.
-fn evaluate(
-    train_x: &Matrix,
-    test_x: &Matrix,
-    labels: &[usize],
-    seed: u64,
-) -> f64 {
+fn evaluate(train_x: &Matrix, test_x: &Matrix, labels: &[usize], seed: u64) -> f64 {
     let folds = stratified_kfold(labels, 5, seed).expect("folds");
     let fold = &folds[0];
     let xt = gather_rows(train_x, &fold.train);
@@ -80,12 +75,8 @@ fn main() {
     assert_eq!(&labels, ds_high.classes.as_ref().unwrap());
 
     // Rescaled variants.
-    let high_to_low = map_rows(&ds_high.features, |s| {
-        resample_signature(s, low_l).unwrap()
-    });
-    let low_to_high = map_rows(&ds_low.features, |s| {
-        resample_signature(s, high_l).unwrap()
-    });
+    let high_to_low = map_rows(&ds_high.features, |s| resample_signature(s, low_l).unwrap());
+    let low_to_high = map_rows(&ds_low.features, |s| resample_signature(s, high_l).unwrap());
     // Pruned: drop the middle half of the CS-40 blocks. Train *and* test
     // on the pruned layout — the paper's claim is that the central
     // coefficients carry little information, not that a model trained on
@@ -121,9 +112,7 @@ fn main() {
     let mut table = TableWriter::new(file, &["configuration", "f1"]).unwrap();
     for (name, f1) in &rows {
         println!("{:<48} {:>8}", name, f3(*f1));
-        table
-            .row(&[name.to_string(), format!("{f1:.6}")])
-            .unwrap();
+        table.row(&[name.to_string(), format!("{f1:.6}")]).unwrap();
     }
     println!("\nwrote {}", path.display());
     println!("expectation: rescaled/pruned rows within a few F1 points of native.");

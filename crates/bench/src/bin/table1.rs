@@ -42,8 +42,16 @@ fn main() {
     println!("TABLE I — The HPC-ODA dataset collection (simulated reproduction)");
     println!(
         "{:<15} {:<28} {:>5} {:>8} {:>12} {:>8} {:>9} {:>13} {:>5} {:>4}",
-        "Segment", "HPC System", "Nodes", "Sensors", "Data Points", "Length", "Sampling",
-        "Feature Sets", "wl", "ws"
+        "Segment",
+        "HPC System",
+        "Nodes",
+        "Sensors",
+        "Data Points",
+        "Length",
+        "Sampling",
+        "Feature Sets",
+        "wl",
+        "ws"
     );
 
     let mut rows = Vec::new();

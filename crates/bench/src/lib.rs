@@ -235,7 +235,9 @@ mod tests {
 
     #[test]
     fn args_parse_defaults() {
-        let args = Args { raw: vec!["--samples".into(), "123".into(), "--quick".into()] };
+        let args = Args {
+            raw: vec!["--samples".into(), "123".into(), "--quick".into()],
+        };
         assert_eq!(args.get("samples", 5usize), 123);
         assert_eq!(args.get("seed", 7u64), 7);
         assert!(args.has("quick"));

@@ -77,11 +77,7 @@ impl SignatureMethod for BodikMethod {
             let (lo, hi) = stats::min_max(row);
             out.push(lo);
             out.push(hi);
-            stats::percentiles(
-                row,
-                &[5.0, 25.0, 35.0, 50.0, 65.0, 75.0, 95.0],
-                &mut pcts,
-            );
+            stats::percentiles(row, &[5.0, 25.0, 35.0, 50.0, 65.0, 75.0, 95.0], &mut pcts);
             out.extend_from_slice(&pcts);
         }
         Ok(out)
@@ -178,7 +174,7 @@ mod tests {
         assert_eq!(sig.len(), 18);
         assert_eq!(sig[0], 1.0); // min row0
         assert_eq!(sig[1], 4.0); // max row0
-        // median at index 5 (min,max,p5,p25,p35,p50)
+                                 // median at index 5 (min,max,p5,p25,p35,p50)
         assert!((sig[5] - 2.5).abs() < 1e-12);
         // constant row block is all 10s
         for &v in &sig[9..] {

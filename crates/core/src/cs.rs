@@ -213,7 +213,11 @@ impl CsMethod {
     /// simplified." Returns `None` for an out-of-range block id.
     pub fn block_sensors(&self, block: usize) -> Option<Vec<usize>> {
         let b = self.blocks.get(block)?;
-        Some((b.start..b.end).map(|sorted| self.model.perm[sorted]).collect())
+        Some(
+            (b.start..b.end)
+                .map(|sorted| self.model.perm[sorted])
+                .collect(),
+        )
     }
 
     /// Maps a flat feature index (layout `[re..., im...]`) back to its
@@ -565,8 +569,12 @@ mod tests {
         let mut im = Vec::new();
         for b in cs.block_ranges() {
             let denom = wl * b.len() as f64;
-            let sum_v: f64 = (b.start..b.end).map(|r| sorted.row(r).iter().sum::<f64>()).sum();
-            let sum_d: f64 = (b.start..b.end).map(|r| deriv.row(r).iter().sum::<f64>()).sum();
+            let sum_v: f64 = (b.start..b.end)
+                .map(|r| sorted.row(r).iter().sum::<f64>())
+                .sum();
+            let sum_d: f64 = (b.start..b.end)
+                .map(|r| deriv.row(r).iter().sum::<f64>())
+                .sum();
             re.push(sum_v / denom);
             im.push(sum_d / denom);
         }
@@ -631,8 +639,17 @@ mod tests {
         });
         let model = CsTrainer::default().train(&s).unwrap();
         let pos = |row: usize| model.perm.iter().position(|&x| x == row).unwrap();
-        assert!(pos(0) < 3 && pos(1) < 3 && pos(2) < 3, "perm={:?}", model.perm);
+        assert!(
+            pos(0) < 3 && pos(1) < 3 && pos(2) < 3,
+            "perm={:?}",
+            model.perm
+        );
         assert_eq!(pos(4), 3, "noise should sit mid-ordering: {:?}", model.perm);
-        assert_eq!(pos(3), 4, "anti-correlated row should trail: {:?}", model.perm);
+        assert_eq!(
+            pos(3),
+            4,
+            "anti-correlated row should trail: {:?}",
+            model.perm
+        );
     }
 }

@@ -239,12 +239,7 @@ mod tests {
     fn classification_dataset_shape_and_labels() {
         let seg = class_segment();
         let spec = WindowSpec::new(10, 5).unwrap();
-        let ds = build_dataset(
-            &seg,
-            &TuncerMethod,
-            DatasetOptions { spec, horizon: 0 },
-        )
-        .unwrap();
+        let ds = build_dataset(&seg, &TuncerMethod, DatasetOptions { spec, horizon: 0 }).unwrap();
         assert_eq!(ds.len(), spec.count(40));
         assert_eq!(ds.features.cols(), 33);
         let classes = ds.classes.as_ref().unwrap();
@@ -257,12 +252,7 @@ mod tests {
     fn regression_dataset_horizon_targets() {
         let seg = reg_segment();
         let spec = WindowSpec::new(5, 5).unwrap();
-        let ds = build_dataset(
-            &seg,
-            &TuncerMethod,
-            DatasetOptions { spec, horizon: 3 },
-        )
-        .unwrap();
+        let ds = build_dataset(&seg, &TuncerMethod, DatasetOptions { spec, horizon: 3 }).unwrap();
         // windows at 0..5,5..10,...; last window 25..30 dropped (horizon).
         assert_eq!(ds.len(), 5);
         let targets = ds.targets.as_ref().unwrap();
@@ -275,24 +265,14 @@ mod tests {
     fn regression_requires_horizon() {
         let seg = reg_segment();
         let spec = WindowSpec::new(5, 5).unwrap();
-        assert!(build_dataset(
-            &seg,
-            &TuncerMethod,
-            DatasetOptions { spec, horizon: 0 }
-        )
-        .is_err());
+        assert!(build_dataset(&seg, &TuncerMethod, DatasetOptions { spec, horizon: 0 }).is_err());
     }
 
     #[test]
     fn too_long_window_errors() {
         let seg = class_segment();
         let spec = WindowSpec::new(100, 1).unwrap();
-        assert!(build_dataset(
-            &seg,
-            &TuncerMethod,
-            DatasetOptions { spec, horizon: 0 }
-        )
-        .is_err());
+        assert!(build_dataset(&seg, &TuncerMethod, DatasetOptions { spec, horizon: 0 }).is_err());
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl OnlineCs {
 
         // Window [ingested - wl, ingested) completes at this sample when
         // the buffer is full and the start is a multiple of ws.
-        if self.buffer.len() == self.spec.wl && (self.ingested - self.spec.wl).is_multiple_of(self.spec.ws)
+        if self.buffer.len() == self.spec.wl
+            && (self.ingested - self.spec.wl).is_multiple_of(self.spec.ws)
         {
             // Materialize the window into the scratch matrix (columns of
             // the ring become columns of S_w).

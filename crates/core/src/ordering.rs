@@ -124,12 +124,12 @@ mod tests {
         Matrix::from_fn(7, t, |r, c| {
             let phase = (c as f64 / 7.0).sin();
             match r {
-                0 => phase,              // group A
-                1 => 2.0 * phase + 0.5,  // group A
-                2 => 0.7 * phase - 1.0,  // group A
-                3 => 5.0 * phase,        // group A
-                4 => -phase,             // group B (anti-correlated)
-                5 => -3.0 * phase + 1.0, // group B
+                0 => phase,                          // group A
+                1 => 2.0 * phase + 0.5,              // group A
+                2 => 0.7 * phase - 1.0,              // group A
+                3 => 5.0 * phase,                    // group A
+                4 => -phase,                         // group B (anti-correlated)
+                5 => -3.0 * phase + 1.0,             // group B
                 6 => ((c * 2654435761) % 97) as f64, // pseudo-noise
                 _ => unreachable!(),
             }
@@ -170,7 +170,12 @@ mod tests {
         let max_g = g.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         // The seed must attain the maximal global coefficient (several rows
         // may tie; Algorithm 1 then takes the lowest index).
-        assert!((g[p[0]] - max_g).abs() < 1e-12, "seed {} has g={}, max={max_g}", p[0], g[p[0]]);
+        assert!(
+            (g[p[0]] - max_g).abs() < 1e-12,
+            "seed {} has g={}, max={max_g}",
+            p[0],
+            g[p[0]]
+        );
     }
 
     #[test]

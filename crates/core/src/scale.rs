@@ -65,7 +65,9 @@ pub fn resample_signature(sig: &CsSignature, new_l: usize) -> Result<CsSignature
         return Err(CoreError::Config("target block count must be >= 1".into()));
     }
     if sig.blocks() == 0 {
-        return Err(CoreError::Shape("cannot resample an empty signature".into()));
+        return Err(CoreError::Shape(
+            "cannot resample an empty signature".into(),
+        ));
     }
     Ok(CsSignature {
         re: resample_channel(&sig.re, new_l),

@@ -62,10 +62,7 @@ fn algorithm_1_trace() {
 fn equation_2_block_bounds() {
     let blocks = block_bounds(10, 3);
     assert_eq!(
-        blocks
-            .iter()
-            .map(|b| (b.start, b.end))
-            .collect::<Vec<_>>(),
+        blocks.iter().map(|b| (b.start, b.end)).collect::<Vec<_>>(),
         vec![(0, 4), (3, 7), (6, 10)]
     );
 }

@@ -24,7 +24,9 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Io(e) => write!(f, "I/O error: {e}"),
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Invalid(m) => write!(f, "invalid data: {m}"),
             DataError::Linalg(e) => write!(f, "matrix error: {e}"),
         }

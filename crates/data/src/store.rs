@@ -53,8 +53,7 @@ pub fn save_segment(dir: impl AsRef<Path>, segment: &Segment) -> Result<()> {
     }
 
     // Labels sidecar.
-    let mut labels_file =
-        std::io::BufWriter::new(std::fs::File::create(dir.join("_labels.csv"))?);
+    let mut labels_file = std::io::BufWriter::new(std::fs::File::create(dir.join("_labels.csv"))?);
     writeln!(labels_file, "timestamp,label")?;
     match &segment.labels {
         LabelTrack::Classes(cs) => {
@@ -148,10 +147,15 @@ pub fn load_segment(dir: impl AsRef<Path>) -> Result<Segment> {
             });
         };
         if classification {
-            class_labels.push(label.trim().parse::<usize>().map_err(|e| DataError::Parse {
-                line: i + 1,
-                message: format!("bad class id `{label}`: {e}"),
-            })?);
+            class_labels.push(
+                label
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| DataError::Parse {
+                        line: i + 1,
+                        message: format!("bad class id `{label}`: {e}"),
+                    })?,
+            );
         } else {
             value_labels.push(label.trim().parse::<f64>().map_err(|e| DataError::Parse {
                 line: i + 1,
@@ -248,7 +252,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         assert!(load_segment(&dir).is_err());
         // partial dir: meta but no sensor files
-        std::fs::write(dir.join("_meta.csv"), "name,x\ntask,classification\nsensor,s0\n").unwrap();
+        std::fs::write(
+            dir.join("_meta.csv"),
+            "name,x\ntask,classification\nsensor,s0\n",
+        )
+        .unwrap();
         assert!(load_segment(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

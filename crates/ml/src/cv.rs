@@ -38,7 +38,9 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
         return Err(MlError::Config("k must be >= 2".into()));
     }
     if n < k {
-        return Err(MlError::Shape(format!("cannot make {k} folds from {n} samples")));
+        return Err(MlError::Shape(format!(
+            "cannot make {k} folds from {n} samples"
+        )));
     }
     let order = shuffled_indices(n, seed);
     fold_from_buckets(&order, k, n)
@@ -52,7 +54,9 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Result<Vec<Fol
     }
     let n = labels.len();
     if n < k {
-        return Err(MlError::Shape(format!("cannot make {k} folds from {n} samples")));
+        return Err(MlError::Shape(format!(
+            "cannot make {k} folds from {n} samples"
+        )));
     }
     let order = shuffled_indices(n, seed);
     // Group shuffled indices by class, preserving shuffled order.
@@ -277,7 +281,9 @@ mod tests {
 
     #[test]
     fn forest_cv_on_separable_data() {
-        let x = Matrix::from_fn(100, 2, |r, c| ((r / 50) as f64) * 4.0 + (c as f64) * 0.1 + ((r % 50) as f64) * 0.001);
+        let x = Matrix::from_fn(100, 2, |r, c| {
+            ((r / 50) as f64) * 4.0 + (c as f64) * 0.1 + ((r % 50) as f64) * 0.001
+        });
         let y: Vec<usize> = (0..100).map(|r| r / 50).collect();
         let report = cross_validate_forest_classifier(&x, &y, 5, 42, |s| {
             RandomForestClassifier::with_config(small_forest_config(s, true))

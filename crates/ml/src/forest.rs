@@ -319,8 +319,12 @@ mod tests {
         let mut rf = RandomForestRegressor::with_config(small_forest_config(2, false));
         rf.fit(&x, &y).unwrap();
         let pred = rf.predict(&x).unwrap();
-        let mse: f64 =
-            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse: f64 = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 0.5, "mse {mse}");
     }
 
@@ -396,7 +400,9 @@ mod tests {
     #[test]
     fn multiclass_vote() {
         // Three separable clusters on a line.
-        let x = Matrix::from_fn(90, 1, |r, _| (r / 30) as f64 * 10.0 + (r % 30) as f64 * 0.01);
+        let x = Matrix::from_fn(90, 1, |r, _| {
+            (r / 30) as f64 * 10.0 + (r % 30) as f64 * 0.01
+        });
         let y: Vec<usize> = (0..90).map(|r| r / 30).collect();
         let mut rf = RandomForestClassifier::with_config(small_forest_config(3, true));
         rf.fit(&x, &y).unwrap();

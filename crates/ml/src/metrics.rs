@@ -28,13 +28,7 @@ impl ConfusionMatrix {
         if y_true.is_empty() {
             return Err(MlError::Shape("empty evaluation set".into()));
         }
-        let k = y_true
-            .iter()
-            .chain(y_pred)
-            .copied()
-            .max()
-            .unwrap()
-            + 1;
+        let k = y_true.iter().chain(y_pred).copied().max().unwrap() + 1;
         let mut counts = vec![0usize; k * k];
         for (&t, &p) in y_true.iter().zip(y_pred) {
             counts[t * k + p] += 1;

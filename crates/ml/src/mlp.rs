@@ -262,13 +262,7 @@ fn softmax_inplace(z: &mut [f64]) {
 }
 
 /// Trains a network; `targets` is row-major `n x k` (one-hot or scalar).
-fn train(
-    x: &Matrix,
-    targets: &[f64],
-    k: usize,
-    head: Head,
-    config: &MlpConfig,
-) -> Result<Network> {
+fn train(x: &Matrix, targets: &[f64], k: usize, head: Head, config: &MlpConfig) -> Result<Network> {
     let n = x.rows();
     let d = x.cols();
     if n == 0 || d == 0 {
@@ -278,7 +272,9 @@ fn train(
         return Err(MlError::Config("hidden layers must be non-empty".into()));
     }
     if config.batch_size == 0 || config.max_epochs == 0 {
-        return Err(MlError::Config("batch_size and max_epochs must be >= 1".into()));
+        return Err(MlError::Config(
+            "batch_size and max_epochs must be >= 1".into(),
+        ));
     }
 
     let scaler = Standardizer::fit(x);
@@ -356,22 +352,16 @@ fn train(
                         }
                     }
                     deltas[n_layers - 1].clear();
-                    deltas[n_layers - 1].extend(
-                        out.iter()
-                            .zip(&ybatch)
-                            .map(|(&p, &t)| (p - t) * inv_b),
-                    );
+                    deltas[n_layers - 1]
+                        .extend(out.iter().zip(&ybatch).map(|(&p, &t)| (p - t) * inv_b));
                 }
                 Head::Linear => {
                     for (o, t) in out.iter().zip(&ybatch) {
                         epoch_loss += 0.5 * (o - t) * (o - t);
                     }
                     deltas[n_layers - 1].clear();
-                    deltas[n_layers - 1].extend(
-                        out.iter()
-                            .zip(&ybatch)
-                            .map(|(&p, &t)| (p - t) * inv_b),
-                    );
+                    deltas[n_layers - 1]
+                        .extend(out.iter().zip(&ybatch).map(|(&p, &t)| (p - t) * inv_b));
                 }
             }
             processed += b;
@@ -381,7 +371,11 @@ fn train(
                 grads_w[li].iter_mut().for_each(|g| *g = 0.0);
                 grads_b[li].iter_mut().for_each(|g| *g = 0.0);
                 let (d_head, d_tail) = deltas.split_at_mut(li);
-                let delta_prev = if li > 0 { Some(&mut d_head[li - 1]) } else { None };
+                let delta_prev = if li > 0 {
+                    Some(&mut d_head[li - 1])
+                } else {
+                    None
+                };
                 net.layers[li].backward(
                     &acts[li],
                     &d_tail[0],
@@ -604,8 +598,12 @@ mod tests {
         let mut mlp = MlpRegressor::with_config(quick_config(2));
         mlp.fit(&x, &y).unwrap();
         let pred = mlp.predict(&x).unwrap();
-        let mse =
-            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 0.01, "mse {mse}");
     }
 

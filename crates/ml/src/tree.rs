@@ -586,16 +586,14 @@ mod tests {
     #[test]
     fn predict_rejects_wrong_width() {
         let (x, y) = blobs();
-        let tree =
-            DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
         assert!(tree.predict(&Matrix::zeros(1, 5)).is_err());
     }
 
     #[test]
     fn sqrt_feature_sampling_still_learns() {
         let (x, y) = blobs();
-        let tree =
-            DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeConfig::classification(), &mut rng()).unwrap();
         let pred = tree.predict(&x).unwrap();
         let correct = pred.iter().zip(&y).filter(|(p, t)| p == t).count();
         assert!(correct >= 38, "only {correct}/40 correct");

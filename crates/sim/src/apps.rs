@@ -240,7 +240,9 @@ mod tests {
     #[test]
     fn quicksilver_frequency_oscillates() {
         let samples: Vec<f64> = (0..60)
-            .map(|t| latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq))
+            .map(|t| {
+                latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq)
+            })
             .collect();
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);

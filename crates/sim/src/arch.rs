@@ -75,21 +75,73 @@ use Channel::*;
 /// `proc`-style metrics, perfevent-style counters, power and thermals.
 fn common_node_sensors(tdp_w: f64, mem_gb: f64, nominal_mhz: f64) -> Vec<SensorSpec> {
     vec![
-        SensorSpec::gauge("cpu_user_pct", 0.0, vec![Term::lin(92.0, Cpu)], 1.2, Some((0.0, 100.0))),
+        SensorSpec::gauge(
+            "cpu_user_pct",
+            0.0,
+            vec![Term::lin(92.0, Cpu)],
+            1.2,
+            Some((0.0, 100.0)),
+        ),
         SensorSpec::gauge(
             "cpu_sys_pct",
             0.5,
-            vec![Term::lin(6.0, Cpu), Term::lin(18.0, Sched), Term::lin(12.0, Io)],
+            vec![
+                Term::lin(6.0, Cpu),
+                Term::lin(18.0, Sched),
+                Term::lin(12.0, Io),
+            ],
             0.8,
             Some((0.0, 100.0)),
         ),
-        SensorSpec::gauge("cpu_idle_pct", 100.0, vec![Term::lin(-95.0, Cpu)], 1.2, Some((0.0, 100.0))),
-        SensorSpec::gauge("cpu_iowait_pct", 0.2, vec![Term::lin(35.0, Io)], 0.5, Some((0.0, 100.0))),
-        SensorSpec::gauge("load_1", 0.1, vec![Term::lin(60.0, Cpu), Term::lin(8.0, Io)], 1.0, Some((0.0, 128.0))),
-        SensorSpec::gauge("load_5", 0.1, vec![Term::lin(55.0, Cpu), Term::lin(6.0, Io)], 0.6, Some((0.0, 128.0))),
-        SensorSpec::gauge("load_15", 0.1, vec![Term::lin(50.0, Cpu), Term::lin(4.0, Io)], 0.4, Some((0.0, 128.0))),
-        SensorSpec::gauge("instructions_g", 0.0, vec![Term::prod(45.0, Cpu, Freq)], 0.8, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("cycles_g", 0.0, vec![Term::prod(38.0, Cpu, Freq)], 0.6, Some((0.0, f64::MAX))),
+        SensorSpec::gauge(
+            "cpu_idle_pct",
+            100.0,
+            vec![Term::lin(-95.0, Cpu)],
+            1.2,
+            Some((0.0, 100.0)),
+        ),
+        SensorSpec::gauge(
+            "cpu_iowait_pct",
+            0.2,
+            vec![Term::lin(35.0, Io)],
+            0.5,
+            Some((0.0, 100.0)),
+        ),
+        SensorSpec::gauge(
+            "load_1",
+            0.1,
+            vec![Term::lin(60.0, Cpu), Term::lin(8.0, Io)],
+            1.0,
+            Some((0.0, 128.0)),
+        ),
+        SensorSpec::gauge(
+            "load_5",
+            0.1,
+            vec![Term::lin(55.0, Cpu), Term::lin(6.0, Io)],
+            0.6,
+            Some((0.0, 128.0)),
+        ),
+        SensorSpec::gauge(
+            "load_15",
+            0.1,
+            vec![Term::lin(50.0, Cpu), Term::lin(4.0, Io)],
+            0.4,
+            Some((0.0, 128.0)),
+        ),
+        SensorSpec::gauge(
+            "instructions_g",
+            0.0,
+            vec![Term::prod(45.0, Cpu, Freq)],
+            0.8,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "cycles_g",
+            0.0,
+            vec![Term::prod(38.0, Cpu, Freq)],
+            0.6,
+            Some((0.0, f64::MAX)),
+        ),
         SensorSpec::gauge(
             "cache_misses_m",
             0.3,
@@ -104,29 +156,132 @@ fn common_node_sensors(tdp_w: f64, mem_gb: f64, nominal_mhz: f64) -> Vec<SensorS
             1.5,
             Some((0.0, f64::MAX)),
         ),
-        SensorSpec::gauge("branch_misses_m", 0.1, vec![Term::lin(12.0, Cpu), Term::lin(6.0, Sched)], 0.3, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("mem_used_gb", 2.0, vec![Term::lin(mem_gb * 0.9, Mem)], 0.3, Some((0.0, mem_gb))),
-        SensorSpec::gauge("mem_free_gb", mem_gb - 2.0, vec![Term::lin(-mem_gb * 0.9, Mem)], 0.3, Some((0.0, mem_gb))),
-        SensorSpec::gauge("mem_cached_gb", 1.0, vec![Term::lin(mem_gb * 0.15, Mem), Term::lin(mem_gb * 0.1, Io)], 0.2, Some((0.0, mem_gb))),
-        SensorSpec::gauge("page_faults_k", 0.2, vec![Term::lin(90.0, PageFault), Term::lin(4.0, Mem)], 0.5, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("swap_used_gb", 0.0, vec![Term::lin(3.0, PageFault)], 0.05, Some((0.0, 16.0))),
-        SensorSpec::gauge("membw_read_gbs", 0.2, vec![Term::lin(70.0, MemBw)], 1.0, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("membw_write_gbs", 0.1, vec![Term::lin(42.0, MemBw)], 0.7, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("io_read_mbs", 0.1, vec![Term::lin(300.0, Io)], 2.0, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("io_write_mbs", 0.1, vec![Term::lin(220.0, Io)], 1.5, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("net_rx_mbs", 0.2, vec![Term::lin(900.0, Net)], 4.0, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("net_tx_mbs", 0.2, vec![Term::lin(750.0, Net)], 3.5, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("net_retrans_k", 0.05, vec![Term::prod(20.0, Sched, Net), Term::lin(1.5, Sched)], 0.2, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("ctx_switches_k", 1.0, vec![Term::lin(55.0, Sched), Term::lin(10.0, Cpu)], 1.0, Some((0.0, f64::MAX))),
-        SensorSpec::gauge("interrupts_k", 1.5, vec![Term::lin(25.0, Cpu), Term::lin(20.0, Sched), Term::lin(15.0, Io)], 0.8, Some((0.0, f64::MAX))),
+        SensorSpec::gauge(
+            "branch_misses_m",
+            0.1,
+            vec![Term::lin(12.0, Cpu), Term::lin(6.0, Sched)],
+            0.3,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "mem_used_gb",
+            2.0,
+            vec![Term::lin(mem_gb * 0.9, Mem)],
+            0.3,
+            Some((0.0, mem_gb)),
+        ),
+        SensorSpec::gauge(
+            "mem_free_gb",
+            mem_gb - 2.0,
+            vec![Term::lin(-mem_gb * 0.9, Mem)],
+            0.3,
+            Some((0.0, mem_gb)),
+        ),
+        SensorSpec::gauge(
+            "mem_cached_gb",
+            1.0,
+            vec![Term::lin(mem_gb * 0.15, Mem), Term::lin(mem_gb * 0.1, Io)],
+            0.2,
+            Some((0.0, mem_gb)),
+        ),
+        SensorSpec::gauge(
+            "page_faults_k",
+            0.2,
+            vec![Term::lin(90.0, PageFault), Term::lin(4.0, Mem)],
+            0.5,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "swap_used_gb",
+            0.0,
+            vec![Term::lin(3.0, PageFault)],
+            0.05,
+            Some((0.0, 16.0)),
+        ),
+        SensorSpec::gauge(
+            "membw_read_gbs",
+            0.2,
+            vec![Term::lin(70.0, MemBw)],
+            1.0,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "membw_write_gbs",
+            0.1,
+            vec![Term::lin(42.0, MemBw)],
+            0.7,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "io_read_mbs",
+            0.1,
+            vec![Term::lin(300.0, Io)],
+            2.0,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "io_write_mbs",
+            0.1,
+            vec![Term::lin(220.0, Io)],
+            1.5,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "net_rx_mbs",
+            0.2,
+            vec![Term::lin(900.0, Net)],
+            4.0,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "net_tx_mbs",
+            0.2,
+            vec![Term::lin(750.0, Net)],
+            3.5,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "net_retrans_k",
+            0.05,
+            vec![Term::prod(20.0, Sched, Net), Term::lin(1.5, Sched)],
+            0.2,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "ctx_switches_k",
+            1.0,
+            vec![Term::lin(55.0, Sched), Term::lin(10.0, Cpu)],
+            1.0,
+            Some((0.0, f64::MAX)),
+        ),
+        SensorSpec::gauge(
+            "interrupts_k",
+            1.5,
+            vec![
+                Term::lin(25.0, Cpu),
+                Term::lin(20.0, Sched),
+                Term::lin(15.0, Io),
+            ],
+            0.8,
+            Some((0.0, f64::MAX)),
+        ),
         SensorSpec::gauge(
             "power_pkg_w",
             tdp_w * 0.25,
-            vec![Term::prod(tdp_w * 0.65, Cpu, Freq), Term::lin(tdp_w * 0.15, MemBw)],
+            vec![
+                Term::prod(tdp_w * 0.65, Cpu, Freq),
+                Term::lin(tdp_w * 0.15, MemBw),
+            ],
             tdp_w * 0.01,
             Some((0.0, tdp_w * 1.3)),
         ),
-        SensorSpec::gauge("power_dram_w", 6.0, vec![Term::lin(28.0, MemBw), Term::lin(8.0, Mem)], 0.4, Some((0.0, 60.0))),
+        SensorSpec::gauge(
+            "power_dram_w",
+            6.0,
+            vec![Term::lin(28.0, MemBw), Term::lin(8.0, Mem)],
+            0.4,
+            Some((0.0, 60.0)),
+        ),
         SensorSpec::gauge(
             "temp_cpu_c",
             34.0,
@@ -134,12 +289,27 @@ fn common_node_sensors(tdp_w: f64, mem_gb: f64, nominal_mhz: f64) -> Vec<SensorS
             0.5,
             Some((15.0, 105.0)),
         ),
-        SensorSpec::gauge("temp_board_c", 26.0, vec![Term::lin(9.0, Cpu), Term::lin(8.0, Ambient)], 0.3, Some((10.0, 85.0))),
-        SensorSpec::gauge("freq_avg_mhz", 0.0, vec![Term::lin(nominal_mhz, Freq)], nominal_mhz * 0.005, Some((0.0, nominal_mhz * 1.6))),
+        SensorSpec::gauge(
+            "temp_board_c",
+            26.0,
+            vec![Term::lin(9.0, Cpu), Term::lin(8.0, Ambient)],
+            0.3,
+            Some((10.0, 85.0)),
+        ),
+        SensorSpec::gauge(
+            "freq_avg_mhz",
+            0.0,
+            vec![Term::lin(nominal_mhz, Freq)],
+            nominal_mhz * 0.005,
+            Some((0.0, nominal_mhz * 1.6)),
+        ),
         SensorSpec::counter(
             "energy_consumed_j",
             tdp_w * 0.25,
-            vec![Term::prod(tdp_w * 0.65, Cpu, Freq), Term::lin(tdp_w * 0.15, MemBw)],
+            vec![
+                Term::prod(tdp_w * 0.65, Cpu, Freq),
+                Term::lin(tdp_w * 0.15, MemBw),
+            ],
             tdp_w * 0.005,
         ),
     ]
@@ -193,25 +363,103 @@ fn skylake_sensors() -> Vec<SensorSpec> {
         ));
     }
     // 12 socket extras so far; 8 more node-level Skylake-specific sensors.
-    s.push(SensorSpec::gauge("skx_avx_ratio", 0.02, vec![Term::lin(0.7, Cpu)], 0.01, Some((0.0, 1.0))));
-    s.push(SensorSpec::gauge("skx_c6_residency_pct", 70.0, vec![Term::lin(-68.0, Cpu)], 1.0, Some((0.0, 100.0))));
-    s.push(SensorSpec::gauge("skx_dram_rd_gbs", 0.2, vec![Term::lin(55.0, MemBw)], 0.8, Some((0.0, 128.0))));
-    s.push(SensorSpec::gauge("skx_dram_wr_gbs", 0.1, vec![Term::lin(33.0, MemBw)], 0.6, Some((0.0, 128.0))));
-    s.push(SensorSpec::gauge("skx_itlb_misses_m", 0.05, vec![Term::lin(4.0, Cpu), Term::lin(3.0, PageFault)], 0.1, Some((0.0, f64::MAX))));
-    s.push(SensorSpec::gauge("skx_dtlb_misses_m", 0.1, vec![Term::lin(6.0, Mem), Term::lin(5.0, PageFault)], 0.15, Some((0.0, f64::MAX))));
-    s.push(SensorSpec::gauge("skx_psu_in_w", 120.0, vec![Term::prod(300.0, Cpu, Freq), Term::lin(60.0, MemBw)], 3.0, Some((0.0, 700.0))));
-    s.push(SensorSpec::gauge("skx_vr_temp_c", 30.0, vec![Term::prod(30.0, Cpu, Freq)], 0.5, Some((15.0, 95.0))));
+    s.push(SensorSpec::gauge(
+        "skx_avx_ratio",
+        0.02,
+        vec![Term::lin(0.7, Cpu)],
+        0.01,
+        Some((0.0, 1.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_c6_residency_pct",
+        70.0,
+        vec![Term::lin(-68.0, Cpu)],
+        1.0,
+        Some((0.0, 100.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_dram_rd_gbs",
+        0.2,
+        vec![Term::lin(55.0, MemBw)],
+        0.8,
+        Some((0.0, 128.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_dram_wr_gbs",
+        0.1,
+        vec![Term::lin(33.0, MemBw)],
+        0.6,
+        Some((0.0, 128.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_itlb_misses_m",
+        0.05,
+        vec![Term::lin(4.0, Cpu), Term::lin(3.0, PageFault)],
+        0.1,
+        Some((0.0, f64::MAX)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_dtlb_misses_m",
+        0.1,
+        vec![Term::lin(6.0, Mem), Term::lin(5.0, PageFault)],
+        0.15,
+        Some((0.0, f64::MAX)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_psu_in_w",
+        120.0,
+        vec![Term::prod(300.0, Cpu, Freq), Term::lin(60.0, MemBw)],
+        3.0,
+        Some((0.0, 700.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "skx_vr_temp_c",
+        30.0,
+        vec![Term::prod(30.0, Cpu, Freq)],
+        0.5,
+        Some((15.0, 95.0)),
+    ));
     s
 }
 
 /// Intel Knights Landing: 32 common + 14 many-core/MCDRAM extras = 46.
 fn knl_sensors() -> Vec<SensorSpec> {
     let mut s = common_node_sensors(215.0, 96.0, 1300.0);
-    s.push(SensorSpec::gauge("knl_mcdram_rd_gbs", 0.3, vec![Term::lin(300.0, MemBw)], 4.0, Some((0.0, 450.0))));
-    s.push(SensorSpec::gauge("knl_mcdram_wr_gbs", 0.2, vec![Term::lin(180.0, MemBw)], 3.0, Some((0.0, 450.0))));
-    s.push(SensorSpec::gauge("knl_mcdram_occ_gb", 0.5, vec![Term::lin(14.0, Mem)], 0.2, Some((0.0, 16.0))));
-    s.push(SensorSpec::gauge("knl_mesh_gbs", 0.5, vec![Term::lin(60.0, MemBw), Term::lin(25.0, Cpu)], 1.0, Some((0.0, 120.0))));
-    s.push(SensorSpec::gauge("knl_edc_power_w", 8.0, vec![Term::lin(30.0, MemBw)], 0.5, Some((0.0, 50.0))));
+    s.push(SensorSpec::gauge(
+        "knl_mcdram_rd_gbs",
+        0.3,
+        vec![Term::lin(300.0, MemBw)],
+        4.0,
+        Some((0.0, 450.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_mcdram_wr_gbs",
+        0.2,
+        vec![Term::lin(180.0, MemBw)],
+        3.0,
+        Some((0.0, 450.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_mcdram_occ_gb",
+        0.5,
+        vec![Term::lin(14.0, Mem)],
+        0.2,
+        Some((0.0, 16.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_mesh_gbs",
+        0.5,
+        vec![Term::lin(60.0, MemBw), Term::lin(25.0, Cpu)],
+        1.0,
+        Some((0.0, 120.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_edc_power_w",
+        8.0,
+        vec![Term::lin(30.0, MemBw)],
+        0.5,
+        Some((0.0, 50.0)),
+    ));
     for tile in 0..4 {
         s.push(SensorSpec::gauge(
             format!("knl_tile{tile}_temp_c"),
@@ -221,11 +469,41 @@ fn knl_sensors() -> Vec<SensorSpec> {
             Some((15.0, 100.0)),
         ));
     }
-    s.push(SensorSpec::gauge("knl_vpu_ratio", 0.05, vec![Term::lin(0.8, Cpu)], 0.02, Some((0.0, 1.0))));
-    s.push(SensorSpec::gauge("knl_pcu_power_w", 20.0, vec![Term::prod(160.0, Cpu, Freq)], 1.5, Some((0.0, 260.0))));
-    s.push(SensorSpec::gauge("knl_ddr_rd_gbs", 0.2, vec![Term::lin(45.0, MemBw)], 0.8, Some((0.0, 90.0))));
-    s.push(SensorSpec::gauge("knl_ddr_wr_gbs", 0.1, vec![Term::lin(27.0, MemBw)], 0.5, Some((0.0, 90.0))));
-    s.push(SensorSpec::gauge("knl_snc_imbalance", 0.02, vec![Term::lin(0.3, Sched)], 0.01, Some((0.0, 1.0))));
+    s.push(SensorSpec::gauge(
+        "knl_vpu_ratio",
+        0.05,
+        vec![Term::lin(0.8, Cpu)],
+        0.02,
+        Some((0.0, 1.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_pcu_power_w",
+        20.0,
+        vec![Term::prod(160.0, Cpu, Freq)],
+        1.5,
+        Some((0.0, 260.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_ddr_rd_gbs",
+        0.2,
+        vec![Term::lin(45.0, MemBw)],
+        0.8,
+        Some((0.0, 90.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_ddr_wr_gbs",
+        0.1,
+        vec![Term::lin(27.0, MemBw)],
+        0.5,
+        Some((0.0, 90.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "knl_snc_imbalance",
+        0.02,
+        vec![Term::lin(0.3, Sched)],
+        0.01,
+        Some((0.0, 1.0)),
+    ));
     s
 }
 
@@ -241,9 +519,27 @@ fn rome_sensors() -> Vec<SensorSpec> {
             Some((15.0, 100.0)),
         ));
     }
-    s.push(SensorSpec::gauge("rome_fabric_gbs", 0.4, vec![Term::lin(48.0, MemBw), Term::lin(20.0, Net)], 0.9, Some((0.0, 100.0))));
-    s.push(SensorSpec::gauge("rome_smu_power_w", 15.0, vec![Term::prod(180.0, Cpu, Freq), Term::lin(35.0, MemBw)], 1.8, Some((0.0, 280.0))));
-    s.push(SensorSpec::gauge("rome_boost_mhz", 0.0, vec![Term::lin(3400.0, Freq)], 20.0, Some((0.0, 3600.0))));
+    s.push(SensorSpec::gauge(
+        "rome_fabric_gbs",
+        0.4,
+        vec![Term::lin(48.0, MemBw), Term::lin(20.0, Net)],
+        0.9,
+        Some((0.0, 100.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "rome_smu_power_w",
+        15.0,
+        vec![Term::prod(180.0, Cpu, Freq), Term::lin(35.0, MemBw)],
+        1.8,
+        Some((0.0, 280.0)),
+    ));
+    s.push(SensorSpec::gauge(
+        "rome_boost_mhz",
+        0.0,
+        vec![Term::lin(3400.0, Freq)],
+        20.0,
+        Some((0.0, 3600.0)),
+    ));
     s
 }
 
@@ -378,19 +674,59 @@ fn power_node_sensors() -> Vec<SensorSpec> {
 /// with first-order physics: outlet temperature and flow track rack power.
 fn infra_rack_sensors() -> Vec<SensorSpec> {
     let mut s = vec![
-        SensorSpec::gauge("rack_power_kw", 8.0, vec![Term::prod(38.0, Cpu, Freq), Term::lin(6.0, MemBw)], 0.3, Some((0.0, 60.0))),
-        SensorSpec::gauge("water_inlet_c", 38.0, vec![Term::lin(4.0, Ambient)], 0.15, Some((20.0, 55.0))),
+        SensorSpec::gauge(
+            "rack_power_kw",
+            8.0,
+            vec![Term::prod(38.0, Cpu, Freq), Term::lin(6.0, MemBw)],
+            0.3,
+            Some((0.0, 60.0)),
+        ),
+        SensorSpec::gauge(
+            "water_inlet_c",
+            38.0,
+            vec![Term::lin(4.0, Ambient)],
+            0.15,
+            Some((20.0, 55.0)),
+        ),
         SensorSpec::gauge(
             "water_outlet_c",
             40.0,
-            vec![Term::prod(9.0, Cpu, Freq), Term::lin(4.0, Ambient), Term::lin(1.5, MemBw)],
+            vec![
+                Term::prod(9.0, Cpu, Freq),
+                Term::lin(4.0, Ambient),
+                Term::lin(1.5, MemBw),
+            ],
             0.2,
             Some((20.0, 65.0)),
         ),
-        SensorSpec::gauge("water_flow_lpm", 110.0, vec![Term::lin(35.0, Cpu)], 1.0, Some((40.0, 220.0))),
-        SensorSpec::gauge("pump_power_kw", 0.8, vec![Term::lin(0.9, Cpu)], 0.03, Some((0.0, 4.0))),
-        SensorSpec::gauge("pdu_current_a", 18.0, vec![Term::prod(85.0, Cpu, Freq)], 0.8, Some((0.0, 160.0))),
-        SensorSpec::gauge("ambient_temp_c", 22.0, vec![Term::lin(8.0, Ambient)], 0.2, Some((10.0, 45.0))),
+        SensorSpec::gauge(
+            "water_flow_lpm",
+            110.0,
+            vec![Term::lin(35.0, Cpu)],
+            1.0,
+            Some((40.0, 220.0)),
+        ),
+        SensorSpec::gauge(
+            "pump_power_kw",
+            0.8,
+            vec![Term::lin(0.9, Cpu)],
+            0.03,
+            Some((0.0, 4.0)),
+        ),
+        SensorSpec::gauge(
+            "pdu_current_a",
+            18.0,
+            vec![Term::prod(85.0, Cpu, Freq)],
+            0.8,
+            Some((0.0, 160.0)),
+        ),
+        SensorSpec::gauge(
+            "ambient_temp_c",
+            22.0,
+            vec![Term::lin(8.0, Ambient)],
+            0.2,
+            Some((10.0, 45.0)),
+        ),
     ];
     for ch in 0..6 {
         let k = 1.0 - 0.04 * ch as f64;

@@ -16,12 +16,12 @@ fn offload_profile(app: AppKind) -> (f64, f64) {
     match app {
         AppKind::Idle => (0.0, 0.0),
         // (compute offload, device-memory pressure)
-        AppKind::Amg => (0.55, 0.75),         // SpMV-heavy: bandwidth-bound
-        AppKind::Kripke => (0.7, 0.5),        // sweep kernels port well
-        AppKind::Linpack => (0.9, 0.6),       // DGEMM lives on the device
-        AppKind::Quicksilver => (0.35, 0.3),  // branchy MC: poor offload
-        AppKind::Lammps => (0.65, 0.55),      // pair kernels on device
-        AppKind::Nekbone => (0.6, 0.8),       // spectral ops: bandwidth
+        AppKind::Amg => (0.55, 0.75),   // SpMV-heavy: bandwidth-bound
+        AppKind::Kripke => (0.7, 0.5),  // sweep kernels port well
+        AppKind::Linpack => (0.9, 0.6), // DGEMM lives on the device
+        AppKind::Quicksilver => (0.35, 0.3), // branchy MC: poor offload
+        AppKind::Lammps => (0.65, 0.55), // pair kernels on device
+        AppKind::Nekbone => (0.6, 0.8), // spectral ops: bandwidth
     }
 }
 
@@ -45,7 +45,10 @@ pub fn gpu_latent_at(
     l.set(Channel::GpuCompute, cpu * offload);
     l.set(Channel::GpuMem, membw * mem_pressure + 0.1 * offload);
     // Device transfers ride the host bandwidth channel a little.
-    l.set(Channel::MemBw, membw * (1.0 - 0.4 * offload) + 0.1 * offload);
+    l.set(
+        Channel::MemBw,
+        membw * (1.0 - 0.4 * offload) + 0.1 * offload,
+    );
     l.clamp();
     l
 }
@@ -164,7 +167,10 @@ mod tests {
     fn offload_moves_load_to_device() {
         let host = latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
         let gpu = gpu_latent_at(AppKind::Linpack, InputConfig(0), 50, 100, 0.0);
-        assert!(gpu.get(Channel::GpuCompute) > 0.5, "Linpack offloads heavily");
+        assert!(
+            gpu.get(Channel::GpuCompute) > 0.5,
+            "Linpack offloads heavily"
+        );
         assert!(gpu.get(Channel::Cpu) < host.get(Channel::Cpu));
         // Quicksilver barely offloads.
         let qs = gpu_latent_at(AppKind::Quicksilver, InputConfig(0), 50, 200, 0.0);
@@ -201,7 +207,9 @@ mod tests {
     fn temporal_structure_survives_offload() {
         // Quicksilver's frequency oscillation must still be visible.
         let freqs: Vec<f64> = (0..60)
-            .map(|t| gpu_latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq))
+            .map(|t| {
+                gpu_latent_at(AppKind::Quicksilver, InputConfig(0), t, 200, 0.0).get(Channel::Freq)
+            })
             .collect();
         let min = freqs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = freqs.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -68,7 +68,10 @@ mod tests {
         let n = 10_000;
         let mean = 5.0;
         let std = 2.0;
-        let m = (0..n).map(|_| normal_with(&mut rng, mean, std)).sum::<f64>() / n as f64;
+        let m = (0..n)
+            .map(|_| normal_with(&mut rng, mean, std))
+            .sum::<f64>()
+            / n as f64;
         assert!((m - mean).abs() < 0.1, "mean {m}");
     }
 }

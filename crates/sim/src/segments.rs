@@ -180,7 +180,13 @@ pub fn all_infos() -> Vec<SegmentInfo> {
 /// Latent state for a run payload at offset `off`, before noise.
 fn payload_latent(payload: RunPayload, off: usize, run_len: usize, jitter: f64) -> Latent {
     match payload {
-        RunPayload::Idle => latent_at(AppKind::Idle, crate::apps::InputConfig(0), off, run_len, jitter),
+        RunPayload::Idle => latent_at(
+            AppKind::Idle,
+            crate::apps::InputConfig(0),
+            off,
+            run_len,
+            jitter,
+        ),
         RunPayload::App { app, config } => latent_at(app, config, off, run_len, jitter),
         RunPayload::Faulted {
             app,

@@ -220,12 +220,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate_and_reset() {
-        let spec = SensorSpec::counter(
-            "energy",
-            10.0,
-            vec![Term::lin(5.0, Channel::Cpu)],
-            0.0,
-        );
+        let spec = SensorSpec::counter("energy", 10.0, vec![Term::lin(5.0, Channel::Cpu)], 0.0);
         let mut node = NodeModel::new(vec![spec]);
         let mut rng = stream(0, 0);
         let mut out = [0.0];

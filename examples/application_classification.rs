@@ -58,7 +58,11 @@ fn main() {
     let pred = rf.predict(&xs).unwrap();
 
     let cm = ConfusionMatrix::from_pairs(&ys, &pred).unwrap();
-    println!("\nweighted F1: {:.3}   accuracy: {:.3}", cm.f1_weighted(), cm.accuracy());
+    println!(
+        "\nweighted F1: {:.3}   accuracy: {:.3}",
+        cm.f1_weighted(),
+        cm.accuracy()
+    );
     println!("\nper-class results:");
     let names = [
         AppKind::Idle,
@@ -69,7 +73,10 @@ fn main() {
         AppKind::Lammps,
         AppKind::Nekbone,
     ];
-    println!("{:<14} {:>9} {:>10} {:>8} {:>8}", "application", "support", "precision", "recall", "F1");
+    println!(
+        "{:<14} {:>9} {:>10} {:>8} {:>8}",
+        "application", "support", "precision", "recall", "F1"
+    );
     for app in names {
         let c = app.class_id();
         if c >= cm.n_classes() {

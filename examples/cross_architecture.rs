@@ -58,14 +58,11 @@ fn main() {
         let yt: Vec<usize> = fold.train.iter().map(|&s| labels[s]).collect();
         let xs = gather_rows(&merged.features, &fold.test);
         let ys: Vec<usize> = fold.test.iter().map(|&s| labels[s]).collect();
-        let mut rf =
-            RandomForestClassifier::with_config(ForestConfig::classification(i as u64));
+        let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(i as u64));
         rf.fit(&xt, &yt).unwrap();
         scores.push(f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap());
     }
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    println!(
-        "\narchitecture-blind application classification, 5-fold weighted F1: {mean:.3}"
-    );
+    println!("\narchitecture-blind application classification, 5-fold weighted F1: {mean:.3}");
     println!("(paper reports 0.995 on the real Cross-Architecture segment)");
 }

@@ -23,11 +23,8 @@ fn main() {
 
     // Export: one CSV per sensor, `timestamp,value` rows (HPC-ODA layout).
     for (i, name) in segment.sensor_names.iter().enumerate() {
-        let series = TimeSeries::new(
-            segment.timestamps.clone(),
-            segment.matrix.row(i).to_vec(),
-        )
-        .unwrap();
+        let series =
+            TimeSeries::new(segment.timestamps.clone(), segment.matrix.row(i).to_vec()).unwrap();
         write_series_file(dir.join(format!("{name}.csv")), &series).expect("write csv");
     }
     println!(

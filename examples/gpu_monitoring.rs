@@ -64,14 +64,17 @@ fn main() {
         let yt: Vec<usize> = fold.train.iter().map(|&s| labels[s]).collect();
         let xs = gather_rows(&ds.features, &fold.test);
         let ys: Vec<usize> = fold.test.iter().map(|&s| labels[s]).collect();
-        let mut rf =
-            RandomForestClassifier::with_config(ForestConfig::classification(i as u64));
+        let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(i as u64));
         rf.fit(&xt, &yt).unwrap();
         scores.push(f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap());
     }
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    println!("\nGPU-workload classification with CS-20 signatures, 5-fold F1: {mean:.3}");
     println!(
-        "\nGPU-workload classification with CS-20 signatures, 5-fold F1: {mean:.3}"
+        "per-fold: {:?}",
+        scores
+            .iter()
+            .map(|s| (s * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
-    println!("per-fold: {:?}", scores.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
 }

@@ -36,12 +36,7 @@ fn main() {
     let cs_model = CsTrainer::default().train(&history.matrix).unwrap();
     let spec = WindowSpec::new(10, 5).unwrap();
     let cs = CsMethod::new(cs_model, 10).unwrap();
-    let ds = build_dataset(
-        &history,
-        &cs,
-        DatasetOptions { spec, horizon: 3 },
-    )
-    .unwrap();
+    let ds = build_dataset(&history, &cs, DatasetOptions { spec, horizon: 3 }).unwrap();
     let mut predictor = RandomForestRegressor::with_config(ForestConfig::regression(1));
     predictor
         .fit(&ds.features, ds.targets.as_ref().unwrap())
@@ -65,10 +60,13 @@ fn main() {
     let run_len = 300usize;
 
     println!("\nlive loop: {total} ticks, budget {POWER_BUDGET_W} W");
-    println!("{:>6} {:>12} {:>12} {:>8}", "tick", "power[W]", "predicted", "knob");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "tick", "power[W]", "predicted", "knob"
+    );
     for t in 0..total {
         // The workload alternates between heavy and light applications.
-        let app = if (t / run_len) % 2 == 0 {
+        let app = if (t / run_len).is_multiple_of(2) {
             AppKind::Linpack
         } else {
             AppKind::Quicksilver

@@ -37,7 +37,11 @@ fn main() {
     )
     .unwrap();
     let targets = ds.targets.as_ref().unwrap();
-    println!("feature sets: {} windows x {} features", ds.len(), ds.features.cols());
+    println!(
+        "feature sets: {} windows x {} features",
+        ds.len(),
+        ds.features.cols()
+    );
 
     let folds = kfold(targets.len(), 5, 3).unwrap();
     let fold = &folds[0];
@@ -52,7 +56,10 @@ fn main() {
 
     println!("\nRMSE:        {:>8.2} W", rmse(&ys, &pred).unwrap());
     println!("NRMSE:       {:>8.3}", nrmse(&ys, &pred).unwrap());
-    println!("ML score:    {:>8.3}  (1 - NRMSE, the paper's metric)", ml_score_regression(&ys, &pred).unwrap());
+    println!(
+        "ML score:    {:>8.3}  (1 - NRMSE, the paper's metric)",
+        ml_score_regression(&ys, &pred).unwrap()
+    );
 
     println!("\nsample predictions (watts):");
     println!("{:>12} {:>12} {:>10}", "actual", "predicted", "error");

@@ -57,16 +57,37 @@ fn main() {
         last = Some(sig);
     }
     let last = last.unwrap();
-    println!("\ncomputed {count} signatures of {} blocks each", last.blocks());
-    println!("last signature real parts (block averages):      {:?}",
-        last.re.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("last signature imaginary parts (block derivs):   {:?}",
-        last.im.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "\ncomputed {count} signatures of {} blocks each",
+        last.blocks()
+    );
+    println!(
+        "last signature real parts (block averages):      {:?}",
+        last.re
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "last signature imaginary parts (block derivs):   {:?}",
+        last.im
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     // 4. Visualize: signature heatmaps are images.
     let (re, _im) = cs
         .signature_heatmaps(&segment.matrix, spec)
         .expect("heatmaps");
-    println!("\nsignature heatmap (10 blocks x {} windows, darker = higher):", re.cols());
-    println!("{}", GrayImage::from_matrix(&re).resize_nearest(10, 76).to_ascii());
+    println!(
+        "\nsignature heatmap (10 blocks x {} windows, darker = higher):",
+        re.cols()
+    );
+    println!(
+        "{}",
+        GrayImage::from_matrix(&re)
+            .resize_nearest(10, 76)
+            .to_ascii()
+    );
 }

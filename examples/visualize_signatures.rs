@@ -31,9 +31,19 @@ fn main() {
 
         println!("=== {} ({} windows) ===", app.name(), re.cols());
         println!("real components (40 blocks, darker = higher):");
-        println!("{}", GrayImage::from_matrix(&re).resize_bilinear(16, 64).to_ascii());
+        println!(
+            "{}",
+            GrayImage::from_matrix(&re)
+                .resize_bilinear(16, 64)
+                .to_ascii()
+        );
         println!("imaginary components (trend information):");
-        println!("{}", GrayImage::from_matrix(&im).resize_bilinear(16, 64).to_ascii());
+        println!(
+            "{}",
+            GrayImage::from_matrix(&im)
+                .resize_bilinear(16, 64)
+                .to_ascii()
+        );
     }
 
     // Signatures scale like images: downscale a 40-block signature heatmap

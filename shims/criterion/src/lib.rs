@@ -1,0 +1,214 @@
+//! Offline API-compatible shim for the `criterion` crate.
+//!
+//! Supports the benchmark surface the workspace uses — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a lightweight
+//! measurement loop: each benchmark is warmed up once, then timed for a
+//! small fixed budget and reported as mean wall-clock time per iteration
+//! on stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison; the output is one parseable line per benchmark, which is
+//! enough to seed the BENCH_*.json perf trajectory.
+//!
+//! When the binary is invoked by `cargo test` (which passes `--test` to
+//! `harness = false` targets), benchmarks are skipped so the tier-1 test
+//! run stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark (after one warm-up call).
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+/// Default cap on timed iterations per benchmark (overridable per group
+/// via `sample_size`).
+const DEFAULT_MAX_ITERS: u64 = 1000;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), DEFAULT_MAX_ITERS, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the timed iterations for this group's benchmarks (the time
+    /// budget may stop measurement earlier, as with real criterion's
+    /// measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size as u64, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size as u64, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    max_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        // Time whole batches and divide, rather than bracketing every call
+        // with its own clock reads: for nanosecond-scale bodies a
+        // per-iteration Instant pair is mostly timer overhead. Batches
+        // double so slow benchmarks still stop near the time budget.
+        let mut batch = 1u64;
+        while self.iters < self.max_iters && started.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total += t0.elapsed();
+            self.iters += batch;
+            batch = batch
+                .saturating_mul(2)
+                .min(self.max_iters - self.iters)
+                .max(1);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    max_iters: u64,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+        max_iters: max_iters.max(1),
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    if bencher.iters == 0 {
+        println!("bench {label}: no iterations recorded");
+    } else {
+        let mean = bencher.total / bencher.iters as u32;
+        println!("bench {label}: {mean:?}/iter over {} iters", bencher.iters);
+    }
+}
+
+/// True when the binary was launched by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` to no-harness targets).
+pub fn invoked_in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_in_test_mode() {
+                println!("criterion shim: skipping benchmarks in test mode");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

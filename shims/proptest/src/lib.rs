@@ -1,0 +1,182 @@
+//! Offline API-compatible shim for the `proptest` crate.
+//!
+//! Covers the surface the workspace's property tests use: the `proptest!`
+//! macro (with `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies, `Just`,
+//! `collection::vec`, `sample::select` and `any::<T>()`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately and the panic
+//!   message includes every generated input (all strategy values are
+//!   `Debug`), which for these tests is enough to reproduce: generation is
+//!   fully deterministic, derived from the test's module path, name and
+//!   case index, so a failure recurs on every run until fixed and no
+//!   `proptest-regressions/` persistence is needed.
+//! * Values are drawn uniformly; there is no bias toward boundary values.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors real proptest's `prelude::prop` module of strategy builders.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test] fn name(pat in strategy, ..) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            // Rejected cases (`prop_assume!`) are regenerated rather than
+            // counted as passes, with a bounded budget so a property whose
+            // assumption almost never holds fails loudly instead of passing
+            // vacuously (mirrors real proptest's "too many global rejects").
+            let __max_rejects = __config.cases.saturating_mul(4).max(1024);
+            let mut __accepted = 0u32;
+            let mut __rejected = 0u32;
+            let mut __attempt = 0u32;
+            while __accepted < __config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempt,
+                );
+                __attempt += 1;
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let $arg = {
+                        let __value =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                        __inputs.push_str(&::std::format!(
+                            "{} = {:?}; ", stringify!($arg), &__value,
+                        ));
+                        __value
+                    };
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(__why),
+                    ) => {
+                        __rejected += 1;
+                        if __rejected > __max_rejects {
+                            ::std::panic!(
+                                "proptest `{}`: too many prop_assume rejections \
+                                 ({} rejects for {} accepted cases); last: {}",
+                                stringify!($name),
+                                __rejected,
+                                __accepted,
+                                __why,
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(__err) => {
+                        ::std::panic!(
+                            "proptest case {}/{} for `{}` failed: {}\n  inputs: {}",
+                            __accepted + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __err,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the generated
+/// inputs on failure instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Rejects the current case without failing it; the runner regenerates a
+/// replacement input, and aborts if rejections swamp accepted cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __lhs,
+            __rhs,
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs != *__rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __lhs,
+        );
+    }};
+}

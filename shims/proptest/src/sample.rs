@@ -1,0 +1,27 @@
+//! Sampling strategies (`sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::seq::SliceRandom;
+use std::fmt::Debug;
+
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.choices
+            .choose(rng)
+            .expect("select() needs at least one choice")
+            .clone()
+    }
+}
+
+/// Uniformly selects one of the given values.
+pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}

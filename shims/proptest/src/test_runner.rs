@@ -1,0 +1,83 @@
+//! Configuration, deterministic per-case RNG, and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Mirror of `proptest::test_runner::Config` (the fields the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Same default budget as real proptest.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator: seeded from the test's identity and case index,
+/// so every run replays the same inputs (failures reproduce without any
+/// persisted regression file).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the fully qualified test name, mixed with the case.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_path.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            hash ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A non-passing property case: a genuine failure, or an input rejected by
+/// `prop_assume!` (the runner regenerates rejected cases).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(reason) => write!(f, "input rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

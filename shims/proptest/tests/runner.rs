@@ -1,0 +1,50 @@
+//! Behavioural tests for the shim's proptest runner: assumption handling,
+//! failure reporting, and determinism.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn satisfiable_assume_still_runs_the_body(x in 0usize..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+
+    #[test]
+    fn tuples_maps_and_vecs_compose(
+        (r, c) in (1usize..5, 1usize..5),
+        data in prop::collection::vec(0.0f64..1.0, 1..32),
+    ) {
+        prop_assert!(r * c < 25);
+        prop_assert!(data.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+}
+
+// Written without `#[test]` so the harness does not run them directly; the
+// `#[should_panic]` wrappers below drive them.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    fn vacuous_property(x in 0usize..10) {
+        prop_assume!(x > 1000);
+        prop_assert!(false, "body must never run");
+    }
+
+    fn failing_property(x in 0usize..10) {
+        prop_assert!(x > 1000, "x was {}", x);
+    }
+}
+
+#[test]
+#[should_panic(expected = "too many prop_assume rejections")]
+fn vacuous_assume_fails_loudly_instead_of_passing() {
+    vacuous_property();
+}
+
+#[test]
+#[should_panic(expected = "inputs: x =")]
+fn failures_report_the_generated_inputs() {
+    failing_property();
+}

@@ -1,0 +1,141 @@
+//! A real ChaCha block-cipher RNG core, generic over the round count.
+//!
+//! Shared by this shim's `StdRng` (12 rounds, as in `rand 0.8`) and by the
+//! `rand_chacha` shim's `ChaCha8Rng` (8 rounds). Layout follows RFC 8439:
+//! four constant words, an eight-word key, a 64-bit block counter and a
+//! 64-bit stream id (nonce).
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha keystream generator with `R` rounds (`R` must be even).
+#[derive(Debug, Clone)]
+pub struct ChaChaCore<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "empty, refill".
+    index: usize,
+}
+
+impl<const R: usize> ChaChaCore<R> {
+    pub fn new(seed: [u8; 32], stream: u64) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaCore {
+            key,
+            counter: 0,
+            stream,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    /// Switches to an independent keystream; the block counter is kept.
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.index = 16;
+        }
+    }
+
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..R / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buffer.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.index];
+        self.index += 1;
+        v
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector, adapted: ChaCha20 block function with
+    /// the RFC's key, counter = 1 and the RFC's 96-bit nonce is not
+    /// representable here (we use a 64-bit stream), so instead check the
+    /// structural properties: determinism, stream separation, and that the
+    /// all-zero ChaCha20 block matches the well-known keystream head.
+    #[test]
+    fn zero_key_chacha20_matches_reference_keystream() {
+        // First words of the ChaCha20 keystream for all-zero key/nonce.
+        // Reference: RFC 8439 appendix A.1 test vector #1.
+        let mut core: ChaChaCore<20> = ChaChaCore::new([0u8; 32], 0);
+        let expected_head = [0xade0b876u32, 0x903df1a0, 0xe56a5d40, 0x28bd8653];
+        for &e in &expected_head {
+            assert_eq!(core.next_u32(), e);
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mut a: ChaChaCore<8> = ChaChaCore::new([7u8; 32], 0);
+        let mut b: ChaChaCore<8> = ChaChaCore::new([7u8; 32], 0);
+        let mut c: ChaChaCore<8> = ChaChaCore::new([7u8; 32], 1);
+        for _ in 0..64 {
+            let (x, y, z) = (a.next_u32(), b.next_u32(), c.next_u32());
+            assert_eq!(x, y);
+            // A single collision is astronomically unlikely across 64 draws,
+            // but tolerate it by only requiring the whole streams to differ.
+            let _ = z;
+        }
+        let xs: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let zs: Vec<u32> = (0..16).map(|_| c.next_u32()).collect();
+        assert_ne!(xs, zs);
+    }
+}

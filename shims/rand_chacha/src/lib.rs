@@ -1,0 +1,91 @@
+//! Offline API-compatible shim for the `rand_chacha` crate (0.3 surface).
+//!
+//! Provides `ChaCha8Rng`/`ChaCha12Rng`/`ChaCha20Rng` on top of the real
+//! ChaCha block function implemented in the `rand` shim, including the
+//! multi-stream API (`set_stream`/`get_stream`) the simulator uses to give
+//! each component a decorrelated generator.
+
+use rand::chacha::ChaChaCore;
+use rand::{RngCore, SeedableRng};
+
+/// Re-export mirroring upstream, where `rand_chacha` depends on `rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta] $name:ident, $rounds:literal;)*) => {$(
+        #[$doc]
+        #[derive(Debug, Clone)]
+        pub struct $name(ChaChaCore<$rounds>);
+
+        impl $name {
+            /// Selects an independent keystream for the same seed.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.0.set_stream(stream);
+            }
+
+            pub fn get_stream(&self) -> u64 {
+                self.0.get_stream()
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(ChaChaCore::new(seed, 0))
+            }
+        }
+    )*};
+}
+
+chacha_rng! {
+    /// ChaCha with 8 rounds: the fast, statistically strong simulator RNG.
+    ChaCha8Rng, 8;
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng, 12;
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng, 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn set_stream_decorrelates() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        b.set_stream(9);
+        assert_eq!(b.get_stream(), 9);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn works_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&v));
+        let n = rng.gen_range(0usize..10);
+        assert!(n < 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! No-op `Serialize`/`Deserialize` derives for the serde shim.
+//!
+//! Emits marker-trait impls (`impl ::serde::Serialize for T {}`) for structs
+//! and enums, including generic ones: the full parameter list (with bounds)
+//! goes into the impl generics, while only the parameter names are
+//! substituted into the self-type. Written against `proc_macro` directly —
+//! `syn`/`quote` are not available offline, and recognising the type header
+//! is all these derives need.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` header: the type name, the raw generic
+/// parameter list (without angle brackets), and the bare parameter names
+/// usable in type-argument position (`'a, T, N` for `<'a, T: Clone, const
+/// N: usize>`).
+struct TypeHeader {
+    name: String,
+    impl_generics: Option<String>,
+    type_args: Option<String>,
+}
+
+fn parse_type_header(input: TokenStream) -> TypeHeader {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifiers until the
+    // `struct`/`enum` keyword.
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => continue,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+
+    // Optional generics: everything between the outermost < >, split into
+    // parameters at depth-0 commas.
+    let mut impl_generics = None;
+    let mut type_args = None;
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            params.push(Vec::new());
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                params.last_mut().unwrap().push(tt);
+            }
+            params.retain(|p| !p.is_empty());
+            let names: Vec<String> = params.iter().map(|p| param_name(p)).collect();
+            let decls: Vec<String> = params.iter().map(|p| param_decl(p)).collect();
+            impl_generics = Some(decls.join(", "));
+            type_args = Some(names.join(", "));
+        }
+    }
+    TypeHeader {
+        name,
+        impl_generics,
+        type_args,
+    }
+}
+
+/// Re-serialises one generic parameter for impl-generics position, keeping
+/// bounds but dropping any default (`T: Clone = Concrete` -> `T : Clone`,
+/// since defaults are not legal on impls). Associated-type bindings inside
+/// bounds (`Iterator<Item = u32>`) survive: their `=` sits inside a nested
+/// `<..>`, and only top-level defaults are stripped.
+fn param_decl(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => break,
+                // A lifetime is Punct('\'') + Ident; keep them glued so the
+                // output lexes as `'a`, not `' a`.
+                '\'' => {
+                    out.push('\'');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&tt.to_string());
+        out.push(' ');
+    }
+    out.trim_end().to_string()
+}
+
+/// Extracts the bare name of one generic parameter: `'a` for lifetimes,
+/// `N` for `const N: usize`, `T` for `T`, `T: Clone` or `T = Default`.
+fn param_name(tokens: &[TokenTree]) -> String {
+    match &tokens[0] {
+        TokenTree::Punct(p) if p.as_char() == '\'' => match tokens.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            other => panic!("serde shim derive: malformed lifetime parameter: {other:?}"),
+        },
+        TokenTree::Ident(id) if id.to_string() == "const" => match tokens.get(1) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => panic!("serde shim derive: malformed const parameter: {other:?}"),
+        },
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: malformed generic parameter: {other:?}"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_type_header(input);
+    let name = &header.name;
+    let out = match (&header.impl_generics, &header.type_args) {
+        (Some(g), Some(a)) => format!("impl<{g}> ::serde::Serialize for {name}<{a}> {{}}"),
+        _ => format!("impl ::serde::Serialize for {name} {{}}"),
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_type_header(input);
+    let name = &header.name;
+    let out = match (&header.impl_generics, &header.type_args) {
+        (Some(g), Some(a)) => {
+            format!("impl<'de, {g}> ::serde::Deserialize<'de> for {name}<{a}> {{}}")
+        }
+        _ => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}"),
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}

@@ -1,0 +1,52 @@
+//! The derives must compile for the shapes the workspace uses (plain
+//! structs and enums) and for generic types (bounds, lifetimes, const
+//! parameters, defaults), emitting well-formed marker impls.
+
+#![allow(dead_code)] // the types exist only to exercise the derives
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Plain {
+    x: f64,
+    ys: Vec<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+pub(crate) enum Kind {
+    A,
+    B(u32),
+    C { name: String },
+}
+
+#[derive(Serialize, Deserialize)]
+struct Generic<T: Clone, U> {
+    item: T,
+    other: Option<U>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WithLifetimeAndConst<'a, T, const N: usize = 4> {
+    slice: &'a [T; N],
+}
+
+#[derive(Serialize, Deserialize)]
+struct WithDefault<T = f64> {
+    value: T,
+}
+
+fn is_serialize<T: Serialize>() {}
+fn is_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+#[test]
+fn derived_impls_satisfy_the_marker_traits() {
+    is_serialize::<Plain>();
+    is_deserialize::<Plain>();
+    is_serialize::<Kind>();
+    is_deserialize::<Kind>();
+    is_serialize::<Generic<u8, String>>();
+    is_deserialize::<Generic<u8, String>>();
+    is_serialize::<WithLifetimeAndConst<'static, bool, 2>>();
+    is_serialize::<WithDefault>();
+    is_deserialize::<WithDefault<f32>>();
+}

@@ -71,12 +71,7 @@ fn single_sample_window_is_defined() {
 fn window_longer_than_data_errors() {
     let seg = tiny_segment(4, 16);
     let spec = WindowSpec::new(64, 4).unwrap();
-    assert!(build_dataset(
-        &seg,
-        &TuncerMethod,
-        DatasetOptions { spec, horizon: 0 }
-    )
-    .is_err());
+    assert!(build_dataset(&seg, &TuncerMethod, DatasetOptions { spec, horizon: 0 }).is_err());
 }
 
 #[test]

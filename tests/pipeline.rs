@@ -10,8 +10,8 @@ use cwsmooth::data::{TaskKind, WindowSpec};
 use cwsmooth::ml::cv::{cross_validate_forest_classifier, cross_validate_forest_regressor};
 use cwsmooth::ml::forest::{small_forest_config, RandomForestClassifier, RandomForestRegressor};
 use cwsmooth::sim::segments::{
-    application_segment, cross_arch_segments, fault_segment, infrastructure_segment,
-    power_segment, SimConfig,
+    application_segment, cross_arch_segments, fault_segment, infrastructure_segment, power_segment,
+    SimConfig,
 };
 
 /// Classification pipeline on the Fault segment reaches a useful F1 with
@@ -31,14 +31,11 @@ fn fault_classification_end_to_end() {
     )
     .unwrap();
     assert_eq!(ds.task(), TaskKind::Classification);
-    let report = cross_validate_forest_classifier(
-        &ds.features,
-        ds.classes.as_ref().unwrap(),
-        5,
-        7,
-        |s| RandomForestClassifier::with_config(small_forest_config(s, true)),
-    )
-    .unwrap();
+    let report =
+        cross_validate_forest_classifier(&ds.features, ds.classes.as_ref().unwrap(), 5, 7, |s| {
+            RandomForestClassifier::with_config(small_forest_config(s, true))
+        })
+        .unwrap();
     assert!(
         report.mean_score() > 0.8,
         "fault F1 too low: {}",
@@ -62,14 +59,11 @@ fn power_regression_end_to_end() {
     )
     .unwrap();
     assert_eq!(ds.task(), TaskKind::Regression);
-    let report = cross_validate_forest_regressor(
-        &ds.features,
-        ds.targets.as_ref().unwrap(),
-        5,
-        7,
-        |s| RandomForestRegressor::with_config(small_forest_config(s, false)),
-    )
-    .unwrap();
+    let report =
+        cross_validate_forest_regressor(&ds.features, ds.targets.as_ref().unwrap(), 5, 7, |s| {
+            RandomForestRegressor::with_config(small_forest_config(s, false))
+        })
+        .unwrap();
     assert!(
         report.mean_score() > 0.8,
         "power score too low: {}",
@@ -92,14 +86,11 @@ fn infrastructure_regression_end_to_end() {
         },
     )
     .unwrap();
-    let report = cross_validate_forest_regressor(
-        &ds.features,
-        ds.targets.as_ref().unwrap(),
-        5,
-        11,
-        |s| RandomForestRegressor::with_config(small_forest_config(s, false)),
-    )
-    .unwrap();
+    let report =
+        cross_validate_forest_regressor(&ds.features, ds.targets.as_ref().unwrap(), 5, 11, |s| {
+            RandomForestRegressor::with_config(small_forest_config(s, false))
+        })
+        .unwrap();
     // The paper's point: Infrastructure is accurate even at 5 blocks.
     assert!(
         report.mean_score() > 0.8,
