@@ -1,0 +1,97 @@
+//! Fleet ingest throughput: the sharded [`FleetEngine`] against a serial
+//! per-node loop over the same `OnlineCs` streams. The interesting number
+//! is the sharded/serial ratio on multi-core — the whole point of the
+//! fleet subsystem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_core::cs::{CsMethod, CsSignature, CsTrainer};
+use cwsmooth_core::fleet::{FleetEngine, FleetFrame};
+use cwsmooth_core::online::OnlineCs;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
+use std::hint::black_box;
+
+const TRAIN: usize = 192;
+const FRAMES: usize = 64;
+const BLOCKS: usize = 4;
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(30, 10).unwrap()
+}
+
+fn methods_for(scenario: &FleetScenario) -> Vec<CsMethod> {
+    (0..scenario.nodes())
+        .map(|node| {
+            let history = scenario.training_matrix(node, TRAIN);
+            let model = CsTrainer::default().train(&history).unwrap();
+            CsMethod::new(model, BLOCKS).unwrap()
+        })
+        .collect()
+}
+
+/// Pre-generates `FRAMES` live frames (starting after the training range).
+fn frames_for(scenario: &FleetScenario) -> Vec<FleetFrame> {
+    (0..FRAMES)
+        .map(|f| {
+            let mut frame = FleetFrame::new(scenario.nodes(), scenario.n_sensors());
+            for node in 0..scenario.nodes() {
+                let t = TRAIN + f;
+                if !scenario.has_gap(node, t) {
+                    scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+                }
+            }
+            frame
+        })
+        .collect()
+}
+
+fn bench_fleet_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_ingest");
+    group.sample_size(20);
+    for &nodes in &[64usize, 512] {
+        let scenario = FleetScenario::new(FleetSimConfig::new(7, nodes).with_gaps(5));
+        let methods = methods_for(&scenario);
+        let frames = frames_for(&scenario);
+
+        // Sharded: the FleetEngine across the rayon pool.
+        let mut engine = FleetEngine::new(methods.clone(), spec()).unwrap();
+        let mut events = Vec::new();
+        group.bench_with_input(BenchmarkId::new("sharded", nodes), &frames, |b, frames| {
+            b.iter(|| {
+                for frame in frames {
+                    engine.ingest_frame_into(frame, &mut events).unwrap();
+                    black_box(events.len());
+                }
+            })
+        });
+
+        // Serial: one thread walking every node's stream per frame.
+        let mut streams: Vec<OnlineCs> = methods
+            .iter()
+            .map(|m| OnlineCs::new(m.clone(), spec()))
+            .collect();
+        let mut sig = CsSignature::default();
+        group.bench_with_input(BenchmarkId::new("serial", nodes), &frames, |b, frames| {
+            b.iter(|| {
+                let mut emitted = 0usize;
+                for frame in frames {
+                    for (node, stream) in streams.iter_mut().enumerate() {
+                        match frame.readings(node) {
+                            Some(col) => {
+                                if stream.push_into(col, &mut sig).unwrap() {
+                                    emitted += 1;
+                                }
+                            }
+                            None => stream.push_gap(),
+                        }
+                    }
+                }
+                black_box(emitted)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_ingest);
+criterion_main!(benches);

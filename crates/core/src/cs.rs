@@ -99,7 +99,7 @@ pub enum SignaturePart {
 }
 
 /// A complex-valued CS signature: `l` blocks.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CsSignature {
     /// Real parts: block-average normalized values (static behaviour).
     pub re: Vec<f64>,
@@ -258,6 +258,22 @@ impl CsMethod {
     /// `last − seed`, where the seed is the normalized history value (or
     /// the row's own first value when no history is available).
     pub fn signature(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<CsSignature> {
+        let mut out = CsSignature::default();
+        self.signature_into(sw, history, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsMethod::signature`] writing into a caller-provided signature.
+    ///
+    /// `out.re`/`out.im` are resized to `l` and overwritten; once their
+    /// capacity reaches `l` (after the first call), repeated invocations
+    /// perform no heap allocation — the shape streaming consumers need.
+    pub fn signature_into(
+        &self,
+        sw: &Matrix,
+        history: Option<&[f64]>,
+        out: &mut CsSignature,
+    ) -> Result<()> {
         if sw.rows() != self.model.n_sensors() {
             return Err(CoreError::Shape(format!(
                 "window has {} rows, model expects {}",
@@ -268,6 +284,46 @@ impl CsMethod {
         if sw.cols() == 0 {
             return Err(CoreError::Shape("window has zero samples".into()));
         }
+        self.check_history(history)?;
+        self.accumulate(sw.cols(), |raw| sw.row(raw).iter().copied(), history, out);
+        Ok(())
+    }
+
+    /// Smoothing stage over a *column view* of a window: `col_at(k)` returns
+    /// the `k`-th sample of the window as a column of `n` sensor readings
+    /// (`0 <= k < wl`). This is the shape a streaming ring buffer holds the
+    /// window in; computing directly from it avoids materializing `S_w`.
+    /// Results are bit-identical to [`CsMethod::signature_into`] on the
+    /// equivalent matrix, which the tests pin down.
+    pub fn signature_cols_into<'a, F>(
+        &self,
+        wl: usize,
+        col_at: F,
+        history: Option<&[f64]>,
+        out: &mut CsSignature,
+    ) -> Result<()>
+    where
+        F: Fn(usize) -> &'a [f64],
+    {
+        if wl == 0 {
+            return Err(CoreError::Shape("window has zero samples".into()));
+        }
+        let n = self.model.n_sensors();
+        for k in 0..wl {
+            if col_at(k).len() != n {
+                return Err(CoreError::Shape(format!(
+                    "window column {k} has {} readings, model expects {n}",
+                    col_at(k).len()
+                )));
+            }
+        }
+        self.check_history(history)?;
+        let col_at = &col_at;
+        self.accumulate(wl, |raw| (0..wl).map(move |k| col_at(k)[raw]), history, out);
+        Ok(())
+    }
+
+    fn check_history(&self, history: Option<&[f64]>) -> Result<()> {
         if let Some(h) = history {
             if h.len() != self.model.n_sensors() {
                 return Err(CoreError::Shape(format!(
@@ -277,26 +333,45 @@ impl CsMethod {
                 )));
             }
         }
-        let wl = sw.cols() as f64;
-        let inv_wl = 1.0 / wl;
+        Ok(())
+    }
+
+    /// The Eq. 2–3 inner loop, shared by the matrix and column-view entry
+    /// points. `row_vals(raw)` yields the raw row's `wl` samples in time
+    /// order; both callers produce the same value sequence, keeping their
+    /// floating-point results bit-identical.
+    fn accumulate<I>(
+        &self,
+        wl: usize,
+        row_vals: impl Fn(usize) -> I,
+        history: Option<&[f64]>,
+        out: &mut CsSignature,
+    ) where
+        I: Iterator<Item = f64>,
+    {
+        let wlf = wl as f64;
+        let inv_wl = 1.0 / wlf;
         let lo_bounds = self.model.bounds.lower();
         let hi_bounds = self.model.bounds.upper();
 
-        let mut re = vec![0.0; self.l];
-        let mut im = vec![0.0; self.l];
+        out.re.clear();
+        out.re.resize(self.l, 0.0);
+        out.im.clear();
+        out.im.resize(self.l, 0.0);
         for (sorted_idx, &raw) in self.model.perm.iter().enumerate() {
-            let row = sw.row(raw);
             let lo = lo_bounds[raw];
             let range = hi_bounds[raw] - lo;
             let (sum, dsum) = if range <= 0.0 || !range.is_finite() {
-                // Constant sensor: normalizes to 0.5, zero derivative.
-                (0.5 * wl, 0.0)
+                // Collapsed training bounds (constant sensor): normalizes to
+                // the 0.5 "no information" mid-scale with zero derivative
+                // instead of dividing by the zero range.
+                (0.5 * wlf, 0.0)
             } else {
                 let inv = 1.0 / range;
                 let mut sum = 0.0;
                 let mut first = 0.0;
                 let mut last = 0.0;
-                for (k, &x) in row.iter().enumerate() {
+                for (k, x) in row_vals(raw).enumerate() {
                     let v = ((x - lo) * inv).clamp(0.0, 1.0);
                     sum += v;
                     if k == 0 {
@@ -312,11 +387,10 @@ impl CsMethod {
             };
             for &b in &self.row_blocks[sorted_idx] {
                 let w = self.inv_block_len[b as usize] * inv_wl;
-                re[b as usize] += sum * w;
-                im[b as usize] += dsum * w;
+                out.re[b as usize] += sum * w;
+                out.im[b as usize] += dsum * w;
             }
         }
-        Ok(CsSignature { re, im })
     }
 
     /// Computes signatures for every window of a full matrix, returning two
@@ -602,6 +676,114 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression: a sensor whose *trained* bounds collapse (`hi == lo`,
+    /// e.g. constant during training) must not poison the signature with
+    /// NaN/inf when live data later varies — the zero range is treated as
+    /// the 0.5 mid-scale with zero derivative.
+    #[test]
+    fn collapsed_training_bounds_stay_finite() {
+        // Row 3 of train_matrix() is the constant 7.0 -> hi == lo.
+        let train = train_matrix();
+        let model = CsTrainer::default().train(&train).unwrap();
+        assert_eq!(
+            model.bounds.lower()[3],
+            model.bounds.upper()[3],
+            "test premise: trained bounds collapse for the constant sensor"
+        );
+        // Live data drifts on the collapsed sensor: without the guard the
+        // division by (hi - lo) == 0 yields inf, and inf - inf = NaN in the
+        // derivative seed.
+        let mut live = train.clone();
+        for c in 0..live.cols() {
+            live.set(3, c, 7.0 + c as f64);
+        }
+        let cs = CsMethod::all_blocks(model).unwrap();
+        let hist = live.col(0);
+        let w = live.col_window(1, 9).unwrap();
+        let sig = cs.signature(&w, Some(&hist)).unwrap();
+        for (&r, &i) in sig.re.iter().zip(&sig.im) {
+            assert!(r.is_finite() && i.is_finite(), "re={r} im={i}");
+        }
+        // The collapsed sensor's own block reads exactly mid-scale, flat.
+        let sorted_pos = cs.model().perm.iter().position(|&p| p == 3).unwrap();
+        let block = cs
+            .block_ranges()
+            .iter()
+            .position(|b| (b.start..b.end).contains(&sorted_pos))
+            .unwrap();
+        assert_eq!(sig.re[block], 0.5);
+        assert_eq!(sig.im[block], 0.0);
+        // The sorting stage maps the collapsed row to 0.5 as well.
+        let sorted = cs.sort_window(&w).unwrap();
+        assert!(sorted.row(sorted_pos).iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn signature_into_matches_and_reuses_buffers() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 3).unwrap();
+        let w = s.col_window(4, 20).unwrap();
+        let hist = s.col(3);
+        let fresh = cs.signature(&w, Some(&hist)).unwrap();
+        // Start from a dirty, differently-sized buffer.
+        let mut out = CsSignature {
+            re: vec![9.0; 7],
+            im: vec![-9.0; 7],
+        };
+        cs.signature_into(&w, Some(&hist), &mut out).unwrap();
+        assert_eq!(out, fresh);
+        let (p_re, p_im) = (out.re.as_ptr(), out.im.as_ptr());
+        cs.signature_into(&w, None, &mut out).unwrap();
+        // Capacity was sufficient: no reallocation on reuse.
+        assert_eq!(out.re.as_ptr(), p_re);
+        assert_eq!(out.im.as_ptr(), p_im);
+    }
+
+    #[test]
+    fn column_view_is_bit_identical_to_matrix_path() {
+        let s = Matrix::from_fn(6, 40, |r, c| {
+            ((c as f64 / (2.0 + r as f64)).sin() * (r + 1) as f64) + 0.17 * r as f64
+        });
+        let model = CsTrainer::default().train(&s).unwrap();
+        for l in [1usize, 3, 6, 9] {
+            let cs = CsMethod::new(model.clone(), l).unwrap();
+            let w = s.col_window(5, 17).unwrap();
+            let cols: Vec<Vec<f64>> = (0..w.cols()).map(|k| w.col(k)).collect();
+            let hist = s.col(4);
+            for history in [None, Some(hist.as_slice())] {
+                let direct = cs.signature(&w, history).unwrap();
+                let mut via_cols = CsSignature::default();
+                cs.signature_cols_into(w.cols(), |k| &cols[k], history, &mut via_cols)
+                    .unwrap();
+                // Exact equality: same operations in the same order.
+                assert_eq!(via_cols, direct, "l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_view_rejects_bad_shapes() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 2).unwrap();
+        let mut out = CsSignature::default();
+        let short = [0.0f64; 3];
+        assert!(cs
+            .signature_cols_into(2, |_| short.as_slice(), None, &mut out)
+            .is_err());
+        let ok = [0.0f64; 4];
+        assert!(cs
+            .signature_cols_into(0, |_| ok.as_slice(), None, &mut out)
+            .is_err());
+        assert!(cs
+            .signature_cols_into(2, |_| ok.as_slice(), Some(&short), &mut out)
+            .is_err());
+        assert!(cs
+            .signature_cols_into(2, |_| ok.as_slice(), Some(&ok), &mut out)
+            .is_ok());
     }
 
     #[test]

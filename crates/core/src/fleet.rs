@@ -1,0 +1,472 @@
+//! Fleet-scale streaming: thousands of per-node CS streams, sharded
+//! across workers.
+//!
+//! The paper's online deployment story (Sec. V) covers *one* node; a
+//! production ODA pipeline ingests telemetry from whole machine rooms. The
+//! [`FleetEngine`] owns one [`OnlineCs`] stream per node — each with its
+//! own trained [`CsModel`](crate::model::CsModel), since sensors behave
+//! differently per node — and processes *frames*: one batched time-step of
+//! readings across the fleet, the shape a monitoring bus (MQTT fan-in,
+//! broadcast transport) actually delivers.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            FleetFrame (t)                      events (t)
+//!   node 0 ─┐                      ┌─ shard 0: OnlineCs × n/k ─┐
+//!   node 1 ─┤  ingest_frame(...)   ├─ shard 1: OnlineCs × n/k ─┤
+//!     ...   ├────────────────────► │       ... (rayon) ...     ├─► Vec<FleetEvent>
+//!   node n ─┘                      └─ shard k: OnlineCs × n/k ─┘
+//! ```
+//!
+//! Nodes are partitioned into contiguous shards, one per worker; every
+//! frame fans the shards out across the rayon pool (in place, via
+//! `par_iter_mut`) and merges their event buffers back in node order. The
+//! per-node hot path is the allocation-free [`OnlineCs::push_into`];
+//! per-shard event buffers are reused across frames, so per-frame
+//! bookkeeping costs O(shards), independent of the node count — the
+//! allocator is touched only for completed signatures handed to the
+//! caller and the worker fan-out itself.
+//!
+//! # Gap handling
+//!
+//! A node absent from a frame gets [`OnlineCs::push_gap`]: its buffered
+//! window is discarded so no signature ever smooths across the outage, and
+//! its stream re-fills from the next frame it appears in. Other nodes are
+//! unaffected.
+
+use crate::cs::{CsMethod, CsSignature};
+use crate::error::{CoreError, Result};
+use crate::online::OnlineCs;
+use cwsmooth_data::WindowSpec;
+use rayon::prelude::*;
+
+/// One batched time-step of fleet telemetry: a dense `nodes × n_sensors`
+/// buffer plus a per-node presence flag. Reuse one frame across time-steps
+/// ([`FleetFrame::clear`] + [`FleetFrame::set`]) to keep ingest
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct FleetFrame {
+    nodes: usize,
+    n_sensors: usize,
+    data: Vec<f64>,
+    present: Vec<bool>,
+}
+
+impl FleetFrame {
+    /// Creates an empty frame for `nodes` nodes of `n_sensors` sensors.
+    pub fn new(nodes: usize, n_sensors: usize) -> Self {
+        Self {
+            nodes,
+            n_sensors,
+            data: vec![0.0; nodes * n_sensors],
+            present: vec![false; nodes],
+        }
+    }
+
+    /// Number of node slots.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Readings per node.
+    pub fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Marks every node absent (start of a new time-step).
+    pub fn clear(&mut self) {
+        self.present.fill(false);
+    }
+
+    /// Stores `readings` for `node` and marks it present.
+    pub fn set(&mut self, node: usize, readings: &[f64]) -> Result<()> {
+        if node >= self.nodes {
+            return Err(CoreError::Shape(format!(
+                "node {node} out of range (frame holds {})",
+                self.nodes
+            )));
+        }
+        if readings.len() != self.n_sensors {
+            return Err(CoreError::Shape(format!(
+                "node {node}: {} readings, frame expects {}",
+                readings.len(),
+                self.n_sensors
+            )));
+        }
+        self.data[node * self.n_sensors..(node + 1) * self.n_sensors].copy_from_slice(readings);
+        self.present[node] = true;
+        Ok(())
+    }
+
+    /// Mutable slice for `node`'s readings, marking it present — lets a
+    /// generator write in place without an intermediate buffer.
+    ///
+    /// The slot is zeroed on hand-out: a slot that is obtained but never
+    /// filled ingests zeros (immediately visible in signatures) rather than
+    /// silently replaying the previous frame's readings.
+    pub fn slot_mut(&mut self, node: usize) -> Result<&mut [f64]> {
+        if node >= self.nodes {
+            return Err(CoreError::Shape(format!(
+                "node {node} out of range (frame holds {})",
+                self.nodes
+            )));
+        }
+        self.present[node] = true;
+        let slot = &mut self.data[node * self.n_sensors..(node + 1) * self.n_sensors];
+        slot.fill(0.0);
+        Ok(slot)
+    }
+
+    /// The readings for `node`, or `None` when it missed this time-step.
+    pub fn readings(&self, node: usize) -> Option<&[f64]> {
+        (node < self.nodes && self.present[node])
+            .then(|| &self.data[node * self.n_sensors..(node + 1) * self.n_sensors])
+    }
+
+    /// Number of nodes present in this frame.
+    pub fn present_count(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+}
+
+/// One completed window on one node's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEvent {
+    /// The node whose stream completed a window.
+    pub node: usize,
+    /// Per-node window counter (0 for the node's first emission; keeps
+    /// increasing across telemetry gaps).
+    pub window_index: usize,
+    /// The window's CS signature.
+    pub signature: CsSignature,
+}
+
+/// Lifetime ingest counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Frames ingested.
+    pub frames: u64,
+    /// Signature events emitted.
+    pub events: u64,
+    /// Node-frames missed (each absent node in a frame counts one gap).
+    pub gaps: u64,
+}
+
+/// A contiguous slice of the fleet owned by one worker.
+#[derive(Debug)]
+struct Shard {
+    /// First node id in this shard.
+    start: usize,
+    streams: Vec<OnlineCs>,
+    /// Event buffer reused across frames.
+    events: Vec<FleetEvent>,
+}
+
+impl Shard {
+    fn ingest(&mut self, frame: &FleetFrame) -> Result<()> {
+        self.events.clear();
+        for (i, stream) in self.streams.iter_mut().enumerate() {
+            let node = self.start + i;
+            match frame.readings(node) {
+                Some(column) => {
+                    let mut signature = CsSignature::default();
+                    if stream.push_into(column, &mut signature)? {
+                        self.events.push(FleetEvent {
+                            node,
+                            window_index: stream.emitted() - 1,
+                            signature,
+                        });
+                    }
+                }
+                None => stream.push_gap(),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sharded multi-node streaming engine: one [`OnlineCs`] per node,
+/// partitioned across rayon workers, fed by [`FleetFrame`]s.
+#[derive(Debug)]
+pub struct FleetEngine {
+    shards: Vec<Shard>,
+    nodes: usize,
+    n_sensors: usize,
+    spec: WindowSpec,
+    stats: FleetStats,
+}
+
+impl FleetEngine {
+    /// Creates an engine with one trained method per node (element `i`
+    /// serves node `i`), sharded across `rayon::current_num_threads()`
+    /// workers. All methods must cover the same sensor count — the frame
+    /// layout is homogeneous even though the learned models are not.
+    pub fn new(methods: Vec<CsMethod>, spec: WindowSpec) -> Result<Self> {
+        let shards = rayon::current_num_threads();
+        Self::with_shards(methods, spec, shards)
+    }
+
+    /// [`FleetEngine::new`] with an explicit shard count (clamped to
+    /// `1..=nodes`).
+    pub fn with_shards(methods: Vec<CsMethod>, spec: WindowSpec, shards: usize) -> Result<Self> {
+        if methods.is_empty() {
+            return Err(CoreError::Config("fleet needs at least one node".into()));
+        }
+        let n_sensors = methods[0].model().n_sensors();
+        for (i, m) in methods.iter().enumerate() {
+            if m.model().n_sensors() != n_sensors {
+                return Err(CoreError::Shape(format!(
+                    "node {i} model covers {} sensors, node 0 covers {n_sensors}",
+                    m.model().n_sensors()
+                )));
+            }
+        }
+        let nodes = methods.len();
+        let k = shards.clamp(1, nodes);
+        let base = nodes / k;
+        let extra = nodes % k;
+        let mut shards = Vec::with_capacity(k);
+        let mut methods = methods.into_iter();
+        let mut start = 0usize;
+        for s in 0..k {
+            let len = base + usize::from(s < extra);
+            shards.push(Shard {
+                start,
+                streams: methods
+                    .by_ref()
+                    .take(len)
+                    .map(|m| OnlineCs::new(m, spec))
+                    .collect(),
+                events: Vec::new(),
+            });
+            start += len;
+        }
+        Ok(Self {
+            shards,
+            nodes,
+            n_sensors,
+            spec,
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Creates an engine where every node shares the same trained method
+    /// (e.g. a homogeneous partition trained on pooled history).
+    pub fn homogeneous(method: CsMethod, nodes: usize, spec: WindowSpec) -> Result<Self> {
+        Self::new(vec![method; nodes], spec)
+    }
+
+    /// Number of nodes served.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Readings expected per node per frame.
+    pub fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Number of shards the fleet is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The window geometry every stream uses.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Lifetime ingest counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// A right-sized empty frame for this fleet.
+    pub fn frame(&self) -> FleetFrame {
+        FleetFrame::new(self.nodes, self.n_sensors)
+    }
+
+    /// The stream serving `node` (diagnostics: gaps, buffered fill, model).
+    pub fn node(&self, node: usize) -> Option<&OnlineCs> {
+        let shard = self
+            .shards
+            .iter()
+            .take_while(|s| s.start <= node)
+            .last()
+            .filter(|s| node - s.start < s.streams.len())?;
+        Some(&shard.streams[node - shard.start])
+    }
+
+    /// Ingests one frame, appending any completed-window events to `out`
+    /// (cleared first) in node order. Nodes absent from the frame take the
+    /// gap-recovery path. This is the batch hot path: shards run in
+    /// parallel, per-shard buffers are reused.
+    pub fn ingest_frame_into(
+        &mut self,
+        frame: &FleetFrame,
+        out: &mut Vec<FleetEvent>,
+    ) -> Result<()> {
+        if frame.nodes() != self.nodes || frame.n_sensors() != self.n_sensors {
+            return Err(CoreError::Shape(format!(
+                "frame is {}x{}, fleet expects {}x{}",
+                frame.nodes(),
+                frame.n_sensors(),
+                self.nodes,
+                self.n_sensors
+            )));
+        }
+        out.clear();
+        if self.shards.len() == 1 {
+            self.shards[0].ingest(frame)?;
+        } else {
+            // In-place parallel pass over the shards; the first error (in
+            // shard order) wins, as with a sequential loop.
+            self.shards
+                .par_iter_mut()
+                .map(|shard| shard.ingest(frame))
+                .collect::<Result<Vec<()>>>()?;
+        }
+        for shard in &mut self.shards {
+            out.append(&mut shard.events);
+        }
+        self.stats.frames += 1;
+        self.stats.events += out.len() as u64;
+        self.stats.gaps += (self.nodes - frame.present_count()) as u64;
+        Ok(())
+    }
+
+    /// [`FleetEngine::ingest_frame_into`] returning a fresh event vector.
+    pub fn ingest_frame(&mut self, frame: &FleetFrame) -> Result<Vec<FleetEvent>> {
+        let mut out = Vec::new();
+        self.ingest_frame_into(frame, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::CsTrainer;
+    use cwsmooth_linalg::Matrix;
+
+    fn node_matrix(node: usize, n: usize, t: usize) -> Matrix {
+        Matrix::from_fn(n, t, |r, c| {
+            ((c as f64 / (3.0 + r as f64) + node as f64 * 0.7).sin() * (r + 1) as f64)
+                + 0.05 * node as f64
+        })
+    }
+
+    fn build_fleet(nodes: usize, n: usize, t: usize, shards: usize) -> (FleetEngine, Vec<Matrix>) {
+        let mats: Vec<Matrix> = (0..nodes).map(|i| node_matrix(i, n, t)).collect();
+        let methods: Vec<CsMethod> = mats
+            .iter()
+            .map(|m| CsMethod::new(CsTrainer::default().train(m).unwrap(), 3).unwrap())
+            .collect();
+        let spec = WindowSpec::new(8, 4).unwrap();
+        (
+            FleetEngine::with_shards(methods, spec, shards).unwrap(),
+            mats,
+        )
+    }
+
+    #[test]
+    fn fleet_matches_per_node_online_streams() {
+        let (nodes, n, t) = (13usize, 4usize, 60usize);
+        for shards in [1usize, 3, 16] {
+            let (mut engine, mats) = build_fleet(nodes, n, t, shards);
+            assert_eq!(engine.shard_count(), shards.min(nodes));
+
+            // Reference: independent OnlineCs per node.
+            let mut refs: Vec<OnlineCs> = (0..nodes)
+                .map(|i| OnlineCs::new(engine.node(i).unwrap().method().clone(), engine.spec()))
+                .collect();
+
+            let mut frame = engine.frame();
+            let mut events = Vec::new();
+            let mut got: Vec<FleetEvent> = Vec::new();
+            let mut expect: Vec<FleetEvent> = Vec::new();
+            for c in 0..t {
+                frame.clear();
+                for (i, m) in mats.iter().enumerate() {
+                    // node i drops frames on a deterministic pattern
+                    if (c + i) % 11 != 0 {
+                        frame.set(i, &m.col(c)).unwrap();
+                    }
+                }
+                engine.ingest_frame_into(&frame, &mut events).unwrap();
+                got.extend(events.iter().cloned());
+                for (i, r) in refs.iter_mut().enumerate() {
+                    match frame.readings(i) {
+                        Some(col) => {
+                            if let Some(sig) = r.push(col).unwrap() {
+                                expect.push(FleetEvent {
+                                    node: i,
+                                    window_index: r.emitted() - 1,
+                                    signature: sig,
+                                });
+                            }
+                        }
+                        None => r.push_gap(),
+                    }
+                }
+            }
+            assert!(!expect.is_empty());
+            // Same events; within a frame the fleet orders them by node.
+            assert_eq!(got, expect, "shards={shards}");
+            assert_eq!(engine.stats().events, expect.len() as u64);
+            assert_eq!(engine.stats().frames, t as u64);
+            let total_gaps: usize = (0..nodes).map(|i| engine.node(i).unwrap().gaps()).sum();
+            assert_eq!(engine.stats().gaps, total_gaps as u64);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_construction_and_frames() {
+        let a = CsMethod::new(
+            CsTrainer::default().train(&node_matrix(0, 3, 30)).unwrap(),
+            2,
+        )
+        .unwrap();
+        let b = CsMethod::new(
+            CsTrainer::default().train(&node_matrix(1, 4, 30)).unwrap(),
+            2,
+        )
+        .unwrap();
+        let spec = WindowSpec::new(5, 5).unwrap();
+        assert!(FleetEngine::new(vec![], spec).is_err());
+        assert!(FleetEngine::new(vec![a.clone(), b], spec).is_err());
+
+        let mut engine = FleetEngine::homogeneous(a, 4, spec).unwrap();
+        let wrong = FleetFrame::new(3, 3);
+        assert!(engine.ingest_frame(&wrong).is_err());
+        let mut frame = engine.frame();
+        assert!(frame.set(9, &[0.0; 3]).is_err());
+        assert!(frame.set(0, &[0.0; 2]).is_err());
+        assert!(frame.set(0, &[0.0; 3]).is_ok());
+        assert_eq!(frame.present_count(), 1);
+        assert!(frame.readings(1).is_none());
+        assert!(frame.readings(0).is_some());
+        frame.clear();
+        assert_eq!(frame.present_count(), 0);
+    }
+
+    #[test]
+    fn slot_mut_writes_in_place() {
+        let mut frame = FleetFrame::new(2, 3);
+        frame.slot_mut(1).unwrap().copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(frame.readings(1).unwrap(), &[1.0, 2.0, 3.0]);
+        assert!(frame.readings(0).is_none());
+        assert!(frame.slot_mut(2).is_err());
+    }
+
+    #[test]
+    fn node_accessor_covers_every_shard() {
+        let (engine, _) = build_fleet(10, 3, 40, 4);
+        for i in 0..10 {
+            let stream = engine.node(i).unwrap();
+            assert_eq!(stream.n_sensors(), 3);
+        }
+        assert!(engine.node(10).is_none());
+    }
+}

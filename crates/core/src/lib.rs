@@ -17,7 +17,10 @@
 //! * [`dataset`] — turning a labelled [`cwsmooth_data::Segment`] into a
 //!   (features, labels) dataset via any signature method.
 //! * [`online`] — streaming signature extraction, one sensor column at a
-//!   time (the paper's online-deployment mode).
+//!   time (the paper's online-deployment mode), with an allocation-free
+//!   hot path and telemetry-gap recovery.
+//! * [`fleet`] — fleet-scale streaming: thousands of per-node online
+//!   streams sharded across rayon workers, fed by batched frames.
 //! * [`scale`] — signature rescaling across block counts and middle-block
 //!   pruning (the paper's portability and aggressive-compression tricks).
 //!
@@ -52,6 +55,7 @@ pub mod blocks;
 pub mod cs;
 pub mod dataset;
 pub mod error;
+pub mod fleet;
 pub mod method;
 pub mod model;
 pub mod online;
@@ -60,5 +64,7 @@ pub mod scale;
 
 pub use cs::{CsMethod, CsSignature, CsTrainer};
 pub use error::{CoreError, Result};
+pub use fleet::{FleetEngine, FleetEvent, FleetFrame, FleetStats};
 pub use method::SignatureMethod;
 pub use model::CsModel;
+pub use online::OnlineCs;

@@ -4,16 +4,35 @@
 //! online implementation as future work (Sec. V). This module provides it:
 //! an [`OnlineCs`] processor ingests one sensor *column* at a time — the
 //! shape in which a monitoring agent actually delivers readings — keeps a
-//! ring buffer of the last `wl` samples plus one sample of history, and
-//! emits a signature every `ws` samples. Emissions are bit-identical to
-//! the batch pipeline (`WindowIter` + [`CsMethod::signature`]), which the
-//! tests pin down.
+//! flat ring buffer of the last `wl + 1` samples (window plus one sample of
+//! history), and emits a signature every `ws` samples. Emissions are
+//! bit-identical to the batch pipeline (`WindowIter` +
+//! [`CsMethod::signature`]), which the tests pin down.
+//!
+//! # Hot path
+//!
+//! The per-sample cost is one `memcpy` of `n` readings into the ring; the
+//! per-emission cost is one pass of the smoothing stage directly over the
+//! ring ([`CsMethod::signature_cols_into`]) — no window matrix is ever
+//! materialized. Steady-state [`OnlineCs::push_into`] performs **zero heap
+//! allocations**, emission samples included, which `tests/alloc.rs` asserts
+//! with a counting allocator. This is what lets a fleet engine drive
+//! thousands of these streams per worker without touching the allocator.
+//!
+//! # Telemetry gaps
+//!
+//! Real monitoring streams drop samples (agent restarts, network hiccups,
+//! node reboots). A window spanning such a discontinuity would smooth
+//! across it and silently produce a bogus signature. Call
+//! [`OnlineCs::push_gap`] whenever an expected sample did not arrive: the
+//! buffered window is discarded and the stream re-fills — the next
+//! signature covers only post-gap data, exactly as if a fresh batch
+//! pipeline started at the gap. [`OnlineCs::reset`] additionally clears the
+//! lifetime counters (a full restart).
 
 use crate::cs::{CsMethod, CsSignature};
 use crate::error::{CoreError, Result};
 use cwsmooth_data::WindowSpec;
-use cwsmooth_linalg::Matrix;
-use std::collections::VecDeque;
 
 /// Streaming CS processor: push columns, receive signatures.
 ///
@@ -43,28 +62,33 @@ use std::collections::VecDeque;
 pub struct OnlineCs {
     cs: CsMethod,
     spec: WindowSpec,
-    /// Last `wl` columns (each `n` readings), oldest first.
-    buffer: VecDeque<Vec<f64>>,
-    /// The column that immediately preceded the current buffer head.
-    history: Option<Vec<f64>>,
-    /// Total columns ingested so far.
+    /// Flat ring buffer of the last `wl + 1` columns (the window plus one
+    /// sample of history), column-major: slot `s` holds one column of `n`
+    /// readings at `ring[s * n .. (s + 1) * n]`. Sample `i` (counted since
+    /// the last gap) lives in slot `i % (wl + 1)`.
+    ring: Vec<f64>,
+    /// Samples accepted since the last gap/reset (drives window phase).
+    filled: usize,
+    /// Lifetime columns ingested (kept across gaps, cleared by reset).
     ingested: usize,
-    /// Scratch matrix reused across emissions.
-    scratch: Matrix,
+    /// Lifetime signatures emitted (kept across gaps, cleared by reset).
+    emitted: usize,
+    /// Telemetry gaps signalled via [`OnlineCs::push_gap`].
+    gaps: usize,
 }
 
 impl OnlineCs {
     /// Creates a processor; `spec` is the window geometry (`wl`, `ws`).
     pub fn new(cs: CsMethod, spec: WindowSpec) -> Self {
         let n = cs.model().n_sensors();
-        let scratch = Matrix::zeros(n, spec.wl);
         Self {
             cs,
             spec,
-            buffer: VecDeque::with_capacity(spec.wl + 1),
-            history: None,
+            ring: vec![0.0; n * (spec.wl + 1)],
+            filled: 0,
             ingested: 0,
-            scratch,
+            emitted: 0,
+            gaps: 0,
         }
     }
 
@@ -73,9 +97,30 @@ impl OnlineCs {
         self.cs.model().n_sensors()
     }
 
-    /// Columns ingested so far.
+    /// Columns ingested so far (across gaps; cleared by [`OnlineCs::reset`]).
     pub fn ingested(&self) -> usize {
         self.ingested
+    }
+
+    /// Signatures emitted so far (across gaps; cleared by
+    /// [`OnlineCs::reset`]). The next emission has window index `emitted()`.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Telemetry gaps signalled so far.
+    pub fn gaps(&self) -> usize {
+        self.gaps
+    }
+
+    /// Columns currently buffered towards the next window.
+    pub fn buffered(&self) -> usize {
+        self.filled.min(self.spec.wl)
+    }
+
+    /// The window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
     }
 
     /// The wrapped method (e.g. to inspect the block layout).
@@ -87,47 +132,75 @@ impl OnlineCs {
     ///
     /// Returns `Some(signature)` whenever a window completes: the first
     /// after `wl` samples, then one every `ws` samples, matching the batch
-    /// windowing exactly.
+    /// windowing exactly. Allocates only for the returned signature; use
+    /// [`OnlineCs::push_into`] to reuse a signature buffer and stay
+    /// allocation-free.
     pub fn push(&mut self, column: &[f64]) -> Result<Option<CsSignature>> {
-        if column.len() != self.n_sensors() {
+        let mut out = CsSignature::default();
+        Ok(self.push_into(column, &mut out)?.then_some(out))
+    }
+
+    /// Ingests one column, writing any completed window's signature into
+    /// `out`. Returns `true` when `out` was filled.
+    ///
+    /// Steady state (once `out`'s capacity has reached `l`), this performs
+    /// no heap allocation — the fleet-scale hot path.
+    pub fn push_into(&mut self, column: &[f64], out: &mut CsSignature) -> Result<bool> {
+        let n = self.n_sensors();
+        if column.len() != n {
             return Err(CoreError::Shape(format!(
                 "column has {} readings, model expects {}",
                 column.len(),
-                self.n_sensors()
+                n
             )));
         }
-        if self.buffer.len() == self.spec.wl {
-            // Oldest buffered column becomes the history sample.
-            let old = self.buffer.pop_front().expect("buffer non-empty");
-            self.history = Some(old);
-        }
-        self.buffer.push_back(column.to_vec());
+        let wl = self.spec.wl;
+        let cap = wl + 1;
+        let slot = self.filled % cap;
+        self.ring[slot * n..(slot + 1) * n].copy_from_slice(column);
+        self.filled += 1;
         self.ingested += 1;
 
-        // Window [ingested - wl, ingested) completes at this sample when
-        // the buffer is full and the start is a multiple of ws.
-        if self.buffer.len() == self.spec.wl
-            && (self.ingested - self.spec.wl).is_multiple_of(self.spec.ws)
-        {
-            // Materialize the window into the scratch matrix (columns of
-            // the ring become columns of S_w).
-            for (c, col) in self.buffer.iter().enumerate() {
-                for (r, &v) in col.iter().enumerate() {
-                    self.scratch.set(r, c, v);
-                }
-            }
-            let sig = self.cs.signature(&self.scratch, self.history.as_deref())?;
-            return Ok(Some(sig));
+        // Window [filled - wl, filled) completes at this sample when the
+        // ring holds a full window and the start is a multiple of ws.
+        if self.filled >= wl && (self.filled - wl).is_multiple_of(self.spec.ws) {
+            let base = self.filled - wl;
+            let ring = &self.ring;
+            // One sample of history precedes the window unless the window
+            // starts at the stream (or post-gap) origin.
+            let history = (base > 0).then(|| &ring[((base - 1) % cap) * n..][..n]);
+            self.cs.signature_cols_into(
+                wl,
+                |k| &ring[((base + k) % cap) * n..][..n],
+                history,
+                out,
+            )?;
+            self.emitted += 1;
+            return Ok(true);
         }
-        Ok(None)
+        Ok(false)
     }
 
-    /// Drops all buffered state (e.g. after a monitoring gap, when
-    /// windows must not straddle the discontinuity).
+    /// Signals a telemetry gap: an expected sample did not arrive.
+    ///
+    /// The buffered window is discarded so no signature ever smooths across
+    /// the discontinuity; the stream then re-fills from scratch (the next
+    /// emission comes `wl` samples later, aligned to the gap like a fresh
+    /// batch pipeline). Lifetime counters (`ingested`, `emitted`) are kept —
+    /// this is the recovery path a fleet engine takes when a node misses a
+    /// frame, and window indexes must keep increasing across it.
+    pub fn push_gap(&mut self) {
+        self.gaps += 1;
+        self.filled = 0;
+    }
+
+    /// Drops all state including lifetime counters (a full restart, e.g.
+    /// when re-pointing the processor at a different node's stream).
     pub fn reset(&mut self) {
-        self.buffer.clear();
-        self.history = None;
+        self.filled = 0;
         self.ingested = 0;
+        self.emitted = 0;
+        self.gaps = 0;
     }
 }
 
@@ -136,6 +209,7 @@ mod tests {
     use super::*;
     use crate::cs::CsTrainer;
     use cwsmooth_data::WindowIter;
+    use cwsmooth_linalg::Matrix;
 
     fn training_matrix(n: usize, t: usize) -> Matrix {
         Matrix::from_fn(n, t, |r, c| {
@@ -169,15 +243,8 @@ mod tests {
                     streamed.push(sig);
                 }
             }
-            assert_eq!(streamed.len(), batch.len(), "wl={wl} ws={ws}");
-            for (a, b) in streamed.iter().zip(&batch) {
-                for (x, y) in a.re.iter().zip(&b.re) {
-                    assert!((x - y).abs() < 1e-12, "re wl={wl} ws={ws}");
-                }
-                for (x, y) in a.im.iter().zip(&b.im) {
-                    assert!((x - y).abs() < 1e-12, "im wl={wl} ws={ws}");
-                }
-            }
+            // Bit-identical, not merely close.
+            assert_eq!(streamed, batch, "wl={wl} ws={ws}");
         }
     }
 
@@ -199,6 +266,7 @@ mod tests {
             assert_eq!(pair[1] - pair[0], 4);
         }
         assert_eq!(emit_at.len(), spec.count(60));
+        assert_eq!(online.emitted(), emit_at.len());
     }
 
     #[test]
@@ -227,5 +295,65 @@ mod tests {
             assert!(online.push(&s.col(c)).unwrap().is_none());
         }
         assert!(online.push(&s.col(4)).unwrap().is_some());
+    }
+
+    #[test]
+    fn gap_discards_window_but_keeps_counters() {
+        let s = training_matrix(5, 80);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(10, 5).unwrap();
+        let cs = CsMethod::new(model, 3).unwrap();
+
+        // Stream with a gap after sample `cut`: the dropped interval is
+        // s[cut..cut+7].
+        let cut = 23usize;
+        let resume = cut + 7;
+        let mut online = OnlineCs::new(cs.clone(), spec);
+        let mut streamed = Vec::new();
+        for c in 0..cut {
+            if let Some(sig) = online.push(&s.col(c)).unwrap() {
+                streamed.push(sig);
+            }
+        }
+        online.push_gap();
+        for c in resume..s.cols() {
+            if let Some(sig) = online.push(&s.col(c)).unwrap() {
+                streamed.push(sig);
+            }
+        }
+
+        // Equivalent batch: two independent contiguous chunks.
+        let mut expect = batch_signatures(&cs, &s.col_window(0, cut).unwrap(), spec);
+        expect.extend(batch_signatures(
+            &cs,
+            &s.col_window(resume, s.cols()).unwrap(),
+            spec,
+        ));
+        assert_eq!(streamed, expect);
+
+        assert_eq!(online.gaps(), 1);
+        assert_eq!(online.emitted(), expect.len());
+        assert_eq!(online.ingested(), cut + (s.cols() - resume));
+    }
+
+    #[test]
+    fn push_into_reuses_signature_buffer() {
+        let s = training_matrix(3, 50);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut online = OnlineCs::new(CsMethod::new(model, 3).unwrap(), spec);
+        let mut sig = CsSignature::default();
+        let mut ptr = None;
+        for c in 0..s.cols() {
+            if online.push_into(&s.col(c), &mut sig).unwrap() {
+                match ptr {
+                    None => ptr = Some(sig.re.as_ptr()),
+                    // The buffer survives across emissions unmoved.
+                    Some(p) => assert_eq!(sig.re.as_ptr(), p),
+                }
+                assert_eq!(sig.blocks(), 3);
+            }
+        }
+        assert!(ptr.is_some(), "at least one emission expected");
     }
 }

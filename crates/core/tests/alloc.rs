@@ -1,0 +1,108 @@
+//! Pins the zero-allocation guarantee of the streaming hot path: after
+//! warm-up, `OnlineCs::push_into` must never touch the heap — neither on
+//! buffering pushes nor on emitting ones.
+//!
+//! Measured with a counting global allocator. This file holds exactly one
+//! `#[test]` so no concurrent test can allocate while the counter window is
+//! open.
+
+use cwsmooth_core::cs::{CsMethod, CsSignature, CsTrainer};
+use cwsmooth_core::online::OnlineCs;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_push_performs_no_heap_allocation() {
+    // Setup (allocates freely): train on data with one constant sensor so
+    // the collapsed-bounds path is part of what we measure.
+    let s = Matrix::from_fn(6, 200, |r, c| {
+        if r == 5 {
+            3.5
+        } else {
+            ((c as f64 / (3.0 + r as f64)).sin() * (r + 1) as f64) + 0.2 * r as f64
+        }
+    });
+    let model = CsTrainer::default().train(&s).unwrap();
+    let spec = WindowSpec::new(12, 4).unwrap();
+    let mut online = OnlineCs::new(CsMethod::new(model, 4).unwrap(), spec);
+    let mut sig = CsSignature::default();
+    let mut column = vec![0.0; 6];
+
+    let fill = |column: &mut [f64], t: usize| {
+        for (r, v) in column.iter_mut().enumerate() {
+            *v = if r == 5 {
+                3.5 + t as f64 // drifts past the collapsed bounds
+            } else {
+                ((t as f64 / (3.0 + r as f64)).cos() * (r + 1) as f64) - 0.1 * r as f64
+            };
+        }
+    };
+
+    // Warm-up: fill the ring and let the first emission size `sig`.
+    let mut t = 0usize;
+    let mut warm_emissions = 0usize;
+    while warm_emissions < 2 {
+        fill(&mut column, t);
+        if online.push_into(&column, &mut sig).unwrap() {
+            warm_emissions += 1;
+        }
+        t += 1;
+    }
+
+    // Measurement window: hundreds of pushes including dozens of
+    // emissions and one gap recovery — all heap-silent.
+    let a0 = ALLOCS.load(Ordering::SeqCst);
+    let d0 = DEALLOCS.load(Ordering::SeqCst);
+    let mut emissions = 0usize;
+    for _ in 0..400 {
+        fill(&mut column, t);
+        if online.push_into(&column, &mut sig).unwrap() {
+            emissions += 1;
+        }
+        t += 1;
+    }
+    online.push_gap();
+    for _ in 0..100 {
+        fill(&mut column, t);
+        if online.push_into(&column, &mut sig).unwrap() {
+            emissions += 1;
+        }
+        t += 1;
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - a0;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - d0;
+
+    assert!(emissions > 50, "expected many emissions, got {emissions}");
+    assert_eq!(allocs, 0, "steady-state pushes allocated {allocs} times");
+    assert_eq!(deallocs, 0, "steady-state pushes freed {deallocs} times");
+    // The emissions were real: finite, mid-scale block for the collapsed
+    // sensor included.
+    assert!(sig.re.iter().chain(&sig.im).all(|v| v.is_finite()));
+}

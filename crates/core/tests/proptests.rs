@@ -228,3 +228,176 @@ mod extensions {
         }
     }
 }
+
+/// Fleet/online streaming is *bit-identical* to the batch pipeline
+/// (`WindowIter` + `CsMethod::signature`), per node, across gaps, for odd
+/// window geometries and constant sensors.
+mod streaming_equivalence {
+    use super::*;
+    use cwsmooth_core::cs::CsSignature;
+    use cwsmooth_core::fleet::{FleetEngine, FleetEvent};
+    use cwsmooth_core::online::OnlineCs;
+    use cwsmooth_data::{WindowIter, WindowSpec};
+
+    /// Batch-pipeline signatures of a full matrix.
+    fn batch(cs: &CsMethod, s: &Matrix, spec: WindowSpec) -> Vec<CsSignature> {
+        WindowIter::new(spec, s.cols())
+            .map(|w| {
+                let sub = w.extract(s).unwrap();
+                let hist = w.history(s);
+                cs.signature(&sub, hist.as_deref()).unwrap()
+            })
+            .collect()
+    }
+
+    /// A telemetry matrix with one row forced constant (collapsed trained
+    /// bounds) when `n >= 2`.
+    fn telemetry_matrix() -> impl Strategy<Value = Matrix> {
+        (1usize..7, 4usize..60).prop_flat_map(|(n, t)| {
+            prop::collection::vec(-1e3f64..1e3f64, n * t).prop_map(move |data| {
+                let mut m = Matrix::from_vec(n, t, data).unwrap();
+                if n >= 2 {
+                    for c in 0..t {
+                        m.set(n - 1, c, 42.0);
+                    }
+                }
+                m
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn online_is_bit_identical_to_batch(
+            s in telemetry_matrix(),
+            wl in 1usize..13,
+            ws in 1usize..13,
+            l in 1usize..9,
+        ) {
+            let model = CsTrainer::default().train(&s).unwrap();
+            let cs = CsMethod::new(model, l).unwrap();
+            let spec = WindowSpec::new(wl, ws).unwrap();
+            let expect = batch(&cs, &s, spec);
+            let mut online = OnlineCs::new(cs, spec);
+            let mut got = Vec::new();
+            for c in 0..s.cols() {
+                if let Some(sig) = online.push(&s.col(c)).unwrap() {
+                    got.push(sig);
+                }
+            }
+            // Exact equality — the streaming path re-runs the very same
+            // floating-point operations in the same order.
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn online_across_gaps_matches_chunked_batch(
+            s in telemetry_matrix(),
+            wl in 1usize..9,
+            ws in 1usize..9,
+            cut_num in 0usize..1000,
+        ) {
+            // A gap at `cut` splits the stream; emissions must equal the
+            // batch pipeline run independently on each contiguous chunk.
+            let t = s.cols();
+            let cut = 1 + cut_num % (t - 1); // 1..t
+            let model = CsTrainer::default().train(&s).unwrap();
+            let cs = CsMethod::new(model, 3).unwrap();
+            let spec = WindowSpec::new(wl, ws).unwrap();
+
+            let mut expect = batch(&cs, &s.col_window(0, cut).unwrap(), spec);
+            expect.extend(batch(&cs, &s.col_window(cut, t).unwrap(), spec));
+
+            let mut online = OnlineCs::new(cs, spec);
+            let mut got = Vec::new();
+            for c in 0..t {
+                if c == cut {
+                    online.push_gap();
+                }
+                if let Some(sig) = online.push(&s.col(c)).unwrap() {
+                    got.push(sig);
+                }
+            }
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(online.gaps(), 1);
+        }
+
+        #[test]
+        fn fleet_is_bit_identical_to_batch_per_node(
+            nodes in 1usize..6,
+            wl in 1usize..7,
+            ws in 1usize..7,
+            t in 8usize..40,
+            seed in 0u64..1_000,
+            shards in 1usize..5,
+        ) {
+            // Per-node matrices (node n_sensors fixed at 3, one constant
+            // row), deterministic per-(node, t) gaps from `seed`.
+            let gap = |node: usize, c: usize| -> bool {
+                // ~1/8 drop rate, decorrelated across nodes and time
+                (seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                      ^ (c as u64).wrapping_mul(0xbf58476d1ce4e5b9)).is_multiple_of(8)
+            };
+            let mats: Vec<Matrix> = (0..nodes)
+                .map(|i| Matrix::from_fn(3, t, |r, c| {
+                    if r == 2 { 7.0 } else {
+                        ((c as f64 / (2.0 + r as f64) + i as f64).sin())
+                            * (1.0 + seed as f64 * 1e-3)
+                    }
+                }))
+                .collect();
+            let methods: Vec<CsMethod> = mats.iter()
+                .map(|m| CsMethod::new(CsTrainer::default().train(m).unwrap(), 2).unwrap())
+                .collect();
+            let spec = WindowSpec::new(wl, ws).unwrap();
+            let mut engine =
+                FleetEngine::with_shards(methods.clone(), spec, shards).unwrap();
+
+            let mut frame = engine.frame();
+            let mut events: Vec<FleetEvent> = Vec::new();
+            let mut got: Vec<FleetEvent> = Vec::new();
+            for c in 0..t {
+                frame.clear();
+                for (i, m) in mats.iter().enumerate() {
+                    if !gap(i, c) {
+                        frame.set(i, &m.col(c)).unwrap();
+                    }
+                }
+                engine.ingest_frame_into(&frame, &mut events).unwrap();
+                got.append(&mut events);
+            }
+
+            // Expectation: per node, the batch pipeline over each
+            // contiguous present-run of that node's stream.
+            for (i, (m, cs)) in mats.iter().zip(&methods).enumerate() {
+                let node_got: Vec<&CsSignature> = got
+                    .iter()
+                    .filter(|e| e.node == i)
+                    .map(|e| &e.signature)
+                    .collect();
+                // window indexes are consecutive from 0
+                for (k, e) in got.iter().filter(|e| e.node == i).enumerate() {
+                    prop_assert_eq!(e.window_index, k);
+                }
+                let mut expect = Vec::new();
+                let mut run_start = 0usize;
+                for c in 0..=t {
+                    if c == t || gap(i, c) {
+                        if c > run_start {
+                            expect.extend(batch(
+                                cs,
+                                &m.col_window(run_start, c).unwrap(),
+                                spec,
+                            ));
+                        }
+                        run_start = c + 1;
+                    }
+                }
+                prop_assert_eq!(node_got.len(), expect.len());
+                for (a, b) in node_got.iter().zip(&expect) {
+                    prop_assert_eq!(*a, b);
+                }
+            }
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`schedule`] — run scheduling (application/fault sequences).
 //! * [`segments`] — builders for the five HPC-ODA-like segments plus their
 //!   Table I metadata.
+//! * [`fleet`] — a many-node rack/island scenario (phase-shifted
+//!   workloads, rack-correlated thermals, injected telemetry gaps) feeding
+//!   the fleet-scale streaming engine.
 //!
 //! All generation is deterministic given a seed.
 
@@ -36,6 +39,7 @@ pub mod apps;
 pub mod arch;
 pub mod channels;
 pub mod faults;
+pub mod fleet;
 pub mod gpu;
 pub mod rng;
 pub mod schedule;
@@ -43,4 +47,5 @@ pub mod segments;
 pub mod sensors;
 
 pub use arch::ArchKind;
+pub use fleet::{FleetScenario, FleetSimConfig};
 pub use segments::{SegmentInfo, SimConfig};

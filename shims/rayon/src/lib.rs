@@ -1,7 +1,8 @@
 //! Offline API-compatible shim for the `rayon` crate.
 //!
 //! Implements the slice of the parallel-iterator API the workspace uses —
-//! `into_par_iter()` / `par_iter()` followed by `map(..).collect()` — with
+//! `into_par_iter()` / `par_iter()` / `par_iter_mut()` followed by
+//! `map(..).collect()` or `for_each(..)` — with
 //! real data parallelism: items are split into contiguous chunks and mapped
 //! on scoped `std::thread`s, one per available core, preserving order.
 //! Unlike real rayon there is no work-stealing pool; for the workspace's
@@ -12,7 +13,8 @@ pub mod iter;
 
 pub mod prelude {
     pub use crate::iter::{
-        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 

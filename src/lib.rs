@@ -12,7 +12,8 @@
 //! * [`data`] — CSV I/O, time alignment, segments and windowing.
 //! * [`sim`] — the HPC-ODA-like monitoring-data simulator.
 //! * [`ml`] — random forests, MLPs, cross-validation, metrics.
-//! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines.
+//! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines, plus
+//!   online streaming and the sharded fleet engine.
 //! * [`analysis`] — Jensen-Shannon fidelity metrics and heatmap imaging.
 //!
 //! ## Quickstart
