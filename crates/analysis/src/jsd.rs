@@ -26,20 +26,27 @@ impl DimensionHistogram {
     /// Builds the histogram of a data matrix (rows = dimensions) with
     /// `bins` value bins over `[lo, hi]`. Values outside the range fall
     /// into the edge bins.
+    ///
+    /// Empty dimension rows are rejected: they would leave the surface
+    /// with total mass below 1, silently breaking the probability-density
+    /// contract every JS-divergence comparison relies on.
     pub fn new(data: &Matrix, bins: usize, lo: f64, hi: f64) -> Self {
         assert!(bins >= 1, "need at least one bin");
         assert!(hi > lo, "empty value range");
+        assert!(
+            data.rows() == 0 || data.cols() > 0,
+            "dimension rows must be non-empty for a valid probability surface"
+        );
         let n = data.rows();
         let mut probs = Matrix::zeros(n, bins);
-        let width = (hi - lo) / bins as f64;
+        // Hoisted reciprocal: one multiply per sample instead of a divide.
+        let inv_width = bins as f64 / (hi - lo);
+        let max_bin = bins as isize - 1;
         for y in 0..n {
             let row = data.row(y);
-            if row.is_empty() {
-                continue;
-            }
             let prow = probs.row_mut(y);
             for &v in row {
-                let b = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+                let b = (((v - lo) * inv_width).floor() as isize).clamp(0, max_bin) as usize;
                 prow[b] += 1.0;
             }
             let mass = row.len() as f64 * n as f64;
@@ -203,6 +210,28 @@ mod tests {
         let h = hist(&m, 4);
         assert!(h.probs().get(0, 0) > 0.0);
         assert!(h.probs().get(0, 3) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dimension_rows_rejected() {
+        // Zero-column rows would leave total mass at 0 (< 1).
+        DimensionHistogram::new(&Matrix::zeros(3, 0), 4, 0.0, 1.0);
+    }
+
+    #[test]
+    fn bin_assignment_with_uneven_width_and_full_mass() {
+        // Width 0.3 / 3 bins over [0.1, 1.0): exercises the hoisted
+        // reciprocal on a non-power-of-two width, pinning bin placement
+        // and the mass-sums-to-one invariant.
+        let m = Matrix::from_rows([[0.1, 0.39, 0.41, 0.9], [0.69, 0.71, 0.1, 0.99]]).unwrap();
+        let h = DimensionHistogram::new(&m, 3, 0.1, 1.0);
+        // row 0 values land in bins [0, 0, 1, 2] -> counts [2, 1, 1]
+        assert!((h.probs().get(0, 0) - 2.0 / 8.0).abs() < 1e-12);
+        assert!((h.probs().get(0, 1) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((h.probs().get(0, 2) - 1.0 / 8.0).abs() < 1e-12);
+        let total: f64 = h.probs().as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,34 +1,55 @@
 //! Criterion benchmarks of the ML substrate: random-forest fit/predict at
-//! the dataset shapes the Fig. 3 cross-validation actually produces.
+//! the dataset shapes the Fig. 3 cross-validation actually produces, for
+//! both split engines (exact vs ≤256-bin histogram).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cwsmooth_linalg::Matrix;
+use cwsmooth_bench::{
+    bench_classification_data as classification_data, bench_regression_data as regression_data,
+};
 use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cwsmooth_ml::SplitAlgo;
 use std::hint::black_box;
-
-fn classification_data(n: usize, d: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>() * 0.8).collect();
-    let x = Matrix::from_fn(n, d, |r, c| (r % classes) as f64 + noise[r * d + c]);
-    let y: Vec<usize> = (0..n).map(|r| r % classes).collect();
-    (x, y)
-}
 
 fn bench_classifier(c: &mut Criterion) {
     let mut group = c.benchmark_group("forest_classifier_fit");
     group.sample_size(10);
     for (n, d) in [(400usize, 40usize), (400, 400)] {
         let (x, y) = classification_data(n, d, 7, 3);
+        // Same benchmark IDs as the PR 2 baseline (exact engine).
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}x{d}")),
-            &(x, y),
+            &(x.clone(), y.clone()),
             |b, (x, y)| {
                 b.iter(|| {
                     let mut rf =
                         RandomForestClassifier::with_config(ForestConfig::classification(1));
+                    rf.fit(x, y).unwrap();
+                    black_box(rf)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{d}_hist")),
+            &(x.clone(), y.clone()),
+            |b, (x, y)| {
+                b.iter(|| {
+                    let mut rf = RandomForestClassifier::with_config(
+                        ForestConfig::classification(1).with_split_algo(SplitAlgo::histogram()),
+                    );
+                    rf.fit(x, y).unwrap();
+                    black_box(rf)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{d}_hist256")),
+            &(x, y),
+            |b, (x, y)| {
+                b.iter(|| {
+                    let mut rf = RandomForestClassifier::with_config(
+                        ForestConfig::classification(1)
+                            .with_split_algo(SplitAlgo::Histogram { max_bins: 256 }),
+                    );
                     rf.fit(x, y).unwrap();
                     black_box(rf)
                 })
@@ -41,15 +62,21 @@ fn bench_classifier(c: &mut Criterion) {
 fn bench_regressor(c: &mut Criterion) {
     let mut group = c.benchmark_group("forest_regressor");
     group.sample_size(10);
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let noise: Vec<f64> = (0..600 * 40).map(|_| rng.gen::<f64>()).collect();
-    let x = Matrix::from_fn(600, 40, |r, c| noise[r * 40 + c]);
-    let y: Vec<f64> = (0..600).map(|r| x.row(r).iter().sum::<f64>()).collect();
+    let (x, y) = regression_data(600, 40, 5);
     let mut fitted = RandomForestRegressor::with_config(ForestConfig::regression(2));
     fitted.fit(&x, &y).unwrap();
     group.bench_function("fit_600x40", |b| {
         b.iter(|| {
             let mut rf = RandomForestRegressor::with_config(ForestConfig::regression(2));
+            rf.fit(&x, &y).unwrap();
+            black_box(rf)
+        })
+    });
+    group.bench_function("fit_600x40_hist", |b| {
+        b.iter(|| {
+            let mut rf = RandomForestRegressor::with_config(
+                ForestConfig::regression(2).with_split_algo(SplitAlgo::histogram()),
+            );
             rf.fit(&x, &y).unwrap();
             black_box(rf)
         })
@@ -60,5 +87,25 @@ fn bench_regressor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classifier, bench_regressor);
+/// Row-parallel prediction at a wide fleet-style shape: many rows, the
+/// whole 50-tree forest walked per row.
+fn bench_parallel_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_parallel_predict");
+    group.sample_size(10);
+    let (x, y) = classification_data(400, 40, 7, 3);
+    let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(1));
+    rf.fit(&x, &y).unwrap();
+    let (wide, _) = classification_data(4096, 40, 7, 9);
+    group.bench_function("classify_4096x40", |b| {
+        b.iter(|| black_box(rf.predict(&wide).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_regressor,
+    bench_parallel_predict
+);
 criterion_main!(benches);

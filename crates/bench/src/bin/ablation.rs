@@ -15,7 +15,7 @@
 //!   [--seed S] [--scale F] [--blocks L]`
 
 use cwsmooth_analysis::jsd::cs_fidelity;
-use cwsmooth_bench::{cross_validate, f3, results_dir, Args};
+use cwsmooth_bench::{cross_validate, f3, parse_algo, results_dir, Args};
 use cwsmooth_core::cs::{CsMethod, CsTrainer, OrderingStrategy};
 use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
 use cwsmooth_data::csv::TableWriter;
@@ -25,6 +25,7 @@ use cwsmooth_sim::segments::{
 
 fn main() {
     let args = Args::capture();
+    let algo = parse_algo(&args);
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 1.0);
     let blocks: usize = args.get("blocks", 20);
@@ -74,7 +75,7 @@ fn main() {
                 },
             )
             .expect("dataset");
-            let score = cross_validate(&ds, seed).mean_score();
+            let score = cross_validate(&ds, seed, algo).mean_score();
             println!("{:<18} {:>12} {:>12}", name, f3(jsd), f3(score));
             table
                 .row(&[

@@ -1,0 +1,149 @@
+//! Machine-readable performance snapshot: times the forest-fit and CS
+//! benches at the paper shapes with `std::time` and writes
+//! `BENCH_ml.json`, so future PRs can track the perf trajectory without
+//! parsing criterion output.
+//!
+//! The PR 2 baseline numbers embedded below were measured on the same
+//! container immediately before the PR 3 engine rework (the 400×400
+//! classifier number is the median of nine runs interleaved with the new
+//! engine to cancel machine-load drift).
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin bench_snapshot
+//!   [--reps R] [--out PATH]` (`BENCH_QUICK=1` forces reps = 1 for CI
+//! smoke runs).
+
+use cwsmooth_bench::{bench_classification_data, bench_regression_data, Args};
+use cwsmooth_core::cs::CsTrainer;
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use cwsmooth_ml::SplitAlgo;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// PR 2 baseline timings (ms) at the same shapes, for speedup tracking.
+const BASELINE_PR2_MS: &[(&str, f64)] = &[
+    ("forest_classifier_fit_400x40", 22.94),
+    ("forest_classifier_fit_400x400", 55.63),
+    ("forest_regressor_fit_600x40", 375.72),
+    ("forest_regressor_predict_600x40", 2.78),
+];
+
+fn structured_matrix(n: usize, t: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let phases: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 10.0).collect();
+    Matrix::from_fn(n, t, |r, c| {
+        (c as f64 / 13.0 + phases[r]).sin() * (1.0 + r as f64 * 0.01)
+    })
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = Args::capture();
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let reps: usize = if quick { 1 } else { args.get("reps", 5) };
+    let out_path: String = args.get("out", "BENCH_ml.json".to_string());
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ms: f64| {
+        println!("{name}: {ms:.3} ms");
+        results.push((name.to_string(), ms));
+    };
+
+    // Forest classifier fits (exact, default 64-bin hist, 256-bin hist).
+    for (n, d) in [(400usize, 40usize), (400, 400)] {
+        let (x, y) = bench_classification_data(n, d, 7, 3);
+        let algos: [(&str, SplitAlgo); 3] = [
+            ("", SplitAlgo::Exact),
+            ("_hist", SplitAlgo::histogram()),
+            ("_hist256", SplitAlgo::Histogram { max_bins: 256 }),
+        ];
+        for (suffix, algo) in algos {
+            let ms = time_ms(reps, || {
+                let mut rf = RandomForestClassifier::with_config(
+                    ForestConfig::classification(1).with_split_algo(algo),
+                );
+                rf.fit(&x, &y).unwrap();
+                black_box(&rf);
+            });
+            record(&format!("forest_classifier_fit_{n}x{d}{suffix}"), ms);
+        }
+    }
+
+    // Forest regressor fit + predict.
+    let (x, y) = bench_regression_data(600, 40, 5);
+    for (suffix, algo) in [("", SplitAlgo::Exact), ("_hist", SplitAlgo::histogram())] {
+        let ms = time_ms(reps, || {
+            let mut rf = RandomForestRegressor::with_config(
+                ForestConfig::regression(2).with_split_algo(algo),
+            );
+            rf.fit(&x, &y).unwrap();
+            black_box(&rf);
+        });
+        record(&format!("forest_regressor_fit_600x40{suffix}"), ms);
+    }
+    let mut fitted = RandomForestRegressor::with_config(ForestConfig::regression(2));
+    fitted.fit(&x, &y).unwrap();
+    let ms = time_ms(reps, || {
+        black_box(fitted.predict(&x).unwrap());
+    });
+    record("forest_regressor_predict_600x40", ms);
+
+    // CS training stage (dominated by the correlation matrix).
+    for n in [64usize, 256] {
+        let s = structured_matrix(n, 1024, 7);
+        let ms = time_ms(reps, || {
+            black_box(CsTrainer::default().train(&s).unwrap());
+        });
+        record(&format!("cs_training_stage_{n}x1024"), ms);
+    }
+
+    // Assemble JSON by hand (no serde needed for a flat snapshot).
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 3,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"reps\": {reps},\n"));
+    json.push_str("  \"baseline_pr2_ms\": {\n");
+    for (i, (name, ms)) in BASELINE_PR2_MS.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_PR2_MS.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!("    \"{name}\": {ms}{comma}\n"));
+    }
+    json.push_str("  },\n  \"current_ms\": {\n");
+    for (i, (name, ms)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedup_vs_pr2\": {\n");
+    let mut lines = Vec::new();
+    for (name, base) in BASELINE_PR2_MS {
+        // Exact-engine rows compare like-for-like; hist rows compare the
+        // opt-in engine against the same baseline shape.
+        for (cur_name, cur) in &results {
+            if let Some(rest) = cur_name.strip_prefix(name) {
+                if rest.is_empty() || rest.starts_with("_hist") {
+                    lines.push(format!("    \"{cur_name}\": {:.2}", base / cur));
+                }
+            }
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

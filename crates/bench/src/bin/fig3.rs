@@ -10,11 +10,13 @@
 //! `results/fig3.csv`.
 //!
 //! Usage: `cargo run --release -p cwsmooth-bench --bin fig3
-//!   [--seed S] [--reps R] [--scale F]`
+//!   [--seed S] [--reps R] [--scale F] [--algo exact|hist|hist256]`
 //! `--scale` multiplies the default per-segment sample counts (use < 1 for
 //! a quick smoke run).
 
-use cwsmooth_bench::{f3, method_roster, results_dir, run_experiment, Args, ExperimentRow};
+use cwsmooth_bench::{
+    f3, method_roster, parse_algo, results_dir, run_experiment, Args, ExperimentRow,
+};
 use cwsmooth_data::csv::TableWriter;
 use cwsmooth_sim::segments::{
     application_info, application_segment, fault_info, fault_segment, infrastructure_info,
@@ -26,6 +28,7 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let reps: usize = args.get("reps", 1);
     let scale: f64 = args.get("scale", 1.0);
+    let algo = parse_algo(&args);
 
     let segments: Vec<(SegmentInfo, cwsmooth_data::Segment)> = vec![
         {
@@ -68,7 +71,7 @@ fn main() {
         );
         let roster = method_roster(seg);
         for named in &roster {
-            let row = run_experiment(seg, info, named, seed, reps);
+            let row = run_experiment(seg, info, named, seed, reps, algo);
             println!(
                 "{:<8} {:>9} {:>9} {:>10} {:>9} {:>9}",
                 row.method,

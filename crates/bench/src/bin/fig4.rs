@@ -13,7 +13,9 @@
 //!   [--seed S] [--scale F] [--bins B]`
 
 use cwsmooth_analysis::jsd::{cs_fidelity, cs_fidelity_real_only};
-use cwsmooth_bench::{cross_validate, f3, results_dir, train_cs_model, Args, CS_BLOCK_SWEEP};
+use cwsmooth_bench::{
+    cross_validate, f3, parse_algo, results_dir, train_cs_model, Args, CS_BLOCK_SWEEP,
+};
 use cwsmooth_core::cs::CsMethod;
 use cwsmooth_core::dataset::{build_dataset, DatasetOptions};
 use cwsmooth_data::csv::TableWriter;
@@ -24,6 +26,7 @@ use cwsmooth_sim::segments::{
 
 fn main() {
     let args = Args::capture();
+    let algo = parse_algo(&args);
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 1.0);
     let bins: usize = args.get("bins", 64);
@@ -81,10 +84,10 @@ fn main() {
                 horizon: info.horizon,
             };
             let ds = build_dataset(seg, &cs, opts).expect("dataset");
-            let score = cross_validate(&ds, seed).mean_score();
+            let score = cross_validate(&ds, seed, algo).mean_score();
             let cs_r = CsMethod::new(model.clone(), l).unwrap().real_only(true);
             let ds_r = build_dataset(seg, &cs_r, opts).expect("dataset -R");
-            let score_r = cross_validate(&ds_r, seed).mean_score();
+            let score_r = cross_validate(&ds_r, seed, algo).mean_score();
 
             let l_label = if blocks.is_none() {
                 "All".to_string()

@@ -15,10 +15,10 @@
 //! binary demonstrates.
 //!
 //! Usage: `cargo run --release -p cwsmooth-bench --bin fig7
-//!   [--seed S] [--samples N] [--blocks L]`
+//!   [--seed S] [--samples N] [--blocks L] [--algo exact|hist|hist256]`
 
 use cwsmooth_analysis::GrayImage;
-use cwsmooth_bench::{f3, results_dir, Args, K_FOLDS};
+use cwsmooth_bench::{f3, parse_algo, results_dir, Args, K_FOLDS};
 use cwsmooth_core::baselines::TuncerMethod;
 use cwsmooth_core::cs::{CsMethod, CsTrainer};
 use cwsmooth_core::dataset::{build_dataset, merge_datasets, DatasetOptions};
@@ -35,6 +35,7 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let samples: usize = args.get("samples", cross_arch_info().default_samples);
     let blocks: usize = args.get("blocks", 20);
+    let algo = parse_algo(&args);
 
     let info = cross_arch_info();
     let spec = info.window_spec();
@@ -120,9 +121,9 @@ fn main() {
         let xs = gather_rows(&merged.features, &fold.test);
         let ys: Vec<usize> = fold.test.iter().map(|&s| labels[s]).collect();
 
-        let mut rf = RandomForestClassifier::with_config(ForestConfig::classification(
-            seed.wrapping_add(i as u64),
-        ));
+        let mut rf = RandomForestClassifier::with_config(
+            ForestConfig::classification(seed.wrapping_add(i as u64)).with_split_algo(algo),
+        );
         rf.fit(&xt, &yt).expect("rf fit");
         rf_scores.push(f1_score(&ys, &rf.predict(&xs).unwrap()).unwrap());
 

@@ -18,6 +18,7 @@ use cwsmooth_ml::cv::{
     cross_validate_forest_classifier, cross_validate_forest_regressor, CvReport,
 };
 use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use cwsmooth_ml::SplitAlgo;
 use cwsmooth_sim::segments::SegmentInfo;
 use std::time::Instant;
 
@@ -106,6 +107,7 @@ pub fn run_experiment(
     named: &NamedMethod,
     seed: u64,
     reps: usize,
+    algo: SplitAlgo,
 ) -> ExperimentRow {
     let spec = info.window_spec();
     let t0 = Instant::now();
@@ -124,7 +126,7 @@ pub fn run_experiment(
     let mut cv_seconds = 0.0;
     for rep in 0..reps.max(1) {
         let rep_seed = seed.wrapping_add(1000 * rep as u64);
-        let report = cross_validate(&ds, rep_seed);
+        let report = cross_validate(&ds, rep_seed, algo);
         score_sum += report.mean_score();
         cv_seconds += report.elapsed_seconds;
     }
@@ -139,15 +141,20 @@ pub fn run_experiment(
     }
 }
 
-/// 5-fold cross-validation with the paper's random-forest setup.
-pub fn cross_validate(ds: &FeatureDataset, seed: u64) -> CvReport {
+/// 5-fold cross-validation with the paper's random-forest setup and the
+/// selected split engine.
+pub fn cross_validate(ds: &FeatureDataset, seed: u64, algo: SplitAlgo) -> CvReport {
     match ds.task() {
         TaskKind::Classification => cross_validate_forest_classifier(
             &ds.features,
             ds.classes.as_ref().unwrap(),
             K_FOLDS,
             seed,
-            |s| RandomForestClassifier::with_config(ForestConfig::classification(s)),
+            |s| {
+                RandomForestClassifier::with_config(
+                    ForestConfig::classification(s).with_split_algo(algo),
+                )
+            },
         )
         .expect("classification CV"),
         TaskKind::Regression => cross_validate_forest_regressor(
@@ -155,10 +162,54 @@ pub fn cross_validate(ds: &FeatureDataset, seed: u64) -> CvReport {
             ds.targets.as_ref().unwrap(),
             K_FOLDS,
             seed,
-            |s| RandomForestRegressor::with_config(ForestConfig::regression(s)),
+            |s| {
+                RandomForestRegressor::with_config(
+                    ForestConfig::regression(s).with_split_algo(algo),
+                )
+            },
         )
         .expect("regression CV"),
     }
+}
+
+/// Parses the `--algo` flag shared by the figure binaries:
+/// `exact` (default), `hist` (64-bin histogram) or `hist256`.
+pub fn parse_algo(args: &Args) -> SplitAlgo {
+    match args.get::<String>("algo", "exact".into()).as_str() {
+        "hist" => SplitAlgo::histogram(),
+        "hist256" => SplitAlgo::Histogram { max_bins: 256 },
+        _ => SplitAlgo::Exact,
+    }
+}
+
+/// Deterministic noisy multi-class data at a bench shape: class id plus
+/// uniform noise in every feature. Shared by the forest criterion bench
+/// and the `bench_snapshot` binary so their timings stay comparable.
+pub fn bench_classification_data(
+    n: usize,
+    d: usize,
+    classes: usize,
+    seed: u64,
+) -> (cwsmooth_linalg::Matrix, Vec<usize>) {
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>() * 0.8).collect();
+    let x = cwsmooth_linalg::Matrix::from_fn(n, d, |r, c| (r % classes) as f64 + noise[r * d + c]);
+    let y: Vec<usize> = (0..n).map(|r| r % classes).collect();
+    (x, y)
+}
+
+/// Deterministic regression data (uniform features, sum-of-row target) at
+/// a bench shape; see [`bench_classification_data`].
+pub fn bench_regression_data(n: usize, d: usize, seed: u64) -> (cwsmooth_linalg::Matrix, Vec<f64>) {
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>()).collect();
+    let x = cwsmooth_linalg::Matrix::from_fn(n, d, |r, c| noise[r * d + c]);
+    let y: Vec<f64> = (0..n).map(|r| x.row(r).iter().sum::<f64>()).collect();
+    (x, y)
 }
 
 /// Tiny CLI-argument helper: `--key value` pairs with defaults.
@@ -225,7 +276,8 @@ mod tests {
         let seg = power_segment(SimConfig::new(2, 600));
         let info = power_info();
         let roster = method_roster(&seg);
-        let row = run_experiment(&seg, &info, &roster[2], 42, 1); // Lan: cheap
+        // Lan features are cheap; histogram engine keeps the test fast.
+        let row = run_experiment(&seg, &info, &roster[2], 42, 1, SplitAlgo::histogram());
         assert_eq!(row.method, "Lan");
         assert_eq!(row.signature_size, 47 * LAN_WR);
         assert!(row.feature_sets > 50);

@@ -30,14 +30,36 @@ pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
 
 /// Plain Pearson correlation in `[-1, 1]`; 0.0 when either side has zero
 /// variance (or when inputs are empty).
+///
+/// All three second moments (covariance and both variances) come out of a
+/// single fused pass sharing one mean computation per side, instead of
+/// the naive `covariance` + 2×`std_dev` formulation that recomputes each
+/// slice's mean three times. The per-element operations and accumulation
+/// order are unchanged, so results are bit-identical to the naive path.
 pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
-    let cov = covariance(a, b);
-    let sa = crate::stats::std_dev(a);
-    let sb = crate::stats::std_dev(b);
+    if a.is_empty() {
+        return 0.0;
+    }
+    debug_assert_eq!(a.len(), b.len());
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let da = x - ma;
+        let db = y - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    let n = a.len() as f64;
+    let sa = (va / n).sqrt();
+    let sb = (vb / n).sqrt();
     if sa == 0.0 || sb == 0.0 {
         return 0.0;
     }
-    (cov / (sa * sb)).clamp(-1.0, 1.0)
+    (cov / n / (sa * sb)).clamp(-1.0, 1.0)
 }
 
 /// Shifted Pearson correlation `ρ + 1 ∈ [0, 2]` (paper Eq. 1).
@@ -57,9 +79,17 @@ fn row_stats(m: &Matrix) -> Vec<RowStats> {
     (0..m.rows())
         .map(|r| {
             let row = m.row(r);
+            // One mean per row; the variance pass reuses it (identical
+            // value and operations to `std_dev`'s internal recomputation).
+            let mu = mean(row);
+            let var = if row.is_empty() {
+                0.0
+            } else {
+                row.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / row.len() as f64
+            };
             RowStats {
-                mean: mean(row),
-                std: crate::stats::std_dev(row),
+                mean: mu,
+                std: var.sqrt(),
             }
         })
         .collect()
@@ -71,28 +101,43 @@ fn row_stats(m: &Matrix) -> Vec<RowStats> {
 /// diagonal fixed at 2.0 (self-correlation). Cost is `O(n^2 t)` — this is
 /// the dominant term of the CS training stage; rows are processed in
 /// parallel with rayon.
+///
+/// Every row is centered **once** up front, so the `O(n²·t)` inner loop
+/// is a bare multiply-accumulate with no per-element mean subtractions.
+/// `fl(x−μ)` is computed identically either way, so the output is
+/// bit-identical to the uncentered formulation.
 pub fn shifted_correlation_matrix(m: &Matrix) -> Matrix {
     let n = m.rows();
     let stats = row_stats(m);
     let t = m.cols() as f64;
 
+    // Pre-center all rows once: O(n·t) subtractions instead of O(n²·t).
+    let mut centered = Matrix::zeros(n, m.cols());
+    for (i, stat) in stats.iter().enumerate() {
+        let mean_i = stat.mean;
+        for (dst, &x) in centered.row_mut(i).iter_mut().zip(m.row(i)) {
+            *dst = x - mean_i;
+        }
+    }
+    let centered = &centered;
+
     // Upper triangle per row, computed in parallel, then mirrored.
     let rows: Vec<Vec<f64>> = (0..n)
         .into_par_iter()
         .map(|i| {
-            let ri = m.row(i);
+            let ci = centered.row(i);
             let si = &stats[i];
             let mut out = vec![0.0; n - i];
             out[0] = 2.0; // diagonal: ρ=1 shifted
             for j in (i + 1)..n {
-                let rj = m.row(j);
+                let cj = centered.row(j);
                 let sj = &stats[j];
                 let v = if si.std == 0.0 || sj.std == 0.0 || t == 0.0 {
                     1.0 // undefined correlation -> shifted 0
                 } else {
                     let mut cov = 0.0;
-                    for (x, y) in ri.iter().zip(rj) {
-                        cov += (x - si.mean) * (y - sj.mean);
+                    for (x, y) in ci.iter().zip(cj) {
+                        cov += x * y;
                     }
                     cov /= t;
                     ((cov / (si.std * sj.std)).clamp(-1.0, 1.0)) + 1.0
@@ -229,5 +274,85 @@ mod tests {
     fn global_coefficients_single_row() {
         let c = Matrix::from_rows([[2.0]]).unwrap();
         assert_eq!(global_coefficients(&c), vec![0.0]);
+    }
+
+    /// The naive three-pass Pearson kernel the fused implementation
+    /// replaced: each moment recomputes its mean, exactly as before.
+    fn pearson_reference(a: &[f64], b: &[f64]) -> f64 {
+        let cov = covariance(a, b);
+        let sa = crate::stats::std_dev(a);
+        let sb = crate::stats::std_dev(b);
+        if sa == 0.0 || sb == 0.0 {
+            return 0.0;
+        }
+        (cov / (sa * sb)).clamp(-1.0, 1.0)
+    }
+
+    /// Pseudo-random but deterministic test matrix.
+    fn scrambled(n: usize, t: usize) -> Matrix {
+        Matrix::from_fn(n, t, |r, c| {
+            let h = (r * 2654435761 + c * 40503 + 97) % 100_000;
+            (h as f64 / 100_000.0 - 0.5) * (1.0 + r as f64)
+        })
+    }
+
+    #[test]
+    fn fused_pearson_is_bit_identical_to_naive() {
+        let m = scrambled(8, 257);
+        for i in 0..8 {
+            for j in 0..8 {
+                let fused = pearson(m.row(i), m.row(j));
+                let naive = pearson_reference(m.row(i), m.row(j));
+                assert_eq!(fused.to_bits(), naive.to_bits(), "rows {i},{j}");
+            }
+        }
+        // zero-variance edge
+        let flat = [2.5; 257];
+        assert_eq!(pearson(&flat, m.row(0)), 0.0);
+    }
+
+    /// The uncentered `O(n²·t)` correlation kernel the pre-centered
+    /// implementation replaced, verbatim.
+    fn shifted_matrix_reference(m: &Matrix) -> Matrix {
+        let n = m.rows();
+        let stats: Vec<(f64, f64)> = (0..n)
+            .map(|r| (mean(m.row(r)), crate::stats::std_dev(m.row(r))))
+            .collect();
+        let t = m.cols() as f64;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            out.set(i, i, 2.0);
+            for j in (i + 1)..n {
+                let (mi, si) = stats[i];
+                let (mj, sj) = stats[j];
+                let v = if si == 0.0 || sj == 0.0 || t == 0.0 {
+                    1.0
+                } else {
+                    let mut cov = 0.0;
+                    for (x, y) in m.row(i).iter().zip(m.row(j)) {
+                        cov += (x - mi) * (y - mj);
+                    }
+                    cov /= t;
+                    ((cov / (si * sj)).clamp(-1.0, 1.0)) + 1.0
+                };
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn precentered_matrix_is_bit_identical_to_uncentered() {
+        // Includes a constant row to cover the zero-variance guard.
+        let mut m = scrambled(12, 301);
+        for c in 0..301 {
+            m.set(7, c, 4.25);
+        }
+        let fast = shifted_correlation_matrix(&m);
+        let reference = shifted_matrix_reference(&m);
+        for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -122,6 +122,8 @@ fn gather<T: Copy>(y: &[T], idx: &[usize]) -> Vec<T> {
 pub struct CvReport {
     /// Score per fold (weighted F1 or `1 − NRMSE`).
     pub fold_scores: Vec<f64>,
+    /// Accuracy per fold (classification runs only, empty for regression).
+    pub fold_accuracies: Vec<f64>,
     /// Wall-clock seconds spent fitting + predicting, summed over folds.
     pub elapsed_seconds: f64,
 }
@@ -130,6 +132,15 @@ impl CvReport {
     /// Mean score across folds.
     pub fn mean_score(&self) -> f64 {
         self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+    }
+
+    /// Mean accuracy across folds; 0.0 when no accuracies were recorded
+    /// (regression runs).
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
     }
 }
 
@@ -148,6 +159,7 @@ pub fn cross_validate_forest_classifier(
     let folds = stratified_kfold(y, k, seed)?;
     let start = std::time::Instant::now();
     let mut scores = Vec::with_capacity(k);
+    let mut accuracies = Vec::with_capacity(k);
     for (f, fold) in folds.iter().enumerate() {
         let xt = gather_rows(x, &fold.train);
         let yt = gather(y, &fold.train);
@@ -157,9 +169,11 @@ pub fn cross_validate_forest_classifier(
         model.fit(&xt, &yt)?;
         let pred = model.predict(&xs)?;
         scores.push(metrics::f1_score(&ys, &pred)?);
+        accuracies.push(metrics::accuracy_score(&ys, &pred)?);
     }
     Ok(CvReport {
         fold_scores: scores,
+        fold_accuracies: accuracies,
         elapsed_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -191,6 +205,7 @@ pub fn cross_validate_forest_regressor(
     }
     Ok(CvReport {
         fold_scores: scores,
+        fold_accuracies: Vec::new(),
         elapsed_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -210,6 +225,7 @@ pub fn cross_validate_mlp_classifier(
     let folds = stratified_kfold(y, k, seed)?;
     let start = std::time::Instant::now();
     let mut scores = Vec::with_capacity(k);
+    let mut accuracies = Vec::with_capacity(k);
     for (f, fold) in folds.iter().enumerate() {
         let xt = gather_rows(x, &fold.train);
         let yt = gather(y, &fold.train);
@@ -219,9 +235,11 @@ pub fn cross_validate_mlp_classifier(
         model.fit(&xt, &yt)?;
         let pred = model.predict(&xs)?;
         scores.push(metrics::f1_score(&ys, &pred)?);
+        accuracies.push(metrics::accuracy_score(&ys, &pred)?);
     }
     Ok(CvReport {
         fold_scores: scores,
+        fold_accuracies: accuracies,
         elapsed_seconds: start.elapsed().as_secs_f64(),
     })
 }

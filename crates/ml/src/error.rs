@@ -11,6 +11,8 @@ pub enum MlError {
     Config(String),
     /// The model was used before fitting.
     NotFitted,
+    /// The feature matrix contains NaN or infinite values.
+    NonFinite(String),
 }
 
 impl fmt::Display for MlError {
@@ -19,6 +21,7 @@ impl fmt::Display for MlError {
             MlError::Shape(m) => write!(f, "shape error: {m}"),
             MlError::Config(m) => write!(f, "configuration error: {m}"),
             MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::NonFinite(m) => write!(f, "non-finite input: {m}"),
         }
     }
 }

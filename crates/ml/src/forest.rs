@@ -1,13 +1,19 @@
 //! Bagged random forests (classifier and regressor).
 //!
 //! Matches the paper's model: 50 estimators, Gini impurity for splits
-//! (Sec. IV-A1). Each tree is fitted on a bootstrap resample with
-//! per-split feature subsampling; trees train in parallel with rayon.
-//! Prediction is majority vote (classification) or the tree mean
-//! (regression).
+//! (Sec. IV-A1). Bootstrap resampling is expressed as per-sample `u32`
+//! *weights* (the number of times each sample was drawn) threaded through
+//! the tree builder — no per-tree copy of the training matrix is ever
+//! materialized. The per-feature split index (`SplitIndex`: argsorted
+//! sample order for the exact engine, ≤256-bin quantization for the
+//! histogram engine) is built once and shared by every tree. Trees train
+//! in parallel with rayon; prediction parallelizes over *rows*, with each
+//! row walking all trees (majority vote for classification, tree mean for
+//! regression).
 
 use crate::error::{MlError, Result};
-use crate::tree::{Criterion, DecisionTree, MaxFeatures, TreeConfig};
+use crate::tree::{Criterion, DecisionTree, MaxFeatures, SplitAlgo, TreeArena, TreeConfig};
+use crate::tree::{SampleWeights, SplitIndex};
 use cwsmooth_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,23 +52,21 @@ impl ForestConfig {
             seed,
         }
     }
-}
 
-fn bootstrap_indices(n: usize, rng: &mut impl Rng) -> Vec<u32> {
-    (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
-}
-
-fn resample(x: &Matrix, y: &[f64], idx: &[u32]) -> (Matrix, Vec<f64>) {
-    let mut data = Vec::with_capacity(idx.len() * x.cols());
-    let mut ry = Vec::with_capacity(idx.len());
-    for &i in idx {
-        data.extend_from_slice(x.row(i as usize));
-        ry.push(y[i as usize]);
+    /// Switches the split engine (builder-style convenience).
+    pub fn with_split_algo(mut self, algo: SplitAlgo) -> Self {
+        self.tree.split_algo = algo;
+        self
     }
-    (
-        Matrix::from_vec(idx.len(), x.cols(), data).expect("resample shape"),
-        ry,
-    )
+}
+
+/// Draws `n` bootstrap samples as per-sample multiplicities.
+fn bootstrap_weights(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+    let mut weights = vec![0u32; n];
+    for _ in 0..n {
+        weights[rng.gen_range(0..n)] += 1;
+    }
+    weights
 }
 
 fn fit_trees(
@@ -84,18 +88,57 @@ fn fit_trees(
             y.len()
         )));
     }
+    if config.tree.min_samples_split < 2 || config.tree.min_samples_leaf < 1 {
+        return Err(MlError::Config(
+            "min_samples_split >= 2 and min_samples_leaf >= 1 required".into(),
+        ));
+    }
+    if x.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(MlError::NonFinite(
+            "feature matrix contains NaN or infinite values".into(),
+        ));
+    }
+    // Argsort / quantize every feature once, shared across all trees.
+    let index = SplitIndex::build(x, config.tree.split_algo);
     (0..config.n_estimators)
         .into_par_iter()
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+            let mut arena = TreeArena::new();
             if config.bootstrap {
-                let idx = bootstrap_indices(x.rows(), &mut rng);
-                let (bx, by) = resample(x, y, &idx);
-                DecisionTree::fit(&bx, &by, n_classes, &config.tree, &mut rng)
+                let weights = bootstrap_weights(x.rows(), &mut rng);
+                DecisionTree::fit_inner(
+                    &mut arena,
+                    &index,
+                    x,
+                    y,
+                    SampleWeights::Counts(&weights),
+                    n_classes,
+                    &config.tree,
+                    &mut rng,
+                )
             } else {
-                DecisionTree::fit(x, y, n_classes, &config.tree, &mut rng)
+                DecisionTree::fit_inner(
+                    &mut arena,
+                    &index,
+                    x,
+                    y,
+                    SampleWeights::Unit,
+                    n_classes,
+                    &config.tree,
+                    &mut rng,
+                )
             }
         })
+        .collect()
+}
+
+/// Rows per parallel prediction chunk.
+const PREDICT_CHUNK: usize = 256;
+
+fn row_chunks(rows: usize) -> Vec<(usize, usize)> {
+    (0..rows.div_ceil(PREDICT_CHUNK))
+        .map(|c| (c * PREDICT_CHUNK, ((c + 1) * PREDICT_CHUNK).min(rows)))
         .collect()
 }
 
@@ -149,33 +192,44 @@ impl RandomForestClassifier {
         Ok(())
     }
 
-    /// Majority-vote predictions for every row of `x`.
+    /// Majority-vote predictions for every row of `x`, computed in
+    /// parallel over row chunks.
     pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
         if self.trees.is_empty() {
             return Err(MlError::NotFitted);
         }
-        let votes: Vec<Vec<f64>> = self
-            .trees
-            .par_iter()
-            .map(|t| t.predict(x))
-            .collect::<Result<_>>()?;
-        let mut out = Vec::with_capacity(x.rows());
-        let mut counts = vec![0usize; self.n_classes];
-        for r in 0..x.rows() {
-            counts.iter_mut().for_each(|c| *c = 0);
-            for tree_votes in &votes {
-                counts[tree_votes[r] as usize] += 1;
-            }
-            out.push(
-                counts
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, &c)| c)
-                    .map(|(cls, _)| cls)
-                    .unwrap(),
-            );
+        if x.cols() != tree_width(&self.trees[0]) {
+            return Err(MlError::Shape(format!(
+                "forest expects {} features, got {}",
+                tree_width(&self.trees[0]),
+                x.cols()
+            )));
         }
-        Ok(out)
+        let nc = self.n_classes;
+        let parts: Vec<Vec<usize>> = row_chunks(x.rows())
+            .into_par_iter()
+            .map(|(a, b)| {
+                // Trees outer, rows inner: one tree's nodes stay cache-hot
+                // across the whole chunk while chunks run in parallel.
+                let mut counts = vec![0u32; (b - a) * nc];
+                for tree in &self.trees {
+                    for r in a..b {
+                        counts[(r - a) * nc + tree.predict_one(x.row(r)) as usize] += 1;
+                    }
+                }
+                (a..b)
+                    .map(|r| {
+                        counts[(r - a) * nc..(r - a + 1) * nc]
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &c)| c)
+                            .map(|(cls, _)| cls)
+                            .unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(parts.concat())
     }
 
     /// Number of classes seen at fit time.
@@ -192,6 +246,10 @@ impl RandomForestClassifier {
     pub fn feature_importances(&self) -> Result<Vec<f64>> {
         mean_importances(&self.trees)
     }
+}
+
+fn tree_width(tree: &DecisionTree) -> usize {
+    tree.n_features()
 }
 
 /// Averages per-tree importances; errors when the forest is unfitted.
@@ -239,20 +297,36 @@ impl RandomForestRegressor {
         Ok(())
     }
 
-    /// Tree-mean predictions for every row of `x`.
+    /// Tree-mean predictions for every row of `x`, computed in parallel
+    /// over row chunks.
     pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
         if self.trees.is_empty() {
             return Err(MlError::NotFitted);
         }
-        let preds: Vec<Vec<f64>> = self
-            .trees
-            .par_iter()
-            .map(|t| t.predict(x))
-            .collect::<Result<_>>()?;
+        if x.cols() != tree_width(&self.trees[0]) {
+            return Err(MlError::Shape(format!(
+                "forest expects {} features, got {}",
+                tree_width(&self.trees[0]),
+                x.cols()
+            )));
+        }
         let k = self.trees.len() as f64;
-        Ok((0..x.rows())
-            .map(|r| preds.iter().map(|p| p[r]).sum::<f64>() / k)
-            .collect())
+        let parts: Vec<Vec<f64>> = row_chunks(x.rows())
+            .into_par_iter()
+            .map(|(a, b)| {
+                // Trees outer, rows inner (cache-hot tree nodes); the
+                // per-row sums still accumulate in tree order, so the
+                // result is bit-identical to a per-row tree walk.
+                let mut sums = vec![0.0f64; b - a];
+                for tree in &self.trees {
+                    for (r, sum) in (a..b).zip(sums.iter_mut()) {
+                        *sum += tree.predict_one(x.row(r));
+                    }
+                }
+                sums.iter().map(|s| s / k).collect()
+            })
+            .collect();
+        Ok(parts.concat())
     }
 
     /// Fitted trees (for inspection).
@@ -313,19 +387,34 @@ mod tests {
     }
 
     #[test]
+    fn classifier_learns_xor_with_histogram_engine() {
+        let (x, y) = xor_data(200);
+        let cfg = small_forest_config(1, true).with_split_algo(SplitAlgo::histogram());
+        let mut rf = RandomForestClassifier::with_config(cfg);
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
     fn regressor_learns_linear_trend() {
         let x = Matrix::from_fn(100, 1, |r, _| r as f64 / 10.0);
         let y: Vec<f64> = (0..100).map(|r| 3.0 * (r as f64 / 10.0) + 1.0).collect();
-        let mut rf = RandomForestRegressor::with_config(small_forest_config(2, false));
-        rf.fit(&x, &y).unwrap();
-        let pred = rf.predict(&x).unwrap();
-        let mse: f64 = pred
-            .iter()
-            .zip(&y)
-            .map(|(p, t)| (p - t) * (p - t))
-            .sum::<f64>()
-            / y.len() as f64;
-        assert!(mse < 0.5, "mse {mse}");
+        for algo in [SplitAlgo::Exact, SplitAlgo::histogram()] {
+            let mut rf = RandomForestRegressor::with_config(
+                small_forest_config(2, false).with_split_algo(algo),
+            );
+            rf.fit(&x, &y).unwrap();
+            let pred = rf.predict(&x).unwrap();
+            let mse: f64 = pred
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / y.len() as f64;
+            assert!(mse < 0.5, "mse {mse} ({algo:?})");
+        }
     }
 
     #[test]
@@ -365,6 +454,21 @@ mod tests {
         assert!(rf.fit(&Matrix::zeros(0, 2), &[]).is_err());
         let mut rr = RandomForestRegressor::new(0);
         assert!(rr.fit(&Matrix::zeros(3, 2), &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_features_rejected() {
+        let mut x = Matrix::from_fn(10, 2, |r, c| (r * 2 + c) as f64);
+        x.set(4, 1, f64::NAN);
+        let y: Vec<usize> = (0..10).map(|r| r % 2).collect();
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(0, true));
+        assert!(matches!(rf.fit(&x, &y).unwrap_err(), MlError::NonFinite(_)));
+        let yr: Vec<f64> = (0..10).map(|r| r as f64).collect();
+        let mut rr = RandomForestRegressor::with_config(small_forest_config(0, false));
+        assert!(matches!(
+            rr.fit(&x, &yr).unwrap_err(),
+            MlError::NonFinite(_)
+        ));
     }
 
     #[test]
@@ -409,5 +513,26 @@ mod tests {
         let pred = rf.predict(&x).unwrap();
         assert_eq!(pred, y);
         assert_eq!(rf.n_classes(), 3);
+    }
+
+    #[test]
+    fn histogram_and_exact_agree_on_separable_data() {
+        let x = Matrix::from_fn(300, 4, |r, c| {
+            (r % 3) as f64 * 3.0 + ((r * 31 + c * 7) % 100) as f64 / 100.0
+        });
+        let y: Vec<usize> = (0..300).map(|r| r % 3).collect();
+        let mut exact = RandomForestClassifier::with_config(small_forest_config(5, true));
+        let mut hist = RandomForestClassifier::with_config(
+            small_forest_config(5, true).with_split_algo(SplitAlgo::histogram()),
+        );
+        exact.fit(&x, &y).unwrap();
+        hist.fit(&x, &y).unwrap();
+        let pe = exact.predict(&x).unwrap();
+        let ph = hist.predict(&x).unwrap();
+        let agree = pe.iter().zip(&ph).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f64 / y.len() as f64 > 0.98,
+            "agreement {agree}/300"
+        );
     }
 }

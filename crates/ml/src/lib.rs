@@ -8,9 +8,11 @@
 //!
 //! * [`tree`] — CART decision trees (Gini impurity for classification,
 //!   variance reduction for regression) with per-split random feature
-//!   subsampling.
-//! * [`forest`] — bagged random forests (classifier and regressor), trees
-//!   trained in parallel with rayon.
+//!   subsampling and two split engines ([`tree::SplitAlgo`]): an exact
+//!   pre-sorted splitter and an opt-in ≤256-bin histogram fast path.
+//! * [`forest`] — bagged random forests (classifier and regressor) with
+//!   weight-based bootstrap (no per-tree matrix copies), trees trained in
+//!   parallel with rayon and row-parallel prediction.
 //! * [`mlp`] — a multi-layer perceptron with ReLU activations, softmax or
 //!   linear heads, Adam optimization and built-in feature standardization.
 //! * [`cv`] — shuffling, K-fold and stratified K-fold cross-validation.
@@ -34,3 +36,4 @@ pub mod tree;
 pub use error::{MlError, Result};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use mlp::{MlpClassifier, MlpRegressor};
+pub use tree::{SplitAlgo, TreeArena};

@@ -113,6 +113,11 @@ pub fn f1_score(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
     Ok(ConfusionMatrix::from_pairs(y_true, y_pred)?.f1_weighted())
 }
 
+/// Convenience: overall accuracy straight from label slices.
+pub fn accuracy_score(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_pairs(y_true, y_pred)?.accuracy())
+}
+
 /// Root mean squared error.
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
     if y_true.len() != y_pred.len() || y_true.is_empty() {
@@ -210,6 +215,14 @@ mod tests {
         assert!((cm.f1_macro() - f1_0 / 2.0).abs() < EPS);
         assert!((cm.f1_weighted() - 0.8 * f1_0).abs() < EPS);
         assert!(cm.f1_weighted() > cm.f1_macro());
+    }
+
+    #[test]
+    fn accuracy_score_matches_confusion_matrix() {
+        let t = [0, 0, 1, 1, 2];
+        let p = [0, 1, 1, 1, 0];
+        assert!((accuracy_score(&t, &p).unwrap() - 0.6).abs() < EPS);
+        assert!(accuracy_score(&[0], &[]).is_err());
     }
 
     #[test]

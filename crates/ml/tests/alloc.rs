@@ -1,0 +1,92 @@
+//! Pins the zero-allocation guarantee of tree fitting: once a
+//! [`TreeArena`] is warm, node expansion touches the heap only for the
+//! handful of buffers cloned into the returned `DecisionTree` — never per
+//! node — for **both** split engines.
+//!
+//! Measured with a counting global allocator (the pattern from
+//! `crates/core/tests/alloc.rs`). This file holds exactly one `#[test]`
+//! so no concurrent test can allocate while the counter window is open.
+
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::tree::{DecisionTree, MaxFeatures, SplitAlgo, TreeArena, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Labels nearly uncorrelated with the features, so trees must shatter
+/// the sample set and grow hundreds of nodes.
+fn dataset() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(360, 8, |r, c| {
+        let h = (r * 2654435761 + c * 40503) % 10_000;
+        h as f64 / 10_000.0
+    });
+    let y: Vec<f64> = (0..360).map(|r| ((r * 7919) % 4) as f64).collect();
+    (x, y)
+}
+
+#[test]
+fn warm_arena_fits_allocate_o1_not_per_node() {
+    let (x, y) = dataset();
+    for algo in [SplitAlgo::Exact, SplitAlgo::histogram()] {
+        for max_features in [MaxFeatures::All, MaxFeatures::Sqrt] {
+            let cfg = TreeConfig {
+                max_features,
+                split_algo: algo,
+                ..TreeConfig::classification()
+            };
+            let mut arena = TreeArena::new();
+            // Warm-up: sizes every arena buffer (allocates freely).
+            let warm =
+                DecisionTree::fit_with_arena(&mut arena, &x, &y, 4, &cfg, &mut rng()).unwrap();
+            assert!(
+                warm.node_count() > 100,
+                "want a non-trivial tree, got {} nodes",
+                warm.node_count()
+            );
+
+            // Measurement window: a full fit on the warm arena. Node
+            // expansion itself must be heap-silent; the only allocations
+            // allowed are the O(1) buffers cloned into the returned tree
+            // (nodes + importances, plus their container).
+            let a0 = ALLOCS.load(Ordering::SeqCst);
+            let tree =
+                DecisionTree::fit_with_arena(&mut arena, &x, &y, 4, &cfg, &mut rng()).unwrap();
+            let allocs = ALLOCS.load(Ordering::SeqCst) - a0;
+            assert!(
+                allocs <= 4,
+                "{algo:?}/{max_features:?}: warm fit allocated {allocs} times \
+                 for {} nodes (expected O(1), not O(nodes))",
+                tree.node_count()
+            );
+            assert_eq!(tree.node_count(), warm.node_count());
+        }
+    }
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(7)
+}

@@ -1,0 +1,528 @@
+//! Pins the exact split engine to the legacy (PR 2) splitter: the new
+//! pre-sorted / key-sorted engines and weight-based bagging must reproduce
+//! the node-resorting, matrix-materializing implementation **bit for bit**
+//! on fixed seeds.
+//!
+//! The `legacy` module below is a faithful copy of the PR 2 tree builder
+//! (per-node `(value, target)` sort through `partial_cmp`, per-tree
+//! bootstrap matrix copies). Gini statistics are integer-exact, so
+//! classification parity holds for arbitrary data, including ties and
+//! bootstrap duplicates. MSE statistics are floating-point folds whose
+//! value at a boundary depends on the summation order inside runs of tied
+//! feature values, so regression parity is pinned on distinct-valued data
+//! (tree level) and on near-equality at the forest level (weighted sums
+//! `w·y` replace `w` sequential additions of `y`).
+
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use cwsmooth_ml::tree::{Criterion, DecisionTree, MaxFeatures, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The PR 2 splitter, verbatim (modulo visibility plumbing).
+mod legacy {
+    use cwsmooth_linalg::Matrix;
+    use cwsmooth_ml::tree::{Criterion, MaxFeatures, TreeConfig};
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Leaf {
+            value: f64,
+        },
+        Split {
+            feature: usize,
+            threshold: f64,
+            left: u32,
+            right: u32,
+        },
+    }
+
+    pub struct LegacyTree {
+        pub nodes: Vec<Node>,
+        pub importances: Vec<f64>,
+    }
+
+    impl LegacyTree {
+        pub fn predict_one(&self, features: &[f64]) -> f64 {
+            let mut idx = 0usize;
+            loop {
+                match &self.nodes[idx] {
+                    Node::Leaf { value } => return *value,
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        idx = if features[*feature] <= *threshold {
+                            *left as usize
+                        } else {
+                            *right as usize
+                        };
+                    }
+                }
+            }
+        }
+
+        pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+            (0..x.rows()).map(|r| self.predict_one(x.row(r))).collect()
+        }
+    }
+
+    fn resolve(mf: MaxFeatures, d: usize) -> usize {
+        match mf {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Exact(k) => k.clamp(1, d),
+        }
+        .max(1)
+    }
+
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        n_classes: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> LegacyTree {
+        let mut builder = Builder {
+            x,
+            y,
+            n_classes,
+            config: *config,
+            nodes: Vec::new(),
+            feat_buf: (0..x.cols()).collect(),
+            pair_buf: Vec::new(),
+            importances: vec![0.0; x.cols()],
+            n_total: x.rows() as f64,
+        };
+        let mut indices: Vec<u32> = (0..x.rows() as u32).collect();
+        builder.build(&mut indices, 0, rng);
+        let mut importances = builder.importances;
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            importances.iter_mut().for_each(|v| *v /= total);
+        }
+        LegacyTree {
+            nodes: builder.nodes,
+            importances,
+        }
+    }
+
+    struct Builder<'a> {
+        x: &'a Matrix,
+        y: &'a [f64],
+        n_classes: usize,
+        config: TreeConfig,
+        nodes: Vec<Node>,
+        feat_buf: Vec<usize>,
+        pair_buf: Vec<(f64, f64)>,
+        importances: Vec<f64>,
+        n_total: f64,
+    }
+
+    struct BestSplit {
+        feature: usize,
+        threshold: f64,
+        gain: f64,
+    }
+
+    impl<'a> Builder<'a> {
+        fn build(&mut self, indices: &mut [u32], depth: usize, rng: &mut impl Rng) -> u32 {
+            let node_id = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf { value: 0.0 });
+
+            let leaf_value = self.leaf_value(indices);
+            let stop = indices.len() < self.config.min_samples_split
+                || self.config.max_depth.is_some_and(|d| depth >= d)
+                || self.is_pure(indices);
+            if stop {
+                self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+                return node_id;
+            }
+
+            let best = self.find_best_split(indices, rng);
+            let Some(best) = best else {
+                self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+                return node_id;
+            };
+
+            let mut lt = 0usize;
+            for i in 0..indices.len() {
+                if self.x.get(indices[i] as usize, best.feature) <= best.threshold {
+                    indices.swap(i, lt);
+                    lt += 1;
+                }
+            }
+            if lt == 0 || lt == indices.len() {
+                self.nodes[node_id as usize] = Node::Leaf { value: leaf_value };
+                return node_id;
+            }
+            self.importances[best.feature] += (indices.len() as f64 / self.n_total) * best.gain;
+            let (left_idx, right_idx) = indices.split_at_mut(lt);
+            let left = self.build(left_idx, depth + 1, rng);
+            let right = self.build(right_idx, depth + 1, rng);
+            self.nodes[node_id as usize] = Node::Split {
+                feature: best.feature,
+                threshold: best.threshold,
+                left,
+                right,
+            };
+            node_id
+        }
+
+        fn is_pure(&self, indices: &[u32]) -> bool {
+            let first = self.y[indices[0] as usize];
+            indices.iter().all(|&i| self.y[i as usize] == first)
+        }
+
+        fn leaf_value(&self, indices: &[u32]) -> f64 {
+            match self.config.criterion {
+                Criterion::Gini => {
+                    let mut counts = vec![0usize; self.n_classes];
+                    for &i in indices {
+                        counts[self.y[i as usize] as usize] += 1;
+                    }
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .map(|(cls, _)| cls as f64)
+                        .unwrap_or(0.0)
+                }
+                Criterion::Mse => {
+                    indices.iter().map(|&i| self.y[i as usize]).sum::<f64>() / indices.len() as f64
+                }
+            }
+        }
+
+        fn find_best_split(&mut self, indices: &[u32], rng: &mut impl Rng) -> Option<BestSplit> {
+            let d = self.x.cols();
+            let k = resolve(self.config.max_features, d);
+            let mut feats = std::mem::take(&mut self.feat_buf);
+            let (sampled, _) = feats.partial_shuffle(rng, k);
+            let mut best: Option<BestSplit> = None;
+            let mut pairs = std::mem::take(&mut self.pair_buf);
+            for &f in sampled.iter() {
+                if let Some(cand) = self.scan_feature(indices, f, &mut pairs) {
+                    if best.as_ref().is_none_or(|b| cand.gain > b.gain) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            self.pair_buf = pairs;
+            self.feat_buf = feats;
+            best
+        }
+
+        fn scan_feature(
+            &self,
+            indices: &[u32],
+            feature: usize,
+            pairs: &mut Vec<(f64, f64)>,
+        ) -> Option<BestSplit> {
+            let n = indices.len();
+            pairs.clear();
+            pairs.extend(
+                indices
+                    .iter()
+                    .map(|&i| (self.x.get(i as usize, feature), self.y[i as usize])),
+            );
+            pairs.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if pairs[0].0 == pairs[n - 1].0 {
+                return None;
+            }
+            let min_leaf = self.config.min_samples_leaf;
+
+            match self.config.criterion {
+                Criterion::Gini => {
+                    let mut left = vec![0usize; self.n_classes];
+                    let mut right = vec![0usize; self.n_classes];
+                    for &(_, y) in pairs.iter() {
+                        right[y as usize] += 1;
+                    }
+                    let parent_gini = gini_of(&right, n);
+                    let mut best_gain = 0.0;
+                    let mut best_threshold = None;
+                    let mut sum_sq_left = 0.0f64;
+                    let mut sum_sq_right: f64 = right.iter().map(|&c| (c * c) as f64).sum();
+                    for split in 1..n {
+                        let y = pairs[split - 1].1 as usize;
+                        sum_sq_left += (2 * left[y] + 1) as f64;
+                        sum_sq_right -= (2 * right[y] - 1) as f64;
+                        left[y] += 1;
+                        right[y] -= 1;
+                        if pairs[split].0 == pairs[split - 1].0 {
+                            continue;
+                        }
+                        if split < min_leaf || n - split < min_leaf {
+                            continue;
+                        }
+                        let nl = split as f64;
+                        let nr = (n - split) as f64;
+                        let gini_l = 1.0 - sum_sq_left / (nl * nl);
+                        let gini_r = 1.0 - sum_sq_right / (nr * nr);
+                        let weighted = (nl * gini_l + nr * gini_r) / n as f64;
+                        let gain = parent_gini - weighted;
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best_threshold = Some(midpoint(pairs[split - 1].0, pairs[split].0));
+                        }
+                    }
+                    best_threshold.map(|threshold| BestSplit {
+                        feature,
+                        threshold,
+                        gain: best_gain,
+                    })
+                }
+                Criterion::Mse => {
+                    let total_sum: f64 = pairs.iter().map(|&(_, y)| y).sum();
+                    let total_sq: f64 = pairs.iter().map(|&(_, y)| y * y).sum();
+                    let parent_var = total_sq / n as f64 - (total_sum / n as f64).powi(2);
+                    let mut best_gain = 0.0;
+                    let mut best_threshold = None;
+                    let mut sum_l = 0.0;
+                    let mut sq_l = 0.0;
+                    for split in 1..n {
+                        let y = pairs[split - 1].1;
+                        sum_l += y;
+                        sq_l += y * y;
+                        if pairs[split].0 == pairs[split - 1].0 {
+                            continue;
+                        }
+                        if split < min_leaf || n - split < min_leaf {
+                            continue;
+                        }
+                        let nl = split as f64;
+                        let nr = (n - split) as f64;
+                        let sum_r = total_sum - sum_l;
+                        let sq_r = total_sq - sq_l;
+                        let var_l = (sq_l / nl - (sum_l / nl).powi(2)).max(0.0);
+                        let var_r = (sq_r / nr - (sum_r / nr).powi(2)).max(0.0);
+                        let weighted = (nl * var_l + nr * var_r) / n as f64;
+                        let gain = parent_var - weighted;
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best_threshold = Some(midpoint(pairs[split - 1].0, pairs[split].0));
+                        }
+                    }
+                    best_threshold.map(|threshold| BestSplit {
+                        feature,
+                        threshold,
+                        gain: best_gain,
+                    })
+                }
+            }
+        }
+    }
+
+    fn gini_of(counts: &[usize], n: usize) -> f64 {
+        let n = n as f64;
+        1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+    }
+
+    fn midpoint(a: f64, b: f64) -> f64 {
+        let m = a + (b - a) / 2.0;
+        if m.is_finite() {
+            m
+        } else {
+            a
+        }
+    }
+
+    /// The PR 2 forest fit: bootstrap index draws + materialized resample.
+    pub fn forest_fit(
+        x: &Matrix,
+        y: &[f64],
+        n_classes: usize,
+        n_estimators: usize,
+        seed: u64,
+        tree_cfg: &TreeConfig,
+    ) -> Vec<LegacyTree> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        (0..n_estimators)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                let idx: Vec<u32> = (0..x.rows())
+                    .map(|_| rng.gen_range(0..x.rows()) as u32)
+                    .collect();
+                let mut data = Vec::with_capacity(idx.len() * x.cols());
+                let mut ry = Vec::with_capacity(idx.len());
+                for &s in &idx {
+                    data.extend_from_slice(x.row(s as usize));
+                    ry.push(y[s as usize]);
+                }
+                let bx = Matrix::from_vec(idx.len(), x.cols(), data).unwrap();
+                fit(&bx, &ry, n_classes, tree_cfg, &mut rng)
+            })
+            .collect()
+    }
+}
+
+/// Multi-class data with heavy value ties (quantized features): stresses
+/// the tie-handling equivalence of the Gini scan.
+fn tied_classification_data(n: usize, d: usize, classes: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>()).collect();
+    let x = Matrix::from_fn(n, d, |r, c| {
+        // Only ~8 distinct values per feature.
+        (r % classes) as f64 + (noise[r * d + c] * 8.0).floor() / 8.0
+    });
+    let y: Vec<f64> = (0..n).map(|r| (r % classes) as f64).collect();
+    (x, y)
+}
+
+/// Continuous regression data with (generically) distinct feature values.
+fn continuous_regression_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>()).collect();
+    let x = Matrix::from_fn(n, d, |r, c| noise[r * d + c] * 10.0);
+    let y: Vec<f64> = (0..n)
+        .map(|r| {
+            x.row(r)
+                .iter()
+                .enumerate()
+                .map(|(c, v)| v * (c + 1) as f64)
+                .sum()
+        })
+        .collect();
+    (x, y)
+}
+
+#[test]
+fn exact_tree_classification_matches_legacy_bitwise() {
+    for seed in [1u64, 7, 42, 1234] {
+        let (x, y) = tied_classification_data(240, 12, 5, seed);
+        for max_features in [MaxFeatures::All, MaxFeatures::Sqrt, MaxFeatures::Exact(3)] {
+            let cfg = TreeConfig {
+                max_features,
+                ..TreeConfig::classification()
+            };
+            let mut rng_new = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let mut rng_old = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let new = DecisionTree::fit(&x, &y, 5, &cfg, &mut rng_new).unwrap();
+            let old = legacy::fit(&x, &y, 5, &cfg, &mut rng_old);
+            assert_eq!(
+                new.predict(&x).unwrap(),
+                old.predict(&x),
+                "predictions diverged (seed {seed}, {max_features:?})"
+            );
+            assert_eq!(new.node_count(), old.nodes.len());
+            assert_eq!(new.feature_importances(), &old.importances[..]);
+        }
+    }
+}
+
+#[test]
+fn exact_tree_regression_matches_legacy_bitwise() {
+    for seed in [3u64, 11, 42] {
+        let (x, y) = continuous_regression_data(200, 6, seed);
+        for max_features in [MaxFeatures::All, MaxFeatures::Exact(2)] {
+            let cfg = TreeConfig {
+                max_features,
+                criterion: Criterion::Mse,
+                ..TreeConfig::regression()
+            };
+            let mut rng_new = StdRng::seed_from_u64(seed);
+            let mut rng_old = StdRng::seed_from_u64(seed);
+            let new = DecisionTree::fit(&x, &y, 0, &cfg, &mut rng_new).unwrap();
+            let old = legacy::fit(&x, &y, 0, &cfg, &mut rng_old);
+            let pn = new.predict(&x).unwrap();
+            let po = old.predict(&x);
+            assert_eq!(pn, po, "regression predictions diverged (seed {seed})");
+            assert_eq!(new.node_count(), old.nodes.len());
+        }
+    }
+}
+
+#[test]
+fn exact_forest_classification_matches_legacy_bitwise() {
+    // Weight-based bagging vs. materialized bootstrap resamples: Gini
+    // statistics are integer-exact, so the full forest pipeline (same RNG
+    // draws, weighted counts ≡ duplicate expansion) must agree bit for bit.
+    let (x, yf) = tied_classification_data(150, 8, 4, 99);
+    let y: Vec<usize> = yf.iter().map(|&v| v as usize).collect();
+    let mut cfg = ForestConfig::classification(77);
+    cfg.n_estimators = 12;
+    let mut rf = RandomForestClassifier::with_config(cfg);
+    rf.fit(&x, &y).unwrap();
+
+    let legacy_trees = legacy::forest_fit(&x, &yf, 4, 12, 77, &cfg.tree);
+    // Majority vote, identical tie-breaking (max_by_key keeps the last max).
+    let mut legacy_pred = Vec::with_capacity(x.rows());
+    let mut counts = [0usize; 4];
+    for r in 0..x.rows() {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for t in &legacy_trees {
+            counts[t.predict_one(x.row(r)) as usize] += 1;
+        }
+        legacy_pred.push(
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(cls, _)| cls)
+                .unwrap(),
+        );
+    }
+    assert_eq!(rf.predict(&x).unwrap(), legacy_pred);
+    let node_counts: Vec<usize> = rf.trees().iter().map(|t| t.node_count()).collect();
+    let legacy_nodes: Vec<usize> = legacy_trees.iter().map(|t| t.nodes.len()).collect();
+    assert_eq!(node_counts, legacy_nodes);
+}
+
+#[test]
+fn exact_forest_regression_matches_legacy_closely() {
+    // Weighted sums `w·y` replace `w` sequential additions of `y`, so the
+    // regression forest is only pinned up to last-ulp summation drift: the
+    // tree *structure* must match exactly, predictions near-exactly.
+    let (x, y) = continuous_regression_data(180, 5, 21);
+    let mut cfg = ForestConfig::regression(13);
+    cfg.n_estimators = 10;
+    let mut rf = RandomForestRegressor::with_config(cfg);
+    rf.fit(&x, &y).unwrap();
+
+    let legacy_trees = legacy::forest_fit(&x, &y, 0, 10, 13, &cfg.tree);
+    // Every split (feature AND threshold) must match bit for bit; only the
+    // leaf-value summation order is allowed to drift at the last ulp.
+    for (t, l) in rf.trees().iter().zip(&legacy_trees) {
+        let legacy_summary: Vec<Option<(usize, f64)>> = l
+            .nodes
+            .iter()
+            .map(|n| match n {
+                legacy::Node::Leaf { .. } => None,
+                legacy::Node::Split {
+                    feature, threshold, ..
+                } => Some((*feature, *threshold)),
+            })
+            .collect();
+        assert_eq!(
+            t.node_summaries(),
+            legacy_summary,
+            "tree structure diverged"
+        );
+    }
+
+    let k = legacy_trees.len() as f64;
+    let legacy_pred: Vec<f64> = (0..x.rows())
+        .map(|r| {
+            legacy_trees
+                .iter()
+                .map(|t| t.predict_one(x.row(r)))
+                .sum::<f64>()
+                / k
+        })
+        .collect();
+    for (p, q) in rf.predict(&x).unwrap().iter().zip(&legacy_pred) {
+        let denom = q.abs().max(1.0);
+        assert!(
+            ((p - q) / denom).abs() < 1e-12,
+            "regression forest drifted: {p} vs {q}"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the ML-substrate and CS-stage benchmarks and refreshes the
+# machine-readable perf snapshot (BENCH_ml.json) used to track the
+# performance trajectory across PRs.
+#
+#   ./scripts/bench_snapshot.sh          # full run (criterion + snapshot)
+#   BENCH_QUICK=1 ./scripts/bench_snapshot.sh   # CI smoke: snapshot only,
+#                                               # single rep per entry
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${BENCH_QUICK:-}" ]; then
+    cargo bench --bench forest
+    cargo bench --bench cs_stages
+fi
+cargo run --release -p cwsmooth-bench --bin bench_snapshot
+echo "== BENCH_ml.json =="
+cat BENCH_ml.json

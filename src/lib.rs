@@ -11,7 +11,8 @@
 //! * [`linalg`] — dense sensor matrices, statistics, correlation.
 //! * [`data`] — CSV I/O, time alignment, segments and windowing.
 //! * [`sim`] — the HPC-ODA-like monitoring-data simulator.
-//! * [`ml`] — random forests, MLPs, cross-validation, metrics.
+//! * [`ml`] — random forests (exact and binned-histogram split engines,
+//!   weight-based bagging), MLPs, cross-validation, metrics.
 //! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines, plus
 //!   online streaming and the sharded fleet engine.
 //! * [`analysis`] — Jensen-Shannon fidelity metrics and heatmap imaging.

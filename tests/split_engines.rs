@@ -1,0 +1,58 @@
+//! Quality parity between the random-forest split engines on the
+//! simulated fault dataset: the opt-in ≤256-bin histogram engine must
+//! stay within one percentage point of exact-mode k-fold accuracy, at
+//! both its 64-bin default and the finest 256-bin setting.
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
+use cwsmooth::data::WindowSpec;
+use cwsmooth::ml::cv::cross_validate_forest_classifier;
+use cwsmooth::ml::forest::{small_forest_config, RandomForestClassifier};
+use cwsmooth::ml::SplitAlgo;
+use cwsmooth::sim::segments::{fault_segment, SimConfig};
+
+#[test]
+fn histogram_kfold_accuracy_within_one_point_of_exact() {
+    // CS-10 features over the fault segment, as in the Fig. 3 protocol
+    // (scaled down for test time).
+    let seg = fault_segment(SimConfig::new(42, 2200));
+    let model = CsTrainer::default().train(&seg.matrix).unwrap();
+    let cs = CsMethod::new(model, 10).unwrap();
+    let ds = build_dataset(
+        &seg,
+        &cs,
+        DatasetOptions {
+            spec: WindowSpec::new(60, 10).unwrap(),
+            horizon: 0,
+        },
+    )
+    .unwrap();
+    let labels = ds.classes.as_ref().unwrap();
+
+    let cv = |algo: SplitAlgo| {
+        cross_validate_forest_classifier(&ds.features, labels, 5, 7, |s| {
+            RandomForestClassifier::with_config(small_forest_config(s, true).with_split_algo(algo))
+        })
+        .unwrap()
+    };
+    let exact = cv(SplitAlgo::Exact);
+    assert!(
+        exact.mean_accuracy() > 0.85,
+        "exact-mode accuracy degenerate: {}",
+        exact.mean_accuracy()
+    );
+    for algo in [
+        SplitAlgo::histogram(),
+        SplitAlgo::Histogram { max_bins: 256 },
+    ] {
+        let hist = cv(algo);
+        let gap = (exact.mean_accuracy() - hist.mean_accuracy()).abs();
+        assert!(
+            gap <= 0.01,
+            "{algo:?} accuracy {:.4} vs exact {:.4}: gap {:.4} > 1pp",
+            hist.mean_accuracy(),
+            exact.mean_accuracy(),
+            gap
+        );
+    }
+}
