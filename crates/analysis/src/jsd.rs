@@ -87,12 +87,23 @@ fn shannon(p: &[f64]) -> f64 {
 
 /// Jensen-Shannon divergence between two equally shaped 2-D distributions
 /// (Eq. 4): `JS(P‖Q) = H((P+Q)/2) − (H(P)+H(Q))/2`, in `[0, 1]` bits.
+///
+/// The comparison is only meaningful when both histograms share their
+/// `dims() × bins()` shape (same dimensions, same value binning).
+/// Mismatched shapes return `f64::NAN` — a defined, propagating "no
+/// comparison" value rather than a panic, so a shape bug in a caller's
+/// pipeline surfaces as NaN in its output instead of aborting it. Use
+/// [`try_js_divergence_2d`] to handle the mismatch as a value.
 pub fn js_divergence_2d(p: &DimensionHistogram, q: &DimensionHistogram) -> f64 {
-    assert_eq!(
-        (p.dims(), p.bins()),
-        (q.dims(), q.bins()),
-        "histogram shapes must match"
-    );
+    try_js_divergence_2d(p, q).unwrap_or(f64::NAN)
+}
+
+/// [`js_divergence_2d`] returning `None` (instead of NaN) when the two
+/// histograms disagree in `dims()` or `bins()`.
+pub fn try_js_divergence_2d(p: &DimensionHistogram, q: &DimensionHistogram) -> Option<f64> {
+    if (p.dims(), p.bins()) != (q.dims(), q.bins()) {
+        return None;
+    }
     let mid: Vec<f64> = p
         .probs
         .as_slice()
@@ -101,7 +112,7 @@ pub fn js_divergence_2d(p: &DimensionHistogram, q: &DimensionHistogram) -> f64 {
         .map(|(&a, &b)| 0.5 * (a + b))
         .collect();
     let js = shannon(&mid) - 0.5 * (p.entropy() + q.entropy());
-    js.clamp(0.0, 1.0)
+    Some(js.clamp(0.0, 1.0))
 }
 
 /// Nearest-neighbor upsampling of a matrix along the row (dimension) axis
@@ -254,11 +265,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn jsd_rejects_shape_mismatch() {
+    fn jsd_shape_mismatch_is_nan_not_panic() {
+        // Mismatched dims().
         let a = hist(&Matrix::zeros(2, 3), 4);
         let b = hist(&Matrix::zeros(3, 3), 4);
-        js_divergence_2d(&a, &b);
+        assert!(js_divergence_2d(&a, &b).is_nan());
+        assert!(try_js_divergence_2d(&a, &b).is_none());
+        // Mismatched bins().
+        let c = hist(&Matrix::zeros(2, 3), 8);
+        assert!(js_divergence_2d(&a, &c).is_nan());
+        assert!(try_js_divergence_2d(&a, &c).is_none());
+        // Matching shapes still produce a defined value through both
+        // entry points.
+        let d = hist(&Matrix::from_rows([[0.1, 0.9], [0.4, 0.6]]).unwrap(), 4);
+        let e = hist(&Matrix::from_rows([[0.2, 0.8], [0.3, 0.7]]).unwrap(), 4);
+        let js = js_divergence_2d(&d, &e);
+        assert!(js.is_finite());
+        assert_eq!(try_js_divergence_2d(&d, &e), Some(js));
     }
 
     #[test]

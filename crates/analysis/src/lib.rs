@@ -18,4 +18,4 @@ pub mod image;
 pub mod jsd;
 
 pub use image::GrayImage;
-pub use jsd::{cs_fidelity, js_divergence_2d, DimensionHistogram};
+pub use jsd::{cs_fidelity, js_divergence_2d, try_js_divergence_2d, DimensionHistogram};

@@ -1,0 +1,123 @@
+//! Signature-store benchmarks: ingest throughput per encoding, and
+//! exact-scan vs coarse-indexed k-NN query latency. The interesting
+//! numbers are the encoding cost relative to `Exact` (quantization must
+//! not dominate ingest) and the indexed/exact query ratio (the point of
+//! the coarse quantizer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_store::{Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const L: usize = 4;
+const NODES: u32 = 32;
+const EVENTS_PER_NODE: u64 = 64;
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(30, 10).unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cwsmooth-bench-store-{tag}-{}", std::process::id()))
+}
+
+fn fill(sig: &mut CsSignature, node: u32, w: u64) {
+    for (i, v) in sig.re.iter_mut().enumerate() {
+        *v = ((w as f64 + i as f64) * 0.31 + node as f64).sin() * 0.5 + 0.5;
+    }
+    for (i, v) in sig.im.iter_mut().enumerate() {
+        *v = ((w as f64 - i as f64) * 0.17 + node as f64).cos() * 0.01;
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ingest");
+    group.sample_size(20);
+    for (tag, encoding) in [
+        ("exact", Encoding::Exact),
+        ("quant8", Encoding::Quant8),
+        ("quant16", Encoding::Quant16),
+    ] {
+        group.bench_function(BenchmarkId::new("encoding", tag), |b| {
+            let dir = tmpdir(tag);
+            std::fs::remove_dir_all(&dir).ok();
+            let cfg = StoreConfig::default()
+                .with_encoding(encoding)
+                .with_block_events(64)
+                .with_max_segments(4); // cap disk growth across iterations
+            let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+            let mut sig = CsSignature {
+                re: vec![0.0; L],
+                im: vec![0.0; L],
+            };
+            let mut w = 0u64;
+            b.iter(|| {
+                for node in 0..NODES {
+                    for dw in 0..EVENTS_PER_NODE {
+                        fill(&mut sig, node, w + dw);
+                        store.push(node, w + dw, &sig).unwrap();
+                    }
+                }
+                w += EVENTS_PER_NODE;
+                black_box(store.stats().events);
+            });
+            drop(store);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_query");
+    group.sample_size(20);
+    // A 16k-signature corpus, built once.
+    let dir = tmpdir("query");
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = StoreConfig::default().with_encoding(Encoding::Quant16);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let mut sig = CsSignature {
+        re: vec![0.0; L],
+        im: vec![0.0; L],
+    };
+    for node in 0..NODES {
+        for w in 0..512u64 {
+            fill(&mut sig, node, w);
+            store.push(node, w, &sig).unwrap();
+        }
+    }
+    store.flush().unwrap();
+    let index = SignatureIndex::build(&store, Distance::L2)
+        .unwrap()
+        .with_coarse(32, 10)
+        .unwrap();
+    let queries: Vec<Vec<f64>> = (0..32u64)
+        .map(|q| {
+            fill(&mut sig, (q % NODES as u64) as u32, q * 17);
+            sig.to_features()
+        })
+        .collect();
+
+    group.bench_function("exact_scan_k10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.query(q, 10).unwrap());
+            }
+        })
+    });
+    group.bench_function("indexed_nprobe4_k10", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.query_indexed(q, 10, 4).unwrap());
+            }
+        })
+    });
+    group.finish();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_ingest, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Machine-readable signature-store performance snapshot: times ingest
+//! per encoding, exact vs coarse-indexed k-NN queries and the on-disk
+//! compression ratio on the fleet-sim workload, writing
+//! `BENCH_store.json` so future PRs can track the store's perf
+//! trajectory without parsing criterion output.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin
+//! bench_store_snapshot [--reps R] [--out PATH]` (`BENCH_QUICK=1`
+//! forces reps = 1 and a smaller workload for CI smoke runs).
+
+use cwsmooth_bench::Args;
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::fleet::FleetEngine;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
+use cwsmooth_store::{Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const L: usize = 4;
+const TRAIN: usize = 256;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cwsmooth-store-snap-{tag}-{}", std::process::id()))
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = Args::capture();
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let reps: usize = if quick { 1 } else { args.get("reps", 5) };
+    let out_path: String = args.get("out", "BENCH_store.json".to_string());
+    let nodes: usize = if quick { 16 } else { 64 };
+    let frames: usize = if quick { 600 } else { 2500 };
+
+    let spec = WindowSpec::new(30, 10).unwrap();
+    let scenario = FleetScenario::new(FleetSimConfig::new(42, nodes).with_gaps(5));
+    let methods: Vec<CsMethod> = (0..nodes)
+        .map(|node| {
+            let history = scenario.training_matrix(node, TRAIN);
+            CsMethod::new(CsTrainer::default().train(&history).unwrap(), L).unwrap()
+        })
+        .collect();
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, value: f64| {
+        println!("{name}: {value:.3}");
+        results.push((name.to_string(), value));
+    };
+
+    // Ingest throughput + compression ratio per encoding, fleet workload.
+    let mut query_store: Option<SignatureStore> = None;
+    for (tag, encoding) in [
+        ("exact", Encoding::Exact),
+        ("quant8", Encoding::Quant8),
+        ("quant16", Encoding::Quant16),
+    ] {
+        let dir = tmpdir(tag);
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig::default().with_encoding(encoding);
+        // Setup (store creation, engine construction) happens outside the
+        // timer: the recorded number is frame ingest + flush only — the
+        // hot path — so the snapshot tracks encoding cost, not setup.
+        let mut last: Option<SignatureStore> = None;
+        let mut samples: Vec<f64> = Vec::new();
+        for _ in 0..reps.max(1) {
+            std::fs::remove_dir_all(&dir).ok();
+            let mut store = SignatureStore::open(&dir, spec, L, cfg).unwrap();
+            let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+            let mut frame = engine.frame();
+            let t0 = Instant::now();
+            for f in 0..frames {
+                let t = TRAIN + f;
+                frame.clear();
+                for node in 0..nodes {
+                    if !scenario.has_gap(node, t) {
+                        scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+                    }
+                }
+                engine.ingest_frame_sink(&frame, &mut store).unwrap();
+            }
+            store.flush().unwrap();
+            samples.push(t0.elapsed().as_secs_f64() * 1000.0);
+            last = Some(store);
+        }
+        samples.sort_by(f64::total_cmp);
+        let ms = samples[samples.len() / 2];
+        let store = last.unwrap();
+        let events = store.stats().events;
+        record(
+            &format!("store_ingest_{tag}_kevents_per_s"),
+            events as f64 / ms,
+        );
+        let raw = events * (8 + 8 * store.dim() as u64);
+        record(
+            &format!("store_compression_{tag}_x"),
+            raw as f64 / store.bytes_on_disk() as f64,
+        );
+        if encoding == Encoding::Exact {
+            query_store = Some(store);
+        } else {
+            drop(store);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    // Query latency: exact scan vs coarse-indexed, same corpus.
+    let store = query_store.unwrap();
+    let index = SignatureIndex::build(&store, Distance::L2)
+        .unwrap()
+        .with_coarse(24, 10)
+        .unwrap();
+    let mut queries: Vec<Vec<f64>> = Vec::new();
+    store
+        .for_each(|_, w, feats| {
+            if w % 37 == 0 && queries.len() < 64 {
+                queries.push(feats.to_vec());
+            }
+        })
+        .unwrap();
+    record("store_index_size", index.len() as f64);
+    let ms = time_ms(reps, || {
+        for q in &queries {
+            black_box(index.query(q, 10).unwrap());
+        }
+    });
+    record(
+        "store_query_exact_k10_us",
+        ms * 1000.0 / queries.len() as f64,
+    );
+    let ms = time_ms(reps, || {
+        for q in &queries {
+            black_box(index.query_indexed(q, 10, 4).unwrap());
+        }
+    });
+    record(
+        "store_query_indexed_k10_us",
+        ms * 1000.0 / queries.len() as f64,
+    );
+    let dir = store.dir().to_path_buf();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Assemble JSON by hand (flat snapshot, no serde needed).
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 4,\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"reps\": {reps},\n  \"nodes\": {nodes},\n  \"frames\": {frames},\n"
+    ));
+    json.push_str("  \"current\": {\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

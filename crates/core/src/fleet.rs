@@ -153,36 +153,73 @@ pub struct FleetStats {
     pub gaps: u64,
 }
 
+/// Consumer of completed-window events, fed by
+/// [`FleetEngine::ingest_frame_sink`]. Implementations receive each
+/// event *by reference* — the engine retains ownership of the event
+/// (and, crucially, of its signature buffers, which it reuses across
+/// frames), so a sink that only inspects or copies values out keeps the
+/// whole ingest path allocation-free.
+///
+/// Events of one frame are delivered in node order, after all shards
+/// have finished the frame. An error aborts delivery of the remaining
+/// events of that frame and is returned to the ingest caller.
+pub trait FleetSink {
+    /// Receives one completed-window event.
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()>;
+}
+
+/// Collects events by cloning them — the sink behind
+/// [`FleetEngine::ingest_frame_into`]. The vector is *not* cleared
+/// first, so it can accumulate across frames.
+impl FleetSink for Vec<FleetEvent> {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        self.push(event.clone());
+        Ok(())
+    }
+}
+
 /// A contiguous slice of the fleet owned by one worker.
 #[derive(Debug)]
 struct Shard {
     /// First node id in this shard.
     start: usize,
     streams: Vec<OnlineCs>,
-    /// Event buffer reused across frames.
+    /// Staged events of the current frame. Acts as a pool: only the
+    /// first `staged` entries are live; the rest keep their signature
+    /// buffers so steady-state frames never allocate.
     events: Vec<FleetEvent>,
+    staged: usize,
 }
 
 impl Shard {
     fn ingest(&mut self, frame: &FleetFrame) -> Result<()> {
-        self.events.clear();
+        self.staged = 0;
         for (i, stream) in self.streams.iter_mut().enumerate() {
             let node = self.start + i;
             match frame.readings(node) {
                 Some(column) => {
-                    let mut signature = CsSignature::default();
-                    if stream.push_into(column, &mut signature)? {
+                    if self.staged == self.events.len() {
                         self.events.push(FleetEvent {
                             node,
-                            window_index: stream.emitted() - 1,
-                            signature,
+                            window_index: 0,
+                            signature: CsSignature::default(),
                         });
+                    }
+                    let slot = &mut self.events[self.staged];
+                    if stream.push_into(column, &mut slot.signature)? {
+                        slot.node = node;
+                        slot.window_index = stream.emitted() - 1;
+                        self.staged += 1;
                     }
                 }
                 None => stream.push_gap(),
             }
         }
         Ok(())
+    }
+
+    fn staged(&self) -> &[FleetEvent] {
+        &self.events[..self.staged]
     }
 }
 
@@ -239,6 +276,7 @@ impl FleetEngine {
                     .map(|m| OnlineCs::new(m, spec))
                     .collect(),
                 events: Vec::new(),
+                staged: 0,
             });
             start += len;
         }
@@ -298,14 +336,21 @@ impl FleetEngine {
         Some(&shard.streams[node - shard.start])
     }
 
-    /// Ingests one frame, appending any completed-window events to `out`
-    /// (cleared first) in node order. Nodes absent from the frame take the
-    /// gap-recovery path. This is the batch hot path: shards run in
-    /// parallel, per-shard buffers are reused.
-    pub fn ingest_frame_into(
+    /// Ingests one frame, handing any completed-window events to `sink`
+    /// in node order. Nodes absent from the frame take the gap-recovery
+    /// path. This is the batch hot path: shards run in parallel, every
+    /// buffer — including the event structs and their signature vectors —
+    /// is reused across frames, so with an allocation-free sink the
+    /// whole path is heap-silent in steady state.
+    ///
+    /// If the sink errors, the remaining events of the frame are not
+    /// delivered, the stats counters are left unchanged, and the error
+    /// propagates; the per-node streams have already advanced (the frame
+    /// *was* ingested).
+    pub fn ingest_frame_sink<S: FleetSink>(
         &mut self,
         frame: &FleetFrame,
-        out: &mut Vec<FleetEvent>,
+        sink: &mut S,
     ) -> Result<()> {
         if frame.nodes() != self.nodes || frame.n_sensors() != self.n_sensors {
             return Err(CoreError::Shape(format!(
@@ -316,7 +361,6 @@ impl FleetEngine {
                 self.n_sensors
             )));
         }
-        out.clear();
         if self.shards.len() == 1 {
             self.shards[0].ingest(frame)?;
         } else {
@@ -327,13 +371,30 @@ impl FleetEngine {
                 .map(|shard| shard.ingest(frame))
                 .collect::<Result<Vec<()>>>()?;
         }
-        for shard in &mut self.shards {
-            out.append(&mut shard.events);
+        let mut events = 0u64;
+        for shard in &self.shards {
+            for event in shard.staged() {
+                sink.on_event(event)?;
+            }
+            events += shard.staged as u64;
         }
         self.stats.frames += 1;
-        self.stats.events += out.len() as u64;
+        self.stats.events += events;
         self.stats.gaps += (self.nodes - frame.present_count()) as u64;
         Ok(())
+    }
+
+    /// [`FleetEngine::ingest_frame_sink`] appending events to `out`
+    /// (cleared first) — the shape callers that want an owning `Vec`
+    /// use; each delivered event is cloned out of the engine's reused
+    /// buffers.
+    pub fn ingest_frame_into(
+        &mut self,
+        frame: &FleetFrame,
+        out: &mut Vec<FleetEvent>,
+    ) -> Result<()> {
+        out.clear();
+        self.ingest_frame_sink(frame, out)
     }
 
     /// [`FleetEngine::ingest_frame_into`] returning a fresh event vector.
@@ -419,6 +480,87 @@ mod tests {
             let total_gaps: usize = (0..nodes).map(|i| engine.node(i).unwrap().gaps()).sum();
             assert_eq!(engine.stats().gaps, total_gaps as u64);
         }
+    }
+
+    /// A sink that copies values out without owning any event.
+    struct Summing {
+        events: usize,
+        checksum: f64,
+        fail_after: Option<usize>,
+    }
+
+    impl FleetSink for Summing {
+        fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+            if self.fail_after.is_some_and(|n| self.events >= n) {
+                return Err(CoreError::Persist("sink full".into()));
+            }
+            self.events += 1;
+            self.checksum += event.node as f64
+                + event.window_index as f64
+                + event.signature.re.iter().sum::<f64>();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_delivery_matches_vec_collection() {
+        for shards in [1usize, 4] {
+            let (mut via_sink, mats) = build_fleet(9, 4, 80, shards);
+            let (mut via_vec, _) = build_fleet(9, 4, 80, shards);
+            let mut sink = Summing {
+                events: 0,
+                checksum: 0.0,
+                fail_after: None,
+            };
+            let mut collected: Vec<FleetEvent> = Vec::new();
+            let mut frame = via_sink.frame();
+            let mut events = Vec::new();
+            for c in 0..80 {
+                frame.clear();
+                for (i, m) in mats.iter().enumerate() {
+                    if (c + i) % 7 != 0 {
+                        frame.set(i, &m.col(c)).unwrap();
+                    }
+                }
+                via_sink.ingest_frame_sink(&frame, &mut sink).unwrap();
+                via_vec.ingest_frame_into(&frame, &mut events).unwrap();
+                collected.extend(events.iter().cloned());
+            }
+            assert_eq!(sink.events, collected.len());
+            let expect: f64 = collected
+                .iter()
+                .map(|e| e.node as f64 + e.window_index as f64 + e.signature.re.iter().sum::<f64>())
+                .sum();
+            assert!((sink.checksum - expect).abs() < 1e-9, "shards={shards}");
+            assert_eq!(via_sink.stats(), via_vec.stats());
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_frame_delivery_and_keeps_stats() {
+        let (mut engine, mats) = build_fleet(6, 4, 40, 2);
+        let mut frame = engine.frame();
+        let mut sink = Summing {
+            events: 0,
+            checksum: 0.0,
+            fail_after: Some(2),
+        };
+        let mut failed_at = None;
+        for c in 0..40 {
+            frame.clear();
+            for (i, m) in mats.iter().enumerate() {
+                frame.set(i, &m.col(c)).unwrap();
+            }
+            let stats_before = engine.stats();
+            if engine.ingest_frame_sink(&frame, &mut sink).is_err() {
+                // Counters stay at the pre-frame values on sink failure.
+                assert_eq!(engine.stats(), stats_before);
+                failed_at = Some(c);
+                break;
+            }
+        }
+        assert!(failed_at.is_some(), "sink never filled up");
+        assert_eq!(sink.events, 2);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod scale;
 
 pub use cs::{CsMethod, CsSignature, CsTrainer};
 pub use error::{CoreError, Result};
-pub use fleet::{FleetEngine, FleetEvent, FleetFrame, FleetStats};
+pub use fleet::{FleetEngine, FleetEvent, FleetFrame, FleetSink, FleetStats};
 pub use method::SignatureMethod;
 pub use model::CsModel;
 pub use online::OnlineCs;

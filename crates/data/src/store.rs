@@ -34,14 +34,30 @@ fn sanitize(name: &str) -> String {
 
 /// Writes a segment as a directory of per-sensor CSVs plus sidecars.
 ///
-/// Fails if two sensor names collide after sanitization.
+/// Fails if two sensor names collide after sanitization, if a sensor
+/// name sanitizes to a reserved sidecar stem (`_labels`, `_meta` — the
+/// sidecar would silently overwrite the sensor's file), or if the
+/// segment or a sensor name contains a line break (the sidecars are
+/// line-oriented, so such a name could not round-trip).
 pub fn save_segment(dir: impl AsRef<Path>, segment: &Segment) -> Result<()> {
     let dir = dir.as_ref();
+    for name in std::iter::once(&segment.name).chain(&segment.sensor_names) {
+        if name.contains(['\n', '\r']) {
+            return Err(DataError::Invalid(format!(
+                "name {name:?} contains a line break and cannot round-trip"
+            )));
+        }
+    }
     std::fs::create_dir_all(dir)?;
 
     let mut stems = std::collections::HashSet::new();
     for (i, name) in segment.sensor_names.iter().enumerate() {
         let stem = sanitize(name);
+        if stem == "_labels" || stem == "_meta" {
+            return Err(DataError::Invalid(format!(
+                "sensor name `{name}` sanitizes to the reserved sidecar stem `{stem}`"
+            )));
+        }
         if !stems.insert(stem.clone()) {
             return Err(DataError::Invalid(format!(
                 "sensor name collision after sanitization: `{name}` -> `{stem}`"
@@ -105,6 +121,11 @@ pub fn load_segment(dir: impl AsRef<Path>) -> Result<Segment> {
     }
     if sensor_names.is_empty() {
         return Err(DataError::Invalid("_meta.csv lists no sensors".into()));
+    }
+    if task != "classification" && task != "regression" {
+        return Err(DataError::Invalid(format!(
+            "_meta.csv declares unknown task `{task}`"
+        )));
     }
 
     // Per-sensor series, in recorded order.

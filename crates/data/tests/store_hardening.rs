@@ -1,0 +1,185 @@
+//! Hardening suite for `cwsmooth_data::store`: property-based
+//! save/load round-trips over arbitrary segments, and proof that
+//! truncated or garbage on-disk state surfaces `Err` — never a panic.
+
+use cwsmooth_data::store::{load_segment, save_segment};
+use cwsmooth_data::{LabelTrack, Segment};
+use cwsmooth_linalg::Matrix;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cwsmooth-data-hardening-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Sensor names with the frictions real exports have (slashes, spaces,
+/// percent signs), kept collision-free by the index prefix.
+fn sensor_names(n: usize) -> Vec<String> {
+    let frills = ["cpu/user%", "mem used gb", "temp.in", "power#w", "plain"];
+    (0..n)
+        .map(|i| format!("s{i}_{}", frills[i % frills.len()]))
+        .collect()
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (1usize..6, 1usize..20, any::<bool>()).prop_flat_map(|(sensors, samples, classify)| {
+        let values = prop::collection::vec(-1e9f64..1e9f64, sensors * samples);
+        let class_labels = prop::collection::vec(0usize..7, samples);
+        let value_labels = prop::collection::vec(-1e6f64..1e6f64, samples);
+        (values, class_labels, value_labels).prop_map(move |(v, cl, vl)| {
+            let matrix = Matrix::from_vec(sensors, samples, v).unwrap();
+            let timestamps: Vec<u64> = (0..samples as u64).map(|t| t * 100 + 7).collect();
+            let labels = if classify {
+                LabelTrack::Classes(cl)
+            } else {
+                LabelTrack::Values(vl)
+            };
+            Segment::new(
+                "prop-seg",
+                matrix,
+                sensor_names(sensors),
+                timestamps,
+                labels,
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn save_load_roundtrip_preserves_everything(seg in arb_segment()) {
+        let dir = tmpdir();
+        save_segment(&dir, &seg).unwrap();
+        let back = load_segment(&dir).unwrap();
+        prop_assert_eq!(&back.name, &seg.name);
+        prop_assert_eq!(&back.sensor_names, &seg.sensor_names);
+        prop_assert_eq!(&back.timestamps, &seg.timestamps);
+        prop_assert_eq!(&back.labels, &seg.labels);
+        // Values round-trip exactly (shortest-f64 formatting).
+        prop_assert_eq!(&back.matrix, &seg.matrix);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Chopping any sidecar or sensor file at any point must produce a
+    /// clean `Err`, never a panic.
+    #[test]
+    fn truncated_files_error_cleanly(
+        seg in arb_segment(),
+        victim in 0usize..3,
+        frac in 0.0f64..0.95,
+    ) {
+        let dir = tmpdir();
+        save_segment(&dir, &seg).unwrap();
+        let path = match victim {
+            0 => dir.join("_meta.csv"),
+            1 => dir.join("_labels.csv"),
+            _ => {
+                let stem: String = seg.sensor_names[0]
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() || "-_.".contains(c) { c } else { '_' })
+                    .collect();
+                dir.join(format!("{stem}.csv"))
+            }
+        };
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = (len as f64 * frac) as u64;
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(cut).unwrap();
+        match load_segment(&dir) {
+            Ok(back) => {
+                // A cut that happens to leave valid CSV may still load;
+                // then it must be internally consistent.
+                prop_assert_eq!(back.sensor_names.len(), back.matrix.rows());
+                prop_assert_eq!(back.timestamps.len(), back.matrix.cols());
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Overwriting any file with arbitrary bytes (including invalid
+    /// UTF-8) must produce `Err` or a consistent segment, never a panic.
+    #[test]
+    fn garbage_files_error_cleanly(
+        seg in arb_segment(),
+        victim in 0usize..2,
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let dir = tmpdir();
+        save_segment(&dir, &seg).unwrap();
+        let path = if victim == 0 { dir.join("_meta.csv") } else { dir.join("_labels.csv") };
+        std::fs::write(&path, &garbage).unwrap();
+        match load_segment(&dir) {
+            Ok(back) => {
+                prop_assert_eq!(back.sensor_names.len(), back.matrix.rows());
+                prop_assert_eq!(back.timestamps.len(), back.matrix.cols());
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn names_with_line_breaks_are_rejected_on_save() {
+    let m = Matrix::from_rows([[1.0, 2.0]]).unwrap();
+    let seg = Segment::new(
+        "bad\nname",
+        m.clone(),
+        vec!["s0".into()],
+        vec![0, 1],
+        LabelTrack::Classes(vec![0, 0]),
+    )
+    .unwrap();
+    let dir = tmpdir();
+    assert!(save_segment(&dir, &seg).is_err());
+    let seg = Segment::new(
+        "ok",
+        m,
+        vec!["s\r0".into()],
+        vec![0, 1],
+        LabelTrack::Classes(vec![0, 0]),
+    )
+    .unwrap();
+    assert!(save_segment(&dir, &seg).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reserved_sidecar_stems_are_rejected_on_save() {
+    let m = Matrix::from_rows([[1.0, 2.0]]).unwrap();
+    // These sanitize to sidecar stems; writing them would let the
+    // sidecar overwrite the sensor's data file.
+    for name in ["_labels", "_meta"] {
+        let seg = Segment::new(
+            "reserved",
+            m.clone(),
+            vec![name.to_string()],
+            vec![0, 1],
+            LabelTrack::Classes(vec![0, 0]),
+        )
+        .unwrap();
+        let dir = tmpdir();
+        assert!(save_segment(&dir, &seg).is_err(), "{name} accepted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn unknown_task_kind_is_rejected_on_load() {
+    let dir = tmpdir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("_meta.csv"), "name,x\ntask,sorcery\nsensor,s0\n").unwrap();
+    std::fs::write(dir.join("s0.csv"), "timestamp,value\n0,1.0\n").unwrap();
+    std::fs::write(dir.join("_labels.csv"), "timestamp,label\n0,0\n").unwrap();
+    let err = load_segment(&dir).unwrap_err();
+    assert!(err.to_string().contains("sorcery"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -192,6 +192,56 @@ impl RandomForestClassifier {
         Ok(())
     }
 
+    /// Fits from an iterator of `(features, class)` rows — the shape
+    /// streaming producers (e.g. a persistent signature store replaying
+    /// events off disk) hand out, saving callers the manual
+    /// matrix-assembly boilerplate. All rows must share one width.
+    ///
+    /// ```
+    /// use cwsmooth_ml::forest::RandomForestClassifier;
+    ///
+    /// let rows: Vec<(Vec<f64>, usize)> = (0..40)
+    ///     .map(|i| {
+    ///         let x = i as f64 / 39.0;
+    ///         (vec![x, 1.0 - x], usize::from(x > 0.5))
+    ///     })
+    ///     .collect();
+    /// let mut rf = RandomForestClassifier::new(7);
+    /// rf.fit_labelled_rows(rows.iter().map(|(r, c)| (r.as_slice(), *c)))
+    ///     .unwrap();
+    /// assert_eq!(rf.n_classes(), 2);
+    /// ```
+    pub fn fit_labelled_rows<'a, I>(&mut self, rows: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (&'a [f64], usize)>,
+    {
+        let mut flat: Vec<f64> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        let mut width = 0usize;
+        for (row, class) in rows {
+            if y.is_empty() {
+                width = row.len();
+            } else if row.len() != width {
+                return Err(MlError::Shape(format!(
+                    "row {} has {} features, previous rows have {width}",
+                    y.len(),
+                    row.len()
+                )));
+            }
+            flat.extend_from_slice(row);
+            y.push(class);
+        }
+        if y.is_empty() {
+            return Err(MlError::Shape("no rows to fit on".into()));
+        }
+        if width == 0 {
+            return Err(MlError::Shape("rows carry zero features".into()));
+        }
+        let x =
+            Matrix::from_vec(y.len(), width, flat).map_err(|e| MlError::Shape(e.to_string()))?;
+        self.fit(&x, &y)
+    }
+
     /// Majority-vote predictions for every row of `x`, computed in
     /// parallel over row chunks.
     pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
@@ -384,6 +434,35 @@ mod tests {
         let acc = pred.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
         assert_eq!(rf.n_classes(), 2);
+    }
+
+    #[test]
+    fn fit_labelled_rows_matches_matrix_fit() {
+        let (x, y) = xor_data(120);
+        let mut via_rows = RandomForestClassifier::with_config(small_forest_config(3, true));
+        via_rows
+            .fit_labelled_rows((0..x.rows()).map(|r| (x.row(r), y[r])))
+            .unwrap();
+        let mut via_matrix = RandomForestClassifier::with_config(small_forest_config(3, true));
+        via_matrix.fit(&x, &y).unwrap();
+        // Identical data and seed: identical predictions.
+        assert_eq!(
+            via_rows.predict(&x).unwrap(),
+            via_matrix.predict(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_labelled_rows_rejects_bad_shapes() {
+        let mut rf = RandomForestClassifier::new(1);
+        assert!(rf.fit_labelled_rows(std::iter::empty()).is_err());
+        let empty: [f64; 0] = [];
+        assert!(rf.fit_labelled_rows([(empty.as_slice(), 0)]).is_err());
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        assert!(rf
+            .fit_labelled_rows([(a.as_slice(), 0), (b.as_slice(), 1)])
+            .is_err());
     }
 
     #[test]

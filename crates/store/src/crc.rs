@@ -1,0 +1,101 @@
+//! CRC-32 (IEEE 802.3 polynomial), the checksum guarding every segment
+//! header and block. Table-driven, computed at compile time — no external
+//! dependency.
+
+/// 256-entry lookup table for the reflected polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ b as u32) & 0xFF;
+            self.state = (self.state >> 8) ^ TABLE[idx as usize];
+        }
+    }
+
+    /// Finalizes and returns the checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"correlation-wise smoothing";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_any_byte() {
+        let mut data = *b"0123456789abcdef";
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x01;
+            assert_ne!(crc32(&data), base, "flip at {i} undetected");
+            data[i] ^= 0x01;
+        }
+    }
+}

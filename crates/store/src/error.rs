@@ -1,0 +1,68 @@
+//! Error type for the signature store.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced while persisting or querying signatures.
+///
+/// The read path never panics on bad bytes: every structural violation a
+/// damaged or truncated file can exhibit surfaces as
+/// [`StoreError::Corrupt`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A segment file failed structural validation (bad magic, short read,
+    /// CRC mismatch, impossible field value).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset of the record being read when validation failed.
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// Existing on-disk state disagrees with the requested store geometry
+    /// (signature block count or window spec).
+    Mismatch(String),
+    /// Bad configuration or API misuse (zero block capacity, wrong query
+    /// dimension, non-finite signature values, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Corrupt {
+                path,
+                offset,
+                message,
+            } => write!(
+                f,
+                "corrupt segment {} at byte {offset}: {message}",
+                path.display()
+            ),
+            StoreError::Mismatch(m) => write!(f, "store mismatch: {m}"),
+            StoreError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias for the store layer.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,759 @@
+//! The `cws` segment file format: append-only, versioned, columnar.
+//!
+//! A segment file is a 32-byte header followed by any number of *blocks*.
+//! Each block holds the signatures one node emitted over a contiguous run
+//! of windows — the columnar unit queries seek to. All integers are
+//! little-endian; every header and block is CRC-32-guarded so damaged or
+//! truncated files surface [`StoreError::Corrupt`] instead of garbage
+//! data (or a panic).
+//!
+//! ```text
+//! file   := header block*
+//! header := magic[8]="CWSMSIG\x01" version:u16 mode:u8 _:u8
+//!           l:u32 wl:u32 ws:u32 _:u32 crc:u32          (32 bytes)
+//! block  := "CWSB" node:u32 first_window:u64 count:u32
+//!           delta_bits:u8 _:[u8;3] payload_len:u32     (28 bytes)
+//!           [re_min re_max im_min im_max : f64]        (quant modes only)
+//!           deltas[ceil((count-1)*delta_bits/8)]       (bitpacked)
+//!           values[count * 2l * sizeof(mode)]          (event-major, re then im)
+//!           crc:u32                                    (over block start..values end)
+//! ```
+//!
+//! Window indexes are stored as `first_window` plus bitpacked
+//! `delta − 1` values (windows are strictly increasing; on a gapless
+//! stream every delta is 1, so `delta_bits = 0` and the axis costs zero
+//! bytes). Quantized modes store each value as `u8`/`u16` against the
+//! block's per-component min/max scale.
+
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+use std::path::Path;
+
+/// File magic: "CWSMSIG" + format generation byte.
+pub const FILE_MAGIC: [u8; 8] = *b"CWSMSIG\x01";
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Block magic ("CWSB" on disk).
+pub const BLOCK_MAGIC: u32 = u32::from_le_bytes(*b"CWSB");
+/// Size of the file header in bytes.
+pub const FILE_HEADER_LEN: usize = 32;
+/// Size of the fixed block header in bytes (before optional scales).
+pub const BLOCK_HEADER_LEN: usize = 28;
+/// Largest accepted signature block count `l`. A sanity bound: header
+/// CRCs catch accidental damage but are recomputable, so field values
+/// must also be plausibility-checked before they size any arithmetic.
+pub(crate) const MAX_L: u32 = 1 << 20;
+/// Largest accepted per-block event count (blocks are staged in memory
+/// before writing; nothing legitimate approaches this).
+pub(crate) const MAX_BLOCK_COUNT: u32 = 1 << 24;
+
+/// How signature values are encoded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// `f64` values: lossless, bit-identical round-trips.
+    #[default]
+    Exact,
+    /// `u8` against a per-block min/max scale (~8x smaller than exact).
+    Quant8,
+    /// `u16` against a per-block min/max scale (~4x smaller than exact).
+    Quant16,
+}
+
+impl Encoding {
+    /// On-disk mode byte.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Encoding::Exact => 0,
+            Encoding::Quant8 => 1,
+            Encoding::Quant16 => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Encoding::Exact),
+            1 => Some(Encoding::Quant8),
+            2 => Some(Encoding::Quant16),
+            _ => None,
+        }
+    }
+
+    /// Bytes per stored signature value.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            Encoding::Exact => 8,
+            Encoding::Quant8 => 1,
+            Encoding::Quant16 => 2,
+        }
+    }
+
+    fn qmax(self) -> f64 {
+        match self {
+            Encoding::Exact => 0.0,
+            Encoding::Quant8 => u8::MAX as f64,
+            Encoding::Quant16 => u16::MAX as f64,
+        }
+    }
+
+    fn scales_len(self) -> usize {
+        if self == Encoding::Exact {
+            0
+        } else {
+            32
+        }
+    }
+}
+
+/// Parsed segment file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FileHeader {
+    pub mode: Encoding,
+    pub l: u32,
+    pub wl: u32,
+    pub ws: u32,
+}
+
+impl FileHeader {
+    /// Serializes the header (including its CRC) into `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&FILE_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(self.mode.code());
+        out.push(0);
+        out.extend_from_slice(&self.l.to_le_bytes());
+        out.extend_from_slice(&self.wl.to_le_bytes());
+        out.extend_from_slice(&self.ws.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Parses and validates a header from the start of `bytes`.
+    pub fn parse(bytes: &[u8], path: &Path) -> Result<Self> {
+        let corrupt = |offset: u64, message: String| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            offset,
+            message,
+        };
+        if bytes.len() < FILE_HEADER_LEN {
+            return Err(corrupt(
+                bytes.len() as u64,
+                format!(
+                    "file header truncated ({} of {FILE_HEADER_LEN} bytes)",
+                    bytes.len()
+                ),
+            ));
+        }
+        if bytes[..8] != FILE_MAGIC {
+            return Err(corrupt(0, "bad file magic".into()));
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != FORMAT_VERSION {
+            return Err(corrupt(8, format!("unsupported format version {version}")));
+        }
+        let stored_crc = read_u32(bytes, 28);
+        let actual = crc32(&bytes[..28]);
+        if stored_crc != actual {
+            return Err(corrupt(
+                28,
+                format!("header CRC mismatch (stored {stored_crc:08x}, computed {actual:08x})"),
+            ));
+        }
+        let mode = Encoding::from_code(bytes[10])
+            .ok_or_else(|| corrupt(10, format!("unknown encoding mode {}", bytes[10])))?;
+        let l = read_u32(bytes, 12);
+        if l == 0 || l > MAX_L {
+            return Err(corrupt(
+                12,
+                format!("signature block count {l} outside 1..={MAX_L}"),
+            ));
+        }
+        let wl = read_u32(bytes, 16);
+        let ws = read_u32(bytes, 20);
+        if wl == 0 || ws == 0 {
+            return Err(corrupt(16, "zero-length window spec".into()));
+        }
+        Ok(Self { mode, l, wl, ws })
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn read_f64(bytes: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Bytes the bitpacked delta section occupies.
+fn delta_section_len(count: u32, delta_bits: u8) -> usize {
+    ((count as usize - 1) * delta_bits as usize).div_ceil(8)
+}
+
+/// Smallest bit width that can hold `x`.
+fn bits_for(x: u64) -> u8 {
+    (64 - x.leading_zeros()) as u8
+}
+
+/// Appends `(count-1)` `delta − 1` values to `out`, LSB-first.
+fn pack_deltas(out: &mut Vec<u8>, windows: &[u64], bits: u8) {
+    if bits == 0 {
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    for pair in windows.windows(2) {
+        let v = pair[1] - pair[0] - 1;
+        acc |= v << filled;
+        filled += bits as u32;
+        while filled >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            filled -= 8;
+        }
+    }
+    if filled > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Reads `(count-1)` bitpacked `delta − 1` values and reconstructs the
+/// absolute window indexes into `out` (which already holds `first`).
+fn unpack_deltas(deltas: &[u8], count: u32, bits: u8, first: u64, out: &mut Vec<u64>) {
+    let mut prev = first;
+    if bits == 0 {
+        for _ in 1..count {
+            prev += 1;
+            out.push(prev);
+        }
+        return;
+    }
+    let mask: u64 = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    let mut at = 0usize;
+    for _ in 1..count {
+        while filled < bits as u32 {
+            acc |= (deltas[at] as u64) << filled;
+            at += 1;
+            filled += 8;
+        }
+        let v = acc & mask;
+        acc >>= bits;
+        filled -= bits as u32;
+        prev += v + 1;
+        out.push(prev);
+    }
+}
+
+/// Per-component min/max over an event-major `count × 2l` value buffer.
+fn component_ranges(values: &[f64], l: usize) -> [f64; 4] {
+    let dim = 2 * l;
+    let mut r = [
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+    for event in values.chunks_exact(dim) {
+        for &v in &event[..l] {
+            r[0] = r[0].min(v);
+            r[1] = r[1].max(v);
+        }
+        for &v in &event[l..] {
+            r[2] = r[2].min(v);
+            r[3] = r[3].max(v);
+        }
+    }
+    r
+}
+
+/// Encodes one block (header, optional scales, payload, CRC) and appends
+/// it to `out`. `windows` must be strictly increasing and `values` hold
+/// `windows.len() * 2l` finite values in event-major `[re..., im...]`
+/// order. Performs no allocation beyond growing `out`.
+pub(crate) fn encode_block(
+    out: &mut Vec<u8>,
+    mode: Encoding,
+    l: usize,
+    node: u32,
+    windows: &[u64],
+    values: &[f64],
+) -> Result<()> {
+    let count = windows.len();
+    let dim = 2 * l;
+    if count == 0 {
+        return Err(StoreError::Invalid("cannot encode an empty block".into()));
+    }
+    if values.len() != count * dim {
+        return Err(StoreError::Invalid(format!(
+            "{} values for {count} events of dim {dim}",
+            values.len()
+        )));
+    }
+    let mut max_gap: u64 = 0;
+    for pair in windows.windows(2) {
+        if pair[1] <= pair[0] {
+            return Err(StoreError::Invalid(format!(
+                "window indexes must be strictly increasing ({} then {})",
+                pair[0], pair[1]
+            )));
+        }
+        max_gap = max_gap.max(pair[1] - pair[0] - 1);
+    }
+    let delta_bits = bits_for(max_gap);
+    if delta_bits > 32 {
+        return Err(StoreError::Invalid(format!(
+            "window jump of {max_gap} exceeds the 32-bit delta budget"
+        )));
+    }
+    let payload_len =
+        delta_section_len(count as u32, delta_bits) + count * dim * mode.bytes_per_value();
+
+    let start = out.len();
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&windows[0].to_le_bytes());
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    out.push(delta_bits);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+
+    let ranges = if mode == Encoding::Exact {
+        [0.0; 4]
+    } else {
+        let ranges = component_ranges(values, l);
+        if !ranges.iter().all(|v| v.is_finite()) {
+            return Err(StoreError::Invalid(
+                "signature values must be finite to quantize".into(),
+            ));
+        }
+        for v in ranges {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ranges
+    };
+
+    pack_deltas(out, windows, delta_bits);
+    match mode {
+        Encoding::Exact => {
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Encoding::Quant8 | Encoding::Quant16 => {
+            let qmax = mode.qmax();
+            let scale = |min: f64, max: f64| if max > min { qmax / (max - min) } else { 0.0 };
+            let (re_s, im_s) = (scale(ranges[0], ranges[1]), scale(ranges[2], ranges[3]));
+            for event in values.chunks_exact(dim) {
+                for (half, (min, s)) in [
+                    (&event[..l], (ranges[0], re_s)),
+                    (&event[l..], (ranges[2], im_s)),
+                ] {
+                    for &v in half {
+                        let q = ((v - min) * s).round().clamp(0.0, qmax) as u32;
+                        match mode {
+                            Encoding::Quant8 => out.push(q as u8),
+                            _ => out.extend_from_slice(&(q as u16).to_le_bytes()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// A parsed block, payload still encoded (borrowed from the file image).
+#[derive(Debug)]
+pub(crate) struct BlockRef<'a> {
+    pub node: u32,
+    pub first_window: u64,
+    pub count: u32,
+    pub last_window_upper_bound: u64,
+    delta_bits: u8,
+    scales: [f64; 4],
+    payload: &'a [u8],
+    /// Offset just past this block's CRC (start of the next block).
+    pub end: u64,
+}
+
+/// Why a block could not be parsed.
+#[derive(Debug)]
+pub(crate) struct BlockError {
+    /// `true` when the file simply ended mid-block — the signature of a
+    /// crash during an append, recoverable by truncating to the last
+    /// complete block. CRC mismatches and impossible field values are
+    /// *not* truncation and are never auto-recovered.
+    pub truncated: bool,
+    pub offset: u64,
+    pub message: String,
+}
+
+impl BlockError {
+    pub fn into_store_error(self, path: &Path) -> StoreError {
+        StoreError::Corrupt {
+            path: path.to_path_buf(),
+            offset: self.offset,
+            message: self.message,
+        }
+    }
+}
+
+/// Parses the block starting at `offset`. Returns `Ok(None)` at clean EOF.
+pub(crate) fn parse_block<'a>(
+    bytes: &'a [u8],
+    offset: u64,
+    header: &FileHeader,
+) -> std::result::Result<Option<BlockRef<'a>>, BlockError> {
+    let at = offset as usize;
+    if at == bytes.len() {
+        return Ok(None);
+    }
+    let err = |truncated: bool, message: String| BlockError {
+        truncated,
+        offset,
+        message,
+    };
+    let avail = bytes.len() - at;
+    if avail < BLOCK_HEADER_LEN {
+        return Err(err(
+            true,
+            format!("block header truncated ({avail} of {BLOCK_HEADER_LEN} bytes)"),
+        ));
+    }
+    let b = &bytes[at..];
+    let magic = read_u32(b, 0);
+    if magic != BLOCK_MAGIC {
+        return Err(err(false, format!("bad block magic {magic:08x}")));
+    }
+    let node = read_u32(b, 4);
+    let first_window = read_u64(b, 8);
+    let count = read_u32(b, 16);
+    let delta_bits = b[20];
+    let payload_len = read_u32(b, 24) as usize;
+    if count == 0 || count > MAX_BLOCK_COUNT {
+        return Err(err(
+            false,
+            format!("block event count {count} outside 1..={MAX_BLOCK_COUNT}"),
+        ));
+    }
+    if delta_bits > 32 {
+        return Err(err(
+            false,
+            format!("delta width {delta_bits} exceeds 32 bits"),
+        ));
+    }
+    let mode = header.mode;
+    let dim = 2 * header.l as usize;
+    // With `l <= MAX_L` (header validation) and `count <= MAX_BLOCK_COUNT`
+    // this product tops out near 2^48 — no overflow on 64-bit targets.
+    let expect_payload =
+        delta_section_len(count, delta_bits) + count as usize * dim * mode.bytes_per_value();
+    if payload_len != expect_payload {
+        return Err(err(
+            false,
+            format!("payload length {payload_len} != expected {expect_payload}"),
+        ));
+    }
+    let total = BLOCK_HEADER_LEN + mode.scales_len() + payload_len + 4;
+    if avail < total {
+        return Err(err(
+            true,
+            format!("block truncated ({avail} of {total} bytes)"),
+        ));
+    }
+    let mut scales = [0.0f64; 4];
+    if mode != Encoding::Exact {
+        for (i, s) in scales.iter_mut().enumerate() {
+            *s = read_f64(b, BLOCK_HEADER_LEN + 8 * i);
+        }
+        if !scales.iter().all(|v| v.is_finite()) || scales[1] < scales[0] || scales[3] < scales[2] {
+            return Err(err(
+                false,
+                format!("invalid quantization scales {scales:?}"),
+            ));
+        }
+    }
+    let stored_crc = read_u32(b, total - 4);
+    let actual = crc32(&b[..total - 4]);
+    if stored_crc != actual {
+        return Err(err(
+            false,
+            format!("block CRC mismatch (stored {stored_crc:08x}, computed {actual:08x})"),
+        ));
+    }
+    // Every delta is at least 1 and at most 2^delta_bits, so this bounds
+    // the block's last window without decoding the payload.
+    let span = (count as u64 - 1).saturating_mul(1u64 << delta_bits.min(32));
+    Ok(Some(BlockRef {
+        node,
+        first_window,
+        count,
+        last_window_upper_bound: first_window.saturating_add(span),
+        delta_bits,
+        scales,
+        payload: &b[BLOCK_HEADER_LEN + mode.scales_len()..total - 4],
+        end: offset + total as u64,
+    }))
+}
+
+/// Decodes a parsed block's window axis and values into `windows` /
+/// `values` (appended; `values` gains `count * 2l` entries).
+pub(crate) fn decode_block(
+    block: &BlockRef<'_>,
+    header: &FileHeader,
+    windows: &mut Vec<u64>,
+    values: &mut Vec<f64>,
+) {
+    let dim = 2 * header.l as usize;
+    let count = block.count;
+    windows.push(block.first_window);
+    let delta_len = delta_section_len(count, block.delta_bits);
+    unpack_deltas(
+        &block.payload[..delta_len],
+        count,
+        block.delta_bits,
+        block.first_window,
+        windows,
+    );
+    let raw = &block.payload[delta_len..];
+    match header.mode {
+        Encoding::Exact => {
+            for chunk in raw.chunks_exact(8) {
+                values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+        }
+        mode @ (Encoding::Quant8 | Encoding::Quant16) => {
+            let qmax = mode.qmax();
+            let [re_min, re_max, im_min, im_max] = block.scales;
+            let re_step = (re_max - re_min) / qmax;
+            let im_step = (im_max - im_min) / qmax;
+            let l = header.l as usize;
+            let decode_at = |i: usize| -> f64 {
+                match mode {
+                    Encoding::Quant8 => raw[i] as f64,
+                    _ => u16::from_le_bytes([raw[2 * i], raw[2 * i + 1]]) as f64,
+                }
+            };
+            for e in 0..count as usize {
+                for j in 0..dim {
+                    let q = decode_at(e * dim + j);
+                    values.push(if j < l {
+                        re_min + q * re_step
+                    } else {
+                        im_min + q * im_step
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn header(mode: Encoding, l: u32) -> FileHeader {
+        FileHeader {
+            mode,
+            l,
+            wl: 30,
+            ws: 10,
+        }
+    }
+
+    fn roundtrip(
+        mode: Encoding,
+        l: usize,
+        windows: &[u64],
+        values: &[f64],
+    ) -> (Vec<u64>, Vec<f64>) {
+        let h = header(mode, l as u32);
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, mode, l, 7, windows, values).unwrap();
+        let block = parse_block(&bytes, 0, &h).unwrap().unwrap();
+        assert_eq!(block.node, 7);
+        assert_eq!(block.count as usize, windows.len());
+        assert_eq!(block.end as usize, bytes.len());
+        let (mut w, mut v) = (Vec::new(), Vec::new());
+        decode_block(&block, &h, &mut w, &mut v);
+        (w, v)
+    }
+
+    #[test]
+    fn exact_roundtrip_is_bit_identical() {
+        let windows = [4u64, 5, 6, 9, 107];
+        let values: Vec<f64> = (0..windows.len() * 6)
+            .map(|i| (i as f64 * 0.37).sin() * 1e3 + 0.1)
+            .collect();
+        let (w, v) = roundtrip(Encoding::Exact, 3, &windows, &values);
+        assert_eq!(w, windows);
+        // Bitwise equality, not approximate.
+        assert!(v
+            .iter()
+            .zip(&values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn gapless_windows_cost_zero_delta_bytes() {
+        let windows: Vec<u64> = (10..200).collect();
+        let values = vec![0.5; windows.len() * 2];
+        let mut gapless = Vec::new();
+        encode_block(&mut gapless, Encoding::Quant8, 1, 0, &windows, &values).unwrap();
+        // One jump forces a nonzero delta width on every event.
+        let mut jumped: Vec<u64> = windows.clone();
+        *jumped.last_mut().unwrap() += 9;
+        let mut with_gap = Vec::new();
+        encode_block(&mut with_gap, Encoding::Quant8, 1, 0, &jumped, &values).unwrap();
+        assert!(gapless.len() < with_gap.len());
+        let h = header(Encoding::Quant8, 1);
+        let block = parse_block(&with_gap, 0, &h).unwrap().unwrap();
+        let (mut w, mut v) = (Vec::new(), Vec::new());
+        decode_block(&block, &h, &mut w, &mut v);
+        assert_eq!(w, jumped);
+    }
+
+    #[test]
+    fn quantized_roundtrip_stays_within_step() {
+        for mode in [Encoding::Quant8, Encoding::Quant16] {
+            let windows: Vec<u64> = (0..64).map(|i| i * 3 + 1).collect();
+            let l = 4usize;
+            let values: Vec<f64> = (0..windows.len() * 2 * l)
+                .map(|i| ((i as f64 / 7.0).sin() + 1.0) / 2.0)
+                .collect();
+            let (w, v) = roundtrip(mode, l, &windows, &values);
+            assert_eq!(w, windows);
+            let step = 1.0 / mode.qmax(); // values span <= 1.0 here
+            for (a, b) in v.iter().zip(&values) {
+                assert!((a - b).abs() <= step, "{a} vs {b} (step {step})");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_values_quantize_exactly() {
+        let windows = [0u64, 1, 2];
+        let values = vec![0.75; 3 * 2];
+        let (_, v) = roundtrip(Encoding::Quant8, 1, &windows, &values);
+        assert!(v.iter().all(|&x| x == 0.75));
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        let mut out = Vec::new();
+        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[], &[]).is_err());
+        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[1], &[0.0; 3]).is_err());
+        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[5, 5], &[0.0; 8]).is_err());
+        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[5, 3], &[0.0; 8]).is_err());
+        assert!(encode_block(&mut out, Encoding::Quant8, 1, 0, &[1], &[f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let windows = [3u64, 4, 8];
+        let values: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
+        let h = header(Encoding::Quant16, 2);
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, Encoding::Quant16, 2, 1, &windows, &values).unwrap();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0xA5;
+            let r = parse_block(&bytes, 0, &h);
+            assert!(r.is_err(), "flip at byte {i} went unnoticed");
+            bytes[i] ^= 0xA5;
+        }
+        // Untouched bytes still parse.
+        assert!(parse_block(&bytes, 0, &h).unwrap().is_some());
+    }
+
+    #[test]
+    fn truncation_is_flagged_as_truncated() {
+        let windows: Vec<u64> = (0..32).collect();
+        let values = vec![0.25; 32 * 4];
+        let h = header(Encoding::Exact, 2);
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, Encoding::Exact, 2, 0, &windows, &values).unwrap();
+        for cut in [
+            1usize,
+            BLOCK_HEADER_LEN - 1,
+            BLOCK_HEADER_LEN + 5,
+            bytes.len() - 1,
+        ] {
+            let err = parse_block(&bytes[..cut], 0, &h).unwrap_err();
+            assert!(err.truncated, "cut at {cut} not reported as truncation");
+        }
+        // A clean EOF is not an error.
+        assert!(parse_block(&bytes[..0], 0, &h).unwrap().is_none());
+    }
+
+    #[test]
+    fn absurd_header_and_block_fields_are_rejected() {
+        let path = PathBuf::from("crafted.cws");
+        // Header claiming a preposterous block count: the CRC is
+        // recomputable by an attacker/filesystem accident, so the field
+        // itself must be bounded.
+        let mut bytes = Vec::new();
+        FileHeader {
+            mode: Encoding::Exact,
+            l: 4,
+            wl: 30,
+            ws: 10,
+        }
+        .write_to(&mut bytes);
+        bytes[12..16].copy_from_slice(&(MAX_L + 1).to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[..28]);
+        bytes[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(FileHeader::parse(&bytes, &path).is_err());
+
+        // Block claiming a preposterous event count, CRC fixed up: must
+        // error (not overflow or allocate terabytes).
+        let h = header(Encoding::Exact, 2);
+        let mut block = Vec::new();
+        encode_block(&mut block, Encoding::Exact, 2, 0, &[1, 2], &[0.0; 8]).unwrap();
+        block[16..20].copy_from_slice(&(MAX_BLOCK_COUNT + 1).to_le_bytes());
+        let end = block.len() - 4;
+        let crc = crate::crc::crc32(&block[..end]);
+        block[end..].copy_from_slice(&crc.to_le_bytes());
+        let err = parse_block(&block, 0, &h).unwrap_err();
+        assert!(
+            !err.truncated,
+            "bounds violation is corruption, not truncation"
+        );
+    }
+
+    #[test]
+    fn file_header_roundtrip_and_validation() {
+        let path = PathBuf::from("test.cws");
+        let h = FileHeader {
+            mode: Encoding::Quant8,
+            l: 4,
+            wl: 30,
+            ws: 10,
+        };
+        let mut bytes = Vec::new();
+        h.write_to(&mut bytes);
+        assert_eq!(bytes.len(), FILE_HEADER_LEN);
+        assert_eq!(FileHeader::parse(&bytes, &path).unwrap(), h);
+        // Truncated, corrupted, wrong-magic inputs all error.
+        assert!(FileHeader::parse(&bytes[..10], &path).is_err());
+        let mut bad = bytes.clone();
+        bad[12] ^= 1;
+        assert!(FileHeader::parse(&bad, &path).is_err());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(FileHeader::parse(&wrong, &path).is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! k-NN similarity search over stored signatures.
+//!
+//! The paper positions CS signatures as a compressed representation that
+//! still supports downstream analytics; the most direct one is *nearest
+//! historical state* lookup — "when did any node last look like this?" —
+//! the entry point for root-cause analysis. [`SignatureIndex`] snapshots
+//! a [`SignatureStore`] into a flat in-memory matrix and answers k-NN
+//! queries two ways:
+//!
+//! * [`SignatureIndex::query`] — exact scan, the ground truth;
+//! * [`SignatureIndex::query_indexed`] — a coarse-quantizer inverted-list
+//!   index (k-means over signature space; queries scan only the
+//!   `nprobe` nearest cells), sublinear in practice once the corpus
+//!   outgrows a few thousand signatures.
+//!
+//! Both distances are supported by preprocessing rows once at build
+//! time: [`Distance::L2`] keeps raw features, [`Distance::Pearson`]
+//! z-scores each vector to unit norm so squared Euclidean distance
+//! becomes an exact monotone image of `1 − r` — one scan loop serves
+//! both metrics, and the coarse quantizer clusters in whichever space
+//! the index was built for.
+
+use crate::error::{Result, StoreError};
+use crate::store::SignatureStore;
+
+/// Similarity metric between signature feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distance {
+    /// Euclidean distance over `[re..., im...]` features.
+    #[default]
+    L2,
+    /// `1 − Pearson(a, b)`: shape similarity, invariant to affine
+    /// scaling of a signature. Pearson correlation is undefined for a
+    /// constant (zero-variance) vector; by convention such a vector maps
+    /// to the origin of the normalized space, reading distance `0.5` to
+    /// any genuine signature and `0.0` to another constant vector.
+    Pearson,
+}
+
+/// One k-NN result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Node whose stream emitted the matching signature.
+    pub node: u32,
+    /// Window index of the matching signature on that node's stream.
+    pub window_index: u64,
+    /// Distance to the query under the index's metric.
+    pub distance: f64,
+}
+
+/// The trained coarse quantizer: centroids plus inverted lists.
+#[derive(Debug)]
+struct Coarse {
+    nlist: usize,
+    /// `nlist × dim`, in the index's preprocessed space.
+    centroids: Vec<f64>,
+    /// `lists[c]` holds the row ids assigned to centroid `c`.
+    lists: Vec<Vec<u32>>,
+}
+
+/// An immutable k-NN index over a snapshot of a [`SignatureStore`].
+///
+/// # Example
+///
+/// ```
+/// use cwsmooth_core::cs::CsSignature;
+/// use cwsmooth_data::WindowSpec;
+/// use cwsmooth_store::{Distance, SignatureIndex, SignatureStore, StoreConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("cws-knn-doc-{}", std::process::id()));
+/// let spec = WindowSpec::new(30, 10).unwrap();
+/// let mut store = SignatureStore::open(&dir, spec, 2, StoreConfig::default()).unwrap();
+/// for w in 0..32u64 {
+///     let x = w as f64 / 31.0;
+///     let sig = CsSignature { re: vec![x, 1.0 - x], im: vec![0.01 * x, 0.0] };
+///     store.push(0, w, &sig).unwrap();
+/// }
+/// store.flush().unwrap();
+///
+/// let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+/// let nearest = index.query(&[0.5, 0.5, 0.005, 0.0], 3).unwrap();
+/// assert_eq!(nearest.len(), 3);
+/// assert!(nearest[0].distance <= nearest[1].distance);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct SignatureIndex {
+    distance: Distance,
+    dim: usize,
+    /// Preprocessed rows, `n × dim`.
+    vecs: Vec<f64>,
+    keys: Vec<(u32, u64)>,
+    coarse: Option<Coarse>,
+}
+
+/// Preprocesses one vector for the chosen metric (see module docs).
+fn preprocess(distance: Distance, src: &[f64], dst: &mut [f64]) {
+    match distance {
+        Distance::L2 => dst.copy_from_slice(src),
+        Distance::Pearson => {
+            let n = src.len() as f64;
+            let mean = src.iter().sum::<f64>() / n;
+            let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            if var <= f64::EPSILON * mean.abs().max(1.0) {
+                dst.fill(0.0);
+            } else {
+                // Unit-norm z-scores: ‖za − zb‖² = 2(1 − r).
+                let inv = 1.0 / (var * n).sqrt();
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = (s - mean) * inv;
+                }
+            }
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Maps an internal squared distance back to the reported metric value.
+fn report(distance: Distance, sq: f64) -> f64 {
+    match distance {
+        Distance::L2 => sq.max(0.0).sqrt(),
+        Distance::Pearson => (sq / 2.0).clamp(0.0, 2.0),
+    }
+}
+
+impl SignatureIndex {
+    /// Snapshots every event currently readable from `store` (including
+    /// the staged tail) into an index for `distance` queries.
+    pub fn build(store: &SignatureStore, distance: Distance) -> Result<Self> {
+        let dim = store.dim();
+        let mut vecs: Vec<f64> = Vec::new();
+        let mut keys: Vec<(u32, u64)> = Vec::new();
+        let mut row = vec![0.0; dim];
+        store.for_each(|node, window, features| {
+            preprocess(distance, features, &mut row);
+            vecs.extend_from_slice(&row);
+            keys.push((node, window));
+        })?;
+        Ok(Self {
+            distance,
+            dim,
+            vecs,
+            keys,
+            coarse: None,
+        })
+    }
+
+    /// Trains the coarse quantizer: k-means with `nlist` centroids
+    /// (clamped to the corpus size) for `iters` Lloyd iterations.
+    /// Deterministic: initial centroids are evenly spaced rows, empty
+    /// clusters are re-seeded with the point farthest from its centroid.
+    pub fn with_coarse(mut self, nlist: usize, iters: usize) -> Result<Self> {
+        let n = self.keys.len();
+        if nlist == 0 {
+            return Err(StoreError::Invalid("nlist must be >= 1".into()));
+        }
+        if n == 0 {
+            return Err(StoreError::Invalid(
+                "cannot train a quantizer on an empty index".into(),
+            ));
+        }
+        let nlist = nlist.min(n);
+        let dim = self.dim;
+        let mut centroids = vec![0.0; nlist * dim];
+        for c in 0..nlist {
+            let src = c * n / nlist;
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(self.row(src));
+        }
+        let mut assign = vec![0u32; n];
+        for _ in 0..iters.max(1) {
+            // Assignment pass.
+            for (i, a) in assign.iter_mut().enumerate() {
+                let row = self.row(i);
+                let mut best = (f64::INFINITY, 0u32);
+                for c in 0..nlist {
+                    let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
+                    if d < best.0 {
+                        best = (d, c as u32);
+                    }
+                }
+                *a = best.1;
+            }
+            // Update pass.
+            centroids.fill(0.0);
+            let mut counts = vec![0u64; nlist];
+            for (i, &a) in assign.iter().enumerate() {
+                counts[a as usize] += 1;
+                let dst = &mut centroids[a as usize * dim..(a as usize + 1) * dim];
+                for (d, &v) in dst.iter_mut().zip(self.row(i)) {
+                    *d += v;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for d in &mut centroids[c * dim..(c + 1) * dim] {
+                        *d *= inv;
+                    }
+                }
+            }
+            // Re-seed dead centroids with the worst-fit points — each
+            // with a *distinct* point, or several dead cells would
+            // collapse onto identical centroids and one of them would
+            // stay empty forever.
+            let mut taken: Vec<usize> = Vec::new();
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    let far = (0..n).filter(|i| !taken.contains(i)).max_by(|&a, &b| {
+                        let ca = assign[a] as usize;
+                        let cb = assign[b] as usize;
+                        sq_dist(self.row(a), &centroids[ca * dim..(ca + 1) * dim])
+                            .total_cmp(&sq_dist(self.row(b), &centroids[cb * dim..(cb + 1) * dim]))
+                    });
+                    let Some(far) = far else { break };
+                    taken.push(far);
+                    let row = self.row(far).to_vec();
+                    centroids[c * dim..(c + 1) * dim].copy_from_slice(&row);
+                    // Claim the point so the final assignment (and any
+                    // later dead-cell scan this pass) sees it owned here.
+                    assign[far] = c as u32;
+                }
+            }
+        }
+        // Final assignment → inverted lists.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        for i in 0..n {
+            let row = self.row(i);
+            let mut best = (f64::INFINITY, 0usize);
+            for c in 0..nlist {
+                let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            lists[best.1].push(i as u32);
+        }
+        self.coarse = Some(Coarse {
+            nlist,
+            centroids,
+            lists,
+        });
+        Ok(self)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.vecs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of indexed signatures.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The metric this index answers.
+    pub fn distance(&self) -> Distance {
+        self.distance
+    }
+
+    /// `true` once [`SignatureIndex::with_coarse`] has trained the
+    /// inverted-list quantizer.
+    pub fn has_coarse(&self) -> bool {
+        self.coarse.is_some()
+    }
+
+    fn check_query(&self, signature: &[f64], k: usize) -> Result<()> {
+        if signature.len() != self.dim {
+            return Err(StoreError::Invalid(format!(
+                "query has {} features, index holds {}-dimensional signatures",
+                signature.len(),
+                self.dim
+            )));
+        }
+        if k == 0 {
+            return Err(StoreError::Invalid("k must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Exact k-NN: scans every indexed signature. `signature` is a flat
+    /// `[re..., im...]` feature vector (see
+    /// [`CsSignature::to_features`](cwsmooth_core::cs::CsSignature::to_features)).
+    /// Returns up to `k` neighbors, nearest first.
+    pub fn query(&self, signature: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_query(signature, k)?;
+        let mut q = vec![0.0; self.dim];
+        preprocess(self.distance, signature, &mut q);
+        let mut hits: Vec<(f64, u32)> = (0..self.keys.len())
+            .map(|i| (sq_dist(&q, self.row(i)), i as u32))
+            .collect();
+        Ok(self.take_top(hits.as_mut_slice(), k))
+    }
+
+    /// Approximate k-NN through the coarse quantizer: ranks the
+    /// centroids by distance to the query and scans only the `nprobe`
+    /// nearest inverted lists. Errors if [`SignatureIndex::with_coarse`]
+    /// has not been called.
+    pub fn query_indexed(
+        &self,
+        signature: &[f64],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(signature, k)?;
+        let coarse = self.coarse.as_ref().ok_or_else(|| {
+            StoreError::Invalid("no coarse quantizer trained; call with_coarse first".into())
+        })?;
+        if nprobe == 0 {
+            return Err(StoreError::Invalid("nprobe must be >= 1".into()));
+        }
+        let mut q = vec![0.0; self.dim];
+        preprocess(self.distance, signature, &mut q);
+        let dim = self.dim;
+        let mut cells: Vec<(f64, u32)> = (0..coarse.nlist)
+            .map(|c| {
+                (
+                    sq_dist(&q, &coarse.centroids[c * dim..(c + 1) * dim]),
+                    c as u32,
+                )
+            })
+            .collect();
+        let probes = nprobe.min(coarse.nlist);
+        cells.select_nth_unstable_by(probes - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut hits: Vec<(f64, u32)> = Vec::new();
+        for &(_, c) in &cells[..probes] {
+            for &i in &coarse.lists[c as usize] {
+                hits.push((sq_dist(&q, self.row(i as usize)), i));
+            }
+        }
+        Ok(self.take_top(hits.as_mut_slice(), k))
+    }
+
+    /// Selects the `k` smallest hits, sorted ascending, as neighbors.
+    fn take_top(&self, hits: &mut [(f64, u32)], k: usize) -> Vec<Neighbor> {
+        let k = k.min(hits.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < hits.len() {
+            hits.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        }
+        let top = &mut hits[..k];
+        top.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        top.iter()
+            .map(|&(sq, i)| {
+                let (node, window_index) = self.keys[i as usize];
+                Neighbor {
+                    node,
+                    window_index,
+                    distance: report(self.distance, sq),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use cwsmooth_core::cs::CsSignature;
+    use cwsmooth_data::WindowSpec;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cwsmooth-knn-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Deterministic pseudo-random corpus with two tight clusters.
+    fn seeded_store(dir: &PathBuf, n_per: usize) -> SignatureStore {
+        let spec = WindowSpec::new(30, 10).unwrap();
+        let mut store = SignatureStore::open(dir, spec, 2, StoreConfig::default()).unwrap();
+        for w in 0..n_per as u64 {
+            let t = w as f64 * 0.37;
+            let a = CsSignature {
+                re: vec![0.2 + 0.02 * t.sin(), 0.3 + 0.02 * t.cos()],
+                im: vec![0.01 * t.sin(), -0.01 * t.cos()],
+            };
+            let b = CsSignature {
+                re: vec![0.8 + 0.02 * (t + 1.0).sin(), 0.7 + 0.02 * (t + 1.0).cos()],
+                im: vec![-0.01 * (t + 1.0).sin(), 0.01 * (t + 1.0).cos()],
+            };
+            store.push(0, w, &a).unwrap();
+            store.push(1, w, &b).unwrap();
+        }
+        store.flush().unwrap();
+        store
+    }
+
+    #[test]
+    fn exact_query_finds_itself_and_its_cluster() {
+        let dir = tmpdir("self");
+        let store = seeded_store(&dir, 50);
+        for distance in [Distance::L2, Distance::Pearson] {
+            let index = SignatureIndex::build(&store, distance).unwrap();
+            assert_eq!(index.len(), 100);
+            let q = [0.2 + 0.02 * 0f64.sin(), 0.3 + 0.02 * 0f64.cos(), 0.0, -0.01];
+            let hits = index.query(&q, 5).unwrap();
+            assert_eq!(hits.len(), 5);
+            // Entire result set comes from the matching cluster.
+            assert!(hits.iter().all(|h| h.node == 0), "{distance:?}: {hits:?}");
+            assert!(hits[0].distance <= hits[4].distance);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant_l2_is_not() {
+        let dir = tmpdir("scale");
+        let store = seeded_store(&dir, 20);
+        let l2 = SignatureIndex::build(&store, Distance::L2).unwrap();
+        let pe = SignatureIndex::build(&store, Distance::Pearson).unwrap();
+        // A stored vector, affinely rescaled.
+        let base = [0.2, 0.3, 0.0, -0.01];
+        let scaled: Vec<f64> = base.iter().map(|v| 10.0 * v + 3.0).collect();
+        let p_hit = &pe.query(&scaled, 1).unwrap()[0];
+        assert!(
+            p_hit.distance < 0.05,
+            "pearson sees through scaling: {p_hit:?}"
+        );
+        let l_hit = &l2.query(&scaled, 1).unwrap()[0];
+        assert!(l_hit.distance > 1.0, "l2 does not: {l_hit:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn constant_vector_pearson_convention() {
+        let dir = tmpdir("const");
+        let store = seeded_store(&dir, 5);
+        let pe = SignatureIndex::build(&store, Distance::Pearson).unwrap();
+        // Undefined correlation reads the documented mid-scale distance.
+        let flat = [0.4; 4];
+        let hits = pe.query(&flat, 3).unwrap();
+        for h in hits {
+            assert!((h.distance - 0.5).abs() < 1e-9, "{h:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn indexed_query_matches_exact_on_clustered_data() {
+        let dir = tmpdir("ivf");
+        let store = seeded_store(&dir, 100);
+        let index = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse(8, 10)
+            .unwrap();
+        assert!(index.has_coarse());
+        let mut top1_hits = 0usize;
+        let mut recall_sum = 0.0;
+        let queries = 40usize;
+        for qi in 0..queries {
+            let t = qi as f64 * 0.37;
+            let q = [
+                0.2 + 0.02 * t.sin(),
+                0.3 + 0.02 * t.cos(),
+                0.01 * t.sin(),
+                -0.01 * t.cos(),
+            ];
+            let exact = index.query(&q, 10).unwrap();
+            let approx = index.query_indexed(&q, 10, 3).unwrap();
+            if approx[0] == exact[0] {
+                top1_hits += 1;
+            }
+            let exact_set: Vec<(u32, u64)> =
+                exact.iter().map(|h| (h.node, h.window_index)).collect();
+            let found = approx
+                .iter()
+                .filter(|h| exact_set.contains(&(h.node, h.window_index)))
+                .count();
+            recall_sum += found as f64 / exact.len() as f64;
+        }
+        assert_eq!(top1_hits, queries, "top-1 must always match exact scan");
+        assert!(recall_sum / queries as f64 >= 0.9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_validation_and_edge_cases() {
+        let dir = tmpdir("edge");
+        let store = seeded_store(&dir, 3);
+        let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+        assert!(index.query(&[0.0; 3], 1).is_err());
+        assert!(index.query(&[0.0; 4], 0).is_err());
+        assert!(index.query_indexed(&[0.0; 4], 1, 1).is_err()); // no coarse yet
+                                                                // k larger than the corpus truncates.
+        assert_eq!(index.query(&[0.0; 4], 100).unwrap().len(), 6);
+        let index = index.with_coarse(64, 5).unwrap(); // nlist clamped to n
+        assert!(index.query_indexed(&[0.0; 4], 2, 0).is_err());
+        let all = index.query_indexed(&[0.0; 4], 6, 64).unwrap();
+        assert_eq!(all.len(), 6); // probing every cell == exact
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_index_is_usable_but_untrainable() {
+        let dir = tmpdir("empty");
+        let spec = WindowSpec::new(30, 10).unwrap();
+        let store = SignatureStore::open(&dir, spec, 2, StoreConfig::default()).unwrap();
+        let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(index.query(&[0.0; 4], 3).unwrap(), vec![]);
+        assert!(index.with_coarse(4, 5).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,1151 @@
+//! The persistent signature store: durable, compressed, queryable.
+//!
+//! A [`SignatureStore`] owns a directory of append-only segment files
+//! (`seg-<id>.cws`, the internal `format` module) plus an in-memory write path:
+//! per-node staging buffers that batch each node's signatures into
+//! columnar blocks. The ingest hot path ([`SignatureStore::push`], also
+//! reachable through the [`FleetSink`] impl) is allocation-free in steady
+//! state — buffers, the encode scratch and the block index are reused or
+//! pre-reserved, so the allocator is touched only while capacities warm
+//! up or when a segment rolls over.
+//!
+//! ```text
+//!  FleetEngine ──ingest_frame_sink──► SignatureStore
+//!                                       │ per-node staging (block_events)
+//!                                       ▼
+//!                        seg-00000001.cws  [node blocks ...]   sealed
+//!                        seg-00000002.cws  [node blocks ...]   sealed
+//!                        seg-00000003.cws  [node blocks ...]   active
+//!                                       ▲
+//!               BlockEntry index: (node, window range) → file offset
+//! ```
+//!
+//! Durability model: [`SignatureStore::flush`] pushes all staged events
+//! into the active file; a process kill between flushes loses only the
+//! staged tail. [`SignatureStore::open`] recovers a directory written by
+//! a killed process — a cleanly truncated final segment is cut back to
+//! its last complete block (reported in [`RecoveryReport`]), while CRC
+//! corruption anywhere surfaces [`StoreError::Corrupt`].
+
+use crate::error::{Result, StoreError};
+use crate::format::{self, BlockRef, Encoding, FileHeader, FILE_HEADER_LEN};
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_core::error::CoreError;
+use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier};
+use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Write-path configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Value encoding for newly written segments (existing segments keep
+    /// the encoding recorded in their header).
+    pub encoding: Encoding,
+    /// Events a node stages before its block is written out.
+    pub block_events: usize,
+    /// Events after which the active segment is sealed and a new one
+    /// started.
+    pub segment_events: u64,
+    /// Retention: maximum number of sealed segments kept on disk
+    /// (oldest-first eviction; `0` disables retention).
+    pub max_segments: usize,
+    /// Highest accepted node id + 1. Node ids index a dense staging
+    /// table, so this bounds the table a stray id can force the store
+    /// to allocate; pushes beyond it are rejected with
+    /// [`StoreError::Invalid`] instead of aborting on an absurd
+    /// allocation. Raise it for fleets above a million nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            encoding: Encoding::Exact,
+            block_events: 256,
+            segment_events: 65_536,
+            max_segments: 0,
+            max_nodes: 1 << 20,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Builder-style encoding override.
+    pub fn with_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Builder-style block capacity override.
+    pub fn with_block_events(mut self, block_events: usize) -> Self {
+        self.block_events = block_events;
+        self
+    }
+
+    /// Builder-style segment capacity override.
+    pub fn with_segment_events(mut self, segment_events: u64) -> Self {
+        self.segment_events = segment_events;
+        self
+    }
+
+    /// Builder-style retention override.
+    pub fn with_max_segments(mut self, max_segments: usize) -> Self {
+        self.max_segments = max_segments;
+        self
+    }
+
+    /// Builder-style node-id bound override.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+}
+
+/// Lifetime ingest counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Events accepted (staged or written).
+    pub events: u64,
+    /// Columnar blocks written to disk.
+    pub blocks: u64,
+    /// Bytes appended to segment files.
+    pub bytes_written: u64,
+    /// Segments sealed.
+    pub segments_sealed: u64,
+    /// Segments evicted by retention.
+    pub segments_dropped: u64,
+    /// Events lost to retention eviction.
+    pub events_dropped: u64,
+}
+
+/// What [`SignatureStore::open`] found and repaired on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segment files recovered.
+    pub segments: usize,
+    /// Events recovered across all segments.
+    pub events: u64,
+    /// Bytes cut from a cleanly truncated final segment (crash tail).
+    pub truncated_bytes: u64,
+}
+
+/// One block's index entry: where a (node, window-range) run lives.
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry {
+    node: u32,
+    first_window: u64,
+    /// Upper bound on the block's last window (exact when written by this
+    /// process, a parse-time bound after recovery).
+    last_window: u64,
+    offset: u64,
+    /// Byte length of the whole block (header through CRC) — lets reads
+    /// seek straight to a block without scanning the file.
+    len: u32,
+}
+
+/// A segment and its block index.
+#[derive(Debug)]
+struct SegmentState {
+    id: u64,
+    path: PathBuf,
+    header: FileHeader,
+    events: u64,
+    bytes: u64,
+    entries: Vec<BlockEntry>,
+}
+
+/// Public per-segment summary (see [`SignatureStore::segments`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentStat {
+    /// Monotonic segment id (file `seg-<id>.cws`).
+    pub id: u64,
+    /// Events stored in the segment.
+    pub events: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// `false` for the segment currently being appended to.
+    pub sealed: bool,
+}
+
+/// Per-node staging buffer (reused across blocks and segments).
+#[derive(Debug, Default)]
+struct NodeBuf {
+    windows: Vec<u64>,
+    values: Vec<f64>,
+    /// Most recent window accepted for this node (monotonicity guard).
+    last_window: Option<u64>,
+}
+
+/// Durable, compressed store for fleet signature events. See the module
+/// docs for the write path and durability model.
+///
+/// # Example
+///
+/// ```
+/// use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
+/// use cwsmooth_core::cs::CsSignature;
+/// use cwsmooth_data::WindowSpec;
+///
+/// let dir = std::env::temp_dir().join(format!("cws-doc-{}", std::process::id()));
+/// let spec = WindowSpec::new(30, 10).unwrap();
+/// let cfg = StoreConfig::default().with_encoding(Encoding::Quant16);
+/// let mut store = SignatureStore::open(&dir, spec, 2, cfg).unwrap();
+///
+/// let sig = CsSignature { re: vec![0.5, 0.25], im: vec![0.0, -0.125] };
+/// store.push(3, 0, &sig).unwrap();
+/// store.flush().unwrap();
+/// assert_eq!(store.stats().events, 1);
+///
+/// // Reopen from disk: the event is still there.
+/// drop(store);
+/// let store = SignatureStore::open(&dir, spec, 2, cfg).unwrap();
+/// assert_eq!(store.recovery().events, 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct SignatureStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    l: usize,
+    dim: usize,
+    spec: WindowSpec,
+    sealed: Vec<SegmentState>,
+    active: SegmentState,
+    active_file: File,
+    node_bufs: Vec<NodeBuf>,
+    staged_events: u64,
+    next_id: u64,
+    scratch: Vec<u8>,
+    stats: StoreStats,
+    recovery: RecoveryReport,
+    /// Set when a failed append could not be rolled back: the file and
+    /// the in-memory index may disagree, so further writes are refused.
+    poisoned: bool,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.cws"))
+}
+
+fn segment_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let id = name.strip_prefix("seg-")?.strip_suffix(".cws")?;
+    id.parse().ok()
+}
+
+impl SignatureStore {
+    /// Opens (or creates) a store rooted at `dir` for signatures of `l`
+    /// blocks produced under `spec`. Existing segments are validated
+    /// (geometry must match, CRCs must hold) and indexed; a cleanly
+    /// truncated final segment — the signature of a killed writer — is
+    /// cut back to its last complete block. A fresh active segment is
+    /// started after the highest recovered id.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        spec: WindowSpec,
+        l: usize,
+        cfg: StoreConfig,
+    ) -> Result<Self> {
+        if l == 0 {
+            return Err(StoreError::Invalid(
+                "signature block count l must be >= 1".into(),
+            ));
+        }
+        if l as u64 > format::MAX_L as u64 {
+            return Err(StoreError::Invalid(format!(
+                "signature block count {l} exceeds the format bound {}",
+                format::MAX_L
+            )));
+        }
+        if cfg.block_events == 0 || cfg.segment_events == 0 {
+            return Err(StoreError::Invalid(
+                "block_events and segment_events must be >= 1".into(),
+            ));
+        }
+        if cfg.block_events as u64 > format::MAX_BLOCK_COUNT as u64 {
+            return Err(StoreError::Invalid(format!(
+                "block_events {} exceeds the format bound {}",
+                cfg.block_events,
+                format::MAX_BLOCK_COUNT
+            )));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut ids: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_id(&e.path()))
+            .collect();
+        ids.sort_unstable();
+
+        let mut sealed = Vec::new();
+        let mut recovery = RecoveryReport::default();
+        for (i, &id) in ids.iter().enumerate() {
+            let last = i + 1 == ids.len();
+            let path = segment_path(&dir, id);
+            let (state, cut) = Self::recover_segment(&path, id, spec, l, last)?;
+            recovery.truncated_bytes += cut;
+            match state {
+                Some(state) if state.events > 0 => {
+                    recovery.segments += 1;
+                    recovery.events += state.events;
+                    sealed.push(state);
+                }
+                Some(state) => {
+                    // Header-only segment (e.g. an active file the previous
+                    // process never wrote to): holding on to it would let
+                    // empty files pile up across open/close cycles and eat
+                    // into the retention budget — remove it instead.
+                    std::fs::remove_file(&state.path)?;
+                }
+                None => {}
+            }
+        }
+
+        let next_id = ids.last().map_or(1, |&id| id + 1);
+        let (active, active_file) = Self::start_segment(&dir, next_id, spec, l, &cfg)?;
+        let mut store = Self {
+            dir,
+            cfg,
+            l,
+            dim: 2 * l,
+            spec,
+            sealed,
+            active,
+            active_file,
+            node_bufs: Vec::new(),
+            staged_events: 0,
+            next_id: next_id + 1,
+            scratch: Vec::new(),
+            stats: StoreStats::default(),
+            recovery,
+            poisoned: false,
+        };
+        // The configured retention budget holds from the first moment,
+        // not only after the next seal — evict excess recovered segments.
+        // The recovery report keeps what was *found*; the eviction shows
+        // up in `stats().events_dropped` (and hence in `events()`).
+        store.enforce_retention()?;
+        Ok(store)
+    }
+
+    /// Validates one existing segment, returning its state (or `None`
+    /// when the file carried no complete header and was removed — a
+    /// crash before the header landed) plus the bytes cut from a
+    /// truncated crash tail.
+    fn recover_segment(
+        path: &Path,
+        id: u64,
+        spec: WindowSpec,
+        l: usize,
+        last: bool,
+    ) -> Result<(Option<SegmentState>, u64)> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < FILE_HEADER_LEN && last {
+            let cut = bytes.len() as u64;
+            std::fs::remove_file(path)?;
+            return Ok((None, cut));
+        }
+        let header = FileHeader::parse(&bytes, path)?;
+        if header.l as usize != l || header.wl as usize != spec.wl || header.ws as usize != spec.ws
+        {
+            return Err(StoreError::Mismatch(format!(
+                "segment {} holds l={} wl={} ws={}, store expects l={l} wl={} ws={}",
+                path.display(),
+                header.l,
+                header.wl,
+                header.ws,
+                spec.wl,
+                spec.ws
+            )));
+        }
+        let mut entries = Vec::new();
+        let mut events = 0u64;
+        let mut offset = FILE_HEADER_LEN as u64;
+        let mut truncated = 0u64;
+        loop {
+            match format::parse_block(&bytes, offset, &header) {
+                Ok(None) => break,
+                Ok(Some(block)) => {
+                    entries.push(BlockEntry {
+                        node: block.node,
+                        first_window: block.first_window,
+                        last_window: block.last_window_upper_bound,
+                        offset,
+                        len: (block.end - offset) as u32,
+                    });
+                    events += block.count as u64;
+                    offset = block.end;
+                }
+                Err(e) if e.truncated && last => {
+                    // Crash tail: cut the file back to its last complete
+                    // block and keep everything before it.
+                    truncated = bytes.len() as u64 - offset;
+                    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+                    f.set_len(offset)?;
+                    break;
+                }
+                Err(e) => return Err(e.into_store_error(path)),
+            }
+        }
+        Ok((
+            Some(SegmentState {
+                id,
+                path: path.to_path_buf(),
+                header,
+                events,
+                bytes: offset,
+                entries,
+            }),
+            truncated,
+        ))
+    }
+
+    fn start_segment(
+        dir: &Path,
+        id: u64,
+        spec: WindowSpec,
+        l: usize,
+        cfg: &StoreConfig,
+    ) -> Result<(SegmentState, File)> {
+        let path = segment_path(dir, id);
+        let header = FileHeader {
+            mode: cfg.encoding,
+            l: l as u32,
+            wl: spec.wl as u32,
+            ws: spec.ws as u32,
+        };
+        let mut bytes = Vec::with_capacity(FILE_HEADER_LEN);
+        header.write_to(&mut bytes);
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(&bytes)?;
+        // Pre-reserve the block index so steady-state flushes don't grow it.
+        let expect_blocks =
+            (cfg.segment_events / cfg.block_events.max(1) as u64).min(1 << 20) as usize + 64;
+        let entries = Vec::with_capacity(expect_blocks);
+        Ok((
+            SegmentState {
+                id,
+                path,
+                header,
+                events: 0,
+                bytes: FILE_HEADER_LEN as u64,
+                entries,
+            },
+            file,
+        ))
+    }
+
+    /// Signature block count `l` this store accepts.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Feature dimension of stored events (`2l`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The window geometry recorded in every segment header.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lifetime ingest counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// What [`SignatureStore::open`] found on disk.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Events staged in memory, not yet written to the active segment.
+    pub fn staged_events(&self) -> u64 {
+        self.staged_events
+    }
+
+    /// Total events readable from this store (recovered + ingested −
+    /// evicted).
+    pub fn events(&self) -> u64 {
+        self.recovery.events + self.stats.events - self.stats.events_dropped
+    }
+
+    /// Bytes currently on disk across all segments.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active.bytes
+    }
+
+    /// Per-segment summaries, oldest first (active segment last).
+    pub fn segments(&self) -> Vec<SegmentStat> {
+        let mut out: Vec<SegmentStat> = self
+            .sealed
+            .iter()
+            .map(|s| SegmentStat {
+                id: s.id,
+                events: s.events,
+                bytes: s.bytes,
+                sealed: true,
+            })
+            .collect();
+        out.push(SegmentStat {
+            id: self.active.id,
+            events: self.active.events + self.staged_events,
+            bytes: self.active.bytes,
+            sealed: false,
+        });
+        out
+    }
+
+    /// Appends one signature event. `window_index` must be strictly
+    /// greater than the node's previous event (streams are time-ordered);
+    /// the guard spans segment rolls but not process restarts — a
+    /// reopened store accepts any starting index per node.
+    /// Allocation-free in steady state.
+    pub fn push(&mut self, node: u32, window_index: u64, signature: &CsSignature) -> Result<()> {
+        if signature.re.len() != self.l || signature.im.len() != self.l {
+            return Err(StoreError::Invalid(format!(
+                "signature has {} re / {} im blocks, store expects {}",
+                signature.re.len(),
+                signature.im.len(),
+                self.l
+            )));
+        }
+        if signature
+            .re
+            .iter()
+            .chain(&signature.im)
+            .any(|v| !v.is_finite())
+        {
+            return Err(StoreError::Invalid(format!(
+                "node {node} window {window_index}: non-finite signature value"
+            )));
+        }
+        let idx = node as usize;
+        if idx >= self.cfg.max_nodes {
+            return Err(StoreError::Invalid(format!(
+                "node id {node} exceeds the configured bound of {} \
+                 (StoreConfig::with_max_nodes raises it)",
+                self.cfg.max_nodes
+            )));
+        }
+        if idx >= self.node_bufs.len() {
+            self.node_bufs.resize_with(idx + 1, NodeBuf::default);
+        }
+        let buf = &mut self.node_bufs[idx];
+        if let Some(last) = buf.last_window {
+            if window_index <= last {
+                return Err(StoreError::Invalid(format!(
+                    "node {node}: window {window_index} after {last} breaks monotonicity"
+                )));
+            }
+        }
+        buf.last_window = Some(window_index);
+        buf.windows.push(window_index);
+        buf.values.extend_from_slice(&signature.re);
+        buf.values.extend_from_slice(&signature.im);
+        self.staged_events += 1;
+        self.stats.events += 1;
+        if buf.windows.len() >= self.cfg.block_events {
+            self.flush_node(idx)?;
+        }
+        if self.active.events >= self.cfg.segment_events {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Writes node `idx`'s staged events out as one block.
+    fn flush_node(&mut self, idx: usize) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::Invalid(
+                "store poisoned: a failed append could not be rolled back; \
+                 reopen the store to recover"
+                    .into(),
+            ));
+        }
+        let buf = &mut self.node_bufs[idx];
+        if buf.windows.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        format::encode_block(
+            &mut self.scratch,
+            self.active.header.mode,
+            self.l,
+            idx as u32,
+            &buf.windows,
+            &buf.values,
+        )?;
+        if let Err(e) = self.active_file.write_all(&self.scratch) {
+            // A partial append leaves garbage between the last indexed
+            // block and wherever the cursor stopped. Roll the file back
+            // to the known-good boundary so a later retry (the events
+            // are still staged) appends cleanly; if even that fails,
+            // poison the store rather than desync file and index.
+            let rolled = self.active_file.set_len(self.active.bytes).is_ok()
+                && self
+                    .active_file
+                    .seek(SeekFrom::Start(self.active.bytes))
+                    .is_ok();
+            self.poisoned = !rolled;
+            return Err(e.into());
+        }
+        self.active.entries.push(BlockEntry {
+            node: idx as u32,
+            first_window: buf.windows[0],
+            last_window: *buf.windows.last().unwrap(),
+            offset: self.active.bytes,
+            len: self.scratch.len() as u32,
+        });
+        let count = buf.windows.len() as u64;
+        self.active.events += count;
+        self.active.bytes += self.scratch.len() as u64;
+        self.staged_events -= count;
+        self.stats.blocks += 1;
+        self.stats.bytes_written += self.scratch.len() as u64;
+        buf.windows.clear();
+        buf.values.clear();
+        Ok(())
+    }
+
+    /// Writes every staged event to the active segment (possibly as
+    /// partial blocks). After `flush`, a process kill loses nothing.
+    pub fn flush(&mut self) -> Result<()> {
+        for idx in 0..self.node_bufs.len() {
+            self.flush_node(idx)?;
+        }
+        self.active_file.flush()?;
+        Ok(())
+    }
+
+    /// Flushes, seals the active segment, enforces retention and starts a
+    /// new active segment. Per-node window monotonicity persists across
+    /// the roll — duplicate or regressing window indexes stay rejected.
+    /// A no-op when the active segment holds no events (sealing nothing
+    /// would leave header-only files eating into the retention budget).
+    pub fn seal(&mut self) -> Result<()> {
+        self.flush()?;
+        if self.active.events == 0 {
+            return Ok(());
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let (mut next, next_file) =
+            Self::start_segment(&self.dir, id, self.spec, self.l, &self.cfg)?;
+        std::mem::swap(&mut self.active, &mut next);
+        self.active_file = next_file;
+        self.stats.segments_sealed += 1;
+        self.sealed.push(next);
+        self.enforce_retention()
+    }
+
+    fn enforce_retention(&mut self) -> Result<()> {
+        if self.cfg.max_segments == 0 {
+            return Ok(());
+        }
+        while self.sealed.len() > self.cfg.max_segments {
+            let oldest = self.sealed.remove(0);
+            std::fs::remove_file(&oldest.path)?;
+            self.stats.segments_dropped += 1;
+            self.stats.events_dropped += oldest.events;
+        }
+        Ok(())
+    }
+
+    /// Visits every stored event as `(node, window_index, features)`,
+    /// where `features` is the `[re..., im...]` vector of length
+    /// [`SignatureStore::dim`]. Events arrive segment by segment, block
+    /// by block (grouped per node, time-ordered within a block), then
+    /// the staged (not yet flushed) tail. Staged events are reported at
+    /// full precision even when the segment encoding is quantized.
+    pub fn for_each<F>(&self, f: F) -> Result<()>
+    where
+        F: FnMut(u32, u64, &[f64]),
+    {
+        self.for_each_in(None, 0..u64::MAX, f)
+    }
+
+    /// [`SignatureStore::for_each`] restricted to one node (or all when
+    /// `None`) and a window-index range. Uses the in-memory block index
+    /// to skip non-matching blocks without decoding them.
+    pub fn for_each_in<F>(&self, node: Option<u32>, windows: Range<u64>, mut f: F) -> Result<()>
+    where
+        F: FnMut(u32, u64, &[f64]),
+    {
+        let mut win_scratch: Vec<u64> = Vec::new();
+        let mut val_scratch: Vec<f64> = Vec::new();
+        let mut block_buf: Vec<u8> = Vec::new();
+        let mut head_buf = [0u8; FILE_HEADER_LEN];
+        for seg in self.sealed.iter().chain(std::iter::once(&self.active)) {
+            if seg.events == 0 {
+                continue;
+            }
+            if !seg.entries.iter().any(|e| entry_matches(e, node, &windows)) {
+                continue;
+            }
+            // Seek-read only the matched blocks: the point of the block
+            // index is that a point query on a big segment does not pay
+            // whole-file I/O.
+            let mut file = File::open(&seg.path)?;
+            file.read_exact(&mut head_buf)
+                .map_err(|e| StoreError::Corrupt {
+                    path: seg.path.clone(),
+                    offset: 0,
+                    message: format!("segment header unreadable: {e}"),
+                })?;
+            // Guard against external modification since the index was built.
+            let header = FileHeader::parse(&head_buf, &seg.path)?;
+            if header != seg.header {
+                return Err(StoreError::Mismatch(format!(
+                    "segment {} changed on disk since it was indexed",
+                    seg.path.display()
+                )));
+            }
+            for entry in &seg.entries {
+                if !entry_matches(entry, node, &windows) {
+                    continue;
+                }
+                file.seek(SeekFrom::Start(entry.offset))?;
+                block_buf.resize(entry.len as usize, 0);
+                file.read_exact(&mut block_buf)
+                    .map_err(|e| StoreError::Corrupt {
+                        path: seg.path.clone(),
+                        offset: entry.offset,
+                        message: format!("indexed block unreadable: {e}"),
+                    })?;
+                let block = format::parse_block(&block_buf, 0, &header)
+                    .map_err(|e| {
+                        // Re-anchor the error at the block's true offset.
+                        format::BlockError {
+                            offset: entry.offset + e.offset,
+                            ..e
+                        }
+                        .into_store_error(&seg.path)
+                    })?
+                    .ok_or_else(|| StoreError::Corrupt {
+                        path: seg.path.clone(),
+                        offset: entry.offset,
+                        message: "indexed block vanished".into(),
+                    })?;
+                emit_block(
+                    &block,
+                    &header,
+                    &windows,
+                    &mut win_scratch,
+                    &mut val_scratch,
+                    &mut f,
+                );
+            }
+        }
+        // Staged tail.
+        for (idx, buf) in self.node_bufs.iter().enumerate() {
+            if node.is_some_and(|n| n as usize != idx) {
+                continue;
+            }
+            for (i, &w) in buf.windows.iter().enumerate() {
+                if windows.contains(&w) {
+                    f(idx as u32, w, &buf.values[i * self.dim..(i + 1) * self.dim]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a labelled training set by running `label` over every
+    /// stored event; events mapped to `None` are skipped. Returns a
+    /// row-per-sample feature matrix and the class vector — exactly the
+    /// shape [`RandomForestClassifier::fit`] consumes.
+    pub fn extract_training_set<F>(&self, mut label: F) -> Result<(Matrix, Vec<usize>)>
+    where
+        F: FnMut(u32, u64, &[f64]) -> Option<usize>,
+    {
+        let mut flat: Vec<f64> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        self.for_each(|node, window, features| {
+            if let Some(class) = label(node, window, features) {
+                flat.extend_from_slice(features);
+                y.push(class);
+            }
+        })?;
+        if y.is_empty() {
+            return Err(StoreError::Invalid(
+                "no stored event was labelled; nothing to train on".into(),
+            ));
+        }
+        let x = Matrix::from_vec(y.len(), self.dim, flat)
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+        Ok((x, y))
+    }
+
+    /// Trains a random forest classifier straight from the store: the
+    /// paper's fault-classification workload running on persisted
+    /// signatures instead of a transient feature matrix.
+    pub fn train_classifier<F>(
+        &self,
+        config: ForestConfig,
+        label: F,
+    ) -> Result<RandomForestClassifier>
+    where
+        F: FnMut(u32, u64, &[f64]) -> Option<usize>,
+    {
+        let (x, y) = self.extract_training_set(label)?;
+        let mut rf = RandomForestClassifier::with_config(config);
+        rf.fit(&x, &y)
+            .map_err(|e| StoreError::Invalid(format!("forest training failed: {e}")))?;
+        Ok(rf)
+    }
+}
+
+fn entry_matches(e: &BlockEntry, node: Option<u32>, windows: &Range<u64>) -> bool {
+    node.is_none_or(|n| n == e.node)
+        && e.first_window < windows.end
+        && e.last_window >= windows.start
+}
+
+fn emit_block<F>(
+    block: &BlockRef<'_>,
+    header: &FileHeader,
+    range: &Range<u64>,
+    win_scratch: &mut Vec<u64>,
+    val_scratch: &mut Vec<f64>,
+    f: &mut F,
+) where
+    F: FnMut(u32, u64, &[f64]),
+{
+    win_scratch.clear();
+    val_scratch.clear();
+    format::decode_block(block, header, win_scratch, val_scratch);
+    let dim = 2 * header.l as usize;
+    for (i, &w) in win_scratch.iter().enumerate() {
+        if range.contains(&w) {
+            f(block.node, w, &val_scratch[i * dim..(i + 1) * dim]);
+        }
+    }
+}
+
+impl FleetSink for SignatureStore {
+    fn on_event(&mut self, event: &FleetEvent) -> cwsmooth_core::error::Result<()> {
+        self.push(
+            event.node as u32,
+            event.window_index as u64,
+            &event.signature,
+        )
+        .map_err(|e| CoreError::Persist(format!("signature store rejected event: {e}")))
+    }
+}
+
+impl Drop for SignatureStore {
+    /// Best-effort flush of the staged tail; errors are ignored (call
+    /// [`SignatureStore::flush`] explicitly when durability matters).
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cwsmooth-sigstore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sig(l: usize, seedv: f64) -> CsSignature {
+        CsSignature {
+            re: (0..l)
+                .map(|i| ((seedv + i as f64) * 0.7).sin() * 0.5 + 0.5)
+                .collect(),
+            im: (0..l)
+                .map(|i| ((seedv - i as f64) * 0.3).cos() * 0.01)
+                .collect(),
+        }
+    }
+
+    fn spec() -> WindowSpec {
+        WindowSpec::new(30, 10).unwrap()
+    }
+
+    fn collect(store: &SignatureStore) -> Vec<(u32, u64, Vec<f64>)> {
+        let mut out = Vec::new();
+        store
+            .for_each(|n, w, v| out.push((n, w, v.to_vec())))
+            .unwrap();
+        out.sort_by_key(|&(n, w, _)| (n, w));
+        out
+    }
+
+    #[test]
+    fn exact_roundtrip_through_disk_is_bitwise() {
+        let dir = tmpdir("exact");
+        let cfg = StoreConfig::default().with_block_events(8);
+        let mut store = SignatureStore::open(&dir, spec(), 3, cfg).unwrap();
+        let mut expect = Vec::new();
+        for node in 0..4u32 {
+            for w in 0..21u64 {
+                let s = sig(3, node as f64 * 13.0 + w as f64);
+                store.push(node, w, &s).unwrap();
+                let mut v = s.re.clone();
+                v.extend_from_slice(&s.im);
+                expect.push((node, w, v));
+            }
+        }
+        store.flush().unwrap();
+        assert_eq!(store.staged_events(), 0);
+        assert_eq!(store.events(), 84);
+        let live = collect(&store);
+        drop(store);
+
+        let store = SignatureStore::open(&dir, spec(), 3, cfg).unwrap();
+        assert_eq!(store.recovery().events, 84);
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        let back = collect(&store);
+        expect.sort_by_key(|&(n, w, _)| (n, w));
+        assert_eq!(back, expect);
+        assert_eq!(back, live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staged_tail_is_readable_before_flush() {
+        let dir = tmpdir("staged");
+        let mut store = SignatureStore::open(&dir, spec(), 2, StoreConfig::default()).unwrap();
+        store.push(0, 5, &sig(2, 1.0)).unwrap();
+        assert_eq!(store.staged_events(), 1);
+        let got = collect(&store);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].0, got[0].1), (0, 5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monotonicity_and_shape_are_enforced() {
+        let dir = tmpdir("mono");
+        let mut store = SignatureStore::open(&dir, spec(), 2, StoreConfig::default()).unwrap();
+        store.push(0, 3, &sig(2, 0.0)).unwrap();
+        assert!(store.push(0, 3, &sig(2, 0.0)).is_err());
+        assert!(store.push(0, 2, &sig(2, 0.0)).is_err());
+        store.push(0, 4, &sig(2, 0.0)).unwrap();
+        assert!(store.push(1, 0, &sig(3, 0.0)).is_err());
+        let mut bad = sig(2, 0.0);
+        bad.im[1] = f64::NAN;
+        assert!(store.push(1, 0, &bad).is_err());
+        // A stray huge node id is rejected instead of forcing a
+        // gigantic dense staging table.
+        assert!(store.push(u32::MAX, 0, &sig(2, 0.0)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monotonicity_survives_segment_rolls() {
+        let dir = tmpdir("mono-roll");
+        let cfg = StoreConfig::default()
+            .with_block_events(2)
+            .with_segment_events(4);
+        let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+        for w in 0..20u64 {
+            store.push(0, w, &sig(1, w as f64)).unwrap();
+        }
+        assert!(
+            store.stats().segments_sealed >= 2,
+            "premise: rolls happened"
+        );
+        // Duplicates and regressions stay rejected across the rolls.
+        assert!(store.push(0, 19, &sig(1, 0.0)).is_err());
+        assert!(store.push(0, 3, &sig(1, 0.0)).is_err());
+        store.push(0, 20, &sig(1, 0.0)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_cycles_do_not_accumulate_empty_segments_or_evict_data() {
+        let dir = tmpdir("reopen-cycles");
+        let cfg = StoreConfig::default().with_max_segments(2);
+        let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+        for w in 0..10u64 {
+            store.push(0, w, &sig(1, w as f64)).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+        for _ in 0..5 {
+            let store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+            drop(store);
+        }
+        // Only the one data segment remains on disk; the header-only
+        // actives from the idle open/close cycles are gone.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 2, "data segment + current active expected");
+        let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+        assert_eq!(store.recovery().events, 10);
+        // A seal with data present must not let ghost segments push the
+        // real one out of the retention budget.
+        store.push(1, 0, &sig(1, 9.9)).unwrap();
+        store.seal().unwrap();
+        assert_eq!(store.events(), 11);
+        // Sealing an empty active segment is a no-op.
+        let sealed_before = store.stats().segments_sealed;
+        store.seal().unwrap();
+        assert_eq!(store.stats().segments_sealed, sealed_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_applies_at_open_not_only_at_seal() {
+        let dir = tmpdir("retain-open");
+        let unbounded = StoreConfig::default()
+            .with_block_events(4)
+            .with_segment_events(8);
+        let mut store = SignatureStore::open(&dir, spec(), 1, unbounded).unwrap();
+        for w in 0..80u64 {
+            store.push(0, w, &sig(1, w as f64)).unwrap();
+        }
+        store.flush().unwrap();
+        assert!(store.segments().len() > 5);
+        drop(store);
+        // Reopen with a tight budget: excess segments are evicted now.
+        let store = SignatureStore::open(&dir, spec(), 1, unbounded.with_max_segments(2)).unwrap();
+        assert!(store.segments().len() <= 3); // 2 sealed + active
+        assert!(store.stats().segments_dropped > 0);
+        let got = collect(&store);
+        assert_eq!(got.len() as u64, store.events());
+        assert_eq!(got.last().unwrap().1, 79, "newest windows survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_nodes_is_configurable() {
+        let dir = tmpdir("maxnodes");
+        let cfg = StoreConfig::default().with_max_nodes(4);
+        let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+        store.push(3, 0, &sig(1, 0.0)).unwrap();
+        assert!(store.push(4, 0, &sig(1, 0.0)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_roll_over_and_retention_evicts() {
+        let dir = tmpdir("retain");
+        let cfg = StoreConfig::default()
+            .with_block_events(4)
+            .with_segment_events(16)
+            .with_max_segments(2);
+        let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
+        for w in 0..200u64 {
+            store.push(0, w, &sig(1, w as f64)).unwrap();
+        }
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert!(stats.segments_sealed >= 3, "{stats:?}");
+        assert!(stats.segments_dropped >= 1, "{stats:?}");
+        assert!(stats.events_dropped > 0);
+        let segs = store.segments();
+        assert!(segs.len() <= 3); // 2 sealed + active
+        assert!(segs.iter().rev().skip(1).all(|s| s.sealed));
+        // Readable events match the non-evicted count.
+        let got = collect(&store);
+        assert_eq!(got.len() as u64, store.events());
+        // The *newest* windows survived.
+        assert_eq!(got.last().unwrap().1, 199);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filtered_scan_matches_full_scan() {
+        let dir = tmpdir("filter");
+        let cfg = StoreConfig::default().with_block_events(8);
+        let mut store = SignatureStore::open(&dir, spec(), 2, cfg).unwrap();
+        for node in 0..5u32 {
+            for w in 0..40u64 {
+                store
+                    .push(node, w, &sig(2, node as f64 + w as f64 * 0.1))
+                    .unwrap();
+            }
+        }
+        store.flush().unwrap();
+        let all = collect(&store);
+        let mut filtered = Vec::new();
+        store
+            .for_each_in(Some(3), 10..25, |n, w, v| filtered.push((n, w, v.to_vec())))
+            .unwrap();
+        filtered.sort_by_key(|&(n, w, _)| (n, w));
+        let expect: Vec<_> = all
+            .iter()
+            .filter(|&&(n, w, _)| n == 3 && (10..25).contains(&w))
+            .cloned()
+            .collect();
+        assert_eq!(filtered.len(), 15);
+        assert_eq!(filtered, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected_on_open() {
+        let dir = tmpdir("geom");
+        let mut store = SignatureStore::open(&dir, spec(), 2, StoreConfig::default()).unwrap();
+        store.push(0, 0, &sig(2, 0.0)).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        assert!(matches!(
+            SignatureStore::open(&dir, spec(), 3, StoreConfig::default()),
+            Err(StoreError::Mismatch(_))
+        ));
+        assert!(SignatureStore::open(
+            &dir,
+            WindowSpec::new(8, 4).unwrap(),
+            2,
+            StoreConfig::default()
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn training_set_extraction_feeds_a_forest() {
+        let dir = tmpdir("train");
+        let mut store = SignatureStore::open(&dir, spec(), 2, StoreConfig::default()).unwrap();
+        // Two separable classes of signatures.
+        for w in 0..30u64 {
+            let mut hot = sig(2, w as f64);
+            hot.re.iter_mut().for_each(|v| *v = 0.9 + 0.05 * (*v - 0.5));
+            let mut cold = sig(2, w as f64 + 0.5);
+            cold.re
+                .iter_mut()
+                .for_each(|v| *v = 0.1 + 0.05 * (*v - 0.5));
+            store.push(0, w, &hot).unwrap();
+            store.push(1, w, &cold).unwrap();
+        }
+        let (x, y) = store
+            .extract_training_set(|node, _, _| Some(node as usize))
+            .unwrap();
+        assert_eq!(x.shape(), (60, 4));
+        assert_eq!(y.len(), 60);
+        let rf = store
+            .train_classifier(ForestConfig::classification(7), |node, _, _| {
+                Some(node as usize)
+            })
+            .unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct as f64 / y.len() as f64 > 0.95);
+        // Labelling nothing is an error, not an empty fit.
+        assert!(store.extract_training_set(|_, _, _| None).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

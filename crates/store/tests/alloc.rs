@@ -1,0 +1,101 @@
+//! Pins the zero-allocation guarantee of the store ingest hot path:
+//! once per-node staging buffers, the encode scratch and the block
+//! index have warmed up, `SignatureStore::push` — including the block
+//! flushes it triggers — must never touch the heap. File writes go
+//! straight to the descriptor; no userspace buffering, no allocation.
+//!
+//! Measured with a counting global allocator. This file holds exactly
+//! one `#[test]` so no concurrent test can allocate while the counter
+//! window is open.
+
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_store_push_performs_no_heap_allocation() {
+    let dir = std::env::temp_dir().join(format!("cwsmooth-store-alloc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let l = 4usize;
+    let nodes = 8u32;
+    let spec = WindowSpec::new(30, 10).unwrap();
+    // Quantized encoding (the more complex encode path) and a segment
+    // capacity large enough that no roll-over lands in the window.
+    let cfg = StoreConfig::default()
+        .with_encoding(Encoding::Quant8)
+        .with_block_events(32)
+        .with_segment_events(1 << 40);
+    let mut store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    let mut sig = CsSignature {
+        re: vec![0.0; l],
+        im: vec![0.0; l],
+    };
+    let fill = |sig: &mut CsSignature, node: u32, w: u64| {
+        for (i, v) in sig.re.iter_mut().enumerate() {
+            *v = ((w as f64 + i as f64) * 0.31 + node as f64).sin() * 0.5 + 0.5;
+        }
+        for (i, v) in sig.im.iter_mut().enumerate() {
+            *v = ((w as f64 - i as f64) * 0.17 + node as f64).cos() * 0.01;
+        }
+    };
+
+    // Warm-up: several full block flushes per node.
+    let mut w = 0u64;
+    while store.stats().blocks < 3 * nodes as u64 {
+        for node in 0..nodes {
+            fill(&mut sig, node, w);
+            store.push(node, w, &sig).unwrap();
+        }
+        w += 1;
+    }
+
+    // Measurement window: thousands of pushes including dozens of block
+    // flushes (and window gaps exercising the delta packer) — all
+    // heap-silent.
+    let a0 = ALLOCS.load(Ordering::SeqCst);
+    let d0 = DEALLOCS.load(Ordering::SeqCst);
+    let blocks_before = store.stats().blocks;
+    for _ in 0..400 {
+        w += if w.is_multiple_of(13) { 3 } else { 1 }; // occasional gaps
+        for node in 0..nodes {
+            fill(&mut sig, node, w);
+            store.push(node, w, &sig).unwrap();
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - a0;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - d0;
+    let blocks = store.stats().blocks - blocks_before;
+
+    assert!(blocks > 50, "expected many block flushes, got {blocks}");
+    assert_eq!(allocs, 0, "steady-state pushes allocated {allocs} times");
+    assert_eq!(deallocs, 0, "steady-state pushes freed {deallocs} times");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,306 @@
+//! Store durability and fidelity on the fleet-sim workload: kill-and-
+//! reopen recovery, quantized-vs-exact reconstruction fidelity (JSD and
+//! compression ratio), and exact-scan vs coarse-indexed k-NN parity.
+
+use cwsmooth_analysis::jsd::{js_divergence_2d, DimensionHistogram};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::fleet::FleetEngine;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
+use cwsmooth_store::{Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cwsmooth-durability-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+const L: usize = 4;
+const TRAIN: usize = 256;
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(30, 10).unwrap()
+}
+
+/// Streams `frames` fleet frames (after training) into `store`,
+/// returning the engine for stats cross-checks.
+fn ingest_fleet(store: &mut SignatureStore, nodes: usize, frames: usize, gaps: u32) -> FleetEngine {
+    let scenario = FleetScenario::new(FleetSimConfig::new(42, nodes).with_gaps(gaps));
+    let methods: Vec<CsMethod> = (0..nodes)
+        .map(|node| {
+            let history = scenario.training_matrix(node, TRAIN);
+            CsMethod::new(CsTrainer::default().train(&history).unwrap(), L).unwrap()
+        })
+        .collect();
+    let mut engine = FleetEngine::new(methods, spec()).unwrap();
+    let mut frame = engine.frame();
+    for f in 0..frames {
+        let t = TRAIN + f;
+        frame.clear();
+        for node in 0..nodes {
+            if !scenario.has_gap(node, t) {
+                scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+            }
+        }
+        engine.ingest_frame_sink(&frame, store).unwrap();
+    }
+    engine
+}
+
+fn collect(store: &SignatureStore) -> Vec<(u32, u64, Vec<f64>)> {
+    let mut out = Vec::new();
+    store
+        .for_each(|n, w, v| out.push((n, w, v.to_vec())))
+        .unwrap();
+    out.sort_by_key(|&(n, w, _)| (n, w));
+    out
+}
+
+#[test]
+fn kill_and_reopen_recovers_the_flushed_prefix() {
+    let dir = tmpdir("kill");
+    let cfg = StoreConfig::default().with_block_events(32);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let engine = ingest_fleet(&mut store, 12, 600, 5);
+    store.flush().unwrap();
+    assert_eq!(store.stats().events, engine.stats().events);
+    let before = collect(&store);
+    assert!(!before.is_empty());
+    drop(store);
+
+    // Simulate a kill mid-append: chop the tail of the newest segment.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let last = files.last().unwrap();
+    let bytes = std::fs::read(last).unwrap();
+    let cut = bytes.len() - bytes.len() / 3;
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(last)
+        .unwrap()
+        .set_len(cut as u64)
+        .unwrap();
+
+    let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let rec = store.recovery();
+    assert!(rec.truncated_bytes > 0, "{rec:?}");
+    let after = collect(&store);
+    // Whatever survived is a strict prefix of the pre-kill contents:
+    // every recovered event matches the original bit for bit.
+    assert!(after.len() < before.len());
+    assert!(!after.is_empty());
+    assert_eq!(rec.events as usize, after.len());
+    for ev in &after {
+        let orig = before
+            .iter()
+            .find(|o| (o.0, o.1) == (ev.0, ev.1))
+            .expect("recovered event was never written");
+        assert_eq!(&orig.2, &ev.2);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crc_corruption_in_a_sealed_segment_is_an_error_not_a_panic() {
+    let dir = tmpdir("crc");
+    let cfg = StoreConfig::default()
+        .with_block_events(16)
+        .with_segment_events(64);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    ingest_fleet(&mut store, 8, 400, 0);
+    store.flush().unwrap();
+    drop(store);
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "expected several sealed segments");
+    // Flip one payload byte in the middle of an *early* segment.
+    let victim = &files[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(victim, &bytes).unwrap();
+
+    let err = SignatureStore::open(&dir, spec(), L, cfg).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt"), "unexpected error: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn garbage_files_error_cleanly() {
+    let dir = tmpdir("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("seg-00000001.cws"),
+        b"this is not a segment file at all",
+    )
+    .unwrap();
+    assert!(SignatureStore::open(&dir, spec(), L, StoreConfig::default()).is_err());
+    // An empty crash file in last position is removed, not fatal.
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("seg-00000001.cws"), b"").unwrap();
+    let store = SignatureStore::open(&dir, spec(), L, StoreConfig::default()).unwrap();
+    assert_eq!(store.recovery().segments, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance bar: ≥ 8x compression vs raw f64 signature storage
+/// (window index + `2l` f64 features per event) on the fleet workload,
+/// with reconstructed signatures statistically faithful to the
+/// originals (JSD over per-dimension value distributions).
+#[test]
+fn quantized_store_compresses_8x_with_bounded_jsd() {
+    let exact_dir = tmpdir("fid-exact");
+    let q8_dir = tmpdir("fid-q8");
+    let q16_dir = tmpdir("fid-q16");
+    let nodes = 8usize;
+    let frames = 3000usize;
+    let base = StoreConfig::default().with_block_events(256);
+
+    let mut exact = SignatureStore::open(&exact_dir, spec(), L, base).unwrap();
+    ingest_fleet(&mut exact, nodes, frames, 5);
+    exact.flush().unwrap();
+    let mut q8 =
+        SignatureStore::open(&q8_dir, spec(), L, base.with_encoding(Encoding::Quant8)).unwrap();
+    ingest_fleet(&mut q8, nodes, frames, 5);
+    q8.flush().unwrap();
+    let mut q16 =
+        SignatureStore::open(&q16_dir, spec(), L, base.with_encoding(Encoding::Quant16)).unwrap();
+    ingest_fleet(&mut q16, nodes, frames, 5);
+    q16.flush().unwrap();
+
+    let events = exact.events();
+    assert!(events > 2000, "workload too small: {events}");
+    let dim = exact.dim();
+    let raw_bytes = events * (8 + 8 * dim as u64);
+    let ratio8 = raw_bytes as f64 / q8.bytes_on_disk() as f64;
+    let ratio16 = raw_bytes as f64 / q16.bytes_on_disk() as f64;
+    assert!(ratio8 >= 8.0, "u8 compression ratio {ratio8:.2} < 8x");
+    assert!(ratio16 >= 4.0, "u16 compression ratio {ratio16:.2} < 4x");
+
+    // Reconstruction fidelity: per-dimension value distributions of the
+    // decoded store vs the exact store, as 2-D histograms (the paper's
+    // Sec. IV-A2 comparison applied to the storage layer).
+    let originals = collect(&exact);
+    for (store, bound, tag) in [(&q8, 0.02, "u8"), (&q16, 0.002, "u16")] {
+        let decoded = collect(store);
+        assert_eq!(decoded.len(), originals.len());
+        let n = originals.len();
+        let mut orig_m = Matrix::zeros(dim, n);
+        let mut deco_m = Matrix::zeros(dim, n);
+        let mut max_err: f64 = 0.0;
+        for (c, (o, d)) in originals.iter().zip(&decoded).enumerate() {
+            assert_eq!((o.0, o.1), (d.0, d.1), "event keys must line up");
+            for r in 0..dim {
+                orig_m.set(r, c, o.2[r]);
+                deco_m.set(r, c, d.2[r]);
+                max_err = max_err.max((o.2[r] - d.2[r]).abs());
+            }
+        }
+        let (lo, hi) = (
+            orig_m
+                .as_slice()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+            orig_m
+                .as_slice()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
+        );
+        let p = DimensionHistogram::new(&orig_m, 64, lo, hi);
+        let q = DimensionHistogram::new(&deco_m, 64, lo, hi);
+        let jsd = js_divergence_2d(&p, &q);
+        assert!(jsd <= bound, "{tag}: JSD {jsd:.5} exceeds {bound}");
+        assert!(max_err < 0.05, "{tag}: max reconstruction error {max_err}");
+    }
+    for d in [&exact_dir, &q8_dir, &q16_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn reopened_exact_store_yields_bit_identical_queries() {
+    let dir = tmpdir("reopen-query");
+    let cfg = StoreConfig::default().with_block_events(64);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    ingest_fleet(&mut store, 10, 800, 5);
+    store.flush().unwrap();
+    let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+    let queries: Vec<Vec<f64>> = collect(&store)
+        .iter()
+        .step_by(97)
+        .map(|(_, _, v)| v.clone())
+        .collect();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| index.query(q, 10).unwrap())
+        .collect();
+    drop(index);
+    drop(store);
+
+    let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+    let after: Vec<_> = queries
+        .iter()
+        .map(|q| index.query(q, 10).unwrap())
+        .collect();
+    // Not approximately equal: *the same* neighbors at *the same*
+    // (bitwise) distances, exact mode round-trips f64 losslessly.
+    assert_eq!(before, after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn indexed_knn_on_fleet_data_meets_recall_bar() {
+    let dir = tmpdir("recall");
+    let mut store = SignatureStore::open(&dir, spec(), L, StoreConfig::default()).unwrap();
+    ingest_fleet(&mut store, 16, 1500, 5);
+    store.flush().unwrap();
+    for distance in [Distance::L2, Distance::Pearson] {
+        let index = SignatureIndex::build(&store, distance)
+            .unwrap()
+            .with_coarse(24, 10)
+            .unwrap();
+        assert!(index.len() > 2000);
+        let events = collect(&store);
+        let mut top1 = 0usize;
+        let mut recall = 0.0;
+        let queries: Vec<_> = events.iter().step_by(53).collect();
+        for (_, _, q) in &queries {
+            let exact = index.query(q, 10).unwrap();
+            let approx = index.query_indexed(q, 10, 4).unwrap();
+            if approx[0] == exact[0] {
+                top1 += 1;
+            }
+            let exact_keys: Vec<(u32, u64)> =
+                exact.iter().map(|h| (h.node, h.window_index)).collect();
+            let hit = approx
+                .iter()
+                .filter(|h| exact_keys.contains(&(h.node, h.window_index)))
+                .count();
+            recall += hit as f64 / exact.len() as f64;
+        }
+        let n = queries.len() as f64;
+        assert_eq!(
+            top1,
+            queries.len(),
+            "{distance:?}: top-1 must match exact scan"
+        );
+        let recall = recall / n;
+        assert!(recall >= 0.9, "{distance:?}: recall@10 {recall:.3} < 0.9");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,161 @@
+//! Property-based round-trip tests for the signature store: arbitrary
+//! event streams (gappy window axes, extreme-but-finite values, many
+//! nodes) must survive flush + reopen under every encoding.
+
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cwsmooth-store-prop-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One node's stream: strictly increasing windows with arbitrary gaps,
+/// plus a value per (event, feature).
+fn node_stream(l: usize) -> impl Strategy<Value = (Vec<u64>, Vec<f64>)> {
+    (1usize..20).prop_flat_map(move |events| {
+        (
+            prop::collection::vec(1u64..50, events),
+            prop::collection::vec(-1e6f64..1e6f64, events * 2 * l),
+        )
+            .prop_map(|(gaps, values)| {
+                let mut w = 0u64;
+                let windows: Vec<u64> = gaps
+                    .iter()
+                    .map(|&g| {
+                        w += g;
+                        w
+                    })
+                    .collect();
+                (windows, values)
+            })
+    })
+}
+
+fn run_roundtrip(
+    encoding: Encoding,
+    block_events: usize,
+    streams: Vec<(Vec<u64>, Vec<f64>)>,
+) -> Result<(), TestCaseError> {
+    let dir = tmpdir();
+    let l = 2usize;
+    let spec = WindowSpec::new(16, 8).unwrap();
+    let cfg = StoreConfig::default()
+        .with_encoding(encoding)
+        .with_block_events(block_events);
+    let mut store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    let mut expect: Vec<(u32, u64, Vec<f64>)> = Vec::new();
+    for (node, (windows, values)) in streams.iter().enumerate() {
+        for (i, &w) in windows.iter().enumerate() {
+            let feats = &values[i * 2 * l..(i + 1) * 2 * l];
+            let sig = CsSignature {
+                re: feats[..l].to_vec(),
+                im: feats[l..].to_vec(),
+            };
+            store.push(node as u32, w, &sig).unwrap();
+            expect.push((node as u32, w, feats.to_vec()));
+        }
+    }
+    store.flush().unwrap();
+    drop(store);
+
+    let store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    let mut got: Vec<(u32, u64, Vec<f64>)> = Vec::new();
+    store
+        .for_each(|n, w, v| got.push((n, w, v.to_vec())))
+        .unwrap();
+    got.sort_by_key(|&(n, w, _)| (n, w));
+    expect.sort_by_key(|&(n, w, _)| (n, w));
+    prop_assert_eq!(got.len(), expect.len());
+    for ((gn, gw, gv), (en, ew, ev)) in got.iter().zip(&expect) {
+        prop_assert_eq!((gn, gw), (en, ew));
+        match encoding {
+            Encoding::Exact => {
+                for (a, b) in gv.iter().zip(ev) {
+                    // Exact mode must be bitwise.
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            Encoding::Quant8 | Encoding::Quant16 => {
+                // Error is bounded by one quantization step of the
+                // block's value range (<= full range here).
+                let qmax = if encoding == Encoding::Quant8 {
+                    255.0
+                } else {
+                    65535.0
+                };
+                let step = 2e6 / qmax;
+                for (a, b) in gv.iter().zip(ev) {
+                    prop_assert!((a - b).abs() <= step, "{a} vs {b} (step {step})");
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn exact_roundtrip_is_bitwise(
+        streams in prop::collection::vec(node_stream(2), 1..6),
+        block_events in 1usize..12,
+    ) {
+        run_roundtrip(Encoding::Exact, block_events, streams)?;
+    }
+
+    #[test]
+    fn quant8_roundtrip_is_step_bounded(
+        streams in prop::collection::vec(node_stream(2), 1..6),
+        block_events in 1usize..12,
+    ) {
+        run_roundtrip(Encoding::Quant8, block_events, streams)?;
+    }
+
+    #[test]
+    fn quant16_roundtrip_is_step_bounded(
+        streams in prop::collection::vec(node_stream(2), 1..6),
+        block_events in 1usize..12,
+    ) {
+        run_roundtrip(Encoding::Quant16, block_events, streams)?;
+    }
+
+    #[test]
+    fn truncation_anywhere_never_panics_on_reopen(
+        events in 2usize..40,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = tmpdir();
+        let spec = WindowSpec::new(16, 8).unwrap();
+        let cfg = StoreConfig::default().with_block_events(4);
+        let mut store = SignatureStore::open(&dir, spec, 1, cfg).unwrap();
+        for w in 0..events as u64 {
+            let sig = CsSignature { re: vec![w as f64], im: vec![-(w as f64)] };
+            store.push(0, w, &sig).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+        let path = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = (len as f64 * cut_frac) as u64;
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(cut).unwrap();
+        // Reopen must either recover a prefix or error cleanly — never panic.
+        match SignatureStore::open(&dir, spec, 1, cfg) {
+            Ok(store) => prop_assert!(store.recovery().events <= events as u64),
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

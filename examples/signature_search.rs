@@ -1,0 +1,179 @@
+//! End-to-end signature store workflow: stream a simulated fleet into a
+//! quantized on-disk store, reopen it from disk, run k-NN similarity
+//! queries (exact vs coarse-indexed), and train a random forest straight
+//! from the persisted signatures.
+//!
+//! ```sh
+//! cargo run --release --example signature_search
+//! STORE_NODES=256 STORE_FRAMES=4000 cargo run --release --example signature_search
+//! ```
+
+use cwsmooth::core::cs::{CsMethod, CsTrainer};
+use cwsmooth::core::fleet::FleetEngine;
+use cwsmooth::data::WindowSpec;
+use cwsmooth::ml::forest::ForestConfig;
+use cwsmooth::ml::metrics::accuracy_score;
+use cwsmooth::sim::fleet::{FleetScenario, FleetSimConfig};
+use cwsmooth::store::{Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig};
+use rayon::prelude::*;
+use std::time::Instant;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nodes = env_or("STORE_NODES", 64);
+    let frames = env_or("STORE_FRAMES", 2000);
+    let train = 256usize;
+    let l = 4usize;
+    let spec = WindowSpec::new(30, 10).unwrap();
+    let dir =
+        std::env::temp_dir().join(format!("cwsmooth-signature-search-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- Offline: per-node CS models ------------------------------------
+    let scenario = FleetScenario::new(FleetSimConfig::new(42, nodes).with_gaps(5));
+    let methods: Vec<CsMethod> = (0..nodes)
+        .into_par_iter()
+        .map(|node| {
+            let history = scenario.training_matrix(node, train);
+            CsMethod::new(CsTrainer::default().train(&history).unwrap(), l).unwrap()
+        })
+        .collect();
+    println!(
+        "fleet: {nodes} nodes, {} sensors, {l}-block signatures",
+        scenario.n_sensors()
+    );
+
+    // ---- Ingest: fleet frames -> quantized store ------------------------
+    let cfg = StoreConfig::default()
+        .with_encoding(Encoding::Quant8)
+        .with_block_events(256)
+        .with_segment_events(1 << 14);
+    let mut store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    let mut engine = FleetEngine::new(methods, spec).unwrap();
+    let mut frame = engine.frame();
+    let t0 = Instant::now();
+    for f in 0..frames {
+        let t = train + f;
+        frame.clear();
+        for node in 0..nodes {
+            if !scenario.has_gap(node, t) {
+                scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+            }
+        }
+        engine.ingest_frame_sink(&frame, &mut store).unwrap();
+    }
+    store.flush().unwrap();
+    let ingest = t0.elapsed().as_secs_f64();
+    let stats = store.stats();
+    let raw_bytes = stats.events * (8 + 8 * store.dim() as u64);
+    println!(
+        "ingest: {frames} frames -> {} events in {:.0} ms ({:.0} k events/s), \
+         {} segments, {:.1} KiB on disk ({:.1}x vs raw f64)",
+        stats.events,
+        ingest * 1e3,
+        stats.events as f64 / ingest / 1e3,
+        store.segments().len(),
+        store.bytes_on_disk() as f64 / 1024.0,
+        raw_bytes as f64 / store.bytes_on_disk() as f64,
+    );
+
+    // ---- Reopen from disk (simulated restart) ---------------------------
+    drop(store);
+    let store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    println!(
+        "reopen: recovered {} segments / {} events (truncated {} bytes)",
+        store.recovery().segments,
+        store.recovery().events,
+        store.recovery().truncated_bytes
+    );
+
+    // ---- Similarity search: nearest historical states -------------------
+    let t1 = Instant::now();
+    let index = SignatureIndex::build(&store, Distance::L2)
+        .unwrap()
+        .with_coarse(24, 10)
+        .unwrap();
+    println!(
+        "index: {} signatures, 24-cell coarse quantizer, built in {:.0} ms",
+        index.len(),
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Probe with the busiest stored signature (highest mean re).
+    let mut probe: Vec<f64> = Vec::new();
+    let mut probe_key = (0u32, 0u64);
+    let mut best = f64::NEG_INFINITY;
+    store
+        .for_each(|node, window, feats| {
+            let load: f64 = feats[..l].iter().sum();
+            if load > best {
+                best = load;
+                probe = feats.to_vec();
+                probe_key = (node, window);
+            }
+        })
+        .unwrap();
+    println!(
+        "probe: busiest window (node {}, window #{})",
+        probe_key.0, probe_key.1
+    );
+
+    let t2 = Instant::now();
+    let exact = index.query(&probe, 5).unwrap();
+    let exact_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let t3 = Instant::now();
+    let approx = index.query_indexed(&probe, 5, 4).unwrap();
+    let approx_ms = t3.elapsed().as_secs_f64() * 1e3;
+    println!("exact scan ({exact_ms:.2} ms):");
+    for n in &exact {
+        println!(
+            "  node {:>4} window #{:<5} distance {:.5}",
+            n.node, n.window_index, n.distance
+        );
+    }
+    println!("indexed, 4 of 24 cells probed ({approx_ms:.2} ms):");
+    for n in &approx {
+        println!(
+            "  node {:>4} window #{:<5} distance {:.5}",
+            n.node, n.window_index, n.distance
+        );
+    }
+    assert_eq!(exact[0], approx[0], "indexed top-1 must match exact scan");
+
+    // ---- Train a forest straight from the store -------------------------
+    // Label: high-load vs low-load windows (median split on mean re).
+    let mut loads: Vec<f64> = Vec::new();
+    store
+        .for_each(|_, _, feats| loads.push(feats[..l].iter().sum()))
+        .unwrap();
+    loads.sort_by(f64::total_cmp);
+    let median = loads[loads.len() / 2];
+
+    let t4 = Instant::now();
+    let rf = store
+        .train_classifier(ForestConfig::classification(7), |_, window, feats| {
+            // Hold out odd windows for evaluation.
+            (window % 2 == 0).then_some(usize::from(feats[..l].iter().sum::<f64>() > median))
+        })
+        .unwrap();
+    let (x_test, y_test) = store
+        .extract_training_set(|_, window, feats| {
+            (window % 2 == 1).then_some(usize::from(feats[..l].iter().sum::<f64>() > median))
+        })
+        .unwrap();
+    let pred = rf.predict(&x_test).unwrap();
+    println!(
+        "forest-from-store: trained on even windows in {:.0} ms, \
+         accuracy on held-out odd windows: {:.3}",
+        t4.elapsed().as_secs_f64() * 1e3,
+        accuracy_score(&y_test, &pred).unwrap()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Runs the ML-substrate and CS-stage benchmarks and refreshes the
-# machine-readable perf snapshot (BENCH_ml.json) used to track the
-# performance trajectory across PRs.
+# Runs the ML-substrate, CS-stage and signature-store benchmarks and
+# refreshes the machine-readable perf snapshots (BENCH_ml.json and
+# BENCH_store.json) used to track the performance trajectory across PRs.
 #
-#   ./scripts/bench_snapshot.sh          # full run (criterion + snapshot)
-#   BENCH_QUICK=1 ./scripts/bench_snapshot.sh   # CI smoke: snapshot only,
+#   ./scripts/bench_snapshot.sh          # full run (criterion + snapshots)
+#   BENCH_QUICK=1 ./scripts/bench_snapshot.sh   # CI smoke: snapshots only,
 #                                               # single rep per entry
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,7 +12,11 @@ cd "$(dirname "$0")/.."
 if [ -z "${BENCH_QUICK:-}" ]; then
     cargo bench --bench forest
     cargo bench --bench cs_stages
+    cargo bench --bench store
 fi
 cargo run --release -p cwsmooth-bench --bin bench_snapshot
+cargo run --release -p cwsmooth-bench --bin bench_store_snapshot
 echo "== BENCH_ml.json =="
 cat BENCH_ml.json
+echo "== BENCH_store.json =="
+cat BENCH_store.json

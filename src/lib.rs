@@ -16,6 +16,8 @@
 //! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines, plus
 //!   online streaming and the sharded fleet engine.
 //! * [`analysis`] — Jensen-Shannon fidelity metrics and heatmap imaging.
+//! * [`store`] — the persistent compressed signature store (append-only
+//!   columnar segments, exact or quantized) and k-NN similarity search.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +45,4 @@ pub use cwsmooth_data as data;
 pub use cwsmooth_linalg as linalg;
 pub use cwsmooth_ml as ml;
 pub use cwsmooth_sim as sim;
+pub use cwsmooth_store as store;
