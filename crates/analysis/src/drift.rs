@@ -1,0 +1,570 @@
+//! Online distribution-drift monitoring over streaming signatures.
+//!
+//! The paper's fidelity metric (Sec. IV-A2) compares *distributions* of
+//! signature values with a 2-D Jensen-Shannon divergence; the same
+//! comparison run continuously makes a change detector: if the
+//! distribution of a node's signature blocks walks away from the
+//! distribution observed when the node was known-healthy, something
+//! changed — a fault, a workload shift, a sensor going bad — even when
+//! no classifier has ever seen that failure mode.
+//!
+//! [`DriftMonitor`] is a [`FleetSink`]: it maintains one online
+//! [`DimensionHistogram`]-shaped accumulator per node (dimension axis =
+//! signature feature, value axis = binned feature value), in *tumbling
+//! windows* of [`DriftConfig::window_events`] events. A node's first
+//! completed window becomes its healthy **reference**; every later
+//! window is compared against it with the same base-2 JSD as
+//! [`crate::jsd::js_divergence_2d`] (computed in place, no histograms
+//! materialized), and a divergence above [`DriftConfig::threshold`]
+//! raises the node's drift alarm.
+//!
+//! The per-event path touches no heap once a node's buffers exist
+//! (they are created on its first event and first completed window —
+//! warm-up, by the same rule as every other sink in the pipeline); the
+//! workspace counting-allocator test pins this.
+
+use crate::jsd::DimensionHistogram;
+use cwsmooth_core::error::{CoreError, Result as CoreResult};
+use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+
+/// Configuration for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Value bins per feature dimension.
+    pub bins: usize,
+    /// Events per tumbling window (per node): the histogram sample size.
+    /// Larger windows lower the small-sample JSD noise floor
+    /// (`≈ bins / (2.77 · window_events)` bits) at the cost of latency.
+    pub window_events: usize,
+    /// Tumbling windows accumulated into the healthy reference before
+    /// comparisons start (>= 1). A longer calibration spans more of the
+    /// workload's natural variation, so periodic behaviour is not
+    /// mistaken for drift.
+    pub reference_windows: usize,
+    /// JSD (bits, in `[0, 1]`) above which a node is considered drifted.
+    pub threshold: f64,
+    /// Lower edge of the value range (values below clamp to the first
+    /// bin). Signature re parts live in `[0, 1]`, im parts in `[-1, 1]`.
+    pub lo: f64,
+    /// Upper edge of the value range.
+    pub hi: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            bins: 8,
+            window_events: 32,
+            reference_windows: 1,
+            threshold: 0.3,
+            lo: -1.0,
+            hi: 1.0,
+        }
+    }
+}
+
+/// Per-node accumulator state.
+#[derive(Debug, Clone, Default)]
+struct NodeDrift {
+    /// Current tumbling window: `dims × bins` counts, row-major.
+    counts: Vec<u32>,
+    /// Events in the current window.
+    filled: usize,
+    /// The calibration counts, accumulated over the first
+    /// `reference_windows` tumbling windows (empty until allocated at
+    /// the node's first completed window).
+    reference: Vec<u32>,
+    /// Tumbling windows folded into the reference so far.
+    ref_windows: usize,
+    /// Cached base-2 entropy of the normalized reference.
+    ref_entropy: f64,
+    /// JSD of the latest completed window vs the reference.
+    last_jsd: f64,
+    /// Largest JSD seen over this node's comparisons.
+    peak_jsd: f64,
+    /// Completed windows (including the calibration window).
+    windows: u64,
+    alarmed: bool,
+}
+
+/// A [`FleetSink`] watching every node's signature distribution for
+/// drift away from its own healthy reference (see module docs).
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    inv_width: f64,
+    /// Feature dimensions (`2·l`); learned from the first event.
+    dims: usize,
+    nodes: Vec<NodeDrift>,
+    events: u64,
+    comparisons: u64,
+    alarms: u64,
+    max_jsd: f64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    /// On an inconsistent config: zero bins, zero `window_events`, an
+    /// empty value range or a non-finite/out-of-`[0,1]` threshold.
+    pub fn new(cfg: DriftConfig) -> Self {
+        assert!(cfg.bins >= 1, "need at least one bin");
+        assert!(cfg.window_events >= 1, "need at least one event per window");
+        assert!(
+            cfg.reference_windows >= 1,
+            "need at least one reference window"
+        );
+        assert!(cfg.hi > cfg.lo, "empty value range");
+        assert!(
+            (0.0..=1.0).contains(&cfg.threshold),
+            "threshold must be a JSD in [0, 1]"
+        );
+        Self {
+            cfg,
+            inv_width: cfg.bins as f64 / (cfg.hi - cfg.lo),
+            dims: 0,
+            nodes: Vec::new(),
+            events: 0,
+            comparisons: 0,
+            alarms: 0,
+            max_jsd: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.cfg
+    }
+
+    /// Events accumulated so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Completed window-vs-reference comparisons so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Alarm *transitions* so far (a node entering the drifted state).
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Largest JSD observed across all comparisons.
+    pub fn max_jsd(&self) -> f64 {
+        self.max_jsd
+    }
+
+    /// `true` once `node`'s reference (all
+    /// [`DriftConfig::reference_windows`] calibration windows) has
+    /// completed.
+    pub fn calibrated(&self, node: usize) -> bool {
+        self.nodes
+            .get(node)
+            .is_some_and(|n| n.ref_windows == self.cfg.reference_windows)
+    }
+
+    /// JSD of `node`'s latest completed window vs its reference, or
+    /// `None` before the first comparison.
+    pub fn last_jsd(&self, node: usize) -> Option<f64> {
+        self.nodes
+            .get(node)
+            .filter(|n| n.windows > self.cfg.reference_windows as u64)
+            .map(|n| n.last_jsd)
+    }
+
+    /// Largest JSD over `node`'s comparisons so far, or `None` before
+    /// the first one — the per-node drift severity, robust to a fault
+    /// that ends before the last tumbling window.
+    pub fn peak_jsd(&self, node: usize) -> Option<f64> {
+        self.nodes
+            .get(node)
+            .filter(|n| n.windows > self.cfg.reference_windows as u64)
+            .map(|n| n.peak_jsd)
+    }
+
+    /// `true` while `node`'s latest comparison exceeded the threshold.
+    pub fn alarmed(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(|n| n.alarmed)
+    }
+
+    /// Nodes currently in the drifted state, ascending.
+    pub fn alarmed_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alarmed)
+            .map(|(i, _)| i)
+    }
+
+    /// `node`'s reference distribution as a [`DimensionHistogram`]
+    /// (materialized on call), or `None` before calibration.
+    pub fn reference_histogram(&self, node: usize) -> Option<DimensionHistogram> {
+        let n = self.nodes.get(node)?;
+        if n.ref_windows != self.cfg.reference_windows {
+            return None;
+        }
+        Some(DimensionHistogram::from_counts(
+            self.dims,
+            self.cfg.bins,
+            &n.reference,
+        ))
+    }
+
+    /// Finishes a node's tumbling window: calibrate or compare.
+    fn finish_window(
+        cfg: &DriftConfig,
+        state: &mut NodeDrift,
+        comparisons: &mut u64,
+        alarms: &mut u64,
+        max_jsd: &mut f64,
+    ) {
+        state.windows += 1;
+        let dims = state.counts.len() / cfg.bins;
+        let inv_q = 1.0 / (dims * cfg.window_events) as f64;
+        if state.ref_windows < cfg.reference_windows {
+            // Calibration: fold this window into the healthy reference.
+            if state.reference.is_empty() {
+                state.reference = state.counts.clone();
+            } else {
+                for (r, &c) in state.reference.iter_mut().zip(&state.counts) {
+                    *r += c;
+                }
+            }
+            state.ref_windows += 1;
+            if state.ref_windows == cfg.reference_windows {
+                let inv_p = inv_q / cfg.reference_windows as f64;
+                state.ref_entropy = state
+                    .reference
+                    .iter()
+                    .map(|&c| ent(c as f64 * inv_p))
+                    .sum::<f64>();
+            }
+        } else {
+            // Streaming Eq. 4: JS(P‖Q) = H((P+Q)/2) − (H(P)+H(Q))/2,
+            // identical cell-for-cell to js_divergence_2d over the
+            // materialized histograms (pinned by tests), but computed
+            // without building them. Reference and window carry
+            // different total counts, so each uses its own
+            // normalization.
+            let inv_p = inv_q / cfg.reference_windows as f64;
+            let mut h_mid = 0.0;
+            let mut h_q = 0.0;
+            for (&r, &c) in state.reference.iter().zip(&state.counts) {
+                let p = r as f64 * inv_p;
+                let q = c as f64 * inv_q;
+                h_mid += ent(0.5 * (p + q));
+                h_q += ent(q);
+            }
+            let js = (h_mid - 0.5 * (state.ref_entropy + h_q)).clamp(0.0, 1.0);
+            state.last_jsd = js;
+            if js > state.peak_jsd {
+                state.peak_jsd = js;
+            }
+            *comparisons += 1;
+            if js > *max_jsd {
+                *max_jsd = js;
+            }
+            let drifted = js > cfg.threshold;
+            if drifted && !state.alarmed {
+                *alarms += 1;
+            }
+            state.alarmed = drifted;
+        }
+        state.counts.fill(0);
+        state.filled = 0;
+    }
+}
+
+/// One base-2 entropy term, `-x·log2(x)` (0 at 0).
+fn ent(x: f64) -> f64 {
+    if x > 0.0 {
+        -x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+impl FleetSink for DriftMonitor {
+    fn on_event(&mut self, event: &FleetEvent) -> CoreResult<()> {
+        let l = event.signature.re.len();
+        let dims = 2 * l;
+        if l == 0 || event.signature.im.len() != l {
+            return Err(CoreError::Shape(format!(
+                "drift monitor: malformed signature ({l} re / {} im blocks)",
+                event.signature.im.len()
+            )));
+        }
+        if self.dims == 0 {
+            self.dims = dims;
+        } else if dims != self.dims {
+            return Err(CoreError::Shape(format!(
+                "drift monitor: event has {dims} feature dims, stream started with {}",
+                self.dims
+            )));
+        }
+        if event.node >= self.nodes.len() {
+            self.nodes.resize(event.node + 1, NodeDrift::default());
+        }
+        let bins = self.cfg.bins;
+        // Bin the event before re-borrowing the node mutably.
+        let state = &mut self.nodes[event.node];
+        if state.counts.is_empty() {
+            state.counts = vec![0; dims * bins];
+        }
+        for (d, &v) in event.signature.re.iter().enumerate() {
+            let b = (((v - self.cfg.lo) * self.inv_width).floor() as isize)
+                .clamp(0, bins as isize - 1) as usize;
+            state.counts[d * bins + b] += 1;
+        }
+        for (d, &v) in event.signature.im.iter().enumerate() {
+            let b = (((v - self.cfg.lo) * self.inv_width).floor() as isize)
+                .clamp(0, bins as isize - 1) as usize;
+            state.counts[(l + d) * bins + b] += 1;
+        }
+        state.filled += 1;
+        self.events += 1;
+        if state.filled == self.cfg.window_events {
+            Self::finish_window(
+                &self.cfg,
+                state,
+                &mut self.comparisons,
+                &mut self.alarms,
+                &mut self.max_jsd,
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsd::js_divergence_2d;
+    use cwsmooth_core::cs::CsSignature;
+    use cwsmooth_linalg::Matrix;
+
+    const L: usize = 2;
+
+    /// Deterministic pseudo-noise in [0, 1).
+    fn noise(seed: u64) -> f64 {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn event(node: usize, w: usize, shift: f64) -> FleetEvent {
+        let n1 = noise(w as u64 * 31 + node as u64);
+        let n2 = noise(w as u64 * 57 + node as u64 + 1000);
+        FleetEvent {
+            node,
+            window_index: w,
+            signature: CsSignature {
+                re: vec![
+                    (0.3 + shift + 0.1 * n1).clamp(0.0, 1.0),
+                    (0.6 + shift + 0.1 * n2).clamp(0.0, 1.0),
+                ],
+                im: vec![0.05 * (n1 - 0.5), 0.05 * (n2 - 0.5)],
+            },
+        }
+    }
+
+    fn monitor(window_events: usize) -> DriftMonitor {
+        DriftMonitor::new(DriftConfig {
+            bins: 8,
+            window_events,
+            threshold: 0.3,
+            ..DriftConfig::default()
+        })
+    }
+
+    #[test]
+    fn stable_distribution_stays_quiet_shifted_one_alarms() {
+        let mut m = monitor(24);
+        let mut w = 0usize;
+        // Calibration + two stable windows on both nodes.
+        for _ in 0..3 * 24 {
+            m.on_event(&event(0, w, 0.0)).unwrap();
+            m.on_event(&event(1, w, 0.0)).unwrap();
+            w += 1;
+        }
+        assert!(m.calibrated(0) && m.calibrated(1));
+        assert_eq!(m.comparisons(), 4);
+        assert!(
+            m.last_jsd(0).unwrap() < 0.3,
+            "jsd {}",
+            m.last_jsd(0).unwrap()
+        );
+        assert!(!m.alarmed(0) && !m.alarmed(1));
+        assert_eq!(m.alarms(), 0);
+
+        // Node 1 drifts hard; node 0 stays put.
+        for _ in 0..24 {
+            m.on_event(&event(0, w, 0.0)).unwrap();
+            m.on_event(&event(1, w, 0.35)).unwrap();
+            w += 1;
+        }
+        assert!(!m.alarmed(0));
+        assert!(m.alarmed(1), "jsd {}", m.last_jsd(1).unwrap());
+        assert!(m.last_jsd(1).unwrap() > 0.3);
+        assert_eq!(m.alarms(), 1);
+        assert_eq!(m.alarmed_nodes().collect::<Vec<_>>(), vec![1]);
+        assert!(m.max_jsd() >= m.last_jsd(1).unwrap());
+
+        // Recovery drops the alarm; a second drift re-alarms.
+        for _ in 0..24 {
+            m.on_event(&event(1, w, 0.0)).unwrap();
+            w += 1;
+        }
+        assert!(!m.alarmed(1));
+        // The peak remembers the excursion even after recovery.
+        assert!(m.peak_jsd(1).unwrap() > 0.3);
+        assert!(m.peak_jsd(1).unwrap() >= m.last_jsd(1).unwrap());
+        assert!(m.peak_jsd(0).unwrap() < 0.3);
+        for _ in 0..24 {
+            m.on_event(&event(1, w, 0.35)).unwrap();
+            w += 1;
+        }
+        assert_eq!(m.alarms(), 2);
+    }
+
+    /// The streaming JSD must agree exactly with the reference
+    /// implementation over materialized histograms.
+    #[test]
+    fn streaming_jsd_matches_js_divergence_2d() {
+        let we = 20usize;
+        let mut m = monitor(we);
+        let mut ref_vals: Vec<Vec<f64>> = vec![Vec::new(); 2 * L];
+        let mut cur_vals: Vec<Vec<f64>> = vec![Vec::new(); 2 * L];
+        for w in 0..2 * we {
+            let e = event(3, w, if w < we { 0.0 } else { 0.2 });
+            let bucket = if w < we { &mut ref_vals } else { &mut cur_vals };
+            for d in 0..L {
+                bucket[d].push(e.signature.re[d]);
+                bucket[L + d].push(e.signature.im[d]);
+            }
+            m.on_event(&e).unwrap();
+        }
+        let cfg = m.config();
+        let to_hist = |vals: &Vec<Vec<f64>>| {
+            let mat = Matrix::from_fn(2 * L, we, |r, c| vals[r][c]);
+            DimensionHistogram::new(&mat, cfg.bins, cfg.lo, cfg.hi)
+        };
+        let expect = js_divergence_2d(&to_hist(&ref_vals), &to_hist(&cur_vals));
+        let got = m.last_jsd(3).unwrap();
+        assert!(
+            (got - expect).abs() < 1e-12,
+            "streaming {got} vs reference {expect}"
+        );
+        // The reference histogram accessor matches the collected data too.
+        let ref_hist = m.reference_histogram(3).unwrap();
+        assert_eq!(ref_hist.probs(), to_hist(&ref_vals).probs());
+        assert!(m.reference_histogram(0).is_none());
+    }
+
+    /// A multi-window reference accumulates counts across calibration
+    /// windows and normalizes each side by its own mass — pinned
+    /// against the materialized-histogram reference implementation.
+    #[test]
+    fn multi_window_reference_matches_materialized_histograms() {
+        let we = 10usize;
+        let mut m = DriftMonitor::new(DriftConfig {
+            bins: 8,
+            window_events: we,
+            reference_windows: 3,
+            threshold: 0.3,
+            ..DriftConfig::default()
+        });
+        let mut ref_vals: Vec<Vec<f64>> = vec![Vec::new(); 2 * L];
+        let mut cur_vals: Vec<Vec<f64>> = vec![Vec::new(); 2 * L];
+        for w in 0..4 * we {
+            let calib = w < 3 * we;
+            // Calibration spans two regimes; the compared window is a third.
+            let shift = if w < we {
+                0.0
+            } else if calib {
+                0.1
+            } else {
+                0.25
+            };
+            let e = event(0, w, shift);
+            let bucket = if calib { &mut ref_vals } else { &mut cur_vals };
+            for d in 0..L {
+                bucket[d].push(e.signature.re[d]);
+                bucket[L + d].push(e.signature.im[d]);
+            }
+            assert_eq!(m.calibrated(0), w >= 3 * we);
+            assert_eq!(m.last_jsd(0).is_some(), w >= 4 * we);
+            m.on_event(&e).unwrap();
+        }
+        let cfg = m.config();
+        let to_hist = |vals: &Vec<Vec<f64>>, n: usize| {
+            let mat = Matrix::from_fn(2 * L, n, |r, c| vals[r][c]);
+            DimensionHistogram::new(&mat, cfg.bins, cfg.lo, cfg.hi)
+        };
+        let expect = js_divergence_2d(&to_hist(&ref_vals, 3 * we), &to_hist(&cur_vals, we));
+        let got = m.last_jsd(0).unwrap();
+        assert!(
+            (got - expect).abs() < 1e-12,
+            "streaming {got} vs reference {expect}"
+        );
+        assert_eq!(
+            m.reference_histogram(0).unwrap().probs(),
+            to_hist(&ref_vals, 3 * we).probs()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_and_mismatched_signatures() {
+        let mut m = monitor(4);
+        let empty = FleetEvent {
+            node: 0,
+            window_index: 0,
+            signature: CsSignature::default(),
+        };
+        assert!(m.on_event(&empty).is_err());
+        let lopsided = FleetEvent {
+            node: 0,
+            window_index: 0,
+            signature: CsSignature {
+                re: vec![0.1, 0.2],
+                im: vec![0.0],
+            },
+        };
+        assert!(m.on_event(&lopsided).is_err());
+        m.on_event(&event(0, 0, 0.0)).unwrap();
+        let narrow = FleetEvent {
+            node: 0,
+            window_index: 1,
+            signature: CsSignature {
+                re: vec![0.1],
+                im: vec![0.0],
+            },
+        };
+        assert!(m.on_event(&narrow).is_err(), "dims changed mid-stream");
+        assert_eq!(m.events(), 1);
+    }
+
+    #[test]
+    fn accessors_before_any_data() {
+        let m = monitor(4);
+        assert!(!m.calibrated(0));
+        assert!(m.last_jsd(0).is_none());
+        assert!(!m.alarmed(5));
+        assert_eq!(m.alarmed_nodes().count(), 0);
+        assert_eq!(m.events(), 0);
+        assert_eq!(m.max_jsd(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn config_validation_panics() {
+        DriftMonitor::new(DriftConfig {
+            threshold: 2.0,
+            ..DriftConfig::default()
+        });
+    }
+}

@@ -57,6 +57,32 @@ impl DimensionHistogram {
         Self { probs }
     }
 
+    /// Builds the histogram from raw per-cell counts (`dims × bins`,
+    /// row-major) instead of raw data — the shape an *online* accumulator
+    /// (e.g. [`crate::drift::DriftMonitor`]) maintains. Rows are
+    /// normalized to `1/dims` each, exactly like
+    /// [`DimensionHistogram::new`]; a row with zero total count is
+    /// rejected for the same total-mass reason as an empty dimension row.
+    pub fn from_counts(dims: usize, bins: usize, counts: &[u32]) -> Self {
+        assert!(dims >= 1 && bins >= 1, "need at least one dim and bin");
+        assert_eq!(counts.len(), dims * bins, "counts must be dims x bins");
+        let mut probs = Matrix::zeros(dims, bins);
+        for y in 0..dims {
+            let row = &counts[y * bins..(y + 1) * bins];
+            let total: u64 = row.iter().map(|&c| c as u64).sum();
+            assert!(
+                total > 0,
+                "dimension rows must be non-empty for a valid probability surface"
+            );
+            let mass = total as f64 * dims as f64;
+            let prow = probs.row_mut(y);
+            for (p, &c) in prow.iter_mut().zip(row) {
+                *p = c as f64 / mass;
+            }
+        }
+        Self { probs }
+    }
+
     /// Number of dimensions.
     pub fn dims(&self) -> usize {
         self.probs.rows()

@@ -1,12 +1,15 @@
 //! Similarity metrics and visualization tooling for CS signatures.
 //!
-//! Two concerns live here:
+//! Three concerns live here:
 //!
 //! * [`jsd`] — the paper's compression-fidelity metric (Sec. IV-A2): a
 //!   Jensen-Shannon divergence over 2-D probability distributions where the
 //!   vertical axis is the (sorted) data dimension and the horizontal axis
 //!   the value. CS signatures are nearest-neighbor-upsampled along the
 //!   dimension axis before comparison, exactly as in the paper.
+//! * [`drift`] — [`drift::DriftMonitor`]: the same 2-D JSD run *online*
+//!   as a fleet-event sink, comparing each node's live signature
+//!   distribution against its own healthy reference in tumbling windows.
 //! * [`image`] — grayscale heatmap rendering of sensor matrices and
 //!   signature matrices (Figs. 2, 6, 7): scaling via nearest-neighbor or
 //!   bilinear interpolation, PGM output for files, ASCII output for
@@ -14,8 +17,10 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod image;
 pub mod jsd;
 
+pub use drift::{DriftConfig, DriftMonitor};
 pub use image::GrayImage;
 pub use jsd::{cs_fidelity, js_divergence_2d, try_js_divergence_2d, DimensionHistogram};

@@ -1,0 +1,144 @@
+//! Sink-tree delivery cost: the fleet engine driving a counting sink, a
+//! persisting store, and the full `Tee(store, detector, drift)` ODA
+//! tree, plus the routing/decimation operators on their own. The
+//! interesting numbers are the per-variant deltas — what each consumer
+//! adds on top of pure signature extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwsmooth_analysis::drift::{DriftConfig, DriftMonitor};
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::error::Result as CoreResult;
+use cwsmooth_core::fleet::{FleetEngine, FleetEvent, FleetFrame, FleetSink};
+use cwsmooth_core::pipeline::{NodeRoute, Sample, Tee};
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+use cwsmooth_ml::forest::{small_forest_config, RandomForestClassifier};
+use cwsmooth_ml::streaming::{DetectorConfig, StreamingDetector};
+use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
+use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
+use std::hint::black_box;
+
+const NODES: usize = 64;
+const TRAIN: usize = 192;
+const FRAMES: usize = 64;
+const L: usize = 4;
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(30, 10).unwrap()
+}
+
+fn engine_for(scenario: &FleetScenario) -> FleetEngine {
+    let methods: Vec<CsMethod> = (0..scenario.nodes())
+        .map(|node| {
+            let history = scenario.training_matrix(node, TRAIN);
+            CsMethod::new(CsTrainer::default().train(&history).unwrap(), L).unwrap()
+        })
+        .collect();
+    FleetEngine::new(methods, spec()).unwrap()
+}
+
+fn frames_for(scenario: &FleetScenario) -> Vec<FleetFrame> {
+    (0..FRAMES)
+        .map(|f| {
+            let mut frame = FleetFrame::new(scenario.nodes(), scenario.n_sensors());
+            for node in 0..scenario.nodes() {
+                scenario.reading_into(node, TRAIN + f, frame.slot_mut(node).unwrap());
+            }
+            frame
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Count(u64);
+
+impl FleetSink for Count {
+    fn on_event(&mut self, _event: &FleetEvent) -> CoreResult<()> {
+        self.0 += 1;
+        Ok(())
+    }
+}
+
+fn detector_for() -> StreamingDetector {
+    let x = Matrix::from_fn(200, 2 * L, |r, c| {
+        ((r * 13 + c * 7) % 100) as f64 / 100.0 + (r % 2) as f64 * 0.4
+    });
+    let y: Vec<usize> = (0..200).map(|r| r % 2).collect();
+    let mut forest = RandomForestClassifier::with_config(small_forest_config(5, true));
+    forest.fit(&x, &y).unwrap();
+    StreamingDetector::new(forest, DetectorConfig::default()).unwrap()
+}
+
+fn drift_for() -> DriftMonitor {
+    DriftMonitor::new(DriftConfig {
+        bins: 8,
+        window_events: 24,
+        ..DriftConfig::default()
+    })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    let scenario = FleetScenario::new(FleetSimConfig::new(7, NODES));
+    let frames = frames_for(&scenario);
+
+    // Pure delivery: engine + counting sink.
+    let mut engine = engine_for(&scenario);
+    let mut count = Count::default();
+    group.bench_function("count_sink", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                engine.ingest_frame_sink(frame, &mut count).unwrap();
+            }
+            black_box(count.0);
+        })
+    });
+
+    // Routing + decimation operators wrapped around the counting sink.
+    let mut engine = engine_for(&scenario);
+    let mut ops = Tee((
+        NodeRoute::new(0..NODES / 2, Count::default()),
+        Sample::every(4, Count::default()),
+    ));
+    group.bench_function("route_sample_tee", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                engine.ingest_frame_sink(frame, &mut ops).unwrap();
+            }
+            black_box(ops.0 .1.passed());
+        })
+    });
+
+    // The full ODA tree: persist + classify + drift-watch.
+    let dir = std::env::temp_dir().join(format!("cwsmooth-pipe-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut engine = engine_for(&scenario);
+    let mut store = SignatureStore::open(
+        &dir,
+        spec(),
+        L,
+        StoreConfig::default()
+            .with_encoding(Encoding::Quant8)
+            .with_segment_events(1 << 40),
+    )
+    .unwrap();
+    let mut detector = detector_for();
+    let mut drift = drift_for();
+    group.bench_function("tee3_store_detector_drift", |b| {
+        let mut tee = Tee((&mut store, &mut detector, &mut drift));
+        b.iter(|| {
+            for frame in &frames {
+                engine.ingest_frame_sink(frame, &mut tee).unwrap();
+            }
+            black_box(tee.0 .1.events());
+        })
+    });
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

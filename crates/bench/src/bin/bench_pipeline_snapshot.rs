@@ -1,0 +1,232 @@
+//! Machine-readable streaming-pipeline performance snapshot: events/s
+//! through the fleet engine with one sink vs the full 3-sink
+//! `Tee(store, detector, drift)` tree, plus per-event detector and
+//! drift-monitor costs, writing `BENCH_pipeline.json` so future PRs can
+//! track the dataflow's perf trajectory without parsing criterion
+//! output.
+//!
+//! Usage: `cargo run --release -p cwsmooth-bench --bin
+//! bench_pipeline_snapshot [--reps R] [--out PATH]` (`BENCH_QUICK=1`
+//! forces reps = 1 and a smaller workload for CI smoke runs).
+
+use cwsmooth_analysis::drift::{DriftConfig, DriftMonitor};
+use cwsmooth_bench::Args;
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::error::Result as CoreResult;
+use cwsmooth_core::fleet::{FleetEngine, FleetEvent, FleetSink};
+use cwsmooth_core::pipeline::Tee;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_ml::forest::{small_forest_config, RandomForestClassifier};
+use cwsmooth_ml::streaming::{DetectorConfig, StreamingDetector};
+use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
+use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const L: usize = 4;
+const TRAIN: usize = 256;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cwsmooth-pipe-snap-{tag}-{}", std::process::id()))
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A sink that only counts (the 1-sink lower bound on delivery cost).
+#[derive(Default)]
+struct Count(u64);
+
+impl FleetSink for Count {
+    fn on_event(&mut self, _event: &FleetEvent) -> CoreResult<()> {
+        self.0 += 1;
+        Ok(())
+    }
+}
+
+fn detector_for(dim: usize) -> StreamingDetector {
+    // A small forest over synthetic 2-class data at the signature shape;
+    // the snapshot tracks per-event walk cost, not model quality.
+    let x = cwsmooth_linalg::Matrix::from_fn(200, dim, |r, c| {
+        ((r * 13 + c * 7) % 100) as f64 / 100.0 + (r % 2) as f64 * 0.4
+    });
+    let y: Vec<usize> = (0..200).map(|r| r % 2).collect();
+    let mut forest = RandomForestClassifier::with_config(small_forest_config(5, true));
+    forest.fit(&x, &y).unwrap();
+    StreamingDetector::new(forest, DetectorConfig::default()).unwrap()
+}
+
+fn drift_for() -> DriftMonitor {
+    DriftMonitor::new(DriftConfig {
+        bins: 8,
+        window_events: 24,
+        ..DriftConfig::default()
+    })
+}
+
+fn main() {
+    let args = Args::capture();
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let reps: usize = if quick { 1 } else { args.get("reps", 5) };
+    let out_path: String = args.get("out", "BENCH_pipeline.json".to_string());
+    let nodes: usize = if quick { 16 } else { 64 };
+    let frames: usize = if quick { 600 } else { 2500 };
+
+    let spec = WindowSpec::new(30, 10).unwrap();
+    let scenario = FleetScenario::new(FleetSimConfig::new(42, nodes));
+    let methods: Vec<CsMethod> = (0..nodes)
+        .map(|node| {
+            let history = scenario.training_matrix(node, TRAIN);
+            CsMethod::new(CsTrainer::default().train(&history).unwrap(), L).unwrap()
+        })
+        .collect();
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, value: f64| {
+        println!("{name}: {value:.3}");
+        results.push((name.to_string(), value));
+    };
+
+    // Shared frame-fill closure (generation cost is part of every
+    // variant, so the 1-sink vs 3-sink delta isolates the sink tree).
+    let run_frames = |engine: &mut FleetEngine, mut sink: &mut dyn FleetSink| {
+        let mut frame = engine.frame();
+        for f in 0..frames {
+            let t = TRAIN + f;
+            frame.clear();
+            for node in 0..nodes {
+                scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+            }
+            // Through the &mut blanket impl: S = &mut dyn FleetSink.
+            engine.ingest_frame_sink(&frame, &mut sink).unwrap();
+        }
+    };
+
+    // ---- 1-sink baseline: counting sink (pure engine + delivery).
+    let mut events_per_run = 0u64;
+    let ms_count = time_ms(reps, || {
+        let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+        let mut sink = Count::default();
+        run_frames(&mut engine, &mut sink);
+        events_per_run = sink.0;
+        black_box(sink.0);
+    });
+    record(
+        "pipeline_1sink_count_kevents_per_s",
+        events_per_run as f64 / ms_count,
+    );
+
+    // ---- 1-sink store (persistence only).
+    let dir = tmpdir("store1");
+    let ms_store = time_ms(reps, || {
+        std::fs::remove_dir_all(&dir).ok();
+        let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+        let mut store = SignatureStore::open(
+            &dir,
+            spec,
+            L,
+            StoreConfig::default().with_encoding(Encoding::Quant8),
+        )
+        .unwrap();
+        run_frames(&mut engine, &mut store);
+        store.flush().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    record(
+        "pipeline_1sink_store_kevents_per_s",
+        events_per_run as f64 / ms_store,
+    );
+
+    // ---- 3-sink Tee(store, detector, drift): the full ODA loop.
+    let dir = tmpdir("tee3");
+    let ms_tee = time_ms(reps, || {
+        std::fs::remove_dir_all(&dir).ok();
+        let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+        let mut store = SignatureStore::open(
+            &dir,
+            spec,
+            L,
+            StoreConfig::default().with_encoding(Encoding::Quant8),
+        )
+        .unwrap();
+        let mut detector = detector_for(2 * L);
+        let mut drift = drift_for();
+        let mut tee = Tee((&mut store, &mut detector, &mut drift));
+        run_frames(&mut engine, &mut tee);
+        store.flush().unwrap();
+        black_box(detector.events());
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    record(
+        "pipeline_tee3_kevents_per_s",
+        events_per_run as f64 / ms_tee,
+    );
+    record(
+        "pipeline_tee3_overhead_vs_1sink_pct",
+        100.0 * (ms_tee - ms_count) / ms_count,
+    );
+
+    // ---- Per-event sink costs, isolated on a pre-collected event set.
+    let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+    let mut events: Vec<FleetEvent> = Vec::new();
+    {
+        let mut frame = engine.frame();
+        let mut out = Vec::new();
+        for f in 0..frames.min(1200) {
+            let t = TRAIN + f;
+            frame.clear();
+            for node in 0..nodes {
+                scenario.reading_into(node, t, frame.slot_mut(node).unwrap());
+            }
+            engine.ingest_frame_into(&frame, &mut out).unwrap();
+            events.append(&mut out);
+        }
+    }
+    let mut detector = detector_for(2 * L);
+    let ms = time_ms(reps, || {
+        for e in &events {
+            detector.on_event(e).unwrap();
+        }
+        black_box(detector.events());
+    });
+    record(
+        "pipeline_detector_us_per_event",
+        ms * 1000.0 / events.len() as f64,
+    );
+    let mut drift = drift_for();
+    let ms = time_ms(reps, || {
+        for e in &events {
+            drift.on_event(e).unwrap();
+        }
+        black_box(drift.events());
+    });
+    record(
+        "pipeline_drift_us_per_event",
+        ms * 1000.0 / events.len() as f64,
+    );
+
+    // Assemble JSON by hand (flat snapshot, no serde needed).
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 5,\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"reps\": {reps},\n  \"nodes\": {nodes},\n  \"frames\": {frames},\n"
+    ));
+    json.push_str("  \"current\": {\n");
+    for (i, (name, v)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

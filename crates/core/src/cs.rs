@@ -125,14 +125,30 @@ impl CsSignature {
     /// Flattens to a feature vector `[re..., im...]`.
     pub fn to_features(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.re.len() * 2);
+        self.features_into(&mut out);
+        out
+    }
+
+    /// Writes the `[re..., im...]` feature layout into `out` (cleared
+    /// first). Once `out`'s capacity has reached `2·l`, repeated calls
+    /// never touch the allocator — the per-event shape streaming
+    /// consumers (detectors, drift monitors) rely on.
+    pub fn features_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         out.extend_from_slice(&self.re);
         out.extend_from_slice(&self.im);
-        out
     }
 
     /// Flattens to the real components only (the paper's `-R` variants).
     pub fn to_real_features(&self) -> Vec<f64> {
         self.re.clone()
+    }
+
+    /// Writes the real components into `out` (cleared first); the
+    /// borrowed-buffer counterpart of [`CsSignature::to_real_features`].
+    pub fn real_features_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.re);
     }
 }
 
@@ -445,11 +461,13 @@ impl SignatureMethod for CsMethod {
 
     fn compute(&self, sw: &Matrix, history: Option<&[f64]>) -> Result<Vec<f64>> {
         let sig = self.signature(sw, history)?;
-        Ok(if self.real_only {
-            sig.to_real_features()
+        let mut out = Vec::with_capacity(self.signature_len(sw.rows()));
+        if self.real_only {
+            sig.real_features_into(&mut out);
         } else {
-            sig.to_features()
-        })
+            sig.features_into(&mut out);
+        }
+        Ok(out)
     }
 }
 
@@ -555,6 +573,25 @@ mod tests {
             let csr = CsMethod::new(model.clone(), l).unwrap().real_only(true);
             assert_eq!(csr.compute(&s, None).unwrap().len(), l);
         }
+    }
+
+    #[test]
+    fn features_into_matches_owning_flatteners_and_reuses_capacity() {
+        let s = train_matrix();
+        let model = CsTrainer::default().train(&s).unwrap();
+        let cs = CsMethod::new(model, 3).unwrap();
+        let sig = cs.signature(&s, None).unwrap();
+        // Start from a dirty, oversized buffer: contents are replaced.
+        let mut buf = vec![42.0; 11];
+        sig.features_into(&mut buf);
+        assert_eq!(buf, sig.to_features());
+        assert_eq!(buf.len(), 6);
+        let ptr = buf.as_ptr();
+        sig.features_into(&mut buf);
+        assert_eq!(ptr, buf.as_ptr(), "warm buffer must not reallocate");
+        sig.real_features_into(&mut buf);
+        assert_eq!(buf, sig.to_real_features());
+        assert_eq!(ptr, buf.as_ptr());
     }
 
     #[test]

@@ -12,11 +12,17 @@
 //! # Architecture
 //!
 //! ```text
-//!            FleetFrame (t)                      events (t)
-//!   node 0 ─┐                      ┌─ shard 0: OnlineCs × n/k ─┐
-//!   node 1 ─┤  ingest_frame(...)   ├─ shard 1: OnlineCs × n/k ─┤
-//!     ...   ├────────────────────► │       ... (rayon) ...     ├─► Vec<FleetEvent>
-//!   node n ─┘                      └─ shard k: OnlineCs × n/k ─┘
+//!            FleetFrame (t)                          events (t), node order
+//!   node 0 ─┐                          ┌─ shard 0: OnlineCs × n/k ─┐
+//!   node 1 ─┤  ingest_frame_sink(...)  ├─ shard 1: OnlineCs × n/k ─┤   &FleetEvent
+//!     ...   ├────────────────────────► │       ... (rayon) ...     ├─► FleetSink
+//!   node n ─┘                          └─ shard k: OnlineCs × n/k ─┘
+//!
+//!                 the sink is usually an operator tree (crate::pipeline):
+//!
+//!                      ┌─► SignatureStore               (persist)
+//!   engine ──► Tee ────┼─► StreamingDetector            (classify)
+//!                      └─► Sample(k) ─► DriftMonitor    (drift watch)
 //! ```
 //!
 //! Nodes are partitioned into contiguous shards, one per worker; every
@@ -27,6 +33,15 @@
 //! bookkeeping costs O(shards), independent of the node count — the
 //! allocator is touched only for completed signatures handed to the
 //! caller and the worker fan-out itself.
+//!
+//! # One ingest implementation
+//!
+//! [`FleetEngine::ingest_frame_sink`] is the *only* engine-side ingest
+//! path. [`FleetEngine::ingest_frame_into`] is a thin wrapper that hands
+//! a `Vec<FleetEvent>` (itself a [`FleetSink`] that clones events out)
+//! to the sink path, and [`FleetEngine::ingest_frame`] wraps that with a
+//! fresh vector. All three therefore emit bit-identical events — pinned
+//! by `tests/ingest_parity.rs`.
 //!
 //! # Gap handling
 //!

@@ -21,6 +21,10 @@
 //!   hot path and telemetry-gap recovery.
 //! * [`fleet`] — fleet-scale streaming: thousands of per-node online
 //!   streams sharded across rayon workers, fed by batched frames.
+//! * [`pipeline`] — composable [`fleet::FleetSink`] operators ([`pipeline::Tee`]
+//!   fan-out, [`pipeline::Filter`]/[`pipeline::NodeRoute`] routing,
+//!   [`pipeline::Sample`] decimation, [`pipeline::Collect`]) that turn the
+//!   event-delivery layer into an arbitrary operator tree.
 //! * [`scale`] — signature rescaling across block counts and middle-block
 //!   pruning (the paper's portability and aggressive-compression tricks).
 //!
@@ -60,6 +64,7 @@ pub mod method;
 pub mod model;
 pub mod online;
 pub mod ordering;
+pub mod pipeline;
 pub mod scale;
 
 pub use cs::{CsMethod, CsSignature, CsTrainer};
@@ -68,3 +73,4 @@ pub use fleet::{FleetEngine, FleetEvent, FleetFrame, FleetSink, FleetStats};
 pub use method::SignatureMethod;
 pub use model::CsModel;
 pub use online::OnlineCs;
+pub use pipeline::{Collect, Filter, NodeRoute, Sample, Tee};

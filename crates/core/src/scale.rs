@@ -90,7 +90,9 @@ pub fn resample_features(features: &[f64], new_l: usize) -> Result<Vec<f64>> {
         re: features[..l].to_vec(),
         im: features[l..].to_vec(),
     };
-    Ok(resample_signature(&sig, new_l)?.to_features())
+    let mut out = Vec::with_capacity(2 * new_l);
+    resample_signature(&sig, new_l)?.features_into(&mut out);
+    Ok(out)
 }
 
 /// Prunes the central blocks of a signature, keeping the `keep` most

@@ -282,6 +282,60 @@ impl RandomForestClassifier {
         Ok(parts.concat())
     }
 
+    /// Majority-vote class for a single feature row — the per-event
+    /// shape streaming consumers need, with no 1-row `Matrix`
+    /// materialization. Identical to `predict` on a 1-row matrix
+    /// (same vote counting, same tie resolution).
+    pub fn predict_row(&self, features: &[f64]) -> Result<usize> {
+        let mut votes = vec![0u32; self.n_classes.max(1)];
+        self.predict_votes_row(features, &mut votes)
+    }
+
+    /// Per-class vote *fractions* for a single feature row (sums to 1).
+    pub fn predict_proba_row(&self, features: &[f64]) -> Result<Vec<f64>> {
+        let mut votes = vec![0u32; self.n_classes.max(1)];
+        self.predict_votes_row(features, &mut votes)?;
+        let inv = 1.0 / self.trees.len() as f64;
+        Ok(votes.iter().map(|&v| v as f64 * inv).collect())
+    }
+
+    /// The allocation-free core of the row predictors: counts each
+    /// tree's vote into `votes` (length [`RandomForestClassifier::n_classes`],
+    /// overwritten) and returns the winning class. This is the hot-path
+    /// entry point for per-event inference — callers keep one `votes`
+    /// buffer alive across events and the forest never touches the heap.
+    pub fn predict_votes_row(&self, features: &[f64], votes: &mut [u32]) -> Result<usize> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if features.len() != tree_width(&self.trees[0]) {
+            return Err(MlError::Shape(format!(
+                "forest expects {} features, got {}",
+                tree_width(&self.trees[0]),
+                features.len()
+            )));
+        }
+        if votes.len() != self.n_classes {
+            return Err(MlError::Shape(format!(
+                "vote buffer holds {} classes, forest has {}",
+                votes.len(),
+                self.n_classes
+            )));
+        }
+        votes.fill(0);
+        for tree in &self.trees {
+            votes[tree.predict_one(features) as usize] += 1;
+        }
+        // Same tie resolution as the batch path: last class with the
+        // maximal vote count wins.
+        Ok(votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(cls, _)| cls)
+            .unwrap())
+    }
+
     /// Number of classes seen at fit time.
     pub fn n_classes(&self) -> usize {
         self.n_classes
@@ -377,6 +431,24 @@ impl RandomForestRegressor {
             })
             .collect();
         Ok(parts.concat())
+    }
+
+    /// Tree-mean prediction for a single feature row, accumulated in
+    /// tree order — bit-identical to `predict` on a 1-row matrix, with
+    /// no matrix materialization and no heap traffic.
+    pub fn predict_row(&self, features: &[f64]) -> Result<f64> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if features.len() != tree_width(&self.trees[0]) {
+            return Err(MlError::Shape(format!(
+                "forest expects {} features, got {}",
+                tree_width(&self.trees[0]),
+                features.len()
+            )));
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_one(features)).sum();
+        Ok(sum / self.trees.len() as f64)
     }
 
     /// Fitted trees (for inspection).
@@ -500,8 +572,55 @@ mod tests {
     fn unfitted_models_refuse_to_predict() {
         let rf = RandomForestClassifier::new(0);
         assert!(rf.predict(&Matrix::zeros(1, 2)).is_err());
+        assert!(rf.predict_row(&[0.0, 0.0]).is_err());
+        assert!(rf.predict_proba_row(&[0.0, 0.0]).is_err());
         let rr = RandomForestRegressor::new(0);
         assert!(rr.predict(&Matrix::zeros(1, 2)).is_err());
+        assert!(rr.predict_row(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn classifier_row_predictors_match_batch_predict() {
+        let (x, y) = xor_data(160);
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(9, true));
+        rf.fit(&x, &y).unwrap();
+        let batch = rf.predict(&x).unwrap();
+        let mut votes = vec![0u32; rf.n_classes()];
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..x.rows() {
+            assert_eq!(rf.predict_row(x.row(r)).unwrap(), batch[r]);
+            assert_eq!(
+                rf.predict_votes_row(x.row(r), &mut votes).unwrap(),
+                batch[r]
+            );
+            let total: u32 = votes.iter().sum();
+            assert_eq!(total as usize, rf.trees().len());
+            let proba = rf.predict_proba_row(x.row(r)).unwrap();
+            assert_eq!(proba.len(), rf.n_classes());
+            assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // Proba are exactly the vote fractions.
+            for (p, &v) in proba.iter().zip(&votes) {
+                assert_eq!(*p, v as f64 / rf.trees().len() as f64);
+            }
+        }
+        // Shape guards.
+        assert!(rf.predict_row(&[0.0]).is_err());
+        let mut short = vec![0u32; rf.n_classes() + 1];
+        assert!(rf.predict_votes_row(x.row(0), &mut short).is_err());
+    }
+
+    #[test]
+    fn regressor_row_predictor_is_bit_identical_to_batch() {
+        let x = Matrix::from_fn(80, 3, |r, c| ((r * 7 + c * 13) % 50) as f64 / 10.0);
+        let y: Vec<f64> = (0..80).map(|r| x.row(r).iter().sum::<f64>()).collect();
+        let mut rr = RandomForestRegressor::with_config(small_forest_config(4, false));
+        rr.fit(&x, &y).unwrap();
+        let batch = rr.predict(&x).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..x.rows() {
+            assert_eq!(rr.predict_row(x.row(r)).unwrap(), batch[r], "row {r}");
+        }
+        assert!(rr.predict_row(&[0.0]).is_err());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   parallel with rayon and row-parallel prediction.
 //! * [`mlp`] — a multi-layer perceptron with ReLU activations, softmax or
 //!   linear heads, Adam optimization and built-in feature standardization.
+//! * [`streaming`] — [`streaming::StreamingDetector`]: a fitted forest as
+//!   a fleet-event sink, classifying each completed-window signature in
+//!   place (no feature matrices) and tracking per-node verdict runs.
 //! * [`cv`] — shuffling, K-fold and stratified K-fold cross-validation.
 //! * [`metrics`] — confusion matrices, precision/recall/F1 (macro and
 //!   weighted), accuracy, RMSE and the paper's `1 − NRMSE` "ML score".
@@ -31,9 +34,11 @@ pub mod error;
 pub mod forest;
 pub mod metrics;
 pub mod mlp;
+pub mod streaming;
 pub mod tree;
 
 pub use error::{MlError, Result};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use mlp::{MlpClassifier, MlpRegressor};
+pub use streaming::{DetectorConfig, NodeVerdict, StreamingDetector};
 pub use tree::{SplitAlgo, TreeArena};

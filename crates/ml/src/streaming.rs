@@ -1,0 +1,362 @@
+//! Per-event streaming inference: a trained random forest as a
+//! [`FleetSink`].
+//!
+//! The paper's fault-classification workload (Sec. IV-B1) runs a random
+//! forest over CS signatures; [`StreamingDetector`] moves that forest
+//! *into* the ingest pipeline, classifying every completed-window event
+//! as it is delivered — no feature matrices, no event ownership. Per
+//! event it flattens the borrowed signature into a reused buffer
+//! ([`CsSignature::features_into`]), counts tree votes into a reused
+//! buffer ([`RandomForestClassifier::predict_votes_row`]) and updates
+//! per-node verdict state, so the steady-state path never touches the
+//! heap (pinned by the workspace counting-allocator test).
+//!
+//! Verdict state tracks, per node, the current class, its *run* (number
+//! of consecutive windows with that class) and the forest's vote margin.
+//! A node alarms when a non-healthy class persists for
+//! [`DetectorConfig::min_run`] windows — single-window blips from an
+//! unlucky vote don't page anyone; sustained faults do.
+//!
+//! [`CsSignature::features_into`]: cwsmooth_core::cs::CsSignature::features_into
+
+use crate::forest::RandomForestClassifier;
+use cwsmooth_core::error::{CoreError, Result as CoreResult};
+use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+
+use crate::error::{MlError, Result};
+
+/// Alarm policy for a [`StreamingDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// The class id meaning "nothing wrong" (conventionally 0).
+    pub healthy_class: usize,
+    /// Consecutive non-healthy windows of one class before the node
+    /// alarms (>= 1; 1 alarms on the first faulty verdict).
+    pub min_run: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            healthy_class: 0,
+            min_run: 2,
+        }
+    }
+}
+
+/// The rolling verdict state of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeVerdict {
+    /// Class predicted for the node's most recent window.
+    pub class: usize,
+    /// Consecutive windows (including the latest) predicting `class`.
+    pub run: usize,
+    /// Vote margin of the latest prediction: `(top − runner_up) / trees`,
+    /// in `[0, 1]` — 1.0 means a unanimous forest.
+    pub margin: f64,
+    /// Window index of the latest classified event.
+    pub window_index: usize,
+    /// `true` while a non-healthy run of at least
+    /// [`DetectorConfig::min_run`] windows is ongoing.
+    pub alarmed: bool,
+    /// Events classified for this node so far.
+    pub events: u64,
+}
+
+/// A [`FleetSink`] that classifies every event with a trained
+/// [`RandomForestClassifier`] and tracks per-node verdict runs.
+///
+/// The forest's feature width must equal the event feature dimension
+/// (`2·l` for an `l`-block signature); the first mismatching event
+/// surfaces a shape error through the ingest call.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    forest: RandomForestClassifier,
+    cfg: DetectorConfig,
+    nodes: Vec<NodeVerdict>,
+    /// Reused `[re..., im...]` flattening of the current signature.
+    features: Vec<f64>,
+    /// Reused per-class vote counts.
+    votes: Vec<u32>,
+    /// Events classified per class (length `n_classes`).
+    class_counts: Vec<u64>,
+    events: u64,
+    alarms: u64,
+    margin_sum: f64,
+}
+
+impl StreamingDetector {
+    /// Wraps a fitted forest. Errors when the forest is unfitted or the
+    /// configuration is inconsistent (`min_run == 0`, or a
+    /// `healthy_class` the forest never saw).
+    pub fn new(forest: RandomForestClassifier, cfg: DetectorConfig) -> Result<Self> {
+        let n_classes = forest.n_classes();
+        if n_classes == 0 {
+            return Err(MlError::NotFitted);
+        }
+        if cfg.min_run == 0 {
+            return Err(MlError::Config("min_run must be >= 1".into()));
+        }
+        if cfg.healthy_class >= n_classes {
+            return Err(MlError::Config(format!(
+                "healthy_class {} out of range (forest has {n_classes} classes)",
+                cfg.healthy_class
+            )));
+        }
+        Ok(Self {
+            forest,
+            cfg,
+            nodes: Vec::new(),
+            features: Vec::new(),
+            votes: vec![0; n_classes],
+            class_counts: vec![0; n_classes],
+            events: 0,
+            alarms: 0,
+            margin_sum: 0.0,
+        })
+    }
+
+    /// Pre-sizes the per-node verdict table so the first event of each
+    /// node allocates nothing (optional; the table also grows lazily).
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        if nodes > self.nodes.len() {
+            self.nodes.resize(nodes, NodeVerdict::default());
+        }
+    }
+
+    /// The wrapped forest.
+    pub fn forest(&self) -> &RandomForestClassifier {
+        &self.forest
+    }
+
+    /// Consumes the detector, returning the forest.
+    pub fn into_forest(self) -> RandomForestClassifier {
+        self.forest
+    }
+
+    /// The alarm policy.
+    pub fn config(&self) -> DetectorConfig {
+        self.cfg
+    }
+
+    /// The latest verdict for `node`, or `None` before its first event.
+    pub fn verdict(&self, node: usize) -> Option<&NodeVerdict> {
+        self.nodes.get(node).filter(|v| v.events > 0)
+    }
+
+    /// Nodes currently in the alarmed state, ascending.
+    pub fn alarmed_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.alarmed)
+            .map(|(n, _)| n)
+    }
+
+    /// Events classified so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Alarm *transitions* so far (a node entering the alarmed state;
+    /// a long fault counts once until the node recovers).
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Events classified per class, indexed by class id.
+    pub fn class_counts(&self) -> &[u64] {
+        &self.class_counts
+    }
+
+    /// Mean vote margin across all classified events (0 before any).
+    pub fn mean_margin(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.margin_sum / self.events as f64
+        }
+    }
+}
+
+impl FleetSink for StreamingDetector {
+    fn on_event(&mut self, event: &FleetEvent) -> CoreResult<()> {
+        event.signature.features_into(&mut self.features);
+        let class = self
+            .forest
+            .predict_votes_row(&self.features, &mut self.votes)
+            .map_err(|e| CoreError::Shape(format!("streaming detector: {e}")))?;
+        // Margin from the vote histogram: top minus runner-up.
+        let mut top = 0u32;
+        let mut second = 0u32;
+        for &v in &self.votes {
+            if v > top {
+                second = top;
+                top = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        let margin = (top - second) as f64 / self.forest.trees().len() as f64;
+
+        if event.node >= self.nodes.len() {
+            self.nodes.resize(event.node + 1, NodeVerdict::default());
+        }
+        let st = &mut self.nodes[event.node];
+        st.run = if st.events > 0 && st.class == class {
+            st.run + 1
+        } else {
+            1
+        };
+        st.class = class;
+        st.margin = margin;
+        st.window_index = event.window_index;
+        st.events += 1;
+        let alarmed = class != self.cfg.healthy_class && st.run >= self.cfg.min_run;
+        if alarmed && !st.alarmed {
+            self.alarms += 1;
+        }
+        st.alarmed = alarmed;
+
+        self.events += 1;
+        self.margin_sum += margin;
+        self.class_counts[class] += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::small_forest_config;
+    use cwsmooth_core::cs::CsSignature;
+    use cwsmooth_linalg::Matrix;
+
+    /// A forest that maps `re[0] > 0.5` to class 1, else class 0, on
+    /// 2-block (4-feature) signatures.
+    fn trained_forest() -> RandomForestClassifier {
+        let x = Matrix::from_fn(80, 4, |r, c| {
+            let hot = r % 2 == 1;
+            let jitter = ((r * 31 + c * 7) % 100) as f64 / 1000.0;
+            match c {
+                0 => (if hot { 0.8 } else { 0.2 }) + jitter,
+                1 => 0.5 + jitter,
+                _ => jitter,
+            }
+        });
+        let y: Vec<usize> = (0..80).map(|r| r % 2).collect();
+        let mut rf = RandomForestClassifier::with_config(small_forest_config(5, true));
+        rf.fit(&x, &y).unwrap();
+        rf
+    }
+
+    fn event(node: usize, window_index: usize, hot: bool) -> FleetEvent {
+        let base = if hot { 0.8 } else { 0.2 };
+        FleetEvent {
+            node,
+            window_index,
+            signature: CsSignature {
+                re: vec![base + 0.01, 0.52],
+                im: vec![0.003, 0.004],
+            },
+        }
+    }
+
+    #[test]
+    fn construction_validates_forest_and_config() {
+        let unfitted = RandomForestClassifier::new(0);
+        assert!(StreamingDetector::new(unfitted, DetectorConfig::default()).is_err());
+        let rf = trained_forest();
+        assert!(StreamingDetector::new(
+            rf.clone(),
+            DetectorConfig {
+                healthy_class: 0,
+                min_run: 0
+            }
+        )
+        .is_err());
+        assert!(StreamingDetector::new(
+            rf.clone(),
+            DetectorConfig {
+                healthy_class: 9,
+                min_run: 1
+            }
+        )
+        .is_err());
+        let det = StreamingDetector::new(rf, DetectorConfig::default()).unwrap();
+        assert_eq!(det.events(), 0);
+        assert_eq!(det.mean_margin(), 0.0);
+        assert!(det.verdict(0).is_none());
+    }
+
+    #[test]
+    fn runs_alarms_and_recovery() {
+        let cfg = DetectorConfig {
+            healthy_class: 0,
+            min_run: 3,
+        };
+        let mut det = StreamingDetector::new(trained_forest(), cfg).unwrap();
+        det.reserve_nodes(4);
+        // Two healthy windows, then a sustained fault on node 2.
+        for w in 0..2 {
+            det.on_event(&event(2, w, false)).unwrap();
+        }
+        assert_eq!(det.verdict(2).unwrap().class, 0);
+        assert_eq!(det.verdict(2).unwrap().run, 2);
+        assert!(!det.verdict(2).unwrap().alarmed);
+
+        for w in 2..4 {
+            det.on_event(&event(2, w, true)).unwrap();
+        }
+        // Two faulty windows: run 2 < min_run 3, not alarmed yet.
+        assert_eq!(det.verdict(2).unwrap().class, 1);
+        assert_eq!(det.verdict(2).unwrap().run, 2);
+        assert!(!det.verdict(2).unwrap().alarmed);
+        assert_eq!(det.alarms(), 0);
+
+        det.on_event(&event(2, 4, true)).unwrap();
+        let v = *det.verdict(2).unwrap();
+        assert!(v.alarmed);
+        assert_eq!(v.run, 3);
+        assert_eq!(v.window_index, 4);
+        assert_eq!(det.alarms(), 1);
+        assert_eq!(det.alarmed_nodes().collect::<Vec<_>>(), vec![2]);
+
+        // Staying faulty does not re-count the alarm.
+        det.on_event(&event(2, 5, true)).unwrap();
+        assert_eq!(det.alarms(), 1);
+
+        // Recovery clears the alarm; a later fault alarms again.
+        for w in 6..9 {
+            det.on_event(&event(2, w, false)).unwrap();
+        }
+        assert!(!det.verdict(2).unwrap().alarmed);
+        for w in 9..12 {
+            det.on_event(&event(2, w, true)).unwrap();
+        }
+        assert_eq!(det.alarms(), 2);
+
+        // Per-class accounting and margins.
+        assert_eq!(det.events(), 12);
+        assert_eq!(det.class_counts().iter().sum::<u64>(), 12);
+        assert!(det.mean_margin() > 0.5, "margin {}", det.mean_margin());
+        // Other nodes remain unseen.
+        assert!(det.verdict(0).is_none());
+        assert!(det.verdict(40).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_surfaces_shape_error() {
+        let mut det = StreamingDetector::new(trained_forest(), DetectorConfig::default()).unwrap();
+        let bad = FleetEvent {
+            node: 0,
+            window_index: 0,
+            signature: CsSignature {
+                re: vec![0.1],
+                im: vec![0.0],
+            },
+        };
+        assert!(det.on_event(&bad).is_err());
+        assert_eq!(det.events(), 0);
+    }
+}

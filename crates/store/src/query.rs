@@ -327,7 +327,10 @@ impl SignatureIndex {
             })
             .collect();
         let probes = nprobe.min(coarse.nlist);
-        cells.select_nth_unstable_by(probes - 1, |a, b| a.0.total_cmp(&b.0));
+        // Ties on centroid distance resolve by cell id, so the probed
+        // set is a defined function of the query, not of partitioning
+        // order.
+        cells.select_nth_unstable_by(probes - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut hits: Vec<(f64, u32)> = Vec::new();
         for &(_, c) in &cells[..probes] {
             for &i in &coarse.lists[c as usize] {
@@ -338,16 +341,27 @@ impl SignatureIndex {
     }
 
     /// Selects the `k` smallest hits, sorted ascending, as neighbors.
+    ///
+    /// Results follow a deterministic *total* order on
+    /// `(distance, node, window)`: equal-distance neighbors are ranked
+    /// by key, not by internal row id, and the same tie-break drives the
+    /// top-k selection itself — so when a tie group straddles the k-th
+    /// position, which of its members survive is pinned down too,
+    /// independent of corpus layout (segment order, flush timing).
     fn take_top(&self, hits: &mut [(f64, u32)], k: usize) -> Vec<Neighbor> {
         let k = k.min(hits.len());
         if k == 0 {
             return Vec::new();
         }
+        let by_key = |a: &(f64, u32), b: &(f64, u32)| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| self.keys[a.1 as usize].cmp(&self.keys[b.1 as usize]))
+        };
         if k < hits.len() {
-            hits.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+            hits.select_nth_unstable_by(k - 1, by_key);
         }
         let top = &mut hits[..k];
-        top.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        top.sort_unstable_by(by_key);
         top.iter()
             .map(|&(sq, i)| {
                 let (node, window_index) = self.keys[i as usize];
@@ -481,6 +495,55 @@ mod tests {
         }
         assert_eq!(top1_hits, queries, "top-1 must always match exact scan");
         assert!(recall_sum / queries as f64 >= 0.9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Equal-distance neighbors must come back in `(distance, node,
+    /// window)` order, including *which* members of a tie group survive a
+    /// truncating k — regardless of ingest order.
+    #[test]
+    fn duplicated_signatures_break_ties_by_node_then_window() {
+        let dir = tmpdir("ties");
+        let spec = WindowSpec::new(30, 10).unwrap();
+        let mut store = SignatureStore::open(&dir, spec, 2, StoreConfig::default()).unwrap();
+        let dup = CsSignature {
+            re: vec![0.5, 0.5],
+            im: vec![0.0, 0.0],
+        };
+        let far = CsSignature {
+            re: vec![0.9, 0.1],
+            im: vec![0.1, -0.1],
+        };
+        // The same signature lands on several (node, window) keys, pushed
+        // in an order that differs from the key order; node 1 also holds
+        // a distinct non-tied signature between its duplicates.
+        store.push(2, 5, &dup).unwrap();
+        store.push(0, 3, &dup).unwrap();
+        store.push(1, 1, &dup).unwrap();
+        store.push(1, 2, &far).unwrap();
+        store.push(1, 7, &dup).unwrap();
+        store.push(0, 9, &dup).unwrap();
+        store.flush().unwrap();
+
+        let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+        let q = [0.5, 0.5, 0.0, 0.0];
+        let hits = index.query(&q, 6).unwrap();
+        let keys: Vec<(u32, u64)> = hits.iter().map(|h| (h.node, h.window_index)).collect();
+        assert_eq!(
+            keys,
+            vec![(0, 3), (0, 9), (1, 1), (1, 7), (2, 5), (1, 2)],
+            "exact duplicates sorted by (node, window), non-tie last"
+        );
+        assert!(hits[..5].iter().all(|h| h.distance == 0.0));
+        // A truncating k keeps the *smallest* keys of the tie group.
+        let top3 = index.query(&q, 3).unwrap();
+        let keys3: Vec<(u32, u64)> = top3.iter().map(|h| (h.node, h.window_index)).collect();
+        assert_eq!(keys3, vec![(0, 3), (0, 9), (1, 1)]);
+        // The coarse-quantized path obeys the same order.
+        let index = index.with_coarse(2, 5).unwrap();
+        let approx = index.query_indexed(&q, 3, 2).unwrap();
+        let keys_a: Vec<(u32, u64)> = approx.iter().map(|h| (h.node, h.window_index)).collect();
+        assert_eq!(keys_a, keys3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,11 +15,11 @@
 //! cargo run --release --example oda_control_loop
 //! ```
 
+use cwsmooth::core::cs::CsSignature;
 use cwsmooth::core::cs::{CsMethod, CsTrainer};
 use cwsmooth::core::dataset::{build_dataset, DatasetOptions};
 use cwsmooth::core::online::OnlineCs;
 use cwsmooth::data::WindowSpec;
-use cwsmooth::linalg::Matrix;
 use cwsmooth::ml::forest::{ForestConfig, RandomForestRegressor};
 use cwsmooth::sim::apps::{latent_at, AppKind, InputConfig};
 use cwsmooth::sim::arch::ArchKind;
@@ -54,6 +54,10 @@ fn main() {
     let mut rng = stream(7, 99);
     let mut knob = 1.0f64; // frequency multiplier the governor controls
     let mut readings = vec![0.0; node.n_sensors()];
+    // Inference buffers, reused every window: the per-tick loop performs
+    // no per-signature allocation (no 1-row feature matrix).
+    let mut sig = CsSignature::default();
+    let mut features: Vec<f64> = Vec::new();
     let mut capped_steps = 0usize;
     let mut over_budget = 0usize;
     let total = 1500usize;
@@ -81,9 +85,10 @@ fn main() {
             over_budget += 1;
         }
 
-        if let Some(sig) = online.push(&readings).unwrap() {
-            let features = Matrix::from_rows([sig.to_features()]).unwrap();
-            let predicted = predictor.predict(&features).unwrap()[0];
+        let sig_done = online.push_into(&readings, &mut sig).unwrap();
+        if sig_done {
+            sig.features_into(&mut features);
+            let predicted = predictor.predict_row(&features).unwrap();
             // Governor: steer the knob against the prediction.
             if predicted > POWER_BUDGET_W && knob > 0.5 {
                 knob = (knob - KNOB_STEP).max(0.5);

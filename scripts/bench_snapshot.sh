@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the ML-substrate, CS-stage and signature-store benchmarks and
-# refreshes the machine-readable perf snapshots (BENCH_ml.json and
-# BENCH_store.json) used to track the performance trajectory across PRs.
+# Runs the ML-substrate, CS-stage, signature-store and streaming-pipeline
+# benchmarks and refreshes the machine-readable perf snapshots
+# (BENCH_ml.json, BENCH_store.json and BENCH_pipeline.json) used to track
+# the performance trajectory across PRs.
 #
 #   ./scripts/bench_snapshot.sh          # full run (criterion + snapshots)
 #   BENCH_QUICK=1 ./scripts/bench_snapshot.sh   # CI smoke: snapshots only,
@@ -13,10 +14,14 @@ if [ -z "${BENCH_QUICK:-}" ]; then
     cargo bench --bench forest
     cargo bench --bench cs_stages
     cargo bench --bench store
+    cargo bench --bench pipeline
 fi
 cargo run --release -p cwsmooth-bench --bin bench_snapshot
 cargo run --release -p cwsmooth-bench --bin bench_store_snapshot
+cargo run --release -p cwsmooth-bench --bin bench_pipeline_snapshot
 echo "== BENCH_ml.json =="
 cat BENCH_ml.json
 echo "== BENCH_store.json =="
 cat BENCH_store.json
+echo "== BENCH_pipeline.json =="
+cat BENCH_pipeline.json

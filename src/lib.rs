@@ -12,10 +12,13 @@
 //! * [`data`] — CSV I/O, time alignment, segments and windowing.
 //! * [`sim`] — the HPC-ODA-like monitoring-data simulator.
 //! * [`ml`] — random forests (exact and binned-histogram split engines,
-//!   weight-based bagging), MLPs, cross-validation, metrics.
+//!   weight-based bagging, single-row predictors), MLPs, cross-validation,
+//!   metrics, and the streaming per-event fault detector.
 //! * [`core`] — the CS method and the Tuncer/Bodik/Lan baselines, plus
-//!   online streaming and the sharded fleet engine.
-//! * [`analysis`] — Jensen-Shannon fidelity metrics and heatmap imaging.
+//!   online streaming, the sharded fleet engine and the composable
+//!   sink-pipeline operators (`Tee`/`Filter`/`NodeRoute`/`Sample`).
+//! * [`analysis`] — Jensen-Shannon fidelity metrics, online drift
+//!   monitoring and heatmap imaging.
 //! * [`store`] — the persistent compressed signature store (append-only
 //!   columnar segments, exact or quantized) and k-NN similarity search.
 //!
