@@ -382,6 +382,16 @@ mod tests {
     }
 
     #[test]
+    fn monitor_is_send() {
+        // The off-thread transport (`cwsmooth_core::transport::QueueSink`)
+        // moves the monitor onto a consumer thread; this pins the `Send`
+        // bound so a future `Rc`/raw-pointer field can't silently take
+        // that ability away.
+        fn assert_send<T: Send>() {}
+        assert_send::<DriftMonitor>();
+    }
+
+    #[test]
     fn stable_distribution_stays_quiet_shifted_one_alarms() {
         let mut m = monitor(24);
         let mut w = 0usize;

@@ -150,6 +150,25 @@ impl CsSignature {
         out.clear();
         out.extend_from_slice(&self.re);
     }
+
+    /// Overwrites `self` with `other`'s blocks, reusing the existing
+    /// buffers. Once both vectors have warmed to the source's block
+    /// count, repeated calls never touch the allocator — the recycling
+    /// shape owned event envelopes rely on.
+    pub fn copy_from(&mut self, other: &CsSignature) {
+        // Recycled buffers almost always match the incoming length, so
+        // prefer the branch that is a bare memcpy over the
+        // reserve-then-extend path.
+        if self.re.len() == other.re.len() && self.im.len() == other.im.len() {
+            self.re.copy_from_slice(&other.re);
+            self.im.copy_from_slice(&other.im);
+        } else {
+            self.re.clear();
+            self.re.extend_from_slice(&other.re);
+            self.im.clear();
+            self.im.extend_from_slice(&other.im);
+        }
+    }
 }
 
 /// The CS signature method: a trained model plus a block count.

@@ -23,8 +23,14 @@
 //!   streams sharded across rayon workers, fed by batched frames.
 //! * [`pipeline`] — composable [`fleet::FleetSink`] operators ([`pipeline::Tee`]
 //!   fan-out, [`pipeline::Filter`]/[`pipeline::NodeRoute`] routing,
-//!   [`pipeline::Sample`] decimation, [`pipeline::Collect`]) that turn the
+//!   [`pipeline::Sample`] decimation, [`pipeline::Collect`],
+//!   [`pipeline::TeeVec`] dynamic fan-out) that turn the
 //!   event-delivery layer into an arbitrary operator tree.
+//! * [`transport`] — off-thread sink branches: the bounded-queue
+//!   [`transport::QueueSink`] adapter runs any sink on its own consumer
+//!   thread with recycled [`fleet::FleetEventBuf`] envelopes, bounded
+//!   backpressure (block or drop-oldest), and first-error propagation
+//!   back to the ingest thread.
 //! * [`scale`] — signature rescaling across block counts and middle-block
 //!   pruning (the paper's portability and aggressive-compression tricks).
 //!
@@ -66,11 +72,13 @@ pub mod online;
 pub mod ordering;
 pub mod pipeline;
 pub mod scale;
+pub mod transport;
 
 pub use cs::{CsMethod, CsSignature, CsTrainer};
 pub use error::{CoreError, Result};
-pub use fleet::{FleetEngine, FleetEvent, FleetFrame, FleetSink, FleetStats};
+pub use fleet::{FleetEngine, FleetEvent, FleetEventBuf, FleetFrame, FleetSink, FleetStats};
 pub use method::SignatureMethod;
 pub use model::CsModel;
 pub use online::OnlineCs;
-pub use pipeline::{Collect, Filter, NodeRoute, Sample, Tee};
+pub use pipeline::{Collect, Filter, NodeRoute, Sample, Tee, TeeVec};
+pub use transport::{QueueConfig, QueuePolicy, QueueSink, QueueStats};

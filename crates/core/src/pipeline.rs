@@ -26,7 +26,7 @@
 //! ingest loop.
 
 use crate::error::Result;
-use crate::fleet::{FleetEvent, FleetSink};
+use crate::fleet::{FleetEvent, FleetEventBuf, FleetSink};
 
 /// Forwarding through a mutable reference, so long-lived sinks can be
 /// lent to an operator tree without giving up ownership:
@@ -34,6 +34,22 @@ use crate::fleet::{FleetEvent, FleetSink};
 impl<S: FleetSink + ?Sized> FleetSink for &mut S {
     fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
         (**self).on_event(event)
+    }
+
+    fn on_event_owned(&mut self, buf: FleetEventBuf) -> Result<FleetEventBuf> {
+        (**self).on_event_owned(buf)
+    }
+}
+
+/// Forwarding through a box, so heterogeneous sinks can live behind
+/// `Box<dyn FleetSink>` — the element type of [`TeeVec`].
+impl<S: FleetSink + ?Sized> FleetSink for Box<S> {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        (**self).on_event(event)
+    }
+
+    fn on_event_owned(&mut self, buf: FleetEventBuf) -> Result<FleetEventBuf> {
+        (**self).on_event_owned(buf)
     }
 }
 
@@ -67,24 +83,133 @@ impl<S: FleetSink + ?Sized> FleetSink for &mut S {
 pub struct Tee<T>(pub T);
 
 macro_rules! impl_tee {
-    ($($name:ident . $idx:tt),+) => {
-        impl<$($name: FleetSink),+> FleetSink for Tee<($($name,)+)> {
+    ($($name:ident . $idx:tt,)* ; $last:ident . $lidx:tt) => {
+        impl<$($name: FleetSink,)* $last: FleetSink> FleetSink for Tee<($($name,)* $last,)> {
             fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
-                $( (self.0).$idx.on_event(event)?; )+
-                Ok(())
+                $( (self.0).$idx.on_event(event)?; )*
+                (self.0).$lidx.on_event(event)
+            }
+
+            fn on_event_owned(&mut self, buf: FleetEventBuf) -> Result<FleetEventBuf> {
+                // Every sink but the last borrows; the last takes
+                // ownership — same field order, same first-error-wins
+                // contract, but one branch (a queue, say) gets the
+                // envelope without a copy.
+                $( (self.0).$idx.on_event(buf.event())?; )*
+                (self.0).$lidx.on_event_owned(buf)
             }
         }
     };
 }
 
-impl_tee!(A.0);
-impl_tee!(A.0, B.1);
-impl_tee!(A.0, B.1, C.2);
-impl_tee!(A.0, B.1, C.2, D.3);
-impl_tee!(A.0, B.1, C.2, D.3, E.4);
-impl_tee!(A.0, B.1, C.2, D.3, E.4, F.5);
-impl_tee!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
-impl_tee!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_tee!(; A.0);
+impl_tee!(A.0,; B.1);
+impl_tee!(A.0, B.1,; C.2);
+impl_tee!(A.0, B.1, C.2,; D.3);
+impl_tee!(A.0, B.1, C.2, D.3,; E.4);
+impl_tee!(A.0, B.1, C.2, D.3, E.4,; F.5);
+impl_tee!(A.0, B.1, C.2, D.3, E.4, F.5,; G.6);
+impl_tee!(A.0, B.1, C.2, D.3, E.4, F.5, G.6,; H.7);
+
+/// Dynamic fan-out: [`Tee`] for sink sets whose size and composition
+/// are decided at runtime. Holds boxed sinks — by default trait objects
+/// (`Box<dyn FleetSink>`), so one `TeeVec` can mix operator types that a
+/// tuple `Tee` would have to name statically — and delivers every event
+/// to each in push order with the same first-error-wins contract: an
+/// error from sink `i` aborts delivery of that event to sinks `i+1..`.
+///
+/// ```
+/// use cwsmooth_core::fleet::FleetSink;
+/// use cwsmooth_core::pipeline::{Collect, Sample, TeeVec};
+///
+/// let mut tee = TeeVec::new()
+///     .with(Collect::new())
+///     .with(Sample::every(6, Collect::new()));
+/// assert_eq!(tee.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TeeVec<S: FleetSink + ?Sized = dyn FleetSink> {
+    sinks: Vec<Box<S>>,
+}
+
+// Not derived: the derive would demand `S: Default`, which a trait
+// object can't satisfy.
+impl<S: FleetSink + ?Sized> Default for TeeVec<S> {
+    fn default() -> Self {
+        Self { sinks: Vec::new() }
+    }
+}
+
+impl<S: FleetSink + ?Sized> TeeVec<S> {
+    /// An empty fan-out (every event is accepted and ignored).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an already-boxed sink.
+    pub fn push_boxed(&mut self, sink: Box<S>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when there are no branches.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The `i`-th branch, if present.
+    pub fn sink(&self, i: usize) -> Option<&S> {
+        self.sinks.get(i).map(|b| &**b)
+    }
+
+    /// The `i`-th branch, mutable.
+    pub fn sink_mut(&mut self, i: usize) -> Option<&mut S> {
+        self.sinks.get_mut(i).map(|b| &mut **b)
+    }
+
+    /// Consumes the fan-out, returning the boxed branches.
+    pub fn into_sinks(self) -> Vec<Box<S>> {
+        self.sinks
+    }
+}
+
+impl TeeVec<dyn FleetSink> {
+    /// Boxes and appends a sink.
+    pub fn push(&mut self, sink: impl FleetSink + 'static) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Builder form of [`TeeVec::push`].
+    pub fn with(mut self, sink: impl FleetSink + 'static) -> Self {
+        self.push(sink);
+        self
+    }
+}
+
+impl<S: FleetSink + ?Sized> FleetSink for TeeVec<S> {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        for sink in &mut self.sinks {
+            sink.on_event(event)?;
+        }
+        Ok(())
+    }
+
+    fn on_event_owned(&mut self, mut buf: FleetEventBuf) -> Result<FleetEventBuf> {
+        // Mirrors the tuple `Tee`: all but the last sink borrow, the
+        // last takes the envelope without a copy.
+        if let Some((last, rest)) = self.sinks.split_last_mut() {
+            for sink in rest {
+                sink.on_event(buf.event())?;
+            }
+            buf = last.on_event_owned(buf)?;
+        }
+        Ok(buf)
+    }
+}
 
 /// Predicate routing: forwards only the events `pred` accepts.
 ///
@@ -431,6 +556,60 @@ mod tests {
         assert_eq!(tee.0 .0.seen.len(), 2, "first sink saw the event");
         assert_eq!(tee.0 .1.seen.len(), 1, "failing sink rejected it");
         assert_eq!(tee.0 .2.seen.len(), 1, "later sink never saw it");
+    }
+
+    #[test]
+    fn tee_vec_matches_tuple_tee() {
+        // Same event stream through a 3-tuple Tee and a 3-branch typed
+        // TeeVec: each branch must see the identical sequence.
+        let mut tuple = Tee((Collect::new(), Collect::new(), Collect::new()));
+        let mut vec: TeeVec<Collect> = TeeVec::default();
+        for _ in 0..3 {
+            vec.push_boxed(Box::new(Collect::new()));
+        }
+        for i in 0..5 {
+            let e = event(i % 2, i);
+            tuple.on_event(&e).unwrap();
+            vec.on_event(&e).unwrap();
+        }
+        let expect = tuple.0 .0.events();
+        assert_eq!(tuple.0 .1.events(), expect);
+        assert_eq!(tuple.0 .2.events(), expect);
+        for i in 0..3 {
+            assert_eq!(vec.sink(i).unwrap().events(), expect);
+        }
+        assert_eq!(vec.len(), 3);
+        assert!(!vec.is_empty());
+        let sinks = vec.into_sinks();
+        assert_eq!(sinks[0].events(), expect);
+
+        // The type-erased default (`TeeVec<dyn FleetSink>`) composes
+        // heterogeneous branches behind one sink.
+        let mut dynamic: TeeVec = TeeVec::new()
+            .with(Collect::new())
+            .with(Sample::every(2, Collect::new()));
+        for e in expect {
+            dynamic.on_event(e).unwrap();
+        }
+        assert_eq!(dynamic.len(), 2);
+        assert!(dynamic.sink_mut(0).is_some());
+    }
+
+    #[test]
+    fn tee_vec_error_skips_later_sinks_for_that_event() {
+        let failing = Probe {
+            seen: Vec::new(),
+            fail_at: Some(1),
+        };
+        let mut tee: TeeVec<Probe> = TeeVec::default();
+        tee.push_boxed(Box::new(Probe::default()));
+        tee.push_boxed(Box::new(failing));
+        tee.push_boxed(Box::new(Probe::default()));
+        tee.on_event(&event(0, 0)).unwrap();
+        assert!(tee.on_event(&event(1, 1)).is_err());
+        assert_eq!(tee.sink(0).unwrap().seen.len(), 2, "first sink saw it");
+        assert_eq!(tee.sink(1).unwrap().seen.len(), 1, "failing sink rejected");
+        assert_eq!(tee.sink(2).unwrap().seen.len(), 1, "later sink skipped");
     }
 
     #[test]

@@ -1,0 +1,750 @@
+//! Off-thread sink transport: bounded queue branches for the operator
+//! tree.
+//!
+//! [`crate::pipeline`] composes sinks *in process, on the ingest
+//! thread* — the slowest branch of a `Tee` gates the frame rate. This
+//! module moves a branch onto its own thread behind a bounded queue:
+//!
+//! ```text
+//!   ingest thread                     consumer thread
+//!   ─────────────                     ───────────────
+//!   FleetEngine ─► QueueSink ══ring══► drain ─► inner FleetSink
+//!                     ▲                  │
+//!                     ╚══recycled pool═══╝   (batched envelope return)
+//! ```
+//!
+//! [`QueueSink`] is itself a [`FleetSink`], so queue branches slot into
+//! any operator tree: `Tee((QueueSink::spawn(store), QueueSink::spawn(
+//! detector)))` runs persistence and classification each on their own
+//! core while the ingest thread only ever copies an event into a pooled
+//! [`FleetEventBuf`] envelope and enqueues it.
+//!
+//! Guarantees, mirroring the synchronous contract:
+//!
+//! * **Per-node order** — one producer, one FIFO ring, one consumer:
+//!   each branch sees events in exactly the order the engine delivered
+//!   them. Ordering *across* branches is free, as with `Tee`.
+//! * **First error wins** — a consumer-side sink error is latched and
+//!   returned from the producer's next [`FleetSink::on_event`] call, so
+//!   `ingest_frame_sink` aborts the frame and leaves
+//!   [`crate::fleet::FleetStats`] untouched, exactly as a synchronous
+//!   sink error would.
+//! * **Zero-alloc steady state** — envelopes circulate producer →
+//!   ring → consumer → recycled pool → producer; once the pool has warmed
+//!   past the queue depth, the producer path never touches the
+//!   allocator (pinned by the workspace counting-allocator test).
+//! * **No silent loss on shutdown** — dropping or [`QueueSink::join`]ing
+//!   the sink drains every accepted event before the consumer exits.
+//!
+//! When the queue is full the producer either waits for the consumer
+//! ([`QueuePolicy::Block`], the default — backpressure) or evicts the
+//! oldest queued event and counts it ([`QueuePolicy::DropOldest`] —
+//! acquisition never stalls, the telemetry transport posture of
+//! production DAQ systems).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::Duration;
+
+use crate::error::{CoreError, Result};
+use crate::fleet::{FleetEvent, FleetEventBuf, FleetSink};
+
+/// One slot of the bounded ring: a sequence number gating access plus
+/// the (possibly uninitialised) value.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free queue (Vyukov's bounded MPMC design).
+///
+/// The ring has exactly one pushing thread (the producer handle, which
+/// uses [`Self::push_single`] with its private cursor), but *two*
+/// popping ends exist in drop-oldest mode — the consumer draining and
+/// the producer evicting — so the pop side keeps the symmetric CAS
+/// design. Capacity is rounded up to a power of two.
+struct BoundedQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// SAFETY: the queue hands each value to exactly one popper (slot
+// sequence numbers serialise access), so it is as thread-safe as
+// moving T between threads — i.e. it needs and provides `T: Send`.
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupancy estimate (exact when no push/pop is mid-flight).
+    fn len(&self) -> usize {
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// The dequeue cursor (for a producer that tracks its own enqueue
+    /// cursor and wants occupancy with a single shared load).
+    fn head(&self) -> usize {
+        self.dequeue_pos.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues `value`, or returns it when the queue is full. The
+    /// transport itself always pushes through [`Self::push_single`];
+    /// this symmetric CAS push exercises the full MPMC protocol in the
+    /// queue's unit tests.
+    #[cfg(test)]
+    fn push(&self, value: T) -> std::result::Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: winning the CAS gives this thread
+                            // exclusive ownership of the slot until the
+                            // sequence store below publishes it.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                d if d < 0 => return Err(value), // full (a whole lap behind)
+                _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Single-producer push: `pos` is the caller's private enqueue
+    /// cursor. Skips the enqueue-position CAS of [`Self::push`], so it
+    /// is roughly half the atomic traffic on the hot path.
+    ///
+    /// SAFETY (logical): the caller must be the *only* thread pushing
+    /// to this queue for the queue's whole lifetime, and must route
+    /// every push through the same cursor.
+    fn push_single(&self, pos: &mut usize, value: T) -> std::result::Result<(), T> {
+        let slot = &self.slots[*pos & self.mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq != *pos {
+            debug_assert!(
+                (seq as isize) < (*pos as isize),
+                "single-producer contract violated"
+            );
+            return Err(value); // full (slot still holds last lap's value)
+        }
+        // SAFETY: seq == pos means the slot is free, and being the sole
+        // producer nobody else can claim it before the store below.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.seq.store(*pos + 1, Ordering::Release);
+        *pos += 1;
+        // Keep the shared cursor in sync for len() observers and for
+        // the MPMC pop/drop paths.
+        self.enqueue_pos.store(*pos, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Dequeues the oldest value, or `None` when the queue is empty.
+    fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: winning the CAS gives this thread
+                            // exclusive ownership of the initialised
+                            // value in the slot.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// What the producer does when the ring is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Wait for the consumer to make room (backpressure: the ingest
+    /// thread stalls, no event is ever lost). The default.
+    #[default]
+    Block,
+    /// Evict the oldest queued event to make room and count it in
+    /// [`QueueStats::dropped`] (acquisition never stalls; the branch
+    /// sees a gappy but fresh stream).
+    DropOldest,
+}
+
+/// Configuration of one queue branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Ring capacity in events (rounded up to a power of two, min 2).
+    pub capacity: usize,
+    /// Full-queue behaviour.
+    pub policy: QueuePolicy,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            policy: QueuePolicy::Block,
+        }
+    }
+}
+
+/// Telemetry snapshot of one queue branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events accepted by the producer side (enqueued).
+    pub pushed: u64,
+    /// Events the consumer delivered to the inner sink successfully.
+    pub delivered: u64,
+    /// Events evicted under [`QueuePolicy::DropOldest`].
+    pub dropped: u64,
+    /// Instantaneous ring occupancy.
+    pub depth: usize,
+    /// Highest ring occupancy observed by the producer after a push.
+    pub high_watermark: usize,
+    /// Ring capacity (after power-of-two rounding).
+    pub capacity: usize,
+}
+
+/// Consumer-side failure latch: the first error is kept intact for the
+/// producer to return verbatim; its rendering survives for any later
+/// pushes (CoreError is not Clone).
+#[derive(Default)]
+struct Failure {
+    first: Option<CoreError>,
+    message: String,
+}
+
+/// How many spent envelopes the consumer accumulates locally before
+/// handing them back through the recycle lock in one batch.
+const RECYCLE_BATCH: usize = 64;
+
+/// State shared between the producer handle and the consumer thread.
+struct Shared {
+    ring: BoundedQueue<Box<FleetEventBuf>>,
+    /// Return path: the consumer appends spent envelopes in batches,
+    /// the producer swaps the whole vector into its local pool when
+    /// that runs dry — one lock per hundreds of events on each side,
+    /// so the per-event producer refill is a plain `Vec::pop`.
+    /// The boxes are deliberate (not `clippy::vec_box` waste): they are
+    /// the same allocations that travel through the ring, so a push
+    /// moves one pointer instead of the whole envelope struct.
+    #[allow(clippy::vec_box)]
+    recycled: Mutex<Vec<Box<FleetEventBuf>>>,
+    /// Producer has stopped pushing; consumer drains and exits.
+    done: AtomicBool,
+    /// Fast-path flag mirroring `failure.first.is_some()`.
+    failed: AtomicBool,
+    failure: Mutex<Failure>,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    /// Consumer is (about to be) parked; producer should unpark after
+    /// pushing.
+    consumer_parked: AtomicBool,
+}
+
+impl Shared {
+    fn latch_error(&self, err: CoreError) {
+        let mut failure = self.failure.lock().unwrap();
+        if failure.first.is_none() {
+            failure.message = err.to_string();
+            failure.first = Some(err);
+        }
+        drop(failure);
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn take_error(&self) -> CoreError {
+        let mut failure = self.failure.lock().unwrap();
+        match failure.first.take() {
+            Some(err) => err,
+            None => CoreError::Persist(format!("queue branch failed: {}", failure.message)),
+        }
+    }
+}
+
+/// A [`FleetSink`] adapter that runs its inner sink on a dedicated
+/// consumer thread behind a bounded ring.
+///
+/// The handle is the *producer* half: [`FleetSink::on_event`] copies
+/// the borrowed event into a recycled boxed [`FleetEventBuf`] and
+/// enqueues the box; [`FleetSink::on_event_owned`] swaps the payload
+/// into a pooled box (a header move, not a signature copy). The ring
+/// itself carries only box pointers, so a push writes one word into the
+/// slot and the whole slot array stays cache-resident. The spawned
+/// thread pops boxes, feeds the inner sink, and hands them back through
+/// a batched recycle pool, so the steady-state producer path allocates
+/// nothing.
+///
+/// [`QueueSink::join`] (or dropping the handle) signals end-of-stream,
+/// drains the ring, joins the thread and returns the inner sink
+/// together with the first consumer error, if any.
+///
+/// ```no_run
+/// use cwsmooth_core::pipeline::{Collect, Tee};
+/// use cwsmooth_core::transport::QueueSink;
+///
+/// let mut tree = Tee((
+///     QueueSink::spawn(Collect::new()),
+///     QueueSink::spawn(Collect::new()),
+/// ));
+/// // ... engine.ingest_frame_sink(&frame, &mut tree) ...
+/// let (a, res) = tree.0 .0.join();
+/// res.unwrap();
+/// # let _ = a;
+/// ```
+#[derive(Debug)]
+pub struct QueueSink<S> {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<S>>,
+    /// The consumer's thread token, for unparking.
+    consumer: Thread,
+    /// Producer-local envelope cache, refilled by swapping in the
+    /// consumer's recycled batch when it runs dry (boxed for the same
+    /// reason as `Shared::recycled`).
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<FleetEventBuf>>,
+    policy: QueuePolicy,
+    /// Producer-side counters and cursor: this handle is the ring's
+    /// only pusher, so these live as plain fields instead of shared
+    /// atomics — the push hot path pays no read-modify-write for
+    /// telemetry.
+    pushed: u64,
+    high_watermark: usize,
+    /// Private enqueue cursor for [`BoundedQueue::push_single`].
+    ring_pos: usize,
+    /// Stale copy of the consumer's dequeue cursor. The true cursor
+    /// lives on a cache line the consumer writes on every pop, so the
+    /// push path avoids touching it: the depth estimated against this
+    /// copy only *over*-states the real depth, and the copy is
+    /// refreshed exactly when the estimate would raise the watermark.
+    head_cache: usize,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("depth", &self.ring.len())
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .field("failed", &self.failed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<S: FleetSink + Send + 'static> QueueSink<S> {
+    /// Spawns a consumer thread for `inner` with the default
+    /// configuration (capacity 1024, [`QueuePolicy::Block`]).
+    pub fn spawn(inner: S) -> Self {
+        Self::with_config(inner, QueueConfig::default())
+    }
+
+    /// Spawns a consumer thread for `inner` with an explicit capacity
+    /// and full-queue policy.
+    pub fn with_config(inner: S, config: QueueConfig) -> Self {
+        let shared = Arc::new(Shared {
+            ring: BoundedQueue::new(config.capacity),
+            recycled: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            failure: Mutex::new(Failure::default()),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            consumer_parked: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("cwsmooth-queue".into())
+            .spawn(move || consumer_loop(worker_shared, inner))
+            .expect("spawn queue consumer thread");
+        let consumer = handle.thread().clone();
+        Self {
+            shared,
+            handle: Some(handle),
+            consumer,
+            pool: Vec::new(),
+            policy: config.policy,
+            pushed: 0,
+            high_watermark: 0,
+            ring_pos: 0,
+            head_cache: 0,
+        }
+    }
+}
+
+impl<S> QueueSink<S> {
+    /// Current branch telemetry.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed,
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            depth: self.shared.ring.len(),
+            high_watermark: self.high_watermark,
+            capacity: self.shared.ring.capacity(),
+        }
+    }
+
+    /// Signals end-of-stream, waits for the consumer to drain the ring,
+    /// and returns the inner sink plus the first consumer error (if the
+    /// producer has not already surfaced it from a push).
+    pub fn join(mut self) -> (S, Result<()>) {
+        let inner = self.shutdown().expect("join called once");
+        let result = if self.shared.failed.load(Ordering::Acquire) {
+            let mut failure = self.shared.failure.lock().unwrap();
+            match failure.first.take() {
+                Some(err) => Err(err),
+                // Already surfaced through a push: joining is clean.
+                None => Ok(()),
+            }
+        } else {
+            Ok(())
+        };
+        (inner, result)
+    }
+
+    /// Stops the consumer and joins it, returning the inner sink.
+    fn shutdown(&mut self) -> Option<S> {
+        let handle = self.handle.take()?;
+        self.shared.done.store(true, Ordering::Release);
+        self.consumer.unpark();
+        Some(handle.join().expect("queue consumer thread panicked"))
+    }
+
+    /// Fetches a recycled envelope, allocating only while the pool is
+    /// still warming up.
+    fn envelope(&mut self) -> Box<FleetEventBuf> {
+        if let Some(buf) = self.pool.pop() {
+            return buf;
+        }
+        // Pool ran dry: take everything the consumer has recycled so
+        // far in one swap (off the per-event path).
+        {
+            let mut recycled = self.shared.recycled.lock().unwrap();
+            if !recycled.is_empty() {
+                std::mem::swap(&mut self.pool, &mut recycled);
+            }
+        }
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Enqueues `buf` under the configured full-queue policy. On
+    /// success updates push telemetry; on failure (consumer died or
+    /// errored) returns the latched error.
+    fn enqueue(&mut self, mut buf: Box<FleetEventBuf>) -> Result<()> {
+        loop {
+            if self.shared.failed.load(Ordering::Acquire) {
+                // Recycle locally; the error aborts the frame.
+                self.pool.push(buf);
+                return Err(self.shared.take_error());
+            }
+            // This handle is the ring's only pusher.
+            match self.shared.ring.push_single(&mut self.ring_pos, buf) {
+                Ok(()) => break,
+                Err(back) => {
+                    buf = back;
+                    match self.policy {
+                        QueuePolicy::Block => {
+                            // Let the consumer run; parking is not
+                            // needed on the producer side because the
+                            // consumer drains continuously.
+                            if self.shared.consumer_parked.load(Ordering::Relaxed) {
+                                self.consumer.unpark();
+                            }
+                            thread::yield_now();
+                        }
+                        QueuePolicy::DropOldest => {
+                            if let Some(evicted) = self.shared.ring.pop() {
+                                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                                self.pool.push(evicted);
+                            }
+                            // Full → non-full can also have been the
+                            // consumer's doing; just retry.
+                        }
+                    }
+                }
+            }
+        }
+        self.pushed += 1;
+        // ring_pos is the exact tail, so depth against the stale head
+        // cache is an upper bound on the true depth. Only when that
+        // bound would raise the watermark is the shared cursor
+        // actually read — the steady-state push path never touches the
+        // consumer's cache line.
+        if self.ring_pos.saturating_sub(self.head_cache) > self.high_watermark {
+            self.head_cache = self.shared.ring.head();
+            let depth = self.ring_pos.saturating_sub(self.head_cache);
+            if depth > self.high_watermark {
+                self.high_watermark = depth;
+            }
+        }
+        if self.shared.consumer_parked.load(Ordering::Relaxed) {
+            self.consumer.unpark();
+        }
+        Ok(())
+    }
+}
+
+impl<S> FleetSink for QueueSink<S> {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        let mut buf = self.envelope();
+        buf.copy_from(event);
+        self.enqueue(buf)
+    }
+
+    fn on_event_owned(&mut self, buf: FleetEventBuf) -> Result<FleetEventBuf> {
+        // Swap the payload into a pooled box (a header move, not a
+        // signature copy) and hand the previous pooled envelope back.
+        let mut boxed = self.envelope();
+        let prev = std::mem::replace(&mut *boxed, buf);
+        self.enqueue(boxed)?;
+        Ok(prev)
+    }
+}
+
+impl<S> Drop for QueueSink<S> {
+    fn drop(&mut self) {
+        // Drains accepted events, joins the thread, drops the sink.
+        let _ = self.shutdown();
+    }
+}
+
+/// The consumer thread: pops envelopes, feeds the inner sink, recycles
+/// the envelopes, and exits once the producer is done and the ring is
+/// drained. Returns the inner sink to the joiner.
+fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
+    let mut spent: Vec<Box<FleetEventBuf>> = Vec::with_capacity(RECYCLE_BATCH);
+    loop {
+        match shared.ring.pop() {
+            Some(buf) => {
+                deliver(&shared, &mut inner, buf, &mut spent);
+                if spent.len() >= RECYCLE_BATCH {
+                    flush_spent(&shared, &mut spent);
+                }
+            }
+            None => {
+                if shared.done.load(Ordering::Acquire) {
+                    // The producer stopped *after* its last push, so
+                    // anything it pushed is visible by now; one final
+                    // drain closes the pop-then-done race.
+                    while let Some(buf) = shared.ring.pop() {
+                        deliver(&shared, &mut inner, buf, &mut spent);
+                    }
+                    flush_spent(&shared, &mut spent);
+                    return inner;
+                }
+                // Idle: hand every spent envelope back before parking
+                // so the producer never starves while we sleep.
+                flush_spent(&shared, &mut spent);
+                shared.consumer_parked.store(true, Ordering::Relaxed);
+                // Recheck after publishing the flag so a push that
+                // missed it can't strand us parked; the timeout is a
+                // belt-and-braces bound, not the wake mechanism.
+                if shared.ring.len() == 0 && !shared.done.load(Ordering::Acquire) {
+                    thread::park_timeout(Duration::from_millis(1));
+                }
+                shared.consumer_parked.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Hands the consumer's locally batched envelopes back to the producer.
+#[allow(clippy::vec_box)]
+fn flush_spent(shared: &Shared, spent: &mut Vec<Box<FleetEventBuf>>) {
+    if !spent.is_empty() {
+        shared.recycled.lock().unwrap().append(spent);
+    }
+}
+
+/// Feeds one envelope to the inner sink (unless the branch has already
+/// failed) and batches the envelope for recycling.
+#[allow(clippy::vec_box)]
+fn deliver<S: FleetSink>(
+    shared: &Shared,
+    inner: &mut S,
+    mut buf: Box<FleetEventBuf>,
+    spent: &mut Vec<Box<FleetEventBuf>>,
+) {
+    if !shared.failed.load(Ordering::Acquire) {
+        match inner.on_event_owned(std::mem::take(&mut *buf)) {
+            Ok(envelope) => {
+                *buf = envelope;
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => shared.latch_error(err),
+        }
+    }
+    // Recycle the box either way (on a failed branch the ring is
+    // drained without delivering).
+    spent.push(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::CsSignature;
+    use crate::pipeline::Collect;
+
+    fn event(node: usize, window_index: usize) -> FleetEvent {
+        FleetEvent {
+            node,
+            window_index,
+            signature: CsSignature {
+                re: vec![node as f64 + 0.5, window_index as f64],
+                im: vec![-0.25, 2.0],
+            },
+        }
+    }
+
+    #[test]
+    fn bounded_queue_is_fifo_and_bounded() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99), "full queue rejects");
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i), "FIFO order");
+        }
+        assert_eq!(q.pop(), None);
+        // Wrap-around laps work.
+        for lap in 0..3 {
+            for i in 0..3 {
+                q.push(lap * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(q.pop(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queue_capacity_rounds_up() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(5);
+        assert_eq!(q.capacity(), 8);
+        let tiny: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(tiny.capacity(), 2);
+    }
+
+    #[test]
+    fn queue_sink_delivers_everything_in_order() {
+        let mut sink = QueueSink::with_config(
+            Collect::new(),
+            QueueConfig {
+                capacity: 8,
+                policy: QueuePolicy::Block,
+            },
+        );
+        let sent: Vec<FleetEvent> = (0..200).map(|i| event(i % 4, i / 4)).collect();
+        for e in &sent {
+            sink.on_event(e).unwrap();
+        }
+        let stats = sink.stats();
+        assert_eq!(stats.pushed, 200);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.capacity, 8);
+        assert!(stats.high_watermark >= 1);
+        let (collect, res) = sink.join();
+        res.unwrap();
+        assert_eq!(collect.events(), &sent[..], "bit-identical, in order");
+    }
+
+    #[test]
+    fn owned_handoff_round_trips_envelopes() {
+        let mut sink = QueueSink::spawn(Collect::new());
+        let mut buf = FleetEventBuf::new();
+        for i in 0..50 {
+            buf.copy_from(&event(1, i));
+            buf = sink.on_event_owned(buf).unwrap();
+        }
+        let (collect, res) = sink.join();
+        res.unwrap();
+        assert_eq!(collect.events().len(), 50);
+        assert_eq!(collect.events()[49], event(1, 49));
+    }
+
+    #[test]
+    fn drop_mid_stream_drains_accepted_events() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountSink(Arc<AtomicU64>);
+        impl FleetSink for CountSink {
+            fn on_event(&mut self, _event: &FleetEvent) -> Result<()> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sink = QueueSink::spawn(CountSink(Arc::clone(&seen)));
+        for i in 0..500 {
+            sink.on_event(&event(0, i)).unwrap();
+        }
+        drop(sink); // joins, draining the ring first
+        assert_eq!(seen.load(Ordering::Relaxed), 500, "no acked event lost");
+    }
+
+    #[test]
+    fn queue_sink_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QueueSink<Collect>>();
+    }
+}

@@ -20,21 +20,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static DEALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only the thread that sets this flag is counted — the libtest
+    /// harness thread allocates sporadically and must not trip the pin.
+    static COUNT_ME: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counted() -> bool {
+    COUNT_ME.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
 struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -61,6 +77,7 @@ impl FleetSink for Checksum {
 
 #[test]
 fn steady_state_sink_ingest_performs_no_heap_allocation() {
+    COUNT_ME.with(|c| c.set(true));
     // Setup (allocates freely): 16 nodes, per-node trained models.
     let nodes = 16usize;
     let sensors = 5usize;

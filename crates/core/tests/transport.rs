@@ -1,0 +1,279 @@
+//! Pins the off-thread transport contract of
+//! [`cwsmooth_core::transport::QueueSink`]:
+//!
+//! * a threaded `Tee(Queue(..), Queue(..), Queue(..))` tree delivers
+//!   **bit-identical** per-branch event sequences to the synchronous
+//!   tree (exact `==`, no tolerance) — per-node order is preserved
+//!   because each branch is one FIFO with one producer and consumer;
+//! * a consumer-side sink error surfaces on the producer's next push,
+//!   aborting the frame with [`FleetStats`] untouched, exactly like a
+//!   synchronous sink error;
+//! * [`QueuePolicy::DropOldest`]'s drop counter is exact under forced
+//!   overflow (consumer gated, ring filled, evictions counted one by
+//!   one).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::error::{CoreError, Result};
+use cwsmooth_core::fleet::{FleetEngine, FleetEvent, FleetSink, FleetStats};
+use cwsmooth_core::pipeline::{Collect, Tee};
+use cwsmooth_core::transport::{QueueConfig, QueuePolicy, QueueSink};
+use cwsmooth_data::WindowSpec;
+use cwsmooth_linalg::Matrix;
+
+const NODES: usize = 9;
+const SENSORS: usize = 4;
+const FRAMES: usize = 150;
+
+fn methods() -> Vec<CsMethod> {
+    (0..NODES)
+        .map(|node| {
+            let s = Matrix::from_fn(SENSORS, 140, |r, c| {
+                ((c as f64 / (2.0 + r as f64) + node as f64 * 0.29).sin() * (r + 1) as f64)
+                    + 0.05 * node as f64
+            });
+            CsMethod::new(CsTrainer::default().train(&s).unwrap(), 3).unwrap()
+        })
+        .collect()
+}
+
+fn column(node: usize, t: usize) -> Vec<f64> {
+    (0..SENSORS)
+        .map(|r| (t as f64 / (2.0 + r as f64) + node as f64 * 0.29).cos() * (r + 1) as f64)
+        .collect()
+}
+
+/// Node `i` drops frame `t` on a deterministic pattern.
+fn gap(node: usize, t: usize) -> bool {
+    (node + 2 * t).is_multiple_of(11)
+}
+
+fn engine(shards: usize) -> FleetEngine {
+    let spec = WindowSpec::new(8, 4).unwrap();
+    FleetEngine::with_shards(methods(), spec, shards).unwrap()
+}
+
+fn fill(frame: &mut cwsmooth_core::fleet::FleetFrame, t: usize) {
+    frame.clear();
+    for node in 0..NODES {
+        if !gap(node, t) {
+            frame
+                .slot_mut(node)
+                .unwrap()
+                .copy_from_slice(&column(node, t));
+        }
+    }
+}
+
+#[test]
+fn threaded_tree_matches_synchronous_tree_bitwise() {
+    for shards in [1usize, 3] {
+        // Synchronous reference tree.
+        let mut sync_engine = engine(shards);
+        let mut frame = sync_engine.frame();
+        let mut sync_tree = Tee((Collect::new(), Collect::new(), Collect::new()));
+        for t in 0..FRAMES {
+            fill(&mut frame, t);
+            sync_engine
+                .ingest_frame_sink(&frame, &mut sync_tree)
+                .unwrap();
+        }
+        let expect = sync_tree.0 .0.events();
+        assert!(expect.len() > 100, "premise: a rich event stream");
+
+        // Threaded tree: every branch behind its own bounded queue. A
+        // small capacity forces real producer/consumer interleaving
+        // (and blocking) instead of one big buffered burst.
+        let mut threaded_engine = engine(shards);
+        let mut threaded_tree = Tee((
+            QueueSink::with_config(
+                Collect::new(),
+                QueueConfig {
+                    capacity: 8,
+                    policy: QueuePolicy::Block,
+                },
+            ),
+            QueueSink::spawn(Collect::new()),
+            QueueSink::spawn(Collect::new()),
+        ));
+        for t in 0..FRAMES {
+            fill(&mut frame, t);
+            threaded_engine
+                .ingest_frame_sink(&frame, &mut threaded_tree)
+                .unwrap();
+        }
+        let Tee((qa, qb, qc)) = threaded_tree;
+        for (tag, queue) in [("a", qa), ("b", qb), ("c", qc)] {
+            let stats = queue.stats();
+            let (collect, res) = queue.join();
+            res.unwrap();
+            assert_eq!(stats.dropped, 0, "block policy never drops");
+            assert_eq!(stats.pushed as usize, expect.len());
+            assert_eq!(
+                collect.events(),
+                expect,
+                "branch {tag}, shards={shards}: threaded events diverged"
+            );
+        }
+        assert_eq!(sync_engine.stats(), threaded_engine.stats());
+    }
+}
+
+/// Fails on the `fail_at`-th event it sees, consumer-side.
+struct FailingSink {
+    seen: usize,
+    fail_at: usize,
+}
+
+impl FleetSink for FailingSink {
+    fn on_event(&mut self, _event: &FleetEvent) -> Result<()> {
+        if self.seen == self.fail_at {
+            return Err(CoreError::Persist("detector exploded".into()));
+        }
+        self.seen += 1;
+        Ok(())
+    }
+}
+
+#[test]
+fn consumer_error_surfaces_on_next_push_with_stats_unchanged() {
+    let mut eng = engine(2);
+    let mut frame = eng.frame();
+    // A tiny ring forces backpressure, so the consumer is guaranteed to
+    // run (and latch the error) while frames are still being pushed —
+    // without it the producer could finish all frames before the
+    // consumer is ever scheduled.
+    let mut queue = QueueSink::with_config(
+        FailingSink {
+            seen: 0,
+            fail_at: 12,
+        },
+        QueueConfig {
+            capacity: 4,
+            policy: QueuePolicy::Block,
+        },
+    );
+    let mut failed_at: Option<(usize, FleetStats)> = None;
+    for t in 0..FRAMES {
+        fill(&mut frame, t);
+        let before = eng.stats();
+        match eng.ingest_frame_sink(&frame, &mut queue) {
+            Ok(()) => {}
+            Err(err) => {
+                // The original consumer error, verbatim.
+                assert!(
+                    matches!(&err, CoreError::Persist(m) if m == "detector exploded"),
+                    "unexpected error: {err}"
+                );
+                failed_at = Some((t, before));
+                break;
+            }
+        }
+    }
+    let (t, before) = failed_at.expect("the queued sink error never surfaced");
+    assert!(
+        t > 0,
+        "some frames must succeed before the error is latched"
+    );
+    assert_eq!(
+        eng.stats(),
+        before,
+        "the failing frame must leave FleetStats untouched"
+    );
+
+    // Every later push keeps failing (rendered copy of the first error).
+    fill(&mut frame, t + 1);
+    let err = eng
+        .ingest_frame_sink(&frame, &mut queue)
+        .expect_err("a failed branch must stay failed");
+    assert!(
+        err.to_string().contains("detector exploded"),
+        "repeat error lost the original cause: {err}"
+    );
+    assert_eq!(eng.stats(), before);
+
+    // Joining after the error has been surfaced reports a clean join.
+    let (_sink, res) = queue.join();
+    res.unwrap();
+}
+
+/// Holds the consumer inside `on_event` until released, so a test can
+/// fill the ring deterministically.
+struct Gate {
+    entered: Arc<AtomicBool>,
+    hold: Arc<AtomicBool>,
+    inner: Collect,
+}
+
+impl FleetSink for Gate {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        self.entered.store(true, Ordering::Release);
+        while self.hold.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        self.inner.on_event(event)
+    }
+}
+
+fn wait_for(flag: &AtomicBool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !flag.load(Ordering::Acquire) {
+        assert!(Instant::now() < deadline, "deadlocked waiting for consumer");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn drop_oldest_counter_is_exact_under_forced_overflow() {
+    let entered = Arc::new(AtomicBool::new(false));
+    let hold = Arc::new(AtomicBool::new(true));
+    let mut queue = QueueSink::with_config(
+        Gate {
+            entered: Arc::clone(&entered),
+            hold: Arc::clone(&hold),
+            inner: Collect::new(),
+        },
+        QueueConfig {
+            capacity: 4,
+            policy: QueuePolicy::DropOldest,
+        },
+    );
+    let event = |i: usize| FleetEvent {
+        node: 0,
+        window_index: i,
+        signature: cwsmooth_core::cs::CsSignature {
+            re: vec![i as f64],
+            im: vec![-(i as f64)],
+        },
+    };
+
+    // e0 goes straight through the ring into the (gated) consumer.
+    queue.on_event(&event(0)).unwrap();
+    wait_for(&entered);
+    // e1..e4 fill the ring exactly; no eviction yet.
+    for i in 1..=4 {
+        queue.on_event(&event(i)).unwrap();
+    }
+    assert_eq!(queue.stats().dropped, 0);
+    assert_eq!(queue.stats().depth, 4);
+    // e5, e6, e7 each evict the oldest queued event (e1, e2, e3).
+    for i in 5..=7 {
+        queue.on_event(&event(i)).unwrap();
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.dropped, 3, "one eviction per overflowing push");
+    assert_eq!(stats.pushed, 8, "every push was accepted");
+    assert_eq!(stats.depth, 4, "ring stays full");
+    assert_eq!(stats.high_watermark, 4);
+
+    hold.store(false, Ordering::Release);
+    let (gate, res) = queue.join();
+    res.unwrap();
+    // Survivors: the in-flight e0 plus the final ring e4..e7 — exactly
+    // the drop-oldest semantics (old events go, fresh ones stay).
+    let survivors: Vec<usize> = gate.inner.events().iter().map(|e| e.window_index).collect();
+    assert_eq!(survivors, vec![0, 4, 5, 6, 7]);
+}

@@ -263,6 +263,16 @@ mod tests {
     }
 
     #[test]
+    fn detector_is_send() {
+        // The off-thread transport (`cwsmooth_core::transport::QueueSink`)
+        // moves the detector onto a consumer thread; this pins the
+        // `Send` bound so a future `Rc`/raw-pointer field can't silently
+        // take that ability away.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamingDetector>();
+    }
+
+    #[test]
     fn construction_validates_forest_and_config() {
         let unfitted = RandomForestClassifier::new(0);
         assert!(StreamingDetector::new(unfitted, DetectorConfig::default()).is_err());

@@ -16,11 +16,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only the thread that sets this flag is counted — the libtest
+    /// harness thread allocates sporadically and must not trip the pin.
+    static COUNT_ME: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counted() -> bool {
+    COUNT_ME.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
 struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -29,7 +41,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -50,6 +64,7 @@ fn dataset() -> (Matrix, Vec<f64>) {
 
 #[test]
 fn warm_arena_fits_allocate_o1_not_per_node() {
+    COUNT_ME.with(|c| c.set(true));
     let (x, y) = dataset();
     for algo in [SplitAlgo::Exact, SplitAlgo::histogram()] {
         for max_features in [MaxFeatures::All, MaxFeatures::Sqrt] {

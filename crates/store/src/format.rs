@@ -277,6 +277,43 @@ fn component_ranges(values: &[f64], l: usize) -> [f64; 4] {
     r
 }
 
+/// Replaces `values` (event-major `count × 2l`) with what they would
+/// decode to after a quantized round trip under `mode`: exactly the
+/// encode arithmetic (`component_ranges`, then round-and-clamp) followed
+/// by the decode arithmetic (`min + q * step`), so a staged buffer read
+/// through this matches bit for bit what [`decode_block`] will produce
+/// once the same buffer is flushed as one block. No-op for
+/// [`Encoding::Exact`]. Errors on non-finite values, mirroring
+/// [`encode_block`].
+pub(crate) fn requantize(values: &mut [f64], l: usize, mode: Encoding) -> Result<()> {
+    if mode == Encoding::Exact || values.is_empty() {
+        return Ok(());
+    }
+    let ranges = component_ranges(values, l);
+    if !ranges.iter().all(|v| v.is_finite()) {
+        return Err(StoreError::Invalid(
+            "signature values must be finite to quantize".into(),
+        ));
+    }
+    let qmax = mode.qmax();
+    let scale = |min: f64, max: f64| if max > min { qmax / (max - min) } else { 0.0 };
+    let (re_s, im_s) = (scale(ranges[0], ranges[1]), scale(ranges[2], ranges[3]));
+    let re_step = (ranges[1] - ranges[0]) / qmax;
+    let im_step = (ranges[3] - ranges[2]) / qmax;
+    for event in values.chunks_exact_mut(2 * l) {
+        let (re, im) = event.split_at_mut(l);
+        for v in re {
+            let q = ((*v - ranges[0]) * re_s).round().clamp(0.0, qmax);
+            *v = ranges[0] + q * re_step;
+        }
+        for v in im {
+            let q = ((*v - ranges[2]) * im_s).round().clamp(0.0, qmax);
+            *v = ranges[2] + q * im_step;
+        }
+    }
+    Ok(())
+}
+
 /// Encodes one block (header, optional scales, payload, CRC) and appends
 /// it to `out`. `windows` must be strictly increasing and `values` hold
 /// `windows.len() * 2l` finite values in event-major `[re..., im...]`

@@ -671,8 +671,9 @@ impl SignatureStore {
     /// where `features` is the `[re..., im...]` vector of length
     /// [`SignatureStore::dim`]. Events arrive segment by segment, block
     /// by block (grouped per node, time-ordered within a block), then
-    /// the staged (not yet flushed) tail. Staged events are reported at
-    /// full precision even when the segment encoding is quantized.
+    /// the staged (not yet flushed) tail. Staged events pass through
+    /// the segment encoding's quantizer on read, so a quantized store
+    /// reports the same values before and after the flush.
     pub fn for_each<F>(&self, f: F) -> Result<()>
     where
         F: FnMut(u32, u64, &[f64]),
@@ -752,14 +753,29 @@ impl SignatureStore {
                 );
             }
         }
-        // Staged tail.
+        // Staged tail, pushed through the segment encoding's quantizer
+        // on read: what a reader sees now is bit-identical to what it
+        // will see after the flush that turns the whole staged buffer
+        // into one block.
+        let mode = self.active.header.mode;
         for (idx, buf) in self.node_bufs.iter().enumerate() {
             if node.is_some_and(|n| n as usize != idx) {
                 continue;
             }
+            if !buf.windows.iter().any(|w| windows.contains(w)) {
+                continue;
+            }
+            let values: &[f64] = if mode == Encoding::Exact {
+                &buf.values
+            } else {
+                val_scratch.clear();
+                val_scratch.extend_from_slice(&buf.values);
+                format::requantize(&mut val_scratch, self.l, mode)?;
+                &val_scratch
+            };
             for (i, &w) in buf.windows.iter().enumerate() {
                 if windows.contains(&w) {
-                    f(idx as u32, w, &buf.values[i * self.dim..(i + 1) * self.dim]);
+                    f(idx as u32, w, &values[i * self.dim..(i + 1) * self.dim]);
                 }
             }
         }
@@ -893,6 +909,16 @@ mod tests {
     }
 
     #[test]
+    fn store_is_send() {
+        // The off-thread transport (`cwsmooth_core::transport::QueueSink`)
+        // moves the store onto a consumer thread; this pins the `Send`
+        // bound so a future `Rc`/raw-pointer field can't silently take
+        // that ability away.
+        fn assert_send<T: Send>() {}
+        assert_send::<SignatureStore>();
+    }
+
+    #[test]
     fn exact_roundtrip_through_disk_is_bitwise() {
         let dir = tmpdir("exact");
         let cfg = StoreConfig::default().with_block_events(8);
@@ -933,6 +959,49 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!((got[0].0, got[0].1), (0, 5));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_staged_reads_match_sealed_reads_bitwise() {
+        // PR 4's documented quirk: staged events used to be reported at
+        // full precision, so a quantized store's reader saw values
+        // change underneath it at every flush. Staged reads now pass
+        // through the quantizer — reading before and after the flush
+        // must be bit-identical.
+        for enc in [Encoding::Quant8, Encoding::Quant16] {
+            let dir = tmpdir(&format!("requant-{:?}", enc));
+            // Block capacity bigger than what we push: everything stays
+            // staged until the explicit flush.
+            let cfg = StoreConfig::default()
+                .with_encoding(enc)
+                .with_block_events(64);
+            let mut store = SignatureStore::open(&dir, spec(), 3, cfg).unwrap();
+            for node in 0..3u32 {
+                for w in 0..10u64 {
+                    store
+                        .push(node, w, &sig(3, node as f64 * 7.0 + w as f64))
+                        .unwrap();
+                }
+            }
+            assert_eq!(store.staged_events(), 30);
+            let staged = collect(&store);
+            store.flush().unwrap();
+            assert_eq!(store.staged_events(), 0);
+            let sealed = collect(&store);
+            assert_eq!(staged, sealed, "{enc:?} staged reads drifted");
+            // And the quantizer really was applied: Quant8 cannot
+            // represent the raw values exactly.
+            if enc == Encoding::Quant8 {
+                let raw = sig(3, 1.0);
+                let stored = &staged
+                    .iter()
+                    .find(|&&(n, w, _)| (n, w) == (0, 1))
+                    .unwrap()
+                    .2;
+                assert_ne!(stored[..3], raw.re[..], "read skipped the quantizer");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]
