@@ -107,20 +107,47 @@ impl DriftMonitor {
     ///
     /// # Panics
     /// On an inconsistent config: zero bins, zero `window_events`, an
-    /// empty value range or a non-finite/out-of-`[0,1]` threshold.
+    /// empty value range or a non-finite/out-of-`[0,1]` threshold. Use
+    /// [`Self::try_new`] to get an `Err` instead.
     pub fn new(cfg: DriftConfig) -> Self {
-        assert!(cfg.bins >= 1, "need at least one bin");
-        assert!(cfg.window_events >= 1, "need at least one event per window");
-        assert!(
-            cfg.reference_windows >= 1,
-            "need at least one reference window"
-        );
-        assert!(cfg.hi > cfg.lo, "empty value range");
-        assert!(
-            (0.0..=1.0).contains(&cfg.threshold),
-            "threshold must be a JSD in [0, 1]"
-        );
-        Self {
+        // lint:allow(no-panic-paths): documented panicking convenience
+        // wrapper; the fallible path is try_new.
+        Self::try_new(cfg).expect("inconsistent DriftConfig")
+    }
+
+    /// Creates a monitor, rejecting an inconsistent config with
+    /// [`CoreError::Config`] instead of panicking: zero bins, zero
+    /// `window_events`, zero `reference_windows`, an empty value range
+    /// or a non-finite / out-of-`[0,1]` threshold.
+    pub fn try_new(cfg: DriftConfig) -> CoreResult<Self> {
+        if cfg.bins < 1 {
+            return Err(CoreError::Config("need at least one bin".into()));
+        }
+        if cfg.window_events < 1 {
+            return Err(CoreError::Config(
+                "need at least one event per window".into(),
+            ));
+        }
+        if cfg.reference_windows < 1 {
+            return Err(CoreError::Config(
+                "need at least one reference window".into(),
+            ));
+        }
+        // NaN-safe: anything but a strict Greater (including
+        // incomparable NaN bounds) is an empty range.
+        if cfg.hi.partial_cmp(&cfg.lo) != Some(std::cmp::Ordering::Greater) {
+            return Err(CoreError::Config(format!(
+                "empty value range: lo {} >= hi {}",
+                cfg.lo, cfg.hi
+            )));
+        }
+        if !(0.0..=1.0).contains(&cfg.threshold) {
+            return Err(CoreError::Config(format!(
+                "threshold must be a JSD in [0, 1], got {}",
+                cfg.threshold
+            )));
+        }
+        Ok(Self {
             cfg,
             inv_width: cfg.bins as f64 / (cfg.hi - cfg.lo),
             dims: 0,
@@ -129,7 +156,7 @@ impl DriftMonitor {
             comparisons: 0,
             alarms: 0,
             max_jsd: 0.0,
-        }
+        })
     }
 
     /// The configuration.
@@ -576,5 +603,43 @@ mod tests {
             threshold: 2.0,
             ..DriftConfig::default()
         });
+    }
+
+    #[test]
+    fn try_new_rejects_each_inconsistency_without_panicking() {
+        let base = DriftConfig::default();
+        let bad = [
+            DriftConfig { bins: 0, ..base },
+            DriftConfig {
+                window_events: 0,
+                ..base
+            },
+            DriftConfig {
+                reference_windows: 0,
+                ..base
+            },
+            DriftConfig {
+                lo: 1.0,
+                hi: 1.0,
+                ..base
+            },
+            DriftConfig {
+                threshold: f64::NAN,
+                ..base
+            },
+            DriftConfig {
+                threshold: 2.0,
+                ..base
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(DriftMonitor::try_new(cfg), Err(CoreError::Config(_))),
+                "{cfg:?} should be rejected"
+            );
+        }
+        // The valid default still constructs through both entry points.
+        assert!(DriftMonitor::try_new(base).is_ok());
+        let _ = DriftMonitor::new(base);
     }
 }

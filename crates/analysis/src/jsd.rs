@@ -11,6 +11,7 @@
 //! before comparison. With base-2 entropy the divergence lies in `[0, 1]`.
 
 use cwsmooth_core::cs::CsMethod;
+use cwsmooth_core::error::{CoreError, Result as CoreResult};
 use cwsmooth_data::WindowSpec;
 use cwsmooth_linalg::Matrix;
 
@@ -30,13 +31,34 @@ impl DimensionHistogram {
     /// Empty dimension rows are rejected: they would leave the surface
     /// with total mass below 1, silently breaking the probability-density
     /// contract every JS-divergence comparison relies on.
+    ///
+    /// # Panics
+    /// On an unusable request (zero bins, empty value range, empty
+    /// dimension rows). Use [`Self::try_new`] to get an `Err` instead.
     pub fn new(data: &Matrix, bins: usize, lo: f64, hi: f64) -> Self {
-        assert!(bins >= 1, "need at least one bin");
-        assert!(hi > lo, "empty value range");
-        assert!(
-            data.rows() == 0 || data.cols() > 0,
-            "dimension rows must be non-empty for a valid probability surface"
-        );
+        Self::try_new(data, bins, lo, hi)
+            .expect("dimension rows must be non-empty for a valid probability surface")
+    }
+
+    /// [`Self::new`] returning [`CoreError`] instead of panicking:
+    /// `Config` for zero bins or an empty value range, `Shape` for
+    /// empty dimension rows.
+    pub fn try_new(data: &Matrix, bins: usize, lo: f64, hi: f64) -> CoreResult<Self> {
+        if bins < 1 {
+            return Err(CoreError::Config("need at least one bin".into()));
+        }
+        // NaN-safe: anything but a strict Greater (including
+        // incomparable NaN bounds) is an empty range.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Err(CoreError::Config(format!(
+                "empty value range: lo {lo} >= hi {hi}"
+            )));
+        }
+        if data.rows() > 0 && data.cols() == 0 {
+            return Err(CoreError::Shape(
+                "dimension rows must be non-empty for a valid probability surface".into(),
+            ));
+        }
         let n = data.rows();
         let mut probs = Matrix::zeros(n, bins);
         // Hoisted reciprocal: one multiply per sample instead of a divide.
@@ -54,7 +76,7 @@ impl DimensionHistogram {
                 *p /= mass;
             }
         }
-        Self { probs }
+        Ok(Self { probs })
     }
 
     /// Builds the histogram from raw per-cell counts (`dims × bins`,
@@ -63,24 +85,44 @@ impl DimensionHistogram {
     /// normalized to `1/dims` each, exactly like
     /// [`DimensionHistogram::new`]; a row with zero total count is
     /// rejected for the same total-mass reason as an empty dimension row.
+    ///
+    /// # Panics
+    /// On a shape/count violation. Use [`Self::try_from_counts`] to get
+    /// an `Err` instead.
     pub fn from_counts(dims: usize, bins: usize, counts: &[u32]) -> Self {
-        assert!(dims >= 1 && bins >= 1, "need at least one dim and bin");
-        assert_eq!(counts.len(), dims * bins, "counts must be dims x bins");
+        Self::try_from_counts(dims, bins, counts).expect("counts must form a dims x bins surface")
+    }
+
+    /// [`Self::from_counts`] returning [`CoreError`] instead of
+    /// panicking: `Config` for zero dims/bins, `Shape` for a counts
+    /// slice of the wrong length or an all-zero dimension row.
+    pub fn try_from_counts(dims: usize, bins: usize, counts: &[u32]) -> CoreResult<Self> {
+        if dims < 1 || bins < 1 {
+            return Err(CoreError::Config("need at least one dim and bin".into()));
+        }
+        if counts.len() != dims * bins {
+            return Err(CoreError::Shape(format!(
+                "counts must be dims x bins: got {} for {dims} x {bins}",
+                counts.len()
+            )));
+        }
         let mut probs = Matrix::zeros(dims, bins);
         for y in 0..dims {
             let row = &counts[y * bins..(y + 1) * bins];
             let total: u64 = row.iter().map(|&c| c as u64).sum();
-            assert!(
-                total > 0,
-                "dimension rows must be non-empty for a valid probability surface"
-            );
+            if total == 0 {
+                return Err(CoreError::Shape(format!(
+                    "dimension row {y} has zero total count — the probability \
+                     surface would have mass below 1"
+                )));
+            }
             let mass = total as f64 * dims as f64;
             let prow = probs.row_mut(y);
             for (p, &c) in prow.iter_mut().zip(row) {
                 *p = c as f64 / mass;
             }
         }
-        Self { probs }
+        Ok(Self { probs })
     }
 
     /// Number of dimensions.
@@ -184,27 +226,41 @@ fn joint_range(a: &Matrix, b: &Matrix) -> (f64, f64) {
 ///
 /// each after nearest-neighbor upsampling of the signature heatmap to `n`
 /// dimensions. Returns a value in `[0, 1]`; lower is more faithful.
+///
+/// # Panics
+/// When `s` does not match the model or is too short for `spec`. Use
+/// [`try_cs_fidelity`] to get an `Err` instead.
 pub fn cs_fidelity(cs: &CsMethod, s: &Matrix, spec: WindowSpec, bins: usize) -> f64 {
-    let sorted = cs.sort_window(s).expect("matrix matches model");
+    try_cs_fidelity(cs, s, spec, bins).expect("matrix matches model and spec")
+}
+
+/// [`cs_fidelity`] propagating the model/window errors (matrix not
+/// matching the trained model, or too short for the window spec)
+/// instead of panicking.
+pub fn try_cs_fidelity(
+    cs: &CsMethod,
+    s: &Matrix,
+    spec: WindowSpec,
+    bins: usize,
+) -> CoreResult<f64> {
+    let sorted = cs.sort_window(s)?;
     let derivs = sorted.backward_diff(None);
-    let (re, im) = cs
-        .signature_heatmaps(s, spec)
-        .expect("matrix long enough for windows");
+    let (re, im) = cs.signature_heatmaps(s, spec)?;
     let n = s.rows();
 
     let re_up = upsample_rows_nearest(&re, n);
     let (lo, hi) = joint_range(&sorted, &re_up);
-    let p_data = DimensionHistogram::new(&sorted, bins, lo, hi);
-    let p_sig = DimensionHistogram::new(&re_up, bins, lo, hi);
+    let p_data = DimensionHistogram::try_new(&sorted, bins, lo, hi)?;
+    let p_sig = DimensionHistogram::try_new(&re_up, bins, lo, hi)?;
     let js_re = js_divergence_2d(&p_data, &p_sig);
 
     let im_up = upsample_rows_nearest(&im, n);
     let (lo, hi) = joint_range(&derivs, &im_up);
-    let d_data = DimensionHistogram::new(&derivs, bins, lo, hi);
-    let d_sig = DimensionHistogram::new(&im_up, bins, lo, hi);
+    let d_data = DimensionHistogram::try_new(&derivs, bins, lo, hi)?;
+    let d_sig = DimensionHistogram::try_new(&im_up, bins, lo, hi)?;
     let js_im = js_divergence_2d(&d_data, &d_sig);
 
-    0.5 * (js_re + js_im)
+    Ok(0.5 * (js_re + js_im))
 }
 
 /// Fidelity of the real components only (the paper's `-R` ablation in
@@ -254,6 +310,49 @@ mod tests {
     fn empty_dimension_rows_rejected() {
         // Zero-column rows would leave total mass at 0 (< 1).
         DimensionHistogram::new(&Matrix::zeros(3, 0), 4, 0.0, 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_requests_without_panicking() {
+        use cwsmooth_core::error::CoreError;
+        let m = Matrix::from_rows([[0.1, 0.6]]).unwrap();
+        assert!(matches!(
+            DimensionHistogram::try_new(&m, 0, 0.0, 1.0),
+            Err(CoreError::Config(_))
+        ));
+        assert!(matches!(
+            DimensionHistogram::try_new(&m, 4, 1.0, 1.0),
+            Err(CoreError::Config(_))
+        ));
+        assert!(matches!(
+            DimensionHistogram::try_new(&Matrix::zeros(3, 0), 4, 0.0, 1.0),
+            Err(CoreError::Shape(_))
+        ));
+        // The happy path agrees with the panicking constructor.
+        let a = DimensionHistogram::try_new(&m, 4, 0.0, 1.0).unwrap();
+        let b = DimensionHistogram::new(&m, 4, 0.0, 1.0);
+        assert_eq!(a.probs().as_slice(), b.probs().as_slice());
+    }
+
+    #[test]
+    fn try_from_counts_rejects_bad_surfaces_without_panicking() {
+        use cwsmooth_core::error::CoreError;
+        assert!(matches!(
+            DimensionHistogram::try_from_counts(0, 4, &[]),
+            Err(CoreError::Config(_))
+        ));
+        assert!(matches!(
+            DimensionHistogram::try_from_counts(2, 4, &[1; 7]),
+            Err(CoreError::Shape(_))
+        ));
+        // A dimension row with zero total count breaks the mass contract.
+        assert!(matches!(
+            DimensionHistogram::try_from_counts(2, 2, &[1, 2, 0, 0]),
+            Err(CoreError::Shape(_))
+        ));
+        let a = DimensionHistogram::try_from_counts(2, 2, &[1, 3, 2, 2]).unwrap();
+        let b = DimensionHistogram::from_counts(2, 2, &[1, 3, 2, 2]);
+        assert_eq!(a.probs().as_slice(), b.probs().as_slice());
     }
 
     #[test]
@@ -352,6 +451,20 @@ mod tests {
             );
             last = js;
         }
+    }
+
+    #[test]
+    fn try_cs_fidelity_propagates_model_errors() {
+        let s = structured(16, 300);
+        let model = CsTrainer::default().train(&s).unwrap();
+        let spec = WindowSpec::new(20, 10).unwrap();
+        let cs = CsMethod::new(model, 8).unwrap();
+        // Wrong row count for the trained model: Err, not a panic.
+        let wrong = Matrix::zeros(3, 300);
+        assert!(try_cs_fidelity(&cs, &wrong, spec, 32).is_err());
+        // Matching input agrees with the panicking wrapper.
+        let js = try_cs_fidelity(&cs, &s, spec, 32).unwrap();
+        assert_eq!(js, cs_fidelity(&cs, &s, spec, 32));
     }
 
     #[test]

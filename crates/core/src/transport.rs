@@ -77,6 +77,9 @@ struct BoundedQueue<T> {
 // sequence numbers serialise access), so it is as thread-safe as
 // moving T between threads — i.e. it needs and provides `T: Send`.
 unsafe impl<T: Send> Send for BoundedQueue<T> {}
+// SAFETY: same argument as Send above — the slot sequence protocol
+// serialises every access to a slot's UnsafeCell, so shared references
+// never yield concurrent access to the same value.
 unsafe impl<T: Send> Sync for BoundedQueue<T> {}
 
 impl<T> BoundedQueue<T> {
@@ -157,6 +160,9 @@ impl<T> BoundedQueue<T> {
     /// every push through the same cursor.
     fn push_single(&self, pos: &mut usize, value: T) -> std::result::Result<(), T> {
         let slot = &self.slots[*pos & self.mask];
+        // ordering: Acquire pairs with the Release in pop()'s slot free
+        // so the popper's read of last lap's value happens-before our
+        // reuse of the slot.
         let seq = slot.seq.load(Ordering::Acquire);
         if seq != *pos {
             debug_assert!(
@@ -168,6 +174,8 @@ impl<T> BoundedQueue<T> {
         // SAFETY: seq == pos means the slot is free, and being the sole
         // producer nobody else can claim it before the store below.
         unsafe { (*slot.value.get()).write(value) };
+        // ordering: Release publishes the slot write above to the
+        // popper whose Acquire load of seq observes pos + 1.
         slot.seq.store(*pos + 1, Ordering::Release);
         *pos += 1;
         // Keep the shared cursor in sync for len() observers and for
@@ -181,6 +189,9 @@ impl<T> BoundedQueue<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ordering: Acquire pairs with the pusher's Release store
+            // of seq, so the value written to the slot happens-before
+            // our read of it below.
             let seq = slot.seq.load(Ordering::Acquire);
             match seq as isize - (pos + 1) as isize {
                 0 => {
@@ -195,6 +206,9 @@ impl<T> BoundedQueue<T> {
                             // exclusive ownership of the initialised
                             // value in the slot.
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // ordering: Release frees the slot; pairs
+                            // with the pusher's Acquire so our read
+                            // completes before the slot is rewritten.
                             slot.seq.store(pos + self.mask + 1, Ordering::Release);
                             return Some(value);
                         }
@@ -301,17 +315,27 @@ struct Shared {
 
 impl Shared {
     fn latch_error(&self, err: CoreError) {
-        let mut failure = self.failure.lock().unwrap();
+        // A poisoned lock only means the other side panicked mid-latch;
+        // the Failure record is plain data, so keep reporting errors.
+        let mut failure = self
+            .failure
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if failure.first.is_none() {
             failure.message = err.to_string();
             failure.first = Some(err);
         }
         drop(failure);
+        // ordering: Release pairs with the producer's Acquire load of
+        // `failed`, making the latched Failure record visible to it.
         self.failed.store(true, Ordering::Release);
     }
 
     fn take_error(&self) -> CoreError {
-        let mut failure = self.failure.lock().unwrap();
+        let mut failure = self
+            .failure
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         match failure.first.take() {
             Some(err) => err,
             None => CoreError::Persist(format!("queue branch failed: {}", failure.message)),
@@ -411,6 +435,9 @@ impl<S: FleetSink + Send + 'static> QueueSink<S> {
         let handle = thread::Builder::new()
             .name("cwsmooth-queue".into())
             .spawn(move || consumer_loop(worker_shared, inner))
+            // lint:allow(no-panic-paths): failing to spawn a thread at
+            // construction is unrecoverable resource exhaustion, not a
+            // data-path error the sink contract covers.
             .expect("spawn queue consumer thread");
         let consumer = handle.thread().clone();
         Self {
@@ -444,9 +471,18 @@ impl<S> QueueSink<S> {
     /// and returns the inner sink plus the first consumer error (if the
     /// producer has not already surfaced it from a push).
     pub fn join(mut self) -> (S, Result<()>) {
+        // lint:allow(no-panic-paths): infallible by construction —
+        // join consumes self, so the handle can only be absent here if
+        // shutdown ran twice, which would be a bug worth a loud panic.
         let inner = self.shutdown().expect("join called once");
+        // ordering: Acquire pairs with latch_error's Release store so
+        // the latched Failure record is fully visible before we read it.
         let result = if self.shared.failed.load(Ordering::Acquire) {
-            let mut failure = self.shared.failure.lock().unwrap();
+            let mut failure = self
+                .shared
+                .failure
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             match failure.first.take() {
                 Some(err) => Err(err),
                 // Already surfaced through a push: joining is clean.
@@ -461,8 +497,13 @@ impl<S> QueueSink<S> {
     /// Stops the consumer and joins it, returning the inner sink.
     fn shutdown(&mut self) -> Option<S> {
         let handle = self.handle.take()?;
+        // ordering: Release pairs with the consumer's Acquire load of
+        // `done`, so every push before shutdown is visible to the
+        // consumer's final drain.
         self.shared.done.store(true, Ordering::Release);
         self.consumer.unpark();
+        // lint:allow(no-panic-paths): a panicking consumer is a bug in
+        // the inner sink; propagating the panic beats swallowing it.
         Some(handle.join().expect("queue consumer thread panicked"))
     }
 
@@ -475,7 +516,13 @@ impl<S> QueueSink<S> {
         // Pool ran dry: take everything the consumer has recycled so
         // far in one swap (off the per-event path).
         {
-            let mut recycled = self.shared.recycled.lock().unwrap();
+            // Poisoning cannot corrupt a Vec of owned envelopes; keep
+            // the pool running rather than panicking the producer.
+            let mut recycled = self
+                .shared
+                .recycled
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             if !recycled.is_empty() {
                 std::mem::swap(&mut self.pool, &mut recycled);
             }
@@ -488,6 +535,8 @@ impl<S> QueueSink<S> {
     /// errored) returns the latched error.
     fn enqueue(&mut self, mut buf: Box<FleetEventBuf>) -> Result<()> {
         loop {
+            // ordering: Acquire pairs with latch_error's Release so the
+            // Failure record read by take_error below is visible.
             if self.shared.failed.load(Ordering::Acquire) {
                 // Recycle locally; the error aborts the frame.
                 self.pool.push(buf);
@@ -578,6 +627,9 @@ fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
                 }
             }
             None => {
+                // ordering: Acquire pairs with shutdown's Release store
+                // of `done`, so every pre-shutdown push is visible to
+                // the final drain below.
                 if shared.done.load(Ordering::Acquire) {
                     // The producer stopped *after* its last push, so
                     // anything it pushed is visible by now; one final
@@ -595,6 +647,8 @@ fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
                 // Recheck after publishing the flag so a push that
                 // missed it can't strand us parked; the timeout is a
                 // belt-and-braces bound, not the wake mechanism.
+                // ordering: Acquire matches the drain-path load above —
+                // done=true must also carry the last pushes here.
                 if shared.ring.len() == 0 && !shared.done.load(Ordering::Acquire) {
                     thread::park_timeout(Duration::from_millis(1));
                 }
@@ -608,7 +662,12 @@ fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
 #[allow(clippy::vec_box)]
 fn flush_spent(shared: &Shared, spent: &mut Vec<Box<FleetEventBuf>>) {
     if !spent.is_empty() {
-        shared.recycled.lock().unwrap().append(spent);
+        // Recycled envelopes are plain owned data; survive poisoning.
+        shared
+            .recycled
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .append(spent);
     }
 }
 
@@ -621,6 +680,9 @@ fn deliver<S: FleetSink>(
     mut buf: Box<FleetEventBuf>,
     spent: &mut Vec<Box<FleetEventBuf>>,
 ) {
+    // ordering: Acquire pairs with latch_error's Release — once failed
+    // is observed, the latched record is complete and we stop feeding
+    // the inner sink.
     if !shared.failed.load(Ordering::Acquire) {
         match inner.on_event_owned(std::mem::take(&mut *buf)) {
             Ok(envelope) => {

@@ -32,7 +32,11 @@ fn counted() -> bool {
 
 struct CountingAlloc;
 
+// SAFETY: a pure pass-through to the System allocator — every method
+// forwards its arguments unchanged, so System's contract is ours; the
+// counters never touch the allocation itself.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as System.alloc, to which we forward.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if counted() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -40,6 +44,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as System.dealloc, to which we forward.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         if counted() {
             DEALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -47,6 +52,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same contract as System.realloc, to which we forward.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if counted() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,301 @@
+//! Diagnostics, in-source allow pragmas, and machine-readable output.
+//!
+//! The allow pragma grammar is deliberately rigid so a suppression can
+//! never be silent:
+//!
+//! ```text
+//! // lint:allow(<rule-name>): <justification text>
+//! ```
+//!
+//! The justification text is **mandatory** — an allow pragma without
+//! one is itself a diagnostic (`allow-pragma`). A pragma suppresses
+//! matching diagnostics on its own line (trailing form) and on the
+//! first code line below it (standalone form — the justification may
+//! wrap over several comment lines); anything further away does not
+//! count, so a pragma can never quietly blanket a whole file.
+
+use crate::lexer::{LineIndex, Tok};
+
+/// One finding: a rule, a location, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (kebab-case, e.g. `no-panic-paths`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// What is wrong and what the fix looks like.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the conventional `file:line: [rule] message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `lint:allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowPragma {
+    /// The rule this pragma suppresses.
+    pub rule: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// `true` when justification text follows the closing `):`.
+    pub justified: bool,
+}
+
+/// Extracts every allow pragma (see the module docs for the grammar)
+/// from the comment tokens. Malformed pragmas (no closing parenthesis,
+/// or no `: justification` tail) are returned with
+/// `justified == false` so the engine can reject them.
+pub fn collect_pragmas(src: &str, toks: &[Tok], lines: &LineIndex) -> Vec<AllowPragma> {
+    let mut out = Vec::new();
+    for t in toks.iter().filter(|t| t.kind.is_comment()) {
+        let text = t.text(src);
+        let mut search = 0usize;
+        while let Some(rel) = text[search..].find("lint:allow(") {
+            let at = search + rel;
+            let after = &text[at + "lint:allow(".len()..];
+            let line = lines.line_of(t.start + at);
+            match after.find(')') {
+                Some(close) => {
+                    let rule = after[..close].trim().to_string();
+                    let tail = &after[close + 1..];
+                    let justified = tail.starts_with(':')
+                        && !tail[1..]
+                            .lines()
+                            .next()
+                            .unwrap_or("")
+                            .trim()
+                            .trim_matches(|c: char| c == '*' || c == '/')
+                            .trim()
+                            .is_empty();
+                    out.push(AllowPragma {
+                        rule,
+                        line,
+                        justified,
+                    });
+                    search = at + "lint:allow(".len() + close;
+                }
+                None => {
+                    out.push(AllowPragma {
+                        rule: String::new(),
+                        line,
+                        justified: false,
+                    });
+                    search = at + "lint:allow(".len();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies pragmas: drops suppressed diagnostics and appends an
+/// `allow-pragma` diagnostic for every unjustified pragma.
+///
+/// `has_code[line - 1]` says whether a line carries any code token —
+/// used to resolve a standalone pragma (possibly wrapping over several
+/// comment lines) to the single code line it governs.
+pub fn apply_pragmas(
+    file: &str,
+    mut diags: Vec<Diagnostic>,
+    pragmas: &[AllowPragma],
+    has_code: &[bool],
+) -> Vec<Diagnostic> {
+    // First code line at or after `line` (the pragma's target).
+    let target = |line: u32| -> u32 {
+        (line as usize..has_code.len())
+            .find(|&i| has_code[i])
+            .map(|i| i as u32 + 1)
+            .unwrap_or(line)
+    };
+    diags.retain(|d| {
+        !pragmas.iter().any(|p| {
+            p.justified && p.rule == d.rule && (p.line == d.line || target(p.line) == d.line)
+        })
+    });
+    for p in pragmas {
+        if !p.justified {
+            diags.push(Diagnostic {
+                rule: "allow-pragma",
+                file: file.to_string(),
+                line: p.line,
+                message: format!(
+                    "allow pragma for `{}` lacks a justification — write \
+                     `// lint:allow({}): <why this site is exempt>`",
+                    if p.rule.is_empty() { "?" } else { &p.rule },
+                    if p.rule.is_empty() { "<rule>" } else { &p.rule },
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Serializes diagnostics as a JSON array (stable field order, no
+/// external dependencies).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas(src: &str) -> Vec<AllowPragma> {
+        let toks = lex(src);
+        let lines = LineIndex::new(src);
+        collect_pragmas(src, &toks, &lines)
+    }
+
+    fn diag(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: "f.rs".into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn justified_pragma_parses() {
+        let ps = pragmas("// lint:allow(no-panic-paths): poisoning is already a panic\nfoo();\n");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].rule, "no-panic-paths");
+        assert!(ps[0].justified);
+        assert_eq!(ps[0].line, 1);
+    }
+
+    #[test]
+    fn bare_pragma_is_unjustified() {
+        for src in [
+            "// lint:allow(no-panic-paths)\n",
+            "// lint:allow(no-panic-paths):\n",
+            "// lint:allow(no-panic-paths):   \n",
+        ] {
+            let ps = pragmas(src);
+            assert_eq!(ps.len(), 1, "{src:?}");
+            assert!(!ps[0].justified, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let ps = pragmas("let s = \"// lint:allow(x): nope\";\n");
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_code_line() {
+        let ps = vec![AllowPragma {
+            rule: "r".into(),
+            line: 5,
+            justified: true,
+        }];
+        let has_code = vec![true; 8];
+        let out = apply_pragmas(
+            "f.rs",
+            vec![diag("r", 5), diag("r", 6), diag("r", 7)],
+            &ps,
+            &has_code,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 7);
+    }
+
+    #[test]
+    fn wrapped_pragma_comment_reaches_the_code_line() {
+        // Pragma on line 5, justification wraps lines 6-7 (no code),
+        // governed code on line 8.
+        let ps = vec![AllowPragma {
+            rule: "r".into(),
+            line: 5,
+            justified: true,
+        }];
+        let mut has_code = vec![true; 9];
+        has_code[4] = false; // line 5: comment only
+        has_code[5] = false; // line 6
+        has_code[6] = false; // line 7
+        let out = apply_pragmas("f.rs", vec![diag("r", 8), diag("r", 9)], &ps, &has_code);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 9, "only the first code line is covered");
+    }
+
+    #[test]
+    fn wrong_rule_is_not_suppressed() {
+        let ps = vec![AllowPragma {
+            rule: "other".into(),
+            line: 5,
+            justified: true,
+        }];
+        let out = apply_pragmas("f.rs", vec![diag("r", 6)], &ps, &[true; 8]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unjustified_pragma_becomes_diagnostic() {
+        let ps = vec![AllowPragma {
+            rule: "r".into(),
+            line: 5,
+            justified: false,
+        }];
+        let out = apply_pragmas("f.rs", vec![diag("r", 6)], &ps, &[true; 8]);
+        assert_eq!(out.len(), 2, "original kept, pragma flagged");
+        assert!(out.iter().any(|d| d.rule == "allow-pragma"));
+    }
+
+    #[test]
+    fn json_output_escapes() {
+        let d = vec![Diagnostic {
+            rule: "r",
+            file: "a\"b.rs".into(),
+            line: 3,
+            message: "x\ny".into(),
+        }];
+        let j = to_json(&d);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(to_json(&[]).starts_with('['));
+    }
+}

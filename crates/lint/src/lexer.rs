@@ -1,0 +1,521 @@
+//! A small, exact Rust lexer.
+//!
+//! The rule engine only needs to answer one question reliably: *is this
+//! byte code, comment, or literal?* Regex-over-lines gets that wrong on
+//! every interesting file in this workspace — `//` inside a string,
+//! `r#"…"#` raw strings containing comment markers, nested `/* /* */ */`
+//! block comments, and the `'a'`-char vs `'a`-lifetime ambiguity all
+//! appear in the tree. So the linter lexes properly: the token stream is
+//! lossless (concatenating token texts reproduces the input byte for
+//! byte, pinned by proptests) and every byte is classified.
+
+/// What a token is. The distinction that matters downstream is
+/// code-like ([`TokKind::is_code`]) vs comment vs literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (not a char literal).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `b'\n'`, `'\u{1F600}'`.
+    CharLit,
+    /// A (possibly byte/C) string literal: `"…"`, `b"…"`, `c"…"`.
+    StrLit,
+    /// A raw string literal with any fence depth: `r"…"`, `br#"…"#`.
+    RawStrLit,
+    /// A numeric literal, including hex/exponent/suffix forms.
+    Number,
+    /// `// …` to end of line (doc comments `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nested; doc block comments included.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+    /// A run of whitespace (newlines included).
+    Whitespace,
+}
+
+impl TokKind {
+    /// `true` for tokens that are executable code rather than comments
+    /// or whitespace (literals count as code).
+    pub fn is_code(self) -> bool {
+        !matches!(
+            self,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::Whitespace
+        )
+    }
+
+    /// `true` for the two comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: a kind plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification of the span.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src` (the same source passed to [`lex`]).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Byte-indexed cursor over the source.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if f(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+}
+
+/// Lexes `src` into a lossless token stream: the concatenation of all
+/// token texts is exactly `src`, and no byte is left unclassified.
+/// Malformed input (unterminated strings or comments) never panics; the
+/// open token simply runs to end of file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor { src, pos: 0 };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let kind = match c {
+            '/' if cur.peek_at(1) == Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                TokKind::LineComment
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                lex_block_comment(&mut cur);
+                TokKind::BlockComment
+            }
+            '"' => {
+                lex_string(&mut cur);
+                TokKind::StrLit
+            }
+            '\'' => lex_quote(&mut cur),
+            c if c.is_whitespace() => {
+                cur.eat_while(|c| c.is_whitespace());
+                TokKind::Whitespace
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokKind::Number
+            }
+            c if is_ident_start(c) => lex_ident_or_prefixed(&mut cur),
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        toks.push(Tok {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    toks
+}
+
+/// Consumes a (nested) block comment, `/*` already peeked.
+fn lex_block_comment(cur: &mut Cursor) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.starts_with("*/") {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else if cur.bump().is_none() {
+            break; // unterminated: runs to EOF
+        }
+    }
+}
+
+/// Consumes a non-raw string body, opening `"` still pending.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // escaped char (any, including `"` and `\`)
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string: `cur` positioned at the `r` of `r##"…"##`
+/// (any fence depth, zero included). Returns `false` if the input is
+/// not actually a raw string opener (the caller then re-lexes as an
+/// identifier).
+fn lex_raw_string(cur: &mut Cursor) -> bool {
+    let rollback = cur.pos;
+    cur.bump(); // the `r`
+    let mut fence = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        fence += 1;
+    }
+    if cur.peek() != Some('"') {
+        cur.pos = rollback;
+        return false;
+    }
+    cur.bump(); // opening quote
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', fence))
+        .collect();
+    loop {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                cur.bump();
+            }
+            return true;
+        }
+        if cur.bump().is_none() {
+            return true; // unterminated: runs to EOF
+        }
+    }
+}
+
+/// Lexes a `'…` token: lifetime or char literal.
+fn lex_quote(cur: &mut Cursor) -> TokKind {
+    // `'a` followed by anything but a closing quote is a lifetime;
+    // `'a'` is a char. `'\…'` is always a char.
+    let c1 = cur.peek_at(1);
+    let c2 = cur.peek_at(2);
+    let is_lifetime = match c1 {
+        Some(c) if is_ident_start(c) => c2 != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        cur.bump(); // the quote
+        cur.eat_while(is_ident_continue);
+        return TokKind::Lifetime;
+    }
+    cur.bump(); // opening quote
+    match cur.bump() {
+        Some('\\') => {
+            // Escape: simple (`\n`, `\'`), hex (`\x7f`) or unicode
+            // (`\u{…}`); consume up to the closing quote.
+            match cur.bump() {
+                Some('x') => {
+                    cur.bump();
+                    cur.bump();
+                }
+                Some('u') if cur.peek() == Some('{') => {
+                    cur.eat_while(|c| c != '}');
+                    cur.bump();
+                }
+                _ => {}
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        Some('\'') => {} // the empty `''` — malformed, consume as-is
+        Some(_) if cur.peek() == Some('\'') => {
+            cur.bump();
+        }
+        _ => {}
+    }
+    TokKind::CharLit
+}
+
+/// Lexes a numeric literal. Exact enough for classification: consumes
+/// digits/underscores/alphanumeric suffixes, a fraction part only when
+/// a digit follows the dot (so `0..4` stays three tokens), and a signed
+/// exponent for non-hex literals.
+fn lex_number(cur: &mut Cursor) {
+    let hex = cur.starts_with("0x") || cur.starts_with("0X");
+    cur.bump();
+    loop {
+        match cur.peek() {
+            Some(c) if is_ident_continue(c) => {
+                cur.bump();
+                // `1e-3` / `2.5E+7`: the sign belongs to the exponent.
+                if !hex
+                    && (c == 'e' || c == 'E')
+                    && matches!(cur.peek(), Some('+') | Some('-'))
+                    && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    cur.bump();
+                }
+            }
+            Some('.') => {
+                // Fraction only when a digit follows: `1.5` yes,
+                // `0..4` and `1.max(2)` no.
+                if cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Lexes an identifier, or one of the literal prefixes (`r"`, `b"`,
+/// `br#"`, `b'`, `c"`, `r#ident`).
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokKind {
+    let c = cur.peek().unwrap_or(' ');
+    // Raw string openers: r" r#" br" br#" cr" cr#"
+    if c == 'r' && matches!(cur.peek_at(1), Some('"') | Some('#')) {
+        // `r#ident` (raw identifier) must not be eaten as a raw string;
+        // lex_raw_string rolls back when no quote follows the fence.
+        if lex_raw_string(cur) {
+            return TokKind::RawStrLit;
+        }
+        // Raw identifier: consume `r#` then the ident body.
+        cur.bump();
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if (c == 'b' || c == 'c') && cur.peek_at(1) == Some('r') {
+        let mut probe = Cursor {
+            src: cur.src,
+            pos: cur.pos,
+        };
+        probe.bump(); // the b/c
+        if lex_raw_string(&mut probe) {
+            cur.pos = probe.pos;
+            return TokKind::RawStrLit;
+        }
+    }
+    if (c == 'b' || c == 'c') && cur.peek_at(1) == Some('"') {
+        cur.bump();
+        lex_string(cur);
+        return TokKind::StrLit;
+    }
+    if c == 'b' && cur.peek_at(1) == Some('\'') {
+        cur.bump();
+        lex_quote(cur);
+        return TokKind::CharLit;
+    }
+    cur.eat_while(is_ident_continue);
+    TokKind::Ident
+}
+
+/// Byte-offset → 1-based line number lookup table.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offsets at which each line starts; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the table for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        // A trailing newline does not open a new (empty) line.
+        if starts.len() > 1 && *starts.last().unwrap_or(&0) == src.len() {
+            starts.pop();
+        }
+        Self { starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        match self.starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// Number of lines (at least 1, even for empty input).
+    pub fn line_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn lossless_round_trip() {
+        let src = r##"fn main() { let s = r#"raw "str" // not a comment"#; /* c /* nested */ */ let c = 'a'; let lt: &'static str = "x\""; }"##;
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_code() {
+        let src = "let a = \"// not a comment\"; let b = \"/* nor this */\";";
+        for (kind, text) in kinds(src) {
+            if text.contains("not a comment") || text.contains("nor this") {
+                assert_eq!(kind, TokKind::StrLit);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let x = r###"has "# and "## inside"###;"####;
+        let toks = kinds(src);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::RawStrLit)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].1.contains("has"));
+    }
+
+    #[test]
+    fn raw_string_inside_comment_is_comment() {
+        let src = "// dead: r\"string\" in comment\nlet x = 1;";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert!(toks[0].1.contains("r\"string\""));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.ends_with("*/"));
+        assert_eq!(toks.last().unwrap().1, "code");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'a'; let s: &'a str = x; let esc = '\\''; let u = '\\u{1F600}'; let under = '_';";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .map(|(_, t)| *t)
+            .collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\''", "'\\u{1F600}'", "'_'"]);
+        assert_eq!(lifetimes, vec!["'a"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#type = 1; let y = r#match;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "r#type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "r#match"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::RawStrLit));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..4 { x = 1.5e-3; y = 1.max(2); z = 0xff_u32; }";
+        let toks = kinds(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(nums, vec!["0", "4", "1.5e-3", "1", "2", "0xff_u32"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "max"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && *t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && *t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStrLit && *t == "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof_without_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+
+    #[test]
+    fn line_index() {
+        let idx = LineIndex::new("a\nbb\nccc\n");
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(2), 2);
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.line_of(5), 3);
+        assert_eq!(idx.line_count(), 3);
+    }
+}

@@ -1,0 +1,1046 @@
+//! `race-audit`: deterministic schedule exploration of the transport
+//! ring's producer/consumer protocol.
+//!
+//! `cwsmooth_core::transport`'s `QueueSink` rests on a hand-rolled
+//! Vyukov-style bounded ring: five `unsafe` blocks whose soundness is a
+//! *protocol* property — slot sequence numbers, published with
+//! `Release` and observed with `Acquire`, must serialize every access
+//! to the non-atomic slot payloads. No unit test can establish that:
+//! the dangerous interleavings are exactly the ones a test scheduler
+//! rarely produces. This module re-states the protocol as an explicit
+//! step model and explores interleavings exhaustively (up to a
+//! per-configuration schedule budget), loom-style but offline and
+//! dependency-free:
+//!
+//! * **Modeled atomics** carry vector clocks: a `Release` store
+//!   publishes the writer's clock on the location, an `Acquire` load
+//!   joins it — the happens-before relation of the C11 model restricted
+//!   to sequentially consistent interleavings.
+//! * **Non-atomic cells** (the slot payloads, the latched error) check
+//!   on every access that the previous conflicting access
+//!   happened-before it; an unordered pair is a **data race**, reported
+//!   with the exact schedule that produced it.
+//! * **Schedules** are explored by depth-first search over the choice
+//!   of which thread performs its next atomic step, with replayable
+//!   prefixes and a CHESS-style *preemption bound* (switching away from
+//!   a runnable thread costs a preemption; the default bound of 4 keeps
+//!   exploration exhaustive while covering every interleaving that
+//!   needs at most 4 preemptions — empirically, nearly all real races).
+//!   Spinning threads (full ring under `Block`, empty ring) become
+//!   *waiting* on the locations they re-read, so every schedule is
+//!   finite and livelocks are impossible by construction.
+//!
+//! Per completed schedule the model checks the transport's contracts:
+//! **envelope conservation** (every pushed envelope is delivered,
+//! dropped, or drained-after-error exactly once — no leak, no double
+//! recycle), **exact drop accounting** under `DropOldest`, and
+//! **first-error-wins latching** (a producer that observes failure
+//! always finds the latched error). The memory orderings of the four
+//! protocol edges are parameters, so the audit can demonstrate that the
+//! *correct* orderings pass and a deliberately weakened variant (e.g.
+//! `Relaxed` where `Release` is required) fails with a concrete racy
+//! schedule — see `crates/lint/tests/race_model.rs`.
+//!
+//! Scope, honestly stated: the model explores sequentially consistent
+//! interleavings with happens-before race detection, bounded by the
+//! configured preemption budget. Weak-memory reorderings beyond that
+//! (e.g. store buffering visible to `Relaxed` loads) are approximated
+//! by the race check, not simulated; the park/unpark wakeup
+//! optimization of the real code is abstracted away (it affects
+//! liveness, not safety).
+
+/// Memory order of one modeled atomic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrder {
+    /// No synchronization edge.
+    Relaxed,
+    /// Load half of a synchronizes-with edge.
+    Acquire,
+    /// Store half of a synchronizes-with edge.
+    Release,
+}
+
+/// Full-ring policy, mirroring `transport::QueuePolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Producer waits for the consumer.
+    Block,
+    /// Producer evicts the oldest queued envelope and counts it.
+    DropOldest,
+}
+
+/// One audit configuration: ring shape, workload, policy, and the
+/// memory orderings of the protocol's four synchronization edges.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Ring capacity (power of two, ≥ 2).
+    pub capacity: usize,
+    /// Number of envelopes the producer pushes.
+    pub messages: usize,
+    /// Full-ring policy.
+    pub policy: Policy,
+    /// Envelope id (0-based) the inner sink rejects, if any.
+    pub poison: Option<u64>,
+    /// Producer's slot-sequence publish store (correct: `Release`).
+    pub seq_publish: MemOrder,
+    /// Slot-sequence loads on both ends (correct: `Acquire`).
+    pub seq_acquire: MemOrder,
+    /// Consumer's slot-sequence free store (correct: `Release`).
+    pub seq_free: MemOrder,
+    /// `done` flag store/load pair (correct: `Release`/`Acquire`).
+    ///
+    /// Known blind spot: weakening this to `Relaxed` is *not* caught.
+    /// Every payload already rides a Release/Acquire edge on its slot's
+    /// sequence word, so under SC schedule exploration `done` protects
+    /// no extra non-atomic data; the real-world hazard of a relaxed
+    /// `done` (the consumer ends its final drain on a stale empty view
+    /// of the ring) needs weak-memory staleness the model does not
+    /// implement. Pinned by `relaxed_done_flag_is_a_known_blind_spot`.
+    pub done_sync: bool,
+    /// Maximum schedules to explore before stopping.
+    pub max_schedules: u64,
+    /// CHESS-style preemption bound: maximum number of *voluntary*
+    /// context switches (switching away from a thread that could have
+    /// kept running) per schedule. Forced switches — the running thread
+    /// blocked or finished — are free. Unbounded interleaving of even a
+    /// 40-step run is `C(40,20)` schedules; bounding preemptions makes
+    /// exploration exhaustive while still covering every race that
+    /// needs at most this many preemptions (empirically, almost all).
+    pub preempt_bound: usize,
+}
+
+impl ModelConfig {
+    /// The correct protocol, as shipped in `core::transport`.
+    pub fn correct(capacity: usize, messages: usize, policy: Policy, poison: Option<u64>) -> Self {
+        Self {
+            capacity,
+            messages,
+            policy,
+            poison,
+            seq_publish: MemOrder::Release,
+            seq_acquire: MemOrder::Acquire,
+            seq_free: MemOrder::Release,
+            done_sync: true,
+            max_schedules: 25_000,
+            preempt_bound: 4,
+        }
+    }
+}
+
+/// What the audit found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two unordered accesses to a non-atomic cell, at least one a write.
+    DataRace {
+        /// Which cell (e.g. `slot[1]`).
+        cell: String,
+        /// What the conflicting pair was.
+        detail: String,
+    },
+    /// An envelope leaked or was double-accounted.
+    Conservation(String),
+    /// `dropped` counter disagrees with the evicted multiset.
+    DropAccounting(String),
+    /// Producer observed failure but found no latched error, or a
+    /// second error overwrote the first.
+    ErrorLatch(String),
+    /// All threads waiting with no runnable step.
+    Deadlock(String),
+}
+
+/// Result of exploring one configuration.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Completed schedules explored.
+    pub schedules: u64,
+    /// Total atomic steps executed across all schedules.
+    pub steps: u64,
+    /// `true` when the DFS ran out of alternatives before the budget.
+    pub exhausted: bool,
+    /// First violation found, with the schedule that produced it.
+    pub violation: Option<(Violation, Vec<u8>)>,
+}
+
+const NTHREADS: usize = 2;
+const PRODUCER: usize = 0;
+const CONSUMER: usize = 1;
+
+/// A two-thread vector clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct VClock([u64; NTHREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0).all(|(a, b)| *a <= b)
+    }
+}
+
+/// A modeled atomic location: a value plus the release clock the next
+/// acquire load may inherit.
+#[derive(Debug, Clone, Default)]
+struct AtomicCell {
+    val: u64,
+    sync: VClock,
+}
+
+/// A modeled non-atomic location with FastTrack-style access tracking.
+#[derive(Debug, Clone, Default)]
+struct DataCell {
+    val: u64,
+    /// Clock of the last write event (and the writer).
+    write: Option<(usize, VClock)>,
+    /// Clock of the last read per thread.
+    reads: [Option<VClock>; NTHREADS],
+}
+
+/// Producer program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PPc {
+    CheckFailed,
+    LoadSeq,
+    StorePublish,
+    StoreEnqueuePos,
+    EvictPop(PopPc),
+    TakeErrorLock,
+    TakeErrorReadUnlock,
+    StoreDone,
+    Finished,
+}
+
+/// Consumer program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CPc {
+    Pop(PopPc),
+    CheckDone,
+    DeliverCheckFailed,
+    LatchLock,
+    LatchWriteUnlock,
+    LatchStoreFailed,
+    CountDelivered,
+    Finished,
+}
+
+/// The shared pop sub-machine (consumer drain; producer evict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PopPc {
+    LoadDpos,
+    LoadSeq,
+    Cas,
+    ReadAndFree,
+}
+
+/// What a thread is waiting on: retry only once one of the watched
+/// atomics changes away from the remembered value.
+#[derive(Debug, Clone, Default)]
+struct Waiting {
+    locs: Vec<(usize, u64)>,
+}
+
+/// Atomic location indices.
+mod loc {
+    pub const SEQ0: usize = 0; // seq[i] = SEQ0 + i
+}
+
+struct Model {
+    cfg: ModelConfig,
+    mask: usize,
+    // Atomic locations: seq[cap], then the named ones.
+    atomics: Vec<AtomicCell>,
+    enqueue_pos: usize,
+    dequeue_pos: usize,
+    done: usize,
+    failed: usize,
+    dropped_ctr: usize,
+    delivered_ctr: usize,
+    lock: usize,
+    // Non-atomic cells.
+    slots: Vec<DataCell>,
+    first_error: DataCell,
+    clocks: [VClock; NTHREADS],
+    // Producer state.
+    ppc: PPc,
+    p_pos: usize,
+    p_msg: u64,
+    p_seen_seq: u64,
+    p_evict_dpos: u64,
+    p_evict_seen: u64,
+    p_observed_error: Option<u64>,
+    pushed: Vec<u64>,
+    evicted: Vec<u64>,
+    // Consumer state.
+    cpc: CPc,
+    c_dpos: u64,
+    c_seen_seq: u64,
+    c_val: u64,
+    c_draining: bool,
+    delivered: Vec<u64>,
+    drained_after_error: Vec<u64>,
+    poison_consumed: Vec<u64>,
+    waiting: [Option<Waiting>; NTHREADS],
+    violation: Option<Violation>,
+}
+
+enum StepKind {
+    /// Step executed.
+    Ran,
+    /// Thread entered a waiting state (no state change).
+    Blocked(Waiting),
+}
+
+impl Model {
+    fn new(cfg: ModelConfig) -> Self {
+        let cap = cfg.capacity;
+        let n_atomics = cap + 7;
+        let mut atomics = vec![AtomicCell::default(); n_atomics];
+        for (i, a) in atomics.iter_mut().take(cap).enumerate() {
+            a.val = i as u64; // seq[i] starts at i, like BoundedQueue::new
+        }
+        Self {
+            cfg,
+            mask: cap - 1,
+            enqueue_pos: cap,
+            dequeue_pos: cap + 1,
+            done: cap + 2,
+            failed: cap + 3,
+            dropped_ctr: cap + 4,
+            delivered_ctr: cap + 5,
+            lock: cap + 6,
+            atomics,
+            slots: vec![DataCell::default(); cap],
+            first_error: DataCell::default(),
+            clocks: [VClock::default(); NTHREADS],
+            ppc: PPc::CheckFailed,
+            p_pos: 0,
+            p_msg: 0,
+            p_seen_seq: 0,
+            p_evict_dpos: 0,
+            p_evict_seen: 0,
+            p_observed_error: None,
+            pushed: Vec::new(),
+            evicted: Vec::new(),
+            cpc: CPc::Pop(PopPc::LoadDpos),
+            c_dpos: 0,
+            c_seen_seq: 0,
+            c_val: 0,
+            c_draining: false,
+            delivered: Vec::new(),
+            drained_after_error: Vec::new(),
+            poison_consumed: Vec::new(),
+            waiting: [None, None],
+            violation: None,
+        }
+    }
+
+    fn tick(&mut self, t: usize) {
+        self.clocks[t].0[t] += 1;
+    }
+
+    fn load(&mut self, t: usize, loc: usize, order: MemOrder) -> u64 {
+        self.tick(t);
+        let cell = &self.atomics[loc];
+        if order == MemOrder::Acquire {
+            let sync = cell.sync;
+            self.clocks[t].join(&sync);
+        }
+        self.atomics[loc].val
+    }
+
+    fn store(&mut self, t: usize, loc: usize, val: u64, order: MemOrder) {
+        self.tick(t);
+        let clock = self.clocks[t];
+        let cell = &mut self.atomics[loc];
+        cell.val = val;
+        // A plain store replaces the location's release clock: a
+        // relaxed store publishes nothing (and ends any release
+        // sequence), which is exactly what lets the race detector catch
+        // a Relaxed-where-Release-required weakening.
+        cell.sync = if order == MemOrder::Release {
+            clock
+        } else {
+            VClock::default()
+        };
+    }
+
+    fn fetch_add_relaxed(&mut self, t: usize, loc: usize) {
+        self.tick(t);
+        // Relaxed RMW: no acquire, and the release sequence (the
+        // location's existing sync clock) is preserved.
+        self.atomics[loc].val += 1;
+    }
+
+    /// Relaxed compare-exchange, as the ring's cursors use.
+    fn cas_relaxed(&mut self, t: usize, loc: usize, expect: u64, new: u64) -> Result<(), u64> {
+        self.tick(t);
+        let cell = &mut self.atomics[loc];
+        if cell.val == expect {
+            cell.val = new;
+            Ok(())
+        } else {
+            Err(cell.val)
+        }
+    }
+
+    /// Acquire CAS for the failure mutex.
+    fn lock_try(&mut self, t: usize) -> bool {
+        self.tick(t);
+        let sync = self.atomics[self.lock].sync;
+        if self.atomics[self.lock].val == 0 {
+            self.clocks[t].join(&sync);
+            self.atomics[self.lock].val = 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unlock(&mut self, t: usize) {
+        let clock = self.clocks[t];
+        self.tick(t);
+        let cell = &mut self.atomics[self.lock];
+        cell.val = 0;
+        cell.sync = clock;
+    }
+
+    fn race(&mut self, cell_name: String, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation::DataRace {
+                cell: cell_name,
+                detail,
+            });
+        }
+    }
+
+    fn data_write(&mut self, t: usize, slot: Option<usize>, val: u64) {
+        let clock = self.clocks[t];
+        let name = match slot {
+            Some(i) => format!("slot[{i}]"),
+            None => "first_error".to_string(),
+        };
+        let cell = match slot {
+            Some(i) => &mut self.slots[i],
+            None => &mut self.first_error,
+        };
+        let mut conflict = None;
+        if let Some((wt, wc)) = &cell.write {
+            if *wt != t && !wc.le(&clock) {
+                conflict = Some(format!("write by thread {wt} unordered with write by {t}"));
+            }
+        }
+        for (rt, rc) in cell.reads.iter().enumerate() {
+            if let Some(rc) = rc {
+                if rt != t && !rc.le(&clock) {
+                    conflict = Some(format!("read by thread {rt} unordered with write by {t}"));
+                }
+            }
+        }
+        cell.val = val;
+        cell.write = Some((t, clock));
+        cell.reads = [None, None];
+        if let Some(detail) = conflict {
+            self.race(name, detail);
+        }
+    }
+
+    fn data_read(&mut self, t: usize, slot: Option<usize>) -> u64 {
+        let clock = self.clocks[t];
+        let name = match slot {
+            Some(i) => format!("slot[{i}]"),
+            None => "first_error".to_string(),
+        };
+        let cell = match slot {
+            Some(i) => &mut self.slots[i],
+            None => &mut self.first_error,
+        };
+        let mut conflict = None;
+        if let Some((wt, wc)) = &cell.write {
+            if *wt != t && !wc.le(&clock) {
+                conflict = Some(format!("write by thread {wt} unordered with read by {t}"));
+            }
+        }
+        let val = cell.val;
+        cell.reads[t] = Some(clock);
+        if let Some(detail) = conflict {
+            self.race(name, detail);
+        }
+        val
+    }
+
+    fn seq_loc(&self, pos: u64) -> usize {
+        loc::SEQ0 + (pos as usize & self.mask)
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        if self.violation.is_some() {
+            return false;
+        }
+        let finished = match t {
+            PRODUCER => self.ppc == PPc::Finished,
+            _ => self.cpc == CPc::Finished,
+        };
+        if finished {
+            return false;
+        }
+        match &self.waiting[t] {
+            None => true,
+            Some(w) => w.locs.iter().any(|&(l, seen)| self.atomics[l].val != seen),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.violation.is_some() || (self.ppc == PPc::Finished && self.cpc == CPc::Finished)
+    }
+
+    /// Executes one step of thread `t` (which must be runnable).
+    fn step(&mut self, t: usize) {
+        self.waiting[t] = None;
+        let kind = if t == PRODUCER {
+            self.step_producer()
+        } else {
+            self.step_consumer()
+        };
+        if let StepKind::Blocked(w) = kind {
+            self.waiting[t] = Some(w);
+        }
+    }
+
+    fn step_producer(&mut self) -> StepKind {
+        match self.ppc {
+            PPc::CheckFailed => {
+                let failed = self.load(PRODUCER, self.failed, MemOrder::Acquire);
+                if failed != 0 {
+                    self.ppc = PPc::TakeErrorLock;
+                } else if self.p_msg as usize >= self.cfg.messages {
+                    self.ppc = PPc::StoreDone;
+                } else {
+                    self.ppc = PPc::LoadSeq;
+                }
+                StepKind::Ran
+            }
+            PPc::LoadSeq => {
+                let sl = self.seq_loc(self.p_pos as u64);
+                let seq = self.load(PRODUCER, sl, self.cfg.seq_acquire);
+                self.p_seen_seq = seq;
+                if seq == self.p_pos as u64 {
+                    self.ppc = PPc::StorePublish;
+                    StepKind::Ran
+                } else {
+                    // Ring full.
+                    match self.cfg.policy {
+                        Policy::Block => {
+                            self.ppc = PPc::CheckFailed;
+                            StepKind::Blocked(Waiting {
+                                locs: vec![(sl, seq), (self.failed, 0)],
+                            })
+                        }
+                        Policy::DropOldest => {
+                            self.ppc = PPc::EvictPop(PopPc::LoadDpos);
+                            StepKind::Ran
+                        }
+                    }
+                }
+            }
+            PPc::StorePublish => {
+                // Program order: non-atomic slot write, then the
+                // sequence publish store.
+                let idx = self.p_pos & self.mask;
+                let msg = self.p_msg;
+                self.data_write(PRODUCER, Some(idx), msg + 1);
+                let sl = self.seq_loc(self.p_pos as u64);
+                self.store(PRODUCER, sl, self.p_pos as u64 + 1, self.cfg.seq_publish);
+                self.ppc = PPc::StoreEnqueuePos;
+                StepKind::Ran
+            }
+            PPc::StoreEnqueuePos => {
+                let pos = self.p_pos as u64 + 1;
+                self.store(PRODUCER, self.enqueue_pos, pos, MemOrder::Relaxed);
+                self.pushed.push(self.p_msg);
+                self.p_pos += 1;
+                self.p_msg += 1;
+                self.ppc = PPc::CheckFailed;
+                StepKind::Ran
+            }
+            PPc::EvictPop(pc) => {
+                let (next, result) = self.pop_step(PRODUCER, pc, self.p_evict_dpos);
+                match result {
+                    PopResult::Continue(dpos) => {
+                        self.p_evict_dpos = dpos;
+                        self.ppc = PPc::EvictPop(next);
+                        StepKind::Ran
+                    }
+                    PopResult::Empty => {
+                        // The dequeue side looks empty while the push
+                        // slot is still held by a mid-pop consumer
+                        // (CAS taken, slot not yet freed): wait for the
+                        // free instead of spinning between a full push
+                        // view and an empty pop view.
+                        self.ppc = PPc::LoadSeq;
+                        let sl = self.seq_loc(self.p_pos as u64);
+                        StepKind::Blocked(Waiting {
+                            locs: vec![(sl, self.p_seen_seq)],
+                        })
+                    }
+                    PopResult::Popped(v) => {
+                        self.evicted.push(v - 1);
+                        self.ppc = PPc::LoadSeq;
+                        // dropped.fetch_add happens on the same step as
+                        // the eviction completing, matching the relaxed
+                        // counter in enqueue().
+                        self.fetch_add_relaxed(PRODUCER, self.dropped_ctr);
+                        StepKind::Ran
+                    }
+                }
+            }
+            PPc::TakeErrorLock => {
+                if self.lock_try(PRODUCER) {
+                    self.ppc = PPc::TakeErrorReadUnlock;
+                } else {
+                    return StepKind::Blocked(Waiting {
+                        locs: vec![(self.lock, 1)],
+                    });
+                }
+                StepKind::Ran
+            }
+            PPc::TakeErrorReadUnlock => {
+                let first = self.data_read(PRODUCER, None);
+                self.unlock(PRODUCER);
+                self.p_observed_error = Some(first);
+                self.ppc = PPc::StoreDone;
+                StepKind::Ran
+            }
+            PPc::StoreDone => {
+                let order = if self.cfg.done_sync {
+                    MemOrder::Release
+                } else {
+                    MemOrder::Relaxed
+                };
+                self.store(PRODUCER, self.done, 1, order);
+                self.ppc = PPc::Finished;
+                StepKind::Ran
+            }
+            PPc::Finished => StepKind::Ran,
+        }
+    }
+
+    fn step_consumer(&mut self) -> StepKind {
+        match self.cpc {
+            CPc::Pop(pc) => {
+                let (next, result) = self.pop_step(CONSUMER, pc, self.c_dpos);
+                match result {
+                    PopResult::Continue(dpos) => {
+                        self.c_dpos = dpos;
+                        self.cpc = CPc::Pop(next);
+                        StepKind::Ran
+                    }
+                    PopResult::Empty => {
+                        if self.c_draining {
+                            self.cpc = CPc::Finished;
+                            StepKind::Ran
+                        } else {
+                            self.cpc = CPc::CheckDone;
+                            StepKind::Ran
+                        }
+                    }
+                    PopResult::Popped(v) => {
+                        self.c_val = v;
+                        self.cpc = CPc::DeliverCheckFailed;
+                        StepKind::Ran
+                    }
+                }
+            }
+            CPc::CheckDone => {
+                let order = if self.cfg.done_sync {
+                    MemOrder::Acquire
+                } else {
+                    MemOrder::Relaxed
+                };
+                let done = self.load(CONSUMER, self.done, order);
+                if done != 0 {
+                    // Final drain closes the pop-then-done race.
+                    self.c_draining = true;
+                    self.cpc = CPc::Pop(PopPc::LoadDpos);
+                    StepKind::Ran
+                } else {
+                    self.cpc = CPc::Pop(PopPc::LoadDpos);
+                    let sl = self.seq_loc(self.c_dpos);
+                    StepKind::Blocked(Waiting {
+                        locs: vec![(sl, self.c_seen_seq), (self.done, 0)],
+                    })
+                }
+            }
+            CPc::DeliverCheckFailed => {
+                let failed = self.load(CONSUMER, self.failed, MemOrder::Acquire);
+                if failed != 0 {
+                    // Failed branch: drain without delivering.
+                    self.drained_after_error.push(self.c_val - 1);
+                    self.cpc = CPc::Pop(PopPc::LoadDpos);
+                } else if Some(self.c_val - 1) == self.cfg.poison {
+                    // The poisoned envelope is consumed by the failing
+                    // delivery attempt — neither delivered nor dropped.
+                    self.poison_consumed.push(self.c_val - 1);
+                    self.cpc = CPc::LatchLock;
+                } else {
+                    self.cpc = CPc::CountDelivered;
+                }
+                StepKind::Ran
+            }
+            CPc::LatchLock => {
+                if self.lock_try(CONSUMER) {
+                    self.cpc = CPc::LatchWriteUnlock;
+                    StepKind::Ran
+                } else {
+                    StepKind::Blocked(Waiting {
+                        locs: vec![(self.lock, 1)],
+                    })
+                }
+            }
+            CPc::LatchWriteUnlock => {
+                let first = self.data_read(CONSUMER, None);
+                if first == 0 {
+                    let val = self.c_val;
+                    self.data_write(CONSUMER, None, val);
+                } else if self.violation.is_none() {
+                    self.violation = Some(Violation::ErrorLatch(format!(
+                        "second error {} attempted to overwrite first {}",
+                        self.c_val - 1,
+                        first - 1
+                    )));
+                }
+                self.unlock(CONSUMER);
+                self.cpc = CPc::LatchStoreFailed;
+                StepKind::Ran
+            }
+            CPc::LatchStoreFailed => {
+                self.store(CONSUMER, self.failed, 1, MemOrder::Release);
+                self.cpc = CPc::Pop(PopPc::LoadDpos);
+                StepKind::Ran
+            }
+            CPc::CountDelivered => {
+                self.fetch_add_relaxed(CONSUMER, self.delivered_ctr);
+                self.delivered.push(self.c_val - 1);
+                self.cpc = CPc::Pop(PopPc::LoadDpos);
+                StepKind::Ran
+            }
+            CPc::Finished => StepKind::Ran,
+        }
+    }
+
+    /// One step of the shared MPMC pop protocol. Mirrors
+    /// `BoundedQueue::pop` exactly: load cursor, load slot sequence,
+    /// CAS the cursor, read the payload and free the slot.
+    fn pop_step(&mut self, t: usize, pc: PopPc, dpos: u64) -> (PopPc, PopResult) {
+        match pc {
+            PopPc::LoadDpos => {
+                let d = self.load(t, self.dequeue_pos, MemOrder::Relaxed);
+                (PopPc::LoadSeq, PopResult::Continue(d))
+            }
+            PopPc::LoadSeq => {
+                let sl = self.seq_loc(dpos);
+                let seq = self.load(t, sl, self.cfg.seq_acquire);
+                if t == CONSUMER {
+                    self.c_seen_seq = seq;
+                } else {
+                    self.p_evict_seen = seq;
+                }
+                if seq == dpos + 1 {
+                    (PopPc::Cas, PopResult::Continue(dpos))
+                } else if seq <= dpos {
+                    (PopPc::LoadDpos, PopResult::Empty)
+                } else {
+                    // Another popper advanced past us: reload cursor.
+                    (PopPc::LoadDpos, PopResult::Continue(dpos))
+                }
+            }
+            PopPc::Cas => match self.cas_relaxed(t, self.dequeue_pos, dpos, dpos + 1) {
+                Ok(()) => (PopPc::ReadAndFree, PopResult::Continue(dpos)),
+                Err(now) => (PopPc::LoadSeq, PopResult::Continue(now)),
+            },
+            PopPc::ReadAndFree => {
+                let idx = dpos as usize & self.mask;
+                let v = self.data_read(t, Some(idx));
+                let sl = self.seq_loc(dpos);
+                self.store(t, sl, dpos + self.mask as u64 + 1, self.cfg.seq_free);
+                (PopPc::LoadDpos, PopResult::Popped(v))
+            }
+        }
+    }
+
+    /// End-of-schedule property checks.
+    fn check_final(&self) -> Option<Violation> {
+        if let Some(v) = &self.violation {
+            return Some(v.clone());
+        }
+        // Envelope conservation: every pushed id accounted exactly once.
+        let mut accounted: Vec<u64> = self
+            .delivered
+            .iter()
+            .chain(&self.evicted)
+            .chain(&self.drained_after_error)
+            .chain(&self.poison_consumed)
+            .copied()
+            .collect();
+        accounted.sort_unstable();
+        let mut pushed = self.pushed.clone();
+        pushed.sort_unstable();
+        if accounted != pushed {
+            return Some(Violation::Conservation(format!(
+                "pushed {:?} but accounted {:?} (delivered {:?} + evicted {:?} + drained {:?} + poison {:?})",
+                pushed,
+                accounted,
+                self.delivered,
+                self.evicted,
+                self.drained_after_error,
+                self.poison_consumed
+            )));
+        }
+        // Exact drop accounting.
+        let dropped = self.atomics[self.dropped_ctr].val;
+        if dropped != self.evicted.len() as u64 {
+            return Some(Violation::DropAccounting(format!(
+                "dropped counter {} vs {} evictions",
+                dropped,
+                self.evicted.len()
+            )));
+        }
+        let delivered_ctr = self.atomics[self.delivered_ctr].val;
+        if delivered_ctr != self.delivered.len() as u64 {
+            return Some(Violation::Conservation(format!(
+                "delivered counter {} vs {} deliveries",
+                delivered_ctr,
+                self.delivered.len()
+            )));
+        }
+        // First-error-wins latching.
+        if let Some(poison) = self.cfg.poison {
+            if self.delivered.contains(&poison) {
+                return Some(Violation::ErrorLatch(format!(
+                    "poisoned envelope {poison} was counted as delivered"
+                )));
+            }
+            let latched = self.first_error.val;
+            if latched != 0 && latched - 1 != poison {
+                return Some(Violation::ErrorLatch(format!(
+                    "latched error {} is not the poisoned envelope {poison}",
+                    latched - 1
+                )));
+            }
+            if let Some(seen) = self.p_observed_error {
+                if seen == 0 {
+                    return Some(Violation::ErrorLatch(
+                        "producer observed failure but found no latched error".to_string(),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+enum PopResult {
+    Continue(u64),
+    Empty,
+    Popped(u64),
+}
+
+/// Explores interleavings of `cfg` by DFS over thread choices with
+/// replayable schedule prefixes, bounded by `cfg.preempt_bound`
+/// voluntary context switches per schedule. Stops at the first
+/// violation or when the budget (`cfg.max_schedules`) is spent.
+pub fn explore(cfg: ModelConfig) -> AuditReport {
+    assert!(cfg.capacity.is_power_of_two() && cfg.capacity >= 2);
+    let mut report = AuditReport {
+        schedules: 0,
+        steps: 0,
+        exhausted: false,
+        violation: None,
+    };
+    // prefix[i] = thread chosen at the i-th *branching* choice point;
+    // alts[i] = alternatives not yet explored there.
+    let mut prefix: Vec<u8> = Vec::new();
+    let mut alts: Vec<Vec<u8>> = Vec::new();
+    const STEP_CAP: u64 = 100_000;
+    loop {
+        // One run, replaying `prefix` at branching points.
+        let mut m = Model::new(cfg);
+        let mut depth = 0usize;
+        let mut steps_this_run = 0u64;
+        let mut cur: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let schedule_violation: Option<Violation> = loop {
+            if m.finished() {
+                break m.check_final();
+            }
+            let runnable: Vec<u8> = (0..NTHREADS as u8)
+                .filter(|&t| m.runnable(t as usize))
+                .collect();
+            if runnable.is_empty() {
+                break Some(Violation::Deadlock(format!(
+                    "producer at {:?}, consumer at {:?}",
+                    m.ppc, m.cpc
+                )));
+            }
+            // CHESS-style preemption bounding: switching away from a
+            // still-runnable thread costs one preemption; forced
+            // switches (current thread blocked/finished) are free.
+            let allowed: Vec<u8> = match cur {
+                Some(c) if m.runnable(c) => {
+                    if preemptions < cfg.preempt_bound {
+                        let mut v = vec![c as u8];
+                        v.extend(runnable.iter().copied().filter(|&t| t as usize != c));
+                        v
+                    } else {
+                        vec![c as u8]
+                    }
+                }
+                _ => runnable,
+            };
+            let choice = if allowed.len() == 1 {
+                allowed[0]
+            } else if depth < prefix.len() {
+                let c = prefix[depth];
+                depth += 1;
+                c
+            } else {
+                let c = allowed[0];
+                prefix.push(c);
+                alts.push(allowed[1..].to_vec());
+                depth += 1;
+                c
+            };
+            if let Some(c) = cur {
+                if c != choice as usize && m.runnable(c) {
+                    preemptions += 1;
+                }
+            }
+            cur = Some(choice as usize);
+            m.step(choice as usize);
+            steps_this_run += 1;
+            if steps_this_run > STEP_CAP {
+                break Some(Violation::Deadlock(
+                    "schedule exceeded step cap (livelock in model)".to_string(),
+                ));
+            }
+        };
+        report.schedules += 1;
+        report.steps += steps_this_run;
+        if let Some(v) = schedule_violation {
+            report.violation = Some((v, prefix.clone()));
+            return report;
+        }
+        if report.schedules >= cfg.max_schedules {
+            return report;
+        }
+        // Backtrack to the deepest choice point with an unexplored
+        // alternative.
+        loop {
+            match alts.last_mut() {
+                None => {
+                    report.exhausted = true;
+                    return report;
+                }
+                Some(a) => match a.pop() {
+                    Some(alt) => {
+                        let d = alts.len() - 1;
+                        prefix.truncate(d);
+                        prefix.push(alt);
+                        break;
+                    }
+                    None => {
+                        alts.pop();
+                        prefix.pop();
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// The default audit matrix: both policies, with and without a poisoned
+/// envelope, at ring capacity 2 (the tightest ring, where every
+/// protocol edge is exercised within a few messages).
+pub fn default_matrix() -> Vec<(String, ModelConfig)> {
+    let mut out = Vec::new();
+    for (policy, pname) in [
+        (Policy::Block, "block"),
+        (Policy::DropOldest, "drop-oldest"),
+    ] {
+        for (poison, ename) in [(None, "clean"), (Some(1), "poisoned")] {
+            let msgs = 4;
+            out.push((
+                format!("cap=2 msgs={msgs} {pname} {ename}"),
+                ModelConfig::correct(2, msgs, policy, poison),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_block_config_passes_exhaustively_at_small_size() {
+        let mut cfg = ModelConfig::correct(2, 2, Policy::Block, None);
+        cfg.max_schedules = 1_000_000;
+        let r = explore(cfg);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.exhausted, "small config should be fully explorable");
+        assert!(r.schedules > 10, "explored {}", r.schedules);
+    }
+
+    #[test]
+    fn correct_drop_oldest_passes() {
+        let r = explore(ModelConfig::correct(2, 3, Policy::DropOldest, None));
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.schedules > 100);
+    }
+
+    #[test]
+    fn poisoned_delivery_latches_exactly_once() {
+        let r = explore(ModelConfig::correct(2, 3, Policy::Block, Some(1)));
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn relaxed_publish_is_caught_as_a_race() {
+        let mut cfg = ModelConfig::correct(2, 2, Policy::Block, None);
+        cfg.seq_publish = MemOrder::Relaxed;
+        let r = explore(cfg);
+        match r.violation {
+            Some((Violation::DataRace { ref cell, .. }, _)) => {
+                assert!(cell.starts_with("slot["), "race on {cell}")
+            }
+            ref v => panic!("expected a data race, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxed_free_is_caught_as_a_race() {
+        let mut cfg = ModelConfig::correct(2, 4, Policy::Block, None);
+        cfg.seq_free = MemOrder::Relaxed;
+        let r = explore(cfg);
+        assert!(
+            matches!(r.violation, Some((Violation::DataRace { .. }, _))),
+            "expected a race once the ring wraps, got {:?}",
+            r.violation
+        );
+    }
+
+    #[test]
+    fn relaxed_acquire_is_caught_as_a_race() {
+        let mut cfg = ModelConfig::correct(2, 2, Policy::Block, None);
+        cfg.seq_acquire = MemOrder::Relaxed;
+        let r = explore(cfg);
+        assert!(
+            matches!(r.violation, Some((Violation::DataRace { .. }, _))),
+            "got {:?}",
+            r.violation
+        );
+    }
+}

@@ -1,0 +1,594 @@
+//! The rule set: this workspace's prose contracts as machine checks.
+//!
+//! Every rule is tuned to a documented invariant of this tree (see the
+//! README's "Correctness tooling" table):
+//!
+//! | rule | contract it enforces |
+//! |------|----------------------|
+//! | `no-panic-paths` | store/fleet/pipeline/transport/drift promise `Err`, not panics |
+//! | `safety-comment` | every `unsafe` carries a `// SAFETY:` argument |
+//! | `ordering-justified` | every non-`Relaxed` atomic ordering names its happens-before edge |
+//! | `no-debug-leftovers` | no `todo!`/`unimplemented!`/`dbg!`/`eprintln!` in library code |
+//! | `pub-doc-coverage` | public library items are documented |
+//! | `no-silent-clippy-allows` | `#[allow(clippy::…)]` requires a reason |
+//! | `bounded-channel-only` | no unbounded `mpsc::channel()` outside tests |
+//! | `test-file-asserts` | integration test files actually assert something |
+//!
+//! Rules see a [`FileContext`]: the lossless token stream, a per-line
+//! test mask, and per-line comment/code info. Suppression is only via
+//! the justified allow pragma ([`crate::diag`]).
+
+use crate::diag::{apply_pragmas, collect_pragmas, Diagnostic};
+use crate::lexer::{lex, LineIndex, Tok, TokKind};
+use crate::scope::test_line_mask;
+
+/// Where a file sits in the workspace — rules scope themselves by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under `crates/*/src/` or the facade `src/`.
+    LibSrc,
+    /// Binary targets (`crates/*/src/bin/`).
+    Bin,
+    /// `examples/`.
+    Example,
+    /// Integration test files (`crates/*/tests/`, root `tests/`).
+    TestFile,
+}
+
+impl FileKind {
+    /// Classifies a workspace-relative path (unix separators).
+    pub fn classify(path: &str) -> FileKind {
+        if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+            FileKind::Bin
+        } else if path.starts_with("examples/") || path.contains("/examples/") {
+            FileKind::Example
+        } else if path.starts_with("tests/") || path.contains("/tests/") {
+            FileKind::TestFile
+        } else {
+            FileKind::LibSrc
+        }
+    }
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// File classification.
+    pub kind: FileKind,
+    /// Raw source text.
+    pub src: &'a str,
+    /// Lossless token stream of `src`.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of code tokens (no comments/whitespace).
+    pub sig: Vec<usize>,
+    /// Offset→line table.
+    pub lines: LineIndex,
+    /// Per-line: is this line test-only code (index `line - 1`).
+    pub test_line: Vec<bool>,
+    /// Per-line: concatenated comment text on that line.
+    pub comments: Vec<String>,
+    /// Per-line: does any code token start or continue on that line.
+    pub has_code: Vec<bool>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes and indexes `src`.
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let toks = lex(src);
+        let lines = LineIndex::new(src);
+        let test_line = test_line_mask(src, &toks, &lines);
+        let n = lines.line_count();
+        let mut comments = vec![String::new(); n];
+        let mut has_code = vec![false; n];
+        for t in &toks {
+            let first = lines.line_of(t.start) as usize - 1;
+            let last = lines.line_of(t.end.saturating_sub(1).max(t.start)) as usize - 1;
+            if t.kind.is_comment() {
+                for (off, piece) in t.text(src).lines().enumerate() {
+                    if let Some(c) = comments.get_mut(first + off) {
+                        c.push_str(piece);
+                        c.push(' ');
+                    }
+                }
+            } else if t.kind.is_code() {
+                for l in &mut has_code[first..=last.min(n - 1)] {
+                    *l = true;
+                }
+            }
+        }
+        let sig = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind.is_code())
+            .map(|(i, _)| i)
+            .collect();
+        Self {
+            path,
+            kind: FileKind::classify(path),
+            src,
+            toks,
+            sig,
+            lines,
+            test_line,
+            comments,
+            has_code,
+        }
+    }
+
+    fn tok(&self, sig_idx: usize) -> &Tok {
+        &self.toks[self.sig[sig_idx]]
+    }
+
+    fn text(&self, sig_idx: usize) -> &str {
+        self.tok(sig_idx).text(self.src)
+    }
+
+    fn line(&self, sig_idx: usize) -> u32 {
+        self.lines.line_of(self.tok(sig_idx).start)
+    }
+
+    fn is_test_line(&self, line: u32) -> bool {
+        self.test_line
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The comment text adjacent to `line`: any trailing comment on the
+    /// line itself plus the contiguous block of comment-only lines
+    /// directly above it (a blank line or a code line breaks the chain).
+    fn adjacent_comment(&self, line: u32) -> String {
+        let mut out = String::new();
+        let idx = line as usize - 1;
+        if let Some(c) = self.comments.get(idx) {
+            out.push_str(c);
+        }
+        let mut l = idx;
+        while l > 0 {
+            l -= 1;
+            let comment = &self.comments[l];
+            if comment.is_empty() || self.has_code[l] {
+                break;
+            }
+            out.push_str(comment);
+        }
+        out
+    }
+
+    fn diag(&self, rule: &'static str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// The modules whose docs promise `Err`-not-panic on bad input: the
+/// persistent store, the streaming fleet/pipeline/transport layers and
+/// the drift monitor.
+fn in_no_panic_scope(path: &str) -> bool {
+    path.starts_with("crates/store/src/")
+        || path == "crates/core/src/fleet.rs"
+        || path == "crates/core/src/pipeline.rs"
+        || path == "crates/core/src/transport.rs"
+        || path == "crates/analysis/src/drift.rs"
+}
+
+/// Runs every rule over one file and applies its allow pragmas.
+pub fn check_file(path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(path, src);
+    let mut diags = Vec::new();
+    no_panic_paths(&ctx, &mut diags);
+    safety_comment(&ctx, &mut diags);
+    ordering_justified(&ctx, &mut diags);
+    no_debug_leftovers(&ctx, &mut diags);
+    pub_doc_coverage(&ctx, &mut diags);
+    no_silent_clippy_allows(&ctx, &mut diags);
+    bounded_channel_only(&ctx, &mut diags);
+    test_file_asserts(&ctx, &mut diags);
+    let pragmas = collect_pragmas(src, &ctx.toks, &ctx.lines);
+    let mut diags = apply_pragmas(path, diags, &pragmas, &ctx.has_code);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Names of all rules (for `--list-rules` and pragma validation).
+pub const RULE_NAMES: &[&str] = &[
+    "no-panic-paths",
+    "safety-comment",
+    "ordering-justified",
+    "no-debug-leftovers",
+    "pub-doc-coverage",
+    "no-silent-clippy-allows",
+    "bounded-channel-only",
+    "test-file-asserts",
+    "allow-pragma",
+];
+
+/// `no-panic-paths`: in the modules that document an `Err`-not-panic
+/// contract, non-test code must not call `.unwrap()` / `.expect(…)` or
+/// invoke `panic!` / `assert!` / `assert_eq!` / `assert_ne!` /
+/// `unreachable!` / `todo!` / `unimplemented!`. `debug_assert*` is
+/// exempt (compiled out of release builds by design).
+fn no_panic_paths(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !in_no_panic_scope(ctx.path) {
+        return;
+    }
+    const MACROS: &[&str] = &[
+        "panic",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "unreachable",
+        "todo",
+        "unimplemented",
+    ];
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident {
+            continue;
+        }
+        let line = ctx.line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        let name = ctx.text(i);
+        let flagged = match name {
+            "unwrap" | "expect" => {
+                i > 0
+                    && ctx.text(i - 1) == "."
+                    && ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "(")
+            }
+            _ => {
+                MACROS.contains(&name) && ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "!")
+            }
+        };
+        if flagged {
+            out.push(ctx.diag(
+                "no-panic-paths",
+                line,
+                format!(
+                    "`{name}` in a module that promises Err-not-panic — return an error \
+                     (or justify with `// lint:allow(no-panic-paths): …`)"
+                ),
+            ));
+        }
+    }
+}
+
+/// `safety-comment`: every `unsafe` keyword (block, fn, impl) must be
+/// immediately preceded (or trailed on the same line) by a comment
+/// containing `SAFETY` that argues why the invariants hold. Applies to
+/// test code too — an unargued `unsafe` is no safer in a test.
+fn safety_comment(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "unsafe" {
+            continue;
+        }
+        let line = ctx.line(i);
+        if !ctx.adjacent_comment(line).contains("SAFETY") {
+            out.push(
+                ctx.diag(
+                    "safety-comment",
+                    line,
+                    "`unsafe` without an adjacent `// SAFETY:` comment arguing why the \
+                 invariants hold"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `ordering-justified`: every non-`Relaxed` atomic memory ordering
+/// (`Ordering::Acquire` / `Release` / `AcqRel` / `SeqCst`) in non-test
+/// library code must carry an adjacent `// ordering:` comment naming
+/// the happens-before edge it establishes.
+fn ordering_justified(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::LibSrc) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(3) {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "Ordering" {
+            continue;
+        }
+        if ctx.text(i + 1) != ":" || ctx.text(i + 2) != ":" {
+            continue;
+        }
+        let ord = ctx.text(i + 3);
+        if !matches!(ord, "Acquire" | "Release" | "AcqRel" | "SeqCst") {
+            continue;
+        }
+        let line = ctx.line(i + 3);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        if !ctx.adjacent_comment(line).contains("ordering:") {
+            out.push(ctx.diag(
+                "ordering-justified",
+                line,
+                format!(
+                    "`Ordering::{ord}` without an adjacent `// ordering:` comment naming \
+                     the happens-before edge it establishes"
+                ),
+            ));
+        }
+    }
+}
+
+/// `no-debug-leftovers`: `todo!` / `unimplemented!` / `dbg!` /
+/// `eprintln!` in non-test library code are development scaffolding.
+fn no_debug_leftovers(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::LibSrc) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(1) {
+        if ctx.tok(i).kind != TokKind::Ident {
+            continue;
+        }
+        let name = ctx.text(i);
+        if !matches!(name, "todo" | "unimplemented" | "dbg" | "eprintln") {
+            continue;
+        }
+        if ctx.text(i + 1) != "!" {
+            continue;
+        }
+        let line = ctx.line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        out.push(ctx.diag(
+            "no-debug-leftovers",
+            line,
+            format!("`{name}!` left in library code — remove it or move it behind a test/bin"),
+        ));
+    }
+}
+
+/// `pub-doc-coverage`: `pub` items in non-test library code (fn,
+/// struct, enum, trait, mod, const, static, type, union) need a doc
+/// comment. `pub(crate)`-style restricted visibility and `pub use`
+/// re-exports are exempt.
+fn pub_doc_coverage(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::LibSrc) {
+        return;
+    }
+    const ITEMS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+    ];
+    const MODIFIERS: &[&str] = &["unsafe", "async", "const", "extern", "default"];
+    for i in 0..ctx.sig.len() {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "pub" {
+            continue;
+        }
+        let line = ctx.line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        // Skip restricted visibility: `pub(crate)`, `pub(super)`, …
+        if ctx.sig.get(i + 1).is_some_and(|_| ctx.text(i + 1) == "(") {
+            continue;
+        }
+        // Find the item keyword after any modifiers.
+        let mut j = i + 1;
+        while j < ctx.sig.len()
+            && (MODIFIERS.contains(&ctx.text(j)) || ctx.tok(j).kind == TokKind::StrLit)
+        {
+            j += 1;
+        }
+        let Some(item) = ctx.sig.get(j).map(|_| ctx.text(j)) else {
+            continue;
+        };
+        if !ITEMS.contains(&item) {
+            continue; // `pub use` re-exports and anything unrecognized
+        }
+        // `pub mod name;` declarations are documented by the module
+        // file's own `//!` inner docs (enforced by `missing_docs`),
+        // not at the declaration site.
+        if item == "mod" && ctx.sig.get(j + 2).is_some_and(|_| ctx.text(j + 2) == ";") {
+            continue;
+        }
+        // `const` can itself be a modifier (`pub const fn`): if the next
+        // token is `fn`, the item is the fn (already handled by the
+        // modifier loop). Here `item` is the first non-modifier keyword.
+        if !is_documented(ctx, i) {
+            let name = ctx
+                .sig
+                .get(j + 1)
+                .map(|_| ctx.text(j + 1))
+                .unwrap_or("<unnamed>");
+            out.push(ctx.diag(
+                "pub-doc-coverage",
+                line,
+                format!("public {item} `{name}` has no doc comment"),
+            ));
+        }
+    }
+}
+
+/// Is the `pub` token at `sig[i]` preceded by a doc comment (possibly
+/// with attributes between the docs and the item)?
+fn is_documented(ctx: &FileContext, pub_sig_idx: usize) -> bool {
+    // Walk significant tokens backwards over any attribute chains to
+    // find the item's lexical start, then scan the raw tokens between
+    // the previous item and the `pub` for `///` / `/** … */` / #[doc].
+    let mut k = pub_sig_idx;
+    while k > 0 {
+        // An attribute chain ends with `]`; walk back to its `#`.
+        if ctx.text(k - 1) == "]" {
+            let mut depth = 0usize;
+            let mut m = k - 1;
+            loop {
+                match ctx.text(m) {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            // Step over the `[`'s `#` (and optional `!`).
+            let mut start = m;
+            if start > 0 && ctx.text(start - 1) == "#" {
+                start -= 1;
+            } else if start > 1 && ctx.text(start - 1) == "!" && ctx.text(start - 2) == "#" {
+                start -= 2;
+            }
+            // `#[doc = "…"]` / `#[doc(hidden)]` count as documentation.
+            for idx in start..k {
+                if ctx.tok(idx).kind == TokKind::Ident && ctx.text(idx) == "doc" {
+                    return true;
+                }
+            }
+            k = start;
+            continue;
+        }
+        break;
+    }
+    // Raw-token scan between the previous significant token and sig[k].
+    let lo = if k == 0 { 0 } else { ctx.sig[k - 1] + 1 };
+    let hi = ctx.sig[k];
+    ctx.toks[lo..hi].iter().any(|t| {
+        let text = t.text(ctx.src);
+        (t.kind == TokKind::LineComment && text.starts_with("///"))
+            || (t.kind == TokKind::BlockComment && text.starts_with("/**"))
+    })
+}
+
+/// `no-silent-clippy-allows`: `#[allow(clippy::…)]` (and
+/// `#[expect(clippy::…)]`) must have an adjacent comment explaining why
+/// the lint is wrong here.
+fn no_silent_clippy_allows(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len().saturating_sub(3) {
+        if ctx.text(i) != "#" {
+            continue;
+        }
+        let mut j = i + 1;
+        if ctx.text(j) == "!" {
+            j += 1;
+        }
+        if ctx.text(j) != "[" {
+            continue;
+        }
+        if !matches!(ctx.text(j + 1), "allow" | "expect") {
+            continue;
+        }
+        // Scan to the closing `]`, looking for the `clippy` path root.
+        let mut depth = 0usize;
+        let mut has_clippy = false;
+        let mut end = j;
+        for k in j..ctx.sig.len() {
+            match ctx.text(k) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                "clippy" if ctx.tok(k).kind == TokKind::Ident => has_clippy = true,
+                _ => {}
+            }
+        }
+        if !has_clippy {
+            continue;
+        }
+        let attr_line = ctx.line(i);
+        let end_line = ctx.line(end);
+        let justified = ctx.adjacent_comment(attr_line).len() > 1
+            || !ctx.comments[end_line as usize - 1].is_empty();
+        if !justified {
+            out.push(
+                ctx.diag(
+                    "no-silent-clippy-allows",
+                    attr_line,
+                    "`#[allow(clippy::…)]` without an adjacent comment justifying the \
+                 suppression"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `bounded-channel-only`: the unbounded `std::sync::mpsc::channel()`
+/// constructor is banned outside tests — the transport layer exists
+/// precisely so queues are bounded with explicit full-queue policies.
+fn bounded_channel_only(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if matches!(ctx.kind, FileKind::TestFile) {
+        return;
+    }
+    for i in 0..ctx.sig.len().saturating_sub(3) {
+        if ctx.tok(i).kind != TokKind::Ident || ctx.text(i) != "mpsc" {
+            continue;
+        }
+        if ctx.text(i + 1) != ":" || ctx.text(i + 2) != ":" {
+            continue;
+        }
+        if ctx.text(i + 3) != "channel" {
+            continue;
+        }
+        let line = ctx.line(i + 3);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        out.push(
+            ctx.diag(
+                "bounded-channel-only",
+                line,
+                "unbounded `mpsc::channel()` — use the bounded transport \
+             (`cwsmooth_core::transport::QueueSink`) or `sync_channel` with an explicit \
+             capacity"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+/// `test-file-asserts`: an integration test file with no `assert` (or
+/// `prop_assert`) never fails — it only *looks* like coverage.
+fn test_file_asserts(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::TestFile) {
+        return;
+    }
+    const ASSERTS: &[&str] = &[
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "prop_assert",
+        "prop_assert_eq",
+        "prop_assert_ne",
+        "panic",
+    ];
+    let has_assert = (0..ctx.sig.len().saturating_sub(1)).any(|i| {
+        ctx.tok(i).kind == TokKind::Ident
+            && ASSERTS.contains(&ctx.text(i))
+            && ctx.text(i + 1) == "!"
+    });
+    // `.unwrap()`/`.expect(…)` also fail the test on Err — accept files
+    // that at least unwrap (they assert through the Result machinery).
+    let has_unwrap = (0..ctx.sig.len().saturating_sub(1)).any(|i| {
+        ctx.tok(i).kind == TokKind::Ident
+            && matches!(ctx.text(i), "unwrap" | "expect")
+            && i > 0
+            && ctx.text(i - 1) == "."
+    });
+    if !has_assert && !has_unwrap {
+        out.push(ctx.diag(
+            "test-file-asserts",
+            1,
+            "integration test file contains no assertion — it cannot fail".to_string(),
+        ));
+    }
+}

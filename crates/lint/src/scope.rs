@@ -1,0 +1,245 @@
+//! `#[cfg(test)]` / `mod tests` scoping: which lines of a file are
+//! test-only code.
+//!
+//! Most rules exempt test code (`unwrap` in a test is the assertion
+//! style, not a panic path), so the engine needs a per-line mask. The
+//! mask is computed from the token stream, not from regexes: an
+//! attribute marks the *item that follows it* (through matched braces
+//! or up to a `;`), and `mod tests { … }` bodies are marked whether or
+//! not a `cfg` attribute is present.
+
+use crate::lexer::{LineIndex, Tok, TokKind};
+
+/// Returns, per 1-based line, whether that line belongs to test-only
+/// code: an item under `#[cfg(test)]` / `#[test]`, or a `mod tests`
+/// body. `lines.line_count()` entries; index with `line as usize - 1`.
+pub fn test_line_mask(src: &str, toks: &[Tok], lines: &LineIndex) -> Vec<bool> {
+    let mut mask = vec![false; lines.line_count()];
+    // Significant tokens only: code, no comments/whitespace.
+    let sig: Vec<&Tok> = toks.iter().filter(|t| t.kind.is_code()).collect();
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+        if t.kind == TokKind::Punct && t.text(src) == "#" {
+            let (end, inner_attr, is_test) = parse_attribute(src, &sig, i);
+            if is_test {
+                if inner_attr {
+                    // `#![cfg(test)]`: the whole enclosing scope — for a
+                    // file-level inner attribute, the whole file.
+                    mask.iter_mut().for_each(|m| *m = true);
+                    return mask;
+                }
+                let item_end = skip_attrs_and_item(src, &sig, end);
+                mark(&mut mask, lines, t.start, sig_end(&sig, item_end - 1));
+                i = item_end;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+        if t.kind == TokKind::Ident && t.text(src) == "mod" {
+            if let (Some(name), Some(brace)) = (sig.get(i + 1), sig.get(i + 2)) {
+                if name.text(src) == "tests" && brace.text(src) == "{" {
+                    let close = match_brace(src, &sig, i + 2);
+                    mark(&mut mask, lines, t.start, sig_end(&sig, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// End byte offset of the token at `idx` (or of the last token when
+/// `idx` runs off the end).
+fn sig_end(sig: &[&Tok], idx: usize) -> usize {
+    sig.get(idx)
+        .or(sig.last())
+        .map(|t| t.end)
+        .unwrap_or_default()
+}
+
+fn mark(mask: &mut [bool], lines: &LineIndex, start: usize, end: usize) {
+    let first = lines.line_of(start) as usize - 1;
+    let last = (lines.line_of(end.saturating_sub(1).max(start)) as usize - 1).min(mask.len() - 1);
+    for m in &mut mask[first..=last] {
+        *m = true;
+    }
+}
+
+/// Parses the attribute starting at `sig[i]` (`#`). Returns
+/// `(index after the closing ']', inner_attr, is_test_attr)`.
+/// An attribute is a *test* attribute when it contains the bare ident
+/// `test` outside any `not(…)` group: `#[cfg(test)]`, `#[test]`,
+/// `#[cfg(all(test, unix))]` — but not `#[cfg(not(test))]`.
+fn parse_attribute(src: &str, sig: &[&Tok], i: usize) -> (usize, bool, bool) {
+    let mut j = i + 1;
+    let mut inner = false;
+    if sig.get(j).is_some_and(|t| t.text(src) == "!") {
+        inner = true;
+        j += 1;
+    }
+    if sig.get(j).is_none_or(|t| t.text(src) != "[") {
+        return (i + 1, false, false); // stray `#`, not an attribute
+    }
+    let mut depth = 0usize;
+    let mut not_depth: Option<usize> = None;
+    let mut is_test = false;
+    let mut k = j;
+    while k < sig.len() {
+        let text = sig[k].text(src);
+        match text {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if let Some(nd) = not_depth {
+                    if depth < nd {
+                        not_depth = None;
+                    }
+                }
+                if depth == 0 {
+                    return (k + 1, inner, is_test);
+                }
+            }
+            // The group `not(` opens is negated; `test` inside it
+            // does not make this a test attribute.
+            "not"
+                if sig[k].kind == TokKind::Ident
+                    && not_depth.is_none()
+                    && sig.get(k + 1).is_some_and(|t| t.text(src) == "(") =>
+            {
+                not_depth = Some(depth);
+            }
+            "test" if sig[k].kind == TokKind::Ident && not_depth.is_none() => {
+                is_test = true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (sig.len(), inner, is_test) // unterminated attribute: treat as consumed
+}
+
+/// From `i` (just past a test attribute), skips any further attributes
+/// and then the item itself; returns the index just past the item.
+fn skip_attrs_and_item(src: &str, sig: &[&Tok], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while sig.get(i).is_some_and(|t| t.text(src) == "#")
+        && sig
+            .get(i + 1)
+            .is_some_and(|t| t.text(src) == "[" || t.text(src) == "!")
+    {
+        let (end, _, _) = parse_attribute(src, sig, i);
+        i = end;
+    }
+    // The item: to the matching `}` of its first depth-0 brace, or to a
+    // depth-0 `;` (e.g. `#[cfg(test)] use super::*;`).
+    let mut depth = 0usize;
+    while i < sig.len() {
+        match sig[i].text(src) {
+            "{" | "(" | "[" => {
+                if depth == 0 && sig[i].text(src) == "{" {
+                    return match_brace(src, sig, i) + 1;
+                }
+                depth += 1;
+            }
+            "}" | ")" | "]" => depth = depth.saturating_sub(1),
+            ";" if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    sig.len()
+}
+
+/// Index of the `}` matching the `{` at `sig[open]` (or the last token
+/// if unbalanced).
+fn match_brace(src: &str, sig: &[&Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open) {
+        match t.text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask(src: &str) -> Vec<bool> {
+        let toks = lex(src);
+        let lines = LineIndex::new(src);
+        test_line_mask(src, &toks, &lines)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let m = mask(src);
+        assert_eq!(m, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_attribute_is_masked() {
+        let src = "fn live() {}\n#[test]\nfn check() {\n    assert!(true);\n}\n";
+        let m = mask(src);
+        assert_eq!(m, vec![false, true, true, true, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n";
+        assert_eq!(mask(src), vec![false, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked() {
+        let src = "#[cfg(all(test, unix))]\nfn gated() {}\n";
+        assert_eq!(mask(src), vec![true, true]);
+    }
+
+    #[test]
+    fn mod_tests_without_attr_is_masked() {
+        let src = "fn live() {}\nmod tests {\n    fn t() {}\n}\n";
+        assert_eq!(mask(src), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn attr_with_string_containing_test_is_not_masked() {
+        let src = "#[cfg(feature = \"test-utils\")]\nfn live() {}\n";
+        assert_eq!(mask(src), vec![false, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_cover_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nstruct T {\n    x: u8,\n}\nfn live() {}\n";
+        let m = mask(src);
+        assert_eq!(m, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn semicolon_items_end_the_scope() {
+        let src = "#[cfg(test)]\nuse std::mem;\nfn live() {}\n";
+        assert_eq!(mask(src), vec![true, true, false]);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn a() { if x { y(); } }\n    struct S { f: u8 }\n}\nfn live() {}\n";
+        let m = mask(src);
+        assert!(!m[5], "code after the mod is live");
+        assert!(m[..5].iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the lint lexer ([`cwsmooth_lint::lexer`]).
+//!
+//! Two families of properties:
+//!
+//! * **Losslessness** — for any assembly of generated fragments, the
+//!   token stream tiles the input exactly: contiguous spans, first at 0,
+//!   last at `src.len()`, and concatenating token texts reproduces the
+//!   source byte for byte.
+//! * **Classification** — the adversarial shapes the linter exists to
+//!   get right never leak: `//` inside a raw string stays a literal,
+//!   `r"…"` inside a comment stays a comment, nested block comments
+//!   close at the matching depth, and `'a'` (char) is never confused
+//!   with `'a` (lifetime).
+
+use cwsmooth_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Re-checks the lossless tiling invariant and returns the tokens.
+fn lex_checked(src: &str) -> Vec<cwsmooth_lint::lexer::Tok> {
+    let toks = lex(src);
+    let mut pos = 0;
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap or overlap before {t:?} in {src:?}");
+        assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens do not reach EOF in {src:?}");
+    let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "concatenated token texts differ from input");
+    toks
+}
+
+/// A payload safe to embed inside a `#`-fenced raw string or a block
+/// comment: printable ASCII that cannot terminate either container at
+/// fence depth >= 1 (no `#` so `"#` never forms; no `*` so `*/` never
+/// forms). `//` and `"` are deliberately *allowed* — they are exactly
+/// the bytes a naive line-based scanner trips on.
+fn payload() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(
+            "abc XYZ019_//\"'!(){}=+-;:,.<>&|"
+                .chars()
+                .collect::<Vec<_>>(),
+        ),
+        0..24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Standalone code/comment/literal fragments, each lexable on its own.
+fn fragment() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "fn main() { let x = 1; }".to_string(),
+        "// line comment with r\"not a raw string\"".to_string(),
+        "/* block 'a' \" unclosed quote */".to_string(),
+        "/* outer /* nested // */ still comment */".to_string(),
+        "let s = \"string with // and /* inside\";".to_string(),
+        "let r = r#\"raw // \" fence\"#;".to_string(),
+        "let c = 'x'; let esc = '\\'';".to_string(),
+        "fn f<'a>(v: &'a str) -> &'a str { v }".to_string(),
+        "let n = 0xFF_u32 + 1.5e-3;".to_string(),
+        "let r#type = b\"bytes\";".to_string(),
+        "'_".to_string(),
+        "#[cfg(test)] mod tests {}".to_string(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192 })]
+
+    #[test]
+    fn any_fragment_assembly_round_trips(
+        frags in prop::collection::vec(fragment(), 0..8),
+        seps in prop::collection::vec(
+            prop::sample::select(vec![" ", "\n", "\n\n", "\t"]), 0..8),
+    ) {
+        let mut src = String::new();
+        for (i, f) in frags.iter().enumerate() {
+            src.push_str(f);
+            src.push_str(seps.get(i).copied().unwrap_or("\n"));
+        }
+        lex_checked(&src);
+    }
+
+    #[test]
+    fn raw_string_payload_is_never_a_comment(
+        body in payload(),
+        fences in 1usize..4,
+        byte_prefix in prop::sample::select(vec!["", "b", "br"]),
+    ) {
+        // `r#"<body>"#` at the chosen fence depth; body may contain `//`
+        // and `"` but the lexer must keep the whole thing one literal.
+        let prefix = if byte_prefix.is_empty() { "r" } else { byte_prefix };
+        let prefix = if prefix == "b" { "br".to_string() } else { prefix.to_string() };
+        let fence = "#".repeat(fences);
+        let src = format!("let x = {prefix}{fence}\"{body}\"{fence}; // tail");
+        let toks = lex_checked(&src);
+        let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::RawStrLit).collect();
+        prop_assert_eq!(raw.len(), 1, "src={:?} toks={:?}", src, toks);
+        prop_assert_eq!(raw[0].text(&src),
+            format!("{prefix}{fence}\"{body}\"{fence}"), "src={:?}", src);
+        // Exactly one comment: the trailing `// tail`, nothing inside
+        // the literal.
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind.is_comment()).collect();
+        prop_assert_eq!(comments.len(), 1, "src={:?}", src);
+        prop_assert_eq!(comments[0].text(&src), "// tail", "src={:?}", src);
+    }
+
+    #[test]
+    fn comment_payload_is_never_code(
+        body in payload(),
+        line in proptest::strategy::any::<bool>(),
+    ) {
+        // A raw-string opener (or anything else) inside a comment must
+        // stay comment bytes.
+        let src = if line {
+            format!("// r#\"{body}\n let after = 1;")
+        } else {
+            format!("/* r#\"{body} */ let after = 1;")
+        };
+        let toks = lex_checked(&src);
+        prop_assert!(
+            toks.iter().all(|t| t.kind != TokKind::RawStrLit),
+            "raw string leaked out of a comment: src={:?} toks={:?}", src, toks
+        );
+        // The code after the comment is still seen as code.
+        prop_assert!(
+            toks.iter().any(|t| t.kind == TokKind::Ident && t.text(&src) == "after"),
+            "code after comment not lexed: src={:?}", src
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth(depth in 1usize..6) {
+        let src = format!(
+            "{}innermost{} let code = 1;",
+            "/* ".repeat(depth),
+            " */".repeat(depth)
+        );
+        let toks = lex_checked(&src);
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind.is_comment()).collect();
+        prop_assert_eq!(comments.len(), 1, "src={:?}", src);
+        prop_assert_eq!(
+            comments[0].text(&src),
+            format!("{}innermost{}", "/* ".repeat(depth), " */".repeat(depth)),
+            "src={:?}", src
+        );
+        prop_assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text(&src) == "code"));
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation(
+        c in prop::sample::select("abzXY09_".chars().collect::<Vec<_>>()),
+    ) {
+        // `'c'` is a char literal; `'c` followed by non-quote is a
+        // lifetime — including in generic position `<'c>`.
+        let char_src = format!("let v = '{c}';");
+        let toks = lex_checked(&char_src);
+        prop_assert!(
+            toks.iter().any(|t| t.kind == TokKind::CharLit
+                && t.text(&char_src) == format!("'{c}'")),
+            "char literal missed: {:?} -> {:?}", char_src, toks
+        );
+        prop_assert!(toks.iter().all(|t| t.kind != TokKind::Lifetime));
+
+        if !c.is_ascii_digit() {
+            let lt_src = format!("fn f<'{c}>(x: &'{c} u8) {{}}");
+            let toks = lex_checked(&lt_src);
+            let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+            prop_assert_eq!(lifetimes, 2, "lifetimes missed: {:?} -> {:?}", lt_src, toks);
+            prop_assert!(toks.iter().all(|t| t.kind != TokKind::CharLit));
+        }
+    }
+}

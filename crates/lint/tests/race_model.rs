@@ -1,0 +1,94 @@
+//! Integration test for the `race-audit` model
+//! ([`cwsmooth_lint::race`]): the shipped protocol passes the full
+//! default matrix, and deliberately broken variants — `Relaxed` where
+//! the transport uses `Release`/`Acquire` — are caught as data races.
+//!
+//! This is the end-to-end guarantee behind the CI `race-audit` job: if
+//! the model ever stops distinguishing the correct protocol from a
+//! broken one, these tests fail before the job's green check becomes
+//! meaningless.
+
+use cwsmooth_lint::race::{default_matrix, explore, MemOrder, ModelConfig, Policy, Violation};
+
+#[test]
+fn shipped_protocol_passes_the_default_matrix() {
+    for (name, cfg) in default_matrix() {
+        let report = explore(cfg);
+        assert!(
+            report.violation.is_none(),
+            "{name}: unexpected violation {:?}",
+            report.violation
+        );
+        assert!(report.schedules > 0, "{name}: explored nothing");
+    }
+}
+
+/// Every weakened ordering knob must independently break the model —
+/// a checker that only notices *some* missing barriers would pass a
+/// subtly wrong transport.
+#[test]
+fn each_relaxed_variant_is_rejected() {
+    type Weaken = fn(&mut ModelConfig);
+    let weaken: [(&str, Weaken); 3] = [
+        ("seq_publish", |c| c.seq_publish = MemOrder::Relaxed),
+        ("seq_acquire", |c| c.seq_acquire = MemOrder::Relaxed),
+        ("seq_free", |c| c.seq_free = MemOrder::Relaxed),
+    ];
+    for (knob, break_it) in weaken {
+        let mut cfg = ModelConfig::correct(2, 3, Policy::Block, None);
+        cfg.max_schedules = 200_000;
+        break_it(&mut cfg);
+        let report = explore(cfg);
+        let Some((violation, schedule)) = report.violation else {
+            panic!(
+                "Relaxed {knob} was not caught in {} schedules",
+                report.schedules
+            );
+        };
+        assert!(
+            matches!(violation, Violation::DataRace { .. }),
+            "Relaxed {knob}: expected a data race, got {violation:?}"
+        );
+        assert!(
+            !schedule.is_empty(),
+            "Relaxed {knob}: violation must carry a reproducing schedule"
+        );
+    }
+}
+
+/// Pins a documented *limitation*: a relaxed `done` flag is invisible
+/// to SC schedule exploration. Every payload already rides a
+/// Release/Acquire edge on its slot's sequence word, so `done` protects
+/// no additional non-atomic data, and the staleness a relaxed `done`
+/// load allows on real hardware (consumer exits its drain loop on a
+/// stale empty view) only exists under weak-memory semantics the model
+/// deliberately does not implement. If this test starts failing, the
+/// model gained weak-memory power — update the `done_sync` docs.
+#[test]
+fn relaxed_done_flag_is_a_known_blind_spot() {
+    let mut cfg = ModelConfig::correct(2, 2, Policy::Block, None);
+    cfg.max_schedules = 200_000;
+    cfg.done_sync = false;
+    let report = explore(cfg);
+    assert!(
+        report.violation.is_none(),
+        "SC exploration unexpectedly distinguished a relaxed done flag: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "blind-spot claim needs an exhaustive run");
+}
+
+#[test]
+fn drop_oldest_eviction_is_race_checked_too() {
+    let mut cfg = ModelConfig::correct(2, 4, Policy::DropOldest, None);
+    cfg.max_schedules = 200_000;
+    cfg.seq_free = MemOrder::Relaxed;
+    let report = explore(cfg);
+    let Some((violation, _)) = report.violation else {
+        panic!(
+            "Relaxed seq_free under DropOldest was not caught in {} schedules",
+            report.schedules
+        );
+    };
+    assert!(matches!(violation, Violation::DataRace { .. }));
+}

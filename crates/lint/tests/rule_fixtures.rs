@@ -1,0 +1,172 @@
+//! One seeded-violation fixture per rule.
+//!
+//! Each test feeds [`cwsmooth_lint::rules::check_file`] a small source
+//! with a deliberate violation and asserts the rule fires on the right
+//! line — then feeds the corrected form and asserts it goes quiet.
+//! This is the acceptance gate for the rule set: a rule that cannot
+//! catch its own seeded fixture is dead weight.
+
+use cwsmooth_lint::rules::check_file;
+
+/// `(rule, line)` pairs for `src` checked under `path`.
+fn hits(path: &str, src: &str) -> Vec<(String, u32)> {
+    check_file(path, src)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+fn fires(path: &str, src: &str, rule: &str) -> Vec<u32> {
+    hits(path, src)
+        .into_iter()
+        .filter(|(r, _)| r == rule)
+        .map(|(_, l)| l)
+        .collect()
+}
+
+#[test]
+fn no_panic_paths_catches_unwrap_in_promised_module() {
+    let bad = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(fires("crates/store/src/fx.rs", bad, "no-panic-paths"), [2]);
+    // Same code outside the Err-not-panic scope is fine.
+    assert!(fires("crates/linalg/src/fx.rs", bad, "no-panic-paths").is_empty());
+    // Test-scoped unwraps are fine even inside the scope.
+    let test_scoped =
+        "#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+    assert!(fires("crates/store/src/fx.rs", test_scoped, "no-panic-paths").is_empty());
+    // The error-returning form is the fix.
+    let good = "fn f(x: Option<u32>) -> Result<u32, ()> {\n    x.ok_or(())\n}\n";
+    assert!(fires("crates/store/src/fx.rs", good, "no-panic-paths").is_empty());
+}
+
+#[test]
+fn no_panic_paths_catches_panic_macros_too() {
+    let bad = "fn f() {\n    panic!(\"boom\");\n}\n";
+    assert_eq!(
+        fires("crates/core/src/transport.rs", bad, "no-panic-paths"),
+        [2]
+    );
+    // `debug_assert!` is exempt by design.
+    let dbg = "fn f(n: usize) {\n    debug_assert!(n > 0);\n}\n";
+    assert!(fires("crates/core/src/transport.rs", dbg, "no-panic-paths").is_empty());
+}
+
+#[test]
+fn safety_comment_requires_an_argument() {
+    let bad = "unsafe fn f() {}\n";
+    assert_eq!(fires("crates/core/src/fx.rs", bad, "safety-comment"), [1]);
+    let good = "// SAFETY: f has no preconditions; the body is empty.\nunsafe fn f() {}\n";
+    assert!(fires("crates/core/src/fx.rs", good, "safety-comment").is_empty());
+    // A comment that does not say SAFETY does not count.
+    let vague = "// trust me\nunsafe fn f() {}\n";
+    assert_eq!(fires("crates/core/src/fx.rs", vague, "safety-comment"), [2]);
+}
+
+#[test]
+fn ordering_justified_wants_the_edge_named() {
+    let bad = "fn f(a: &AtomicBool) -> bool {\n    a.load(Ordering::Acquire)\n}\n";
+    assert_eq!(
+        fires("crates/core/src/fx.rs", bad, "ordering-justified"),
+        [2]
+    );
+    let good = "fn f(a: &AtomicBool) -> bool {\n    \
+                // ordering: pairs with the producer's Release store of `done`.\n    \
+                a.load(Ordering::Acquire)\n}\n";
+    assert!(fires("crates/core/src/fx.rs", good, "ordering-justified").is_empty());
+    // Relaxed needs no justification.
+    let relaxed = "fn f(a: &AtomicBool) -> bool {\n    a.load(Ordering::Relaxed)\n}\n";
+    assert!(fires("crates/core/src/fx.rs", relaxed, "ordering-justified").is_empty());
+}
+
+#[test]
+fn no_debug_leftovers_flags_library_scaffolding() {
+    let bad = "fn f() {\n    dbg!(42);\n    eprintln!(\"here\");\n}\n";
+    assert_eq!(
+        fires("crates/analysis/src/fx.rs", bad, "no-debug-leftovers"),
+        [2, 3]
+    );
+    // Binaries may print to stderr.
+    assert!(fires("crates/lint/src/main.rs", bad, "no-debug-leftovers").is_empty());
+}
+
+#[test]
+fn pub_doc_coverage_demands_docs_on_pub_items() {
+    let bad = "pub fn f() {}\n";
+    assert_eq!(fires("crates/data/src/fx.rs", bad, "pub-doc-coverage"), [1]);
+    let good = "/// Does the thing.\npub fn f() {}\n";
+    assert!(fires("crates/data/src/fx.rs", good, "pub-doc-coverage").is_empty());
+    // Restricted visibility and `pub mod name;` declarations are exempt.
+    let exempt = "pub(crate) fn g() {}\npub mod sub;\n";
+    assert!(fires("crates/data/src/fx.rs", exempt, "pub-doc-coverage").is_empty());
+    // Attributes between docs and item do not hide the docs.
+    let attred = "/// Documented.\n#[derive(Debug)]\npub struct S;\n";
+    assert!(fires("crates/data/src/fx.rs", attred, "pub-doc-coverage").is_empty());
+}
+
+#[test]
+fn no_silent_clippy_allows_wants_a_reason() {
+    let bad = "#[allow(clippy::needless_range_loop)]\nfn f() {}\n";
+    assert_eq!(
+        fires("crates/ml/src/fx.rs", bad, "no-silent-clippy-allows"),
+        [1]
+    );
+    let good = "// Index loop keeps `r` for the assert message.\n\
+                #[allow(clippy::needless_range_loop)]\nfn f() {}\n";
+    assert!(fires("crates/ml/src/fx.rs", good, "no-silent-clippy-allows").is_empty());
+    // Non-clippy allows are rustc's business, not this rule's.
+    let rustc = "#[allow(dead_code)]\nfn f() {}\n";
+    assert!(fires("crates/ml/src/fx.rs", rustc, "no-silent-clippy-allows").is_empty());
+}
+
+#[test]
+fn bounded_channel_only_bans_unbounded_mpsc() {
+    let bad = "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u32>();\n}\n";
+    assert_eq!(
+        fires("crates/core/src/fx.rs", bad, "bounded-channel-only"),
+        [2]
+    );
+    // Test files may use whatever plumbing they like.
+    assert!(fires("crates/core/tests/fx.rs", bad, "bounded-channel-only").is_empty());
+}
+
+#[test]
+fn test_file_asserts_rejects_assertion_free_tests() {
+    let bad = "#[test]\nfn t() {\n    let _ = 1 + 1;\n}\n";
+    assert_eq!(
+        fires("crates/core/tests/fx.rs", bad, "test-file-asserts"),
+        [1]
+    );
+    let with_assert = "#[test]\nfn t() {\n    assert_eq!(1 + 1, 2);\n}\n";
+    assert!(fires("crates/core/tests/fx.rs", with_assert, "test-file-asserts").is_empty());
+    // Unwrapping a Result asserts through the Result machinery.
+    let with_unwrap = "#[test]\nfn t() {\n    \"2\".parse::<u32>().unwrap();\n}\n";
+    assert!(fires("crates/core/tests/fx.rs", with_unwrap, "test-file-asserts").is_empty());
+    // The rule only applies to test files.
+    assert!(fires("crates/core/src/fx.rs", bad, "test-file-asserts").is_empty());
+}
+
+#[test]
+fn allow_pragma_requires_justification_and_suppresses_when_given() {
+    // A justified pragma silences the diagnostic it names.
+    let suppressed = "fn f(x: Option<u32>) -> u32 {\n    \
+                      // lint:allow(no-panic-paths): x is checked by the caller.\n    \
+                      x.unwrap()\n}\n";
+    assert!(fires("crates/store/src/fx.rs", suppressed, "no-panic-paths").is_empty());
+    assert!(fires("crates/store/src/fx.rs", suppressed, "allow-pragma").is_empty());
+
+    // A bare pragma suppresses nothing and is itself a finding.
+    let bare = "fn f(x: Option<u32>) -> u32 {\n    \
+                // lint:allow(no-panic-paths)\n    \
+                x.unwrap()\n}\n";
+    assert_eq!(fires("crates/store/src/fx.rs", bare, "allow-pragma"), [2]);
+    assert_eq!(fires("crates/store/src/fx.rs", bare, "no-panic-paths"), [3]);
+
+    // A pragma for rule A does not silence rule B.
+    let wrong_rule = "fn f(x: Option<u32>) -> u32 {\n    \
+                      // lint:allow(safety-comment): irrelevant here.\n    \
+                      x.unwrap()\n}\n";
+    assert_eq!(
+        fires("crates/store/src/fx.rs", wrong_rule, "no-panic-paths"),
+        [3]
+    );
+}

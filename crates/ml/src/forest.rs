@@ -586,6 +586,7 @@ mod tests {
         rf.fit(&x, &y).unwrap();
         let batch = rf.predict(&x).unwrap();
         let mut votes = vec![0u32; rf.n_classes()];
+        // Index loop keeps `r` for batch[r] and the assert messages.
         #[allow(clippy::needless_range_loop)]
         for r in 0..x.rows() {
             assert_eq!(rf.predict_row(x.row(r)).unwrap(), batch[r]);
@@ -616,6 +617,7 @@ mod tests {
         let mut rr = RandomForestRegressor::with_config(small_forest_config(4, false));
         rr.fit(&x, &y).unwrap();
         let batch = rr.predict(&x).unwrap();
+        // Index loop keeps `r` for batch[r] and the assert messages.
         #[allow(clippy::needless_range_loop)]
         for r in 0..x.rows() {
             assert_eq!(rr.predict_row(x.row(r)).unwrap(), batch[r], "row {r}");

@@ -179,14 +179,20 @@ impl FileHeader {
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    // lint:allow(no-panic-paths): statically infallible — a 4-byte
+    // slice always converts to [u8; 4] (bounds are checked upstream).
     u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
 }
 
 fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    // lint:allow(no-panic-paths): statically infallible — an 8-byte
+    // slice always converts to [u8; 8] (bounds are checked upstream).
     u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
 fn read_f64(bytes: &[u8], at: usize) -> f64 {
+    // lint:allow(no-panic-paths): statically infallible — an 8-byte
+    // slice always converts to [u8; 8] (bounds are checked upstream).
     f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
@@ -439,6 +445,8 @@ pub(crate) struct BlockError {
 }
 
 impl BlockError {
+    /// Attaches the file path to produce the store-level corrupt-block
+    /// error.
     pub fn into_store_error(self, path: &Path) -> StoreError {
         StoreError::Corrupt {
             path: path.to_path_buf(),
@@ -569,6 +577,8 @@ pub(crate) fn decode_block(
     match header.mode {
         Encoding::Exact => {
             for chunk in raw.chunks_exact(8) {
+                // lint:allow(no-panic-paths): statically infallible —
+                // chunks_exact(8) yields exactly 8-byte slices.
                 values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
             }
         }

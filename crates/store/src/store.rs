@@ -608,6 +608,8 @@ impl SignatureStore {
         self.active.entries.push(BlockEntry {
             node: idx as u32,
             first_window: buf.windows[0],
+            // lint:allow(no-panic-paths): non-empty by the early return
+            // at the top of flush_node.
             last_window: *buf.windows.last().unwrap(),
             offset: self.active.bytes,
             len: self.scratch.len() as u32,

@@ -10,6 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A perf snapshot from a tree that violates its own invariants is not a
+# trustworthy data point: run the workspace lint first and refuse to
+# emit BENCH_*.json if it fails.
+if ! cargo run --release -q -p cwsmooth-lint -- --workspace; then
+    echo "bench_snapshot: workspace lint failed; refusing to emit BENCH snapshots" >&2
+    exit 1
+fi
+
 if [ -z "${BENCH_QUICK:-}" ]; then
     cargo bench --bench forest
     cargo bench --bench cs_stages

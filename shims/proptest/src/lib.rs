@@ -165,6 +165,18 @@ macro_rules! prop_assert_eq {
             __rhs,
         );
     }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __lhs,
+            __rhs,
+            ::std::format!($($fmt)*),
+        );
+    }};
 }
 
 #[macro_export]
