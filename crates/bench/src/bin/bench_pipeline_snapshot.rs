@@ -19,12 +19,13 @@ use cwsmooth_core::transport::{QueueConfig, QueuePolicy, QueueSink};
 use cwsmooth_data::WindowSpec;
 use cwsmooth_ml::forest::{small_forest_config, RandomForestClassifier};
 use cwsmooth_ml::streaming::{DetectorConfig, StreamingDetector};
+use cwsmooth_net::{BlockCodec, NetConfig, Server, ServerConfig, SocketSink, TcpAcceptor};
 use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
 use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const L: usize = 4;
 const TRAIN: usize = 256;
@@ -469,8 +470,68 @@ fn main() {
         ms * 1000.0 / events.len() as f64,
     );
 
+    // ---- Cross-process transport A/B: the same pre-collected event
+    // set pushed straight into a local store vs shipped through
+    // `SocketSink` over loopback TCP into a server-owned store
+    // (cwsmooth-net), timed end to end including the shutdown drain.
+    // On this 1-CPU runner the producer and the server thread share
+    // one core, so the delta is an *upper bound* on transport
+    // overhead, not a LAN measurement.
+    let store_cfg = || StoreConfig::default().with_encoding(Encoding::Quant8);
+    let dir = tmpdir("net-direct");
+    let ms_direct = time_ms(reps, || {
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = SignatureStore::open(&dir, spec, L, store_cfg()).unwrap();
+        for e in &events {
+            store.on_event(e).unwrap();
+        }
+        store.flush().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    record(
+        "pipeline_store_direct_kevents_per_s",
+        events.len() as f64 / ms_direct,
+    );
+
+    let store_dir = tmpdir("net-store");
+    let spill_dir = tmpdir("net-spill");
+    let codec = BlockCodec::new(Encoding::Exact, L, spec).unwrap();
+    let ms_socket = time_ms(reps, || {
+        std::fs::remove_dir_all(&store_dir).ok();
+        std::fs::remove_dir_all(&spill_dir).ok();
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut store = SignatureStore::open(&store_dir, spec, L, store_cfg()).unwrap();
+        let server = std::thread::spawn(move || {
+            let cfg = ServerConfig {
+                stop_on_bye: true,
+                ..ServerConfig::default()
+            };
+            let mut server = Server::new(codec, cfg).unwrap();
+            server.serve(&mut acceptor, &mut store).unwrap();
+            store.flush().unwrap();
+        });
+        let mut sink = SocketSink::tcp(addr, codec, &spill_dir, NetConfig::default()).unwrap();
+        for e in &events {
+            sink.on_event(e).unwrap();
+        }
+        let (_, r) = sink.finish(Duration::from_secs(60));
+        r.unwrap();
+        server.join().unwrap();
+    });
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&spill_dir).ok();
+    record(
+        "pipeline_socket_store_kevents_per_s",
+        events.len() as f64 / ms_socket,
+    );
+    record(
+        "pipeline_socket_store_overhead_vs_direct_pct",
+        100.0 * (ms_socket - ms_direct) / ms_direct,
+    );
+
     // Assemble JSON by hand (flat snapshot, no serde needed).
-    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 6,\n");
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 8,\n");
     json.push_str(&format!(
         "  \"quick\": {quick},\n  \"reps\": {reps},\n  \"nodes\": {nodes},\n  \"frames\": {frames},\n"
     ));

@@ -47,7 +47,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::{CoreError, Result};
 use crate::fleet::{FleetEvent, FleetEventBuf, FleetSink};
@@ -303,6 +303,12 @@ struct Shared {
     recycled: Mutex<Vec<Box<FleetEventBuf>>>,
     /// Producer has stopped pushing; consumer drains and exits.
     done: AtomicBool,
+    /// A [`QueueSink::join_timeout`] gave up waiting: the consumer must
+    /// stop delivering, empty the ring, and exit at its next chance.
+    /// Relaxed everywhere — it is a standalone go/no-go flag ordering
+    /// nothing, and the consumer re-polls it at least every park
+    /// timeout.
+    abandoned: AtomicBool,
     /// Fast-path flag mirroring `failure.first.is_some()`.
     failed: AtomicBool,
     failure: Mutex<Failure>,
@@ -425,6 +431,7 @@ impl<S: FleetSink + Send + 'static> QueueSink<S> {
             ring: BoundedQueue::new(config.capacity),
             recycled: Mutex::new(Vec::new()),
             done: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             failure: Mutex::new(Failure::default()),
             delivered: AtomicU64::new(0),
@@ -475,9 +482,61 @@ impl<S> QueueSink<S> {
         // join consumes self, so the handle can only be absent here if
         // shutdown ran twice, which would be a bug worth a loud panic.
         let inner = self.shutdown().expect("join called once");
+        let result = self.latched_result();
+        (inner, result)
+    }
+
+    /// Like [`QueueSink::join`], but bounds the wait: a wedged consumer
+    /// (an inner sink blocked forever) cannot hang shutdown. Signals
+    /// end-of-stream and gives the consumer `timeout` to finish its
+    /// drain; on success this is exactly `join` (plus a final stats
+    /// snapshot). On timeout the consumer thread is *abandoned* — told
+    /// to stop delivering and detached, never blocked on — and the call
+    /// returns `(None, stats, Err(_))`, with the undrained backlog
+    /// reported in [`QueueStats::depth`] rather than silently waited
+    /// out. Events already handed to the inner sink are not rolled
+    /// back; abandoned ring events are dropped once the consumer next
+    /// runs.
+    pub fn join_timeout(mut self, timeout: Duration) -> (Option<S>, QueueStats, Result<()>) {
+        let Some(handle) = self.handle.take() else {
+            // Unreachable in practice: join/join_timeout consume self.
+            return (None, self.stats(), Ok(()));
+        };
+        // ordering: Release pairs with the consumer's Acquire load of
+        // `done`, so every push before this call is visible to the
+        // consumer's final drain.
+        self.shared.done.store(true, Ordering::Release);
+        self.consumer.unpark();
+        let deadline = Instant::now() + timeout;
+        while !handle.is_finished() {
+            if Instant::now() >= deadline {
+                self.shared.abandoned.store(true, Ordering::Relaxed);
+                self.consumer.unpark();
+                let stats = self.stats();
+                // Detach: the wedged thread exits on its own whenever
+                // the inner sink unblocks.
+                drop(handle);
+                let err = CoreError::Persist(format!(
+                    "queue consumer failed to drain within {timeout:?} \
+                     ({} events still queued)",
+                    stats.depth
+                ));
+                return (None, stats, Err(err));
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+        // lint:allow(no-panic-paths): a panicking consumer is a bug in
+        // the inner sink; propagating the panic beats swallowing it.
+        let inner = handle.join().expect("queue consumer thread panicked");
+        let result = self.latched_result();
+        (Some(inner), self.stats(), result)
+    }
+
+    /// The first consumer-side error, unless a push already surfaced it.
+    fn latched_result(&self) -> Result<()> {
         // ordering: Acquire pairs with latch_error's Release store so
         // the latched Failure record is fully visible before we read it.
-        let result = if self.shared.failed.load(Ordering::Acquire) {
+        if self.shared.failed.load(Ordering::Acquire) {
             let mut failure = self
                 .shared
                 .failure
@@ -490,8 +549,7 @@ impl<S> QueueSink<S> {
             }
         } else {
             Ok(())
-        };
-        (inner, result)
+        }
     }
 
     /// Stops the consumer and joins it, returning the inner sink.
@@ -619,6 +677,13 @@ impl<S> Drop for QueueSink<S> {
 fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
     let mut spent: Vec<Box<FleetEventBuf>> = Vec::with_capacity(RECYCLE_BATCH);
     loop {
+        // An impatient joiner gave up on this branch: stop delivering,
+        // empty the ring (the producer is gone; nobody recycles), and
+        // exit with whatever the inner sink already absorbed.
+        if shared.abandoned.load(Ordering::Relaxed) {
+            while shared.ring.pop().is_some() {}
+            return inner;
+        }
         match shared.ring.pop() {
             Some(buf) => {
                 deliver(&shared, &mut inner, buf, &mut spent);
@@ -808,5 +873,83 @@ mod tests {
     fn queue_sink_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<QueueSink<Collect>>();
+    }
+
+    #[test]
+    fn join_timeout_abandons_a_wedged_consumer() {
+        use std::sync::Condvar;
+
+        /// Counts events, then blocks forever on a gate — a consumer
+        /// that wedges mid-delivery.
+        struct Wedge {
+            gate: Arc<(Mutex<bool>, Condvar)>,
+            seen: Arc<AtomicU64>,
+        }
+        impl FleetSink for Wedge {
+            fn on_event(&mut self, _event: &FleetEvent) -> Result<()> {
+                self.seen.fetch_add(1, Ordering::Relaxed);
+                let (lock, cv) = &*self.gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(())
+            }
+        }
+
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sink = QueueSink::with_config(
+            Wedge {
+                gate: Arc::clone(&gate),
+                seen: Arc::clone(&seen),
+            },
+            QueueConfig {
+                capacity: 8,
+                policy: QueuePolicy::Block,
+            },
+        );
+        // Fill to (not past) capacity so the producer itself never
+        // blocks; the consumer takes one event and wedges on it.
+        for i in 0..8 {
+            sink.on_event(&event(0, i)).unwrap();
+        }
+        while seen.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+
+        let t0 = Instant::now();
+        let (inner, stats, res) = sink.join_timeout(Duration::from_millis(50));
+        assert!(t0.elapsed() < Duration::from_secs(10), "must not hang");
+        assert!(inner.is_none(), "wedged sink cannot be returned");
+        assert!(stats.depth > 0, "undrained backlog must be reported");
+        let msg = res.unwrap_err().to_string();
+        assert!(msg.contains("still queued"), "unexpected error: {msg}");
+
+        // Unwedge so the abandoned thread can exit cleanly; it must
+        // drop the backlog rather than deliver it.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while seen.load(Ordering::Relaxed) > 1 && Instant::now() < deadline {
+            thread::yield_now();
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 1, "backlog must be dropped");
+    }
+
+    #[test]
+    fn join_timeout_on_a_live_consumer_matches_join() {
+        let mut sink = QueueSink::spawn(Collect::new());
+        let sent: Vec<FleetEvent> = (0..100).map(|i| event(i % 3, i / 3)).collect();
+        for e in &sent {
+            sink.on_event(e).unwrap();
+        }
+        let (inner, stats, res) = sink.join_timeout(Duration::from_secs(30));
+        res.unwrap();
+        let collect = inner.expect("live consumer joins within the timeout");
+        assert_eq!(collect.events(), &sent[..]);
+        assert_eq!(stats.delivered, 100);
+        assert_eq!(stats.depth, 0);
     }
 }

@@ -1,0 +1,98 @@
+//! Error type for the cross-process transport.
+
+use cwsmooth_core::error::CoreError;
+use cwsmooth_store::StoreError;
+use std::fmt;
+
+/// Convenience alias for transport results.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+/// Errors produced by the wire codec, client sink and server loop.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket / spill-file I/O failure.
+    Io(std::io::Error),
+    /// A frame or block failed validation: bad magic, CRC mismatch,
+    /// truncation mid-frame, implausible field values. The link or the
+    /// spill file delivered damaged bytes; nothing was silently
+    /// skipped.
+    Corrupt {
+        /// Byte offset of the damage within the frame or stream.
+        offset: u64,
+        /// What failed to validate.
+        message: String,
+    },
+    /// The two endpoints disagree on stream geometry (version, mode,
+    /// `l`, window spec) — reconnecting cannot help, the error latches.
+    Handshake(String),
+    /// A well-formed frame arrived where the protocol forbids it
+    /// (out-of-order sequence number, data before hello, ...). The
+    /// connection is dropped; a reconnecting client gets a fresh
+    /// sequence space.
+    Protocol(String),
+    /// Invalid configuration or API misuse.
+    Invalid(String),
+    /// A bounded wait elapsed (connect, ack drain, shutdown deadline).
+    Timeout(String),
+    /// The server's downstream sink failed; fatal for the serve loop,
+    /// mirroring the first-error-wins contract of in-process sinks.
+    Sink(CoreError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Corrupt { offset, message } => {
+                write!(f, "corrupt frame at offset {offset}: {message}")
+            }
+            NetError::Handshake(m) => write!(f, "handshake rejected: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Invalid(m) => write!(f, "invalid transport usage: {m}"),
+            NetError::Timeout(m) => write!(f, "transport timeout: {m}"),
+            NetError::Sink(e) => write!(f, "downstream sink error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Sink(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<StoreError> for NetError {
+    /// Store codec errors keep their class: damage stays `Corrupt`
+    /// (with the store's offset), I/O stays `Io`, the rest is usage.
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => NetError::Io(io),
+            StoreError::Corrupt {
+                offset, message, ..
+            } => NetError::Corrupt { offset, message },
+            other => NetError::Invalid(other.to_string()),
+        }
+    }
+}
+
+impl From<NetError> for CoreError {
+    /// Renders a transport error into the sink contract's persistence
+    /// class, so a [`SocketSink`](crate::SocketSink) failure aborts a
+    /// frame exactly like a store failure would.
+    fn from(e: NetError) -> Self {
+        match e {
+            NetError::Sink(inner) => inner,
+            other => CoreError::Persist(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Internal owned event representation shared by the client queues.
+
+use cwsmooth_core::fleet::FleetEvent;
+
+/// One pending event in transport-native layout: flat `[re..., im...]`
+/// values ready for [`BlockCodec::encode_block`]
+/// (cwsmooth_store::codec::BlockCodec::encode_block), with no borrow of
+/// the producing frame.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QueuedEvent {
+    pub(crate) node: u32,
+    pub(crate) window: u64,
+    /// `2l` values, event-major `[re..., im...]`.
+    pub(crate) values: Vec<f64>,
+}
+
+impl QueuedEvent {
+    /// Copies `event` into `values` (reused to avoid reallocation) and
+    /// wraps it. `node` must already be range-checked to `u32`.
+    pub(crate) fn fill(node: u32, event: &FleetEvent, mut values: Vec<f64>) -> Self {
+        values.clear();
+        values.reserve(event.signature.re.len() + event.signature.im.len());
+        values.extend_from_slice(&event.signature.re);
+        values.extend_from_slice(&event.signature.im);
+        Self {
+            node,
+            window: event.window_index as u64,
+            values,
+        }
+    }
+}

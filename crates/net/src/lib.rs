@@ -1,0 +1,61 @@
+//! Fault-tolerant cross-process transport for cwsmooth fleet events.
+//!
+//! This crate carries [`FleetEvent`](cwsmooth_core::fleet::FleetEvent)s
+//! between processes — producer fleets on one side, a store-owning
+//! consumer on the other — over unix-domain sockets or TCP, using
+//! length-prefixed, CRC-32-guarded frames that reuse the store's `.cws`
+//! block encoding. The bytes on the wire are the bytes on disk.
+//!
+//! The layers, bottom up:
+//!
+//! - [`link`] — the [`Link`] / [`Dial`] / [`Accept`] byte-stream
+//!   abstraction, implemented by TCP, unix sockets and the in-memory
+//!   chaos transport, so every robustness test exercises the real
+//!   client/server code.
+//! - [`wire`] — versioned handshake (wire version + the store's
+//!   geometry header), framed `.cws` blocks with sequence numbers,
+//!   cumulative acks, and CRC-32 on every frame. All damage surfaces
+//!   [`NetError::Corrupt`]; nothing panics, nothing is skipped
+//!   silently.
+//! - [`SocketSink`] — the client: a
+//!   [`FleetSink`](cwsmooth_core::fleet::FleetSink) with bounded
+//!   connect/write/ack timeouts, reconnect under capped exponential
+//!   backoff with jitter, and spill-to-disk degradation while
+//!   disconnected (bounded, drop-oldest, exactly accounted in
+//!   [`NetStats`]).
+//! - [`Server`] — decodes frames into a downstream sink tree, commits
+//!   before acknowledging, dedupes `(node, window)` replays, and
+//!   tolerates client restarts.
+//! - [`chaos`] — a seeded fault-injecting transport ([`ChaosHub`],
+//!   [`ChaosLink`]) for the chaos harness: drops, delays, partial
+//!   writes, byte flips, resets and process-kill simulation, all
+//!   deterministic per seed.
+//!
+//! Everything follows the workspace robustness contract: bad input and
+//! bad networks yield `Err`, never a panic; queues and buffers are
+//! bounded; loss (only under an explicit spill budget) is counted,
+//! never silent.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+mod client;
+mod error;
+mod event;
+pub mod link;
+mod rng;
+mod server;
+mod spill;
+pub mod wire;
+
+pub use chaos::{ChaosAcceptor, ChaosConfig, ChaosDialer, ChaosHub, ChaosLink};
+pub use client::{NetConfig, NetStats, SocketSink};
+pub use error::{NetError, Result};
+pub use link::{Accept, Dial, Link, TcpAcceptor, TcpDialer};
+#[cfg(unix)]
+pub use link::{UnixAcceptor, UnixDialer};
+pub use server::{serve_into, ConnEnd, NetSink, Server, ServerConfig, ServerStats};
+
+// The wire geometry handle is the store's codec; re-export it so users
+// of this crate need not depend on cwsmooth-store directly.
+pub use cwsmooth_store::codec::BlockCodec;

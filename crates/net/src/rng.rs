@@ -1,0 +1,77 @@
+//! Tiny deterministic RNG for backoff jitter and chaos fault schedules.
+//!
+//! SplitMix64 (Steele, Lea, Flood 2014): one multiply-xorshift chain,
+//! statistically fine for jitter and fault sampling, and — unlike the
+//! workspace `rand` shim — dependency-free, so the transport crate stays
+//! std-only.
+
+/// SplitMix64 stream: every `next_*` call advances one step.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` (53-bit mantissa).
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform in `0..n` (`0` when `n == 0`).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant at fault-sampling fidelity.
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SplitMix64::new(8).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn floats_are_unit_interval_and_chance_extremes_hold() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+            assert!(r.below(5) < 5);
+            assert_eq!(r.below(0), 0);
+        }
+    }
+}

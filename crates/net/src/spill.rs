@@ -1,0 +1,509 @@
+//! Disk-backed overflow queue of pending events (`.cws` spill segments).
+//!
+//! While a [`SocketSink`](crate::SocketSink) is disconnected, events
+//! beyond its in-memory buffer spill to `spill-<id>.cws` files — real
+//! `.cws` segments (geometry header + blocks, one single-event block
+//! per event, in arrival order) so the spill queue reuses the store's
+//! codec, CRC and corruption detection wholesale. On reconnect the
+//! queue drains strictly oldest-first, preserving the per-node window
+//! monotonicity the store requires downstream.
+//!
+//! The queue is bounded by `max_segments`: when the budget is exceeded
+//! the *oldest* segment is deleted whole and the exact number of events
+//! lost is returned to the caller for [`NetStats`](crate::NetStats)
+//! accounting — degradation is deliberate and measured, never silent.
+//!
+//! Spill files persist across process restarts: a new queue opened on
+//! the same directory recovers sealed events (tail-truncating a
+//! half-written final block, exactly like store crash recovery) and
+//! drains them before anything new.
+
+use crate::error::{NetError, Result};
+use crate::event::QueuedEvent;
+use cwsmooth_store::codec::{BlockCodec, HEADER_LEN};
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One spill segment file.
+#[derive(Debug)]
+struct Seg {
+    id: u64,
+    path: PathBuf,
+    /// Events written to (or recovered in) this segment.
+    events: u64,
+}
+
+/// Segment currently being drained.
+#[derive(Debug)]
+struct Reader {
+    seg_id: u64,
+    bytes: Vec<u8>,
+    offset: usize,
+    /// Events already handed out from this segment.
+    consumed: u64,
+}
+
+/// Bounded drop-oldest FIFO of events, persisted as `.cws` segments.
+#[derive(Debug)]
+pub(crate) struct Spill {
+    codec: BlockCodec,
+    dir: PathBuf,
+    segment_events: u64,
+    /// Segment budget; `0` means unbounded.
+    max_segments: usize,
+    next_id: u64,
+    /// Oldest segment at the front; the writer (if any) appends to the
+    /// back.
+    segs: VecDeque<Seg>,
+    writer: Option<BufWriter<File>>,
+    reader: Option<Reader>,
+    scratch: Vec<u8>,
+    windows: Vec<u64>,
+    /// Events currently queued across all segments.
+    queued: u64,
+}
+
+fn seg_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("spill-{id:08}.cws"))
+}
+
+fn parse_seg_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let id = name.strip_prefix("spill-")?.strip_suffix(".cws")?;
+    id.parse().ok()
+}
+
+impl Spill {
+    /// Opens (creating `dir` if needed) and recovers a spill queue.
+    ///
+    /// Sealed events from a previous process are kept and will drain
+    /// first. A half-written tail block in the newest segment is cut,
+    /// exactly like store crash recovery; segments too short to hold a
+    /// header are removed. Damage anywhere else is [`NetError::Corrupt`].
+    pub(crate) fn open(
+        dir: impl Into<PathBuf>,
+        codec: BlockCodec,
+        segment_events: u64,
+        max_segments: usize,
+    ) -> Result<Self> {
+        if segment_events == 0 {
+            return Err(NetError::Invalid(
+                "spill segment_events must be at least 1".into(),
+            ));
+        }
+        if max_segments == 1 {
+            return Err(NetError::Invalid(
+                "spill max_segments must be 0 (unbounded) or at least 2".into(),
+            ));
+        }
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if let Some(id) = parse_seg_id(&path) {
+                paths.push((id, path));
+            }
+        }
+        paths.sort();
+        let mut spill = Self {
+            codec,
+            dir,
+            segment_events,
+            max_segments,
+            next_id: paths.last().map_or(0, |(id, _)| id + 1),
+            segs: VecDeque::new(),
+            writer: None,
+            reader: None,
+            scratch: Vec::new(),
+            windows: Vec::new(),
+            queued: 0,
+        };
+        let last_idx = paths.len().saturating_sub(1);
+        for (i, (id, path)) in paths.iter().enumerate() {
+            let events = spill.recover_segment(path, i == last_idx)?;
+            if events == 0 {
+                fs::remove_file(path)?;
+                continue;
+            }
+            spill.queued += events;
+            spill.segs.push_back(Seg {
+                id: *id,
+                path: path.clone(),
+                events,
+            });
+        }
+        Ok(spill)
+    }
+
+    /// Validates one recovered segment and returns its event count,
+    /// truncating a damaged tail when `last` allows it.
+    fn recover_segment(&mut self, path: &Path, last: bool) -> Result<u64> {
+        let bytes = fs::read(path)?;
+        if bytes.len() < HEADER_LEN {
+            // Crash before the header landed: nothing recoverable.
+            return Ok(0);
+        }
+        let header = BlockCodec::parse_header(&bytes[..HEADER_LEN])?;
+        if header != self.codec {
+            return Err(NetError::Invalid(format!(
+                "spill segment {} was written with a different stream geometry",
+                path.display()
+            )));
+        }
+        let mut at = HEADER_LEN;
+        let mut events = 0u64;
+        let mut values = Vec::new();
+        loop {
+            self.windows.clear();
+            values.clear();
+            match self
+                .codec
+                .decode_block_at(&bytes, at, &mut self.windows, &mut values)
+            {
+                Ok(Some((_, next))) => {
+                    events += 1;
+                    at = next;
+                }
+                Ok(None) => break,
+                Err(_) if last => {
+                    // Half-written tail of the newest segment: cut it,
+                    // keep the sealed prefix. Damage elsewhere (below)
+                    // is real corruption and must surface.
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(at as u64)?;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(events)
+    }
+
+    /// Events currently queued.
+    pub(crate) fn events(&self) -> u64 {
+        self.queued
+    }
+
+    /// Spill segments currently on disk.
+    pub(crate) fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Flushes and closes the write segment, sealing it for reads.
+    fn seal_writer(&mut self) -> Result<()> {
+        if let Some(mut w) = self.writer.take() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one event. Returns how many queued events were dropped
+    /// (oldest first) to stay within the segment budget — `0` in the
+    /// common case.
+    pub(crate) fn push(&mut self, event: &QueuedEvent) -> Result<u64> {
+        if self.writer.is_none() {
+            let id = self.next_id;
+            self.next_id += 1;
+            let path = seg_path(&self.dir, id);
+            let mut file = BufWriter::new(File::create(&path)?);
+            file.write_all(&self.codec.header_bytes())?;
+            self.segs.push_back(Seg {
+                id,
+                path,
+                events: 0,
+            });
+            self.writer = Some(file);
+        }
+        self.scratch.clear();
+        self.codec.encode_block(
+            &mut self.scratch,
+            event.node,
+            std::slice::from_ref(&event.window),
+            &event.values,
+        )?;
+        let (Some(writer), Some(back)) = (self.writer.as_mut(), self.segs.back_mut()) else {
+            return Err(NetError::Invalid("spill writer state lost mid-push".into()));
+        };
+        writer.write_all(&self.scratch)?;
+        back.events += 1;
+        let seal = back.events >= self.segment_events;
+        self.queued += 1;
+        if seal {
+            self.seal_writer()?;
+        }
+        self.enforce_budget()
+    }
+
+    /// Deletes oldest segments until within budget; returns events lost.
+    fn enforce_budget(&mut self) -> Result<u64> {
+        let mut dropped = 0u64;
+        if self.max_segments == 0 {
+            return Ok(0);
+        }
+        while self.segs.len() > self.max_segments {
+            // max_segments >= 2, so the front is never the write
+            // segment (the writer appends to the back, and the deque
+            // holds at least three entries here).
+            let Some(seg) = self.segs.pop_front() else {
+                break;
+            };
+            // If the reader was partway through this segment its
+            // already-consumed events were delivered, not lost — and
+            // its in-memory copy must not keep serving deleted events.
+            let consumed = if self.reader.as_ref().is_some_and(|r| r.seg_id == seg.id) {
+                self.reader.take().map_or(0, |r| r.consumed)
+            } else {
+                0
+            };
+            let lost = seg.events - consumed;
+            fs::remove_file(&seg.path)?;
+            self.queued -= lost;
+            dropped += lost;
+        }
+        Ok(dropped)
+    }
+
+    /// Removes the oldest event, or `Ok(None)` when empty. Events come
+    /// back in exact arrival order (minus any budget drops).
+    pub(crate) fn pop(&mut self) -> Result<Option<QueuedEvent>> {
+        loop {
+            if self.reader.is_none() {
+                if self.segs.is_empty() {
+                    return Ok(None);
+                }
+                if self.segs.len() == 1 && self.writer.is_some() {
+                    // Draining has caught up with the write segment.
+                    self.seal_writer()?;
+                }
+                let Some(front) = self.segs.front() else {
+                    return Ok(None);
+                };
+                let seg_id = front.id;
+                let bytes = fs::read(&front.path)?;
+                let offset = HEADER_LEN.min(bytes.len());
+                self.reader = Some(Reader {
+                    seg_id,
+                    bytes,
+                    offset,
+                    consumed: 0,
+                });
+            }
+            let Some(reader) = self.reader.as_mut() else {
+                return Ok(None);
+            };
+            self.windows.clear();
+            let mut values = Vec::new();
+            match self.codec.decode_block_at(
+                &reader.bytes,
+                reader.offset,
+                &mut self.windows,
+                &mut values,
+            )? {
+                Some((node, next)) => {
+                    let at = reader.offset;
+                    reader.offset = next;
+                    reader.consumed += 1;
+                    self.queued -= 1;
+                    let done = reader.offset >= reader.bytes.len();
+                    let Some(&window) = self.windows.first() else {
+                        return Err(NetError::Corrupt {
+                            offset: at as u64,
+                            message: "spill block holds no events".into(),
+                        });
+                    };
+                    if done {
+                        self.finish_front_segment()?;
+                    }
+                    return Ok(Some(QueuedEvent {
+                        node,
+                        window,
+                        values,
+                    }));
+                }
+                None => {
+                    // Empty body (header-only file): discard and retry.
+                    self.finish_front_segment()?;
+                }
+            }
+        }
+    }
+
+    /// Drops the fully drained front segment and its file.
+    fn finish_front_segment(&mut self) -> Result<()> {
+        self.reader = None;
+        if let Some(seg) = self.segs.pop_front() {
+            fs::remove_file(&seg.path)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered writes so a crash loses at most the OS-buffered
+    /// tail. Called by the sink before long waits and on drop.
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Spill {
+    fn drop(&mut self) {
+        // Best-effort: persist buffered events for the next process.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsmooth_data::WindowSpec;
+    use cwsmooth_store::Encoding;
+
+    fn codec() -> BlockCodec {
+        BlockCodec::new(Encoding::Exact, 2, WindowSpec { wl: 30, ws: 10 }).unwrap()
+    }
+
+    fn event(node: u32, window: u64) -> QueuedEvent {
+        let x = node as f64 + window as f64 * 0.01;
+        QueuedEvent {
+            node,
+            window,
+            values: vec![x, -x, x * 2.0, 1.0 - x],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cwsmooth-spill-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fifo_roundtrip_across_segments() {
+        let dir = tmp_dir("fifo");
+        let mut spill = Spill::open(&dir, codec(), 4, 0).unwrap();
+        for i in 0..11u64 {
+            assert_eq!(spill.push(&event((i % 3) as u32, i)).unwrap(), 0);
+        }
+        assert_eq!(spill.events(), 11);
+        assert!(spill.segments() >= 3);
+        for i in 0..11u64 {
+            let ev = spill.pop().unwrap().expect("event queued");
+            assert_eq!(ev.window, i);
+            assert_eq!(ev.node, (i % 3) as u32);
+            assert_eq!(ev.values, event(ev.node, i).values);
+        }
+        assert!(spill.pop().unwrap().is_none());
+        assert_eq!(spill.events(), 0);
+        assert_eq!(spill.segments(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let dir = tmp_dir("interleave");
+        let mut spill = Spill::open(&dir, codec(), 3, 0).unwrap();
+        let mut expect = VecDeque::new();
+        let mut next = 0u64;
+        for round in 0..10 {
+            for _ in 0..=(round % 4) {
+                spill.push(&event(0, next)).unwrap();
+                expect.push_back(next);
+                next += 1;
+            }
+            for _ in 0..(round % 3) {
+                match spill.pop().unwrap() {
+                    Some(ev) => assert_eq!(Some(ev.window), expect.pop_front()),
+                    None => assert!(expect.is_empty()),
+                }
+            }
+        }
+        while let Some(ev) = spill.pop().unwrap() {
+            assert_eq!(Some(ev.window), expect.pop_front());
+        }
+        assert!(expect.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budget_drops_oldest_with_exact_accounting() {
+        let dir = tmp_dir("budget");
+        let mut spill = Spill::open(&dir, codec(), 2, 2).unwrap();
+        let mut dropped = 0u64;
+        let total = 11u64;
+        for i in 0..total {
+            dropped += spill.push(&event(0, i)).unwrap();
+        }
+        assert!(dropped > 0, "budget of 2x2 must drop under 11 events");
+        assert!(spill.segments() <= 2);
+        assert_eq!(spill.events(), total - dropped);
+        // Survivors are the newest suffix, still in order.
+        let mut got = Vec::new();
+        while let Some(ev) = spill.pop().unwrap() {
+            got.push(ev.window);
+        }
+        let expect: Vec<u64> = (dropped..total).collect();
+        assert_eq!(got, expect);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen_and_cuts_damaged_tail() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut spill = Spill::open(&dir, codec(), 4, 0).unwrap();
+            for i in 0..9u64 {
+                spill.push(&event(1, i)).unwrap();
+            }
+            // Dropped here: Drop flushes buffered writes.
+        }
+        // Damage the newest segment's tail: cut 5 bytes mid-block.
+        let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        paths.sort();
+        let newest = paths.last().unwrap();
+        let len = fs::metadata(newest).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(newest)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let mut spill = Spill::open(&dir, codec(), 4, 0).unwrap();
+        assert_eq!(spill.events(), 8, "one half-written event cut");
+        for i in 0..8u64 {
+            assert_eq!(spill.pop().unwrap().unwrap().window, i);
+        }
+        assert!(spill.pop().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected_at_open() {
+        let dir = tmp_dir("geom");
+        {
+            let mut spill = Spill::open(&dir, codec(), 4, 0).unwrap();
+            spill.push(&event(0, 0)).unwrap();
+        }
+        let other = BlockCodec::new(Encoding::Exact, 3, WindowSpec { wl: 30, ws: 10 }).unwrap();
+        assert!(matches!(
+            Spill::open(&dir, other, 4, 0),
+            Err(NetError::Invalid(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected() {
+        let dir = tmp_dir("cfg");
+        assert!(Spill::open(&dir, codec(), 0, 0).is_err());
+        assert!(Spill::open(&dir, codec(), 4, 1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

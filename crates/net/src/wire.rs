@@ -1,0 +1,475 @@
+//! `.cws` wire framing: length-prefixed, CRC-32-guarded frames.
+//!
+//! A connection is a byte stream of *frames*. Every frame is guarded by
+//! the same CRC-32 the on-disk `.cws` format uses, so any damage —
+//! flipped bytes, truncation mid-frame, implausible field values —
+//! surfaces [`NetError::Corrupt`], never a panic or a silent skip.
+//!
+//! ```text
+//! frame   := magic[4]="CWSF" kind:u8 _:[u8;3]
+//!            seq:u64 payload_len:u32              (20-byte header)
+//!            payload[payload_len]
+//!            crc:u32                              (over header + payload)
+//!
+//! hello   := version:u16 cws_file_header[32]      (kind 1, seq 0)
+//! data    := one .cws block                       (kind 2, seq 1,2,3,...)
+//! ack     := (empty; seq = highest data seq       (kind 3)
+//!             processed and committed)
+//! bye     := (empty; seq = last data seq sent)    (kind 4)
+//! reject  := utf-8 reason                         (kind 5)
+//! ```
+//!
+//! The handshake reuses the store's versioned 32-byte file header
+//! (magic, format version, encoding mode, `l`, window spec — see
+//! [`BlockCodec`]) wrapped with a wire protocol version, so both ends
+//! agree on geometry before any data flows. Data frames carry whole
+//! `.cws` blocks — the bytes on the wire are the bytes a store writes.
+//! Sequence numbers are per-connection and strictly consecutive;
+//! cumulative acks plus server-side `(node, window)` dedupe make replay
+//! after a reconnect idempotent.
+
+use crate::error::{NetError, Result};
+use crate::link::Link;
+use cwsmooth_store::codec::{self, BlockCodec};
+use std::time::Duration;
+
+/// Frame magic ("CWSF" on the wire).
+pub const FRAME_MAGIC: [u8; 4] = *b"CWSF";
+/// Wire protocol version carried in the hello payload.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed frame header length (magic, kind, pad, seq, payload length).
+pub const FRAME_HEADER_LEN: usize = 20;
+/// Largest accepted frame payload. A plausibility bound: the CRC catches
+/// accidental damage, but a damaged length field must not size an
+/// allocation before the CRC can be checked.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 26;
+/// Hello payload length: wire version + `.cws` file header.
+pub const HELLO_LEN: usize = 2 + codec::HEADER_LEN;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server stream opener: wire version + geometry header.
+    Hello,
+    /// Client → server: one `.cws` block of signature events.
+    Data,
+    /// Server → client: cumulative acknowledgement (`seq` = highest
+    /// data sequence processed and committed downstream).
+    Ack,
+    /// Client → server: clean end of stream (`seq` = last data seq).
+    Bye,
+    /// Server → client: the stream is unacceptable (geometry mismatch);
+    /// payload is a UTF-8 reason. Reconnecting cannot help.
+    Reject,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Data => 2,
+            FrameKind::Ack => 3,
+            FrameKind::Bye => 4,
+            FrameKind::Reject => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Data),
+            3 => Some(FrameKind::Ack),
+            4 => Some(FrameKind::Bye),
+            5 => Some(FrameKind::Reject),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed frame borrowing its payload from the read buffer.
+#[derive(Debug)]
+pub struct FrameView<'a> {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Sequence / ack number (meaning depends on `kind`).
+    pub seq: u64,
+    /// Payload bytes (CRC already verified).
+    pub payload: &'a [u8],
+}
+
+/// Appends one encoded frame to `out`. Errors only on an oversized
+/// payload (a caller bug, not a data condition).
+pub fn encode_frame(out: &mut Vec<u8>, kind: FrameKind, seq: u64, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(NetError::Invalid(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte bound",
+            payload.len()
+        )));
+    }
+    let start = out.len();
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind.code());
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = codec::crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Validated frame header fields (before payload and CRC are read).
+struct FrameHeader {
+    kind: FrameKind,
+    seq: u64,
+    payload_len: usize,
+}
+
+/// Validates the 20 fixed header bytes at stream offset `offset`.
+fn parse_frame_header(h: &[u8], offset: u64) -> Result<FrameHeader> {
+    let corrupt = |at: u64, message: String| NetError::Corrupt {
+        offset: offset + at,
+        message,
+    };
+    if h.len() < FRAME_HEADER_LEN {
+        return Err(corrupt(
+            h.len() as u64,
+            format!(
+                "frame header truncated ({} of {FRAME_HEADER_LEN} bytes)",
+                h.len()
+            ),
+        ));
+    }
+    if h[..4] != FRAME_MAGIC {
+        return Err(corrupt(0, "bad frame magic".into()));
+    }
+    let kind = FrameKind::from_code(h[4])
+        .ok_or_else(|| corrupt(4, format!("unknown frame kind {}", h[4])))?;
+    if h[5..8] != [0, 0, 0] {
+        return Err(corrupt(5, "nonzero frame padding".into()));
+    }
+    // lint:allow(no-panic-paths): statically infallible — an 8-byte
+    // slice always converts to [u8; 8] (length checked above).
+    let seq = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    // lint:allow(no-panic-paths): statically infallible — a 4-byte
+    // slice always converts to [u8; 4] (length checked above).
+    let payload_len = u32::from_le_bytes(h[16..20].try_into().unwrap()) as usize;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(corrupt(
+            16,
+            format!("payload length {payload_len} exceeds the {MAX_FRAME_PAYLOAD}-byte bound"),
+        ));
+    }
+    Ok(FrameHeader {
+        kind,
+        seq,
+        payload_len,
+    })
+}
+
+/// Parses the frame starting at byte `at` of `bytes`. Returns
+/// `Ok(None)` at a clean end of stream (`at == bytes.len()`); anything
+/// between a frame boundary and a full valid frame is
+/// [`NetError::Corrupt`]. On success also returns the offset of the
+/// next frame.
+pub fn parse_frame(bytes: &[u8], at: usize) -> Result<Option<(FrameView<'_>, usize)>> {
+    if at == bytes.len() {
+        return Ok(None);
+    }
+    let header = parse_frame_header(
+        &bytes[at..(at + FRAME_HEADER_LEN).min(bytes.len())],
+        at as u64,
+    )?;
+    let total = FRAME_HEADER_LEN + header.payload_len + 4;
+    let avail = bytes.len() - at;
+    if avail < total {
+        return Err(NetError::Corrupt {
+            offset: bytes.len() as u64,
+            message: format!("frame truncated ({avail} of {total} bytes)"),
+        });
+    }
+    let frame = &bytes[at..at + total];
+    let stored = u32::from_le_bytes([
+        frame[total - 4],
+        frame[total - 3],
+        frame[total - 2],
+        frame[total - 1],
+    ]);
+    let actual = codec::crc32(&frame[..total - 4]);
+    if stored != actual {
+        return Err(NetError::Corrupt {
+            offset: at as u64 + total as u64 - 4,
+            message: format!("frame CRC mismatch (stored {stored:08x}, computed {actual:08x})"),
+        });
+    }
+    Ok(Some((
+        FrameView {
+            kind: header.kind,
+            seq: header.seq,
+            payload: &frame[FRAME_HEADER_LEN..total - 4],
+        },
+        at + total,
+    )))
+}
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug)]
+pub enum ReadOutcome<'a> {
+    /// A complete, CRC-verified frame.
+    Frame(FrameView<'a>),
+    /// The peer closed the stream at a frame boundary.
+    Eof,
+    /// The first-byte timeout elapsed with no data (only when a
+    /// first-byte timeout was requested).
+    Idle,
+}
+
+/// Incremental frame reader over a [`Link`], reusing one buffer.
+///
+/// Validation is shared with [`parse_frame`]: the same header checks,
+/// the same payload bound, the same CRC. End-of-stream anywhere except
+/// a frame boundary is [`NetError::Corrupt`]; a read timeout *after*
+/// the first byte of a frame is [`NetError::Timeout`] (a stalled peer
+/// mid-frame is a connection fault, not idleness).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Cumulative bytes consumed, for error offsets.
+    consumed: u64,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards any partially-read frame and resets the stream offset.
+    ///
+    /// Call this when switching the reader to a *new* connection: a
+    /// previous connection that died mid-frame leaves a stale prefix in
+    /// the buffer, and parsing the new peer's bytes against it would
+    /// reject every frame the new connection sends.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.consumed = 0;
+    }
+
+    /// Reads exactly `buf.len()` bytes. EOF before the first byte is
+    /// [`Fill::Eof`]; a timeout before the first byte is [`Fill::Idle`]
+    /// when `allow_idle` (else [`NetError::Timeout`]); EOF or a timeout
+    /// *after* the first byte is always an error.
+    fn read_full(
+        link: &mut dyn Link,
+        buf: &mut [u8],
+        offset: u64,
+        complete_within: Duration,
+        allow_idle: bool,
+    ) -> Result<Fill> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match link.read(&mut buf[got..]) {
+                Ok(0) => {
+                    if got == 0 {
+                        return Ok(Fill::Eof);
+                    }
+                    return Err(NetError::Corrupt {
+                        offset: offset + got as u64,
+                        message: format!("stream ended mid-frame ({got} of {} bytes)", buf.len()),
+                    });
+                }
+                Ok(n) => {
+                    if got == 0 {
+                        // First byte landed: the rest of the frame must
+                        // follow promptly, however patient the caller
+                        // was about idleness.
+                        link.set_read_timeout(Some(complete_within))?;
+                    }
+                    got += n;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if got == 0 && allow_idle {
+                        return Ok(Fill::Idle);
+                    }
+                    return Err(NetError::Timeout(format!(
+                        "peer stalled mid-frame ({got} of {} bytes)",
+                        buf.len()
+                    )));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        Ok(Fill::Full)
+    }
+
+    /// Reads the next frame. `first_byte` bounds the wait for the
+    /// frame's first byte (`None` blocks indefinitely);
+    /// `complete_within` bounds the rest of the frame once started.
+    pub fn read_frame(
+        &mut self,
+        link: &mut dyn Link,
+        first_byte: Option<Duration>,
+        complete_within: Duration,
+    ) -> Result<ReadOutcome<'_>> {
+        link.set_read_timeout(first_byte)?;
+        let offset = self.consumed;
+        self.buf.clear();
+        self.buf.resize(FRAME_HEADER_LEN, 0);
+        let filled = Self::read_full(
+            link,
+            &mut self.buf[..],
+            offset,
+            complete_within,
+            first_byte.is_some(),
+        );
+        match filled? {
+            Fill::Full => {}
+            Fill::Eof => return Ok(ReadOutcome::Eof),
+            Fill::Idle => return Ok(ReadOutcome::Idle),
+        }
+        let header = parse_frame_header(&self.buf, offset)?;
+        let total = FRAME_HEADER_LEN + header.payload_len + 4;
+        self.buf.resize(total, 0);
+        let (_, tail) = self.buf.split_at_mut(FRAME_HEADER_LEN);
+        match Self::read_full(
+            link,
+            tail,
+            offset + FRAME_HEADER_LEN as u64,
+            complete_within,
+            false,
+        )? {
+            Fill::Full => {}
+            Fill::Eof | Fill::Idle => {
+                return Err(NetError::Corrupt {
+                    offset: offset + FRAME_HEADER_LEN as u64,
+                    message: "stream ended between frame header and payload".into(),
+                });
+            }
+        }
+        let stored = u32::from_le_bytes([
+            self.buf[total - 4],
+            self.buf[total - 3],
+            self.buf[total - 2],
+            self.buf[total - 1],
+        ]);
+        let actual = codec::crc32(&self.buf[..total - 4]);
+        if stored != actual {
+            return Err(NetError::Corrupt {
+                offset: offset + total as u64 - 4,
+                message: format!("frame CRC mismatch (stored {stored:08x}, computed {actual:08x})"),
+            });
+        }
+        self.consumed = offset + total as u64;
+        Ok(ReadOutcome::Frame(FrameView {
+            kind: header.kind,
+            seq: header.seq,
+            payload: &self.buf[FRAME_HEADER_LEN..total - 4],
+        }))
+    }
+}
+
+/// Result of filling a fixed-size buffer from a link.
+enum Fill {
+    /// Buffer completely filled.
+    Full,
+    /// Peer closed before the first byte.
+    Eof,
+    /// First-byte timeout elapsed with the link still open.
+    Idle,
+}
+
+/// Builds the hello payload: wire version + geometry header.
+pub fn hello_payload(codec: &BlockCodec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HELLO_LEN);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&codec.header_bytes());
+    out
+}
+
+/// Parses and validates a hello payload into the sender's geometry.
+pub fn parse_hello(payload: &[u8]) -> Result<BlockCodec> {
+    if payload.len() != HELLO_LEN {
+        return Err(NetError::Corrupt {
+            offset: 0,
+            message: format!(
+                "hello payload is {} bytes, expected {HELLO_LEN}",
+                payload.len()
+            ),
+        });
+    }
+    let version = u16::from_le_bytes([payload[0], payload[1]]);
+    if version != WIRE_VERSION {
+        return Err(NetError::Handshake(format!(
+            "peer speaks wire version {version}, this build speaks {WIRE_VERSION}"
+        )));
+    }
+    Ok(BlockCodec::parse_header(&payload[2..])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsmooth_data::WindowSpec;
+    use cwsmooth_store::Encoding;
+
+    fn codec() -> BlockCodec {
+        BlockCodec::new(Encoding::Exact, 2, WindowSpec { wl: 30, ws: 10 }).unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrip_all_kinds() {
+        let mut bytes = Vec::new();
+        let payloads: [(FrameKind, u64, Vec<u8>); 4] = [
+            (FrameKind::Hello, 0, hello_payload(&codec())),
+            (FrameKind::Data, 1, vec![7u8; 33]),
+            (FrameKind::Ack, 1, Vec::new()),
+            (FrameKind::Bye, 1, Vec::new()),
+        ];
+        for (kind, seq, payload) in &payloads {
+            encode_frame(&mut bytes, *kind, *seq, payload).unwrap();
+        }
+        let mut at = 0usize;
+        for (kind, seq, payload) in &payloads {
+            let (frame, next) = parse_frame(&bytes, at).unwrap().unwrap();
+            assert_eq!(frame.kind, *kind);
+            assert_eq!(frame.seq, *seq);
+            assert_eq!(frame.payload, &payload[..]);
+            at = next;
+        }
+        assert!(parse_frame(&bytes, at).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn hello_roundtrip_and_version_gate() {
+        let c = codec();
+        let payload = hello_payload(&c);
+        assert_eq!(payload.len(), HELLO_LEN);
+        assert_eq!(parse_hello(&payload).unwrap(), c);
+        let mut wrong = payload.clone();
+        wrong[0] = 99;
+        assert!(matches!(parse_hello(&wrong), Err(NetError::Handshake(_))));
+        assert!(parse_hello(&payload[..HELLO_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_length_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, FrameKind::Data, 1, &[1, 2, 3]).unwrap();
+        // Claim a preposterous payload length and fix up the CRC: the
+        // bound must trip on the field value itself.
+        bytes[16..20].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        let err = parse_frame(&bytes, 0).unwrap_err();
+        assert!(matches!(err, NetError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn encode_rejects_oversized_payload() {
+        let mut bytes = Vec::new();
+        let huge = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        assert!(encode_frame(&mut bytes, FrameKind::Data, 1, &huge).is_err());
+    }
+}

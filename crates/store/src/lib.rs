@@ -69,10 +69,12 @@
 mod crc;
 mod format;
 
+pub mod codec;
 pub mod error;
 pub mod query;
 pub mod store;
 
+pub use codec::BlockCodec;
 pub use error::{Result, StoreError};
 pub use format::Encoding;
 pub use query::{Distance, Neighbor, SignatureIndex};

@@ -131,7 +131,10 @@ pub struct RecoveryReport {
     /// Events recovered across all segments.
     pub events: u64,
     /// Bytes cut from a cleanly truncated final segment (crash tail).
-    pub truncated_bytes: u64,
+    pub bytes_truncated: u64,
+    /// Useless segment files removed at open: headerless crash leftovers
+    /// and header-only segments a previous process never wrote to.
+    pub segments_removed: usize,
 }
 
 /// One block's index entry: where a (node, window-range) run lives.
@@ -289,7 +292,7 @@ impl SignatureStore {
             let last = i + 1 == ids.len();
             let path = segment_path(&dir, id);
             let (state, cut) = Self::recover_segment(&path, id, spec, l, last)?;
-            recovery.truncated_bytes += cut;
+            recovery.bytes_truncated += cut;
             match state {
                 Some(state) if state.events > 0 => {
                     recovery.segments += 1;
@@ -302,8 +305,12 @@ impl SignatureStore {
                     // empty files pile up across open/close cycles and eat
                     // into the retention budget — remove it instead.
                     std::fs::remove_file(&state.path)?;
+                    recovery.segments_removed += 1;
                 }
-                None => {}
+                None => {
+                    // Headerless crash leftover, already removed.
+                    recovery.segments_removed += 1;
+                }
             }
         }
 
@@ -943,7 +950,7 @@ mod tests {
 
         let store = SignatureStore::open(&dir, spec(), 3, cfg).unwrap();
         assert_eq!(store.recovery().events, 84);
-        assert_eq!(store.recovery().truncated_bytes, 0);
+        assert_eq!(store.recovery().bytes_truncated, 0);
         let back = collect(&store);
         expect.sort_by_key(|&(n, w, _)| (n, w));
         assert_eq!(back, expect);

@@ -89,7 +89,7 @@ fn kill_and_reopen_recovers_the_flushed_prefix() {
 
     let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
     let rec = store.recovery();
-    assert!(rec.truncated_bytes > 0, "{rec:?}");
+    assert!(rec.bytes_truncated > 0, "{rec:?}");
     let after = collect(&store);
     // Whatever survived is a strict prefix of the pre-kill contents:
     // every recovered event matches the original bit for bit.
@@ -103,6 +103,43 @@ fn kill_and_reopen_recovers_the_flushed_prefix() {
             .expect("recovered event was never written");
         assert_eq!(&orig.2, &ev.2);
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_report_counts_removed_files_and_truncated_bytes() {
+    let dir = tmpdir("recovery-report");
+    let cfg = StoreConfig::default().with_block_events(16);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    ingest_fleet(&mut store, 6, 400, 0);
+    store.flush().unwrap();
+    drop(store);
+
+    // A dead header-only segment (an active file a previous process
+    // never wrote to) before the data, and a half-written block at the
+    // end of the newest (last) data segment.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let data = files.last().unwrap().clone();
+    let header = std::fs::read(&data).unwrap()[..32].to_vec();
+    std::fs::write(dir.join("seg-00000000.cws"), &header).unwrap();
+    let len = std::fs::metadata(&data).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&data)
+        .unwrap()
+        .set_len(len - 9)
+        .unwrap();
+
+    let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let rec = store.recovery();
+    assert_eq!(rec.segments_removed, 1, "{rec:?}");
+    assert!(rec.bytes_truncated > 0, "{rec:?}");
+    assert!(rec.events > 0 && rec.segments > 0, "{rec:?}");
+    assert!(!dir.join("seg-00000000.cws").exists());
     std::fs::remove_dir_all(&dir).ok();
 }
 

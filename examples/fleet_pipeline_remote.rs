@@ -1,0 +1,276 @@
+//! The streaming ODA pipeline split across **two processes**: the
+//! producer computes CS signatures in this process and ships every
+//! [`FleetEvent`] over loopback TCP to a consumer process that owns the
+//! [`SignatureStore`] — then the consumer is **killed mid-stream** and
+//! restarted to demonstrate the transport's fault tolerance end to end.
+//!
+//! ```text
+//!  producer process                       consumer process (respawned
+//!  FleetScenario ─► OnlineCs ─► SocketSink ══ TCP ══► Server ─► SignatureStore
+//!                      (spill + reconnect)   ▲ kill -9 at half-stream ▲
+//! ```
+//!
+//! The consumer is this same binary re-executed with `--consumer`; the
+//! producer picks a free port, spawns it, and `SIGKILL`s it once half
+//! the events are pushed. While the port is dark the client spills to
+//! disk and backs off; when the respawned consumer re-seeds its dedupe
+//! floors from the recovered store, the client drains the backlog and
+//! replays the unacknowledged tail — duplicates are absorbed, nothing
+//! is lost, and the final store holds every event exactly once.
+//!
+//! ```sh
+//! cargo run --release --example fleet_pipeline_remote
+//! REMOTE_NODES=128 REMOTE_FRAMES=900 cargo run --release --example fleet_pipeline_remote
+//! ```
+
+use cwsmooth::core::cs::{CsMethod, CsSignature, CsTrainer};
+use cwsmooth::core::fleet::{FleetEvent, FleetSink};
+use cwsmooth::core::online::OnlineCs;
+use cwsmooth::data::WindowSpec;
+use cwsmooth::linalg::Matrix;
+use cwsmooth::net::{BlockCodec, NetConfig, Server, ServerConfig, SocketSink, TcpAcceptor};
+use cwsmooth::sim::fleet::{FleetScenario, FleetSimConfig, FLEET_SENSORS};
+use cwsmooth::store::{Encoding, SignatureStore, StoreConfig};
+use std::net::TcpListener;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const L: usize = 8;
+const WL: usize = 30;
+const STRIDE: usize = 10;
+const TRAIN: usize = 256;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(WL, STRIDE).unwrap()
+}
+
+fn codec() -> BlockCodec {
+    BlockCodec::new(Encoding::Exact, L, spec()).unwrap()
+}
+
+/// The consumer role: bind the agreed port, serve frames into the
+/// store, exit after the producer's closing bye. A restarted consumer
+/// recovers the store from disk and re-seeds its dedupe floors from
+/// it, so replayed events are absorbed instead of duplicated.
+fn run_consumer(dir: &str, port: u16) -> i32 {
+    let mut store = match SignatureStore::open(dir, spec(), L, StoreConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[consumer] store open failed: {e}");
+            return 1;
+        }
+    };
+    let rec = store.recovery();
+    println!(
+        "[consumer] store up: {} events recovered ({} segments, {} bytes crash tail cut)",
+        rec.events, rec.segments, rec.bytes_truncated
+    );
+    let cfg = ServerConfig {
+        stop_on_bye: true,
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::new(codec(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[consumer] server setup failed: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = server.seed_from_store(&store) {
+        eprintln!("[consumer] dedupe seeding failed: {e}");
+        return 1;
+    }
+    // A killed predecessor can leave the port in TIME_WAIT briefly;
+    // retry the bind instead of failing the restart.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut acceptor = loop {
+        match TcpAcceptor::bind(("127.0.0.1", port)) {
+            Ok(a) => break a,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("[consumer] bind retry: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => {
+                eprintln!("[consumer] bind failed: {e}");
+                return 1;
+            }
+        }
+    };
+    println!("[consumer] listening on 127.0.0.1:{port}");
+    if let Err(e) = server.serve(&mut acceptor, &mut store) {
+        eprintln!("[consumer] serve failed: {e}");
+        return 1;
+    }
+    if let Err(e) = store.flush() {
+        eprintln!("[consumer] final flush failed: {e}");
+        return 1;
+    }
+    let s = server.stats();
+    println!(
+        "[consumer] done: {} connections, {} frames, {} events stored, {} replays deduped",
+        s.connections, s.frames, s.events, s.deduped
+    );
+    0
+}
+
+/// Blocks until the consumer accepts on `port` (the probe connection
+/// is dropped unsent; the server tolerates it as a clean EOF). Without
+/// this the producer outruns the consumer's startup and the mid-stream
+/// kill would hit a connection that never carried an event.
+fn wait_listening(port: u16) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if std::net::TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("consumer never started listening on port {port}");
+}
+
+fn spawn_consumer(dir: &str, port: u16) -> std::process::Child {
+    let exe = std::env::current_exe().expect("own executable path");
+    Command::new(exe)
+        .arg("--consumer")
+        .arg(dir)
+        .arg(port.to_string())
+        .spawn()
+        .expect("spawn consumer process")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--consumer" {
+        let port: u16 = args[3].parse().expect("port argument");
+        std::process::exit(run_consumer(&args[2], port));
+    }
+
+    let nodes = env_or("REMOTE_NODES", 64);
+    let frames = env_or("REMOTE_FRAMES", 600);
+    let windows_per_node = if frames >= WL {
+        (frames - WL) / STRIDE + 1
+    } else {
+        0
+    };
+    let total = nodes * windows_per_node;
+    println!(
+        "remote fleet pipeline: {nodes} nodes x {FLEET_SENSORS} sensors, {frames} frames \
+         -> {total} events over loopback TCP, consumer killed at half-stream"
+    );
+
+    let scratch = std::env::temp_dir().join(format!("cwsmooth-remote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let store_dir = scratch.join("store");
+    let spill_dir = scratch.join("spill");
+    std::fs::create_dir_all(&store_dir).unwrap();
+
+    // A free port the consumer can re-bind across restarts: bind :0 to
+    // let the kernel pick, then release it for the child.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let store_dir_s = store_dir.to_string_lossy().into_owned();
+    let mut consumer = spawn_consumer(&store_dir_s, port);
+
+    // ---- Offline: one shared CS model from pooled healthy history.
+    let t0 = Instant::now();
+    let scenario = FleetScenario::new(FleetSimConfig::new(42, nodes));
+    let pool_nodes: Vec<usize> = (0..8.min(nodes)).collect();
+    let mut pooled = Matrix::zeros(FLEET_SENSORS, pool_nodes.len() * TRAIN);
+    let mut buf = [0.0; FLEET_SENSORS];
+    for (i, &node) in pool_nodes.iter().enumerate() {
+        for t in 0..TRAIN {
+            scenario.reading_into(node, t, &mut buf);
+            for (r, &v) in buf.iter().enumerate() {
+                pooled.set(r, i * TRAIN + t, v);
+            }
+        }
+    }
+    let cs = CsMethod::new(CsTrainer::default().train(&pooled).unwrap(), L).unwrap();
+    println!("offline: CS model trained in {:.2?}", t0.elapsed());
+
+    // ---- Online: stream windows node-major through the socket sink.
+    wait_listening(port);
+    let t1 = Instant::now();
+    let mut sink = SocketSink::tcp(
+        ("127.0.0.1", port),
+        codec(),
+        &spill_dir,
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut streams: Vec<OnlineCs> = (0..nodes)
+        .map(|_| OnlineCs::new(cs.clone(), spec()))
+        .collect();
+    let mut sig = CsSignature::default();
+    let mut event = FleetEvent::default();
+    let mut pushed = 0usize;
+    let mut killed = false;
+    for t in 0..frames {
+        for (node, stream) in streams.iter_mut().enumerate() {
+            scenario.reading_into(node, t, &mut buf);
+            if stream.push_into(&buf, &mut sig).unwrap() {
+                event.node = node;
+                event.window_index = stream.emitted() - 1;
+                std::mem::swap(&mut event.signature, &mut sig);
+                sink.on_event(&event).unwrap();
+                std::mem::swap(&mut event.signature, &mut sig);
+                pushed += 1;
+                if !killed && pushed >= total / 2 {
+                    // SIGKILL mid-stream: unacked frames die with the
+                    // connection, new events spill to disk.
+                    consumer.kill().expect("kill consumer");
+                    consumer.wait().expect("reap consumer");
+                    println!(
+                        "producer: consumer killed after {pushed} events; \
+                         spilling while the port is dark"
+                    );
+                    consumer = spawn_consumer(&store_dir_s, port);
+                    killed = true;
+                }
+            }
+        }
+    }
+    let (stats, result) = sink.finish(Duration::from_secs(60));
+    result.expect("drain after reconnect");
+    println!(
+        "producer: {} accepted, {} sent (+{} retransmitted), {} spilled / {} drained, \
+         {} dropped, {} connects ({} failures) in {:.2?}",
+        stats.accepted,
+        stats.sent,
+        stats.retransmitted,
+        stats.spilled,
+        stats.drained,
+        stats.dropped,
+        stats.connects,
+        stats.connect_failures,
+        t1.elapsed()
+    );
+
+    let status = consumer.wait().expect("consumer exit");
+    assert!(status.success(), "consumer exited with {status}");
+
+    // ---- Verify: the store must hold every event exactly once.
+    let store = SignatureStore::open(&store_dir, spec(), L, StoreConfig::default()).unwrap();
+    assert_eq!(stats.accepted, total as u64);
+    assert_eq!(stats.dropped, 0, "unbounded spill must drop nothing");
+    assert_eq!(
+        store.events(),
+        total as u64,
+        "every event must be stored exactly once despite the kill"
+    );
+    println!(
+        "verified: store holds {} events across {} segments — zero loss, zero duplicates",
+        store.events(),
+        store.segments().len()
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -83,15 +83,40 @@ fn main() {
         raw_bytes as f64 / store.bytes_on_disk() as f64,
     );
 
-    // ---- Reopen from disk (simulated restart) ---------------------------
+    // ---- Reopen from disk (simulated crash + restart) -------------------
+    // Model a process kill mid-append: chop bytes off the end of the
+    // newest segment, leaving a half-written block. `open` must cut the
+    // file back to its last complete block and report what it repaired.
+    let events_before = store.stats().events;
     drop(store);
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "cws"))
+        .max()
+        .unwrap();
+    let len = std::fs::metadata(&newest).unwrap().len();
+    let damaged = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .unwrap();
+    damaged.set_len(len - 7).unwrap(); // mid-block: not a clean boundary
+    drop(damaged);
     let store = SignatureStore::open(&dir, spec, l, cfg).unwrap();
+    let rec = store.recovery();
     println!(
-        "reopen: recovered {} segments / {} events (truncated {} bytes)",
-        store.recovery().segments,
-        store.recovery().events,
-        store.recovery().truncated_bytes
+        "reopen after simulated crash: recovered {} segments / {} events \
+         (cut {} bytes of half-written tail, removed {} dead files; \
+         {} of {} events survived the staged-tail loss)",
+        rec.segments,
+        rec.events,
+        rec.bytes_truncated,
+        rec.segments_removed,
+        rec.events,
+        events_before,
     );
+    assert!(rec.bytes_truncated > 0, "the damaged tail must be repaired");
+    assert!(rec.events > 0 && rec.events <= events_before);
 
     // ---- Similarity search: nearest historical states -------------------
     let t1 = Instant::now();

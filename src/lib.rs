@@ -21,6 +21,9 @@
 //!   monitoring and heatmap imaging.
 //! * [`store`] — the persistent compressed signature store (append-only
 //!   columnar segments, exact or quantized) and k-NN similarity search.
+//! * [`net`] — fault-tolerant cross-process transport: `.cws` wire
+//!   framing over unix/TCP sockets, reconnect with capped backoff,
+//!   spill-to-disk degradation, and a seeded chaos-testing harness.
 //!
 //! ## Quickstart
 //!
@@ -47,5 +50,6 @@ pub use cwsmooth_core as core;
 pub use cwsmooth_data as data;
 pub use cwsmooth_linalg as linalg;
 pub use cwsmooth_ml as ml;
+pub use cwsmooth_net as net;
 pub use cwsmooth_sim as sim;
 pub use cwsmooth_store as store;
