@@ -26,6 +26,7 @@
 use crate::jsd::DimensionHistogram;
 use cwsmooth_core::error::{CoreError, Result as CoreResult};
 use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+use cwsmooth_obs::{Observe, Snapshot};
 
 /// Configuration for a [`DriftMonitor`].
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +315,25 @@ fn ent(x: f64) -> f64 {
     }
 }
 
+/// Snapshot of the monitor's drift state under `stage="drift"`:
+/// lifetime event/comparison/alarm-transition counters, the number of
+/// nodes currently drifted, and `cws_drift_peak_jsd` — the largest
+/// divergence seen across all comparisons so far.
+impl Observe for DriftMonitor {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "drift")];
+        out.counter("cws_drift_events_total", labels, self.events);
+        out.counter("cws_drift_comparisons_total", labels, self.comparisons);
+        out.counter("cws_drift_alarms_total", labels, self.alarms);
+        out.gauge(
+            "cws_drift_alarmed_nodes",
+            labels,
+            self.alarmed_nodes().count() as f64,
+        );
+        out.gauge("cws_drift_peak_jsd", labels, self.max_jsd);
+    }
+}
+
 impl FleetSink for DriftMonitor {
     fn on_event(&mut self, event: &FleetEvent) -> CoreResult<()> {
         let l = event.signature.re.len();
@@ -416,6 +436,46 @@ mod tests {
         // that ability away.
         fn assert_send<T: Send>() {}
         assert_send::<DriftMonitor>();
+    }
+
+    #[test]
+    fn observe_snapshots_drift_state() {
+        use cwsmooth_obs::Value;
+
+        let mut m = monitor(24);
+        let mut w = 0usize;
+        for _ in 0..3 * 24 {
+            m.on_event(&event(0, w, 0.0)).unwrap();
+            m.on_event(&event(1, w, 0.0)).unwrap();
+            w += 1;
+        }
+        for _ in 0..24 {
+            m.on_event(&event(0, w, 0.0)).unwrap();
+            m.on_event(&event(1, w, 0.35)).unwrap();
+            w += 1;
+        }
+        assert!(m.alarmed(1));
+        let mut snap = Snapshot::new();
+        m.observe(&mut snap);
+        let value = |name: &str| {
+            snap.samples()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(value("cws_drift_events_total"), Value::Counter(m.events()));
+        assert_eq!(
+            value("cws_drift_comparisons_total"),
+            Value::Counter(m.comparisons())
+        );
+        assert_eq!(value("cws_drift_alarms_total"), Value::Counter(1));
+        assert_eq!(value("cws_drift_alarmed_nodes"), Value::Gauge(1.0));
+        assert_eq!(value("cws_drift_peak_jsd"), Value::Gauge(m.max_jsd()));
+        assert!(m.max_jsd() > 0.3);
+        for s in snap.samples() {
+            assert_eq!(s.labels, vec![("stage".to_string(), "drift".to_string())]);
+        }
     }
 
     #[test]

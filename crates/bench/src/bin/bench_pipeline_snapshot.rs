@@ -20,6 +20,7 @@ use cwsmooth_data::WindowSpec;
 use cwsmooth_ml::forest::{small_forest_config, RandomForestClassifier};
 use cwsmooth_ml::streaming::{DetectorConfig, StreamingDetector};
 use cwsmooth_net::{BlockCodec, NetConfig, Server, ServerConfig, SocketSink, TcpAcceptor};
+use cwsmooth_obs::Registry;
 use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
 use cwsmooth_store::{Encoding, SignatureStore, StoreConfig};
 use std::hint::black_box;
@@ -276,9 +277,19 @@ fn main() {
     };
 
     let dir = tmpdir("queued");
-    let queued_sample = || {
+    // `instrument` is the observability A/B switch: the same ingest
+    // path with the engine wired to a metrics registry (per-shard
+    // ingest-span histograms + frame/event/gap counters) and every
+    // queue branch keeping live `cws_queue_*` series. The delta over
+    // the bare variant is what the metrics plane costs the ingest
+    // thread per event.
+    let queued_sample = |instrument: bool| {
         std::fs::remove_dir_all(&dir).ok();
+        let registry = Registry::new();
         let mut engine = FleetEngine::new(methods.clone(), spec).unwrap();
+        if instrument {
+            engine.attach_metrics(&registry);
+        }
         let mut frame = engine.frame();
         let store = SignatureStore::open(
             &dir,
@@ -296,16 +307,17 @@ fn main() {
             gate: Arc::clone(&gate),
             inner,
         };
+        let queue = |inner: Box<dyn FleetSink + Send>, label: &str| {
+            if instrument {
+                QueueSink::with_metrics(gated(inner), cfg, &registry, label)
+            } else {
+                QueueSink::with_config(gated(inner), cfg)
+            }
+        };
         let mut tee = Tee((
-            QueueSink::with_config(gated(Box::new(store) as Box<dyn FleetSink + Send>), cfg),
-            QueueSink::with_config(
-                gated(Box::new(detector_for(2 * L)) as Box<dyn FleetSink + Send>),
-                cfg,
-            ),
-            QueueSink::with_config(
-                gated(Box::new(drift_for()) as Box<dyn FleetSink + Send>),
-                cfg,
-            ),
+            queue(Box::new(store), "store"),
+            queue(Box::new(detector_for(2 * L)), "detector"),
+            queue(Box::new(drift_for()), "drift"),
         ));
         let mut f = 0usize;
         let mut chunks = Vec::new();
@@ -364,18 +376,38 @@ fn main() {
 
     let mut sync_chunks = Vec::new();
     let mut queued_chunks = Vec::new();
+    let mut instrumented_chunks = Vec::new();
+    // Interleave bare and instrumented passes so drift in machine load
+    // hits both arms of the A/B equally.
     for _ in 0..seg_reps {
         sync_chunks.extend(sync_sample());
-        queued_chunks.extend(queued_sample());
+        queued_chunks.extend(queued_sample(false));
+        instrumented_chunks.extend(queued_sample(true));
     }
     std::fs::remove_dir_all(&dir).ok();
     let sync_ns = median(sync_chunks);
     let queued_ns = median(queued_chunks);
+    let instrumented_ns = median(instrumented_chunks);
     record("pipeline_sync_ingest_kevents_per_s", 1e6 / sync_ns);
     record("pipeline_tee3_queued_ingest_kevents_per_s", 1e6 / queued_ns);
     record(
         "pipeline_tee3_queued_ingest_overhead_vs_1sink_pct",
         100.0 * (queued_ns / sync_ns - 1.0),
+    );
+    // The permanent observability gate: metrics-on vs bare ingest. The
+    // instrumented arm pays per-shard span histograms, frame/event/gap
+    // counters, and per-branch queue series on every push.
+    record(
+        "pipeline_instrumented_bare_ingest_kevents_per_s",
+        1e6 / queued_ns,
+    );
+    record(
+        "pipeline_instrumented_metrics_ingest_kevents_per_s",
+        1e6 / instrumented_ns,
+    );
+    record(
+        "pipeline_instrumented_overhead_pct",
+        100.0 * (instrumented_ns / queued_ns - 1.0),
     );
 
     // ---- Threaded tree, end to end: consumers live the whole run,
@@ -531,7 +563,7 @@ fn main() {
     );
 
     // Assemble JSON by hand (flat snapshot, no serde needed).
-    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 8,\n");
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 9,\n");
     json.push_str(&format!(
         "  \"quick\": {quick},\n  \"reps\": {reps},\n  \"nodes\": {nodes},\n  \"frames\": {frames},\n"
     ));

@@ -54,6 +54,7 @@ use crate::cs::{CsMethod, CsSignature};
 use crate::error::{CoreError, Result};
 use crate::online::OnlineCs;
 use cwsmooth_data::WindowSpec;
+use cwsmooth_obs::{Counter, Histogram, Observe, Registry, Snapshot};
 use rayon::prelude::*;
 
 /// One batched time-step of fleet telemetry: a dense `nodes × n_sensors`
@@ -272,10 +273,29 @@ struct Shard {
     /// buffers so steady-state frames never allocate.
     events: Vec<FleetEvent>,
     staged: usize,
+    /// Per-shard ingest latency histogram
+    /// (`cws_ingest_ns{shard="<i>"}`), set by
+    /// [`FleetEngine::attach_metrics`]; `None` keeps the path free of
+    /// timer reads.
+    ingest_ns: Option<Histogram>,
 }
 
+/// One in how many frames gets a per-shard ingest span. Spans cost two
+/// clock reads per shard; sampling keeps the instrumented hot path
+/// within the pipeline overhead budget while the histogram still sees
+/// an unbiased (frame-clocked, load-independent) slice of ingests.
+const SPAN_SAMPLE_EVERY: u64 = 16;
+
 impl Shard {
-    fn ingest(&mut self, frame: &FleetFrame) -> Result<()> {
+    fn ingest(&mut self, frame: &FleetFrame, record_span: bool) -> Result<()> {
+        // Scoped span: records elapsed ns into the histogram on drop —
+        // i.e. when this shard's slice of the frame is done. Sampled
+        // (see `SPAN_SAMPLE_EVERY`): most frames skip the clock reads.
+        let _span = if record_span {
+            self.ingest_ns.as_ref().map(Histogram::start_span)
+        } else {
+            None
+        };
         self.staged = 0;
         for (i, stream) in self.streams.iter_mut().enumerate() {
             let node = self.start + i;
@@ -315,6 +335,18 @@ pub struct FleetEngine {
     n_sensors: usize,
     spec: WindowSpec,
     stats: FleetStats,
+    /// Live registry handles ([`FleetEngine::attach_metrics`]); `None`
+    /// keeps the ingest path free of metric stores.
+    metrics: Option<FleetMetrics>,
+}
+
+/// Live counter handles mirroring [`FleetStats`], bumped once per frame
+/// on the ingest thread (striped relaxed adds: no lock, no allocation).
+#[derive(Debug)]
+struct FleetMetrics {
+    frames: Counter,
+    events: Counter,
+    gaps: Counter,
 }
 
 impl FleetEngine {
@@ -360,6 +392,7 @@ impl FleetEngine {
                     .collect(),
                 events: Vec::new(),
                 staged: 0,
+                ingest_ns: None,
             });
             start += len;
         }
@@ -369,6 +402,7 @@ impl FleetEngine {
             n_sensors,
             spec,
             stats: FleetStats::default(),
+            metrics: None,
         })
     }
 
@@ -401,6 +435,28 @@ impl FleetEngine {
     /// Lifetime ingest counters.
     pub fn stats(&self) -> FleetStats {
         self.stats
+    }
+
+    /// Wires the engine to a metrics registry: registers live
+    /// `cws_frames_total`/`cws_events_total`/`cws_gaps_total` counters
+    /// (label `stage="fleet"`) bumped once per ingested frame, plus one
+    /// `cws_ingest_ns{shard="<i>"}` latency histogram per shard, fed by
+    /// a scoped span around each shard's slice of every 16th frame
+    /// (sampled — see `SPAN_SAMPLE_EVERY` — so the span's two clock
+    /// reads stay off the steady-state per-frame cost). The
+    /// handles are pre-registered, so steady-state recording allocates
+    /// nothing. Don't also hub-publish this engine's [`Observe`]
+    /// snapshot — it emits the same counter series.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.ingest_ns =
+                Some(registry.histogram("cws_ingest_ns", &[("shard", &i.to_string())]));
+        }
+        self.metrics = Some(FleetMetrics {
+            frames: registry.counter("cws_frames_total", &[("stage", "fleet")]),
+            events: registry.counter("cws_events_total", &[("stage", "fleet")]),
+            gaps: registry.counter("cws_gaps_total", &[("stage", "fleet")]),
+        });
     }
 
     /// A right-sized empty frame for this fleet.
@@ -444,14 +500,18 @@ impl FleetEngine {
                 self.n_sensors
             )));
         }
+        // Span sampling is frame-clocked so every shard's histogram
+        // covers the same frames; `frames` has not been bumped yet, so
+        // frame 0 (a cold-cache outlier worth seeing) is included.
+        let record_span = self.stats.frames.is_multiple_of(SPAN_SAMPLE_EVERY);
         if self.shards.len() == 1 {
-            self.shards[0].ingest(frame)?;
+            self.shards[0].ingest(frame, record_span)?;
         } else {
             // In-place parallel pass over the shards; the first error (in
             // shard order) wins, as with a sequential loop.
             self.shards
                 .par_iter_mut()
-                .map(|shard| shard.ingest(frame))
+                .map(|shard| shard.ingest(frame, record_span))
                 .collect::<Result<Vec<()>>>()?;
         }
         let mut events = 0u64;
@@ -461,9 +521,17 @@ impl FleetEngine {
             }
             events += shard.staged as u64;
         }
+        let gaps = (self.nodes - frame.present_count()) as u64;
         self.stats.frames += 1;
         self.stats.events += events;
-        self.stats.gaps += (self.nodes - frame.present_count()) as u64;
+        self.stats.gaps += gaps;
+        if let Some(m) = &self.metrics {
+            // Pre-registered handles: striped relaxed adds, no
+            // allocation — once per frame, not per event.
+            m.frames.inc();
+            m.events.add(events);
+            m.gaps.add(gaps);
+        }
         Ok(())
     }
 
@@ -485,6 +553,20 @@ impl FleetEngine {
         let mut out = Vec::new();
         self.ingest_frame_into(frame, &mut out)?;
         Ok(out)
+    }
+}
+
+/// Snapshot-style export of [`FleetStats`] plus fleet geometry — for
+/// engines not wired through [`FleetEngine::attach_metrics`], or for
+/// publishing through a [`cwsmooth_obs::MetricsHub`].
+impl Observe for FleetEngine {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "fleet")];
+        out.counter("cws_frames_total", labels, self.stats.frames);
+        out.counter("cws_events_total", labels, self.stats.events);
+        out.counter("cws_gaps_total", labels, self.stats.gaps);
+        out.gauge("cws_fleet_nodes", &[], self.nodes as f64);
+        out.gauge("cws_fleet_shards", &[], self.shards.len() as f64);
     }
 }
 
@@ -683,6 +765,65 @@ mod tests {
         assert_eq!(frame.readings(1).unwrap(), &[1.0, 2.0, 3.0]);
         assert!(frame.readings(0).is_none());
         assert!(frame.slot_mut(2).is_err());
+    }
+
+    #[test]
+    fn attached_metrics_mirror_stats_and_time_every_shard() {
+        use cwsmooth_obs::{Value, HIST_BUCKETS};
+
+        let (mut engine, mats) = build_fleet(9, 4, 60, 3);
+        let registry = Registry::new();
+        engine.attach_metrics(&registry);
+        let mut frame = engine.frame();
+        let mut events = Vec::new();
+        for c in 0..60 {
+            frame.clear();
+            for (i, m) in mats.iter().enumerate() {
+                // Gaps must be sparser than the window length (8) or no
+                // node ever completes a window.
+                if (c + i) % 17 != 0 {
+                    frame.set(i, &m.col(c)).unwrap();
+                }
+            }
+            engine.ingest_frame_into(&frame, &mut events).unwrap();
+        }
+        let stats = engine.stats();
+        assert!(stats.events > 0 && stats.gaps > 0);
+
+        let mut live = Snapshot::new();
+        registry.observe(&mut live);
+        let counter = |name: &str| {
+            live.samples()
+                .iter()
+                .find_map(|s| match (s.name == name, &s.value) {
+                    (true, Value::Counter(v)) => Some(*v),
+                    _ => None,
+                })
+        };
+        assert_eq!(counter("cws_frames_total"), Some(stats.frames));
+        assert_eq!(counter("cws_events_total"), Some(stats.events));
+        assert_eq!(counter("cws_gaps_total"), Some(stats.gaps));
+        // One latency histogram per shard, one sample per sampled
+        // frame each (frames 0, N, 2N, ... — see SPAN_SAMPLE_EVERY).
+        let mut shard_counts = 0u64;
+        let mut shards_seen = 0usize;
+        for s in live.samples() {
+            if s.name == "cws_ingest_ns" {
+                shards_seen += 1;
+                if let Value::Histogram(h) = &s.value {
+                    assert_eq!(h.buckets.len(), HIST_BUCKETS);
+                    shard_counts += h.count;
+                }
+            }
+        }
+        assert_eq!(shards_seen, engine.shard_count());
+        let sampled = stats.frames.div_ceil(SPAN_SAMPLE_EVERY);
+        assert_eq!(shard_counts, sampled * engine.shard_count() as u64);
+
+        // The snapshot path reports the same totals.
+        let mut snap = Snapshot::new();
+        engine.observe(&mut snap);
+        assert_eq!(snap.samples().len(), 5);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::error::Result;
 use crate::fleet::{FleetEvent, FleetEventBuf, FleetSink};
+use cwsmooth_obs::{MetricsHub, Observe, Snapshot};
 
 /// Forwarding through a mutable reference, so long-lived sinks can be
 /// lent to an operator tree without giving up ownership:
@@ -446,6 +447,106 @@ impl<S: FleetSink> FleetSink for Sample<S> {
     }
 }
 
+/// Metrics publication: forwards every event to the wrapped sink
+/// unchanged, and every `every`-th event additionally publishes the
+/// sink's [`Observe`] snapshot to a [`MetricsHub`] under a fixed key.
+///
+/// This is how stages owned by a thread the exporter cannot reach — a
+/// store behind a [`crate::transport::QueueSink`] consumer, a detector
+/// inside a serve loop — still show up on `GET /metrics`: the snapshot
+/// is taken *on the owning thread* (where `&sink` is legal) and handed
+/// to the shared hub, which the exporter merges at scrape time.
+///
+/// Publishing locks and allocates, so the cadence matters: a pipeline
+/// that must stay allocation-free per event should publish every few
+/// hundred events, amortising the cost to noise. The forwarding path
+/// itself adds one integer compare per event.
+///
+/// ```
+/// use cwsmooth_core::fleet::FleetSink;
+/// use cwsmooth_core::pipeline::{Collect, Publish};
+/// use cwsmooth_obs::{MetricsHub, Registry};
+///
+/// let hub = MetricsHub::new(Registry::new());
+/// let mut sink = Publish::new(Collect::new(), hub.clone(), "collect", 100);
+/// // ... engine.ingest_frame_sink(&frame, &mut sink) ...
+/// ```
+#[derive(Debug)]
+pub struct Publish<S> {
+    sink: S,
+    hub: MetricsHub,
+    key: String,
+    every: u64,
+    since: u64,
+}
+
+impl<S: Observe> Publish<S> {
+    /// Wraps `sink`, publishing its snapshot to `hub` under `key` after
+    /// every `every`-th forwarded event (`every` is clamped to at least
+    /// 1; 1 publishes on every event).
+    pub fn new(sink: S, hub: MetricsHub, key: &str, every: u64) -> Self {
+        Self {
+            sink,
+            hub,
+            key: key.to_string(),
+            every: every.max(1),
+            since: 0,
+        }
+    }
+
+    /// Publishes the wrapped sink's snapshot now, resetting the event
+    /// countdown — call after the last frame so the hub holds the final
+    /// totals.
+    pub fn flush(&mut self) {
+        self.since = 0;
+        self.hub.publish(&self.key, &self.sink);
+    }
+
+    /// The wrapped sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The wrapped sink, mutable.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the operator, returning the wrapped sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    fn tick(&mut self) {
+        self.since += 1;
+        if self.since >= self.every {
+            self.flush();
+        }
+    }
+}
+
+impl<S: FleetSink + Observe> FleetSink for Publish<S> {
+    fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
+        self.sink.on_event(event)?;
+        self.tick();
+        Ok(())
+    }
+
+    fn on_event_owned(&mut self, buf: FleetEventBuf) -> Result<FleetEventBuf> {
+        let buf = self.sink.on_event_owned(buf)?;
+        self.tick();
+        Ok(buf)
+    }
+}
+
+/// Forwards the wrapped sink's snapshot (the operator adds no series of
+/// its own).
+impl<S: Observe> Observe for Publish<S> {
+    fn observe(&self, out: &mut Snapshot) {
+        self.sink.observe(out);
+    }
+}
+
 /// Terminal collector: clones every delivered event into an owned
 /// vector. This is the inspection/testing leaf of a pipeline — and the
 /// one operator that allocates per event, since it takes ownership of
@@ -481,6 +582,14 @@ impl FleetSink for Collect {
     fn on_event(&mut self, event: &FleetEvent) -> Result<()> {
         self.events.push(event.clone());
         Ok(())
+    }
+}
+
+/// Exports the collected-event count, so a [`Collect`] leaf can sit
+/// behind [`Publish`] in tests and examples.
+impl Observe for Collect {
+    fn observe(&self, out: &mut Snapshot) {
+        out.gauge("cws_collect_events", &[], self.events.len() as f64);
     }
 }
 
@@ -667,6 +776,37 @@ mod tests {
             all.on_event(&event(0, w)).unwrap();
         }
         assert_eq!(all.passed(), 4);
+    }
+
+    #[test]
+    fn publish_forwards_everything_and_snapshots_on_cadence() {
+        use cwsmooth_obs::{MetricsHub, Registry, Value};
+
+        let hub = MetricsHub::new(Registry::new());
+        let mut sink = Publish::new(Collect::new(), hub.clone(), "collect", 4);
+        let collected = |hub: &MetricsHub| {
+            hub.snapshot().samples().iter().find_map(|s| {
+                match (&*s.name == "cws_collect_events", &s.value) {
+                    (true, Value::Gauge(v)) => Some(*v),
+                    _ => None,
+                }
+            })
+        };
+        // Below the cadence: forwarded but not yet published.
+        for i in 0..3 {
+            sink.on_event(&event(0, i)).unwrap();
+        }
+        assert_eq!(sink.sink().events().len(), 3);
+        assert_eq!(collected(&hub), None, "published before the 4th event");
+        // The 4th event crosses the cadence; the hub sees 4. Two more
+        // events stay unpublished until flush().
+        for i in 3..6 {
+            sink.on_event(&event(0, i)).unwrap();
+        }
+        assert_eq!(collected(&hub), Some(4.0));
+        sink.flush();
+        assert_eq!(collected(&hub), Some(6.0));
+        assert_eq!(sink.into_sink().events().len(), 6);
     }
 
     #[test]

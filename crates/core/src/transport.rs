@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{CoreError, Result};
 use crate::fleet::{FleetEvent, FleetEventBuf, FleetSink};
+use cwsmooth_obs::{Counter, Gauge, Observe, Registry, Snapshot};
 
 /// One slot of the bounded ring: a sequence number gating access plus
 /// the (possibly uninitialised) value.
@@ -83,8 +84,13 @@ unsafe impl<T: Send> Send for BoundedQueue<T> {}
 unsafe impl<T: Send> Sync for BoundedQueue<T> {}
 
 impl<T> BoundedQueue<T> {
+    /// The capacity a queue built with `capacity` actually gets.
+    fn rounded_capacity(capacity: usize) -> usize {
+        capacity.max(2).next_power_of_two()
+    }
+
     fn new(capacity: usize) -> Self {
-        let cap = capacity.max(2).next_power_of_two();
+        let cap = Self::rounded_capacity(capacity);
         let slots: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
@@ -271,6 +277,19 @@ pub struct QueueStats {
     /// Instantaneous ring occupancy.
     pub depth: usize,
     /// Highest ring occupancy observed by the producer after a push.
+    ///
+    /// Maintained against a *lazily refreshed* copy of the consumer's
+    /// dequeue cursor: each push first bounds the depth using the stale
+    /// copy — which can only **over**-state the true depth, because the
+    /// dequeue cursor only ever advances — and reads the shared cursor
+    /// exactly when that bound would raise the watermark. Laziness
+    /// therefore changes *when* the consumer's cache line is touched,
+    /// never the recorded value: this field is always the exact maximum
+    /// of true post-push occupancies so far. In particular, a snapshot
+    /// taken after [`QueueSink::join`] or a successful
+    /// [`QueueSink::join_timeout`] (producer quiesced, ring drained) is
+    /// exact and final — pinned by the
+    /// `high_watermark_is_exact_after_join` test.
     pub high_watermark: usize,
     /// Ring capacity (after power-of-two rounding).
     pub capacity: usize,
@@ -405,6 +424,36 @@ pub struct QueueSink<S> {
     /// copy only *over*-states the real depth, and the copy is
     /// refreshed exactly when the estimate would raise the watermark.
     head_cache: usize,
+    /// Live registry handles ([`QueueSink::with_metrics`]); `None`
+    /// keeps the push path branch-free of metric stores.
+    metrics: Option<QueueMetrics>,
+    /// How much of `pushed` has been flushed into the live counter —
+    /// the registry refresh is batched (see `METRICS_REFRESH_EVERY`),
+    /// not per push.
+    pushed_flushed: u64,
+    /// The `queue` label value this branch reports under.
+    label: String,
+}
+
+/// How many pushes between refreshes of the live registry series. The
+/// producer keeps its exact telemetry in plain fields and mirrors them
+/// into the shared handles once per batch (plus an exact flush at
+/// join), so the steady-state push path pays the atomic stores on one
+/// push in `METRICS_REFRESH_EVERY` instead of all of them. A scraper
+/// therefore sees counters/gauges that trail the truth by at most one
+/// batch while the producer is mid-stream.
+const METRICS_REFRESH_EVERY: u64 = 64;
+
+/// Producer-side registry handles: mirrored from the plain telemetry
+/// fields every `METRICS_REFRESH_EVERY` pushes (and exactly at
+/// join), so a scraper sees near-live depth and watermark without the
+/// producer paying shared stores on every push.
+#[derive(Debug)]
+struct QueueMetrics {
+    pushed: Counter,
+    dropped: Counter,
+    depth: Gauge,
+    high_watermark: Gauge,
 }
 
 impl std::fmt::Debug for Shared {
@@ -427,6 +476,44 @@ impl<S: FleetSink + Send + 'static> QueueSink<S> {
     /// Spawns a consumer thread for `inner` with an explicit capacity
     /// and full-queue policy.
     pub fn with_config(inner: S, config: QueueConfig) -> Self {
+        Self::build(inner, config, None, "queue".to_string())
+    }
+
+    /// [`QueueSink::with_config`] wired to a metrics registry: the
+    /// branch registers `cws_queue_*` series under `queue="<label>"`
+    /// and keeps them live — the push counter and depth/watermark
+    /// gauges refreshed by the producer once per
+    /// `METRICS_REFRESH_EVERY` pushes (relaxed stores on
+    /// pre-registered handles: no allocation, no lock, amortised to a
+    /// fraction of a store per push), the delivered counter bumped by
+    /// the consumer thread as it feeds the inner sink. The handles
+    /// outlive the sink and are flushed exactly at join, so the series
+    /// read the true totals after [`QueueSink::join`].
+    pub fn with_metrics(inner: S, config: QueueConfig, registry: &Registry, label: &str) -> Self {
+        let labels = &[("queue", label)];
+        let metrics = QueueMetrics {
+            pushed: registry.counter("cws_queue_pushed_total", labels),
+            dropped: registry.counter("cws_queue_dropped_total", labels),
+            depth: registry.gauge("cws_queue_depth", labels),
+            high_watermark: registry.gauge("cws_queue_high_watermark", labels),
+        };
+        registry
+            .gauge("cws_queue_capacity", labels)
+            .set(BoundedQueue::<()>::rounded_capacity(config.capacity) as u64);
+        let delivered = registry.counter("cws_queue_delivered_total", labels);
+        Self::build(inner, config, Some((metrics, delivered)), label.to_string())
+    }
+
+    fn build(
+        inner: S,
+        config: QueueConfig,
+        metrics: Option<(QueueMetrics, Counter)>,
+        label: String,
+    ) -> Self {
+        let (metrics, delivered) = match metrics {
+            Some((m, d)) => (Some(m), Some(d)),
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             ring: BoundedQueue::new(config.capacity),
             recycled: Mutex::new(Vec::new()),
@@ -441,7 +528,7 @@ impl<S: FleetSink + Send + 'static> QueueSink<S> {
         let worker_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
             .name("cwsmooth-queue".into())
-            .spawn(move || consumer_loop(worker_shared, inner))
+            .spawn(move || consumer_loop(worker_shared, inner, delivered))
             // lint:allow(no-panic-paths): failing to spawn a thread at
             // construction is unrecoverable resource exhaustion, not a
             // data-path error the sink contract covers.
@@ -457,12 +544,25 @@ impl<S: FleetSink + Send + 'static> QueueSink<S> {
             high_watermark: 0,
             ring_pos: 0,
             head_cache: 0,
+            metrics,
+            pushed_flushed: 0,
+            label,
         }
     }
 }
 
 impl<S> QueueSink<S> {
     /// Current branch telemetry.
+    ///
+    /// `pushed` and `high_watermark` are the producer's own plain
+    /// fields and are exact for everything pushed so far;
+    /// `high_watermark` in particular is the exact maximum post-push
+    /// occupancy despite its lazily refreshed head cache (see
+    /// [`QueueStats::high_watermark`]). `delivered`, `dropped` and
+    /// `depth` are relaxed reads of consumer-shared state and may trail
+    /// in-flight deliveries by a moment; once the branch is quiescent —
+    /// after [`QueueSink::join`]/[`QueueSink::join_timeout`] — every
+    /// field is exact.
     pub fn stats(&self) -> QueueStats {
         QueueStats {
             pushed: self.pushed,
@@ -512,6 +612,10 @@ impl<S> QueueSink<S> {
             if Instant::now() >= deadline {
                 self.shared.abandoned.store(true, Ordering::Relaxed);
                 self.consumer.unpark();
+                // The producer is done pushing even on this path: make
+                // the live series reflect the exact pushed total and
+                // the undrained backlog.
+                self.refresh_metrics();
                 let stats = self.stats();
                 // Detach: the wedged thread exits on its own whenever
                 // the inner sink unblocks.
@@ -528,8 +632,27 @@ impl<S> QueueSink<S> {
         // lint:allow(no-panic-paths): a panicking consumer is a bug in
         // the inner sink; propagating the panic beats swallowing it.
         let inner = handle.join().expect("queue consumer thread panicked");
+        // Final flush + exact final depth (see `shutdown`).
+        self.refresh_metrics();
+        if let Some(m) = &self.metrics {
+            m.depth.set(self.shared.ring.len() as u64);
+        }
         let result = self.latched_result();
         (Some(inner), self.stats(), result)
+    }
+
+    /// Mirrors the producer's exact plain-field telemetry into the
+    /// live registry handles: counter delta for `pushed`, gauge stores
+    /// for the stale-head depth bound and the watermark. No-op without
+    /// metrics.
+    fn refresh_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.pushed.add(self.pushed - self.pushed_flushed);
+            self.pushed_flushed = self.pushed;
+            m.depth
+                .set(self.ring_pos.saturating_sub(self.head_cache) as u64);
+            m.high_watermark.set(self.high_watermark as u64);
+        }
     }
 
     /// The first consumer-side error, unless a push already surfaced it.
@@ -562,7 +685,16 @@ impl<S> QueueSink<S> {
         self.consumer.unpark();
         // lint:allow(no-panic-paths): a panicking consumer is a bug in
         // the inner sink; propagating the panic beats swallowing it.
-        Some(handle.join().expect("queue consumer thread panicked"))
+        let inner = handle.join().expect("queue consumer thread panicked");
+        // Final flush: exact pushed/watermark totals, then — since the
+        // consumer is gone and the ring is final — replace the
+        // producer-side depth estimate with the exact residue (0 after
+        // a clean join).
+        self.refresh_metrics();
+        if let Some(m) = &self.metrics {
+            m.depth.set(self.shared.ring.len() as u64);
+        }
+        Some(inner)
     }
 
     /// Fetches a recycled envelope, allocating only while the pool is
@@ -618,6 +750,9 @@ impl<S> QueueSink<S> {
                         QueuePolicy::DropOldest => {
                             if let Some(evicted) = self.shared.ring.pop() {
                                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                                if let Some(m) = &self.metrics {
+                                    m.dropped.inc();
+                                }
                                 self.pool.push(evicted);
                             }
                             // Full → non-full can also have been the
@@ -640,10 +775,40 @@ impl<S> QueueSink<S> {
                 self.high_watermark = depth;
             }
         }
+        if self.metrics.is_some() && self.pushed - self.pushed_flushed >= METRICS_REFRESH_EVERY {
+            // Batched refresh of the live series (relaxed stores on
+            // pre-registered handles: no lock, no allocation). The
+            // depth gauge mirrors the same stale-head upper bound the
+            // watermark logic uses, so the refresh never touches the
+            // consumer's cache line either.
+            self.refresh_metrics();
+        }
         if self.shared.consumer_parked.load(Ordering::Relaxed) {
             self.consumer.unpark();
         }
         Ok(())
+    }
+}
+
+/// Snapshot-style export of [`QueueSink::stats`] — for branches not
+/// constructed through [`QueueSink::with_metrics`], or for publishing
+/// through a [`cwsmooth_obs::MetricsHub`]. Don't do both for the same
+/// branch: the live handles and this snapshot emit the same series
+/// names and would render duplicates.
+impl<S> Observe for QueueSink<S> {
+    fn observe(&self, out: &mut Snapshot) {
+        let stats = self.stats();
+        let labels = &[("queue", self.label.as_str())];
+        out.counter("cws_queue_pushed_total", labels, stats.pushed);
+        out.counter("cws_queue_delivered_total", labels, stats.delivered);
+        out.counter("cws_queue_dropped_total", labels, stats.dropped);
+        out.gauge("cws_queue_depth", labels, stats.depth as f64);
+        out.gauge(
+            "cws_queue_high_watermark",
+            labels,
+            stats.high_watermark as f64,
+        );
+        out.gauge("cws_queue_capacity", labels, stats.capacity as f64);
     }
 }
 
@@ -674,7 +839,7 @@ impl<S> Drop for QueueSink<S> {
 /// The consumer thread: pops envelopes, feeds the inner sink, recycles
 /// the envelopes, and exits once the producer is done and the ring is
 /// drained. Returns the inner sink to the joiner.
-fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
+fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S, delivered: Option<Counter>) -> S {
     let mut spent: Vec<Box<FleetEventBuf>> = Vec::with_capacity(RECYCLE_BATCH);
     loop {
         // An impatient joiner gave up on this branch: stop delivering,
@@ -686,7 +851,7 @@ fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
         }
         match shared.ring.pop() {
             Some(buf) => {
-                deliver(&shared, &mut inner, buf, &mut spent);
+                deliver(&shared, &mut inner, buf, &mut spent, delivered.as_ref());
                 if spent.len() >= RECYCLE_BATCH {
                     flush_spent(&shared, &mut spent);
                 }
@@ -700,7 +865,7 @@ fn consumer_loop<S: FleetSink>(shared: Arc<Shared>, mut inner: S) -> S {
                     // anything it pushed is visible by now; one final
                     // drain closes the pop-then-done race.
                     while let Some(buf) = shared.ring.pop() {
-                        deliver(&shared, &mut inner, buf, &mut spent);
+                        deliver(&shared, &mut inner, buf, &mut spent, delivered.as_ref());
                     }
                     flush_spent(&shared, &mut spent);
                     return inner;
@@ -744,6 +909,7 @@ fn deliver<S: FleetSink>(
     inner: &mut S,
     mut buf: Box<FleetEventBuf>,
     spent: &mut Vec<Box<FleetEventBuf>>,
+    delivered: Option<&Counter>,
 ) {
     // ordering: Acquire pairs with latch_error's Release — once failed
     // is observed, the latched record is complete and we stop feeding
@@ -753,6 +919,9 @@ fn deliver<S: FleetSink>(
             Ok(envelope) => {
                 *buf = envelope;
                 shared.delivered.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = delivered {
+                    counter.inc();
+                }
             }
             Err(err) => shared.latch_error(err),
         }
@@ -936,6 +1105,116 @@ mod tests {
             thread::yield_now();
         }
         assert_eq!(seen.load(Ordering::Relaxed), 1, "backlog must be dropped");
+    }
+
+    #[test]
+    fn high_watermark_is_exact_after_join() {
+        use std::sync::Condvar;
+
+        /// Counts events, blocking on a gate while it is closed — lets
+        /// the test wedge the consumer at a known point.
+        struct Gated {
+            gate: Arc<(Mutex<bool>, Condvar)>,
+            seen: Arc<AtomicU64>,
+        }
+        impl FleetSink for Gated {
+            fn on_event(&mut self, _event: &FleetEvent) -> Result<()> {
+                self.seen.fetch_add(1, Ordering::Relaxed);
+                let (lock, cv) = &*self.gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(())
+            }
+        }
+
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sink = QueueSink::with_config(
+            Gated {
+                gate: Arc::clone(&gate),
+                seen: Arc::clone(&seen),
+            },
+            QueueConfig {
+                capacity: 8,
+                policy: QueuePolicy::Block,
+            },
+        );
+        // Wedge the consumer on the very first event: once `seen` goes
+        // to 1 the consumer has popped event 0 (the pop precedes the
+        // delivery that blocked), so the dequeue cursor sits at 1 and
+        // cannot move again while the gate is closed.
+        sink.on_event(&event(0, 0)).unwrap();
+        while seen.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+        // Seven more pushes: the true occupancy after the k-th push is
+        // exactly k - 1, so this run's maximum post-push depth is 7.
+        for i in 1..8 {
+            sink.on_event(&event(0, i)).unwrap();
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        // A post-join snapshot must report that maximum exactly — the
+        // lazily refreshed head cache may defer reading the consumer's
+        // cursor, but never changes the recorded watermark.
+        let (inner, stats, res) = sink.join_timeout(Duration::from_secs(30));
+        res.unwrap();
+        assert!(inner.is_some(), "consumer drains once the gate opens");
+        assert_eq!(stats.high_watermark, 7, "post-join watermark is exact");
+        assert_eq!(stats.pushed, 8);
+        assert_eq!(stats.delivered, 8);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn with_metrics_keeps_registry_series_live() {
+        use cwsmooth_obs::Value;
+
+        let registry = Registry::new();
+        let mut sink = QueueSink::with_metrics(
+            Collect::new(),
+            QueueConfig {
+                capacity: 8,
+                policy: QueuePolicy::Block,
+            },
+            &registry,
+            "test",
+        );
+        for i in 0..40 {
+            sink.on_event(&event(i % 2, i / 2)).unwrap();
+        }
+        // The snapshot path mirrors stats() one sample per field.
+        let mut snap = Snapshot::new();
+        sink.observe(&mut snap);
+        assert_eq!(snap.samples().len(), 6);
+        assert!(snap
+            .samples()
+            .iter()
+            .all(|s| s.labels == vec![("queue".to_string(), "test".to_string())]));
+
+        let (collect, res) = sink.join();
+        res.unwrap();
+        assert_eq!(collect.events().len(), 40);
+
+        // The live handles outlive the sink: a post-join scrape of the
+        // registry sees the final totals.
+        let mut live = Snapshot::new();
+        registry.observe(&mut live);
+        let value = |name: &str| {
+            live.samples()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+        };
+        assert_eq!(value("cws_queue_pushed_total"), Some(Value::Counter(40)));
+        assert_eq!(value("cws_queue_delivered_total"), Some(Value::Counter(40)));
+        assert_eq!(value("cws_queue_dropped_total"), Some(Value::Counter(0)));
+        assert_eq!(value("cws_queue_capacity"), Some(Value::Gauge(8.0)));
     }
 
     #[test]

@@ -167,11 +167,13 @@ impl<'a> FileContext<'a> {
 }
 
 /// The modules whose docs promise `Err`-not-panic on bad input: the
-/// persistent store, the cross-process transport, the streaming
-/// fleet/pipeline/transport layers and the drift monitor.
+/// persistent store, the cross-process transport, the metrics
+/// registry (scraped from exporter threads that must never die), the
+/// streaming fleet/pipeline/transport layers and the drift monitor.
 fn in_no_panic_scope(path: &str) -> bool {
     path.starts_with("crates/store/src/")
         || path.starts_with("crates/net/src/")
+        || path.starts_with("crates/obs/src/")
         || path == "crates/core/src/fleet.rs"
         || path == "crates/core/src/pipeline.rs"
         || path == "crates/core/src/transport.rs"

@@ -22,6 +22,7 @@
 use crate::forest::RandomForestClassifier;
 use cwsmooth_core::error::{CoreError, Result as CoreResult};
 use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+use cwsmooth_obs::{Observe, Snapshot};
 
 use crate::error::{MlError, Result};
 
@@ -179,6 +180,31 @@ impl StreamingDetector {
     }
 }
 
+/// Snapshot of the detector's verdict state under `stage="detector"`:
+/// lifetime event/alarm-transition counters, per-class verdict counters
+/// (`cws_detector_class_total{class="<id>"}`), the number of nodes
+/// currently alarmed, and the mean vote margin.
+impl Observe for StreamingDetector {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "detector")];
+        out.counter("cws_detector_events_total", labels, self.events);
+        out.counter("cws_detector_alarms_total", labels, self.alarms);
+        for (class, count) in self.class_counts.iter().enumerate() {
+            out.counter(
+                "cws_detector_class_total",
+                &[("stage", "detector"), ("class", &class.to_string())],
+                *count,
+            );
+        }
+        out.gauge(
+            "cws_detector_alarmed_nodes",
+            labels,
+            self.alarmed_nodes().count() as f64,
+        );
+        out.gauge("cws_detector_mean_margin", labels, self.mean_margin());
+    }
+}
+
 impl FleetSink for StreamingDetector {
     fn on_event(&mut self, event: &FleetEvent) -> CoreResult<()> {
         event.signature.features_into(&mut self.features);
@@ -270,6 +296,53 @@ mod tests {
         // take that ability away.
         fn assert_send<T: Send>() {}
         assert_send::<StreamingDetector>();
+    }
+
+    #[test]
+    fn observe_snapshots_verdicts_alarms_and_classes() {
+        use cwsmooth_obs::Value;
+
+        let cfg = DetectorConfig {
+            healthy_class: 0,
+            min_run: 1,
+        };
+        let mut det = StreamingDetector::new(trained_forest(), cfg).unwrap();
+        for w in 0..3 {
+            det.on_event(&event(0, w, false)).unwrap();
+        }
+        for w in 0..2 {
+            det.on_event(&event(1, w, true)).unwrap();
+        }
+        let mut snap = Snapshot::new();
+        det.observe(&mut snap);
+        let value = |name: &str, class: Option<&str>| {
+            snap.samples()
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && class
+                            .is_none_or(|c| s.labels.iter().any(|(k, v)| k == "class" && v == c))
+                })
+                .map(|s| s.value.clone())
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(value("cws_detector_events_total", None), Value::Counter(5));
+        // min_run 1: node 1 alarmed on its first hot window and stayed
+        // alarmed — one transition.
+        assert_eq!(value("cws_detector_alarms_total", None), Value::Counter(1));
+        assert_eq!(value("cws_detector_alarmed_nodes", None), Value::Gauge(1.0));
+        assert_eq!(
+            value("cws_detector_class_total", Some("0")),
+            Value::Counter(3)
+        );
+        assert_eq!(
+            value("cws_detector_class_total", Some("1")),
+            Value::Counter(2)
+        );
+        let Value::Gauge(margin) = value("cws_detector_mean_margin", None) else {
+            panic!("mean_margin must be a gauge");
+        };
+        assert!((0.0..=1.0).contains(&margin) && margin > 0.0);
     }
 
     #[test]

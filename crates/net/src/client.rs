@@ -42,6 +42,7 @@ use crate::spill::Spill;
 use crate::wire::{self, FrameKind, FrameReader, ReadOutcome};
 use cwsmooth_core::error::CoreError;
 use cwsmooth_core::fleet::{FleetEvent, FleetSink};
+use cwsmooth_obs::{Observe, Snapshot};
 use cwsmooth_store::codec::BlockCodec;
 use std::collections::VecDeque;
 use std::net::ToSocketAddrs;
@@ -122,8 +123,15 @@ pub struct NetStats {
     pub connect_failures: u64,
     /// Connections lost after being established.
     pub disconnects: u64,
+    /// Reconnect backoff periods armed (each connect failure or
+    /// disconnect arms exactly one).
+    pub backoffs: u64,
     /// Events currently pending (memory + spill + replay + in-flight).
     pub queued: u64,
+    /// Events currently on the wire awaiting acknowledgement.
+    pub inflight: u64,
+    /// Cumulative bytes written to spill segments by this sink.
+    pub spill_bytes: u64,
     /// Spill segment files currently on disk.
     pub spill_segments: usize,
     /// Whether a connection is currently established.
@@ -249,6 +257,8 @@ impl SocketSink {
             + self.replay.len() as u64
             + self.inflight.len() as u64
             + self.spill.events();
+        stats.inflight = self.inflight.len() as u64;
+        stats.spill_bytes = self.spill.bytes_written();
         stats.spill_segments = self.spill.segments();
         stats.connected = self.conn.is_some();
         stats
@@ -302,6 +312,7 @@ impl SocketSink {
     /// Schedules the next reconnect attempt: capped exponential backoff
     /// with ±50% jitter.
     fn arm_backoff(&mut self) {
+        self.stats.backoffs += 1;
         self.backoff_streak = self.backoff_streak.saturating_add(1);
         let doublings = self.backoff_streak.saturating_sub(1).min(16);
         let base = self
@@ -712,6 +723,58 @@ impl SocketSink {
 impl FleetSink for SocketSink {
     fn on_event(&mut self, event: &FleetEvent) -> cwsmooth_core::error::Result<()> {
         self.push_event(event).map_err(CoreError::from)
+    }
+}
+
+/// Snapshot-style export of [`SocketSink::stats`] under
+/// `stage="socket"` — publish through a
+/// [`cwsmooth_obs::MetricsHub`] (e.g. via
+/// `cwsmooth_core::pipeline::Publish`) to surface transport health on
+/// `GET /metrics`. Delegates to the [`Observe`] impl on [`NetStats`].
+impl Observe for SocketSink {
+    fn observe(&self, out: &mut Snapshot) {
+        self.stats().observe(out);
+    }
+}
+
+/// The same `stage="socket"` series from a stats value alone — lets the
+/// final counters returned by [`SocketSink::finish`] (which consumes
+/// the sink) be published as a last snapshot. Reconnect behaviour is
+/// readable directly: `cws_net_reconnects_total` counts
+/// re-establishments after the first connect,
+/// `cws_net_backoffs_total` the backoff periods armed.
+impl Observe for NetStats {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "socket")];
+        out.counter("cws_net_accepted_total", labels, self.accepted);
+        out.counter("cws_net_sent_total", labels, self.sent);
+        out.counter("cws_net_acked_total", labels, self.acked);
+        out.counter("cws_net_retransmitted_total", labels, self.retransmitted);
+        out.counter("cws_net_spilled_total", labels, self.spilled);
+        out.counter("cws_net_drained_total", labels, self.drained);
+        out.counter("cws_net_dropped_total", labels, self.dropped);
+        out.counter("cws_net_connects_total", labels, self.connects);
+        out.counter(
+            "cws_net_reconnects_total",
+            labels,
+            self.connects.saturating_sub(1),
+        );
+        out.counter(
+            "cws_net_connect_failures_total",
+            labels,
+            self.connect_failures,
+        );
+        out.counter("cws_net_disconnects_total", labels, self.disconnects);
+        out.counter("cws_net_backoffs_total", labels, self.backoffs);
+        out.counter("cws_net_spill_bytes_total", labels, self.spill_bytes);
+        out.gauge("cws_net_queued", labels, self.queued as f64);
+        out.gauge("cws_net_inflight", labels, self.inflight as f64);
+        out.gauge("cws_net_spill_segments", labels, self.spill_segments as f64);
+        out.gauge(
+            "cws_net_connected",
+            labels,
+            if self.connected { 1.0 } else { 0.0 },
+        );
     }
 }
 

@@ -30,6 +30,9 @@
 //!   [`ChaosLink`]) for the chaos harness: drops, delays, partial
 //!   writes, byte flips, resets and process-kill simulation, all
 //!   deterministic per seed.
+//! - [`metrics`] — a [`MetricsServer`] HTTP exporter answering
+//!   `GET /metrics` (Prometheus text) and `GET /metrics.json` from a
+//!   background thread, built on the same [`Accept`]/[`Link`] traits.
 //!
 //! Everything follows the workspace robustness contract: bad input and
 //! bad networks yield `Err`, never a panic; queues and buffers are
@@ -43,6 +46,7 @@ mod client;
 mod error;
 mod event;
 pub mod link;
+pub mod metrics;
 mod rng;
 mod server;
 mod spill;
@@ -54,6 +58,7 @@ pub use error::{NetError, Result};
 pub use link::{Accept, Dial, Link, TcpAcceptor, TcpDialer};
 #[cfg(unix)]
 pub use link::{UnixAcceptor, UnixDialer};
+pub use metrics::{scrape, MetricsServer};
 pub use server::{serve_into, ConnEnd, NetSink, Server, ServerConfig, ServerStats};
 
 // The wire geometry handle is the store's codec; re-export it so users

@@ -1,0 +1,272 @@
+//! HTTP scrape endpoint for a [`MetricsHub`].
+//!
+//! A [`MetricsServer`] owns a background thread that accepts
+//! connections on the workspace's own [`Accept`]/[`Link`] abstraction
+//! and answers two one-shot HTTP requests:
+//!
+//! - `GET /metrics` — Prometheus text exposition
+//!   ([`MetricsHub::render_prometheus`]),
+//! - `GET /metrics.json` — the same snapshot as JSON
+//!   ([`MetricsHub::render_json`]).
+//!
+//! Every other path gets a `404`; every response closes the
+//! connection (`Connection: close`), so any HTTP client — `curl`, a
+//! Prometheus scraper, a test using [`scrape`] — works without
+//! keep-alive plumbing. Requests are bounded: a peer that stalls
+//! mid-request or sends an oversized header block is dropped without
+//! affecting the serve loop.
+//!
+//! Shutdown is cooperative: [`MetricsServer::shutdown`] raises a stop
+//! flag and self-dials the listener once so the blocking `accept`
+//! wakes, then joins the thread. Dropping the server does the same.
+
+use crate::link::{Accept, Link, TcpAcceptor};
+use cwsmooth_obs::MetricsHub;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bound on one request's header block; a peer exceeding it is cut off.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Patience for one request's bytes and for writing the response.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Background HTTP exporter for one [`MetricsHub`].
+///
+/// Binds a TCP listener (port 0 gives an ephemeral port, resolved via
+/// [`MetricsServer::local_addr`]) and serves scrapes until shutdown.
+/// The hub is cheap to clone and internally synchronized, so the
+/// pipeline keeps publishing while the exporter renders.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts the exporter thread.
+    pub fn bind(addr: impl ToSocketAddrs, hub: MetricsHub) -> io::Result<Self> {
+        let acceptor = TcpAcceptor::bind(addr)?;
+        let local = acceptor.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cws-metrics".into())
+            .spawn(move || {
+                let mut acceptor = acceptor;
+                serve_metrics(&mut acceptor, &hub, &thread_stop);
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports) — scrape
+    /// `http://<local_addr>/metrics`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the exporter thread and waits for it to finish.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release); // ordering: the flag must be visible before the wake-up connect below lands
+                                                  // Self-dial once so a blocking accept wakes and sees the flag.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            drop(stream);
+        }
+        drop(handle.join());
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve loop over any [`Accept`]: answers requests until `stop` is
+/// raised or the acceptor reports [`io::ErrorKind::NotConnected`]
+/// (closed). Per-connection faults (stalls, malformed requests, write
+/// errors) drop that connection only.
+pub fn serve_metrics(acceptor: &mut dyn Accept, hub: &MetricsHub, stop: &AtomicBool) {
+    loop {
+        // ordering: Acquire pairs with the Release store in shutdown;
+        // the dial that wakes accept happens after the store, so a
+        // woken loop always observes the flag.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut link = match acceptor.accept() {
+            Ok(link) => link,
+            Err(e) if e.kind() == io::ErrorKind::NotConnected => return,
+            Err(_) => continue,
+        };
+        // ordering: see above — this is the wake-up connection.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Best effort per connection: a scrape that fails is retried
+        // by the scraper, not by us.
+        drop(answer_one(link.as_mut(), hub));
+    }
+}
+
+/// Reads one HTTP request from `link` and writes the response.
+fn answer_one(link: &mut dyn Link, hub: &MetricsHub) -> io::Result<()> {
+    link.set_read_timeout(Some(IO_TIMEOUT))?;
+    link.set_write_timeout(Some(IO_TIMEOUT))?;
+    let path = read_request_path(link)?;
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            hub.render_prometheus(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", hub.render_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    link.write_all(header.as_bytes())?;
+    link.write_all(body.as_bytes())?;
+    link.flush()
+}
+
+/// Reads until the end of the header block and returns the request
+/// path from the request line (`GET <path> HTTP/1.x`).
+fn read_request_path(link: &mut dyn Link) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request header block too large",
+            ));
+        }
+        let n = link.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let line_end = buf
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(buf.len());
+    let line = String::from_utf8_lossy(&buf[..line_end]);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" || path.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a GET request line",
+        ));
+    }
+    Ok(path.to_string())
+}
+
+/// Fetches `path` from a [`MetricsServer`] and returns the response
+/// body — a minimal HTTP client for tests and examples, so scraping
+/// the exporter needs no external tooling.
+pub fn scrape(addr: SocketAddr, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: cws\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((header, body)) = response.split_once("\r\n\r\n") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response missing header terminator",
+        ));
+    };
+    if !header.starts_with("HTTP/1.1 200") {
+        let status = header.lines().next().unwrap_or("").to_string();
+        return Err(io::Error::new(io::ErrorKind::InvalidData, status));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsmooth_obs::{Observe, Registry, Snapshot};
+
+    struct Fixed;
+
+    impl Observe for Fixed {
+        fn observe(&self, out: &mut Snapshot) {
+            out.counter("cws_fixed_total", &[("stage", "test")], 7);
+        }
+    }
+
+    #[test]
+    fn serves_prometheus_and_json_scrapes() {
+        let registry = Registry::new();
+        registry.counter("cws_live_total", &[]).add(3);
+        let hub = MetricsHub::new(registry);
+        hub.publish("fixed", &Fixed);
+        let server = MetricsServer::bind("127.0.0.1:0", hub.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let text = scrape(addr, "/metrics").unwrap();
+        assert!(text.contains("cws_live_total 3"), "prometheus: {text}");
+        assert!(
+            text.contains("cws_fixed_total{stage=\"test\"} 7"),
+            "prometheus: {text}"
+        );
+
+        let json = scrape(addr, "/metrics.json").unwrap();
+        assert!(json.contains("\"cws_fixed_total\""), "json: {json}");
+
+        let err = scrape(addr, "/nope").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+
+        // A scrape after more activity sees the new value: the hub
+        // renders live, not a bind-time copy.
+        hub.registry().counter("cws_live_total", &[]).add(2);
+        let text = scrape(addr, "/metrics").unwrap();
+        assert!(text.contains("cws_live_total 5"), "prometheus: {text}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent_via_drop() {
+        let hub = MetricsHub::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+        drop(server); // stops via Drop
+                      // The listener is gone: a fresh scrape cannot connect (or is
+                      // refused mid-request by the dead exporter).
+        assert!(scrape(addr, "/metrics").is_err());
+    }
+}

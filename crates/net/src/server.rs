@@ -28,7 +28,8 @@ use crate::link::{Accept, Link};
 use crate::wire::{self, FrameKind, FrameReader, ReadOutcome};
 use cwsmooth_core::error::CoreError;
 use cwsmooth_core::fleet::{FleetEvent, FleetSink};
-use cwsmooth_core::pipeline::Collect;
+use cwsmooth_core::pipeline::{Collect, Publish};
+use cwsmooth_obs::{Counter, Observe, Registry, Snapshot};
 use cwsmooth_store::codec::BlockCodec;
 use cwsmooth_store::SignatureStore;
 use std::time::Duration;
@@ -53,6 +54,18 @@ impl NetSink for SignatureStore {
 impl NetSink for Collect {}
 
 impl NetSink for Vec<FleetEvent> {}
+
+/// Commit forwards to the wrapped sink, then publishes its snapshot —
+/// so the hub always reflects a *committed* (durable) state, and a
+/// serve loop that acks on commit keeps the exporter fresh without any
+/// extra plumbing.
+impl<S: NetSink + Observe> NetSink for Publish<S> {
+    fn commit(&mut self) -> cwsmooth_core::error::Result<()> {
+        self.sink_mut().commit()?;
+        self.flush();
+        Ok(())
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +140,23 @@ pub struct Server {
     values: Vec<f64>,
     /// Reused event envelope for sink delivery.
     event: FleetEvent,
+    /// Live registry handles ([`Server::attach_metrics`]); `None`
+    /// keeps the frame path free of metric stores.
+    metrics: Option<ServerMetrics>,
+}
+
+/// Live counter handles mirroring [`ServerStats`], bumped inline on the
+/// serve thread — the serve loop blocks in [`Server::serve`], so an
+/// exporter on another thread reads these instead of waiting for a
+/// snapshot the loop can never publish.
+#[derive(Debug)]
+struct ServerMetrics {
+    connections: Counter,
+    frames: Counter,
+    events: Counter,
+    deduped: Counter,
+    failed_connections: Counter,
+    acks: Counter,
 }
 
 impl Server {
@@ -148,12 +178,39 @@ impl Server {
             windows: Vec::new(),
             values: Vec::new(),
             event: FleetEvent::default(),
+            metrics: None,
         })
     }
 
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    /// Wires the server to a metrics registry: registers live
+    /// `stage="server"` counters (`cws_connections_total`,
+    /// `cws_frames_total`, `cws_events_total`, `cws_deduped_total`,
+    /// `cws_failed_connections_total`, `cws_acks_total`) bumped inline
+    /// as frames are served, so a scraper thread sees progress while
+    /// [`Server::serve`] blocks. Striped relaxed adds on pre-registered
+    /// handles: no lock, no allocation on the frame path.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let labels = &[("stage", "server")];
+        self.metrics = Some(ServerMetrics {
+            connections: registry.counter("cws_connections_total", labels),
+            frames: registry.counter("cws_frames_total", labels),
+            events: registry.counter("cws_events_total", labels),
+            deduped: registry.counter("cws_deduped_total", labels),
+            failed_connections: registry.counter("cws_failed_connections_total", labels),
+            acks: registry.counter("cws_acks_total", labels),
+        });
+    }
+
+    /// Bumps one live counter, if metrics are attached.
+    fn bump(&self, pick: impl Fn(&ServerMetrics) -> &Counter) {
+        if let Some(m) = &self.metrics {
+            pick(m).inc();
+        }
     }
 
     /// Raises the dedupe floor for one node: windows `<= window` from
@@ -250,6 +307,12 @@ impl Server {
                 ReadOutcome::Idle => continue,
                 ReadOutcome::Frame(f) => {
                     self.stats.frames += 1;
+                    // Field access, not `bump`: `f` still borrows
+                    // `self.reader`, so only a disjoint field borrow
+                    // of `self.metrics` is allowed here.
+                    if let Some(m) = &self.metrics {
+                        m.frames.inc();
+                    }
                     match f.kind {
                         FrameKind::Hello => {
                             let remote = wire::parse_hello(f.payload)?;
@@ -316,6 +379,7 @@ impl Server {
                     helloed = true;
                     self.write_frame(link, FrameKind::Ack, 0, &[])?;
                     self.stats.acks += 1;
+                    self.bump(|m| &m.acks);
                 }
                 FrameKind::Data => {
                     let delivered = self.deliver_block(sink, node)?;
@@ -327,6 +391,7 @@ impl Server {
                         sink.commit().map_err(NetError::Sink)?;
                         self.write_frame(link, FrameKind::Ack, prev_seq, &[])?;
                         self.stats.acks += 1;
+                        self.bump(|m| &m.acks);
                         since_ack = 0;
                     }
                 }
@@ -335,6 +400,7 @@ impl Server {
                     sink.commit().map_err(NetError::Sink)?;
                     self.write_frame(link, FrameKind::Ack, prev_seq, &[])?;
                     self.stats.acks += 1;
+                    self.bump(|m| &m.acks);
                     return Ok(ConnEnd::Bye);
                 }
                 _ => {}
@@ -379,6 +445,7 @@ impl Server {
             let Some(floor) = floor else { break };
             if floor.is_some_and(|w| window <= w) {
                 self.stats.deduped += 1;
+                self.bump(|m| &m.deduped);
                 continue;
             }
             *floor = Some(window);
@@ -390,6 +457,7 @@ impl Server {
             self.event.signature.im.extend_from_slice(&chunk[l..]);
             sink.on_event(&self.event).map_err(NetError::Sink)?;
             self.stats.events += 1;
+            self.bump(|m| &m.events);
         }
         Ok(processed)
     }
@@ -410,6 +478,7 @@ impl Server {
                 Err(e) => return Err(e.into()),
             };
             self.stats.connections += 1;
+            self.bump(|m| &m.connections);
             match self.serve_conn(link.as_mut(), sink) {
                 Ok(ConnEnd::Bye) if self.cfg.stop_on_bye => return Ok(()),
                 Ok(_) => {}
@@ -418,9 +487,30 @@ impl Server {
                     // This connection only; the client reconnects and
                     // replays, dedupe absorbs the overlap.
                     self.stats.failed_connections += 1;
+                    self.bump(|m| &m.failed_connections);
                 }
             }
         }
+    }
+}
+
+/// Snapshot of [`Server::stats`] under `stage="server"` — the same
+/// series names as [`Server::attach_metrics`], so either path yields an
+/// identical scrape. Do not use both on one server: the registry and
+/// the published snapshot would each emit the series.
+impl Observe for Server {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "server")];
+        out.counter("cws_connections_total", labels, self.stats.connections);
+        out.counter("cws_frames_total", labels, self.stats.frames);
+        out.counter("cws_events_total", labels, self.stats.events);
+        out.counter("cws_deduped_total", labels, self.stats.deduped);
+        out.counter(
+            "cws_failed_connections_total",
+            labels,
+            self.stats.failed_connections,
+        );
+        out.counter("cws_acks_total", labels, self.stats.acks);
     }
 }
 
@@ -547,6 +637,78 @@ mod tests {
         assert_eq!(got, vec![(3, 7), (3, 8), (3, 9)]);
         assert_eq!(events[0].signature.re, vec![0.5, 1.5]);
         assert_eq!(events[0].signature.im, vec![2.5, 3.5]);
+    }
+
+    #[test]
+    fn attached_metrics_and_observe_mirror_stats() {
+        use cwsmooth_obs::Value;
+
+        let hub = ChaosHub::new();
+        let mut dialer = hub.dialer(ChaosConfig::default());
+        let mut acceptor = hub.acceptor();
+        let cfg = ServerConfig {
+            ack_every: 2,
+            ..ServerConfig::default()
+        };
+        let c = codec();
+        let registry = Registry::new();
+        let server_registry = registry.clone();
+        let server_thread = std::thread::spawn(move || {
+            let mut server = Server::new(c, cfg).unwrap();
+            server.attach_metrics(&server_registry);
+            let mut events: Vec<FleetEvent> = Vec::new();
+            let mut link = acceptor.accept().unwrap();
+            server.serve_conn(link.as_mut(), &mut events).unwrap();
+            let mut snap = Snapshot::new();
+            server.observe(&mut snap);
+            (server.stats(), snap)
+        });
+        let mut link = dialer.dial(Duration::from_secs(1)).unwrap();
+        let mut reader = FrameReader::new();
+        write_frame(link.as_mut(), FrameKind::Hello, 0, &wire::hello_payload(&c));
+        read_frame_kind(&mut reader, link.as_mut());
+        for (seq, window) in [(1u64, 7u64), (2, 8), (3, 8), (4, 9)] {
+            write_frame(
+                link.as_mut(),
+                FrameKind::Data,
+                seq,
+                &data_payload(&c, 3, window, 0.5),
+            );
+        }
+        read_frame_kind(&mut reader, link.as_mut());
+        read_frame_kind(&mut reader, link.as_mut());
+        write_frame(link.as_mut(), FrameKind::Bye, 4, &[]);
+        read_frame_kind(&mut reader, link.as_mut());
+        drop(link);
+        let (stats, snap) = server_thread.join().unwrap();
+
+        // Live registry counters mirror stats exactly.
+        let mut live = Snapshot::new();
+        registry.observe(&mut live);
+        let value = |name: &str| {
+            live.samples()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(value("cws_frames_total"), Value::Counter(stats.frames));
+        assert_eq!(value("cws_events_total"), Value::Counter(stats.events));
+        assert_eq!(value("cws_deduped_total"), Value::Counter(stats.deduped));
+        assert_eq!(value("cws_acks_total"), Value::Counter(stats.acks));
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.deduped, 1);
+
+        // The Observe snapshot carries the same series and values.
+        for sample in snap.samples() {
+            assert_eq!(
+                sample.labels,
+                vec![("stage".to_string(), "server".to_string())]
+            );
+            if let Some(live_sample) = live.samples().iter().find(|s| s.name == sample.name) {
+                assert_eq!(live_sample.value, sample.value, "{}", sample.name);
+            }
+        }
     }
 
     #[test]

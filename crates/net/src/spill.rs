@@ -63,6 +63,10 @@ pub(crate) struct Spill {
     windows: Vec<u64>,
     /// Events currently queued across all segments.
     queued: u64,
+    /// Cumulative bytes written to spill segments by this process
+    /// (headers + blocks; recovery of pre-existing segments does not
+    /// count). Never decremented — a telemetry total, not an occupancy.
+    bytes_written: u64,
 }
 
 fn seg_path(dir: &Path, id: u64) -> PathBuf {
@@ -120,6 +124,7 @@ impl Spill {
             scratch: Vec::new(),
             windows: Vec::new(),
             queued: 0,
+            bytes_written: 0,
         };
         let last_idx = paths.len().saturating_sub(1);
         for (i, (id, path)) in paths.iter().enumerate() {
@@ -192,6 +197,11 @@ impl Spill {
         self.segs.len()
     }
 
+    /// Cumulative bytes this process has written to spill segments.
+    pub(crate) fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
     /// Flushes and closes the write segment, sealing it for reads.
     fn seal_writer(&mut self) -> Result<()> {
         if let Some(mut w) = self.writer.take() {
@@ -210,6 +220,7 @@ impl Spill {
             let path = seg_path(&self.dir, id);
             let mut file = BufWriter::new(File::create(&path)?);
             file.write_all(&self.codec.header_bytes())?;
+            self.bytes_written += self.codec.header_bytes().len() as u64;
             self.segs.push_back(Seg {
                 id,
                 path,
@@ -228,6 +239,7 @@ impl Spill {
             return Err(NetError::Invalid("spill writer state lost mid-push".into()));
         };
         writer.write_all(&self.scratch)?;
+        self.bytes_written += self.scratch.len() as u64;
         back.events += 1;
         let seal = back.events >= self.segment_events;
         self.queued += 1;

@@ -1,0 +1,248 @@
+//! The snapshot plane: how components expose state to the exporter.
+//!
+//! Hot paths record through the handles in [`crate::metrics`]; cold
+//! state that already lives in a stats struct (`FleetStats`,
+//! `NetStats`, store recovery reports…) is exposed by implementing
+//! [`Observe`] and pushing [`Sample`]s into a [`Snapshot`] at scrape
+//! or publish time. The [`MetricsHub`] merges both worlds: the live
+//! registry plus keyed snapshots published by components the exporter
+//! thread cannot reach (a sink owned by a consumer thread, a store
+//! owned by a serve loop).
+
+use crate::metrics::Registry;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, `crate::metrics::HIST_BUCKETS` long
+    /// (not cumulative; the encoders accumulate).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+    /// Total samples recorded.
+    pub count: u64,
+}
+
+/// One sampled value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A monotone total.
+    Counter(u64),
+    /// A last-write-wins level.
+    Gauge(f64),
+    /// A bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series sample: name, label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (`cws_events_total`, …).
+    pub name: String,
+    /// Label key/value pairs, in emission order.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: Value,
+}
+
+/// An ordered collection of samples, filled by [`Observe`]rs and
+/// consumed by the encoders in [`crate::encode`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    samples: Vec<Sample>,
+}
+
+fn own(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a counter sample.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: own(labels),
+            value: Value::Counter(value),
+        });
+    }
+
+    /// Appends a gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: own(labels),
+            value: Value::Gauge(value),
+        });
+    }
+
+    /// Appends a histogram sample.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], value: HistogramSnapshot) {
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels: own(labels),
+            value: Value::Histogram(value),
+        });
+    }
+
+    /// Appends every sample of `other`.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.samples.extend(other.samples.iter().cloned());
+    }
+
+    /// Drops all samples, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// The samples, in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+/// Anything that can report its state as metric samples.
+///
+/// Implementations run at scrape/publish cadence — allocation and
+/// locking are fine here; only the record calls on the handles in
+/// [`crate::metrics`] are hot-path constrained.
+pub trait Observe {
+    /// Pushes this component's current samples into `out`.
+    fn observe(&self, out: &mut Snapshot);
+}
+
+impl<T: Observe + ?Sized> Observe for &T {
+    fn observe(&self, out: &mut Snapshot) {
+        (**self).observe(out);
+    }
+}
+
+struct HubInner {
+    registry: Registry,
+    published: Mutex<BTreeMap<String, Snapshot>>,
+}
+
+/// The merge point the exporter reads: a live [`Registry`] plus keyed
+/// snapshots for components the exporter thread cannot observe
+/// directly (each [`MetricsHub::publish`] replaces that key's previous
+/// snapshot). Clones share state; the hub is `Send + Sync`.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Arc<HubInner>,
+}
+
+impl MetricsHub {
+    /// A hub over `registry`.
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            inner: Arc::new(HubInner {
+                registry,
+                published: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The live registry (for handing out hot-path handles).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    fn published(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Snapshot>> {
+        // Poisoning is recoverable: the map only ever holds complete
+        // snapshots (each insert replaces a whole value).
+        self.inner
+            .published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes `source`'s current snapshot under `key`, replacing
+    /// whatever that key published before. Call at a coarse cadence
+    /// (per commit, per batch) — this locks and allocates.
+    pub fn publish(&self, key: &str, source: &dyn Observe) {
+        let mut snap = Snapshot::new();
+        source.observe(&mut snap);
+        self.published().insert(key.to_string(), snap);
+    }
+
+    /// The merged view: live registry samples first, then every
+    /// published snapshot in key order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut out = Snapshot::new();
+        self.inner.registry.observe(&mut out);
+        let published = self.published();
+        for snap in published.values() {
+            out.merge(snap);
+        }
+        out
+    }
+
+    /// The merged view in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        crate::encode::encode_prometheus(&self.snapshot())
+    }
+
+    /// The merged view as a JSON document.
+    pub fn render_json(&self) -> String {
+        crate::encode::encode_json(&self.snapshot())
+    }
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHub")
+            .field("registry", &self.inner.registry)
+            .field("published_keys", &self.published().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl Observe for Fixed {
+        fn observe(&self, out: &mut Snapshot) {
+            out.counter("fixed_total", &[], self.0);
+        }
+    }
+
+    #[test]
+    fn publish_replaces_per_key() {
+        let hub = MetricsHub::new(Registry::new());
+        hub.publish("a", &Fixed(1));
+        hub.publish("a", &Fixed(5));
+        hub.publish("b", &Fixed(7));
+        let snap = hub.snapshot();
+        let vals: Vec<u64> = snap
+            .samples()
+            .iter()
+            .filter_map(|s| match s.value {
+                Value::Counter(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![5, 7], "same key replaced, keys ordered");
+    }
+
+    #[test]
+    fn snapshot_merges_registry_and_published() {
+        let hub = MetricsHub::new(Registry::new());
+        hub.registry().counter("live_total", &[]).add(3);
+        hub.publish("sink", &Fixed(9));
+        let snap = hub.snapshot();
+        assert_eq!(snap.samples().len(), 2);
+        assert_eq!(snap.samples()[0].name, "live_total", "registry first");
+        assert_eq!(snap.samples()[1].name, "fixed_total");
+    }
+}

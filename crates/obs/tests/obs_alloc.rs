@@ -1,0 +1,114 @@
+//! Pins the acceptance criterion of the metrics hot path: steady-state
+//! recording — counter adds, gauge stores, histogram records and span
+//! drops — allocates **zero** heap bytes. Registration and snapshots
+//! are cold and may allocate; this test warms every handle (and the
+//! thread's counter stripe) first, then measures a large recording
+//! window under a counting global allocator filtered to this thread.
+//! This file holds exactly one `#[test]`, mirroring the workspace's
+//! `transport_alloc.rs` idiom.
+
+use cwsmooth_obs::{Registry, Snapshot};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the thread that sets this flag is counted — the libtest
+    /// harness threads allocate on their own schedules.
+    static COUNT_ME: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counted() -> bool {
+    COUNT_ME.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
+struct CountingAlloc;
+
+// SAFETY: a pure pass-through to the System allocator — every method
+// forwards its arguments unchanged, so System's contract is ours; the
+// counters never touch the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as System.alloc, to which we forward.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: same contract as System.dealloc, to which we forward.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if counted() {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: same contract as System.realloc, to which we forward.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ROUNDS: u64 = 50_000;
+
+#[test]
+fn steady_state_metric_recording_performs_no_heap_allocation() {
+    COUNT_ME.with(|c| c.set(true));
+
+    // ---- Setup (allocates freely): registry, one handle per kind. ----
+    let registry = Registry::new();
+    let events = registry.counter("cws_events_total", &[("stage", "alloc-test")]);
+    let depth = registry.gauge("cws_queue_depth", &[("queue", "alloc-test")]);
+    let watermark = registry.gauge("cws_queue_high_watermark", &[("queue", "alloc-test")]);
+    let ingest_ns = registry.histogram("cws_ingest_ns", &[("shard", "0")]);
+
+    // ---- Warm-up: touch every handle once so the thread's stripe id
+    // is assigned and any lazy one-time state exists. ----
+    events.inc();
+    depth.set(1);
+    watermark.raise(1);
+    ingest_ns.record(1);
+    {
+        let _span = ingest_ns.start_span();
+    }
+
+    // ---- Measurement window: a realistic per-event recording mix —
+    // counter bump, depth store, watermark raise, latency sample and a
+    // scoped span — repeated tens of thousands of times. ----
+    let a0 = ALLOCS.load(Ordering::SeqCst);
+    let d0 = DEALLOCS.load(Ordering::SeqCst);
+    for i in 0..ROUNDS {
+        let _span = ingest_ns.start_span();
+        events.inc();
+        depth.set(i % 97);
+        watermark.raise(i % 97);
+        ingest_ns.record(i);
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - a0;
+    let deallocs = DEALLOCS.load(Ordering::SeqCst) - d0;
+
+    assert_eq!(allocs, 0, "metric recording allocated {allocs} times");
+    assert_eq!(deallocs, 0, "metric recording freed {deallocs} times");
+
+    // ---- Sanity: the records actually landed (cold reads may alloc). ----
+    assert_eq!(events.get(), ROUNDS + 1);
+    assert_eq!(
+        ingest_ns.count(),
+        2 * ROUNDS + 2,
+        "explicit records plus span drops"
+    );
+    assert_eq!(watermark.get(), 96);
+    let mut snap = Snapshot::new();
+    use cwsmooth_obs::Observe;
+    registry.observe(&mut snap);
+    assert_eq!(snap.samples().len(), 4);
+}

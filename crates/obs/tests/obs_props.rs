@@ -1,0 +1,121 @@
+//! Property tests for the exporter-facing math and encodings:
+//!
+//! * **Bucket tiling** — the 65 log2 histogram buckets tile `u64`
+//!   exactly: every value lands in exactly one bucket, bounds are
+//!   contiguous from 0 to `u64::MAX`, and `bucket_index` agrees with
+//!   `bucket_bounds`.
+//! * **Label escaping** — Prometheus label escaping (`\`, `"`,
+//!   newline) round-trips through the escape helpers *and* through the
+//!   actual rendered text exposition output.
+
+use cwsmooth_obs::{
+    bucket_bounds, bucket_index, encode_prometheus, escape_label, unescape_label, Snapshot,
+    HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+#[test]
+fn buckets_are_contiguous_from_zero_to_max() {
+    let (lo0, hi0) = bucket_bounds(0);
+    assert_eq!((lo0, hi0), (0, 0), "bucket 0 holds exactly {{0}}");
+    let mut prev_hi = hi0;
+    for b in 1..HIST_BUCKETS {
+        let (lo, hi) = bucket_bounds(b);
+        assert_eq!(
+            lo,
+            prev_hi.wrapping_add(1),
+            "bucket {b} must start where bucket {} ended",
+            b - 1
+        );
+        assert!(lo <= hi, "bucket {b} bounds inverted");
+        prev_hi = hi;
+    }
+    assert_eq!(prev_hi, u64::MAX, "last bucket must reach u64::MAX");
+}
+
+/// Scans an escaped label value out of rendered exposition text:
+/// everything from `from` to the first *unescaped* double quote.
+fn scan_label_value(text: &str, from: usize) -> Option<&str> {
+    let rest = &text[from..];
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&rest[..i]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Label-value payloads dense in the three escaped characters.
+fn label_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select("ab Z0_\\\"\n\t{}=,n\\\"\n".chars().collect::<Vec<_>>()),
+        0..24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    #[test]
+    fn every_u64_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < HIST_BUCKETS);
+        let containing: Vec<usize> = (0..HIST_BUCKETS)
+            .filter(|&b| {
+                let (lo, hi) = bucket_bounds(b);
+                lo <= v && v <= hi
+            })
+            .collect();
+        prop_assert_eq!(&containing, &vec![idx], "value {} not tiled once", v);
+    }
+
+    #[test]
+    fn neighbors_of_bucket_edges_change_bucket(b in 1usize..HIST_BUCKETS) {
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert_eq!(bucket_index(lo), b);
+        prop_assert_eq!(bucket_index(hi), b);
+        prop_assert_eq!(bucket_index(lo - 1), b - 1, "left edge leaks");
+        if hi < u64::MAX {
+            prop_assert_eq!(bucket_index(hi + 1), b + 1, "right edge leaks");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_and_emits_no_raw_specials(s in label_value()) {
+        let escaped = escape_label(&s);
+        prop_assert!(!escaped.contains('\n'), "raw newline survived escaping");
+        prop_assert_eq!(unescape_label(&escaped), Some(s));
+    }
+
+    #[test]
+    fn rendered_exposition_text_round_trips_label_values(s in label_value()) {
+        let mut snap = Snapshot::new();
+        snap.counter("cws_prop_total", &[("tag", &s)], 7);
+        let text = encode_prometheus(&snap);
+        // One metric line: cws_prop_total{tag="<escaped>"} 7
+        let marker = "cws_prop_total{tag=\"";
+        let at = text.find(marker).map(|i| i + marker.len());
+        prop_assert!(at.is_some(), "metric line missing: {}", text);
+        let escaped = at.and_then(|i| scan_label_value(&text, i));
+        prop_assert!(escaped.is_some(), "unterminated label value: {}", text);
+        prop_assert_eq!(
+            escaped.and_then(unescape_label),
+            Some(s),
+            "label value did not survive the wire format"
+        );
+        // The value itself must never smuggle a raw newline into the
+        // line-oriented format.
+        for line in text.lines() {
+            prop_assert!(
+                line.starts_with('#') || line.starts_with("cws_prop_total"),
+                "stray line {:?}",
+                line
+            );
+        }
+    }
+}

@@ -35,6 +35,7 @@ use cwsmooth_core::fleet::{FleetEvent, FleetSink};
 use cwsmooth_data::WindowSpec;
 use cwsmooth_linalg::Matrix;
 use cwsmooth_ml::forest::{ForestConfig, RandomForestClassifier};
+use cwsmooth_obs::{Observe, Snapshot};
 use std::fs::File;
 use std::io::{Read as _, Seek, SeekFrom, Write};
 use std::ops::Range;
@@ -874,6 +875,49 @@ impl FleetSink for SignatureStore {
     }
 }
 
+/// Snapshot of the store's state under `stage="store"`: segment and
+/// byte gauges, lifetime counters, and `cws_store_compression_ratio` —
+/// raw event bytes (`events × dim × 8`, what an uncompressed f64 dump
+/// would take) over bytes currently on disk. The ratio is `0` until the
+/// first flush puts bytes on disk.
+impl Observe for SignatureStore {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "store")];
+        // Sealed segments plus the always-present active one.
+        let segments = self.sealed.len() as u64 + 1;
+        let events = self.events();
+        let disk = self.bytes_on_disk();
+        let raw = events.saturating_mul(self.dim as u64).saturating_mul(8);
+        let ratio = if disk == 0 {
+            0.0
+        } else {
+            raw as f64 / disk as f64
+        };
+        out.gauge("cws_store_segments", labels, segments as f64);
+        out.gauge("cws_store_events", labels, events as f64);
+        out.gauge("cws_store_bytes_on_disk", labels, disk as f64);
+        out.gauge("cws_store_staged_events", labels, self.staged_events as f64);
+        out.gauge("cws_store_compression_ratio", labels, ratio);
+        out.counter("cws_store_events_total", labels, self.stats.events);
+        out.counter("cws_store_blocks_total", labels, self.stats.blocks);
+        out.counter(
+            "cws_store_bytes_written_total",
+            labels,
+            self.stats.bytes_written,
+        );
+        out.counter(
+            "cws_store_segments_sealed_total",
+            labels,
+            self.stats.segments_sealed,
+        );
+        out.counter(
+            "cws_store_events_dropped_total",
+            labels,
+            self.stats.events_dropped,
+        );
+    }
+}
+
 impl Drop for SignatureStore {
     /// Best-effort flush of the staged tail; errors are ignored (call
     /// [`SignatureStore::flush`] explicitly when durability matters).
@@ -925,6 +969,44 @@ mod tests {
         // that ability away.
         fn assert_send<T: Send>() {}
         assert_send::<SignatureStore>();
+    }
+
+    #[test]
+    fn observe_reports_segments_bytes_and_compression() {
+        use cwsmooth_obs::Value;
+
+        let dir = tmpdir("observe");
+        let mut store = SignatureStore::open(&dir, spec(), 2, StoreConfig::default()).unwrap();
+        for w in 0..8u64 {
+            store.push(0, w, &sig(2, w as f64)).unwrap();
+        }
+        store.flush().unwrap();
+        let mut snap = Snapshot::new();
+        store.observe(&mut snap);
+        let value = |name: &str| {
+            snap.samples()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(value("cws_store_segments"), Value::Gauge(1.0));
+        assert_eq!(value("cws_store_events"), Value::Gauge(8.0));
+        assert_eq!(value("cws_store_events_total"), Value::Counter(8));
+        assert_eq!(value("cws_store_staged_events"), Value::Gauge(0.0));
+        let Value::Gauge(disk) = value("cws_store_bytes_on_disk") else {
+            panic!("bytes_on_disk must be a gauge");
+        };
+        assert!(disk > 0.0);
+        let Value::Gauge(ratio) = value("cws_store_compression_ratio") else {
+            panic!("compression_ratio must be a gauge");
+        };
+        // raw = 8 events × 4 dims × 8 bytes over whatever landed on disk.
+        assert!((ratio - 8.0 * 4.0 * 8.0 / disk).abs() < 1e-12, "{ratio}");
+        for s in snap.samples() {
+            assert_eq!(s.labels, vec![("stage".to_string(), "store".to_string())]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! [`FleetEvent`] over loopback TCP to a consumer process that owns the
 //! [`SignatureStore`] — then the consumer is **killed mid-stream** and
 //! restarted to demonstrate the transport's fault tolerance end to end.
+//! Both processes export live metrics over HTTP.
 //!
 //! ```text
-//!  producer process                       consumer process (respawned
-//!  FleetScenario ─► OnlineCs ─► SocketSink ══ TCP ══► Server ─► SignatureStore
-//!                      (spill + reconnect)   ▲ kill -9 at half-stream ▲
+//!  producer process                          consumer process (respawned
+//!  FleetScenario ─► OnlineCs ─► QueueSink ─► SocketSink ══ TCP ══► Server ─► SignatureStore
+//!       │               (spill + reconnect)      ▲ kill -9 at half-stream ▲        │
+//!       └─► GET /metrics (queue + socket)                  GET /metrics (server + store) ◄┘
 //! ```
 //!
 //! The consumer is this same binary re-executed with `--consumer`; the
@@ -18,17 +20,33 @@
 //! replays the unacknowledged tail — duplicates are absorbed, nothing
 //! is lost, and the final store holds every event exactly once.
 //!
+//! Observability: each side owns a [`Registry`]/[`MetricsHub`] and a
+//! [`MetricsServer`]. The producer's queue and socket publish
+//! `cws_queue_*` / `cws_net_*` series; the consumer's server counts
+//! live (`cws_events_total`, ...) and the store snapshot
+//! (`cws_store_*`) is republished on every commit. Both sides scrape
+//! their own endpoint before exiting and assert the key series, so the
+//! example fails if the metrics plane goes dark.
+//!
 //! ```sh
 //! cargo run --release --example fleet_pipeline_remote
 //! REMOTE_NODES=128 REMOTE_FRAMES=900 cargo run --release --example fleet_pipeline_remote
+//! # Fixed ports + a post-serve hold, for an external scraper (CI):
+//! REMOTE_METRICS_PORT=9184 REMOTE_PRODUCER_METRICS_PORT=9185 \
+//! REMOTE_METRICS_HOLD_MS=20000 cargo run --release --example fleet_pipeline_remote
 //! ```
 
 use cwsmooth::core::cs::{CsMethod, CsSignature, CsTrainer};
 use cwsmooth::core::fleet::{FleetEvent, FleetSink};
 use cwsmooth::core::online::OnlineCs;
+use cwsmooth::core::pipeline::Publish;
+use cwsmooth::core::transport::{QueueConfig, QueuePolicy, QueueSink};
 use cwsmooth::data::WindowSpec;
 use cwsmooth::linalg::Matrix;
-use cwsmooth::net::{BlockCodec, NetConfig, Server, ServerConfig, SocketSink, TcpAcceptor};
+use cwsmooth::net::{
+    scrape, BlockCodec, MetricsServer, NetConfig, Server, ServerConfig, SocketSink, TcpAcceptor,
+};
+use cwsmooth::obs::{MetricsHub, Registry};
 use cwsmooth::sim::fleet::{FleetScenario, FleetSimConfig, FLEET_SENSORS};
 use cwsmooth::store::{Encoding, SignatureStore, StoreConfig};
 use std::net::TcpListener;
@@ -55,12 +73,54 @@ fn codec() -> BlockCodec {
     BlockCodec::new(Encoding::Exact, L, spec()).unwrap()
 }
 
+/// Binds a metrics exporter, retrying briefly — a killed predecessor
+/// can hold a fixed port for a moment, exactly like the data port.
+fn bind_exporter(port: u16, hub: MetricsHub, who: &str) -> MetricsServer {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match MetricsServer::bind(("127.0.0.1", port), hub.clone()) {
+            Ok(server) => {
+                println!("[{who}] metrics on http://{}/metrics", server.local_addr());
+                return server;
+            }
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("[{who}] metrics bind retry: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => panic!("[{who}] metrics bind failed: {e}"),
+        }
+    }
+}
+
+/// Asserts every `series` appears in a scrape of `addr` with a value,
+/// and prints the matching lines — the example's own liveness check of
+/// its metrics plane.
+fn assert_series(addr: std::net::SocketAddr, who: &str, series: &[&str]) {
+    let body = scrape(addr, "/metrics").expect("scrape own metrics endpoint");
+    for name in series {
+        let line = body
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("[{who}] series {name} missing from /metrics:\n{body}"));
+        let value = line.rsplit(' ').next().unwrap_or("");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "[{who}] series {name} has no numeric value: {line}"
+        );
+        println!("[{who}] {line}");
+    }
+}
+
+fn hold_ms() -> u64 {
+    env_or("REMOTE_METRICS_HOLD_MS", 0) as u64
+}
+
 /// The consumer role: bind the agreed port, serve frames into the
 /// store, exit after the producer's closing bye. A restarted consumer
 /// recovers the store from disk and re-seeds its dedupe floors from
 /// it, so replayed events are absorbed instead of duplicated.
-fn run_consumer(dir: &str, port: u16) -> i32 {
-    let mut store = match SignatureStore::open(dir, spec(), L, StoreConfig::default()) {
+fn run_consumer(dir: &str, port: u16, metrics_port: u16) -> i32 {
+    let store = match SignatureStore::open(dir, spec(), L, StoreConfig::default()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("[consumer] store open failed: {e}");
@@ -87,6 +147,18 @@ fn run_consumer(dir: &str, port: u16) -> i32 {
         eprintln!("[consumer] dedupe seeding failed: {e}");
         return 1;
     }
+
+    // Metrics plane: live server counters on the registry, the store
+    // snapshot republished through the hub on every commit (the
+    // `Publish` NetSink commits first, so the scrape shows durable
+    // state), and an HTTP exporter for both.
+    let registry = Registry::new();
+    server.attach_metrics(&registry);
+    let hub = MetricsHub::new(registry);
+    let exporter = bind_exporter(metrics_port, hub.clone(), "consumer");
+    let mut sink = Publish::new(store, hub, "store", 256);
+    sink.flush(); // recovered state is visible before the first commit
+
     // A killed predecessor can leave the port in TIME_WAIT briefly;
     // retry the bind instead of failing the restart.
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -104,10 +176,12 @@ fn run_consumer(dir: &str, port: u16) -> i32 {
         }
     };
     println!("[consumer] listening on 127.0.0.1:{port}");
-    if let Err(e) = server.serve(&mut acceptor, &mut store) {
+    if let Err(e) = server.serve(&mut acceptor, &mut sink) {
         eprintln!("[consumer] serve failed: {e}");
         return 1;
     }
+    sink.flush();
+    let mut store = sink.into_sink();
     if let Err(e) = store.flush() {
         eprintln!("[consumer] final flush failed: {e}");
         return 1;
@@ -117,6 +191,17 @@ fn run_consumer(dir: &str, port: u16) -> i32 {
         "[consumer] done: {} connections, {} frames, {} events stored, {} replays deduped",
         s.connections, s.frames, s.events, s.deduped
     );
+    assert_series(
+        exporter.local_addr(),
+        "consumer",
+        &["cws_events_total", "cws_acks_total", "cws_store_segments"],
+    );
+    // Keep the exporter up for an external scraper (CI) before exiting.
+    let hold = hold_ms();
+    if hold > 0 {
+        std::thread::sleep(Duration::from_millis(hold));
+    }
+    exporter.shutdown();
     0
 }
 
@@ -135,25 +220,29 @@ fn wait_listening(port: u16) {
     panic!("consumer never started listening on port {port}");
 }
 
-fn spawn_consumer(dir: &str, port: u16) -> std::process::Child {
+fn spawn_consumer(dir: &str, port: u16, metrics_port: u16) -> std::process::Child {
     let exe = std::env::current_exe().expect("own executable path");
     Command::new(exe)
         .arg("--consumer")
         .arg(dir)
         .arg(port.to_string())
+        .arg(metrics_port.to_string())
         .spawn()
         .expect("spawn consumer process")
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() == 4 && args[1] == "--consumer" {
+    if args.len() == 5 && args[1] == "--consumer" {
         let port: u16 = args[3].parse().expect("port argument");
-        std::process::exit(run_consumer(&args[2], port));
+        let metrics_port: u16 = args[4].parse().expect("metrics port argument");
+        std::process::exit(run_consumer(&args[2], port, metrics_port));
     }
 
     let nodes = env_or("REMOTE_NODES", 64);
     let frames = env_or("REMOTE_FRAMES", 600);
+    let consumer_metrics_port = env_or("REMOTE_METRICS_PORT", 0) as u16;
+    let producer_metrics_port = env_or("REMOTE_PRODUCER_METRICS_PORT", 0) as u16;
     let windows_per_node = if frames >= WL {
         (frames - WL) / STRIDE + 1
     } else {
@@ -178,7 +267,7 @@ fn main() {
         probe.local_addr().unwrap().port()
     };
     let store_dir_s = store_dir.to_string_lossy().into_owned();
-    let mut consumer = spawn_consumer(&store_dir_s, port);
+    let mut consumer = spawn_consumer(&store_dir_s, port, consumer_metrics_port);
 
     // ---- Offline: one shared CS model from pooled healthy history.
     let t0 = Instant::now();
@@ -197,16 +286,32 @@ fn main() {
     let cs = CsMethod::new(CsTrainer::default().train(&pooled).unwrap(), L).unwrap();
     println!("offline: CS model trained in {:.2?}", t0.elapsed());
 
-    // ---- Online: stream windows node-major through the socket sink.
+    // ---- Online: stream windows node-major through queue + socket.
+    // The producer's metrics plane: the queue keeps its `cws_queue_*`
+    // series live on the registry; the socket sink's `cws_net_*` stats
+    // are republished through the hub every 64 delivered events (on the
+    // queue's consumer thread, where the socket lives).
     wait_listening(port);
+    let registry = Registry::new();
+    let hub = MetricsHub::new(registry.clone());
+    let producer_exporter = bind_exporter(producer_metrics_port, hub.clone(), "producer");
     let t1 = Instant::now();
-    let mut sink = SocketSink::tcp(
+    let socket = SocketSink::tcp(
         ("127.0.0.1", port),
         codec(),
         &spill_dir,
         NetConfig::default(),
     )
     .unwrap();
+    let mut sink = QueueSink::with_metrics(
+        Publish::new(socket, hub.clone(), "net", 64),
+        QueueConfig {
+            capacity: 1024,
+            policy: QueuePolicy::Block,
+        },
+        &registry,
+        "wire",
+    );
     let mut streams: Vec<OnlineCs> = (0..nodes)
         .map(|_| OnlineCs::new(cs.clone(), spec()))
         .collect();
@@ -233,14 +338,19 @@ fn main() {
                         "producer: consumer killed after {pushed} events; \
                          spilling while the port is dark"
                     );
-                    consumer = spawn_consumer(&store_dir_s, port);
+                    consumer = spawn_consumer(&store_dir_s, port, consumer_metrics_port);
                     killed = true;
                 }
             }
         }
     }
-    let (stats, result) = sink.finish(Duration::from_secs(60));
+    let (published, queue_result) = sink.join();
+    queue_result.expect("queue consumer");
+    let (stats, result) = published.into_sink().finish(Duration::from_secs(60));
     result.expect("drain after reconnect");
+    // `finish` consumed the sink, so publish its final counters (the
+    // drain and its reconnect happen inside `finish`) from the stats.
+    hub.publish("net", &stats);
     println!(
         "producer: {} accepted, {} sent (+{} retransmitted), {} spilled / {} drained, \
          {} dropped, {} connects ({} failures) in {:.2?}",
@@ -253,6 +363,30 @@ fn main() {
         stats.connects,
         stats.connect_failures,
         t1.elapsed()
+    );
+
+    // The producer's own metrics plane must show the queue series and
+    // at least one reconnect (the mid-stream kill forces it).
+    assert_series(
+        producer_exporter.local_addr(),
+        "producer",
+        &[
+            "cws_queue_depth",
+            "cws_queue_pushed_total",
+            "cws_net_reconnects_total",
+            "cws_net_spilled_total",
+        ],
+    );
+    let producer_scrape = scrape(producer_exporter.local_addr(), "/metrics").unwrap();
+    let reconnects: f64 = producer_scrape
+        .lines()
+        .find(|l| l.starts_with("cws_net_reconnects_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("cws_net_reconnects_total value");
+    assert!(
+        reconnects >= 1.0,
+        "the kill must force at least one reconnect, saw {reconnects}"
     );
 
     let status = consumer.wait().expect("consumer exit");
@@ -272,5 +406,6 @@ fn main() {
         store.events(),
         store.segments().len()
     );
+    producer_exporter.shutdown();
     let _ = std::fs::remove_dir_all(&scratch);
 }

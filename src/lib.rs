@@ -24,6 +24,10 @@
 //! * [`net`] — fault-tolerant cross-process transport: `.cws` wire
 //!   framing over unix/TCP sockets, reconnect with capped backoff,
 //!   spill-to-disk degradation, and a seeded chaos-testing harness.
+//! * [`obs`] — the observability plane: zero-alloc metrics registry
+//!   (counters, gauges, log2 histograms, stage spans), the `Observe`
+//!   snapshot trait every pipeline stage implements, and Prometheus
+//!   text / JSON encoders behind `net`'s `GET /metrics` endpoint.
 //!
 //! ## Quickstart
 //!
@@ -51,5 +55,6 @@ pub use cwsmooth_data as data;
 pub use cwsmooth_linalg as linalg;
 pub use cwsmooth_ml as ml;
 pub use cwsmooth_net as net;
+pub use cwsmooth_obs as obs;
 pub use cwsmooth_sim as sim;
 pub use cwsmooth_store as store;
