@@ -9,11 +9,13 @@
 //! forces reps = 1 and a smaller workload for CI smoke runs).
 
 use cwsmooth_bench::Args;
-use cwsmooth_core::cs::{CsMethod, CsTrainer};
+use cwsmooth_core::cs::{CsMethod, CsSignature, CsTrainer};
 use cwsmooth_core::fleet::FleetEngine;
 use cwsmooth_data::WindowSpec;
 use cwsmooth_sim::fleet::{FleetScenario, FleetSimConfig};
-use cwsmooth_store::{Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig};
+use cwsmooth_store::{
+    Compactor, CompactorConfig, Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig,
+};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -153,6 +155,143 @@ fn main() {
     let dir = store.dir().to_path_buf();
     drop(store);
     std::fs::remove_dir_all(&dir).ok();
+
+    // ---- Size sweep: 10k / 100k / 1M synthetic signatures ----
+    //
+    // Gated by STORE_SWEEP_MAX: CI pins it to 100_000 so the smoke run
+    // stays minutes-cheap; the 1M tier is a local/nightly run. Each
+    // tier reports ingest, background compaction, cold (re-clustering)
+    // vs warm (knn.idx sidecar) index training, and query latency
+    // through the IVF-PQ path.
+    let sweep_max: u64 = std::env::var("STORE_SWEEP_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10_000 } else { 1_000_000 });
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for &size in &[10_000u64, 100_000, 1_000_000] {
+        if size > sweep_max {
+            println!("store_sweep_{size}: skipped (STORE_SWEEP_MAX={sweep_max})");
+            continue;
+        }
+        let tag = format!("sweep_{size}");
+        let dir = tmpdir(&tag);
+        std::fs::remove_dir_all(&dir).ok();
+        // Segment size scales with the tier so every tier actually
+        // seals a handful of segments for the compactor to merge.
+        let segment_events = (size / 16).max(1024);
+        let cfg = StoreConfig::default().with_segment_events(segment_events);
+        let mut store = SignatureStore::open(&dir, spec, L, cfg).unwrap();
+        let nodes = 256u32;
+        let per_node = size / nodes as u64;
+        let mut sig = CsSignature {
+            re: vec![0.0; L],
+            im: vec![0.0; L],
+        };
+        let t0 = Instant::now();
+        for w in 0..per_node {
+            for n in 0..nodes {
+                // Clustered corpus: each node orbits its own center, so
+                // the coarse quantizer has real structure to exploit.
+                let c = n as f64 / nodes as f64;
+                for i in 0..L {
+                    sig.re[i] = c + 0.05 * next();
+                    sig.im[i] = 0.5 - c + 0.05 * next();
+                }
+                store.push(n, w, &sig).unwrap();
+            }
+            // Periodic flushes, as a live collector would issue: blocks
+            // reach the active segment continuously, so segment rolls
+            // (and therefore compaction work) happen at every tier.
+            let cadence = (segment_events / nodes as u64 / 4).max(1);
+            if (w + 1).is_multiple_of(cadence) {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        record(
+            &format!("store_{tag}_ingest_kevents_per_s"),
+            store.stats().events as f64 / (t0.elapsed().as_secs_f64() * 1000.0),
+        );
+
+        // Background compaction down to a lean layout (every sealed
+        // segment a candidate; cascading runs converge on one file).
+        let mut compactor = Compactor::new(CompactorConfig {
+            small_events: Some(u64::MAX),
+            ..CompactorConfig::default()
+        })
+        .unwrap();
+        let t0 = Instant::now();
+        let commits = compactor.run_until_idle(&mut store).unwrap();
+        compactor.shutdown().unwrap();
+        record(
+            &format!("store_{tag}_compact_ms"),
+            t0.elapsed().as_secs_f64() * 1000.0,
+        );
+        record(&format!("store_{tag}_compact_runs"), commits as f64);
+
+        // Cold training (k-means + PQ, sidecar written) vs warm reopen
+        // (quantizer adopted from knn.idx). The build/scan cost is kept
+        // outside both timers so the ratio isolates re-clustering
+        // against the sidecar load.
+        let base = SignatureIndex::build(&store, Distance::L2).unwrap();
+        let t0 = Instant::now();
+        let index = base.with_coarse_persisted(&store, 256, 8, Some(4)).unwrap();
+        let cold_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        assert!(!index.quantizer_cached(), "first training must be cold");
+        let base = SignatureIndex::build(&store, Distance::L2).unwrap();
+        let t0 = Instant::now();
+        let warm = base.with_coarse_persisted(&store, 256, 8, Some(4)).unwrap();
+        let warm_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        assert!(warm.quantizer_cached(), "second training must hit knn.idx");
+        record(&format!("store_{tag}_train_cold_ms"), cold_ms);
+        record(&format!("store_{tag}_train_warm_ms"), warm_ms);
+        record(
+            &format!("store_{tag}_train_warm_speedup_x"),
+            cold_ms / warm_ms.max(1e-6),
+        );
+
+        // Query latency: a thin exact baseline plus the IVF-PQ path.
+        let stride = (size / 64).max(1);
+        let mut queries: Vec<Vec<f64>> = Vec::new();
+        let mut seen = 0u64;
+        store
+            .for_each(|_, _, feats| {
+                if seen.is_multiple_of(stride) && queries.len() < 64 {
+                    queries.push(feats.to_vec());
+                }
+                seen += 1;
+            })
+            .unwrap();
+        let exact_queries = &queries[..queries.len().min(8)];
+        let ms = time_ms(1, || {
+            for q in exact_queries {
+                black_box(index.query(q, 10).unwrap());
+            }
+        });
+        record(
+            &format!("store_{tag}_query_exact_k10_us"),
+            ms * 1000.0 / exact_queries.len() as f64,
+        );
+        let ms = time_ms(reps.min(3), || {
+            for q in &queries {
+                black_box(index.query_indexed(q, 10, 8).unwrap());
+            }
+        });
+        record(
+            &format!("store_{tag}_query_indexed_k10_us"),
+            ms * 1000.0 / queries.len() as f64,
+        );
+        drop(index);
+        drop(warm);
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     // Assemble JSON by hand (flat snapshot, no serde needed).
     let mut json = String::from("{\n  \"schema\": 1,\n  \"pr\": 4,\n");

@@ -56,12 +56,7 @@ impl BlockCodec {
             )));
         }
         Ok(Self {
-            header: FileHeader {
-                mode,
-                l: l as u32,
-                wl: spec.wl as u32,
-                ws: spec.ws as u32,
-            },
+            header: FileHeader::current(mode, l as u32, spec.wl as u32, spec.ws as u32),
         })
     }
 
@@ -116,7 +111,7 @@ impl BlockCodec {
         windows: &[u64],
         values: &[f64],
     ) -> Result<()> {
-        format::encode_block(out, self.header.mode, self.l(), node, windows, values)
+        format::encode_block(out, &self.header, node, windows, values)
     }
 
     /// Decodes a single block occupying exactly `bytes` (as produced by

@@ -1,0 +1,717 @@
+//! Background segment compaction.
+//!
+//! Small sealed segments accumulate whenever the store seals on flush
+//! boundaries, recovers a crashed directory, or rolls segments faster
+//! than they fill. Every extra segment is another file to open, map and
+//! probe on the query path. A [`Compactor`] merges a consecutive run of
+//! small sealed segments into one large segment, re-sorting the merged
+//! blocks by a Morton/space-filling-curve key over quantized signature
+//! prefixes ([`crate::morton`]) so blocks that are close in feature
+//! space become close on disk — similarity scans touch mostly
+//! sequential pages.
+//!
+//! Blocks are *re-framed*, never re-encoded: each block's scales and
+//! payload bytes are copied verbatim into the output (under the current
+//! format version), so decoded values — and therefore every query
+//! result — are bit-identical before and after compaction. The k-NN
+//! total order `(distance, node, window)` is independent of block
+//! order, which is what makes reordering safe (pinned by the
+//! compaction-parity property tests).
+//!
+//! ## Threading: the transport idioms
+//!
+//! The CPU- and I/O-heavy merge runs on a dedicated worker thread
+//! behind a bounded work queue (`sync_channel(1)` each way — one job
+//! in flight, no unbounded buffering), mirroring the transport layer's
+//! queue discipline. Errors follow first-error-wins: the first failure
+//! (worker or commit side) latches and every later [`Compactor::poll`]
+//! reports it. The worker only ever *reads* sealed input segments and
+//! *writes* a private temporary; all store state, the commit rename
+//! and retention stay on the store's thread, so there is no shared
+//! mutable state to race on.
+//!
+//! ## Crash safety: write-new-then-atomic-rename
+//!
+//! ```text
+//!  worker:  merge inputs -> compact-<id>.tmp   (fsync)
+//!  commit:  write compact-<id>.intent          (fsync file + dir)
+//!           rename tmp -> seg-<id>.cws         (atomic replace of the
+//!                                               oldest input; id-order
+//!                                               stays age-order for
+//!                                               drop-oldest retention)
+//!           delete other inputs + stale .idx sidecars
+//!           write fresh seg-<id>.idx, delete intent
+//! ```
+//!
+//! A kill at any byte of this sequence is repaired by
+//! `recover_compaction` at the next open: temporary still present →
+//! roll back (inputs untouched, temporary discarded); temporary gone →
+//! the rename landed, roll forward (duplicate inputs deleted). Either
+//! way every acked event is readable from exactly one place.
+
+use crate::error::{Result, StoreError};
+use crate::format::{self, FileHeader, FILE_HEADER_LEN};
+use crate::mmap::SegmentView;
+use crate::morton::MortonBounds;
+use crate::sidecar;
+use crate::store::{BlockEntry, SignatureStore};
+use cwsmooth_obs::{Observe, Snapshot};
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Compaction policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactorConfig {
+    /// Fewest consecutive small segments worth merging (≥ 2).
+    pub min_inputs: usize,
+    /// Most segments merged per run (bounds merge memory and latency).
+    pub max_inputs: usize,
+    /// A sealed segment with fewer events than this is "small" (a merge
+    /// candidate). `None` uses the store's `segment_events` — segments
+    /// that filled completely are already as large as the writer makes
+    /// them.
+    pub small_events: Option<u64>,
+    /// Re-sort merged blocks by Morton locality key. Disabling keeps
+    /// input order (age-major) — useful to isolate layout effects in
+    /// benchmarks; query results are identical either way.
+    pub morton: bool,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        Self {
+            min_inputs: 2,
+            max_inputs: 8,
+            small_events: None,
+            morton: true,
+        }
+    }
+}
+
+/// Lifetime compaction counters (see [`Compactor::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Merges committed.
+    pub runs: u64,
+    /// Input segments consumed across all runs.
+    pub segments_in: u64,
+    /// Events carried through compaction.
+    pub events: u64,
+    /// Bytes read from input segments.
+    pub bytes_in: u64,
+    /// Bytes written to merged segments.
+    pub bytes_out: u64,
+    /// Wall-clock nanoseconds spent merging on the worker thread.
+    pub merge_nanos: u64,
+    /// Finished merges discarded because the inputs changed underneath
+    /// (e.g. retention evicted one) — never an error, just wasted work.
+    pub skipped: u64,
+}
+
+/// A merge assignment for the worker thread.
+struct MergeJob {
+    inputs: Vec<(u64, PathBuf)>,
+    header: FileHeader,
+    tmp: PathBuf,
+    morton: bool,
+}
+
+/// What the worker hands back: a fully written, fsynced temporary plus
+/// the in-memory index of its contents, ready to commit.
+pub(crate) struct MergeOutput {
+    pub output: u64,
+    pub inputs: Vec<u64>,
+    pub tmp: PathBuf,
+    pub header: FileHeader,
+    pub events: u64,
+    pub bytes: u64,
+    pub entries: Vec<BlockEntry>,
+    pub bytes_in: u64,
+    pub nanos: u64,
+}
+
+/// Background compactor handle. Owns the worker thread; drive it by
+/// calling [`Compactor::poll`] from the thread that owns the store
+/// (commits mutate store state, so they happen on the caller's side —
+/// the worker only reads sealed files and writes a private temporary).
+///
+/// Compaction is opt-in: a store without a compactor behaves exactly
+/// as before, and the allocation-free ingest path is untouched either
+/// way.
+#[derive(Debug)]
+pub struct Compactor {
+    cfg: CompactorConfig,
+    jobs: Option<SyncSender<MergeJob>>,
+    results: Receiver<Result<MergeOutput>>,
+    worker: Option<JoinHandle<()>>,
+    /// Ids of the in-flight job's inputs + its temporary path.
+    in_flight: Option<(Vec<u64>, PathBuf)>,
+    stats: CompactionStats,
+    /// First-error-wins latch: once set, every poll reports it.
+    failed: Option<String>,
+}
+
+impl std::fmt::Debug for MergeJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeJob")
+            .field("inputs", &self.inputs.len())
+            .field("tmp", &self.tmp)
+            .finish()
+    }
+}
+
+impl Compactor {
+    /// Spawns the worker thread (idle until the first job).
+    pub fn new(cfg: CompactorConfig) -> Result<Self> {
+        if cfg.min_inputs < 2 || cfg.max_inputs < cfg.min_inputs {
+            return Err(StoreError::Invalid(format!(
+                "compactor needs 2 <= min_inputs <= max_inputs, got {} ..= {}",
+                cfg.min_inputs, cfg.max_inputs
+            )));
+        }
+        // Bounded both ways: one queued job, one queued result. The
+        // store thread never blocks on the worker (poll uses try_recv);
+        // the worker blocks on a full result slot, which is exactly the
+        // backpressure wanted — no second merge until the first lands.
+        let (job_tx, job_rx) = sync_channel::<MergeJob>(1);
+        let (res_tx, res_rx) = sync_channel::<Result<MergeOutput>>(1);
+        let worker = std::thread::Builder::new()
+            .name("cws-compact".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let result = merge(&job);
+                    if res_tx.send(result).is_err() {
+                        break; // handle dropped; nobody is listening
+                    }
+                }
+            })?;
+        Ok(Self {
+            cfg,
+            jobs: Some(job_tx),
+            results: res_rx,
+            worker: Some(worker),
+            in_flight: None,
+            stats: CompactionStats::default(),
+            failed: None,
+        })
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CompactionStats {
+        self.stats
+    }
+
+    /// `true` while a merge is running on the worker thread.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// One scheduling step: commit a finished merge if one is ready
+    /// (non-blocking), then submit a new job if the store has a
+    /// candidate run of small segments. Returns `true` when a merge was
+    /// committed this call. Call periodically from the ingest thread —
+    /// e.g. after seals or flushes; each call is cheap when there is
+    /// nothing to do.
+    pub fn poll(&mut self, store: &mut SignatureStore) -> Result<bool> {
+        if let Some(msg) = &self.failed {
+            return Err(StoreError::Invalid(format!(
+                "compactor failed earlier (first error wins): {msg}"
+            )));
+        }
+        let mut committed = false;
+        match self.results.try_recv() {
+            Ok(result) => committed = self.finish(store, result)?,
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                return Err(self.latch("compaction worker thread exited unexpectedly"));
+            }
+        }
+        if self.in_flight.is_none() {
+            self.submit(store);
+        }
+        Ok(committed)
+    }
+
+    /// Runs compaction to quiescence: submits and commits merges until
+    /// the store has no candidate run left. Blocks on the worker —
+    /// meant for tests, benchmarks and shutdown paths, not the ingest
+    /// hot path. Returns the number of merges committed.
+    pub fn run_until_idle(&mut self, store: &mut SignatureStore) -> Result<usize> {
+        let mut commits = 0usize;
+        loop {
+            if let Some(msg) = &self.failed {
+                return Err(StoreError::Invalid(format!(
+                    "compactor failed earlier (first error wins): {msg}"
+                )));
+            }
+            if self.in_flight.is_none() {
+                self.submit(store);
+                if self.in_flight.is_none() {
+                    break; // nothing left to merge
+                }
+            }
+            let result = match self.results.recv() {
+                Ok(r) => r,
+                Err(_) => return Err(self.latch("compaction worker thread exited unexpectedly")),
+            };
+            if self.finish(store, result)? {
+                commits += 1;
+            }
+        }
+        Ok(commits)
+    }
+
+    /// Stops the worker and joins it. Dropping the compactor does the
+    /// same implicitly; this form surfaces a worker panic as an error.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.jobs = None; // disconnect: the worker's recv() ends its loop
+        if let Some(handle) = self.worker.take() {
+            if handle.join().is_err() {
+                return Err(StoreError::Invalid(
+                    "compaction worker panicked during shutdown".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn latch(&mut self, msg: &str) -> StoreError {
+        if self.failed.is_none() {
+            self.failed = Some(msg.to_string());
+        }
+        StoreError::Invalid(msg.to_string())
+    }
+
+    /// Picks a candidate run and hands it to the worker. Never blocks:
+    /// submission only happens when no job is in flight, so the
+    /// one-slot job queue always has room.
+    fn submit(&mut self, store: &mut SignatureStore) {
+        let Some((inputs, header)) = store.compaction_candidates(
+            self.cfg.min_inputs,
+            self.cfg.max_inputs,
+            self.cfg.small_events,
+        ) else {
+            return;
+        };
+        let ids: Vec<u64> = inputs.iter().map(|&(id, _)| id).collect();
+        let tmp = sidecar::compact_tmp_path(store.dir(), ids[0]);
+        store.mark_compacting(&ids);
+        let job = MergeJob {
+            inputs,
+            header,
+            tmp: tmp.clone(),
+            morton: self.cfg.morton,
+        };
+        match self.jobs.as_ref().map(|tx| tx.try_send(job)) {
+            Some(Ok(())) => self.in_flight = Some((ids, tmp)),
+            _ => {
+                // Queue full (impossible with one in flight) or worker
+                // gone — undo the reservation; poll will surface the
+                // disconnect on its next try_recv.
+                store.clear_compacting();
+            }
+        }
+    }
+
+    /// Commits (or discards) a finished merge.
+    fn finish(&mut self, store: &mut SignatureStore, result: Result<MergeOutput>) -> Result<bool> {
+        let Some((_, tmp)) = self.in_flight.take() else {
+            // A result with no job tracked — drop any stray temporary.
+            if let Ok(out) = &result {
+                let _ = std::fs::remove_file(&out.tmp);
+            }
+            return Ok(false);
+        };
+        store.clear_compacting();
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                let msg = format!("merge failed: {e}");
+                self.failed = Some(msg.clone());
+                return Err(e);
+            }
+        };
+        match store.apply_compaction(&out) {
+            Ok(true) => {
+                self.stats.runs += 1;
+                self.stats.segments_in += out.inputs.len() as u64;
+                self.stats.events += out.events;
+                self.stats.bytes_in += out.bytes_in;
+                self.stats.bytes_out += out.bytes;
+                self.stats.merge_nanos += out.nanos;
+                Ok(true)
+            }
+            Ok(false) => {
+                // Inputs changed underneath (retention, reopen): the
+                // pre-merge segments stay the source of truth.
+                self.stats.skipped += 1;
+                let _ = std::fs::remove_file(&out.tmp);
+                Ok(false)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&out.tmp);
+                self.failed = Some(format!("commit failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.jobs = None;
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Snapshot under `stage="compact"`: lifetime merge counters plus an
+/// in-flight gauge.
+impl Observe for Compactor {
+    fn observe(&self, out: &mut Snapshot) {
+        let labels = &[("stage", "compact")];
+        out.gauge(
+            "cws_compact_in_flight",
+            labels,
+            if self.in_flight.is_some() { 1.0 } else { 0.0 },
+        );
+        out.counter("cws_compact_runs_total", labels, self.stats.runs);
+        out.counter(
+            "cws_compact_segments_in_total",
+            labels,
+            self.stats.segments_in,
+        );
+        out.counter("cws_compact_events_total", labels, self.stats.events);
+        out.counter("cws_compact_bytes_in_total", labels, self.stats.bytes_in);
+        out.counter("cws_compact_bytes_out_total", labels, self.stats.bytes_out);
+        out.counter("cws_compact_skipped_total", labels, self.stats.skipped);
+    }
+}
+
+/// One merged block during planning: where it lives and its sort key.
+struct PlannedBlock {
+    input: usize,
+    offset: u64,
+    key: u64,
+}
+
+/// The worker-side merge: reads the inputs (zero-copy via
+/// [`SegmentView`], CRC-verifying every block — compaction doubles as
+/// a scrub), plans the Morton order, re-frames every block into the
+/// output temporary and fsyncs it. No store state is touched.
+fn merge(job: &MergeJob) -> Result<MergeOutput> {
+    let started = std::time::Instant::now();
+    let mut views: Vec<(SegmentView, FileHeader)> = Vec::with_capacity(job.inputs.len());
+    let mut bytes_in = 0u64;
+    for (_, path) in &job.inputs {
+        let view = SegmentView::open(path)?;
+        let header = FileHeader::parse(view.bytes(), path)?;
+        if header.mode != job.header.mode || header.l != job.header.l {
+            return Err(StoreError::Mismatch(format!(
+                "segment {} geometry drifted during compaction",
+                path.display()
+            )));
+        }
+        bytes_in += view.len() as u64;
+        views.push((view, header));
+    }
+
+    // Pass 1: walk every block, verify its CRC, and capture the first
+    // event's features — the block's representative point for the
+    // locality key.
+    let dim = 2 * job.header.l as usize;
+    let mut blocks: Vec<PlannedBlock> = Vec::new();
+    let mut reps: Vec<f64> = Vec::new(); // blocks.len() × dim
+    let mut win_scratch: Vec<u64> = Vec::new();
+    let mut val_scratch: Vec<f64> = Vec::new();
+    for (i, (view, header)) in views.iter().enumerate() {
+        let path = &job.inputs[i].1;
+        let mut offset = FILE_HEADER_LEN as u64;
+        loop {
+            match format::parse_block(view.bytes(), offset, header) {
+                Ok(None) => break,
+                Ok(Some(block)) => {
+                    win_scratch.clear();
+                    val_scratch.clear();
+                    format::decode_block(&block, header, &mut win_scratch, &mut val_scratch);
+                    reps.extend_from_slice(&val_scratch[..dim]);
+                    blocks.push(PlannedBlock {
+                        input: i,
+                        offset,
+                        key: 0,
+                    });
+                    offset = block.end;
+                }
+                Err(e) => return Err(e.into_store_error(path)),
+            }
+        }
+    }
+
+    // Plan: Morton keys over the representative points, quantized
+    // against their global component ranges.
+    if job.morton && !blocks.is_empty() {
+        let mut bounds = MortonBounds::new(dim);
+        for rep in reps.chunks_exact(dim) {
+            bounds.observe(rep);
+        }
+        for (b, rep) in blocks.iter_mut().zip(reps.chunks_exact(dim)) {
+            b.key = bounds.key(rep);
+        }
+        // Stable order: ties keep input/age order, so the plan is a
+        // pure function of the input bytes.
+        blocks.sort_by_key(|b| (b.key, b.input, b.offset));
+    }
+
+    // Pass 2: re-frame every block into the output image in planned
+    // order. Payload bytes are copied verbatim; only framing (and CRC)
+    // is rewritten, so decoded values are bit-identical.
+    let mut out = Vec::with_capacity(bytes_in as usize);
+    job.header.write_to(&mut out);
+    let mut entries: Vec<BlockEntry> = Vec::with_capacity(blocks.len());
+    let mut events = 0u64;
+    for planned in &blocks {
+        let (view, header) = &views[planned.input];
+        let path = &job.inputs[planned.input].1;
+        let block = format::parse_block_trusted(view.bytes(), planned.offset, header)
+            .map_err(|e| e.into_store_error(path))?
+            .ok_or_else(|| StoreError::Corrupt {
+                path: path.clone(),
+                offset: planned.offset,
+                message: "planned block vanished during merge".into(),
+            })?;
+        let start = out.len() as u64;
+        format::reframe_block(&mut out, &job.header, &block);
+        entries.push(BlockEntry {
+            node: block.node,
+            first_window: block.first_window,
+            last_window: block.last_window_upper_bound,
+            offset: start,
+            len: (out.len() as u64 - start) as u32,
+        });
+        events += block.count as u64;
+    }
+
+    // Durable temporary: all bytes on stable storage before the commit
+    // protocol (intent + rename) may begin.
+    let mut file = std::fs::File::create(&job.tmp)?;
+    std::io::Write::write_all(&mut file, &out)?;
+    file.sync_all()?;
+    drop(file);
+
+    Ok(MergeOutput {
+        output: job.inputs[0].0,
+        inputs: job.inputs.iter().map(|&(id, _)| id).collect(),
+        tmp: job.tmp.clone(),
+        header: job.header,
+        events,
+        bytes: out.len() as u64,
+        entries,
+        bytes_in,
+        nanos: started.elapsed().as_nanos() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sidecar::CompactionIntent;
+    use crate::store::StoreConfig;
+    use cwsmooth_core::cs::CsSignature;
+    use cwsmooth_data::WindowSpec;
+    use std::path::Path;
+
+    const L: usize = 2;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cwsmooth-compact-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec() -> WindowSpec {
+        WindowSpec::new(30, 10).unwrap()
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::default()
+            .with_block_events(4)
+            .with_segment_events(8)
+    }
+
+    /// Three sealed segments of eight events each.
+    fn seeded(dir: &Path) -> SignatureStore {
+        let mut store = SignatureStore::open(dir, spec(), L, cfg()).unwrap();
+        for w in 0..8u64 {
+            for n in 0..3u32 {
+                let x = (w as f64 * 0.13 + n as f64).sin();
+                let sig = CsSignature {
+                    re: vec![x, 0.5 * x],
+                    im: vec![0.1 * x, -x],
+                };
+                store.push(n, w, &sig).unwrap();
+            }
+        }
+        store.flush().unwrap();
+        store
+    }
+
+    fn collect(store: &SignatureStore) -> Vec<(u32, u64, Vec<f64>)> {
+        let mut out = Vec::new();
+        store
+            .for_each(|n, w, v| out.push((n, w, v.to_vec())))
+            .unwrap();
+        out.sort_by_key(|e| (e.0, e.1));
+        out
+    }
+
+    /// Satellite: the kill-during-compaction crash loop. Every byte
+    /// boundary of the merge temporary — with and without a committed
+    /// intent — plus every torn-intent prefix and the post-rename
+    /// states must recover to a store where each acked event is
+    /// readable from exactly one place.
+    #[test]
+    fn kill_during_compaction_at_every_byte_boundary_recovers() {
+        let dir = tmpdir("crash-loop");
+        let store = seeded(&dir);
+        let expected = collect(&store);
+        assert_eq!(expected.len(), 24);
+
+        // Produce the merge artifacts exactly as the worker would,
+        // without committing anything.
+        let (inputs, header) = store
+            .compaction_candidates(2, 8, Some(u64::MAX))
+            .expect("three small sealed segments must be candidates");
+        let ids: Vec<u64> = inputs.iter().map(|&(id, _)| id).collect();
+        assert!(ids.len() >= 2);
+        let tmp = sidecar::compact_tmp_path(store.dir(), ids[0]);
+        let job = MergeJob {
+            inputs: inputs.clone(),
+            header,
+            tmp: tmp.clone(),
+            morton: true,
+        };
+        let out = merge(&job).unwrap();
+        let merged = std::fs::read(&tmp).unwrap();
+        std::fs::remove_file(&tmp).unwrap();
+        let intent = CompactionIntent {
+            output: out.output,
+            inputs: out.inputs.clone(),
+        };
+        let intent_file = sidecar::intent_path(&dir, out.output);
+        drop(store);
+
+        // Killed mid-temporary, before the intent existed: the orphan
+        // is swept and the inputs stay authoritative.
+        for cut in 0..=merged.len() {
+            std::fs::write(&tmp, &merged[..cut]).unwrap();
+            let store = SignatureStore::open(&dir, spec(), L, cfg()).unwrap();
+            assert!(!tmp.exists(), "cut {cut}: temporary must be swept");
+            assert!(store.recovery().orphans_removed >= 1, "cut {cut}");
+            assert_eq!(collect(&store), expected, "cut {cut}");
+        }
+
+        // Killed after the intent was durably written but before the
+        // rename: roll back, whatever state the temporary is in.
+        for cut in 0..=merged.len() {
+            std::fs::write(&tmp, &merged[..cut]).unwrap();
+            intent.save(&dir).unwrap();
+            let store = SignatureStore::open(&dir, spec(), L, cfg()).unwrap();
+            assert!(!tmp.exists() && !intent_file.exists(), "cut {cut}");
+            assert_eq!(store.recovery().compactions_rolled_back, 1, "cut {cut}");
+            assert_eq!(collect(&store), expected, "cut {cut}");
+        }
+
+        // Killed mid-intent-write: a torn intent cannot postdate a
+        // rename, so intent and temporary are both discarded.
+        intent.save(&dir).unwrap();
+        let intent_bytes = std::fs::read(&intent_file).unwrap();
+        std::fs::remove_file(&intent_file).unwrap();
+        for cut in 0..intent_bytes.len() {
+            std::fs::write(&tmp, &merged).unwrap();
+            std::fs::write(&intent_file, &intent_bytes[..cut]).unwrap();
+            let store = SignatureStore::open(&dir, spec(), L, cfg()).unwrap();
+            assert!(!tmp.exists() && !intent_file.exists(), "cut {cut}");
+            assert_eq!(collect(&store), expected, "cut {cut}");
+        }
+
+        // Killed after the rename: intent present, temporary gone. The
+        // recovery rolls forward — duplicate inputs are deleted and the
+        // merged segment is the single source of truth.
+        std::fs::write(&tmp, &merged).unwrap();
+        intent.save(&dir).unwrap();
+        std::fs::rename(&tmp, crate::store::segment_path(&dir, out.output)).unwrap();
+        let store = SignatureStore::open(&dir, spec(), L, cfg()).unwrap();
+        assert!(!intent_file.exists());
+        assert_eq!(store.recovery().compactions_rolled_forward, 1);
+        for &id in &ids[1..] {
+            assert!(
+                !crate::store::segment_path(&dir, id).exists(),
+                "input {id} must be gone after roll-forward"
+            );
+        }
+        assert_eq!(collect(&store), expected);
+
+        // A reopened post-roll-forward store is just a normal store.
+        drop(store);
+        let store = SignatureStore::open(&dir, spec(), L, cfg()).unwrap();
+        assert_eq!(store.recovery().compactions_rolled_forward, 0);
+        assert_eq!(collect(&store), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_validation_and_error_latching() {
+        let bad = CompactorConfig {
+            min_inputs: 1,
+            ..CompactorConfig::default()
+        };
+        assert!(Compactor::new(bad).is_err());
+        let bad = CompactorConfig {
+            min_inputs: 4,
+            max_inputs: 2,
+            ..CompactorConfig::default()
+        };
+        assert!(Compactor::new(bad).is_err());
+
+        // A merge over a corrupted input fails, latches, and every
+        // later poll reports the first error.
+        let dir = tmpdir("latch");
+        let mut store = seeded(&dir);
+        let (inputs, _) = store.compaction_candidates(2, 8, Some(u64::MAX)).unwrap();
+        // Flip one payload byte in the middle of the first input.
+        let victim = inputs[0].1.clone();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let mut compactor = Compactor::new(CompactorConfig {
+            small_events: Some(u64::MAX),
+            ..CompactorConfig::default()
+        })
+        .unwrap();
+        let err = compactor.run_until_idle(&mut store).unwrap_err();
+        assert!(format!("{err}").contains("corrupt"), "{err}");
+        let again = compactor.poll(&mut store).unwrap_err();
+        assert!(
+            format!("{again}").contains("first error wins"),
+            "latched: {again}"
+        );
+        // No temporary or intent litter after a failed merge.
+        let litter = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|e| e == "tmp" || e == "intent" || e == "wip")
+            })
+            .count();
+        assert_eq!(litter, 0);
+        drop(compactor);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

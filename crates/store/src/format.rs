@@ -11,12 +11,17 @@
 //! file   := header block*
 //! header := magic[8]="CWSMSIG\x01" version:u16 mode:u8 _:u8
 //!           l:u32 wl:u32 ws:u32 _:u32 crc:u32          (32 bytes)
-//! block  := "CWSB" node:u32 first_window:u64 count:u32
-//!           delta_bits:u8 _:[u8;3] payload_len:u32     (28 bytes)
+//!
+//! v2 block := "CWSB" node:u32 first_window:u64 count:u32
+//!           delta_bits:u8                              (21 bytes)
 //!           [re_min re_max im_min im_max : f64]        (quant modes only)
 //!           deltas[ceil((count-1)*delta_bits/8)]       (bitpacked)
 //!           values[count * 2l * sizeof(mode)]          (event-major, re then im)
 //!           crc:u32                                    (over block start..values end)
+//!
+//! v1 block := "CWSB" node:u32 first_window:u64 count:u32
+//!           delta_bits:u8 _:[u8;3] payload_len:u32     (28 bytes)
+//!           ... same scales/deltas/values/crc as v2
 //! ```
 //!
 //! Window indexes are stored as `first_window` plus bitpacked
@@ -24,6 +29,13 @@
 //! stream every delta is 1, so `delta_bits = 0` and the axis costs zero
 //! bytes). Quantized modes store each value as `u8`/`u16` against the
 //! block's per-component min/max scale.
+//!
+//! Version history: v1 blocks carried 3 padding bytes and a redundant
+//! `payload_len` field (fully determined by `count`, `delta_bits` and
+//! the file's encoding mode) — 7 dead bytes per block that existed only
+//! as a cross-check the CRC already provides. v2 drops them; the reader
+//! keeps accepting v1 segments, and the writer always emits the current
+//! version.
 
 use crate::crc::crc32;
 use crate::error::{Result, StoreError};
@@ -31,14 +43,28 @@ use std::path::Path;
 
 /// File magic: "CWSMSIG" + format generation byte.
 pub const FILE_MAGIC: [u8; 8] = *b"CWSMSIG\x01";
-/// Current format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current format version (what new segments are written as).
+pub const FORMAT_VERSION: u16 = 2;
+/// Oldest format version the reader still accepts.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 /// Block magic ("CWSB" on disk).
 pub const BLOCK_MAGIC: u32 = u32::from_le_bytes(*b"CWSB");
-/// Size of the file header in bytes.
+/// Size of the file header in bytes (identical in every version).
 pub const FILE_HEADER_LEN: usize = 32;
-/// Size of the fixed block header in bytes (before optional scales).
-pub const BLOCK_HEADER_LEN: usize = 28;
+/// Size of the fixed v1 block header in bytes (before optional scales).
+pub const BLOCK_HEADER_V1_LEN: usize = 28;
+/// Size of the fixed v2 block header in bytes: v1 minus the 3 padding
+/// bytes and the redundant `payload_len` cross-check field.
+pub const BLOCK_HEADER_V2_LEN: usize = 21;
+
+/// Fixed block header length for a format version.
+pub(crate) fn block_header_len(version: u16) -> usize {
+    if version >= 2 {
+        BLOCK_HEADER_V2_LEN
+    } else {
+        BLOCK_HEADER_V1_LEN
+    }
+}
 /// Largest accepted signature block count `l`. A sanity bound: header
 /// CRCs catch accidental damage but are recomputable, so field values
 /// must also be plausibility-checked before they size any arithmetic.
@@ -107,6 +133,8 @@ impl Encoding {
 /// Parsed segment file header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct FileHeader {
+    /// Format version the file's blocks are laid out as.
+    pub version: u16,
     pub mode: Encoding,
     pub l: u32,
     pub wl: u32,
@@ -114,11 +142,22 @@ pub(crate) struct FileHeader {
 }
 
 impl FileHeader {
+    /// A header for newly written data: current format version.
+    pub fn current(mode: Encoding, l: u32, wl: u32, ws: u32) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            mode,
+            l,
+            wl,
+            ws,
+        }
+    }
+
     /// Serializes the header (including its CRC) into `out`.
     pub fn write_to(&self, out: &mut Vec<u8>) {
         let start = out.len();
         out.extend_from_slice(&FILE_MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.push(self.mode.code());
         out.push(0);
         out.extend_from_slice(&self.l.to_le_bytes());
@@ -149,7 +188,7 @@ impl FileHeader {
             return Err(corrupt(0, "bad file magic".into()));
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(corrupt(8, format!("unsupported format version {version}")));
         }
         let stored_crc = read_u32(bytes, 28);
@@ -174,7 +213,13 @@ impl FileHeader {
         if wl == 0 || ws == 0 {
             return Err(corrupt(16, "zero-length window spec".into()));
         }
-        Ok(Self { mode, l, wl, ws })
+        Ok(Self {
+            version,
+            mode,
+            l,
+            wl,
+            ws,
+        })
     }
 }
 
@@ -320,18 +365,20 @@ pub(crate) fn requantize(values: &mut [f64], l: usize, mode: Encoding) -> Result
     Ok(())
 }
 
-/// Encodes one block (header, optional scales, payload, CRC) and appends
-/// it to `out`. `windows` must be strictly increasing and `values` hold
-/// `windows.len() * 2l` finite values in event-major `[re..., im...]`
-/// order. Performs no allocation beyond growing `out`.
+/// Encodes one block (header, optional scales, payload, CRC) in the
+/// layout of `header.version` and appends it to `out`. `windows` must be
+/// strictly increasing and `values` hold `windows.len() * 2l` finite
+/// values in event-major `[re..., im...]` order. Performs no allocation
+/// beyond growing `out`.
 pub(crate) fn encode_block(
     out: &mut Vec<u8>,
-    mode: Encoding,
-    l: usize,
+    header: &FileHeader,
     node: u32,
     windows: &[u64],
     values: &[f64],
 ) -> Result<()> {
+    let mode = header.mode;
+    let l = header.l as usize;
     let count = windows.len();
     let dim = 2 * l;
     if count == 0 {
@@ -359,17 +406,20 @@ pub(crate) fn encode_block(
             "window jump of {max_gap} exceeds the 32-bit delta budget"
         )));
     }
-    let payload_len =
-        delta_section_len(count as u32, delta_bits) + count * dim * mode.bytes_per_value();
-
     let start = out.len();
     out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
     out.extend_from_slice(&node.to_le_bytes());
     out.extend_from_slice(&windows[0].to_le_bytes());
     out.extend_from_slice(&(count as u32).to_le_bytes());
     out.push(delta_bits);
-    out.extend_from_slice(&[0u8; 3]);
-    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    if header.version < 2 {
+        // v1 carried 3 pad bytes + a payload length the other fields
+        // fully determine; v2 dropped both (see module docs).
+        let payload_len =
+            delta_section_len(count as u32, delta_bits) + count * dim * mode.bytes_per_value();
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    }
 
     let ranges = if mode == Encoding::Exact {
         [0.0; 4]
@@ -456,11 +506,33 @@ impl BlockError {
     }
 }
 
-/// Parses the block starting at `offset`. Returns `Ok(None)` at clean EOF.
+/// Parses the block starting at `offset`, verifying its CRC. Returns
+/// `Ok(None)` at clean EOF.
 pub(crate) fn parse_block<'a>(
     bytes: &'a [u8],
     offset: u64,
     header: &FileHeader,
+) -> std::result::Result<Option<BlockRef<'a>>, BlockError> {
+    parse_block_impl(bytes, offset, header, true)
+}
+
+/// [`parse_block`] without the CRC pass — for blocks whose CRC an
+/// earlier read already validated (the store's first-touch validation
+/// bitmap). All structural bounds checks still run; only the checksum
+/// recomputation is skipped.
+pub(crate) fn parse_block_trusted<'a>(
+    bytes: &'a [u8],
+    offset: u64,
+    header: &FileHeader,
+) -> std::result::Result<Option<BlockRef<'a>>, BlockError> {
+    parse_block_impl(bytes, offset, header, false)
+}
+
+fn parse_block_impl<'a>(
+    bytes: &'a [u8],
+    offset: u64,
+    header: &FileHeader,
+    verify_crc: bool,
 ) -> std::result::Result<Option<BlockRef<'a>>, BlockError> {
     let at = offset as usize;
     if at == bytes.len() {
@@ -471,11 +543,20 @@ pub(crate) fn parse_block<'a>(
         offset,
         message,
     };
-    let avail = bytes.len() - at;
-    if avail < BLOCK_HEADER_LEN {
+    if at > bytes.len() {
+        // Offsets can come from a persisted sidecar; one pointing past
+        // the file is damage, handled like any other truncation.
         return Err(err(
             true,
-            format!("block header truncated ({avail} of {BLOCK_HEADER_LEN} bytes)"),
+            format!("block offset {at} beyond file end {}", bytes.len()),
+        ));
+    }
+    let header_len = block_header_len(header.version);
+    let avail = bytes.len() - at;
+    if avail < header_len {
+        return Err(err(
+            true,
+            format!("block header truncated ({avail} of {header_len} bytes)"),
         ));
     }
     let b = &bytes[at..];
@@ -487,7 +568,6 @@ pub(crate) fn parse_block<'a>(
     let first_window = read_u64(b, 8);
     let count = read_u32(b, 16);
     let delta_bits = b[20];
-    let payload_len = read_u32(b, 24) as usize;
     if count == 0 || count > MAX_BLOCK_COUNT {
         return Err(err(
             false,
@@ -506,13 +586,17 @@ pub(crate) fn parse_block<'a>(
     // this product tops out near 2^48 — no overflow on 64-bit targets.
     let expect_payload =
         delta_section_len(count, delta_bits) + count as usize * dim * mode.bytes_per_value();
-    if payload_len != expect_payload {
-        return Err(err(
-            false,
-            format!("payload length {payload_len} != expected {expect_payload}"),
-        ));
+    if header.version < 2 {
+        // v1 stored the payload length explicitly; cross-check it.
+        let payload_len = read_u32(b, 24) as usize;
+        if payload_len != expect_payload {
+            return Err(err(
+                false,
+                format!("payload length {payload_len} != expected {expect_payload}"),
+            ));
+        }
     }
-    let total = BLOCK_HEADER_LEN + mode.scales_len() + payload_len + 4;
+    let total = header_len + mode.scales_len() + expect_payload + 4;
     if avail < total {
         return Err(err(
             true,
@@ -522,7 +606,7 @@ pub(crate) fn parse_block<'a>(
     let mut scales = [0.0f64; 4];
     if mode != Encoding::Exact {
         for (i, s) in scales.iter_mut().enumerate() {
-            *s = read_f64(b, BLOCK_HEADER_LEN + 8 * i);
+            *s = read_f64(b, header_len + 8 * i);
         }
         if !scales.iter().all(|v| v.is_finite()) || scales[1] < scales[0] || scales[3] < scales[2] {
             return Err(err(
@@ -531,13 +615,15 @@ pub(crate) fn parse_block<'a>(
             ));
         }
     }
-    let stored_crc = read_u32(b, total - 4);
-    let actual = crc32(&b[..total - 4]);
-    if stored_crc != actual {
-        return Err(err(
-            false,
-            format!("block CRC mismatch (stored {stored_crc:08x}, computed {actual:08x})"),
-        ));
+    if verify_crc {
+        let stored_crc = read_u32(b, total - 4);
+        let actual = crc32(&b[..total - 4]);
+        if stored_crc != actual {
+            return Err(err(
+                false,
+                format!("block CRC mismatch (stored {stored_crc:08x}, computed {actual:08x})"),
+            ));
+        }
     }
     // Every delta is at least 1 and at most 2^delta_bits, so this bounds
     // the block's last window without decoding the payload.
@@ -549,9 +635,37 @@ pub(crate) fn parse_block<'a>(
         last_window_upper_bound: first_window.saturating_add(span),
         delta_bits,
         scales,
-        payload: &b[BLOCK_HEADER_LEN + mode.scales_len()..total - 4],
+        payload: &b[header_len + mode.scales_len()..total - 4],
         end: offset + total as u64,
     }))
+}
+
+/// Re-frames a parsed block into `out` under `out_header`'s version —
+/// the byte-preserving transcode the compactor uses for quantized
+/// blocks: scales and payload (delta axis + quantized values) are
+/// copied verbatim, so decoded values stay bit-identical; only the
+/// fixed header layout (and hence the CRC) changes. `out_header` must
+/// share the source block's mode and `l`.
+pub(crate) fn reframe_block(out: &mut Vec<u8>, out_header: &FileHeader, block: &BlockRef<'_>) {
+    let start = out.len();
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&block.node.to_le_bytes());
+    out.extend_from_slice(&block.first_window.to_le_bytes());
+    out.extend_from_slice(&block.count.to_le_bytes());
+    out.push(block.delta_bits);
+    if out_header.version < 2 {
+        let payload_len = block.payload.len() as u32;
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&payload_len.to_le_bytes());
+    }
+    if out_header.mode != Encoding::Exact {
+        for s in block.scales {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(block.payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
 }
 
 /// Decodes a parsed block's window axis and values into `windows` /
@@ -614,12 +728,26 @@ mod tests {
     use std::path::PathBuf;
 
     fn header(mode: Encoding, l: u32) -> FileHeader {
+        FileHeader::current(mode, l, 30, 10)
+    }
+
+    fn header_v1(mode: Encoding, l: u32) -> FileHeader {
         FileHeader {
-            mode,
-            l,
-            wl: 30,
-            ws: 10,
+            version: 1,
+            ..header(mode, l)
         }
+    }
+
+    fn roundtrip_with(h: &FileHeader, windows: &[u64], values: &[f64]) -> (Vec<u64>, Vec<f64>) {
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, h, 7, windows, values).unwrap();
+        let block = parse_block(&bytes, 0, h).unwrap().unwrap();
+        assert_eq!(block.node, 7);
+        assert_eq!(block.count as usize, windows.len());
+        assert_eq!(block.end as usize, bytes.len());
+        let (mut w, mut v) = (Vec::new(), Vec::new());
+        decode_block(&block, h, &mut w, &mut v);
+        (w, v)
     }
 
     fn roundtrip(
@@ -628,16 +756,7 @@ mod tests {
         windows: &[u64],
         values: &[f64],
     ) -> (Vec<u64>, Vec<f64>) {
-        let h = header(mode, l as u32);
-        let mut bytes = Vec::new();
-        encode_block(&mut bytes, mode, l, 7, windows, values).unwrap();
-        let block = parse_block(&bytes, 0, &h).unwrap().unwrap();
-        assert_eq!(block.node, 7);
-        assert_eq!(block.count as usize, windows.len());
-        assert_eq!(block.end as usize, bytes.len());
-        let (mut w, mut v) = (Vec::new(), Vec::new());
-        decode_block(&block, &h, &mut w, &mut v);
-        (w, v)
+        roundtrip_with(&header(mode, l as u32), windows, values)
     }
 
     #[test]
@@ -659,15 +778,15 @@ mod tests {
     fn gapless_windows_cost_zero_delta_bytes() {
         let windows: Vec<u64> = (10..200).collect();
         let values = vec![0.5; windows.len() * 2];
+        let h = header(Encoding::Quant8, 1);
         let mut gapless = Vec::new();
-        encode_block(&mut gapless, Encoding::Quant8, 1, 0, &windows, &values).unwrap();
+        encode_block(&mut gapless, &h, 0, &windows, &values).unwrap();
         // One jump forces a nonzero delta width on every event.
         let mut jumped: Vec<u64> = windows.clone();
         *jumped.last_mut().unwrap() += 9;
         let mut with_gap = Vec::new();
-        encode_block(&mut with_gap, Encoding::Quant8, 1, 0, &jumped, &values).unwrap();
+        encode_block(&mut with_gap, &h, 0, &jumped, &values).unwrap();
         assert!(gapless.len() < with_gap.len());
-        let h = header(Encoding::Quant8, 1);
         let block = parse_block(&with_gap, 0, &h).unwrap().unwrap();
         let (mut w, mut v) = (Vec::new(), Vec::new());
         decode_block(&block, &h, &mut w, &mut v);
@@ -702,28 +821,34 @@ mod tests {
     #[test]
     fn encode_rejects_bad_input() {
         let mut out = Vec::new();
-        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[], &[]).is_err());
-        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[1], &[0.0; 3]).is_err());
-        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[5, 5], &[0.0; 8]).is_err());
-        assert!(encode_block(&mut out, Encoding::Exact, 2, 0, &[5, 3], &[0.0; 8]).is_err());
-        assert!(encode_block(&mut out, Encoding::Quant8, 1, 0, &[1], &[f64::NAN, 0.0]).is_err());
+        let he = header(Encoding::Exact, 2);
+        let hq = header(Encoding::Quant8, 1);
+        assert!(encode_block(&mut out, &he, 0, &[], &[]).is_err());
+        assert!(encode_block(&mut out, &he, 0, &[1], &[0.0; 3]).is_err());
+        assert!(encode_block(&mut out, &he, 0, &[5, 5], &[0.0; 8]).is_err());
+        assert!(encode_block(&mut out, &he, 0, &[5, 3], &[0.0; 8]).is_err());
+        assert!(encode_block(&mut out, &hq, 0, &[1], &[f64::NAN, 0.0]).is_err());
     }
 
     #[test]
     fn every_flipped_byte_is_detected() {
         let windows = [3u64, 4, 8];
         let values: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
-        let h = header(Encoding::Quant16, 2);
-        let mut bytes = Vec::new();
-        encode_block(&mut bytes, Encoding::Quant16, 2, 1, &windows, &values).unwrap();
-        for i in 0..bytes.len() {
-            bytes[i] ^= 0xA5;
-            let r = parse_block(&bytes, 0, &h);
-            assert!(r.is_err(), "flip at byte {i} went unnoticed");
-            bytes[i] ^= 0xA5;
+        for h in [
+            header(Encoding::Quant16, 2),
+            header_v1(Encoding::Quant16, 2),
+        ] {
+            let mut bytes = Vec::new();
+            encode_block(&mut bytes, &h, 1, &windows, &values).unwrap();
+            for i in 0..bytes.len() {
+                bytes[i] ^= 0xA5;
+                let r = parse_block(&bytes, 0, &h);
+                assert!(r.is_err(), "v{} flip at byte {i} went unnoticed", h.version);
+                bytes[i] ^= 0xA5;
+            }
+            // Untouched bytes still parse.
+            assert!(parse_block(&bytes, 0, &h).unwrap().is_some());
         }
-        // Untouched bytes still parse.
-        assert!(parse_block(&bytes, 0, &h).unwrap().is_some());
     }
 
     #[test]
@@ -732,11 +857,11 @@ mod tests {
         let values = vec![0.25; 32 * 4];
         let h = header(Encoding::Exact, 2);
         let mut bytes = Vec::new();
-        encode_block(&mut bytes, Encoding::Exact, 2, 0, &windows, &values).unwrap();
+        encode_block(&mut bytes, &h, 0, &windows, &values).unwrap();
         for cut in [
             1usize,
-            BLOCK_HEADER_LEN - 1,
-            BLOCK_HEADER_LEN + 5,
+            BLOCK_HEADER_V2_LEN - 1,
+            BLOCK_HEADER_V2_LEN + 5,
             bytes.len() - 1,
         ] {
             let err = parse_block(&bytes[..cut], 0, &h).unwrap_err();
@@ -753,23 +878,27 @@ mod tests {
         // recomputable by an attacker/filesystem accident, so the field
         // itself must be bounded.
         let mut bytes = Vec::new();
-        FileHeader {
-            mode: Encoding::Exact,
-            l: 4,
-            wl: 30,
-            ws: 10,
-        }
-        .write_to(&mut bytes);
+        FileHeader::current(Encoding::Exact, 4, 30, 10).write_to(&mut bytes);
         bytes[12..16].copy_from_slice(&(MAX_L + 1).to_le_bytes());
         let crc = crate::crc::crc32(&bytes[..28]);
         bytes[28..32].copy_from_slice(&crc.to_le_bytes());
         assert!(FileHeader::parse(&bytes, &path).is_err());
 
+        // A future version the reader does not understand must be
+        // rejected up front, not misparsed.
+        let mut future = Vec::new();
+        FileHeader {
+            version: FORMAT_VERSION + 1,
+            ..FileHeader::current(Encoding::Exact, 4, 30, 10)
+        }
+        .write_to(&mut future);
+        assert!(FileHeader::parse(&future, &path).is_err());
+
         // Block claiming a preposterous event count, CRC fixed up: must
         // error (not overflow or allocate terabytes).
         let h = header(Encoding::Exact, 2);
         let mut block = Vec::new();
-        encode_block(&mut block, Encoding::Exact, 2, 0, &[1, 2], &[0.0; 8]).unwrap();
+        encode_block(&mut block, &h, 0, &[1, 2], &[0.0; 8]).unwrap();
         block[16..20].copy_from_slice(&(MAX_BLOCK_COUNT + 1).to_le_bytes());
         let end = block.len() - 4;
         let crc = crate::crc::crc32(&block[..end]);
@@ -784,12 +913,7 @@ mod tests {
     #[test]
     fn file_header_roundtrip_and_validation() {
         let path = PathBuf::from("test.cws");
-        let h = FileHeader {
-            mode: Encoding::Quant8,
-            l: 4,
-            wl: 30,
-            ws: 10,
-        };
+        let h = FileHeader::current(Encoding::Quant8, 4, 30, 10);
         let mut bytes = Vec::new();
         h.write_to(&mut bytes);
         assert_eq!(bytes.len(), FILE_HEADER_LEN);
@@ -802,5 +926,68 @@ mod tests {
         let mut wrong = bytes.clone();
         wrong[0] = b'X';
         assert!(FileHeader::parse(&wrong, &path).is_err());
+    }
+
+    #[test]
+    fn v1_blocks_still_parse_and_v2_drops_seven_bytes() {
+        let windows = [4u64, 5, 6, 9, 107];
+        let values: Vec<f64> = (0..windows.len() * 6)
+            .map(|i| (i as f64 * 0.37).sin() * 1e3 + 0.1)
+            .collect();
+        for mode in [Encoding::Exact, Encoding::Quant8, Encoding::Quant16] {
+            let (h1, h2) = (header_v1(mode, 3), header(mode, 3));
+            let (mut b1, mut b2) = (Vec::new(), Vec::new());
+            encode_block(&mut b1, &h1, 7, &windows, &values).unwrap();
+            encode_block(&mut b2, &h2, 7, &windows, &values).unwrap();
+            assert_eq!(
+                b1.len(),
+                b2.len() + (BLOCK_HEADER_V1_LEN - BLOCK_HEADER_V2_LEN)
+            );
+            // Both layouts decode to the same windows and values.
+            let (w1, v1) = roundtrip_with(&h1, &windows, &values);
+            let (w2, v2) = roundtrip_with(&h2, &windows, &values);
+            assert_eq!(w1, w2);
+            assert!(v1.iter().zip(&v2).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn reframe_preserves_decoded_bits_across_versions() {
+        let windows = [3u64, 4, 9, 10, 42];
+        let values: Vec<f64> = (0..windows.len() * 4)
+            .map(|i| ((i as f64 / 5.0).cos() + 1.1) * 3.0)
+            .collect();
+        for mode in [Encoding::Exact, Encoding::Quant8, Encoding::Quant16] {
+            let (h1, h2) = (header_v1(mode, 2), header(mode, 2));
+            let mut old = Vec::new();
+            encode_block(&mut old, &h1, 9, &windows, &values).unwrap();
+            let src = parse_block(&old, 0, &h1).unwrap().unwrap();
+            let mut new = Vec::new();
+            reframe_block(&mut new, &h2, &src);
+            let dst = parse_block(&new, 0, &h2).unwrap().unwrap();
+            let (mut w1, mut v1) = (Vec::new(), Vec::new());
+            decode_block(&src, &h1, &mut w1, &mut v1);
+            let (mut w2, mut v2) = (Vec::new(), Vec::new());
+            decode_block(&dst, &h2, &mut w2, &mut v2);
+            assert_eq!(w1, w2);
+            assert!(v1.iter().zip(&v2).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn trusted_parse_skips_crc_but_keeps_structural_checks() {
+        let h = header(Encoding::Exact, 1);
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, &h, 3, &[1, 2, 5], &[0.5; 6]).unwrap();
+        // Corrupt only the CRC: the trusting parse does not notice (the
+        // store only uses it after a verifying first touch), the
+        // verifying parse does.
+        let end = bytes.len();
+        bytes[end - 1] ^= 0xFF;
+        assert!(parse_block(&bytes, 0, &h).is_err());
+        assert!(parse_block_trusted(&bytes, 0, &h).unwrap().is_some());
+        // Structural damage is still rejected without the CRC pass.
+        bytes[16..20].copy_from_slice(&(MAX_BLOCK_COUNT + 1).to_le_bytes());
+        assert!(parse_block_trusted(&bytes, 0, &h).is_err());
     }
 }

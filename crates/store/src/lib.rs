@@ -70,12 +70,18 @@ mod crc;
 mod format;
 
 pub mod codec;
+pub mod compact;
 pub mod error;
+pub mod mmap;
+pub mod morton;
 pub mod query;
+pub mod sidecar;
 pub mod store;
 
 pub use codec::BlockCodec;
+pub use compact::{CompactionStats, Compactor, CompactorConfig};
 pub use error::{Result, StoreError};
 pub use format::Encoding;
+pub use mmap::SegmentView;
 pub use query::{Distance, Neighbor, SignatureIndex};
 pub use store::{RecoveryReport, SegmentStat, SignatureStore, StoreConfig, StoreStats};

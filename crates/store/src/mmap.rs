@@ -1,0 +1,247 @@
+//! Read-only memory-mapped views of sealed segment files.
+//!
+//! Queries over sealed segments used to re-open and re-read the file
+//! per call; at a million signatures that is the dominant cost. A
+//! [`SegmentView`] maps the file once and hands out `&[u8]` straight
+//! into the page cache — zero-copy reads with no per-query I/O.
+//!
+//! No external crates: on Unix targets `std` already links the platform
+//! libc, so the two syscall wrappers needed (`mmap`, `munmap`) are
+//! declared here directly. Everywhere else — or when the mapping fails,
+//! or when `CWS_STORE_NO_MMAP=1` forces it — the view transparently
+//! falls back to reading the whole file into a heap buffer. Callers
+//! cannot tell the difference: both paths expose the same `&[u8]`.
+//!
+//! Safety model: mappings are `PROT_READ` + `MAP_PRIVATE`, so the view
+//! is immutable and unaffected by other *writers'* in-memory state. The
+//! store only maps **sealed** segments, which are never modified in
+//! place (compaction replaces them via atomic rename, and the old inode
+//! stays alive under the mapping until unmapped), so the bytes behind
+//! the slice are stable for the view's lifetime.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// `CWS_STORE_NO_MMAP=1` disables mapping globally (heap fallback) —
+/// an escape hatch for filesystems where mmap misbehaves, and the lever
+/// the tests use to pin both paths byte-identical.
+pub const NO_MMAP_ENV: &str = "CWS_STORE_NO_MMAP";
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal raw bindings for the two calls used. Signatures match
+    //! POSIX; `std` links libc on every Unix target, so these resolve
+    //! without adding a dependency.
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        /// POSIX `mmap(2)`.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        /// POSIX `munmap(2)`.
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum Backing {
+    /// File bytes read into memory — portable fallback.
+    Heap(Vec<u8>),
+    /// A live `mmap` region (unix only). Unmapped on drop.
+    #[cfg(unix)]
+    Map {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+}
+
+/// An immutable byte view of one sealed segment file.
+pub struct SegmentView {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE over a sealed file the
+// store never modifies in place, so the region is plain immutable
+// memory — sharing the pointer across threads is no different from
+// sharing a `&[u8]` into a leaked buffer. The heap variant is a Vec.
+unsafe impl Send for SegmentView {}
+// SAFETY: as above — all access is through `&self` returning `&[u8]`
+// into immutable pages; there is no interior mutability.
+unsafe impl Sync for SegmentView {}
+
+impl SegmentView {
+    /// Opens `path` as a read-only view: mmap where available, heap
+    /// bytes otherwise. Mapping failure is not an error — it degrades
+    /// to the heap path.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let allow_mmap = std::env::var(NO_MMAP_ENV).map_or(true, |v| v != "1");
+        Self::open_with(path, allow_mmap)
+    }
+
+    /// [`SegmentView::open`] with the mmap/heap decision explicit —
+    /// `allow_mmap: false` always takes the heap path (what the env
+    /// switch forces, without the global state).
+    pub fn open_with(path: &Path, allow_mmap: bool) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "segment larger than the address space",
+            ));
+        }
+        let want_mmap = allow_mmap && len > 0;
+        #[cfg(unix)]
+        if want_mmap {
+            if let Some(view) = Self::try_map(&file, len as usize) {
+                return Ok(view);
+            }
+        }
+        let _ = want_mmap; // non-unix: only the heap path exists
+        let mut bytes = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut bytes)?;
+        Ok(Self {
+            backing: Backing::Heap(bytes),
+        })
+    }
+
+    #[cfg(unix)]
+    fn try_map(file: &File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: fd is a valid open file for the duration of the call;
+        // len > 0 (checked by the caller); PROT_READ + MAP_PRIVATE asks
+        // for an immutable copy-on-write view, which cannot alias any
+        // Rust-visible mutable state. MAP_FAILED (-1) is checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return None;
+        }
+        Some(Self {
+            backing: Backing::Map { ptr, len },
+        })
+    }
+
+    /// The file's bytes. Borrowing from the view keeps the mapping (or
+    /// buffer) alive.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Heap(v) => v,
+            #[cfg(unix)]
+            Backing::Map { ptr, len } => {
+                // SAFETY: ptr/len delimit a live PROT_READ mapping owned
+                // by self (unmapped only in Drop), and the underlying
+                // sealed file is never written in place, so the region
+                // is valid, initialized, immutable memory for &self's
+                // lifetime.
+                unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Whether this view is an actual mapping (false: heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Heap(_) => false,
+            #[cfg(unix)]
+            Backing::Map { .. } => true,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            Backing::Heap(v) => v.len(),
+            #[cfg(unix)]
+            Backing::Map { len, .. } => *len,
+        }
+    }
+
+    /// True when the underlying file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for SegmentView {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Map { ptr, len } = self.backing {
+            // SAFETY: ptr/len came from a successful mmap in try_map
+            // and are unmapped exactly once, here. No slice borrowed
+            // from the view can outlive self.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentView")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("cws-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_heap_views_agree() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = tmp("agree", &data);
+        let view = SegmentView::open(&path).unwrap();
+        assert_eq!(view.bytes(), &data[..]);
+        #[cfg(unix)]
+        assert!(view.is_mapped());
+        // Forced heap path sees the same bytes.
+        let heap = SegmentView::open_with(&path, false).unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(heap.bytes(), view.bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_a_valid_empty_view() {
+        let path = tmp("empty", &[]);
+        let view = SegmentView::open(&path).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn view_is_send_and_sync() {
+        fn takes<T: Send + Sync>() {}
+        takes::<SegmentView>();
+    }
+}

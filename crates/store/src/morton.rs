@@ -1,0 +1,143 @@
+//! Z-order (Morton) locality keys over quantized signature prefixes.
+//!
+//! Compaction re-sorts a merged segment's blocks so that blocks whose
+//! signatures are close in feature space land close on disk — a
+//! space-filling-curve layout that turns similarity scans into mostly
+//! sequential reads. The key is built from the first few signature
+//! components (the coarse "prefix" of the vector): each component is
+//! quantized against a global per-component range, and the quantized
+//! bits are interleaved so that Hamming-adjacent keys are
+//! Euclid-adjacent prefixes.
+//!
+//! The curve only has to *correlate* with similarity, not preserve it
+//! exactly: block order never affects query results (the k-NN total
+//! order is `(distance, node, window)`, independent of storage order —
+//! pinned by the compaction parity tests), so any key here is correct;
+//! better keys just read fewer pages.
+
+/// How many leading signature components participate in the key. 64
+/// key bits divide evenly among at most this many components.
+pub const MORTON_MAX_COMPONENTS: usize = 8;
+
+/// Per-component `[min, max]` ranges the quantizer maps against.
+#[derive(Debug, Clone)]
+pub struct MortonBounds {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MortonBounds {
+    /// Starts an empty bound set over the first `min(dim, 8)`
+    /// components of a `dim`-dimensional signature.
+    pub fn new(dim: usize) -> Self {
+        let comps = dim.clamp(1, MORTON_MAX_COMPONENTS);
+        Self {
+            mins: vec![f64::INFINITY; comps],
+            maxs: vec![f64::NEG_INFINITY; comps],
+        }
+    }
+
+    /// Widens the bounds to cover `vector` (only its tracked prefix).
+    /// Non-finite components are ignored — they quantize to 0 later.
+    pub fn observe(&mut self, vector: &[f64]) {
+        for (i, &v) in vector.iter().take(self.mins.len()).enumerate() {
+            if v.is_finite() {
+                self.mins[i] = self.mins[i].min(v);
+                self.maxs[i] = self.maxs[i].max(v);
+            }
+        }
+    }
+
+    /// Number of components participating in keys from these bounds.
+    pub fn components(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The Morton key for `vector` under these bounds: each tracked
+    /// component quantized to `64 / components` bits, bit-interleaved
+    /// LSB-first so the high key bits hold every component's high bit.
+    pub fn key(&self, vector: &[f64]) -> u64 {
+        let comps = self.mins.len();
+        let bits = (64 / comps) as u32;
+        let top = (1u64 << bits) - 1;
+        let mut key = 0u64;
+        for (i, (&min, &max)) in self.mins.iter().zip(&self.maxs).enumerate() {
+            let v = vector.get(i).copied().unwrap_or(min);
+            let q = if max <= min || !v.is_finite() {
+                // Degenerate range (constant component, or no finite
+                // observations) — every vector quantizes the same.
+                0
+            } else {
+                let t = ((v - min) / (max - min)).clamp(0.0, 1.0);
+                ((t * top as f64).round() as u64).min(top)
+            };
+            // Interleave: component i's bit b lands at key bit
+            // b*comps + i, so sorting by key cycles through components
+            // from their most significant bits downward.
+            for b in 0..bits {
+                key |= ((q >> b) & 1) << (b as usize * comps + i);
+            }
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(dim: usize, lo: f64, hi: f64) -> MortonBounds {
+        let mut b = MortonBounds::new(dim);
+        b.observe(&vec![lo; dim]);
+        b.observe(&vec![hi; dim]);
+        b
+    }
+
+    #[test]
+    fn nearby_vectors_get_nearby_keys() {
+        let b = bounds(4, 0.0, 1.0);
+        let base = b.key(&[0.5, 0.5, 0.5, 0.5]);
+        let near = b.key(&[0.501, 0.5, 0.5, 0.5]);
+        let far = b.key(&[0.99, 0.01, 0.99, 0.01]);
+        assert!(base.abs_diff(near) < base.abs_diff(far));
+    }
+
+    #[test]
+    fn keys_are_monotone_along_one_axis() {
+        let b = bounds(2, 0.0, 1.0);
+        let mut prev = 0u64;
+        for i in 0..100 {
+            let k = b.key(&[i as f64 / 99.0, 0.0]);
+            assert!(k >= prev, "key regressed at step {i}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_and_nan_do_not_panic() {
+        let mut b = MortonBounds::new(3);
+        // No observations at all: every key is 0.
+        assert_eq!(b.key(&[1.0, 2.0, 3.0]), 0);
+        b.observe(&[f64::NAN, 5.0, 5.0]);
+        b.observe(&[f64::NAN, 5.0, 9.0]);
+        // Constant + NaN components quantize to 0; the varying one works.
+        let lo = b.key(&[0.0, 5.0, 5.0]);
+        let hi = b.key(&[0.0, 5.0, 9.0]);
+        assert!(hi > lo);
+        // Short and long vectors are tolerated.
+        let _ = b.key(&[1.0]);
+        let _ = b.key(&[1.0; 16]);
+    }
+
+    #[test]
+    fn wide_dimensions_cap_at_eight_components() {
+        let b = bounds(32, 0.0, 1.0);
+        assert_eq!(b.components(), MORTON_MAX_COMPONENTS);
+        // Components beyond the cap do not affect the key.
+        let mut v1 = vec![0.25; 32];
+        let mut v2 = vec![0.25; 32];
+        v1[20] = 0.9;
+        v2[20] = 0.1;
+        assert_eq!(b.key(&v1), b.key(&v2));
+    }
+}

@@ -11,7 +11,13 @@
 //! * [`SignatureIndex::query_indexed`] — a coarse-quantizer inverted-list
 //!   index (k-means over signature space; queries scan only the
 //!   `nprobe` nearest cells), sublinear in practice once the corpus
-//!   outgrows a few thousand signatures.
+//!   outgrows a few thousand signatures. With
+//!   [`SignatureIndex::with_pq`] trained, the scan inside each probed
+//!   cell runs over `m`-byte product-quantization codes via an ADC
+//!   (asymmetric distance computation) lookup table, and only the
+//!   best ADC candidates are re-ranked with exact distances — at a
+//!   million signatures the first pass touches megabytes instead of
+//!   the half-gigabyte of raw `f64` rows.
 //!
 //! Both distances are supported by preprocessing rows once at build
 //! time: [`Distance::L2`] keeps raw features, [`Distance::Pearson`]
@@ -19,9 +25,30 @@
 //! becomes an exact monotone image of `1 − r` — one scan loop serves
 //! both metrics, and the coarse quantizer clusters in whichever space
 //! the index was built for.
+//!
+//! Training is deterministic and, past 64k vectors, runs on a strided
+//! sample (the final assignment pass still covers every row). Trained
+//! quantizers persist in the store directory's `knn.idx` sidecar
+//! ([`SignatureIndex::with_coarse_persisted`]), keyed by the store's
+//! [`fingerprint`](SignatureStore::fingerprint) — a warm reopen loads
+//! centroids, assignments and PQ codes instead of re-clustering.
 
 use crate::error::{Result, StoreError};
+use crate::sidecar::{KnnSidecar, PqSidecar};
 use crate::store::SignatureStore;
+
+/// Lloyd-iteration training sample cap: past this many rows, k-means
+/// (coarse and PQ alike) trains on an evenly strided sample. The final
+/// assignment / encoding passes still cover every row, so only the
+/// centroid fitting — not the index contents — is sampled.
+const TRAIN_SAMPLE_CAP: usize = 1 << 16;
+
+/// The ADC first pass keeps `max(k × RERANK_FACTOR, RERANK_MIN)`
+/// candidates for the exact re-ranking pass.
+const RERANK_FACTOR: usize = 8;
+
+/// Floor of the re-rank pool, so small `k` still re-ranks a healthy set.
+const RERANK_MIN: usize = 64;
 
 /// Similarity metric between signature feature vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +62,16 @@ pub enum Distance {
     /// to the origin of the normalized space, reading distance `0.5` to
     /// any genuine signature and `0.0` to another constant vector.
     Pearson,
+}
+
+impl Distance {
+    /// Stable on-disk tag for the `knn.idx` sidecar.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Distance::L2 => 0,
+            Distance::Pearson => 1,
+        }
+    }
 }
 
 /// One k-NN result.
@@ -56,6 +93,35 @@ struct Coarse {
     centroids: Vec<f64>,
     /// `lists[c]` holds the row ids assigned to centroid `c`.
     lists: Vec<Vec<u32>>,
+}
+
+/// Product-quantization layer: every row compressed to `m` bytes.
+#[derive(Debug)]
+struct Pq {
+    /// Subquantizer count; divides the feature dimension.
+    m: usize,
+    /// `dim / m` — features per subquantizer.
+    dsub: usize,
+    /// `m × 256 × dsub`, subquantizer-major. When the corpus holds
+    /// fewer than 256 rows the unused codewords stay at their seeded
+    /// values and codes simply never reference them.
+    codebooks: Vec<f64>,
+    /// `n × m`, vector-major.
+    codes: Vec<u8>,
+}
+
+/// Index of the nearest of `k` centroids (each `dim` wide) to `row`.
+/// Ties resolve to the lowest index, so the result is a pure function
+/// of the inputs.
+fn nearest(row: &[f64], centroids: &[f64], k: usize, dim: usize) -> u32 {
+    let mut best = (f64::INFINITY, 0u32);
+    for c in 0..k {
+        let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
+        if d < best.0 {
+            best = (d, c as u32);
+        }
+    }
+    best.1
 }
 
 /// An immutable k-NN index over a snapshot of a [`SignatureStore`].
@@ -91,6 +157,10 @@ pub struct SignatureIndex {
     vecs: Vec<f64>,
     keys: Vec<(u32, u64)>,
     coarse: Option<Coarse>,
+    pq: Option<Pq>,
+    /// `true` when the quantizer was adopted from a `knn.idx` sidecar
+    /// instead of trained in this process.
+    cached: bool,
 }
 
 /// Preprocesses one vector for the chosen metric (see module docs).
@@ -145,6 +215,8 @@ impl SignatureIndex {
             vecs,
             keys,
             coarse: None,
+            pq: None,
+            cached: false,
         })
     }
 
@@ -152,6 +224,9 @@ impl SignatureIndex {
     /// (clamped to the corpus size) for `iters` Lloyd iterations.
     /// Deterministic: initial centroids are evenly spaced rows, empty
     /// clusters are re-seeded with the point farthest from its centroid.
+    /// Past 64k rows the Lloyd iterations run on an evenly strided
+    /// sample — training cost stays flat in corpus size while the final
+    /// assignment pass still covers every row.
     pub fn with_coarse(mut self, nlist: usize, iters: usize) -> Result<Self> {
         let n = self.keys.len();
         if nlist == 0 {
@@ -164,32 +239,29 @@ impl SignatureIndex {
         }
         let nlist = nlist.min(n);
         let dim = self.dim;
+        // Lloyd iterations cost O(sample × nlist × dim); past the cap,
+        // extra rows barely move the centroids but keep burning CPU.
+        let step = n.div_ceil(TRAIN_SAMPLE_CAP).max(1);
+        let sample: Vec<u32> = (0..n).step_by(step).map(|i| i as u32).collect();
+        let sn = sample.len();
         let mut centroids = vec![0.0; nlist * dim];
         for c in 0..nlist {
-            let src = c * n / nlist;
+            let src = sample[(c * sn / nlist).min(sn - 1)] as usize;
             centroids[c * dim..(c + 1) * dim].copy_from_slice(self.row(src));
         }
-        let mut assign = vec![0u32; n];
+        let mut assign = vec![0u32; sn];
         for _ in 0..iters.max(1) {
-            // Assignment pass.
-            for (i, a) in assign.iter_mut().enumerate() {
-                let row = self.row(i);
-                let mut best = (f64::INFINITY, 0u32);
-                for c in 0..nlist {
-                    let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
-                    if d < best.0 {
-                        best = (d, c as u32);
-                    }
-                }
-                *a = best.1;
+            // Assignment pass (over the training sample).
+            for (si, a) in assign.iter_mut().enumerate() {
+                *a = nearest(self.row(sample[si] as usize), &centroids, nlist, dim);
             }
             // Update pass.
             centroids.fill(0.0);
             let mut counts = vec![0u64; nlist];
-            for (i, &a) in assign.iter().enumerate() {
+            for (si, &a) in assign.iter().enumerate() {
                 counts[a as usize] += 1;
                 let dst = &mut centroids[a as usize * dim..(a as usize + 1) * dim];
-                for (d, &v) in dst.iter_mut().zip(self.row(i)) {
+                for (d, &v) in dst.iter_mut().zip(self.row(sample[si] as usize)) {
                     *d += v;
                 }
             }
@@ -201,22 +273,26 @@ impl SignatureIndex {
                     }
                 }
             }
-            // Re-seed dead centroids with the worst-fit points — each
-            // with a *distinct* point, or several dead cells would
+            // Re-seed dead centroids with the worst-fit sample points —
+            // each with a *distinct* point, or several dead cells would
             // collapse onto identical centroids and one of them would
             // stay empty forever.
             let mut taken: Vec<usize> = Vec::new();
             for c in 0..nlist {
                 if counts[c] == 0 {
-                    let far = (0..n).filter(|i| !taken.contains(i)).max_by(|&a, &b| {
-                        let ca = assign[a] as usize;
-                        let cb = assign[b] as usize;
-                        sq_dist(self.row(a), &centroids[ca * dim..(ca + 1) * dim])
-                            .total_cmp(&sq_dist(self.row(b), &centroids[cb * dim..(cb + 1) * dim]))
-                    });
+                    let dist_of = |si: usize| {
+                        let ca = assign[si] as usize;
+                        sq_dist(
+                            self.row(sample[si] as usize),
+                            &centroids[ca * dim..(ca + 1) * dim],
+                        )
+                    };
+                    let far = (0..sn)
+                        .filter(|si| !taken.contains(si))
+                        .max_by(|&a, &b| dist_of(a).total_cmp(&dist_of(b)));
                     let Some(far) = far else { break };
                     taken.push(far);
-                    let row = self.row(far).to_vec();
+                    let row = self.row(sample[far] as usize).to_vec();
                     centroids[c * dim..(c + 1) * dim].copy_from_slice(&row);
                     // Claim the point so the final assignment (and any
                     // later dead-cell scan this pass) sees it owned here.
@@ -224,18 +300,12 @@ impl SignatureIndex {
                 }
             }
         }
-        // Final assignment → inverted lists.
+        // Final assignment → inverted lists. Every row, not just the
+        // training sample.
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
         for i in 0..n {
-            let row = self.row(i);
-            let mut best = (f64::INFINITY, 0usize);
-            for c in 0..nlist {
-                let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
-                if d < best.0 {
-                    best = (d, c);
-                }
-            }
-            lists[best.1].push(i as u32);
+            let best = nearest(self.row(i), &centroids, nlist, dim);
+            lists[best as usize].push(i as u32);
         }
         self.coarse = Some(Coarse {
             nlist,
@@ -243,6 +313,200 @@ impl SignatureIndex {
             lists,
         });
         Ok(self)
+    }
+
+    /// Trains `m` 8-bit product-quantization subquantizers over the
+    /// preprocessed rows and encodes every row, enabling the ADC first
+    /// pass in [`SignatureIndex::query_indexed`]: probed inverted lists
+    /// are scanned through a per-query distance lookup table over
+    /// `m`-byte codes, and only the best candidates are re-ranked with
+    /// exact distances. Requires a trained coarse quantizer; `m` must
+    /// divide the feature dimension.
+    pub fn with_pq(mut self, m: usize, iters: usize) -> Result<Self> {
+        if self.coarse.is_none() {
+            return Err(StoreError::Invalid(
+                "train the coarse quantizer (with_coarse) before with_pq".into(),
+            ));
+        }
+        let n = self.keys.len();
+        if m == 0 || m > self.dim || !self.dim.is_multiple_of(m) {
+            return Err(StoreError::Invalid(format!(
+                "pq m = {m} must divide the feature dimension {}",
+                self.dim
+            )));
+        }
+        let dsub = self.dim / m;
+        let ksub = n.min(256);
+        let step = n.div_ceil(TRAIN_SAMPLE_CAP).max(1);
+        let sample: Vec<u32> = (0..n).step_by(step).map(|i| i as u32).collect();
+        let sn = sample.len();
+        let mut codebooks = vec![0.0; m * 256 * dsub];
+        for j in 0..m {
+            let book = &mut codebooks[j * 256 * dsub..(j + 1) * 256 * dsub];
+            // Seed: evenly spaced sample sub-vectors.
+            for c in 0..ksub {
+                let src = sample[(c * sn / ksub).min(sn - 1)] as usize;
+                book[c * dsub..(c + 1) * dsub]
+                    .copy_from_slice(&self.vecs[src * self.dim + j * dsub..][..dsub]);
+            }
+            for _ in 0..iters.max(1) {
+                let mut sums = vec![0.0; ksub * dsub];
+                let mut counts = vec![0u64; ksub];
+                for &si in &sample {
+                    let sub = &self.vecs[si as usize * self.dim + j * dsub..][..dsub];
+                    let c = nearest(sub, book, ksub, dsub) as usize;
+                    counts[c] += 1;
+                    for (d, &v) in sums[c * dsub..(c + 1) * dsub].iter_mut().zip(sub) {
+                        *d += v;
+                    }
+                }
+                for c in 0..ksub {
+                    // Dead codewords keep their seeded value: with 256
+                    // cells per subspace an unused codeword costs
+                    // nothing — codes simply never reference it.
+                    if counts[c] > 0 {
+                        let inv = 1.0 / counts[c] as f64;
+                        for (d, &s) in book[c * dsub..(c + 1) * dsub]
+                            .iter_mut()
+                            .zip(&sums[c * dsub..(c + 1) * dsub])
+                        {
+                            *d = s * inv;
+                        }
+                    }
+                }
+            }
+        }
+        // Encode every row against the trained codebooks.
+        let mut codes = vec![0u8; n * m];
+        for i in 0..n {
+            let row = self.row(i);
+            for j in 0..m {
+                let book = &codebooks[j * 256 * dsub..(j + 1) * 256 * dsub];
+                codes[i * m + j] = nearest(&row[j * dsub..(j + 1) * dsub], book, ksub, dsub) as u8;
+            }
+        }
+        self.pq = Some(Pq {
+            m,
+            dsub,
+            codebooks,
+            codes,
+        });
+        Ok(self)
+    }
+
+    /// [`with_coarse`](Self::with_coarse) — plus
+    /// [`with_pq`](Self::with_pq) when `pq_m` is set — backed by the
+    /// store's `knn.idx` sidecar. When a sidecar matches the store's
+    /// current [`fingerprint`](SignatureStore::fingerprint), the
+    /// index's metric and geometry, and the requested quantizer shape,
+    /// the trained quantizer is adopted from it instead of
+    /// re-clustering (see [`SignatureIndex::quantizer_cached`]).
+    /// Otherwise training runs as usual and the sidecar is (re)written.
+    /// A stale, damaged or missing sidecar is never an error — at worst
+    /// it costs one retraining.
+    pub fn with_coarse_persisted(
+        mut self,
+        store: &SignatureStore,
+        nlist: usize,
+        iters: usize,
+        pq_m: Option<usize>,
+    ) -> Result<Self> {
+        let fingerprint = store.fingerprint();
+        if self.try_load_quantizer(store, fingerprint, nlist, pq_m) {
+            self.cached = true;
+            return Ok(self);
+        }
+        self = self.with_coarse(nlist, iters)?;
+        if let Some(m) = pq_m {
+            self = self.with_pq(m, iters)?;
+        }
+        self.save_quantizer(store, fingerprint);
+        Ok(self)
+    }
+
+    /// Attempts to adopt the store's `knn.idx` sidecar; `true` when the
+    /// coarse quantizer (and PQ, if requested) were installed from it.
+    fn try_load_quantizer(
+        &mut self,
+        store: &SignatureStore,
+        fingerprint: u64,
+        nlist: usize,
+        pq_m: Option<usize>,
+    ) -> bool {
+        let n = self.keys.len();
+        if n == 0 || self.dim == 0 {
+            return false;
+        }
+        let Some(sc) = KnnSidecar::load(
+            store.dir(),
+            fingerprint,
+            self.distance.code(),
+            self.dim as u32,
+        ) else {
+            return false;
+        };
+        let want_nlist = nlist.min(n);
+        let have_nlist = sc.centroids.len() / self.dim;
+        if have_nlist != want_nlist || sc.assign.len() != n {
+            return false;
+        }
+        let pq = match pq_m {
+            None => None,
+            Some(m) => {
+                let Some(p) = &sc.pq else { return false };
+                if p.m as usize != m || m > self.dim || !self.dim.is_multiple_of(m) {
+                    return false;
+                }
+                let dsub = self.dim / m;
+                if p.codebooks.len() != m * 256 * dsub || p.codes.len() != n * m {
+                    return false;
+                }
+                Some(Pq {
+                    m,
+                    dsub,
+                    codebooks: p.codebooks.clone(),
+                    codes: p.codes.clone(),
+                })
+            }
+        };
+        // `load` validated every assignment against the centroid count.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); have_nlist];
+        for (i, &a) in sc.assign.iter().enumerate() {
+            lists[a as usize].push(i as u32);
+        }
+        self.coarse = Some(Coarse {
+            nlist: have_nlist,
+            centroids: sc.centroids,
+            lists,
+        });
+        self.pq = pq;
+        true
+    }
+
+    /// Best-effort write of the trained quantizer to the store's
+    /// `knn.idx` sidecar; failing to persist never fails the build.
+    fn save_quantizer(&self, store: &SignatureStore, fingerprint: u64) {
+        let Some(coarse) = &self.coarse else { return };
+        let mut assign = vec![0u32; self.keys.len()];
+        for (c, list) in coarse.lists.iter().enumerate() {
+            for &i in list {
+                assign[i as usize] = c as u32;
+            }
+        }
+        let pq = self.pq.as_ref().map(|p| PqSidecar {
+            m: p.m as u32,
+            codebooks: p.codebooks.clone(),
+            codes: p.codes.clone(),
+        });
+        let sc = KnnSidecar {
+            fingerprint,
+            distance: self.distance.code(),
+            dim: self.dim as u32,
+            centroids: coarse.centroids.clone(),
+            assign,
+            pq,
+        };
+        let _ = sc.save(store.dir());
     }
 
     fn row(&self, i: usize) -> &[f64] {
@@ -268,6 +532,19 @@ impl SignatureIndex {
     /// inverted-list quantizer.
     pub fn has_coarse(&self) -> bool {
         self.coarse.is_some()
+    }
+
+    /// `true` once [`SignatureIndex::with_pq`] has trained the
+    /// product-quantization layer.
+    pub fn has_pq(&self) -> bool {
+        self.pq.is_some()
+    }
+
+    /// `true` when the quantizer was adopted from a matching `knn.idx`
+    /// sidecar by [`SignatureIndex::with_coarse_persisted`] instead of
+    /// being trained in this process.
+    pub fn quantizer_cached(&self) -> bool {
+        self.cached
     }
 
     fn check_query(&self, signature: &[f64], k: usize) -> Result<()> {
@@ -332,9 +609,53 @@ impl SignatureIndex {
         // order.
         cells.select_nth_unstable_by(probes - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut hits: Vec<(f64, u32)> = Vec::new();
-        for &(_, c) in &cells[..probes] {
-            for &i in &coarse.lists[c as usize] {
-                hits.push((sq_dist(&q, self.row(i as usize)), i));
+        if let Some(pq) = &self.pq {
+            // ADC first pass: one table of squared distances from each
+            // query sub-vector to every codeword, then probed lists are
+            // scanned over m-byte codes — table lookups and adds only,
+            // no touch of the raw rows.
+            let (m, dsub) = (pq.m, pq.dsub);
+            let mut table = vec![0.0; m * 256];
+            for j in 0..m {
+                let qs = &q[j * dsub..(j + 1) * dsub];
+                for c in 0..256 {
+                    table[j * 256 + c] = sq_dist(qs, &pq.codebooks[(j * 256 + c) * dsub..][..dsub]);
+                }
+            }
+            let mut cand: Vec<(f64, u32)> = Vec::new();
+            for &(_, cell) in &cells[..probes] {
+                for &i in &coarse.lists[cell as usize] {
+                    let code = &pq.codes[i as usize * m..(i as usize + 1) * m];
+                    let d: f64 = code
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &cc)| table[j * 256 + cc as usize])
+                        .sum();
+                    cand.push((d, i));
+                }
+            }
+            // Keep a pool well past k for the exact re-rank; quantization
+            // error rarely pushes a true neighbor that far down. The cut
+            // tie-breaks by key so which candidates survive — and thus
+            // the final answer — is independent of list layout.
+            let keep = (k * RERANK_FACTOR).max(RERANK_MIN).min(cand.len());
+            if keep > 0 && keep < cand.len() {
+                cand.select_nth_unstable_by(keep - 1, |a, b| {
+                    a.0.total_cmp(&b.0)
+                        .then_with(|| self.keys[a.1 as usize].cmp(&self.keys[b.1 as usize]))
+                });
+                cand.truncate(keep);
+            }
+            // Exact re-rank of the surviving pool.
+            hits.extend(
+                cand.iter()
+                    .map(|&(_, i)| (sq_dist(&q, self.row(i as usize)), i)),
+            );
+        } else {
+            for &(_, c) in &cells[..probes] {
+                for &i in &coarse.lists[c as usize] {
+                    hits.push((sq_dist(&q, self.row(i as usize)), i));
+                }
             }
         }
         Ok(self.take_top(hits.as_mut_slice(), k))
@@ -544,6 +865,137 @@ mod tests {
         let approx = index.query_indexed(&q, 3, 2).unwrap();
         let keys_a: Vec<(u32, u64)> = approx.iter().map(|h| (h.node, h.window_index)).collect();
         assert_eq!(keys_a, keys3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pq_query_matches_exact_on_clustered_data() {
+        let dir = tmpdir("pq");
+        let store = seeded_store(&dir, 100);
+        let index = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse(8, 10)
+            .unwrap()
+            .with_pq(2, 8)
+            .unwrap();
+        assert!(index.has_pq());
+        let mut recall_sum = 0.0;
+        let queries = 40usize;
+        for qi in 0..queries {
+            let t = qi as f64 * 0.37;
+            let q = [
+                0.2 + 0.02 * t.sin(),
+                0.3 + 0.02 * t.cos(),
+                0.01 * t.sin(),
+                -0.01 * t.cos(),
+            ];
+            let exact = index.query(&q, 10).unwrap();
+            let approx = index.query_indexed(&q, 10, 3).unwrap();
+            assert_eq!(
+                approx[0], exact[0],
+                "exact re-ranking must preserve the top hit"
+            );
+            let exact_set: Vec<(u32, u64)> =
+                exact.iter().map(|h| (h.node, h.window_index)).collect();
+            let found = approx
+                .iter()
+                .filter(|h| exact_set.contains(&(h.node, h.window_index)))
+                .count();
+            recall_sum += found as f64 / exact.len() as f64;
+        }
+        assert!(
+            recall_sum / queries as f64 >= 0.9,
+            "recall@10 = {}",
+            recall_sum / queries as f64
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pq_validation() {
+        let dir = tmpdir("pqval");
+        let store = seeded_store(&dir, 10);
+        let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+        // PQ needs the coarse quantizer first.
+        assert!(index.with_pq(2, 3).is_err());
+        let index = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse(4, 5)
+            .unwrap();
+        // m must divide dim = 4.
+        assert!(index.with_pq(3, 3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_quantizer_roundtrips_and_detects_staleness() {
+        let dir = tmpdir("persist");
+        let mut store = seeded_store(&dir, 100);
+
+        // Cold build: trains and writes the sidecar.
+        let cold = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, Some(2))
+            .unwrap();
+        assert!(!cold.quantizer_cached());
+        assert!(crate::sidecar::knn_sidecar_path(store.dir()).exists());
+
+        // Warm build: adopts the sidecar, answers bit-identically.
+        let warm = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, Some(2))
+            .unwrap();
+        assert!(warm.quantizer_cached() && warm.has_coarse() && warm.has_pq());
+        for qi in 0..20 {
+            let t = qi as f64 * 0.41;
+            let q = [0.5 + 0.3 * t.sin(), 0.5 - 0.3 * t.cos(), 0.0, 0.01 * t];
+            assert_eq!(
+                cold.query_indexed(&q, 10, 3).unwrap(),
+                warm.query_indexed(&q, 10, 3).unwrap(),
+            );
+        }
+
+        // A coarse-only request against the PQ-bearing sidecar still
+        // loads — the PQ part is simply not adopted — and, being a
+        // cache hit, leaves the sidecar untouched.
+        let coarse_only = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, None)
+            .unwrap();
+        assert!(coarse_only.quantizer_cached() && !coarse_only.has_pq());
+
+        // Requesting a different shape ignores the cache and rewrites
+        // the sidecar in the new shape.
+        let reshaped = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 4, 10, None)
+            .unwrap();
+        assert!(!reshaped.quantizer_cached());
+        let full = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, Some(2))
+            .unwrap();
+        assert!(!full.quantizer_cached() && full.has_pq());
+
+        // New data moves the store fingerprint: the sidecar is stale and
+        // training runs again.
+        let sig = CsSignature {
+            re: vec![0.42, 0.58],
+            im: vec![0.0, 0.0],
+        };
+        store.push(3, 900, &sig).unwrap();
+        store.flush().unwrap();
+        let stale = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, Some(2))
+            .unwrap();
+        assert!(!stale.quantizer_cached());
+        // A distance mismatch also misses the cache.
+        let other = SignatureIndex::build(&store, Distance::Pearson)
+            .unwrap()
+            .with_coarse_persisted(&store, 8, 10, None)
+            .unwrap();
+        assert!(!other.quantizer_cached());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,6 +29,8 @@
 
 use crate::error::{Result, StoreError};
 use crate::format::{self, BlockRef, Encoding, FileHeader, FILE_HEADER_LEN};
+use crate::mmap::SegmentView;
+use crate::sidecar::{self, SegSidecar};
 use cwsmooth_core::cs::CsSignature;
 use cwsmooth_core::error::CoreError;
 use cwsmooth_core::fleet::{FleetEvent, FleetSink};
@@ -40,6 +42,7 @@ use std::fs::File;
 use std::io::{Read as _, Seek, SeekFrom, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Write-path configuration.
 #[derive(Debug, Clone, Copy)]
@@ -136,20 +139,31 @@ pub struct RecoveryReport {
     /// Useless segment files removed at open: headerless crash leftovers
     /// and header-only segments a previous process never wrote to.
     pub segments_removed: usize,
+    /// Interrupted compactions whose rename had landed: the duplicate
+    /// input segments were removed at open.
+    pub compactions_rolled_forward: usize,
+    /// Interrupted compactions whose rename had not happened: the merge
+    /// temporary was discarded, inputs untouched.
+    pub compactions_rolled_back: usize,
+    /// Orphaned merge temporaries and stale sidecar files swept at open.
+    pub orphans_removed: usize,
+    /// Segments whose block index was loaded from a `seg-<id>.idx`
+    /// sidecar instead of a full file parse.
+    pub sidecars_used: usize,
 }
 
 /// One block's index entry: where a (node, window-range) run lives.
-#[derive(Debug, Clone, Copy)]
-struct BlockEntry {
-    node: u32,
-    first_window: u64,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockEntry {
+    pub(crate) node: u32,
+    pub(crate) first_window: u64,
     /// Upper bound on the block's last window (exact when written by this
     /// process, a parse-time bound after recovery).
-    last_window: u64,
-    offset: u64,
+    pub(crate) last_window: u64,
+    pub(crate) offset: u64,
     /// Byte length of the whole block (header through CRC) — lets reads
     /// seek straight to a block without scanning the file.
-    len: u32,
+    pub(crate) len: u32,
 }
 
 /// A segment and its block index.
@@ -161,6 +175,41 @@ struct SegmentState {
     events: u64,
     bytes: u64,
     entries: Vec<BlockEntry>,
+    /// Zero-copy view of the file — present for sealed segments only
+    /// (the active segment is still being appended through its `File`).
+    view: Option<SegmentView>,
+    /// One bit per entry: set once that block's CRC has been verified.
+    /// `None` means every block was already verified (the segment was
+    /// fully parsed at open, or written/merged by this process). Blocks
+    /// indexed from a sidecar skip the open-time CRC pass and validate
+    /// lazily on first touch instead.
+    validated: Option<Box<[AtomicU64]>>,
+}
+
+/// A fresh all-zero validation bitmap for `n` blocks.
+fn validation_bitmap(n: usize) -> Box<[AtomicU64]> {
+    (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl SegmentState {
+    /// Whether block `i`'s CRC has already been verified.
+    fn is_validated(&self, i: usize) -> bool {
+        match &self.validated {
+            None => true,
+            // Relaxed: the bitmap is a monotonic cache — a racing reader
+            // that misses a freshly set bit merely re-verifies one CRC;
+            // no other memory is published through these bits.
+            Some(bits) => (bits[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Records that block `i`'s CRC held.
+    fn mark_validated(&self, i: usize) {
+        if let Some(bits) = &self.validated {
+            // Relaxed: see `is_validated` — the bit is advisory.
+            bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+        }
+    }
 }
 
 /// Public per-segment summary (see [`SignatureStore::segments`]).
@@ -230,9 +279,12 @@ pub struct SignatureStore {
     /// Set when a failed append could not be rolled back: the file and
     /// the in-memory index may disagree, so further writes are refused.
     poisoned: bool,
+    /// Ids of sealed segments an in-flight compaction is reading.
+    /// Retention defers evicting them until the merge settles.
+    compacting: Vec<u64>,
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("seg-{id:08}.cws"))
 }
 
@@ -281,6 +333,11 @@ impl SignatureStore {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
+        // Settle any compaction the previous process died inside of —
+        // after this, every segment file is whole and appears exactly
+        // once, so the scan below never sees duplicated events.
+        let compactions = sidecar::recover_compaction(&dir)?;
+
         let mut ids: Vec<u64> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok())
             .filter_map(|e| segment_id(&e.path()))
@@ -288,12 +345,18 @@ impl SignatureStore {
         ids.sort_unstable();
 
         let mut sealed = Vec::new();
-        let mut recovery = RecoveryReport::default();
+        let mut recovery = RecoveryReport {
+            compactions_rolled_forward: compactions.rolled_forward,
+            compactions_rolled_back: compactions.rolled_back,
+            orphans_removed: compactions.orphans_removed,
+            ..RecoveryReport::default()
+        };
         for (i, &id) in ids.iter().enumerate() {
             let last = i + 1 == ids.len();
             let path = segment_path(&dir, id);
-            let (state, cut) = Self::recover_segment(&path, id, spec, l, last)?;
+            let (state, cut, sidecar_used) = Self::recover_segment(&dir, &path, id, spec, l, last)?;
             recovery.bytes_truncated += cut;
+            recovery.sidecars_used += usize::from(sidecar_used);
             match state {
                 Some(state) if state.events > 0 => {
                     recovery.segments += 1;
@@ -333,6 +396,7 @@ impl SignatureStore {
             stats: StoreStats::default(),
             recovery,
             poisoned: false,
+            compacting: Vec::new(),
         };
         // The configured retention budget holds from the first moment,
         // not only after the next seal — evict excess recovered segments.
@@ -342,24 +406,8 @@ impl SignatureStore {
         Ok(store)
     }
 
-    /// Validates one existing segment, returning its state (or `None`
-    /// when the file carried no complete header and was removed — a
-    /// crash before the header landed) plus the bytes cut from a
-    /// truncated crash tail.
-    fn recover_segment(
-        path: &Path,
-        id: u64,
-        spec: WindowSpec,
-        l: usize,
-        last: bool,
-    ) -> Result<(Option<SegmentState>, u64)> {
-        let bytes = std::fs::read(path)?;
-        if bytes.len() < FILE_HEADER_LEN && last {
-            let cut = bytes.len() as u64;
-            std::fs::remove_file(path)?;
-            return Ok((None, cut));
-        }
-        let header = FileHeader::parse(&bytes, path)?;
+    /// Rejects a segment whose geometry does not match the store's.
+    fn check_geometry(header: &FileHeader, path: &Path, spec: WindowSpec, l: usize) -> Result<()> {
         if header.l as usize != l || header.wl as usize != spec.wl || header.ws as usize != spec.ws
         {
             return Err(StoreError::Mismatch(format!(
@@ -372,6 +420,39 @@ impl SignatureStore {
                 spec.ws
             )));
         }
+        Ok(())
+    }
+
+    /// Validates one existing segment, returning its state (or `None`
+    /// when the file carried no complete header and was removed — a
+    /// crash before the header landed), the bytes cut from a truncated
+    /// crash tail, and whether the index came from a sidecar.
+    fn recover_segment(
+        dir: &Path,
+        path: &Path,
+        id: u64,
+        spec: WindowSpec,
+        l: usize,
+        last: bool,
+    ) -> Result<(Option<SegmentState>, u64, bool)> {
+        // Fast path: a sidecar whose fingerprint matches the file proves
+        // its index describes exactly these bytes — skip the full parse
+        // and CRC pass; block CRCs verify lazily on first touch instead.
+        if let Ok(fp) = sidecar::fingerprint_file(path) {
+            if fp.len >= FILE_HEADER_LEN as u64 {
+                if let Some(state) = Self::open_from_sidecar(dir, path, id, spec, l, fp)? {
+                    return Ok((Some(state), 0, true));
+                }
+            }
+        }
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < FILE_HEADER_LEN && last {
+            let cut = bytes.len() as u64;
+            std::fs::remove_file(path)?;
+            return Ok((None, cut, false));
+        }
+        let header = FileHeader::parse(&bytes, path)?;
+        Self::check_geometry(&header, path, spec, l)?;
         let mut entries = Vec::new();
         let mut events = 0u64;
         let mut offset = FILE_HEADER_LEN as u64;
@@ -401,6 +482,24 @@ impl SignatureStore {
                 Err(e) => return Err(e.into_store_error(path)),
             }
         }
+        let mut view = None;
+        if events > 0 {
+            // Persist the freshly built index so the next open takes the
+            // sidecar fast path (best-effort: it is only a cache), and
+            // map the now-known-good file for zero-copy reads. Opened
+            // after the truncation repair above — mapping first and
+            // shrinking the file under the map would fault.
+            if let Ok(fp) = sidecar::fingerprint_file(path) {
+                let _ = SegSidecar {
+                    fingerprint: fp,
+                    events,
+                    bytes: offset,
+                    entries: entries.clone(),
+                }
+                .save(dir, id);
+            }
+            view = Some(SegmentView::open(path)?);
+        }
         Ok((
             Some(SegmentState {
                 id,
@@ -409,9 +508,58 @@ impl SignatureStore {
                 events,
                 bytes: offset,
                 entries,
+                view,
+                // The loop above CRC-verified every block.
+                validated: None,
             }),
             truncated,
+            false,
         ))
+    }
+
+    /// The sidecar fast path of [`SignatureStore::recover_segment`]:
+    /// `Some(state)` when a fingerprint-matching sidecar fully describes
+    /// the file. Geometry mismatches are still hard errors; anything
+    /// wrong with the sidecar itself falls back to the full parse.
+    fn open_from_sidecar(
+        dir: &Path,
+        path: &Path,
+        id: u64,
+        spec: WindowSpec,
+        l: usize,
+        fp: sidecar::SegFingerprint,
+    ) -> Result<Option<SegmentState>> {
+        let Some(sc) = SegSidecar::load(dir, id, fp) else {
+            return Ok(None);
+        };
+        if sc.events == 0 || sc.bytes != fp.len {
+            return Ok(None);
+        }
+        // Offsets must stay inside the file the fingerprint measured;
+        // a sidecar failing this is damage, so fall back to the scan.
+        let bounded = sc.entries.iter().all(|e| {
+            e.offset >= FILE_HEADER_LEN as u64
+                && e.offset
+                    .checked_add(e.len as u64)
+                    .is_some_and(|end| end <= sc.bytes)
+        });
+        if !bounded {
+            return Ok(None);
+        }
+        let view = SegmentView::open(path)?;
+        let header = FileHeader::parse(view.bytes(), path)?;
+        Self::check_geometry(&header, path, spec, l)?;
+        let n = sc.entries.len();
+        Ok(Some(SegmentState {
+            id,
+            path: path.to_path_buf(),
+            header,
+            events: sc.events,
+            bytes: sc.bytes,
+            entries: sc.entries,
+            view: Some(view),
+            validated: Some(validation_bitmap(n)),
+        }))
     }
 
     fn start_segment(
@@ -422,12 +570,7 @@ impl SignatureStore {
         cfg: &StoreConfig,
     ) -> Result<(SegmentState, File)> {
         let path = segment_path(dir, id);
-        let header = FileHeader {
-            mode: cfg.encoding,
-            l: l as u32,
-            wl: spec.wl as u32,
-            ws: spec.ws as u32,
-        };
+        let header = FileHeader::current(cfg.encoding, l as u32, spec.wl as u32, spec.ws as u32);
         let mut bytes = Vec::with_capacity(FILE_HEADER_LEN);
         header.write_to(&mut bytes);
         let mut file = std::fs::OpenOptions::new()
@@ -447,6 +590,8 @@ impl SignatureStore {
                 events: 0,
                 bytes: FILE_HEADER_LEN as u64,
                 entries,
+                view: None,
+                validated: None,
             },
             file,
         ))
@@ -593,8 +738,7 @@ impl SignatureStore {
         self.scratch.clear();
         format::encode_block(
             &mut self.scratch,
-            self.active.header.mode,
-            self.l,
+            &self.active.header,
             idx as u32,
             &buf.windows,
             &buf.values,
@@ -660,6 +804,19 @@ impl SignatureStore {
         std::mem::swap(&mut self.active, &mut next);
         self.active_file = next_file;
         self.stats.segments_sealed += 1;
+        // The segment is immutable from here on: map it for zero-copy
+        // reads and persist its block index so the next open can skip
+        // re-parsing it (the sidecar is only a cache — best-effort).
+        if let Ok(fp) = sidecar::fingerprint_file(&next.path) {
+            let _ = SegSidecar {
+                fingerprint: fp,
+                events: next.events,
+                bytes: next.bytes,
+                entries: next.entries.clone(),
+            }
+            .save(&self.dir, next.id);
+        }
+        next.view = Some(SegmentView::open(&next.path)?);
         self.sealed.push(next);
         self.enforce_retention()
     }
@@ -669,8 +826,15 @@ impl SignatureStore {
             return Ok(());
         }
         while self.sealed.len() > self.cfg.max_segments {
+            // An in-flight merge is reading the oldest segments; deleting
+            // one mid-merge would fail the merge for nothing. Defer —
+            // the commit (or abort) re-runs retention.
+            if self.compacting.contains(&self.sealed[0].id) {
+                break;
+            }
             let oldest = self.sealed.remove(0);
             std::fs::remove_file(&oldest.path)?;
+            sidecar::remove_if_exists(&sidecar::seg_sidecar_path(&self.dir, oldest.id))?;
             self.stats.segments_dropped += 1;
             self.stats.events_dropped += oldest.events;
         }
@@ -709,9 +873,46 @@ impl SignatureStore {
             if !seg.entries.iter().any(|e| entry_matches(e, node, &windows)) {
                 continue;
             }
-            // Seek-read only the matched blocks: the point of the block
-            // index is that a point query on a big segment does not pay
-            // whole-file I/O.
+            // Sealed segments are mapped: decode straight out of the page
+            // cache, no per-query open/seek/read. A block indexed from a
+            // sidecar gets its CRC verified on first touch (then the
+            // validation bitmap lets later reads skip the checksum).
+            if let Some(view) = &seg.view {
+                let bytes = view.bytes();
+                for (bi, entry) in seg.entries.iter().enumerate() {
+                    if !entry_matches(entry, node, &windows) {
+                        continue;
+                    }
+                    let trusted = seg.is_validated(bi);
+                    let parsed = if trusted {
+                        format::parse_block_trusted(bytes, entry.offset, &seg.header)
+                    } else {
+                        format::parse_block(bytes, entry.offset, &seg.header)
+                    };
+                    let block = parsed
+                        .map_err(|e| e.into_store_error(&seg.path))?
+                        .ok_or_else(|| StoreError::Corrupt {
+                            path: seg.path.clone(),
+                            offset: entry.offset,
+                            message: "indexed block vanished".into(),
+                        })?;
+                    if !trusted {
+                        seg.mark_validated(bi);
+                    }
+                    emit_block(
+                        &block,
+                        &seg.header,
+                        &windows,
+                        &mut win_scratch,
+                        &mut val_scratch,
+                        &mut f,
+                    );
+                }
+                continue;
+            }
+            // Unmapped (the active segment): seek-read only the matched
+            // blocks — the point of the block index is that a point query
+            // on a big segment does not pay whole-file I/O.
             let mut file = File::open(&seg.path)?;
             file.read_exact(&mut head_buf)
                 .map_err(|e| StoreError::Corrupt {
@@ -790,6 +991,154 @@ impl SignatureStore {
             }
         }
         Ok(())
+    }
+
+    /// A cheap digest of the store's readable state: FNV-1a over every
+    /// segment's `(id, events, bytes)` plus the staged-event count.
+    /// Anything that changes what a scan would return — ingest, seal,
+    /// retention, compaction, reopen after a crash — changes it. Used
+    /// by the k-NN sidecar to detect staleness.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for seg in self.sealed.iter().chain(std::iter::once(&self.active)) {
+            mix(&mut h, seg.id);
+            mix(&mut h, seg.events);
+            mix(&mut h, seg.bytes);
+        }
+        mix(&mut h, self.staged_events);
+        h
+    }
+
+    /// The oldest consecutive run of small sealed segments worth
+    /// merging, plus the header the merged output should carry. `None`
+    /// when nothing qualifies or a merge is already in flight. Segments
+    /// in a run share an encoding mode (blocks are re-framed, never
+    /// re-encoded, so modes cannot mix inside one output file).
+    pub(crate) fn compaction_candidates(
+        &self,
+        min_inputs: usize,
+        max_inputs: usize,
+        small_events: Option<u64>,
+    ) -> Option<(Vec<(u64, PathBuf)>, FileHeader)> {
+        if !self.compacting.is_empty() {
+            return None;
+        }
+        let threshold = small_events.unwrap_or(self.cfg.segment_events);
+        let (mut start, mut len) = (0usize, 0usize);
+        for (i, seg) in self.sealed.iter().enumerate() {
+            let small = seg.events > 0 && seg.events < threshold;
+            if !small {
+                if len >= min_inputs {
+                    break;
+                }
+                len = 0;
+                continue;
+            }
+            if len > 0 && seg.header.mode != self.sealed[start].header.mode {
+                if len >= min_inputs {
+                    break;
+                }
+                start = i;
+                len = 1;
+            } else {
+                if len == 0 {
+                    start = i;
+                }
+                len += 1;
+            }
+            if len == max_inputs {
+                break;
+            }
+        }
+        if len < min_inputs {
+            return None;
+        }
+        let run = &self.sealed[start..start + len];
+        let header = FileHeader::current(
+            run[0].header.mode,
+            self.l as u32,
+            self.spec.wl as u32,
+            self.spec.ws as u32,
+        );
+        Some((run.iter().map(|s| (s.id, s.path.clone())).collect(), header))
+    }
+
+    /// Reserves `ids` for an in-flight merge (retention will not evict
+    /// them until [`SignatureStore::clear_compacting`]).
+    pub(crate) fn mark_compacting(&mut self, ids: &[u64]) {
+        self.compacting = ids.to_vec();
+    }
+
+    /// Releases the compaction reservation.
+    pub(crate) fn clear_compacting(&mut self) {
+        self.compacting.clear();
+    }
+
+    /// Commits a finished merge: intent record (fsynced), atomic rename
+    /// of the temporary over the oldest input, removal of the now
+    /// duplicate inputs, fresh sidecar, index splice. Returns `false`
+    /// (discarding nothing but the temporary's claim — the caller
+    /// deletes it) when the inputs are no longer exactly the sealed
+    /// segments that were merged, in which case the store is unchanged.
+    pub(crate) fn apply_compaction(&mut self, out: &crate::compact::MergeOutput) -> Result<bool> {
+        let Some(first) = self.sealed.iter().position(|s| s.id == out.output) else {
+            return Ok(false);
+        };
+        let span = first..first + out.inputs.len();
+        if span.end > self.sealed.len()
+            || !self.sealed[span.clone()]
+                .iter()
+                .zip(&out.inputs)
+                .all(|(s, &id)| s.id == id)
+        {
+            return Ok(false);
+        }
+        // Intent first, fully synced: after this line a crash at any
+        // point is repaired by `recover_compaction` at the next open.
+        sidecar::CompactionIntent {
+            output: out.output,
+            inputs: out.inputs.clone(),
+        }
+        .save(&self.dir)?;
+        let out_path = segment_path(&self.dir, out.output);
+        std::fs::rename(&out.tmp, &out_path)?;
+        for &id in &out.inputs {
+            if id != out.output {
+                sidecar::remove_if_exists(&segment_path(&self.dir, id))?;
+            }
+            sidecar::remove_if_exists(&sidecar::seg_sidecar_path(&self.dir, id))?;
+        }
+        sidecar::sync_dir(&self.dir);
+        let view = SegmentView::open(&out_path)?;
+        if let Ok(fp) = sidecar::fingerprint_file(&out_path) {
+            let _ = SegSidecar {
+                fingerprint: fp,
+                events: out.events,
+                bytes: out.bytes,
+                entries: out.entries.clone(),
+            }
+            .save(&self.dir, out.output);
+        }
+        sidecar::remove_if_exists(&sidecar::intent_path(&self.dir, out.output))?;
+        let state = SegmentState {
+            id: out.output,
+            path: out_path,
+            header: out.header,
+            events: out.events,
+            bytes: out.bytes,
+            entries: out.entries.clone(),
+            view: Some(view),
+            // The merge CRC-verified every input block it re-framed.
+            validated: None,
+        };
+        self.sealed.splice(span, std::iter::once(state));
+        // Retention deferred while the inputs were reserved; settle now.
+        self.enforce_retention()?;
+        Ok(true)
     }
 
     /// Builds a labelled training set by running `label` over every
@@ -1148,10 +1497,14 @@ mod tests {
             let store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
             drop(store);
         }
-        // Only the one data segment remains on disk; the header-only
-        // actives from the idle open/close cycles are gone.
+        // Only the one data segment (plus its index sidecar) remains on
+        // disk; the header-only actives from the idle open/close cycles
+        // are gone.
         let files = std::fs::read_dir(&dir).unwrap().count();
-        assert_eq!(files, 2, "data segment + current active expected");
+        assert_eq!(
+            files, 3,
+            "data segment + its .idx + current active expected"
+        );
         let mut store = SignatureStore::open(&dir, spec(), 1, cfg).unwrap();
         assert_eq!(store.recovery().events, 10);
         // A seal with data present must not let ghost segments push the

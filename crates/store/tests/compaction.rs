@@ -1,0 +1,254 @@
+//! End-to-end background compaction: event preservation across merges,
+//! bit-identical queries after Morton reordering (the compaction-parity
+//! property), and composition with drop-oldest retention.
+
+use cwsmooth_core::cs::CsSignature;
+use cwsmooth_data::WindowSpec;
+use cwsmooth_store::{
+    Compactor, CompactorConfig, Distance, Encoding, SignatureIndex, SignatureStore, StoreConfig,
+};
+use std::path::PathBuf;
+
+const L: usize = 3;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cwsmooth-compact-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(30, 10).unwrap()
+}
+
+/// Deterministic xorshift generator — the parity test sweeps seeds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Pushes a clustered pseudo-random corpus and flushes; each node
+/// orbits its own center so coarse quantization has real structure.
+fn push_corpus(store: &mut SignatureStore, nodes: u32, windows: u64, seed: u64) {
+    let mut rng = Rng(seed | 1);
+    for w in 0..windows {
+        for n in 0..nodes {
+            let c = (n as f64 + 1.0) / nodes as f64;
+            let sig = CsSignature {
+                re: (0..L)
+                    .map(|i| c + 0.05 * rng.next() + 0.01 * i as f64)
+                    .collect(),
+                im: (0..L).map(|_| 0.1 * c + 0.02 * rng.next()).collect(),
+            };
+            store.push(n, w, &sig).unwrap();
+        }
+    }
+    store.flush().unwrap();
+}
+
+fn collect(store: &SignatureStore) -> Vec<(u32, u64, Vec<f64>)> {
+    let mut out = Vec::new();
+    store
+        .for_each(|n, w, v| out.push((n, w, v.to_vec())))
+        .unwrap();
+    out.sort_by_key(|e| (e.0, e.1));
+    out
+}
+
+fn cws_files(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cws"))
+        .count()
+}
+
+#[test]
+fn background_compaction_merges_small_segments_and_preserves_every_event() {
+    let dir = tmpdir("merge");
+    let cfg = StoreConfig::default()
+        .with_block_events(8)
+        .with_segment_events(64);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    push_corpus(&mut store, 6, 64, 9);
+    let before = collect(&store);
+    assert!(!before.is_empty());
+    let files_before = cws_files(&dir);
+    assert!(
+        files_before >= 4,
+        "corpus must span several segments, got {files_before}"
+    );
+
+    // `small_events: MAX` makes every sealed segment a candidate, so
+    // cascading runs converge on a single sealed segment.
+    let mut compactor = Compactor::new(CompactorConfig {
+        small_events: Some(u64::MAX),
+        ..CompactorConfig::default()
+    })
+    .unwrap();
+    let commits = compactor.run_until_idle(&mut store).unwrap();
+    assert!(commits >= 1);
+    let stats = compactor.stats();
+    assert_eq!(stats.runs, commits as u64);
+    assert!(stats.segments_in >= 2 * stats.runs);
+    assert!(stats.events > 0 && stats.bytes_out > 0);
+    assert!(cws_files(&dir) < files_before);
+    assert_eq!(
+        collect(&store),
+        before,
+        "compaction must not change a single readable event"
+    );
+    compactor.shutdown().unwrap();
+
+    // Reopen: the merged layout recovers cleanly and reads identically.
+    drop(store);
+    let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    assert_eq!(store.recovery().compactions_rolled_forward, 0);
+    assert_eq!(store.recovery().compactions_rolled_back, 0);
+    assert_eq!(collect(&store), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The compaction-parity property: across seeds, encodings and layout
+/// policies, every query answer — the full `(distance, node, window)`
+/// total order, distances included — is bit-identical before and after
+/// compaction, and again after a reopen of the compacted directory.
+#[test]
+fn compaction_parity_queries_bit_identical_across_seeds_encodings_and_layout() {
+    let cases = [
+        (1u64, Encoding::Exact, true),
+        (2, Encoding::Exact, true),
+        (3, Encoding::Exact, false),
+        (4, Encoding::Quant16, true),
+        (5, Encoding::Quant8, true),
+    ];
+    for &(seed, encoding, morton) in &cases {
+        let label = format!("seed {seed} {encoding:?} morton={morton}");
+        let dir = tmpdir(&format!("parity-{seed}"));
+        let cfg = StoreConfig::default()
+            .with_encoding(encoding)
+            .with_block_events(8)
+            .with_segment_events(48);
+        let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+        push_corpus(&mut store, 5, 60, seed);
+        let events = collect(&store);
+
+        // Pre-compaction answers: exact scans plus full-probe indexed
+        // scans (probing every cell pins the indexed code path's total
+        // order without depending on where k-means puts centroids).
+        let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9) | 1);
+        let queries: Vec<Vec<f64>> = (0..24)
+            .map(|_| (0..2 * L).map(|_| rng.next()).collect())
+            .collect();
+        let index = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse(6, 6)
+            .unwrap();
+        let full_probe = index.len();
+        let before: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                (
+                    index.query(q, 12).unwrap(),
+                    index.query_indexed(q, 12, full_probe).unwrap(),
+                )
+            })
+            .collect();
+
+        let mut compactor = Compactor::new(CompactorConfig {
+            small_events: Some(u64::MAX),
+            morton,
+            ..CompactorConfig::default()
+        })
+        .unwrap();
+        assert!(
+            compactor.run_until_idle(&mut store).unwrap() >= 1,
+            "{label}"
+        );
+        compactor.shutdown().unwrap();
+        assert_eq!(collect(&store), events, "{label}");
+
+        let index = SignatureIndex::build(&store, Distance::L2)
+            .unwrap()
+            .with_coarse(6, 6)
+            .unwrap();
+        for (q, (exact, full)) in queries.iter().zip(&before) {
+            assert_eq!(&index.query(q, 12).unwrap(), exact, "{label}");
+            assert_eq!(
+                &index.query_indexed(q, 12, full_probe).unwrap(),
+                full,
+                "{label}"
+            );
+        }
+
+        // And once more through the sidecar-driven recovery path.
+        drop(store);
+        let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+        assert!(store.recovery().sidecars_used > 0, "{label}");
+        let index = SignatureIndex::build(&store, Distance::L2).unwrap();
+        for (q, (exact, _)) in queries.iter().zip(&before) {
+            assert_eq!(&index.query(q, 12).unwrap(), exact, "{label} (reopen)");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn compaction_composes_with_drop_oldest_retention() {
+    let dir = tmpdir("retention");
+    let cfg = StoreConfig::default()
+        .with_block_events(4)
+        .with_segment_events(24)
+        .with_max_segments(3);
+    let mut store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    let mut compactor = Compactor::new(CompactorConfig {
+        min_inputs: 2,
+        max_inputs: 4,
+        small_events: Some(u64::MAX),
+        morton: true,
+    })
+    .unwrap();
+    let mut rng = Rng(77);
+    let mut w = 0u64;
+    for _round in 0..40 {
+        for _ in 0..12 {
+            for n in 0..2u32 {
+                let sig = CsSignature {
+                    re: (0..L).map(|_| rng.next()).collect(),
+                    im: (0..L).map(|_| rng.next()).collect(),
+                };
+                store.push(n, w, &sig).unwrap();
+            }
+            w += 1;
+        }
+        store.flush().unwrap();
+        // Interleaved scheduling: commits land between flushes while
+        // retention keeps evicting — stale merges are skipped, never
+        // errors.
+        compactor.poll(&mut store).unwrap();
+    }
+    compactor.run_until_idle(&mut store).unwrap();
+    compactor.shutdown().unwrap();
+
+    let stats = store.stats();
+    assert!(
+        stats.segments_dropped > 0,
+        "retention must have fired: {stats:?}"
+    );
+    let events = collect(&store);
+    assert_eq!(
+        events.len() as u64,
+        stats.events - stats.events_dropped,
+        "every accepted event is either readable or accounted dropped"
+    );
+    let newest = events.iter().map(|e| e.1).max().unwrap();
+    assert_eq!(newest, w - 1, "the newest window must survive retention");
+    std::fs::remove_dir_all(&dir).ok();
+}

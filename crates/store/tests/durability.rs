@@ -75,6 +75,7 @@ fn kill_and_reopen_recovers_the_flushed_prefix() {
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cws"))
         .collect();
     files.sort();
     let last = files.last().unwrap();
@@ -121,6 +122,7 @@ fn recovery_report_counts_removed_files_and_truncated_bytes() {
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cws"))
         .collect();
     files.sort();
     let data = files.last().unwrap().clone();
@@ -158,15 +160,30 @@ fn crc_corruption_in_a_sealed_segment_is_an_error_not_a_panic() {
         .unwrap()
         .map(|e| e.unwrap().path())
         .collect();
+    files.retain(|f| f.extension().is_some_and(|e| e == "cws"));
     files.sort();
     assert!(files.len() >= 3, "expected several sealed segments");
-    // Flip one payload byte in the middle of an *early* segment.
-    let victim = &files[0];
-    let mut bytes = std::fs::read(victim).unwrap();
+    // Flip one payload byte in the middle of an *early* segment. The
+    // flip is mid-file, so the segment's fingerprint (head + tail) —
+    // and hence its index sidecar — still matches.
+    let victim = files[0].clone();
+    let mut bytes = std::fs::read(&victim).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
-    std::fs::write(victim, &bytes).unwrap();
+    std::fs::write(&victim, &bytes).unwrap();
 
+    // With the sidecar present, open skips the full CRC pass — the
+    // corruption surfaces as an error (never a panic, never silent
+    // garbage) at the first read touching the damaged block.
+    let store = SignatureStore::open(&dir, spec(), L, cfg).unwrap();
+    assert!(store.recovery().sidecars_used > 0, "premise: fast path");
+    let err = store.for_each(|_, _, _| {}).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt"), "unexpected error: {msg}");
+    drop(store);
+
+    // Without the sidecar, the full open-time scan catches it up front.
+    std::fs::remove_file(victim.with_extension("idx")).unwrap();
     let err = SignatureStore::open(&dir, spec(), L, cfg).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("corrupt"), "unexpected error: {msg}");
@@ -338,6 +355,31 @@ fn indexed_knn_on_fleet_data_meets_recall_bar() {
         );
         let recall = recall / n;
         assert!(recall >= 0.9, "{distance:?}: recall@10 {recall:.3} < 0.9");
+
+        // IVF-PQ: the ADC first pass plus exact re-ranking must hold
+        // the same bar (dim = 8, m = 4 → two features per subquantizer).
+        let index = index.with_pq(4, 8).unwrap();
+        let mut recall_pq = 0.0;
+        for (_, _, q) in &queries {
+            let exact = index.query(q, 10).unwrap();
+            let approx = index.query_indexed(q, 10, 4).unwrap();
+            assert_eq!(
+                approx[0], exact[0],
+                "{distance:?}: PQ re-ranking must preserve the top hit"
+            );
+            let exact_keys: Vec<(u32, u64)> =
+                exact.iter().map(|h| (h.node, h.window_index)).collect();
+            let hit = approx
+                .iter()
+                .filter(|h| exact_keys.contains(&(h.node, h.window_index)))
+                .count();
+            recall_pq += hit as f64 / exact.len() as f64;
+        }
+        let recall_pq = recall_pq / n;
+        assert!(
+            recall_pq >= 0.9,
+            "{distance:?}: PQ recall@10 {recall_pq:.3} < 0.9"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }
